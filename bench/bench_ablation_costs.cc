@@ -1,0 +1,81 @@
+// Extension ablation (DESIGN.md §6): which cost drives the WfMS/UDTF gap?
+// Sweeps the per-activity Java-program boot cost (the paper's explanation of
+// the "extreme difference regarding the various process activities") and the
+// RMI marshalling cost, reporting the elapsed-time ratio for GetNoSuppComp.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/latency.h"
+
+namespace fedflow::bench {
+namespace {
+
+const std::vector<Value>& Args() {
+  static const std::vector<Value> args = {Value::Varchar("Stark"),
+                                          Value::Varchar("brakepad")};
+  return args;
+}
+
+double RatioFor(const sim::LatencyModel& model) {
+  auto wfms = MustMakeServer(Architecture::kWfms, model);
+  auto udtf = MustMakeServer(Architecture::kUdtf, model);
+  auto w = HotCall(wfms.get(), "GetNoSuppComp", Args());
+  auto u = HotCall(udtf.get(), "GetNoSuppComp", Args());
+  return static_cast<double>(w.elapsed_us) / static_cast<double>(u.elapsed_us);
+}
+
+void BM_RatioDefaultModel(benchmark::State& state) {
+  for (auto _ : state) {
+    double ratio = RatioFor({});
+    benchmark::DoNotOptimize(ratio);
+  }
+}
+BENCHMARK(BM_RatioDefaultModel)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void PrintJvmSweep() {
+  std::printf("\n=== Ablation: per-activity JVM boot cost vs WfMS/UDTF ratio "
+              "(GetNoSuppComp) ===\n");
+  std::printf("%18s %10s\n", "jvm boot [us]", "ratio");
+  PrintRule(30);
+  for (VDuration boot : {0LL, 1000LL, 2000LL, 4500LL, 9000LL, 18000LL}) {
+    sim::LatencyModel model;
+    model.wf_jvm_boot_activity_us = boot;
+    std::printf("%18lld %9.2fx\n", static_cast<long long>(boot),
+                RatioFor(model));
+  }
+  PrintRule(30);
+  std::printf("paper:    starting a new Java program per activity is the "
+              "main WfMS cost;\n"
+              "          without it the approaches converge\n");
+}
+
+void PrintRmiSweep() {
+  std::printf("\n=== Ablation: RMI call cost vs WfMS/UDTF ratio "
+              "(GetNoSuppComp) ===\n");
+  std::printf("%18s %10s\n", "rmi call [us]", "ratio");
+  PrintRule(30);
+  for (VDuration rmi : {0LL, 390LL, 780LL, 1560LL, 3120LL}) {
+    sim::LatencyModel model;
+    model.rmi_call_base_us = rmi;
+    std::printf("%18lld %9.2fx\n", static_cast<long long>(rmi),
+                RatioFor(model));
+  }
+  PrintRule(30);
+  std::printf("note:     RMI hits the UDTF approach k times per call but the "
+              "WfMS approach once,\n"
+              "          so a costlier wire narrows the gap\n");
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedflow::bench::PrintJvmSweep();
+  fedflow::bench::PrintRmiSweep();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// §4 controller ablation: "Assume, we can implement our prototypes without
+// the controller. Then, the total time of the WfMS solution would decrease by
+// 8%, whereas the UDTF solution would decrease by even 25%. As a result, the
+// overall processing time ratio between workflow and UDTF approach would
+// increase from 3 to 3.7."
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/latency.h"
+
+namespace fedflow::bench {
+namespace {
+
+const std::vector<Value>& Args() {
+  static const std::vector<Value> args = {Value::Varchar("Stark"),
+                                          Value::Varchar("brakepad")};
+  return args;
+}
+
+VDuration MeasureHot(Architecture arch, const sim::LatencyModel& model) {
+  auto server = MustMakeServer(arch, model);
+  return HotCall(server.get(), "GetNoSuppComp", Args()).elapsed_us;
+}
+
+void BM_WithController(benchmark::State& state, Architecture arch) {
+  auto server = MustMakeServer(arch);
+  (void)HotCall(server.get(), "GetNoSuppComp", Args());
+  for (auto _ : state) {
+    auto r = MustCall(server.get(), "GetNoSuppComp", Args());
+    state.SetIterationTime(static_cast<double>(r.elapsed_us) * 1e-6);
+  }
+}
+void BM_WithoutController(benchmark::State& state, Architecture arch) {
+  auto server = MustMakeServer(arch, sim::WithoutController({}));
+  (void)HotCall(server.get(), "GetNoSuppComp", Args());
+  for (auto _ : state) {
+    auto r = MustCall(server.get(), "GetNoSuppComp", Args());
+    state.SetIterationTime(static_cast<double>(r.elapsed_us) * 1e-6);
+  }
+}
+BENCHMARK_CAPTURE(BM_WithController, wfms, Architecture::kWfms)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_WithController, udtf, Architecture::kUdtf)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_WithoutController, wfms, Architecture::kWfms)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_WithoutController, udtf, Architecture::kUdtf)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void PrintTable() {
+  sim::LatencyModel with_controller;
+  sim::LatencyModel without_controller = sim::WithoutController({});
+
+  std::printf("\n=== Controller ablation (GetNoSuppComp, hot calls) ===\n");
+  std::printf("%-16s %18s %18s %10s\n", "architecture", "with ctrl [us]",
+              "without ctrl [us]", "decrease");
+  PrintRule(66);
+  VDuration w_with = 0, w_without = 0, u_with = 0, u_without = 0;
+  for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf}) {
+    VDuration with = MeasureHot(arch, with_controller);
+    VDuration without = MeasureHot(arch, without_controller);
+    if (arch == Architecture::kWfms) {
+      w_with = with;
+      w_without = without;
+    } else {
+      u_with = with;
+      u_without = without;
+    }
+    std::printf("%-16s %18lld %18lld %9.1f%%\n",
+                federation::ArchitectureName(arch),
+                static_cast<long long>(with), static_cast<long long>(without),
+                100.0 * (1.0 - static_cast<double>(without) /
+                                   static_cast<double>(with)));
+  }
+  PrintRule(66);
+  std::printf("paper:    WfMS decreases ~8%%, UDTF ~25%%; ratio rises from "
+              "~3 to ~3.7\n");
+  std::printf("measured: ratio with controller %.2f, without %.2f\n",
+              static_cast<double>(w_with) / static_cast<double>(u_with),
+              static_cast<double>(w_without) /
+                  static_cast<double>(u_without));
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedflow::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 6 reproduction: time portions of one (hot) call of the federated
+// function GetNoSuppComp in the WfMS and the UDTF approach, next to the
+// percentages the paper reports.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sim/latency.h"
+#include "wfms/engine.h"
+
+namespace fedflow::bench {
+namespace {
+
+const std::vector<Value>& Args() {
+  static const std::vector<Value> args = {Value::Varchar("Stark"),
+                                          Value::Varchar("brakepad")};
+  return args;
+}
+
+void BM_Breakdown(benchmark::State& state, Architecture arch) {
+  auto server = MustMakeServer(arch);
+  (void)HotCall(server.get(), "GetNoSuppComp", Args());
+  for (auto _ : state) {
+    auto result = MustCall(server.get(), "GetNoSuppComp", Args());
+    state.SetIterationTime(static_cast<double>(result.elapsed_us) * 1e-6);
+  }
+}
+BENCHMARK_CAPTURE(BM_Breakdown, wfms, Architecture::kWfms)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_Breakdown, udtf, Architecture::kUdtf)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// Paper Fig. 6 percentages.
+const std::map<std::string, int>& PaperShares(Architecture arch) {
+  static const std::map<std::string, int> wfms = {
+      {"Start UDTF", 9},
+      {"Process UDTF", 11},
+      {"RMI call", 3},
+      {"Start workflow and Java environment", 10},
+      {"Process activities", 51},
+      {"Workflow", 9},
+      {"Controller", 5},
+      {"RMI return", 0},
+      {"Finish UDTF", 2},
+  };
+  static const std::map<std::string, int> udtf = {
+      {"Start I-UDTF", 11},  {"Prepare A-UDTFs", 28}, {"RMI calls", 24},
+      {"Controller runs", 0}, {"Process activities", 6}, {"Finish A-UDTFs", 21},
+      {"RMI returns", 1},    {"Finish I-UDTF", 9},
+  };
+  return arch == Architecture::kWfms ? wfms : udtf;
+}
+
+void PrintBreakdown(Architecture arch) {
+  auto server = MustMakeServer(arch);
+  auto result = HotCall(server.get(), "GetNoSuppComp", Args());
+  std::printf("\n--- %s: GetNoSuppComp, one hot call (total %lld us) ---\n",
+              federation::ArchitectureName(arch),
+              static_cast<long long>(result.elapsed_us));
+  std::printf("%-38s %10s %9s %9s\n", "step", "time [us]", "measured",
+              "paper");
+  PrintRule(72);
+  const auto& paper = PaperShares(arch);
+  for (const auto& [step, dur] : result.breakdown.entries()) {
+    int pct = result.breakdown.PercentOf(step);
+    auto it = paper.find(step);
+    if (it != paper.end()) {
+      std::printf("%-38s %10lld %8d%% %8d%%\n", step.c_str(),
+                  static_cast<long long>(dur), pct, it->second);
+    } else {
+      std::printf("%-38s %10lld %8d%% %9s\n", step.c_str(),
+                  static_cast<long long>(dur), pct, "-");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n=== Fig. 6: time portions of the overall function call ===\n");
+  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kWfms);
+  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kUdtf);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// §4 loop-scaling reproduction: the cyclic federated function AllCompNames
+// (do-until loop over the same local function in the WfMS architecture).
+// Paper: "the overall processing time rises linearly to the number of
+// function calls."
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace fedflow::bench {
+namespace {
+
+IntegrationServer* Server() {
+  // The loop sweeps up to 64 iterations; give the component catalog room so
+  // every GetCompName probe hits.
+  static auto server = MustMakeServer(Architecture::kWfms, {},
+                                      appsys::ScenarioConfig{8, 128, 42});
+  return server.get();
+}
+
+void BM_AllCompNames(benchmark::State& state) {
+  const int iterations = static_cast<int>(state.range(0));
+  IntegrationServer* server = Server();
+  (void)HotCall(server, "AllCompNames", {Value::Int(iterations)});
+  for (auto _ : state) {
+    auto result = MustCall(server, "AllCompNames", {Value::Int(iterations)});
+    state.SetIterationTime(static_cast<double>(result.elapsed_us) * 1e-6);
+    if (result.table.num_rows() != static_cast<size_t>(iterations)) {
+      state.SkipWithError("unexpected row count");
+    }
+  }
+}
+BENCHMARK(BM_AllCompNames)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Iterations(3);
+
+void PrintTable() {
+  std::printf("\n=== Loop scaling: AllCompNames(N), WfMS architecture ===\n");
+  std::printf("%6s %14s %18s\n", "N", "elapsed [us]", "per-iteration [us]");
+  PrintRule(42);
+  IntegrationServer* server = Server();
+  std::vector<std::pair<int, VDuration>> points;
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    auto result = HotCall(server, "AllCompNames", {Value::Int(n)});
+    points.emplace_back(n, result.elapsed_us);
+    std::printf("%6d %14lld %18.1f\n", n,
+                static_cast<long long>(result.elapsed_us),
+                static_cast<double>(result.elapsed_us) / n);
+  }
+  PrintRule(42);
+  // Linearity check: least-squares fit elapsed = a*N + b, report R^2.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double count = static_cast<double>(points.size());
+  for (auto [n, t] : points) {
+    sx += n;
+    sy += static_cast<double>(t);
+    sxx += static_cast<double>(n) * n;
+    sxy += static_cast<double>(n) * static_cast<double>(t);
+  }
+  double slope = (count * sxy - sx * sy) / (count * sxx - sx * sx);
+  double intercept = (sy - slope * sx) / count;
+  double ss_tot = 0, ss_res = 0;
+  double mean = sy / count;
+  for (auto [n, t] : points) {
+    double predicted = slope * n + intercept;
+    ss_tot += (static_cast<double>(t) - mean) * (static_cast<double>(t) - mean);
+    ss_res += (static_cast<double>(t) - predicted) *
+              (static_cast<double>(t) - predicted);
+  }
+  double r2 = 1.0 - ss_res / ss_tot;
+  std::printf("paper:    overall processing time rises linearly with the "
+              "number of calls\n");
+  std::printf("measured: fit elapsed = %.0f*N + %.0f us, R^2 = %.6f\n", slope,
+              intercept, r2);
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedflow::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §4 reproduction, parallel vs. sequential: "the function GetSuppQualRelia
+// based on parallel activities is processed faster than the function
+// GetSuppQual with a sequential processing order in the workflow
+// architecture. In contrast, the UDTF approach achieves processing times
+// which show a contrary result." Both functions call two local functions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace fedflow::bench {
+namespace {
+
+IntegrationServer* Server(Architecture arch) {
+  static auto wfms = MustMakeServer(Architecture::kWfms);
+  static auto udtf = MustMakeServer(Architecture::kUdtf);
+  return arch == Architecture::kWfms ? wfms.get() : udtf.get();
+}
+
+const std::vector<Value>& SeqArgs() {
+  static const std::vector<Value> args = {Value::Varchar("Stark")};
+  return args;
+}
+const std::vector<Value>& ParArgs() {
+  static const std::vector<Value> args = {Value::Int(1234)};
+  return args;
+}
+
+void BM_Call(benchmark::State& state, Architecture arch, bool parallel) {
+  IntegrationServer* server = Server(arch);
+  const char* fn = parallel ? "GetSuppQualRelia" : "GetSuppQual";
+  const auto& args = parallel ? ParArgs() : SeqArgs();
+  (void)HotCall(server, fn, args);
+  for (auto _ : state) {
+    auto result = MustCall(server, fn, args);
+    state.SetIterationTime(static_cast<double>(result.elapsed_us) * 1e-6);
+  }
+}
+BENCHMARK_CAPTURE(BM_Call, wfms_sequential, Architecture::kWfms, false)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK_CAPTURE(BM_Call, wfms_parallel, Architecture::kWfms, true)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK_CAPTURE(BM_Call, udtf_sequential, Architecture::kUdtf, false)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK_CAPTURE(BM_Call, udtf_parallel, Architecture::kUdtf, true)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void PrintTable() {
+  std::printf("\n=== Parallel (GetSuppQualRelia) vs sequential (GetSuppQual), "
+              "2 local functions each ===\n");
+  std::printf("%-16s %20s %20s %10s\n", "architecture", "sequential [us]",
+              "parallel [us]", "winner");
+  PrintRule(70);
+  for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf}) {
+    auto seq = HotCall(Server(arch), "GetSuppQual", SeqArgs());
+    auto par = HotCall(Server(arch), "GetSuppQualRelia", ParArgs());
+    std::printf("%-16s %20lld %20lld %10s\n",
+                federation::ArchitectureName(arch),
+                static_cast<long long>(seq.elapsed_us),
+                static_cast<long long>(par.elapsed_us),
+                par.elapsed_us < seq.elapsed_us ? "parallel" : "sequential");
+  }
+  PrintRule(70);
+  std::printf("paper:    WfMS processes the parallel case faster; the UDTF "
+              "approach shows the contrary\n");
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedflow::bench::PrintTable();
+  return 0;
+}

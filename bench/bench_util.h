@@ -1,0 +1,88 @@
+// Shared helpers for the reproduction benches. Every bench binary measures
+// VIRTUAL time (the deterministic cost model) via google-benchmark's manual
+// timing, and afterwards prints the paper-vs-measured comparison for its
+// table/figure.
+#ifndef FEDFLOW_BENCH_BENCH_UTIL_H_
+#define FEDFLOW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/sample_scenario.h"
+
+namespace fedflow::bench {
+
+using federation::Architecture;
+using federation::IntegrationServer;
+
+/// Builds a sample server or aborts (benches have no error channel).
+inline std::unique_ptr<IntegrationServer> MustMakeServer(
+    Architecture arch, sim::LatencyModel model = {},
+    appsys::ScenarioConfig config = {}) {
+  auto server = federation::MakeSampleServer(arch, config, model);
+  if (!server.ok()) {
+    std::fprintf(stderr, "failed to build server: %s\n",
+                 server.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*server);
+}
+
+/// One timed federated call; aborts on failure.
+inline IntegrationServer::TimedResult MustCall(
+    IntegrationServer* server, const std::string& name,
+    const std::vector<Value>& args) {
+  auto result = server->CallFederated(name, args);
+  if (!result.ok()) {
+    std::fprintf(stderr, "call %s failed: %s\n", name.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+/// Calls until hot, then returns one hot measurement.
+inline IntegrationServer::TimedResult HotCall(
+    IntegrationServer* server, const std::string& name,
+    const std::vector<Value>& args) {
+  (void)MustCall(server, name, args);
+  (void)MustCall(server, name, args);
+  return MustCall(server, name, args);
+}
+
+/// The sample workload of Fig. 5, in order of increasing mapping complexity.
+struct SampleCall {
+  const char* name;
+  const char* mapping_case;
+  int local_functions;
+  std::vector<Value> args;
+};
+
+inline std::vector<SampleCall> Fig5Workload() {
+  return {
+      {"GibKompNr", "trivial", 1, {Value::Varchar("brakepad")}},
+      {"GetNumberSupp1234", "simple", 1, {Value::Int(17)}},
+      {"GetSuppQualRelia", "independent", 2, {Value::Int(1234)}},
+      {"GetSuppQual", "dependent: linear", 2, {Value::Varchar("Stark")}},
+      {"GetSubCompDiscounts", "independent + join", 2,
+       {Value::Int(3), Value::Int(5)}},
+      {"GetNoSuppComp", "dependent: (1:n)", 3,
+       {Value::Varchar("Stark"), Value::Varchar("brakepad")}},
+      {"GetSuppInfo", "dependent: (n:1)", 3, {Value::Varchar("Acme")}},
+      {"BuySuppComp", "general example (Fig. 1)", 5,
+       {Value::Int(1234), Value::Varchar("brakepad")}},
+  };
+}
+
+/// Prints a rule line of the given width.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace fedflow::bench
+
+#endif  // FEDFLOW_BENCH_BENCH_UTIL_H_

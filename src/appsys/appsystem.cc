@@ -1,0 +1,72 @@
+#include "appsys/appsystem.h"
+
+#include "common/strings.h"
+
+namespace fedflow::appsys {
+
+std::vector<std::string> AppSystem::FunctionNames() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [key, fn] : functions_) names.push_back(fn.name);
+  return names;
+}
+
+Result<const LocalFunction*> AppSystem::GetFunction(
+    const std::string& name) const {
+  auto it = functions_.find(ToUpper(name));
+  if (it == functions_.end()) {
+    return Status::NotFound("application system " + name_ +
+                            " has no function " + name);
+  }
+  return &it->second;
+}
+
+Result<AppSystem::CallResult> AppSystem::Call(
+    const std::string& function, const std::vector<Value>& args) const {
+  call_count_.fetch_add(1);
+  FEDFLOW_ASSIGN_OR_RETURN(const LocalFunction* fn, GetFunction(function));
+  auto fault = faults_.find(ToUpper(function));
+  if (fault != faults_.end() && !fault->second.ok()) {
+    return fault->second;
+  }
+  if (args.size() != fn->params.size()) {
+    return Status::InvalidArgument(
+        name_ + "." + function + " expects " +
+        std::to_string(fn->params.size()) + " argument(s), got " +
+        std::to_string(args.size()));
+  }
+  std::vector<Value> coerced;
+  coerced.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    Result<Value> v = args[i].CastTo(fn->params[i].type);
+    if (!v.ok()) {
+      return v.status().WithContext("argument " + fn->params[i].name + " of " +
+                                    name_ + "." + function);
+    }
+    coerced.push_back(std::move(*v));
+  }
+  Result<Table> out = fn->body(coerced);
+  if (!out.ok()) {
+    return out.status().WithContext(name_ + "." + function);
+  }
+  CallResult result;
+  result.cost_us = fn->base_cost_us +
+                   fn->per_row_cost_us * static_cast<VDuration>(out->num_rows());
+  result.table = std::move(*out);
+  return result;
+}
+
+void AppSystem::InjectFault(const std::string& function, Status status) {
+  faults_[ToUpper(function)] = std::move(status);
+}
+
+Status AppSystem::Register(LocalFunction fn) {
+  std::string key = ToUpper(fn.name);
+  if (functions_.count(key) > 0) {
+    return Status::AlreadyExists("function already registered: " + fn.name);
+  }
+  functions_.emplace(std::move(key), std::move(fn));
+  return Status::OK();
+}
+
+}  // namespace fedflow::appsys

@@ -1,0 +1,82 @@
+// Application systems: packaged software whose embedded database is reachable
+// ONLY through predefined functions (the paper's SAP-R/3-like premise). The
+// base class enforces the encapsulation: the one public data operation is
+// Call(function, args).
+#ifndef FEDFLOW_APPSYS_APPSYSTEM_H_
+#define FEDFLOW_APPSYS_APPSYSTEM_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "common/vclock.h"
+
+namespace fedflow::appsys {
+
+/// A predefined function exposed by an application system.
+struct LocalFunction {
+  std::string name;
+  std::vector<Column> params;
+  Schema result_schema;
+  /// Server-side implementation over the system's private store.
+  std::function<Result<Table>(const std::vector<Value>&)> body;
+  /// Modeled server-side work per call (virtual microseconds).
+  VDuration base_cost_us = 300;
+  /// Additional work per returned row.
+  VDuration per_row_cost_us = 5;
+};
+
+/// Base class for application systems. Thread-safe for concurrent Call()s
+/// (the store is immutable after construction; statistics are atomic).
+class AppSystem {
+ public:
+  explicit AppSystem(std::string name) : name_(std::move(name)) {}
+  virtual ~AppSystem() = default;
+
+  AppSystem(const AppSystem&) = delete;
+  AppSystem& operator=(const AppSystem&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Declared functions, sorted by name.
+  std::vector<std::string> FunctionNames() const;
+
+  /// Signature lookup; NotFound when the function does not exist.
+  Result<const LocalFunction*> GetFunction(const std::string& name) const;
+
+  /// Result of a timed call.
+  struct CallResult {
+    Table table;
+    VDuration cost_us = 0;
+  };
+
+  /// Invokes a predefined function: validates arity, coerces argument types,
+  /// runs the body, computes the modeled cost. The ONLY data access path.
+  Result<CallResult> Call(const std::string& function,
+                          const std::vector<Value>& args) const;
+
+  /// Total number of Call() invocations (fault-injected ones included).
+  int64_t call_count() const { return call_count_.load(); }
+
+  /// Forces subsequent calls of `function` to fail with `status` (error
+  /// handling tests). An OK status clears the fault.
+  void InjectFault(const std::string& function, Status status);
+
+ protected:
+  /// Registration for subclasses during construction.
+  Status Register(LocalFunction fn);
+
+ private:
+  std::string name_;
+  std::map<std::string, LocalFunction> functions_;
+  std::map<std::string, Status> faults_;
+  mutable std::atomic<int64_t> call_count_{0};
+};
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_APPSYSTEM_H_

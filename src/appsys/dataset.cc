@@ -1,0 +1,96 @@
+#include "appsys/dataset.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fedflow::appsys {
+
+namespace {
+
+const char* kSupplierNames[] = {"Acme",    "Borg",     "Cyberdyne", "Duff",
+                                "Ecorp",   "Initech",  "Umbrella",  "Wayne",
+                                "Globex",  "Hooli",    "Massive",   "Pied",
+                                "Soylent", "Tyrell",   "Vandelay",  "Wonka"};
+
+}  // namespace
+
+Scenario GenerateScenario(const ScenarioConfig& config) {
+  Scenario s;
+  s.config = config;
+  Rng rng(config.seed);
+
+  // Suppliers 1001..1000+n plus the fixed supplier 1234 ("Stark") that the
+  // paper's GetNumberSupp1234 example hard-codes.
+  for (int i = 0; i < config.num_suppliers; ++i) {
+    SupplierRecord sup;
+    sup.supplier_no = 1001 + i;
+    sup.name = i < static_cast<int>(sizeof(kSupplierNames) /
+                                    sizeof(kSupplierNames[0]))
+                   ? kSupplierNames[i]
+                   : "Supplier" + std::to_string(1001 + i);
+    sup.quality = static_cast<int32_t>(rng.Uniform(1, 10));
+    sup.reliability = static_cast<int32_t>(rng.Uniform(1, 10));
+    s.suppliers.push_back(std::move(sup));
+  }
+  {
+    SupplierRecord stark;
+    stark.supplier_no = 1234;
+    stark.name = "Stark";
+    stark.quality = 9;
+    stark.reliability = 8;
+    s.suppliers.push_back(std::move(stark));
+  }
+
+  // Components 1..n; component 17 is the paper's "brakepad" (created even for
+  // small n). Bill of material: component c may contain components with
+  // larger numbers (guarantees acyclicity).
+  const int n_comp = std::max(config.num_components, 17);
+  for (int c = 1; c <= n_comp; ++c) {
+    ComponentRecord comp;
+    comp.comp_no = c;
+    comp.name = c == 17 ? "brakepad" : "comp_" + std::to_string(c);
+    int num_subs = static_cast<int>(rng.Uniform(0, 3));
+    for (int k = 0; k < num_subs; ++k) {
+      int sub = c + 1 + static_cast<int>(rng.Uniform(0, n_comp / 4));
+      if (sub <= n_comp && sub != c) comp.sub_components.push_back(sub);
+    }
+    s.components.push_back(std::move(comp));
+  }
+
+  // Stock: each supplier stocks ~40% of components. The stock-keeping number
+  // encodes (supplier, component) so results are recognizable in tests.
+  for (const SupplierRecord& sup : s.suppliers) {
+    for (const ComponentRecord& comp : s.components) {
+      if (!rng.Chance(0.4)) continue;
+      StockRecord item;
+      item.supplier_no = sup.supplier_no;
+      item.comp_no = comp.comp_no;
+      item.number = 100000 + (sup.supplier_no % 1000) * 100 + comp.comp_no;
+      s.stock.push_back(item);
+    }
+  }
+  // Guarantee the GetNumberSupp1234 fixture: supplier 1234 stocks the
+  // brakepad (component 17).
+  bool has_1234_17 = false;
+  for (const StockRecord& item : s.stock) {
+    if (item.supplier_no == 1234 && item.comp_no == 17) has_1234_17 = true;
+  }
+  if (!has_1234_17) {
+    s.stock.push_back(StockRecord{1234, 17, 100000 + 234 * 100 + 17});
+  }
+
+  // Discounts: every stock item has a purchasing condition with discount
+  // in {0, 5, 10, 15}.
+  for (const StockRecord& item : s.stock) {
+    DiscountRecord d;
+    d.comp_no = item.comp_no;
+    d.supplier_no = item.supplier_no;
+    d.discount = static_cast<int32_t>(rng.Uniform(0, 3)) * 5;
+    s.discounts.push_back(d);
+  }
+
+  return s;
+}
+
+}  // namespace fedflow::appsys

@@ -1,0 +1,69 @@
+// Deterministic synthetic enterprise dataset shared (conceptually) by the
+// three application systems. The paper used real departmental systems; the
+// generator reproduces the same referential structure: suppliers with quality
+// and reliability ratings, components with a bill of material, stock items
+// and purchasing discounts.
+#ifndef FEDFLOW_APPSYS_DATASET_H_
+#define FEDFLOW_APPSYS_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedflow::appsys {
+
+/// Dataset shape knobs. Defaults match the paper-scale purchasing scenario.
+struct ScenarioConfig {
+  int num_suppliers = 8;     ///< supplier numbers 1001..1000+n, plus 1234
+  int num_components = 50;   ///< component numbers 1..n
+  uint64_t seed = 42;        ///< drives ratings / discounts / stock levels
+};
+
+/// One supplier of the purchasing scenario.
+struct SupplierRecord {
+  int32_t supplier_no = 0;
+  std::string name;
+  int32_t quality = 0;      ///< 1..10, owned by the stock-keeping system
+  int32_t reliability = 0;  ///< 1..10, owned by the purchasing system
+};
+
+/// One component of the product data management system.
+struct ComponentRecord {
+  int32_t comp_no = 0;
+  std::string name;
+  std::vector<int32_t> sub_components;  ///< bill of material
+};
+
+/// One stock item (stock-keeping system).
+struct StockRecord {
+  int32_t supplier_no = 0;
+  int32_t comp_no = 0;
+  int32_t number = 0;  ///< stock-keeping number
+};
+
+/// One purchasing condition (purchasing system).
+struct DiscountRecord {
+  int32_t comp_no = 0;
+  int32_t supplier_no = 0;
+  int32_t discount = 0;  ///< percent: 0, 5, 10, 15
+};
+
+/// The generated dataset. Each application system copies only its own slice
+/// into its private store (the systems do not share state at runtime).
+struct Scenario {
+  ScenarioConfig config;
+  std::vector<SupplierRecord> suppliers;
+  std::vector<ComponentRecord> components;
+  std::vector<StockRecord> stock;
+  std::vector<DiscountRecord> discounts;
+};
+
+/// Generates the scenario deterministically from `config`. Guarantees the
+/// fixtures the paper's examples rely on: supplier 1234 exists ("Stark"),
+/// component "brakepad" exists, every supplier stocks several components,
+/// and the bill of material is acyclic.
+Scenario GenerateScenario(const ScenarioConfig& config = {});
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_DATASET_H_

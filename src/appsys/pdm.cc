@@ -1,0 +1,66 @@
+#include "appsys/pdm.h"
+
+#include "common/strings.h"
+
+namespace fedflow::appsys {
+
+PdmSystem::PdmSystem(const Scenario& scenario) : AppSystem("pdm") {
+  for (const ComponentRecord& c : scenario.components) {
+    comp_by_name_[ToUpper(c.name)] = c.comp_no;
+    comp_name_[c.comp_no] = c.name;
+    bom_[c.comp_no] = c.sub_components;
+  }
+
+  LocalFunction get_no;
+  get_no.name = "GetCompNo";
+  get_no.params = {Column{"CompName", DataType::kVarchar}};
+  get_no.result_schema.AddColumn("No", DataType::kInt);
+  get_no.base_cost_us = 300;
+  get_no.body = [this, schema = get_no.result_schema](
+                    const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = comp_by_name_.find(ToUpper(args[0].AsVarchar()));
+    if (it != comp_by_name_.end()) {
+      out.AppendRowUnchecked({Value::Int(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_no));
+
+  LocalFunction get_name;
+  get_name.name = "GetCompName";
+  get_name.params = {Column{"CompNo", DataType::kInt}};
+  get_name.result_schema.AddColumn("CompName", DataType::kVarchar);
+  get_name.base_cost_us = 300;
+  get_name.body = [this, schema = get_name.result_schema](
+                      const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = comp_name_.find(args[0].AsInt());
+    if (it != comp_name_.end()) {
+      out.AppendRowUnchecked({Value::Varchar(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_name));
+
+  LocalFunction get_sub;
+  get_sub.name = "GetSubCompNo";
+  get_sub.params = {Column{"CompNo", DataType::kInt}};
+  get_sub.result_schema.AddColumn("SubCompNo", DataType::kInt);
+  get_sub.base_cost_us = 500;
+  get_sub.per_row_cost_us = 10;
+  get_sub.body = [this, schema = get_sub.result_schema](
+                     const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = bom_.find(args[0].AsInt());
+    if (it != bom_.end()) {
+      for (int32_t sub : it->second) {
+        out.AppendRowUnchecked({Value::Int(sub)});
+      }
+    }
+    return out;
+  };
+  (void)Register(std::move(get_sub));
+}
+
+}  // namespace fedflow::appsys

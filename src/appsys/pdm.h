@@ -1,0 +1,31 @@
+// The product data management system: component master data and the bill of
+// material. Function-only access.
+#ifndef FEDFLOW_APPSYS_PDM_H_
+#define FEDFLOW_APPSYS_PDM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "appsys/appsystem.h"
+#include "appsys/dataset.h"
+
+namespace fedflow::appsys {
+
+/// Functions:
+///   GetCompNo(CompName VARCHAR) -> (No INT)
+///   GetCompName(CompNo INT)     -> (CompName VARCHAR)
+///   GetSubCompNo(CompNo INT)    -> (SubCompNo INT)*  (bill of material)
+class PdmSystem : public AppSystem {
+ public:
+  explicit PdmSystem(const Scenario& scenario);
+
+ private:
+  std::map<std::string, int32_t> comp_by_name_;
+  std::map<int32_t, std::string> comp_name_;
+  std::map<int32_t, std::vector<int32_t>> bom_;
+};
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_PDM_H_

@@ -1,0 +1,120 @@
+#include "appsys/purchasing.h"
+
+#include "common/strings.h"
+
+namespace fedflow::appsys {
+
+std::string PurchasingSystem::Decide(int32_t grade, int32_t comp_no) {
+  (void)comp_no;
+  return grade >= 5 ? "BUY" : "REJECT";
+}
+
+PurchasingSystem::PurchasingSystem(const Scenario& scenario)
+    : AppSystem("purchasing") {
+  for (const SupplierRecord& s : scenario.suppliers) {
+    supplier_by_name_[ToUpper(s.name)] = s.supplier_no;
+    supplier_name_[s.supplier_no] = s.name;
+    reliability_[s.supplier_no] = s.reliability;
+  }
+  discounts_ = scenario.discounts;
+
+  LocalFunction get_no;
+  get_no.name = "GetSupplierNo";
+  get_no.params = {Column{"SupplierName", DataType::kVarchar}};
+  get_no.result_schema.AddColumn("SupplierNo", DataType::kInt);
+  get_no.base_cost_us = 300;
+  get_no.body = [this, schema = get_no.result_schema](
+                    const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = supplier_by_name_.find(ToUpper(args[0].AsVarchar()));
+    if (it != supplier_by_name_.end()) {
+      out.AppendRowUnchecked({Value::Int(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_no));
+
+  LocalFunction get_name;
+  get_name.name = "GetSupplierName";
+  get_name.params = {Column{"SupplierNo", DataType::kInt}};
+  get_name.result_schema.AddColumn("SupplierName", DataType::kVarchar);
+  get_name.base_cost_us = 300;
+  get_name.body = [this, schema = get_name.result_schema](
+                      const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = supplier_name_.find(args[0].AsInt());
+    if (it != supplier_name_.end()) {
+      out.AppendRowUnchecked({Value::Varchar(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_name));
+
+  LocalFunction get_relia;
+  get_relia.name = "GetReliability";
+  get_relia.params = {Column{"SupplierNo", DataType::kInt}};
+  get_relia.result_schema.AddColumn("Relia", DataType::kInt);
+  get_relia.base_cost_us = 350;
+  get_relia.body = [this, schema = get_relia.result_schema](
+                       const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = reliability_.find(args[0].AsInt());
+    if (it != reliability_.end()) {
+      out.AppendRowUnchecked({Value::Int(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_relia));
+
+  LocalFunction get_disc;
+  get_disc.name = "GetCompSupp4Discount";
+  get_disc.params = {Column{"Discount", DataType::kInt}};
+  get_disc.result_schema.AddColumn("CompNo", DataType::kInt);
+  get_disc.result_schema.AddColumn("SupplierNo", DataType::kInt);
+  get_disc.base_cost_us = 600;
+  get_disc.per_row_cost_us = 10;
+  get_disc.body = [this, schema = get_disc.result_schema](
+                      const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    for (const DiscountRecord& d : discounts_) {
+      if (d.discount >= args[0].AsInt()) {
+        out.AppendRowUnchecked(
+            {Value::Int(d.comp_no), Value::Int(d.supplier_no)});
+      }
+    }
+    return out;
+  };
+  (void)Register(std::move(get_disc));
+
+  LocalFunction get_grade;
+  get_grade.name = "GetGrade";
+  get_grade.params = {Column{"Qual", DataType::kInt},
+                      Column{"Relia", DataType::kInt}};
+  get_grade.result_schema.AddColumn("Grade", DataType::kInt);
+  get_grade.base_cost_us = 450;
+  get_grade.body = [schema = get_grade.result_schema](
+                       const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    out.AppendRowUnchecked(
+        {Value::Int((args[0].AsInt() + args[1].AsInt()) / 2)});
+    return out;
+  };
+  (void)Register(std::move(get_grade));
+
+  LocalFunction decide;
+  decide.name = "DecidePurchase";
+  decide.params = {Column{"Grade", DataType::kInt},
+                   Column{"CompNo", DataType::kInt}};
+  decide.result_schema.AddColumn("Answer", DataType::kVarchar);
+  decide.base_cost_us = 800;  // the expensive decision-support call
+  decide.body = [schema = decide.result_schema](
+                    const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    out.AppendRowUnchecked(
+        {Value::Varchar(Decide(args[0].AsInt(), args[1].AsInt()))});
+    return out;
+  };
+  (void)Register(std::move(decide));
+}
+
+}  // namespace fedflow::appsys

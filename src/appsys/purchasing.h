@@ -1,0 +1,40 @@
+// The purchasing system: suppliers, reliability ratings, purchasing
+// conditions (discounts), and the decision support functions of the paper's
+// motivating scenario. Function-only access.
+#ifndef FEDFLOW_APPSYS_PURCHASING_H_
+#define FEDFLOW_APPSYS_PURCHASING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "appsys/appsystem.h"
+#include "appsys/dataset.h"
+
+namespace fedflow::appsys {
+
+/// Functions:
+///   GetSupplierNo(SupplierName VARCHAR)  -> (SupplierNo INT)
+///   GetSupplierName(SupplierNo INT)      -> (SupplierName VARCHAR)
+///   GetReliability(SupplierNo INT)       -> (Relia INT)
+///   GetCompSupp4Discount(Discount INT)   -> (CompNo INT, SupplierNo INT)*
+///   GetGrade(Qual INT, Relia INT)        -> (Grade INT)
+///   DecidePurchase(Grade INT, CompNo INT)-> (Answer VARCHAR)
+class PurchasingSystem : public AppSystem {
+ public:
+  explicit PurchasingSystem(const Scenario& scenario);
+
+  /// The decision rule (exposed so tests can assert against the oracle):
+  /// BUY when grade >= 5, REJECT otherwise.
+  static std::string Decide(int32_t grade, int32_t comp_no);
+
+ private:
+  std::map<std::string, int32_t> supplier_by_name_;
+  std::map<int32_t, std::string> supplier_name_;
+  std::map<int32_t, int32_t> reliability_;
+  std::vector<DiscountRecord> discounts_;
+};
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_PURCHASING_H_

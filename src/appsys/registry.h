@@ -1,0 +1,49 @@
+// Registry of application systems reachable from the integration server.
+#ifndef FEDFLOW_APPSYS_REGISTRY_H_
+#define FEDFLOW_APPSYS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appsys/appsystem.h"
+#include "common/strings.h"
+
+namespace fedflow::appsys {
+
+/// Owns the application systems of one deployment, keyed by system name.
+class AppSystemRegistry {
+ public:
+  Status Add(std::shared_ptr<AppSystem> system) {
+    std::string key = ToUpper(system->name());
+    if (systems_.count(key) > 0) {
+      return Status::AlreadyExists("application system already registered: " +
+                                   system->name());
+    }
+    systems_.emplace(std::move(key), std::move(system));
+    return Status::OK();
+  }
+
+  Result<AppSystem*> Get(const std::string& name) const {
+    auto it = systems_.find(ToUpper(name));
+    if (it == systems_.end()) {
+      return Status::NotFound("application system not found: " + name);
+    }
+    return it->second.get();
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(systems_.size());
+    for (const auto& [key, sys] : systems_) names.push_back(sys->name());
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<AppSystem>> systems_;
+};
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_REGISTRY_H_

@@ -1,0 +1,69 @@
+#include "appsys/stockkeeping.h"
+
+namespace fedflow::appsys {
+
+StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
+    : AppSystem("stock") {
+  for (const SupplierRecord& s : scenario.suppliers) {
+    quality_[s.supplier_no] = s.quality;
+  }
+  for (const StockRecord& item : scenario.stock) {
+    stock_[{item.supplier_no, item.comp_no}] = item.number;
+    supp_comps_[item.supplier_no].push_back(item.comp_no);
+  }
+
+  LocalFunction get_quality;
+  get_quality.name = "GetQuality";
+  get_quality.params = {Column{"SupplierNo", DataType::kInt}};
+  get_quality.result_schema.AddColumn("Qual", DataType::kInt);
+  get_quality.base_cost_us = 350;
+  get_quality.body = [this,
+                      schema = get_quality.result_schema](
+                         const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = quality_.find(args[0].AsInt());
+    if (it != quality_.end()) {
+      out.AppendRowUnchecked({Value::Int(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_quality));
+
+  LocalFunction get_number;
+  get_number.name = "GetNumber";
+  get_number.params = {Column{"SupplierNo", DataType::kInt},
+                       Column{"CompNo", DataType::kInt}};
+  get_number.result_schema.AddColumn("Number", DataType::kInt);
+  get_number.base_cost_us = 400;
+  get_number.body = [this, schema = get_number.result_schema](
+                        const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = stock_.find({args[0].AsInt(), args[1].AsInt()});
+    if (it != stock_.end()) {
+      out.AppendRowUnchecked({Value::Int(it->second)});
+    }
+    return out;
+  };
+  (void)Register(std::move(get_number));
+
+  LocalFunction get_supp_comps;
+  get_supp_comps.name = "GetSuppComps";
+  get_supp_comps.params = {Column{"SupplierNo", DataType::kInt}};
+  get_supp_comps.result_schema.AddColumn("CompNo", DataType::kInt);
+  get_supp_comps.base_cost_us = 500;
+  get_supp_comps.per_row_cost_us = 10;
+  get_supp_comps.body = [this, schema = get_supp_comps.result_schema](
+                            const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    auto it = supp_comps_.find(args[0].AsInt());
+    if (it != supp_comps_.end()) {
+      for (int32_t comp : it->second) {
+        out.AppendRowUnchecked({Value::Int(comp)});
+      }
+    }
+    return out;
+  };
+  (void)Register(std::move(get_supp_comps));
+}
+
+}  // namespace fedflow::appsys

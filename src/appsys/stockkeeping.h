@@ -1,0 +1,32 @@
+// The stock-keeping system: components in stock, the corresponding supplier,
+// and supplier quality ratings (paper §3). Function-only access.
+#ifndef FEDFLOW_APPSYS_STOCKKEEPING_H_
+#define FEDFLOW_APPSYS_STOCKKEEPING_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "appsys/appsystem.h"
+#include "appsys/dataset.h"
+
+namespace fedflow::appsys {
+
+/// Functions:
+///   GetQuality(SupplierNo INT)            -> (Qual INT)
+///   GetNumber(SupplierNo INT, CompNo INT) -> (Number INT)
+///   GetSuppComps(SupplierNo INT)          -> (CompNo INT)*  (table-valued)
+class StockKeepingSystem : public AppSystem {
+ public:
+  explicit StockKeepingSystem(const Scenario& scenario);
+
+ private:
+  // Private embedded store — invisible to the FDBS by design.
+  std::map<int32_t, int32_t> quality_;                     // supplier -> qual
+  std::map<std::pair<int32_t, int32_t>, int32_t> stock_;   // (supp,comp) -> no
+  std::map<int32_t, std::vector<int32_t>> supp_comps_;     // supp -> comps
+};
+
+}  // namespace fedflow::appsys
+
+#endif  // FEDFLOW_APPSYS_STOCKKEEPING_H_

@@ -1,0 +1,65 @@
+// Result<T>: value-or-Status, the return type of fallible fedflow operations.
+#ifndef FEDFLOW_COMMON_RESULT_H_
+#define FEDFLOW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fedflow {
+
+/// Holds either a T (when ok()) or a non-OK Status. Modeled on
+/// arrow::Result. Constructing from an OK status is a programming error and
+/// is converted to an internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status; OK when the result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_RESULT_H_

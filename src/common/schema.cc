@@ -1,0 +1,46 @@
+#include "common/schema.h"
+
+#include "common/strings.h"
+
+namespace fedflow {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column name: " + name);
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("column not found: " + name + " in {" +
+                            ToString() + "}");
+  }
+  return *found;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.name + " " + DataTypeName(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace fedflow

@@ -1,0 +1,63 @@
+// Relational schema: ordered, typed, named columns.
+#ifndef FEDFLOW_COMMON_SCHEMA_H_
+#define FEDFLOW_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace fedflow {
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  friend bool operator==(const Column& a, const Column& b) {
+    return a.type == b.type && a.name == b.name;
+  }
+};
+
+/// An ordered list of columns. Column names compare case-insensitively, as in
+/// SQL. Duplicate names are allowed in intermediate results (joins) but
+/// unqualified lookup of a duplicate is rejected as ambiguous.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back(Column{std::move(name), type});
+  }
+
+  /// Index of the column with `name` (case-insensitive); nullopt if absent,
+  /// error if ambiguous is distinguished by FindColumn.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Resolves `name`; NotFound when absent, InvalidArgument when ambiguous.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  /// Schema of `this` followed by all columns of `other` (join output).
+  Schema Concat(const Schema& other) const;
+
+  /// "name TYPE, name TYPE, ..." — used in error messages and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_SCHEMA_H_

@@ -1,0 +1,102 @@
+// Status-based error handling, following the Arrow/RocksDB idiom: public APIs
+// return Status (or Result<T>) instead of throwing across module boundaries.
+#ifndef FEDFLOW_COMMON_STATUS_H_
+#define FEDFLOW_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fedflow {
+
+/// Broad error class of a Status. Kept deliberately small; the human-readable
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed something malformed (bad SQL, bad spec)
+  kNotFound,         ///< unknown table / function / process / field
+  kAlreadyExists,    ///< duplicate registration
+  kUnsupported,      ///< valid request the component cannot express
+                     ///< (e.g. cyclic mapping in the UDTF coupling)
+  kTypeError,        ///< value of the wrong data type
+  kExecutionError,   ///< runtime failure while evaluating / navigating
+  kInternal,         ///< invariant violation inside fedflow itself
+};
+
+/// Returns a stable lower-case name for a status code ("ok", "not found", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: a code plus a message. A default-constructed
+/// Status is OK. Statuses are cheap to copy and compare.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context; no-op on OK statuses.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define FEDFLOW_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::fedflow::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// otherwise returns the error status. `lhs` may include a declaration.
+#define FEDFLOW_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  FEDFLOW_ASSIGN_OR_RETURN_IMPL(                               \
+      FEDFLOW_CONCAT_(_res_, __LINE__), lhs, rexpr)
+#define FEDFLOW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueUnsafe();
+#define FEDFLOW_CONCAT_(a, b) FEDFLOW_CONCAT_IMPL_(a, b)
+#define FEDFLOW_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared across fedflow.
+#ifndef FEDFLOW_COMMON_STRINGS_H_
+#define FEDFLOW_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace fedflow {
+
+/// ASCII upper-casing (SQL identifiers are case-insensitive).
+std::string ToUpper(const std::string& s);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on character `sep`; no empty-part suppression.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Case-insensitive ASCII equality (for SQL keywords and identifiers).
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// SQL LIKE matching: '%' matches any sequence, '_' any single character;
+/// matching is case-sensitive, as in SQL.
+bool SqlLike(const std::string& text, const std::string& pattern);
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_STRINGS_H_

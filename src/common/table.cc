@@ -1,0 +1,105 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fedflow {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema (" +
+        schema_.ToString() + ")");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      FEDFLOW_ASSIGN_OR_RETURN(row[i], row[i].CastTo(schema_.column(i).type));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::At(size_t row, size_t col) const {
+  if (row >= rows_.size() || col >= schema_.num_columns()) {
+    return Status::InvalidArgument("table index out of range");
+  }
+  return rows_[row][col];
+}
+
+Result<Value> Table::ScalarAt00() const {
+  if (rows_.empty() || schema_.num_columns() == 0) {
+    return Status::ExecutionError("expected a scalar result, got empty table");
+  }
+  return rows_[0][0];
+}
+
+std::string Table::ToString() const {
+  // Compute column widths.
+  std::vector<size_t> width(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    width[c] = schema_.column(c).name.size();
+  }
+  cells.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (size_t c = 0; c < r.size(); ++c) {
+      line.push_back(r[c].ToString());
+      width[c] = std::max(width[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (size_t c = 0; c < width.size(); ++c) {
+    const std::string& n = schema_.column(c).name;
+    os << ' ' << n << std::string(width[c] - n.size(), ' ') << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& line : cells) {
+    os << '|';
+    for (size_t c = 0; c < line.size(); ++c) {
+      os << ' ' << line[c] << std::string(width[c] - line[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  os << rows_.size() << " row(s)\n";
+  return os.str();
+}
+
+bool Table::SameRowsAnyOrder(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  auto key = [](const Row& r) {
+    std::string k;
+    for (const Value& v : r) {
+      k += v.ToString();
+      k += '\x1f';
+    }
+    return k;
+  };
+  std::vector<std::string> ka, kb;
+  ka.reserve(a.num_rows());
+  kb.reserve(b.num_rows());
+  for (const Row& r : a.rows()) ka.push_back(key(r));
+  for (const Row& r : b.rows()) kb.push_back(key(r));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace fedflow

@@ -1,0 +1,67 @@
+// Row and Table: the tabular result representation used throughout fedflow
+// (FDBS results, UDTF results, workflow output containers).
+#ifndef FEDFLOW_COMMON_TABLE_H_
+#define FEDFLOW_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace fedflow {
+
+/// One tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// A materialized relation: schema plus rows. Tables are value types and are
+/// used both as base-table storage and as (intermediate) query results.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row after checking arity and coercing each value to the
+  /// column type (NULLs pass through).
+  Status AppendRow(Row row);
+
+  /// Appends without checking — used by operators that guarantee shape.
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Value at (row, col); bounds-checked.
+  Result<Value> At(size_t row, size_t col) const;
+
+  /// Convenience for single-value results: the value at (0, 0).
+  /// ExecutionError when the table is not exactly 1x1... relaxed: returns
+  /// the first value of the first row; error when empty.
+  Result<Value> ScalarAt00() const;
+
+  /// Renders an ASCII table (header + rows), used by examples and benches.
+  std::string ToString() const;
+
+  /// Structural equality including row order.
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.schema_ == b.schema_ && a.rows_ == b.rows_;
+  }
+
+  /// True when both tables contain the same multiset of rows (order
+  /// insensitive) over equal schemas.
+  static bool SameRowsAnyOrder(const Table& a, const Table& b);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_TABLE_H_

@@ -1,0 +1,43 @@
+// Fixed-size worker pool used by the workflow engine to really execute
+// parallel activities concurrently (virtual time is tracked separately).
+#ifndef FEDFLOW_COMMON_THREAD_POOL_H_
+#define FEDFLOW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedflow {
+
+/// A minimal fixed-size thread pool. Tasks are plain callables; completion is
+/// coordinated by the caller (the workflow navigator keeps its own counts).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_THREAD_POOL_H_

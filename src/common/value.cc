@@ -1,0 +1,242 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace fedflow {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kInt:
+      return "INT";
+    case DataType::kBigInt:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kVarchar:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  std::string upper = ToUpper(name);
+  if (upper == "BOOLEAN" || upper == "BOOL") return DataType::kBool;
+  if (upper == "INT" || upper == "INTEGER") return DataType::kInt;
+  if (upper == "BIGINT" || upper == "LONG") return DataType::kBigInt;
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    return DataType::kDouble;
+  }
+  if (upper == "VARCHAR" || upper == "STRING" || upper == "CHAR") {
+    return DataType::kVarchar;
+  }
+  return Status::NotFound("unknown data type: " + name);
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt;
+    case 3:
+      return DataType::kBigInt;
+    case 4:
+      return DataType::kDouble;
+    case 5:
+      return DataType::kVarchar;
+  }
+  return DataType::kNull;
+}
+
+Result<int64_t> Value::ToInt64() const {
+  switch (type()) {
+    case DataType::kInt:
+      return static_cast<int64_t>(AsInt());
+    case DataType::kBigInt:
+      return AsBigInt();
+    case DataType::kBool:
+      return static_cast<int64_t>(AsBool());
+    case DataType::kDouble:
+      return static_cast<int64_t>(AsDouble());
+    default:
+      return Status::TypeError("cannot convert " +
+                               std::string(DataTypeName(type())) +
+                               " to integer");
+  }
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case DataType::kInt:
+      return static_cast<double>(AsInt());
+    case DataType::kBigInt:
+      return static_cast<double>(AsBigInt());
+    case DataType::kDouble:
+      return AsDouble();
+    case DataType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return Status::TypeError("cannot convert " +
+                               std::string(DataTypeName(type())) +
+                               " to double");
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case DataType::kInt:
+      return std::to_string(AsInt());
+    case DataType::kBigInt:
+      return std::to_string(AsBigInt());
+    case DataType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case DataType::kVarchar:
+      return AsVarchar();
+  }
+  return "NULL";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type() == target) return *this;
+  switch (target) {
+    case DataType::kNull:
+      return Status::TypeError("cannot cast to NULL type");
+    case DataType::kBool: {
+      FEDFLOW_ASSIGN_OR_RETURN(int64_t v, ToInt64());
+      return Value::Bool(v != 0);
+    }
+    case DataType::kInt: {
+      if (type() == DataType::kVarchar) {
+        char* end = nullptr;
+        const std::string& s = AsVarchar();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0') {
+          return Status::TypeError("cannot cast '" + s + "' to INT");
+        }
+        if (v < std::numeric_limits<int32_t>::min() ||
+            v > std::numeric_limits<int32_t>::max()) {
+          return Status::TypeError("INT overflow casting '" + s + "'");
+        }
+        return Value::Int(static_cast<int32_t>(v));
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(int64_t v, ToInt64());
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        return Status::TypeError("INT overflow casting " + ToString());
+      }
+      return Value::Int(static_cast<int32_t>(v));
+    }
+    case DataType::kBigInt: {
+      if (type() == DataType::kVarchar) {
+        char* end = nullptr;
+        const std::string& s = AsVarchar();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0') {
+          return Status::TypeError("cannot cast '" + s + "' to BIGINT");
+        }
+        return Value::BigInt(v);
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(int64_t v, ToInt64());
+      return Value::BigInt(v);
+    }
+    case DataType::kDouble: {
+      if (type() == DataType::kVarchar) {
+        char* end = nullptr;
+        const std::string& s = AsVarchar();
+        double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str() || *end != '\0') {
+          return Status::TypeError("cannot cast '" + s + "' to DOUBLE");
+        }
+        return Value::Double(v);
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(double v, ToDouble());
+      return Value::Double(v);
+    }
+    case DataType::kVarchar:
+      return Value::Varchar(ToString());
+  }
+  return Status::TypeError("bad cast target");
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  auto cmp = Compare(other);
+  return cmp.ok() && *cmp == 0;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  DataType a = type();
+  DataType b = other.type();
+  const bool a_num = a == DataType::kInt || a == DataType::kBigInt ||
+                     a == DataType::kDouble || a == DataType::kBool;
+  const bool b_num = b == DataType::kInt || b == DataType::kBigInt ||
+                     b == DataType::kDouble || b == DataType::kBool;
+  if (a_num && b_num) {
+    if (a == DataType::kDouble || b == DataType::kDouble) {
+      FEDFLOW_ASSIGN_OR_RETURN(double x, ToDouble());
+      FEDFLOW_ASSIGN_OR_RETURN(double y, other.ToDouble());
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t x, ToInt64());
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t y, other.ToInt64());
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a == DataType::kVarchar && b == DataType::kVarchar) {
+    int c = AsVarchar().compare(other.AsVarchar());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return Status::TypeError(std::string("cannot compare ") + DataTypeName(a) +
+                           " with " + DataTypeName(b));
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kBool:
+      return std::hash<bool>()(AsBool());
+    case DataType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case DataType::kBigInt:
+      return std::hash<int64_t>()(AsBigInt());
+    case DataType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like the equal integer so mixed-type equi-joins
+      // land in the same bucket.
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case DataType::kVarchar:
+      return std::hash<std::string>()(AsVarchar());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace fedflow

@@ -1,0 +1,96 @@
+// Dynamically typed SQL value: the unit of data exchanged between the FDBS,
+// the workflow containers, and the application-system functions.
+#ifndef FEDFLOW_COMMON_VALUE_H_
+#define FEDFLOW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fedflow {
+
+/// SQL data types supported across the federation.
+enum class DataType {
+  kNull = 0,   ///< the type of a bare NULL literal
+  kBool,       ///< BOOLEAN
+  kInt,        ///< INT (32 bit)
+  kBigInt,     ///< BIGINT (64 bit)
+  kDouble,     ///< DOUBLE
+  kVarchar,    ///< VARCHAR
+};
+
+/// Stable upper-case SQL name of a type ("INT", "VARCHAR", ...).
+const char* DataTypeName(DataType type);
+
+/// Parses an SQL type name (case-insensitive). kNotFound on unknown names.
+Result<DataType> DataTypeFromName(const std::string& name);
+
+/// A single SQL value. NULL is represented as a monostate regardless of the
+/// declared column type.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int32_t v) { return Value(Data(v)); }
+  static Value BigInt(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value Varchar(std::string v) { return Value(Data(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  DataType type() const;
+
+  /// Typed accessors; must only be called when type() matches.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int32_t AsInt() const { return std::get<int32_t>(data_); }
+  int64_t AsBigInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsVarchar() const { return std::get<std::string>(data_); }
+
+  /// Widens any numeric value to int64; TypeError for non-numerics and NULL.
+  Result<int64_t> ToInt64() const;
+  /// Widens any numeric value to double; TypeError for non-numerics and NULL.
+  Result<double> ToDouble() const;
+  /// Renders the value as a string (SQL literal style, NULL as "NULL").
+  std::string ToString() const;
+
+  /// Casts the value to `target`; NULL casts to NULL of any type. Numeric
+  /// narrowing that would overflow and unparsable strings are TypeErrors.
+  Result<Value> CastTo(DataType target) const;
+
+  /// SQL equality. NULL compares unequal to everything including NULL
+  /// (three-valued logic collapsed to false, as in a WHERE clause).
+  bool SqlEquals(const Value& other) const;
+
+  /// Total ordering used by ORDER BY and as the key order in joins:
+  /// NULL first, then by numeric/string value. TypeError on incomparable
+  /// types (e.g. VARCHAR vs INT).
+  Result<int> Compare(const Value& other) const;
+
+  /// Structural equality (used by tests): NULL == NULL, exact type match.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+  /// Hash usable for hash joins; structural (NULL hashes to a fixed seed).
+  size_t Hash() const;
+
+ private:
+  using Data =
+      std::variant<std::monostate, bool, int32_t, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_VALUE_H_

@@ -1,0 +1,59 @@
+#include "common/vclock.h"
+
+#include <sstream>
+
+namespace fedflow {
+
+void TimeBreakdown::Add(const std::string& name, VDuration dur) {
+  for (auto& e : entries_) {
+    if (e.first == name) {
+      e.second += dur;
+      return;
+    }
+  }
+  entries_.emplace_back(name, dur);
+}
+
+VDuration TimeBreakdown::Total() const {
+  VDuration total = 0;
+  for (const auto& e : entries_) total += e.second;
+  return total;
+}
+
+VDuration TimeBreakdown::Of(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.first == name) return e.second;
+  }
+  return 0;
+}
+
+std::vector<std::string> TimeBreakdown::StepNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.first);
+  return names;
+}
+
+void TimeBreakdown::Merge(const TimeBreakdown& other) {
+  for (const auto& e : other.entries_) Add(e.first, e.second);
+}
+
+int TimeBreakdown::PercentOf(const std::string& name) const {
+  VDuration total = Total();
+  if (total == 0) return 0;
+  return static_cast<int>((Of(name) * 100 + total / 2) / total);
+}
+
+std::string TimeBreakdown::ToString() const {
+  std::ostringstream os;
+  size_t width = 0;
+  for (const auto& e : entries_) width = std::max(width, e.first.size());
+  for (const auto& e : entries_) {
+    os << e.first << std::string(width - e.first.size() + 2, ' ')
+       << e.second << " us (" << PercentOf(e.first) << "%)\n";
+  }
+  os << "total" << std::string(width - 3, ' ') << Total() << " us\n";
+  return os.str();
+}
+
+}  // namespace fedflow

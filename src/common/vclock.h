@@ -1,0 +1,95 @@
+// Virtual time. All performance experiments in fedflow run on a deterministic
+// virtual clock: components charge modeled costs (microseconds) instead of
+// measuring wall time, so the reproduced figures are machine-independent.
+#ifndef FEDFLOW_COMMON_VCLOCK_H_
+#define FEDFLOW_COMMON_VCLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedflow {
+
+/// A span of virtual time in microseconds.
+using VDuration = int64_t;
+
+/// A point in virtual time (microseconds since call start).
+using VTime = int64_t;
+
+/// Accumulates virtual time per named step, preserving first-insertion order
+/// so reports read in execution order (the shape of the paper's Fig. 6).
+class TimeBreakdown {
+ public:
+  /// Adds `dur` to step `name` (creating the step on first use).
+  void Add(const std::string& name, VDuration dur);
+
+  /// Total of all steps (== elapsed time only for fully sequential calls).
+  VDuration Total() const;
+
+  /// Virtual time attributed to `name` (0 when absent).
+  VDuration Of(const std::string& name) const;
+
+  /// Step names in first-insertion order.
+  std::vector<std::string> StepNames() const;
+
+  /// (name, duration) pairs in first-insertion order.
+  const std::vector<std::pair<std::string, VDuration>>& entries() const {
+    return entries_;
+  }
+
+  /// Merges `other` into this breakdown.
+  void Merge(const TimeBreakdown& other);
+
+  void Clear() { entries_.clear(); }
+
+  /// Percentage of Total() attributed to `name`, rounded to nearest integer.
+  int PercentOf(const std::string& name) const;
+
+  /// Renders "step .... 1234 us (56%)" lines.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, VDuration>> entries_;
+};
+
+/// Per-call virtual clock. Sequential work advances the clock and is recorded
+/// in the breakdown; concurrent work (parallel workflow branches) is recorded
+/// as work in the breakdown while the clock advances to the max branch end,
+/// via AdvanceTo().
+class SimClock {
+ public:
+  VTime now() const { return now_; }
+  const TimeBreakdown& breakdown() const { return breakdown_; }
+  TimeBreakdown& mutable_breakdown() { return breakdown_; }
+
+  /// Sequential charge: advances the clock and records the step.
+  void Charge(const std::string& step, VDuration dur) {
+    now_ += dur;
+    breakdown_.Add(step, dur);
+  }
+
+  /// Records work without advancing the clock (parallel branches record
+  /// their work here; the navigator advances the clock with AdvanceTo).
+  void ChargeWork(const std::string& step, VDuration dur) {
+    breakdown_.Add(step, dur);
+  }
+
+  /// Moves the clock forward to `t` if t is later (join of parallel tokens).
+  void AdvanceTo(VTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() {
+    now_ = 0;
+    breakdown_.Clear();
+  }
+
+ private:
+  VTime now_ = 0;
+  TimeBreakdown breakdown_;
+};
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_VCLOCK_H_

@@ -1,0 +1,182 @@
+#include "fdbs/builtins.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "fdbs/catalog.h"
+
+namespace fedflow::fdbs {
+
+namespace {
+
+Status RegisterCast(Catalog* catalog, const std::string& name,
+                    DataType target) {
+  ScalarFunctionDef def;
+  def.name = name;
+  def.arity = 1;
+  def.fn = [target](const std::vector<Value>& args) -> Result<Value> {
+    return args[0].CastTo(target);
+  };
+  def.return_type = [target](const std::vector<DataType>&) { return target; };
+  return catalog->RegisterScalarFunction(std::move(def));
+}
+
+}  // namespace
+
+Status RegisterBuiltins(Catalog* catalog) {
+  // SQL cast functions, DB2 style: BIGINT(x), INT(x), DOUBLE(x), VARCHAR(x).
+  FEDFLOW_RETURN_NOT_OK(RegisterCast(catalog, "INT", DataType::kInt));
+  FEDFLOW_RETURN_NOT_OK(RegisterCast(catalog, "INTEGER", DataType::kInt));
+  FEDFLOW_RETURN_NOT_OK(RegisterCast(catalog, "BIGINT", DataType::kBigInt));
+  FEDFLOW_RETURN_NOT_OK(RegisterCast(catalog, "DOUBLE", DataType::kDouble));
+  FEDFLOW_RETURN_NOT_OK(RegisterCast(catalog, "VARCHAR", DataType::kVarchar));
+
+  ScalarFunctionDef upper;
+  upper.name = "UPPER";
+  upper.arity = 1;
+  upper.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null()) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(Value s, args[0].CastTo(DataType::kVarchar));
+    return Value::Varchar(ToUpper(s.AsVarchar()));
+  };
+  upper.return_type = [](const std::vector<DataType>&) {
+    return DataType::kVarchar;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(upper)));
+
+  ScalarFunctionDef lower;
+  lower.name = "LOWER";
+  lower.arity = 1;
+  lower.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null()) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(Value s, args[0].CastTo(DataType::kVarchar));
+    return Value::Varchar(ToLower(s.AsVarchar()));
+  };
+  lower.return_type = [](const std::vector<DataType>&) {
+    return DataType::kVarchar;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(lower)));
+
+  ScalarFunctionDef length;
+  length.name = "LENGTH";
+  length.arity = 1;
+  length.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null()) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(Value s, args[0].CastTo(DataType::kVarchar));
+    return Value::Int(static_cast<int32_t>(s.AsVarchar().size()));
+  };
+  length.return_type = [](const std::vector<DataType>&) {
+    return DataType::kInt;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(length)));
+
+  ScalarFunctionDef substr;
+  substr.name = "SUBSTR";
+  substr.arity = 3;
+  substr.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null() || args[1].is_null() || args[2].is_null()) {
+      return Value::Null();
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(Value s, args[0].CastTo(DataType::kVarchar));
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t start, args[1].ToInt64());
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t len, args[2].ToInt64());
+    const std::string& str = s.AsVarchar();
+    if (start < 1) start = 1;  // SQL is 1-based
+    if (static_cast<size_t>(start) > str.size() || len <= 0) {
+      return Value::Varchar("");
+    }
+    return Value::Varchar(str.substr(static_cast<size_t>(start - 1),
+                                     static_cast<size_t>(len)));
+  };
+  substr.return_type = [](const std::vector<DataType>&) {
+    return DataType::kVarchar;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(substr)));
+
+  ScalarFunctionDef abs_fn;
+  abs_fn.name = "ABS";
+  abs_fn.arity = 1;
+  abs_fn.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    const Value& v = args[0];
+    if (v.is_null()) return Value::Null();
+    switch (v.type()) {
+      case DataType::kInt:
+        return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+      case DataType::kBigInt:
+        return Value::BigInt(v.AsBigInt() < 0 ? -v.AsBigInt() : v.AsBigInt());
+      case DataType::kDouble:
+        return Value::Double(std::fabs(v.AsDouble()));
+      default:
+        return Status::TypeError("ABS requires a numeric argument");
+    }
+  };
+  abs_fn.return_type = [](const std::vector<DataType>& args) {
+    return args.empty() ? DataType::kNull : args[0];
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(abs_fn)));
+
+  ScalarFunctionDef round_fn;
+  round_fn.name = "ROUND";
+  round_fn.arity = 1;
+  round_fn.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null()) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(double d, args[0].ToDouble());
+    return Value::BigInt(static_cast<int64_t>(std::llround(d)));
+  };
+  round_fn.return_type = [](const std::vector<DataType>&) {
+    return DataType::kBigInt;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(round_fn)));
+
+  ScalarFunctionDef mod_fn;
+  mod_fn.name = "MOD";
+  mod_fn.arity = 2;
+  mod_fn.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t a, args[0].ToInt64());
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t b, args[1].ToInt64());
+    if (b == 0) return Status::ExecutionError("MOD by zero");
+    return Value::BigInt(a % b);
+  };
+  mod_fn.return_type = [](const std::vector<DataType>&) {
+    return DataType::kBigInt;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(mod_fn)));
+
+  ScalarFunctionDef coalesce;
+  coalesce.name = "COALESCE";
+  coalesce.arity = -1;
+  coalesce.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  };
+  coalesce.return_type = [](const std::vector<DataType>& args) {
+    for (DataType t : args) {
+      if (t != DataType::kNull) return t;
+    }
+    return DataType::kNull;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(coalesce)));
+
+  ScalarFunctionDef concat;
+  concat.name = "CONCAT";
+  concat.arity = -1;
+  concat.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      out += v.ToString();
+    }
+    return Value::Varchar(std::move(out));
+  };
+  concat.return_type = [](const std::vector<DataType>&) {
+    return DataType::kVarchar;
+  };
+  FEDFLOW_RETURN_NOT_OK(catalog->RegisterScalarFunction(std::move(concat)));
+
+  return Status::OK();
+}
+
+}  // namespace fedflow::fdbs

@@ -1,0 +1,17 @@
+// Built-in scalar functions: SQL casts (INT, BIGINT, DOUBLE, VARCHAR) — the
+// paper's "simple case" type conversions — plus common helpers.
+#ifndef FEDFLOW_FDBS_BUILTINS_H_
+#define FEDFLOW_FDBS_BUILTINS_H_
+
+#include "common/status.h"
+
+namespace fedflow::fdbs {
+
+class Catalog;
+
+/// Registers all built-in scalar functions into `catalog`.
+Status RegisterBuiltins(Catalog* catalog);
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_BUILTINS_H_

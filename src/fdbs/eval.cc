@@ -1,0 +1,455 @@
+#include "fdbs/eval.h"
+
+#include "common/strings.h"
+#include "fdbs/catalog.h"
+
+namespace fedflow::fdbs {
+
+using sql::BinaryExpr;
+using sql::BinaryOp;
+using sql::CaseExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+using sql::FunctionCallExpr;
+using sql::LiteralExpr;
+using sql::UnaryExpr;
+using sql::UnaryOp;
+
+std::optional<Value> ParamScope::Lookup(const std::string& qualifier,
+                                        const std::string& name) const {
+  if (!qualifier.empty() && !EqualsIgnoreCase(qualifier, function_name)) {
+    return std::nullopt;
+  }
+  for (const auto& [pname, value] : params) {
+    if (EqualsIgnoreCase(pname, name)) return value;
+  }
+  return std::nullopt;
+}
+
+Result<std::pair<int, int>> RowScope::Find(const std::string& qualifier,
+                                           const std::string& name) const {
+  auto visible = [this](size_t b) {
+    return mask_ == nullptr || (b < mask_->size() && (*mask_)[b]);
+  };
+  if (!qualifier.empty()) {
+    // Qualified: the qualifier may be a FROM alias or the enclosing SQL
+    // function's name (parameter reference).
+    for (size_t b = 0; b < bindings_.size(); ++b) {
+      if (!visible(b)) continue;
+      if (EqualsIgnoreCase(bindings_[b].alias, qualifier)) {
+        auto idx = bindings_[b].schema->IndexOf(name);
+        if (!idx.has_value()) {
+          return Status::NotFound("column " + name + " not found in " +
+                                  qualifier);
+        }
+        return std::make_pair(static_cast<int>(b), static_cast<int>(*idx));
+      }
+    }
+    if (params_ != nullptr && params_->Lookup(qualifier, name).has_value()) {
+      return std::make_pair(-1, 0);  // parameter
+    }
+    return Status::NotFound("unknown correlation name: " + qualifier);
+  }
+  // Unqualified: must be unique across visible bindings.
+  std::optional<std::pair<int, int>> found;
+  for (size_t b = 0; b < bindings_.size(); ++b) {
+    if (!visible(b)) continue;
+    auto idx = bindings_[b].schema->IndexOf(name);
+    if (idx.has_value()) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column reference: " + name);
+      }
+      found = std::make_pair(static_cast<int>(b), static_cast<int>(*idx));
+    }
+  }
+  if (found.has_value()) return *found;
+  if (params_ != nullptr && params_->Lookup("", name).has_value()) {
+    return std::make_pair(-1, 0);
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+Result<Value> RowScope::ResolveColumn(const std::string& qualifier,
+                                      const std::string& name) const {
+  FEDFLOW_ASSIGN_OR_RETURN(auto loc, Find(qualifier, name));
+  if (loc.first < 0) {
+    return *params_->Lookup(qualifier, name);
+  }
+  const Binding& b = bindings_[loc.first];
+  if (row_ == nullptr) {
+    return Status::Internal("RowScope has no current row");
+  }
+  size_t pos = b.offset + static_cast<size_t>(loc.second);
+  if (pos >= row_->size()) {
+    return Status::Internal("combined row too short for binding " + b.alias);
+  }
+  return (*row_)[pos];
+}
+
+Result<DataType> RowScope::ResolveColumnType(const std::string& qualifier,
+                                             const std::string& name) const {
+  FEDFLOW_ASSIGN_OR_RETURN(auto loc, Find(qualifier, name));
+  if (loc.first < 0) {
+    return params_->Lookup(qualifier, name)->type();
+  }
+  return bindings_[loc.first].schema->column(loc.second).type;
+}
+
+bool Evaluator::IsAggregateName(const std::string& name) {
+  return EqualsIgnoreCase(name, "COUNT") || EqualsIgnoreCase(name, "SUM") ||
+         EqualsIgnoreCase(name, "AVG") || EqualsIgnoreCase(name, "MIN") ||
+         EqualsIgnoreCase(name, "MAX");
+}
+
+bool Evaluator::ContainsAggregate(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return false;
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (IsAggregateName(call.name())) return true;
+      for (const auto& arg : call.args()) {
+        if (ContainsAggregate(*arg)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      return ContainsAggregate(*bin.left()) || ContainsAggregate(*bin.right());
+    }
+    case ExprKind::kUnary:
+      return ContainsAggregate(
+          *static_cast<const UnaryExpr&>(expr).operand());
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        if (ContainsAggregate(*b.condition) || ContainsAggregate(*b.value)) {
+          return true;
+        }
+      }
+      return case_expr.else_value() != nullptr &&
+             ContainsAggregate(*case_expr.else_value());
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Three-valued AND/OR. Values are TRUE / FALSE / NULL(unknown).
+Result<Value> ToTruth(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() == DataType::kBool) return v;
+  // Numerics coerce: nonzero is true (lenient, like many engines).
+  FEDFLOW_ASSIGN_OR_RETURN(int64_t n, v.ToInt64());
+  return Value::Bool(n != 0);
+}
+
+}  // namespace
+
+Result<Value> Evaluator::Eval(const Expr& expr, const RowScope& scope) const {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      return scope.ResolveColumn(ref.qualifier(), ref.name());
+    }
+    case ExprKind::kFunctionCall:
+      return EvalCall(static_cast<const FunctionCallExpr&>(expr), scope);
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(expr), scope);
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value cond, Eval(*b.condition, scope));
+        FEDFLOW_ASSIGN_OR_RETURN(Value truth, ToTruth(cond));
+        if (!truth.is_null() && truth.AsBool()) {
+          return Eval(*b.value, scope);
+        }
+      }
+      if (case_expr.else_value() != nullptr) {
+        return Eval(*case_expr.else_value(), scope);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      FEDFLOW_ASSIGN_OR_RETURN(Value v, Eval(*un.operand(), scope));
+      switch (un.op()) {
+        case UnaryOp::kNeg: {
+          if (v.is_null()) return Value::Null();
+          switch (v.type()) {
+            case DataType::kInt:
+              return Value::Int(-v.AsInt());
+            case DataType::kBigInt:
+              return Value::BigInt(-v.AsBigInt());
+            case DataType::kDouble:
+              return Value::Double(-v.AsDouble());
+            default:
+              return Status::TypeError("cannot negate " +
+                                       std::string(DataTypeName(v.type())));
+          }
+        }
+        case UnaryOp::kNot: {
+          FEDFLOW_ASSIGN_OR_RETURN(Value t, ToTruth(v));
+          if (t.is_null()) return Value::Null();
+          return Value::Bool(!t.AsBool());
+        }
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("bad unary op");
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<Value> Evaluator::EvalBinary(const BinaryExpr& expr,
+                                    const RowScope& scope) const {
+  const BinaryOp op = expr.op();
+  // AND/OR need three-valued logic and benefit from short-circuiting.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    FEDFLOW_ASSIGN_OR_RETURN(Value lv, Eval(*expr.left(), scope));
+    FEDFLOW_ASSIGN_OR_RETURN(Value lt, ToTruth(lv));
+    if (op == BinaryOp::kAnd && !lt.is_null() && !lt.AsBool()) {
+      return Value::Bool(false);
+    }
+    if (op == BinaryOp::kOr && !lt.is_null() && lt.AsBool()) {
+      return Value::Bool(true);
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(Value rv, Eval(*expr.right(), scope));
+    FEDFLOW_ASSIGN_OR_RETURN(Value rt, ToTruth(rv));
+    if (op == BinaryOp::kAnd) {
+      if (!rt.is_null() && !rt.AsBool()) return Value::Bool(false);
+      if (lt.is_null() || rt.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (!rt.is_null() && rt.AsBool()) return Value::Bool(true);
+    if (lt.is_null() || rt.is_null()) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  FEDFLOW_ASSIGN_OR_RETURN(Value lv, Eval(*expr.left(), scope));
+  FEDFLOW_ASSIGN_OR_RETURN(Value rv, Eval(*expr.right(), scope));
+
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      FEDFLOW_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
+      switch (op) {
+        case BinaryOp::kEq:
+          return Value::Bool(cmp == 0);
+        case BinaryOp::kNe:
+          return Value::Bool(cmp != 0);
+        case BinaryOp::kLt:
+          return Value::Bool(cmp < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(cmp > 0);
+        default:
+          return Value::Bool(cmp >= 0);
+      }
+    }
+    case BinaryOp::kConcat: {
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      return Value::Varchar(lv.ToString() + rv.ToString());
+    }
+    case BinaryOp::kLike: {
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      if (lv.type() != DataType::kVarchar ||
+          rv.type() != DataType::kVarchar) {
+        return Status::TypeError("LIKE requires VARCHAR operands");
+      }
+      return Value::Bool(SqlLike(lv.AsVarchar(), rv.AsVarchar()));
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      DataType target = PromoteNumeric(lv.type(), rv.type());
+      if (target == DataType::kDouble) {
+        FEDFLOW_ASSIGN_OR_RETURN(double a, lv.ToDouble());
+        FEDFLOW_ASSIGN_OR_RETURN(double b, rv.ToDouble());
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Double(a + b);
+          case BinaryOp::kSub:
+            return Value::Double(a - b);
+          case BinaryOp::kMul:
+            return Value::Double(a * b);
+          case BinaryOp::kDiv:
+            if (b == 0) return Status::ExecutionError("division by zero");
+            return Value::Double(a / b);
+          default:
+            return Status::TypeError("MOD requires integer operands");
+        }
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(int64_t a, lv.ToInt64());
+      FEDFLOW_ASSIGN_OR_RETURN(int64_t b, rv.ToInt64());
+      int64_t out;
+      switch (op) {
+        case BinaryOp::kAdd:
+          out = a + b;
+          break;
+        case BinaryOp::kSub:
+          out = a - b;
+          break;
+        case BinaryOp::kMul:
+          out = a * b;
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0) return Status::ExecutionError("division by zero");
+          out = a / b;
+          break;
+        default:
+          if (b == 0) return Status::ExecutionError("modulo by zero");
+          out = a % b;
+          break;
+      }
+      if (target == DataType::kInt && out >= INT32_MIN && out <= INT32_MAX) {
+        return Value::Int(static_cast<int32_t>(out));
+      }
+      return Value::BigInt(out);
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> Evaluator::EvalCall(const FunctionCallExpr& expr,
+                                  const RowScope& scope) const {
+  if (IsAggregateName(expr.name())) {
+    if (!agg_resolver_) {
+      return Status::InvalidArgument(
+          "aggregate function " + expr.name() +
+          " is not allowed in this context");
+    }
+    return agg_resolver_(expr);
+  }
+  if (catalog_ == nullptr) {
+    return Status::NotFound("no catalog to resolve function " + expr.name());
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(const ScalarFunctionDef* def,
+                           catalog_->GetScalarFunction(expr.name()));
+  if (def->arity >= 0 &&
+      static_cast<size_t>(def->arity) != expr.args().size()) {
+    return Status::InvalidArgument(
+        expr.name() + " expects " + std::to_string(def->arity) +
+        " argument(s), got " + std::to_string(expr.args().size()));
+  }
+  std::vector<Value> args;
+  args.reserve(expr.args().size());
+  for (const auto& arg : expr.args()) {
+    FEDFLOW_ASSIGN_OR_RETURN(Value v, Eval(*arg, scope));
+    args.push_back(std::move(v));
+  }
+  return def->fn(args);
+}
+
+Result<DataType> Evaluator::InferType(const Expr& expr,
+                                      const RowScope& scope) const {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value().type();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      return scope.ResolveColumnType(ref.qualifier(), ref.name());
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      std::vector<DataType> arg_types;
+      for (const auto& arg : call.args()) {
+        FEDFLOW_ASSIGN_OR_RETURN(DataType t, InferType(*arg, scope));
+        arg_types.push_back(t);
+      }
+      if (IsAggregateName(call.name())) {
+        if (EqualsIgnoreCase(call.name(), "COUNT")) return DataType::kBigInt;
+        if (EqualsIgnoreCase(call.name(), "AVG")) return DataType::kDouble;
+        if (EqualsIgnoreCase(call.name(), "SUM")) {
+          if (!arg_types.empty() && arg_types[0] == DataType::kDouble) {
+            return DataType::kDouble;
+          }
+          return DataType::kBigInt;
+        }
+        return arg_types.empty() ? DataType::kNull : arg_types[0];
+      }
+      if (catalog_ == nullptr) return DataType::kNull;
+      auto def = catalog_->GetScalarFunction(call.name());
+      if (!def.ok()) return def.status();
+      if ((*def)->return_type) return (*def)->return_type(arg_types);
+      return DataType::kNull;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      switch (bin.op()) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kLike:
+          return DataType::kBool;
+        case BinaryOp::kConcat:
+          return DataType::kVarchar;
+        default: {
+          FEDFLOW_ASSIGN_OR_RETURN(DataType lt, InferType(*bin.left(), scope));
+          FEDFLOW_ASSIGN_OR_RETURN(DataType rt,
+                                   InferType(*bin.right(), scope));
+          return PromoteNumeric(lt, rt);
+        }
+      }
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      switch (un.op()) {
+        case UnaryOp::kNeg:
+          return InferType(*un.operand(), scope);
+        case UnaryOp::kNot:
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull:
+          return DataType::kBool;
+      }
+      return DataType::kNull;
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        FEDFLOW_ASSIGN_OR_RETURN(DataType t, InferType(*b.value, scope));
+        if (t != DataType::kNull) return t;
+      }
+      if (case_expr.else_value() != nullptr) {
+        return InferType(*case_expr.else_value(), scope);
+      }
+      return DataType::kNull;
+    }
+  }
+  return DataType::kNull;
+}
+
+DataType PromoteNumeric(DataType a, DataType b) {
+  if (a == DataType::kDouble || b == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  if (a == DataType::kBigInt || b == DataType::kBigInt) {
+    return DataType::kBigInt;
+  }
+  return DataType::kInt;
+}
+
+}  // namespace fedflow::fdbs

@@ -1,0 +1,38 @@
+// Per-statement execution context threaded through the FDBS and into UDTFs.
+#ifndef FEDFLOW_FDBS_EXEC_CONTEXT_H_
+#define FEDFLOW_FDBS_EXEC_CONTEXT_H_
+
+#include "common/vclock.h"
+
+namespace fedflow::fdbs {
+
+class Database;
+
+/// Carried through planning and execution. The clock is optional: functional
+/// tests run without one; the performance experiments install a SimClock so
+/// every boundary crossing charges its modeled cost.
+struct ExecContext {
+  /// Virtual clock for cost accounting; may be null.
+  SimClock* clock = nullptr;
+
+  /// The database executing the statement (lets SQL-bodied functions run
+  /// their body and procedural UDTFs issue sub-queries).
+  Database* db = nullptr;
+
+  /// UDTF nesting depth; guards against runaway recursion through
+  /// function bodies referencing themselves.
+  int depth = 0;
+
+  /// Apply WHERE conjuncts as early as their referenced FROM items have
+  /// produced their columns (prunes intermediate results and lateral
+  /// function invocations). Safe for deterministic functions; disable to
+  /// compare plans.
+  bool predicate_pushdown = true;
+
+  /// Maximum allowed UDTF nesting depth.
+  static constexpr int kMaxDepth = 32;
+};
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_EXEC_CONTEXT_H_

@@ -1,0 +1,768 @@
+#include "fdbs/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/strings.h"
+#include "fdbs/catalog.h"
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+
+using sql::BinaryExpr;
+using sql::CaseExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::FunctionCallExpr;
+using sql::SelectItem;
+using sql::SelectStmt;
+using sql::TableRef;
+using sql::TableRefKind;
+using sql::UnaryExpr;
+
+namespace {
+
+/// Collects all column references in an expression tree.
+void CollectColumnRefs(const Expr& expr,
+                       std::vector<const ColumnRefExpr*>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef:
+      out->push_back(static_cast<const ColumnRefExpr*>(&expr));
+      return;
+    case ExprKind::kFunctionCall:
+      for (const auto& arg :
+           static_cast<const FunctionCallExpr&>(expr).args()) {
+        CollectColumnRefs(*arg, out);
+      }
+      return;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      CollectColumnRefs(*bin.left(), out);
+      CollectColumnRefs(*bin.right(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectColumnRefs(*static_cast<const UnaryExpr&>(expr).operand(), out);
+      return;
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        CollectColumnRefs(*b.condition, out);
+        CollectColumnRefs(*b.value, out);
+      }
+      if (case_expr.else_value() != nullptr) {
+        CollectColumnRefs(*case_expr.else_value(), out);
+      }
+      return;
+    }
+  }
+}
+
+/// Collects aggregate calls (COUNT/SUM/...) in an expression tree.
+void CollectAggregates(const Expr& expr,
+                       std::vector<const FunctionCallExpr*>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return;
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (Evaluator::IsAggregateName(call.name())) {
+        out->push_back(&call);
+        return;  // aggregates cannot nest
+      }
+      for (const auto& arg : call.args()) CollectAggregates(*arg, out);
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      CollectAggregates(*bin.left(), out);
+      CollectAggregates(*bin.right(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectAggregates(*static_cast<const UnaryExpr&>(expr).operand(), out);
+      return;
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        CollectAggregates(*b.condition, out);
+        CollectAggregates(*b.value, out);
+      }
+      if (case_expr.else_value() != nullptr) {
+        CollectAggregates(*case_expr.else_value(), out);
+      }
+      return;
+    }
+  }
+}
+
+/// Output column name for a select expression without an explicit alias.
+std::string DeriveName(const Expr& expr, size_t index) {
+  if (expr.kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(expr).name();
+  }
+  if (expr.kind() == ExprKind::kFunctionCall) {
+    return static_cast<const FunctionCallExpr&>(expr).name();
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+/// Comparator state for sorting with error capture.
+struct SortError {
+  Status status = Status::OK();
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op() == sql::BinaryOp::kAnd) {
+      SplitConjuncts(bin.left(), out);
+      SplitConjuncts(bin.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> SelectExecutor::LateralOrder(
+    const SelectStmt& stmt, const std::vector<const Schema*>& item_schemas) {
+  const size_t n = stmt.from.size();
+  // deps[k] = set of item indices item k's arguments reference.
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t k = 0; k < n; ++k) {
+    const TableRef& ref = stmt.from[k];
+    if (ref.kind != TableRefKind::kTableFunction) continue;
+    std::vector<const ColumnRefExpr*> refs;
+    for (const ExprPtr& arg : ref.args) CollectColumnRefs(*arg, &refs);
+    for (const ColumnRefExpr* cr : refs) {
+      if (!cr->qualifier().empty()) {
+        for (size_t j = 0; j < n; ++j) {
+          if (j == k) continue;
+          const std::string& alias =
+              stmt.from[j].alias.empty() ? stmt.from[j].name
+                                         : stmt.from[j].alias;
+          if (EqualsIgnoreCase(alias, cr->qualifier())) {
+            deps[k].push_back(j);
+            break;
+          }
+        }
+        // Qualifiers matching no FROM alias are parameter references of an
+        // enclosing SQL function; they impose no ordering.
+      } else {
+        // Unqualified: a dependency only when exactly one other item
+        // provides the column.
+        size_t hit = SIZE_MAX;
+        int count = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (j == k || item_schemas[j] == nullptr) continue;
+          if (item_schemas[j]->IndexOf(cr->name()).has_value()) {
+            hit = j;
+            ++count;
+          }
+        }
+        if (count == 1) deps[k].push_back(hit);
+      }
+    }
+  }
+  // Stable Kahn's algorithm: among ready items pick the lowest original
+  // index, preserving DB2's documented left-to-right processing where the
+  // dependency structure allows it.
+  std::vector<int> pending(n, 0);
+  for (size_t k = 0; k < n; ++k) {
+    std::sort(deps[k].begin(), deps[k].end());
+    deps[k].erase(std::unique(deps[k].begin(), deps[k].end()), deps[k].end());
+    pending[k] = static_cast<int>(deps[k].size());
+  }
+  std::vector<size_t> order;
+  std::vector<bool> done(n, false);
+  order.reserve(n);
+  for (size_t round = 0; round < n; ++round) {
+    size_t chosen = SIZE_MAX;
+    for (size_t k = 0; k < n; ++k) {
+      if (!done[k] && pending[k] == 0) {
+        chosen = k;
+        break;
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      return Status::InvalidArgument(
+          "cyclic dependency between FROM-clause table functions; "
+          "the UDTF approach cannot express cyclic mappings");
+    }
+    done[chosen] = true;
+    order.push_back(chosen);
+    for (size_t k = 0; k < n; ++k) {
+      if (done[k]) continue;
+      for (size_t d : deps[k]) {
+        if (d == chosen) --pending[k];
+      }
+    }
+  }
+  return order;
+}
+
+Result<Table> SelectExecutor::ExecuteFromChain(
+    const SelectStmt& stmt, RowScope* scope, Schema* combined_schema,
+    std::vector<sql::ExprPtr>* remaining_predicates) {
+  Catalog& catalog = db_->catalog();
+  const size_t n = stmt.from.size();
+
+  struct Item {
+    const Schema* schema = nullptr;
+    std::string alias;
+    size_t offset = 0;
+    const Table* base = nullptr;     // base table items
+    TableFunction* fn = nullptr;     // table-function items
+  };
+  std::vector<Item> items(n);
+  std::vector<const Schema*> schemas(n, nullptr);
+  // Materialized results of external-table scans ("SQL subqueries" shipped
+  // to remote sources); kept alive for the duration of the chain.
+  std::vector<std::unique_ptr<Table>> external_data;
+  size_t width = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const TableRef& ref = stmt.from[k];
+    Item& item = items[k];
+    item.alias = ref.alias.empty() ? ref.name : ref.alias;
+    if (ref.kind == TableRefKind::kBaseTable) {
+      if (!catalog.HasTable(ref.name) && catalog.HasExternalTable(ref.name)) {
+        FEDFLOW_ASSIGN_OR_RETURN(const ExternalTable* ext,
+                                 catalog.GetExternalTable(ref.name));
+        Result<Table> fetched = ext->provider(*ctx_);
+        if (!fetched.ok()) {
+          return fetched.status().WithContext("fetching external table " +
+                                              ref.name);
+        }
+        if (!(fetched->schema() == ext->schema)) {
+          return Status::Internal("external table " + ref.name +
+                                  " returned a mismatching schema");
+        }
+        external_data.push_back(std::make_unique<Table>(std::move(*fetched)));
+        item.base = external_data.back().get();
+        item.schema = &ext->schema;
+        schemas[k] = item.schema;
+        item.offset = width;
+        width += item.schema->num_columns();
+        continue;
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(const Table* t,
+                               catalog.GetTableConst(ref.name));
+      item.base = t;
+      item.schema = &t->schema();
+    } else {
+      FEDFLOW_ASSIGN_OR_RETURN(TableFunction * fn,
+                               catalog.GetTableFunction(ref.name));
+      if (fn->params().size() != ref.args.size()) {
+        return Status::InvalidArgument(
+            ref.name + " expects " + std::to_string(fn->params().size()) +
+            " argument(s), got " + std::to_string(ref.args.size()));
+      }
+      item.fn = fn;
+      item.schema = &fn->result_schema();
+    }
+    schemas[k] = item.schema;
+    item.offset = width;
+    width += item.schema->num_columns();
+  }
+  // Reject duplicate correlation names.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (EqualsIgnoreCase(items[a].alias, items[b].alias)) {
+        return Status::InvalidArgument("duplicate correlation name: " +
+                                       items[a].alias);
+      }
+    }
+  }
+
+  FEDFLOW_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                           LateralOrder(stmt, schemas));
+
+  for (size_t k = 0; k < n; ++k) {
+    scope->AddBinding(items[k].alias, items[k].schema, items[k].offset);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (const Column& c : items[k].schema->columns()) {
+      combined_schema->AddColumn(c.name, c.type);
+    }
+  }
+
+  std::vector<bool> visible(n, false);
+  scope->set_visibility_mask(&visible);
+  Evaluator eval(&catalog);
+
+  // Predicate pushdown: WHERE conjuncts are applied as soon as every FROM
+  // item they reference has produced its columns, pruning intermediate
+  // results (and, for lateral functions, whole invocations).
+  std::vector<sql::ExprPtr> pending_conjuncts;
+  if (stmt.where != nullptr) {
+    if (ctx_->predicate_pushdown) {
+      SplitConjuncts(stmt.where, &pending_conjuncts);
+    } else {
+      pending_conjuncts.push_back(stmt.where);
+    }
+  }
+  // A conjunct is applicable when all its column references resolve under
+  // the current visibility mask (parameters always resolve).
+  auto applicable = [&](const sql::Expr& expr) {
+    if (!ctx_->predicate_pushdown) return false;
+    std::vector<const ColumnRefExpr*> refs;
+    CollectColumnRefs(expr, &refs);
+    for (const ColumnRefExpr* ref : refs) {
+      // The reference must resolve unambiguously against the FULL schema —
+      // otherwise an unqualified name could silently bind to the only
+      // visible column although the statement is ambiguous overall —
+      // and its binding must already have produced its columns.
+      scope->set_visibility_mask(nullptr);
+      const bool full_ok =
+          scope->ResolveColumnType(ref->qualifier(), ref->name()).ok();
+      scope->set_visibility_mask(&visible);
+      if (!full_ok) return false;
+      if (!scope->ResolveColumnType(ref->qualifier(), ref->name()).ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<Row> rows;
+  rows.emplace_back(width, Value::Null());
+  auto apply_ready_conjuncts = [&]() -> Status {
+    for (auto it = pending_conjuncts.begin();
+         it != pending_conjuncts.end();) {
+      if (!applicable(**it)) {
+        ++it;
+        continue;
+      }
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      for (Row& r : rows) {
+        scope->set_row(&r);
+        FEDFLOW_ASSIGN_OR_RETURN(Value keep, eval.Eval(**it, *scope));
+        if (!keep.is_null() && keep.type() == DataType::kBool &&
+            keep.AsBool()) {
+          kept.push_back(std::move(r));
+        }
+      }
+      scope->set_row(nullptr);
+      rows = std::move(kept);
+      it = pending_conjuncts.erase(it);
+    }
+    return Status::OK();
+  };
+
+  for (size_t idx : order) {
+    Item& item = items[idx];
+    std::vector<Row> next;
+    if (item.base != nullptr) {
+      next.reserve(rows.size() * std::max<size_t>(1, item.base->num_rows()));
+      for (const Row& partial : rows) {
+        for (const Row& r : item.base->rows()) {
+          Row combined = partial;
+          std::copy(r.begin(), r.end(), combined.begin() + item.offset);
+          next.push_back(std::move(combined));
+        }
+      }
+    } else {
+      const TableRef& ref = stmt.from[idx];
+      for (Row& partial : rows) {
+        scope->set_row(&partial);
+        std::vector<Value> args;
+        args.reserve(ref.args.size());
+        for (size_t a = 0; a < ref.args.size(); ++a) {
+          FEDFLOW_ASSIGN_OR_RETURN(Value v, eval.Eval(*ref.args[a], *scope));
+          FEDFLOW_ASSIGN_OR_RETURN(
+              v, v.CastTo(item.fn->params()[a].type));
+          args.push_back(std::move(v));
+        }
+        Result<Table> result = item.fn->Invoke(args, *ctx_);
+        if (!result.ok()) {
+          return result.status().WithContext("in table function " + ref.name);
+        }
+        if (result->schema().num_columns() != item.schema->num_columns()) {
+          return Status::Internal("table function " + ref.name +
+                                  " returned wrong arity");
+        }
+        for (const Row& r : result->rows()) {
+          Row combined = partial;
+          std::copy(r.begin(), r.end(), combined.begin() + item.offset);
+          next.push_back(std::move(combined));
+        }
+      }
+      scope->set_row(nullptr);
+    }
+    rows = std::move(next);
+    visible[idx] = true;
+    FEDFLOW_RETURN_NOT_OK(apply_ready_conjuncts());
+  }
+
+  scope->set_visibility_mask(nullptr);
+  *remaining_predicates = std::move(pending_conjuncts);
+  return Table(*combined_schema, std::move(rows));
+}
+
+Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {
+  Catalog& catalog = db_->catalog();
+  Evaluator eval(&catalog);
+
+  RowScope scope;
+  scope.set_params(params_);
+  Schema combined_schema;
+  std::vector<sql::ExprPtr> remaining_predicates;
+  FEDFLOW_ASSIGN_OR_RETURN(
+      Table input,
+      ExecuteFromChain(stmt, &scope, &combined_schema,
+                       &remaining_predicates));
+  const size_t width = combined_schema.num_columns();
+
+  // WHERE conjuncts not already applied during the chain (e.g. when
+  // pushdown is disabled, or for references the chain could not resolve —
+  // the latter surface their resolution errors here).
+  std::vector<Row> rows;
+  if (!remaining_predicates.empty()) {
+    for (Row& r : input.mutable_rows()) {
+      scope.set_row(&r);
+      bool keep_row = true;
+      for (const sql::ExprPtr& pred : remaining_predicates) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value keep, eval.Eval(*pred, scope));
+        if (keep.is_null() || keep.type() != DataType::kBool ||
+            !keep.AsBool()) {
+          keep_row = false;
+          break;
+        }
+      }
+      if (keep_row) rows.push_back(std::move(r));
+    }
+  } else {
+    rows = std::move(input.mutable_rows());
+  }
+  scope.set_row(nullptr);
+
+  // Decide between plain projection and aggregation.
+  std::vector<const FunctionCallExpr*> aggs;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.is_star && item.expr) CollectAggregates(*item.expr, &aggs);
+  }
+  if (stmt.having) CollectAggregates(*stmt.having, &aggs);
+  for (const auto& ob : stmt.order_by) CollectAggregates(*ob.expr, &aggs);
+  const bool aggregate_mode = !aggs.empty() || !stmt.group_by.empty();
+
+  // Expand the select list into output expressions.
+  struct OutCol {
+    std::string name;
+    const Expr* expr = nullptr;       // null for direct column copies
+    size_t direct_index = 0;          // combined-row position when expr null
+    DataType type = DataType::kNull;
+  };
+  std::vector<OutCol> out_cols;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.is_star) {
+      if (aggregate_mode) {
+        return Status::InvalidArgument("SELECT * cannot be combined with "
+                                       "aggregation");
+      }
+      bool matched = false;
+      for (const RowScope::Binding& b : scope.bindings()) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(b.alias, item.star_qualifier)) {
+          continue;
+        }
+        matched = true;
+        for (size_t c = 0; c < b.schema->num_columns(); ++c) {
+          OutCol col;
+          col.name = b.schema->column(c).name;
+          col.direct_index = b.offset + c;
+          col.type = b.schema->column(c).type;
+          out_cols.push_back(std::move(col));
+        }
+      }
+      if (!matched) {
+        return Status::NotFound("unknown correlation name: " +
+                                item.star_qualifier);
+      }
+    } else {
+      OutCol col;
+      col.name = !item.alias.empty() ? item.alias
+                                     : DeriveName(*item.expr, out_cols.size());
+      col.expr = item.expr.get();
+      FEDFLOW_ASSIGN_OR_RETURN(col.type, eval.InferType(*item.expr, scope));
+      out_cols.push_back(std::move(col));
+    }
+  }
+
+  Schema out_schema;
+  for (const OutCol& c : out_cols) out_schema.AddColumn(c.name, c.type);
+
+  // Rows paired with their ORDER BY keys.
+  struct Keyed {
+    Row row;
+    std::vector<Value> keys;
+  };
+  std::vector<Keyed> produced;
+
+  // Resolves an ORDER BY expression: a bare (unqualified) column reference
+  // matching an output column sorts by that output column; everything else
+  // is evaluated in the current scope.
+  auto order_key = [&](const sql::OrderItem& ob, const Row& out_row,
+                       const RowScope& s) -> Result<Value> {
+    if (ob.expr->kind() == ExprKind::kColumnRef) {
+      const auto& cr = static_cast<const ColumnRefExpr&>(*ob.expr);
+      if (cr.qualifier().empty()) {
+        for (size_t c = 0; c < out_cols.size(); ++c) {
+          if (EqualsIgnoreCase(out_cols[c].name, cr.name())) {
+            return out_row[c];
+          }
+        }
+      }
+    }
+    return eval.Eval(*ob.expr, s);
+  };
+
+  if (!aggregate_mode) {
+    for (Row& r : rows) {
+      scope.set_row(&r);
+      Keyed k;
+      k.row.reserve(out_cols.size());
+      for (const OutCol& c : out_cols) {
+        if (c.expr == nullptr) {
+          k.row.push_back(r[c.direct_index]);
+        } else {
+          FEDFLOW_ASSIGN_OR_RETURN(Value v, eval.Eval(*c.expr, scope));
+          k.row.push_back(std::move(v));
+        }
+      }
+      for (const auto& ob : stmt.order_by) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value v, order_key(ob, k.row, scope));
+        k.keys.push_back(std::move(v));
+      }
+      produced.push_back(std::move(k));
+    }
+    scope.set_row(nullptr);
+  } else {
+    // ---- aggregation ----
+    // Group rows by the GROUP BY key values.
+    std::map<std::string, size_t> group_index;
+    std::vector<std::vector<size_t>> groups;  // row indices per group
+    std::vector<Row> group_keys;              // evaluated GROUP BY values
+    if (stmt.group_by.empty()) {
+      groups.emplace_back();
+      group_keys.emplace_back();
+      for (size_t r = 0; r < rows.size(); ++r) groups[0].push_back(r);
+    } else {
+      for (size_t r = 0; r < rows.size(); ++r) {
+        scope.set_row(&rows[r]);
+        Row keyvals;
+        std::string key;
+        for (const ExprPtr& g : stmt.group_by) {
+          FEDFLOW_ASSIGN_OR_RETURN(Value v, eval.Eval(*g, scope));
+          key += v.ToString();
+          key += '\x1f';
+          keyvals.push_back(std::move(v));
+        }
+        auto [it, inserted] = group_index.emplace(key, groups.size());
+        if (inserted) {
+          groups.emplace_back();
+          group_keys.push_back(std::move(keyvals));
+        }
+        groups[it->second].push_back(r);
+      }
+      scope.set_row(nullptr);
+    }
+
+    const Row null_row(width, Value::Null());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const std::vector<size_t>& members = groups[g];
+      // Compute each aggregate over the group.
+      std::map<const FunctionCallExpr*, Value> agg_values;
+      for (const FunctionCallExpr* agg : aggs) {
+        if (agg_values.count(agg) > 0) continue;
+        const std::string name = ToUpper(agg->name());
+        if (name == "COUNT" && agg->star_arg()) {
+          agg_values[agg] = Value::BigInt(static_cast<int64_t>(members.size()));
+          continue;
+        }
+        if (agg->args().size() != 1) {
+          return Status::InvalidArgument(name + " expects one argument");
+        }
+        int64_t count = 0;
+        double dsum = 0;
+        int64_t isum = 0;
+        bool all_int = true;
+        Value best;  // MIN/MAX accumulator
+        for (size_t r : members) {
+          scope.set_row(&rows[r]);
+          FEDFLOW_ASSIGN_OR_RETURN(Value v, eval.Eval(*agg->args()[0], scope));
+          if (v.is_null()) continue;
+          ++count;
+          if (name == "COUNT") continue;  // only counts non-null values
+          if (name == "MIN" || name == "MAX") {
+            if (best.is_null()) {
+              best = v;
+            } else {
+              FEDFLOW_ASSIGN_OR_RETURN(int cmp, v.Compare(best));
+              if ((name == "MIN" && cmp < 0) || (name == "MAX" && cmp > 0)) {
+                best = v;
+              }
+            }
+          } else {
+            FEDFLOW_ASSIGN_OR_RETURN(double d, v.ToDouble());
+            dsum += d;
+            if (v.type() == DataType::kDouble) {
+              all_int = false;
+            } else {
+              FEDFLOW_ASSIGN_OR_RETURN(int64_t i, v.ToInt64());
+              isum += i;
+            }
+          }
+        }
+        scope.set_row(nullptr);
+        if (name == "COUNT") {
+          agg_values[agg] = Value::BigInt(count);
+        } else if (count == 0) {
+          agg_values[agg] = Value::Null();
+        } else if (name == "SUM") {
+          agg_values[agg] =
+              all_int ? Value::BigInt(isum) : Value::Double(dsum);
+        } else if (name == "AVG") {
+          agg_values[agg] = Value::Double(dsum / static_cast<double>(count));
+        } else {
+          agg_values[agg] = best;
+        }
+      }
+
+      Evaluator group_eval(&catalog);
+      group_eval.set_agg_resolver(
+          [&agg_values](const FunctionCallExpr& call) -> Result<Value> {
+            auto it = agg_values.find(&call);
+            if (it == agg_values.end()) {
+              return Status::Internal("unresolved aggregate call");
+            }
+            return it->second;
+          });
+
+      const Row& rep = members.empty() ? null_row : rows[members.front()];
+      scope.set_row(&rep);
+
+      if (stmt.having != nullptr) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value keep,
+                                 group_eval.Eval(*stmt.having, scope));
+        if (keep.is_null() || keep.type() != DataType::kBool ||
+            !keep.AsBool()) {
+          scope.set_row(nullptr);
+          continue;
+        }
+      }
+
+      Keyed k;
+      k.row.reserve(out_cols.size());
+      for (const OutCol& c : out_cols) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value v, group_eval.Eval(*c.expr, scope));
+        k.row.push_back(std::move(v));
+      }
+      for (const auto& ob : stmt.order_by) {
+        Result<Value> v = [&]() -> Result<Value> {
+          if (ob.expr->kind() == ExprKind::kColumnRef) {
+            const auto& cr = static_cast<const ColumnRefExpr&>(*ob.expr);
+            if (cr.qualifier().empty()) {
+              for (size_t c = 0; c < out_cols.size(); ++c) {
+                if (EqualsIgnoreCase(out_cols[c].name, cr.name())) {
+                  return k.row[c];
+                }
+              }
+            }
+          }
+          return group_eval.Eval(*ob.expr, scope);
+        }();
+        FEDFLOW_RETURN_NOT_OK(v.status());
+        k.keys.push_back(std::move(*v));
+      }
+      scope.set_row(nullptr);
+      produced.push_back(std::move(k));
+    }
+  }
+
+  // DISTINCT: keep the first occurrence of each row value combination.
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<Keyed> unique;
+    unique.reserve(produced.size());
+    for (Keyed& k : produced) {
+      std::string key;
+      for (const Value& v : k.row) {
+        key += v.ToString();
+        key += '\x1f';
+      }
+      if (seen.insert(std::move(key)).second) {
+        unique.push_back(std::move(k));
+      }
+    }
+    produced = std::move(unique);
+  }
+
+  // ORDER BY.
+  if (!stmt.order_by.empty()) {
+    SortError err;
+    std::stable_sort(
+        produced.begin(), produced.end(),
+        [&](const Keyed& a, const Keyed& b) {
+          if (!err.status.ok()) return false;
+          for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+            // NULLs first in ascending order (Compare puts NULL lowest).
+            Result<int> cmp = a.keys[i].Compare(b.keys[i]);
+            if (!cmp.ok()) {
+              // NULL vs NULL compares equal; real errors abort the sort.
+              err.status = cmp.status();
+              return false;
+            }
+            if (*cmp != 0) {
+              return stmt.order_by[i].ascending ? *cmp < 0 : *cmp > 0;
+            }
+          }
+          return false;
+        });
+    FEDFLOW_RETURN_NOT_OK(err.status);
+  }
+
+  // LIMIT.
+  size_t limit = produced.size();
+  if (stmt.limit.has_value()) {
+    limit = std::min<size_t>(limit, static_cast<size_t>(
+                                        std::max<int64_t>(0, *stmt.limit)));
+  }
+
+  // Materialize, patching unknown column types from the data.
+  Table out(out_schema);
+  std::vector<DataType> patched(out_cols.size(), DataType::kNull);
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < out_cols.size(); ++c) {
+      const Value& v = produced[r].row[c];
+      if (patched[c] == DataType::kNull && !v.is_null()) {
+        patched[c] = v.type();
+      }
+    }
+  }
+  Schema final_schema;
+  for (size_t c = 0; c < out_cols.size(); ++c) {
+    DataType t = out_schema.column(c).type;
+    if (t == DataType::kNull) {
+      t = patched[c] == DataType::kNull ? DataType::kVarchar : patched[c];
+    }
+    final_schema.AddColumn(out_schema.column(c).name, t);
+  }
+  out = Table(final_schema);
+  for (size_t r = 0; r < limit; ++r) {
+    FEDFLOW_RETURN_NOT_OK(out.AppendRow(std::move(produced[r].row)));
+  }
+  return out;
+}
+
+}  // namespace fedflow::fdbs

@@ -1,0 +1,53 @@
+// SELECT execution. The FROM clause is executed as a lateral chain in
+// dependency order (DB2 semantics the paper relies on): a table-function
+// argument may reference columns of other FROM items, which induces a
+// precedence structure; cycles are rejected — the structural reason the UDTF
+// approach cannot express the paper's cyclic mapping case.
+#ifndef FEDFLOW_FDBS_EXECUTOR_H_
+#define FEDFLOW_FDBS_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "fdbs/eval.h"
+#include "fdbs/exec_context.h"
+#include "sql/ast.h"
+
+namespace fedflow::fdbs {
+
+class Database;
+
+/// Executes one SELECT statement against a database.
+class SelectExecutor {
+ public:
+  /// `params` (nullable) supplies the enclosing SQL function's parameters.
+  SelectExecutor(Database* db, ExecContext* ctx, const ParamScope* params)
+      : db_(db), ctx_(ctx), params_(params) {}
+
+  /// Runs the statement to a materialized result table.
+  Result<Table> Execute(const sql::SelectStmt& stmt);
+
+  /// Computes the execution order of the FROM items: a stable topological
+  /// sort of the lateral dependency graph. InvalidArgument on cyclic
+  /// dependencies. Exposed for planner tests.
+  static Result<std::vector<size_t>> LateralOrder(
+      const sql::SelectStmt& stmt,
+      const std::vector<const Schema*>& item_schemas);
+
+ private:
+  /// Executes the FROM items in lateral order. WHERE conjuncts applicable
+  /// during the chain are applied eagerly (predicate pushdown); the ones
+  /// that were not are returned through `remaining_predicates`.
+  Result<Table> ExecuteFromChain(
+      const sql::SelectStmt& stmt, RowScope* scope, Schema* combined_schema,
+      std::vector<sql::ExprPtr>* remaining_predicates);
+
+  Database* db_;
+  ExecContext* ctx_;
+  const ParamScope* params_;
+};
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_EXECUTOR_H_

@@ -1,0 +1,45 @@
+#include "fdbs/procedural_function.h"
+
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+
+Result<Table> SqlClient::Query(const std::string& sql) {
+  ++statements_;
+  if (ctx_->clock != nullptr && overhead_us_ > 0) {
+    ctx_->clock->Charge("JDBC calls", overhead_us_);
+  }
+  ExecContext inner = *ctx_;
+  inner.depth = ctx_->depth + 1;
+  if (inner.depth >= ExecContext::kMaxDepth) {
+    return Status::ExecutionError("maximum UDTF nesting depth exceeded");
+  }
+  return db_->Execute(sql, inner);
+}
+
+Result<Table> ProceduralTableFunction::Invoke(const std::vector<Value>& args,
+                                              ExecContext& ctx) {
+  if (ctx.db == nullptr) {
+    return Status::Internal("procedural function invoked without a database");
+  }
+  if (args.size() != params_.size()) {
+    return Status::InvalidArgument(name_ + " expects " +
+                                   std::to_string(params_.size()) +
+                                   " argument(s)");
+  }
+  std::vector<Value> coerced;
+  coerced.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    FEDFLOW_ASSIGN_OR_RETURN(Value v, args[i].CastTo(params_[i].type));
+    coerced.push_back(std::move(v));
+  }
+  SqlClient client(ctx.db, &ctx, overhead_us_);
+  FEDFLOW_ASSIGN_OR_RETURN(Table raw, body_(coerced, &client));
+  Table out(schema_);
+  for (Row& r : raw.mutable_rows()) {
+    FEDFLOW_RETURN_NOT_OK(out.AppendRow(std::move(r)));
+  }
+  return out;
+}
+
+}  // namespace fedflow::fdbs

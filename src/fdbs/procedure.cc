@@ -1,0 +1,173 @@
+#include "fdbs/procedure.h"
+
+#include "common/strings.h"
+#include "fdbs/database.h"
+#include "fdbs/eval.h"
+
+namespace fedflow::fdbs {
+
+namespace {
+
+/// Per-CALL interpreter state.
+class ProcedureRunner {
+ public:
+  ProcedureRunner(Database* db, const StoredProcedure& proc,
+                  ExecContext& ctx)
+      : db_(db), proc_(proc), ctx_(ctx), eval_(&db->catalog()) {}
+
+  Result<Table> Run(const std::vector<Value>& args) {
+    if (args.size() != proc_.params.size()) {
+      return Status::InvalidArgument(
+          proc_.name + " expects " + std::to_string(proc_.params.size()) +
+          " argument(s), got " + std::to_string(args.size()));
+    }
+    scope_.function_name = proc_.name;
+    for (size_t i = 0; i < args.size(); ++i) {
+      FEDFLOW_ASSIGN_OR_RETURN(Value v,
+                               args[i].CastTo(proc_.params[i].type));
+      scope_.params.emplace_back(proc_.params[i].name, std::move(v));
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(bool returned, Execute(*proc_.body));
+    (void)returned;
+    if (result_.has_value()) return std::move(*result_);
+    if (emitted_.has_value()) return std::move(*emitted_);
+    return Table();
+  }
+
+ private:
+  /// Executes a statement list; true when RETURN was hit.
+  Result<bool> Execute(const std::vector<sql::PsmStatement>& stmts) {
+    for (const sql::PsmStatement& stmt : stmts) {
+      if (++steps_ > kMaxPsmSteps) {
+        return Status::ExecutionError("procedure " + proc_.name +
+                                      " exceeded the PSM step budget "
+                                      "(non-terminating WHILE?)");
+      }
+      switch (stmt.kind) {
+        case sql::PsmStatement::Kind::kDeclare: {
+          for (const auto& [name, value] : scope_.params) {
+            if (EqualsIgnoreCase(name, stmt.var)) {
+              return Status::InvalidArgument("variable already declared: " +
+                                             stmt.var);
+            }
+          }
+          FEDFLOW_ASSIGN_OR_RETURN(Value init,
+                                   Value::Null().CastTo(stmt.var_type));
+          scope_.params.emplace_back(stmt.var, std::move(init));
+          declared_types_.emplace_back(ToUpper(stmt.var), stmt.var_type);
+          break;
+        }
+        case sql::PsmStatement::Kind::kSet: {
+          FEDFLOW_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.expr));
+          for (const auto& [name, type] : declared_types_) {
+            if (name == ToUpper(stmt.var)) {
+              FEDFLOW_ASSIGN_OR_RETURN(v, v.CastTo(type));
+            }
+          }
+          bool found = false;
+          for (auto& [name, value] : scope_.params) {
+            if (EqualsIgnoreCase(name, stmt.var)) {
+              value = std::move(v);
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::NotFound("SET of undeclared variable " + stmt.var +
+                                    " in procedure " + proc_.name);
+          }
+          break;
+        }
+        case sql::PsmStatement::Kind::kIf: {
+          FEDFLOW_ASSIGN_OR_RETURN(bool cond, EvalCondition(*stmt.expr));
+          const auto& branch = cond ? stmt.then_branch : stmt.else_branch;
+          FEDFLOW_ASSIGN_OR_RETURN(bool returned, Execute(branch));
+          if (returned) return true;
+          break;
+        }
+        case sql::PsmStatement::Kind::kWhile: {
+          while (true) {
+            FEDFLOW_ASSIGN_OR_RETURN(bool cond, EvalCondition(*stmt.expr));
+            if (!cond) break;
+            if (++steps_ > kMaxPsmSteps) {
+              return Status::ExecutionError(
+                  "procedure " + proc_.name +
+                  " exceeded the PSM step budget (non-terminating WHILE?)");
+            }
+            FEDFLOW_ASSIGN_OR_RETURN(bool returned,
+                                     Execute(stmt.then_branch));
+            if (returned) return true;
+          }
+          break;
+        }
+        case sql::PsmStatement::Kind::kReturn: {
+          FEDFLOW_ASSIGN_OR_RETURN(Table t, RunSelect(*stmt.select));
+          result_ = std::move(t);
+          return true;
+        }
+        case sql::PsmStatement::Kind::kEmit: {
+          FEDFLOW_ASSIGN_OR_RETURN(Table t, RunSelect(*stmt.select));
+          if (!emitted_.has_value()) {
+            emitted_ = std::move(t);
+          } else {
+            if (t.schema().num_columns() !=
+                emitted_->schema().num_columns()) {
+              return Status::TypeError(
+                  "EMIT arity mismatch in procedure " + proc_.name);
+            }
+            for (Row& r : t.mutable_rows()) {
+              FEDFLOW_RETURN_NOT_OK(emitted_->AppendRow(std::move(r)));
+            }
+          }
+          break;
+        }
+      }
+    }
+    return false;
+  }
+
+  Result<Value> EvalExpr(const sql::Expr& expr) {
+    RowScope scope;
+    scope.set_params(&scope_);
+    return eval_.Eval(expr, scope);
+  }
+
+  Result<bool> EvalCondition(const sql::Expr& expr) {
+    FEDFLOW_ASSIGN_OR_RETURN(Value v, EvalExpr(expr));
+    if (v.is_null()) return false;
+    if (v.type() == DataType::kBool) return v.AsBool();
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t n, v.ToInt64());
+    return n != 0;
+  }
+
+  Result<Table> RunSelect(const sql::SelectStmt& select) {
+    ExecContext inner = ctx_;
+    inner.depth = ctx_.depth + 1;
+    if (inner.depth >= ExecContext::kMaxDepth) {
+      return Status::ExecutionError("maximum nesting depth exceeded in " +
+                                    proc_.name);
+    }
+    return db_->ExecuteSelect(select, inner, &scope_);
+  }
+
+  Database* db_;
+  const StoredProcedure& proc_;
+  ExecContext& ctx_;
+  Evaluator eval_;
+  ParamScope scope_;  // parameters + declared variables (current values)
+  std::vector<std::pair<std::string, DataType>> declared_types_;
+  std::optional<Table> result_;
+  std::optional<Table> emitted_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<Table> ExecuteProcedure(Database* db, const StoredProcedure& procedure,
+                               const std::vector<Value>& args,
+                               ExecContext& ctx) {
+  ProcedureRunner runner(db, procedure, ctx);
+  return runner.Run(args);
+}
+
+}  // namespace fedflow::fdbs

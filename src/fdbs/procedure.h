@@ -1,0 +1,41 @@
+// PSM stored procedures: procedural SQL with variables, IF and WHILE — the
+// mechanism the paper names for loops inside the DBMS, with the crucial
+// restriction that procedures are invoked with CALL only and can NOT be
+// referenced in a FROM clause (so they do not compose with other federated
+// functions or tables).
+#ifndef FEDFLOW_FDBS_PROCEDURE_H_
+#define FEDFLOW_FDBS_PROCEDURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "fdbs/exec_context.h"
+#include "sql/ast.h"
+
+namespace fedflow::fdbs {
+
+class Database;
+
+/// A registered stored procedure (parsed body shared with the catalog).
+struct StoredProcedure {
+  std::string name;
+  std::vector<Column> params;
+  std::shared_ptr<std::vector<sql::PsmStatement>> body;
+};
+
+/// Executes `procedure` with `args`. The result set is whatever RETURN
+/// produced, or the union of all EMITted selects, or an empty table.
+/// A step budget guards against non-terminating WHILE loops.
+Result<Table> ExecuteProcedure(Database* db, const StoredProcedure& procedure,
+                               const std::vector<Value>& args,
+                               ExecContext& ctx);
+
+/// Maximum number of PSM statements one CALL may execute.
+inline constexpr int64_t kMaxPsmSteps = 1000000;
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_PROCEDURE_H_

@@ -1,0 +1,34 @@
+// Scalar function registry types (casts like BIGINT(x), string helpers, ...).
+#ifndef FEDFLOW_FDBS_SCALAR_FUNCTION_H_
+#define FEDFLOW_FDBS_SCALAR_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace fedflow::fdbs {
+
+/// Evaluates a scalar function over already-evaluated argument values.
+using ScalarFn =
+    std::function<Result<Value>(const std::vector<Value>& args)>;
+
+/// Computes the static result type given static argument types (used to type
+/// query output columns even for empty inputs).
+using ReturnTypeFn =
+    std::function<DataType(const std::vector<DataType>& arg_types)>;
+
+/// A registered scalar function.
+struct ScalarFunctionDef {
+  std::string name;
+  /// Expected argument count; -1 means variadic.
+  int arity = -1;
+  ScalarFn fn;
+  ReturnTypeFn return_type;
+};
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_SCALAR_FUNCTION_H_

@@ -1,0 +1,41 @@
+// The user-defined table function (UDTF) interface: the FDBS's only window
+// onto non-SQL sources, exactly as in the paper (read access, result returned
+// as a table, referencable in the FROM clause).
+#ifndef FEDFLOW_FDBS_TABLE_FUNCTION_H_
+#define FEDFLOW_FDBS_TABLE_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "fdbs/exec_context.h"
+
+namespace fedflow::fdbs {
+
+/// A table function: typed parameters in, a table out. Implementations
+/// include SQL-bodied I-UDTFs, A-UDTFs bridging to application systems, and
+/// the SQL/MED wrapper UDTF that starts workflow processes.
+class TableFunction {
+ public:
+  virtual ~TableFunction() = default;
+
+  /// Function name as referenced in SQL (case-insensitive).
+  virtual const std::string& name() const = 0;
+
+  /// Declared parameters (names are informational; binding is positional).
+  virtual const std::vector<Column>& params() const = 0;
+
+  /// Schema of the returned table.
+  virtual const Schema& result_schema() const = 0;
+
+  /// Invokes the function. `args` are already evaluated and coerced to the
+  /// declared parameter types. Implementations must return a table whose
+  /// schema equals result_schema().
+  virtual Result<Table> Invoke(const std::vector<Value>& args,
+                               ExecContext& ctx) = 0;
+};
+
+}  // namespace fedflow::fdbs
+
+#endif  // FEDFLOW_FDBS_TABLE_FUNCTION_H_

@@ -1,0 +1,84 @@
+#include "federation/binding.h"
+
+namespace fedflow::federation {
+
+namespace {
+
+Result<const appsys::LocalFunction*> FindFunction(
+    const FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems, const std::string& node) {
+  FEDFLOW_ASSIGN_OR_RETURN(const SpecCall* call, spec.FindCall(node));
+  FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem * sys, systems.Get(call->system));
+  return sys->GetFunction(call->function);
+}
+
+}  // namespace
+
+Status BindSpec(const FederatedFunctionSpec& spec,
+                const appsys::AppSystemRegistry& systems) {
+  FEDFLOW_RETURN_NOT_OK(ValidateSpec(spec));
+  for (const SpecCall& call : spec.calls) {
+    FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem * sys,
+                             systems.Get(call.system));
+    FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
+                             sys->GetFunction(call.function));
+    if (fn->params.size() != call.args.size()) {
+      return Status::InvalidArgument(
+          "call " + call.id + ": " + call.system + "." + call.function +
+          " expects " + std::to_string(fn->params.size()) +
+          " argument(s), spec supplies " + std::to_string(call.args.size()));
+    }
+    for (const SpecArg& arg : call.args) {
+      if (arg.kind == SpecArg::Kind::kNodeColumn) {
+        FEDFLOW_RETURN_NOT_OK(
+            NodeColumnType(spec, systems, arg.node, arg.column).status());
+      }
+    }
+  }
+  for (const SpecJoin& join : spec.joins) {
+    FEDFLOW_RETURN_NOT_OK(
+        NodeColumnType(spec, systems, join.left_node, join.left_column)
+            .status());
+    FEDFLOW_RETURN_NOT_OK(
+        NodeColumnType(spec, systems, join.right_node, join.right_column)
+            .status());
+  }
+  for (const SpecOutput& out : spec.outputs) {
+    FEDFLOW_RETURN_NOT_OK(
+        NodeColumnType(spec, systems, out.node, out.column).status());
+  }
+  return Status::OK();
+}
+
+Result<const Schema*> NodeResultSchema(
+    const FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems, const std::string& node) {
+  FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
+                           FindFunction(spec, systems, node));
+  return &fn->result_schema;
+}
+
+Result<DataType> NodeColumnType(const FederatedFunctionSpec& spec,
+                                const appsys::AppSystemRegistry& systems,
+                                const std::string& node,
+                                const std::string& column) {
+  FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
+                           FindFunction(spec, systems, node));
+  FEDFLOW_ASSIGN_OR_RETURN(size_t idx, fn->result_schema.FindColumn(column));
+  return fn->result_schema.column(idx).type;
+}
+
+Result<Schema> ResolveResultSchema(const FederatedFunctionSpec& spec,
+                                   const appsys::AppSystemRegistry& systems) {
+  Schema schema;
+  for (const SpecOutput& out : spec.outputs) {
+    FEDFLOW_ASSIGN_OR_RETURN(DataType t,
+                             NodeColumnType(spec, systems, out.node,
+                                            out.column));
+    if (out.cast_to != DataType::kNull) t = out.cast_to;
+    schema.AddColumn(out.name, t);
+  }
+  return schema;
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,37 @@
+// Resolution of a federated-function spec against the application systems:
+// signature checks and result-schema derivation, shared by both couplings.
+#ifndef FEDFLOW_FEDERATION_BINDING_H_
+#define FEDFLOW_FEDERATION_BINDING_H_
+
+#include "appsys/registry.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "federation/spec.h"
+
+namespace fedflow::federation {
+
+/// Checks that every call node names an existing function with matching
+/// argument arity, that node-column references name existing result columns,
+/// and that join/output columns exist.
+Status BindSpec(const FederatedFunctionSpec& spec,
+                const appsys::AppSystemRegistry& systems);
+
+/// Static type of `node`.`column` (the call's declared result schema).
+Result<DataType> NodeColumnType(const FederatedFunctionSpec& spec,
+                                const appsys::AppSystemRegistry& systems,
+                                const std::string& node,
+                                const std::string& column);
+
+/// The declared result schema of `node`'s local function.
+Result<const Schema*> NodeResultSchema(const FederatedFunctionSpec& spec,
+                                       const appsys::AppSystemRegistry& systems,
+                                       const std::string& node);
+
+/// The federated function's result schema: one column per SpecOutput, typed
+/// from the source call's signature with casts applied.
+Result<Schema> ResolveResultSchema(const FederatedFunctionSpec& spec,
+                                   const appsys::AppSystemRegistry& systems);
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_BINDING_H_

@@ -1,0 +1,147 @@
+#include "federation/classify.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace fedflow::federation {
+
+const char* MappingCaseName(MappingCase c) {
+  switch (c) {
+    case MappingCase::kTrivial:
+      return "trivial";
+    case MappingCase::kSimple:
+      return "simple";
+    case MappingCase::kIndependent:
+      return "independent";
+    case MappingCase::kDependentLinear:
+      return "dependent: linear";
+    case MappingCase::kDependent1N:
+      return "dependent: (1:n)";
+    case MappingCase::kDependentN1:
+      return "dependent: (n:1)";
+    case MappingCase::kDependentCyclic:
+      return "dependent: cyclic";
+    case MappingCase::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+Result<MappingCase> ClassifySpec(const FederatedFunctionSpec& spec) {
+  FEDFLOW_RETURN_NOT_OK(ValidateSpec(spec));
+  if (spec.loop.enabled) return MappingCase::kDependentCyclic;
+
+  if (spec.calls.size() == 1) {
+    const SpecCall& call = spec.calls[0];
+    // Trivial: parameters pass through 1:1 in order, no constants, no casts.
+    bool trivial = call.args.size() == spec.params.size();
+    if (trivial) {
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (call.args[i].kind != SpecArg::Kind::kParam ||
+            !EqualsIgnoreCase(call.args[i].param, spec.params[i].name)) {
+          trivial = false;
+          break;
+        }
+      }
+    }
+    if (trivial) {
+      for (const SpecOutput& o : spec.outputs) {
+        if (o.cast_to != DataType::kNull) trivial = false;
+      }
+    }
+    return trivial ? MappingCase::kTrivial : MappingCase::kSimple;
+  }
+
+  // Multiple calls: inspect the dependency structure.
+  const size_t n = spec.calls.size();
+  std::vector<std::set<size_t>> deps(n);  // deps[i] = nodes i depends on
+  std::vector<std::set<size_t>> rdeps(n);
+  bool any_dep = false;
+  for (size_t i = 0; i < n; ++i) {
+    for (const SpecArg& a : spec.calls[i].args) {
+      if (a.kind != SpecArg::Kind::kNodeColumn) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (EqualsIgnoreCase(spec.calls[j].id, a.node)) {
+          deps[i].insert(j);
+          rdeps[j].insert(i);
+          any_dep = true;
+        }
+      }
+    }
+  }
+  if (!any_dep) return MappingCase::kIndependent;
+  for (size_t i = 0; i < n; ++i) {
+    if (deps[i].size() >= 2) return MappingCase::kDependent1N;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (rdeps[i].size() >= 2) return MappingCase::kDependentN1;
+  }
+  return MappingCase::kDependentLinear;
+}
+
+Result<MappingCase> ClassifySet(
+    const std::vector<FederatedFunctionSpec>& specs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("empty spec set");
+  }
+  if (specs.size() > 1) {
+    // General when federated functions share local functions.
+    std::set<std::string> seen;
+    for (const FederatedFunctionSpec& spec : specs) {
+      std::set<std::string> mine;
+      for (const SpecCall& c : spec.calls) {
+        mine.insert(ToUpper(c.system) + "." + ToUpper(c.function));
+      }
+      for (const std::string& fn : mine) {
+        if (seen.count(fn) > 0) return MappingCase::kGeneral;
+      }
+      seen.insert(mine.begin(), mine.end());
+    }
+  }
+  MappingCase worst = MappingCase::kTrivial;
+  for (const FederatedFunctionSpec& spec : specs) {
+    FEDFLOW_ASSIGN_OR_RETURN(MappingCase c, ClassifySpec(spec));
+    if (static_cast<int>(c) > static_cast<int>(worst)) worst = c;
+  }
+  return worst;
+}
+
+bool UdtfSupports(MappingCase c) {
+  switch (c) {
+    case MappingCase::kDependentCyclic:
+    case MappingCase::kGeneral:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool WfmsSupports(MappingCase) { return true; }
+
+std::vector<SupportEntry> SupportMatrix() {
+  return {
+      {MappingCase::kTrivial, true, true,
+       "hidden behind the federated function's signature",
+       "hidden behind the federated function's signature"},
+      {MappingCase::kSimple, true, true,
+       "cast functions, supply of constant parameters", "helper functions"},
+      {MappingCase::kIndependent, true, true, "join with selection",
+       "parallel execution of activities"},
+      {MappingCase::kDependentLinear, true, true,
+       "join with selection; execution order defined by input parameters",
+       "sequential execution of activities"},
+      {MappingCase::kDependent1N, true, true,
+       "join with selection; execution order defined by input parameters",
+       "parallel and sequential execution of activities"},
+      {MappingCase::kDependentN1, true, true,
+       "join with selection; execution order defined by input parameters",
+       "parallel and sequential execution of activities"},
+      {MappingCase::kDependentCyclic, false, true, "not supported",
+       "loop construct with sub-workflow"},
+      {MappingCase::kGeneral, false, true, "not supported",
+       "multiple processes over shared activities"},
+  };
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,59 @@
+// Mapping-complexity classification (paper §3): trivial, simple, independent,
+// dependent (linear / 1:n / n:1 / cyclic), general — and the support matrix
+// comparing what the UDTF and WfMS couplings can express.
+#ifndef FEDFLOW_FEDERATION_CLASSIFY_H_
+#define FEDFLOW_FEDERATION_CLASSIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/spec.h"
+
+namespace fedflow::federation {
+
+/// The paper's heterogeneity cases, by increasing complexity.
+enum class MappingCase {
+  kTrivial,
+  kSimple,
+  kIndependent,
+  kDependentLinear,
+  kDependent1N,
+  kDependentN1,
+  kDependentCyclic,
+  kGeneral,
+};
+
+/// Stable display name ("dependent: (1:n)", ...).
+const char* MappingCaseName(MappingCase c);
+
+/// Classifies a single federated function's mapping.
+Result<MappingCase> ClassifySpec(const FederatedFunctionSpec& spec);
+
+/// Classifies a set of federated functions mapped together: kGeneral when
+/// they share local functions (the paper's general case); otherwise the most
+/// complex individual case.
+Result<MappingCase> ClassifySet(
+    const std::vector<FederatedFunctionSpec>& specs);
+
+/// True when the enhanced SQL UDTF architecture can express this case.
+bool UdtfSupports(MappingCase c);
+
+/// True when the WfMS architecture can express this case (all of them).
+bool WfmsSupports(MappingCase c);
+
+/// One row of the paper's §3 summary table.
+struct SupportEntry {
+  MappingCase mapping_case;
+  bool udtf_supported;
+  bool wfms_supported;
+  std::string udtf_mechanism;
+  std::string wfms_mechanism;
+};
+
+/// The full support matrix in case order.
+std::vector<SupportEntry> SupportMatrix();
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_CLASSIFY_H_

@@ -1,0 +1,23 @@
+#include "federation/controller.h"
+
+namespace fedflow::federation {
+
+Result<Controller::DispatchResult> Controller::Dispatch(
+    const std::string& system, const std::string& function,
+    const std::vector<Value>& args) const {
+  if (!started_) {
+    return Status::ExecutionError(
+        "controller not started; boot the integration environment first");
+  }
+  dispatch_count_.fetch_add(1);
+  FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem * sys, systems_->Get(system));
+  FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem::CallResult call,
+                           sys->Call(function, args));
+  DispatchResult result;
+  result.table = std::move(call.table);
+  result.app_cost_us = call.cost_us;
+  result.dispatch_cost_us = model_->controller_dispatch_us;
+  return result;
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,111 @@
+#include "federation/integration_server.h"
+
+#include "appsys/pdm.h"
+#include "appsys/purchasing.h"
+#include "appsys/stockkeeping.h"
+#include "sql/ast.h"
+
+namespace fedflow::federation {
+
+const char* ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kWfms:
+      return "WfMS approach";
+    case Architecture::kUdtf:
+      return "UDTF approach";
+    case Architecture::kJavaUdtf:
+      return "Java UDTF approach";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
+    Architecture arch, const appsys::Scenario& scenario,
+    sim::LatencyModel model) {
+  std::unique_ptr<IntegrationServer> server(
+      new IntegrationServer(arch, model));
+  FEDFLOW_RETURN_NOT_OK(server->systems_.Add(
+      std::make_shared<appsys::StockKeepingSystem>(scenario)));
+  FEDFLOW_RETURN_NOT_OK(
+      server->systems_.Add(std::make_shared<appsys::PurchasingSystem>(scenario)));
+  FEDFLOW_RETURN_NOT_OK(
+      server->systems_.Add(std::make_shared<appsys::PdmSystem>(scenario)));
+
+  if (arch == Architecture::kWfms) {
+    wfms::EngineOptions options;
+    options.navigation_cost_us = server->model_.wf_navigation_us;
+    options.container_cost_us = server->model_.wf_container_us;
+    options.helper_cost_us = server->model_.wf_helper_us;
+    server->engine_ = std::make_unique<wfms::Engine>(options);
+    server->wfms_ = std::make_unique<WfmsCoupling>(
+        &server->db_, server->engine_.get(), &server->systems_,
+        &server->controller_, &server->model_, &server->state_);
+  } else {
+    // Both UDTF variants sit on the same A-UDTF access layer.
+    server->udtf_ = std::make_unique<UdtfCoupling>(
+        &server->db_, &server->systems_, &server->controller_,
+        &server->model_, &server->state_);
+    FEDFLOW_RETURN_NOT_OK(server->udtf_->RegisterAccessUdtfs());
+    if (arch == Architecture::kJavaUdtf) {
+      server->java_ = std::make_unique<JavaUdtfCoupling>(
+          &server->db_, &server->systems_, &server->model_, &server->state_);
+    }
+  }
+
+  server->controller_.Start();
+  server->state_.Boot();
+  return server;
+}
+
+Status IntegrationServer::RegisterFederatedFunction(
+    const FederatedFunctionSpec& spec) {
+  switch (arch_) {
+    case Architecture::kWfms:
+      return wfms_->RegisterFederatedFunction(spec);
+    case Architecture::kUdtf:
+      return udtf_->RegisterFederatedFunction(spec);
+    case Architecture::kJavaUdtf:
+      return java_->RegisterFederatedFunction(spec);
+  }
+  return Status::Internal("bad architecture");
+}
+
+Result<Table> IntegrationServer::Query(const std::string& sql) {
+  return db_.Execute(sql);
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimed(
+    const std::string& sql) {
+  SimClock clock;
+  fdbs::ExecContext ctx;
+  ctx.clock = &clock;
+  ctx.db = &db_;
+  FEDFLOW_ASSIGN_OR_RETURN(Table table, db_.Execute(sql, ctx));
+  TimedResult result;
+  result.table = std::move(table);
+  result.elapsed_us = clock.now();
+  result.breakdown = clock.breakdown();
+  return result;
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
+    const std::string& name, const std::vector<Value>& args) {
+  sim::SystemState::Warmth warmth = state_.QueryWarmth(name);
+  std::string sql = "SELECT * FROM TABLE (" + name + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += sql::LiteralExpr(args[i]).ToSql();
+  }
+  sql += ")) AS R";
+  FEDFLOW_ASSIGN_OR_RETURN(TimedResult result, QueryTimed(sql));
+  result.warmth = warmth;
+  return result;
+}
+
+void IntegrationServer::Reboot() {
+  controller_.Stop();
+  controller_.Start();
+  state_.Boot();
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,106 @@
+// The integration server: the middle tier of the paper's three-tier
+// architecture (Fig. 2). Owns the FDBS, the workflow engine (WfMS
+// architecture) or the A-UDTF layer (enhanced SQL UDTF architecture), the
+// controller, the application systems, and the simulation state. One server
+// instance embodies one of the two evaluated architectures.
+#ifndef FEDFLOW_FEDERATION_INTEGRATION_SERVER_H_
+#define FEDFLOW_FEDERATION_INTEGRATION_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "appsys/dataset.h"
+#include "appsys/registry.h"
+#include "fdbs/database.h"
+#include "federation/controller.h"
+#include "federation/spec.h"
+#include "federation/java_coupling.h"
+#include "federation/udtf_coupling.h"
+#include "federation/wfms_coupling.h"
+#include "sim/latency.h"
+#include "sim/system_state.h"
+#include "wfms/engine.h"
+
+namespace fedflow::federation {
+
+/// Which coupling the server runs.
+enum class Architecture {
+  kWfms,      ///< federated functions as workflow processes behind one wrapper
+  kUdtf,      ///< federated functions as SQL I-UDTFs over A-UDTFs
+  kJavaUdtf,  ///< federated functions as procedural ("Java") I-UDTFs over
+              ///< A-UDTFs, issuing JDBC-style statements (paper §2)
+};
+
+/// Stable display name ("WfMS approach" / "UDTF approach").
+const char* ArchitectureName(Architecture arch);
+
+/// One integration-server deployment.
+class IntegrationServer {
+ public:
+  /// Builds a server over the scenario's three application systems and
+  /// boots it (controller started, state cold).
+  static Result<std::unique_ptr<IntegrationServer>> Create(
+      Architecture arch, const appsys::Scenario& scenario,
+      sim::LatencyModel model = {});
+
+  /// Registers a federated function under the server's architecture.
+  /// Unsupported when the UDTF architecture cannot express the mapping.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+
+  /// Executes SQL without cost accounting (functional path).
+  Result<Table> Query(const std::string& sql);
+
+  /// A timed call: result plus virtual elapsed time and step breakdown.
+  struct TimedResult {
+    Table table;
+    VDuration elapsed_us = 0;
+    TimeBreakdown breakdown;
+    sim::SystemState::Warmth warmth = sim::SystemState::Warmth::kHot;
+  };
+
+  /// Executes SQL under the virtual clock.
+  Result<TimedResult> QueryTimed(const std::string& sql);
+
+  /// Convenience: SELECT * FROM TABLE(name(args...)) AS R, timed.
+  Result<TimedResult> CallFederated(const std::string& name,
+                                    const std::vector<Value>& args);
+
+  /// Reboots the environment: controller restart, all caches cold.
+  void Reboot();
+
+  Architecture architecture() const { return arch_; }
+  fdbs::Database& database() { return db_; }
+  const appsys::AppSystemRegistry& systems() const { return systems_; }
+  Controller& controller() { return controller_; }
+  sim::SystemState& state() { return state_; }
+  const sim::LatencyModel& model() const { return model_; }
+  /// Engine of the WfMS architecture; null under the UDTF architecture.
+  wfms::Engine* engine() { return engine_.get(); }
+
+  /// Program invoker of the WfMS architecture (for driving the engine
+  /// directly, e.g. to inspect audit trails); null under the UDTF
+  /// architecture.
+  wfms::ProgramInvoker* program_invoker() {
+    return wfms_ ? wfms_->wrapper()->invoker() : nullptr;
+  }
+
+ private:
+  IntegrationServer(Architecture arch, sim::LatencyModel model)
+      : arch_(arch), model_(model), controller_(&systems_, &model_) {}
+
+  Architecture arch_;
+  sim::LatencyModel model_;
+  appsys::AppSystemRegistry systems_;
+  Controller controller_;
+  sim::SystemState state_;
+  fdbs::Database db_;
+  std::unique_ptr<wfms::Engine> engine_;
+  std::unique_ptr<WfmsCoupling> wfms_;
+  std::unique_ptr<UdtfCoupling> udtf_;
+  std::unique_ptr<JavaUdtfCoupling> java_;
+};
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_INTEGRATION_SERVER_H_

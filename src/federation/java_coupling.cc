@@ -1,0 +1,162 @@
+#include "federation/java_coupling.h"
+
+#include <memory>
+
+#include "common/strings.h"
+#include "fdbs/procedural_function.h"
+#include "federation/binding.h"
+#include "federation/udtf_coupling.h"
+
+namespace fedflow::federation {
+
+bool JavaUdtfSupports(MappingCase c) { return c != MappingCase::kGeneral; }
+
+namespace {
+
+/// Renders a value as a SQL literal for parameter substitution.
+std::string LiteralSql(const Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.type() == DataType::kVarchar) {
+    std::string escaped;
+    for (char c : v.AsVarchar()) {
+      if (c == '\'') escaped += "''";
+      else escaped.push_back(c);
+    }
+    return "'" + escaped + "'";
+  }
+  if (v.type() == DataType::kBool) return v.AsBool() ? "TRUE" : "FALSE";
+  return v.ToString();
+}
+
+}  // namespace
+
+Status JavaUdtfCoupling::RegisterFederatedFunction(
+    const FederatedFunctionSpec& spec) {
+  FEDFLOW_RETURN_NOT_OK(BindSpec(spec, *systems_));
+  FEDFLOW_ASSIGN_OR_RETURN(MappingCase mapping_case, ClassifySpec(spec));
+  if (!JavaUdtfSupports(mapping_case)) {
+    return Status::Unsupported(
+        std::string("the Java UDTF architecture cannot express the ") +
+        MappingCaseName(mapping_case) + " case");
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(Schema returns,
+                           ResolveResultSchema(spec, *systems_));
+
+  // The spec is captured by value; the body renders parameters as literals
+  // at call time (a prepared-statement analog).
+  const appsys::AppSystemRegistry* systems = systems_;
+  const sim::LatencyModel* model = model_;
+  sim::SystemState* state = state_;
+  FederatedFunctionSpec body_spec = spec;
+  body_spec.loop.enabled = false;
+
+  fdbs::ProceduralBody body =
+      [spec, body_spec, systems, model, state, returns](
+          const std::vector<Value>& args,
+          fdbs::SqlClient* client) -> Result<Table> {
+    auto render_param = [&](const std::string& param) -> std::string {
+      for (size_t i = 0; i < spec.params.size(); ++i) {
+        if (EqualsIgnoreCase(spec.params[i].name, param)) {
+          return LiteralSql(args[i]);
+        }
+      }
+      return param;  // resolved per-iteration below (ITERATION)
+    };
+
+    if (!spec.loop.enabled) {
+      FEDFLOW_ASSIGN_OR_RETURN(
+          std::string sql, BuildSpecSelectSql(body_spec, *systems,
+                                              render_param));
+      return client->Query(sql);
+    }
+
+    // Cyclic case: client-side do-until loop, one statement per iteration.
+    int64_t limit = 0;
+    for (size_t i = 0; i < spec.params.size(); ++i) {
+      if (EqualsIgnoreCase(spec.params[i].name, spec.loop.count_param)) {
+        FEDFLOW_ASSIGN_OR_RETURN(limit, args[i].ToInt64());
+      }
+    }
+    Table all(returns);
+    int64_t iteration = 0;
+    do {
+      ++iteration;
+      auto render_with_iteration =
+          [&](const std::string& param) -> std::string {
+        if (EqualsIgnoreCase(param, "ITERATION")) {
+          return std::to_string(iteration);
+        }
+        return render_param(param);
+      };
+      FEDFLOW_ASSIGN_OR_RETURN(
+          std::string sql,
+          BuildSpecSelectSql(body_spec, *systems, render_with_iteration));
+      FEDFLOW_ASSIGN_OR_RETURN(Table chunk, client->Query(sql));
+      if (!spec.loop.union_all) all = Table(returns);  // keep last only
+      for (Row& r : chunk.mutable_rows()) {
+        FEDFLOW_RETURN_NOT_OK(all.AppendRow(std::move(r)));
+      }
+    } while (iteration < limit);
+    return all;
+  };
+
+  (void)model;
+  (void)state;
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      spec.name, spec.params, returns, std::move(body),
+      model_->jdbc_statement_us);
+
+  // Decorate with start/finish + warm-up costs, mirroring the SQL I-UDTF.
+  class Decorated : public fdbs::TableFunction {
+   public:
+    Decorated(std::shared_ptr<fdbs::TableFunction> inner,
+              const sim::LatencyModel* model, sim::SystemState* state)
+        : inner_(std::move(inner)), model_(model), state_(state) {}
+    const std::string& name() const override { return inner_->name(); }
+    const std::vector<Column>& params() const override {
+      return inner_->params();
+    }
+    const Schema& result_schema() const override {
+      return inner_->result_schema();
+    }
+    Result<Table> Invoke(const std::vector<Value>& args,
+                         fdbs::ExecContext& ctx) override {
+      SimClock* clock = ctx.clock;
+      if (clock != nullptr && state_ != nullptr) {
+        switch (state_->QueryWarmth(name())) {
+          case sim::SystemState::Warmth::kCold:
+            clock->Charge(sim::steps::kWarmup,
+                          model_->cold_infrastructure_us +
+                              model_->first_run_function_us);
+            break;
+          case sim::SystemState::Warmth::kWarm:
+            clock->Charge(sim::steps::kWarmup,
+                          model_->first_run_function_us);
+            break;
+          case sim::SystemState::Warmth::kHot:
+            break;
+        }
+      }
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kJavaStartI, model_->java_iudtf_start_us);
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(Table out, inner_->Invoke(args, ctx));
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kJavaFinishI,
+                      model_->java_iudtf_finish_us);
+      }
+      if (state_ != nullptr) state_->MarkRun(name());
+      return out;
+    }
+
+   private:
+    std::shared_ptr<fdbs::TableFunction> inner_;
+    const sim::LatencyModel* model_;
+    sim::SystemState* state_;
+  };
+
+  return db_->catalog().RegisterTableFunction(
+      std::make_shared<Decorated>(std::move(fn), model_, state_));
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,48 @@
+// The enhanced Java UDTF architecture (paper §2): A-UDTFs as in the SQL UDTF
+// architecture, but the Integration UDTF is implemented in a host language
+// ("Java" in the paper; C++ here) issuing JDBC-style statements against the
+// FDBS. This lifts the one-SQL-statement restriction: the body may issue as
+// many statements as needed and use control structures — so, unlike the SQL
+// variant, it CAN express the cyclic case with a client-side do-until loop.
+#ifndef FEDFLOW_FEDERATION_JAVA_COUPLING_H_
+#define FEDFLOW_FEDERATION_JAVA_COUPLING_H_
+
+#include "appsys/registry.h"
+#include "fdbs/database.h"
+#include "federation/classify.h"
+#include "federation/spec.h"
+#include "sim/latency.h"
+#include "sim/system_state.h"
+
+namespace fedflow::federation {
+
+/// True when the Java UDTF architecture can express this case (everything
+/// except the general case, which needs one artifact covering several
+/// federated functions).
+bool JavaUdtfSupports(MappingCase c);
+
+/// Wires Java-style procedural I-UDTFs into an FDBS. A-UDTF registration is
+/// shared with UdtfCoupling (both variants sit on the same access layer).
+class JavaUdtfCoupling {
+ public:
+  JavaUdtfCoupling(fdbs::Database* db,
+                   const appsys::AppSystemRegistry* systems,
+                   const sim::LatencyModel* model, sim::SystemState* state)
+      : db_(db), systems_(systems), model_(model), state_(state) {}
+
+  /// Compiles the spec into a procedural I-UDTF and registers it. The body
+  /// interprets the mapping: non-cyclic specs issue the same single SELECT
+  /// the SQL I-UDTF would contain; cyclic specs run a client-side do-until
+  /// loop issuing one statement per iteration and unioning the results.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+
+ private:
+  fdbs::Database* db_;
+  const appsys::AppSystemRegistry* systems_;
+  const sim::LatencyModel* model_;
+  sim::SystemState* state_;
+};
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_JAVA_COUPLING_H_

@@ -1,0 +1,58 @@
+#include "federation/med_wrapper.h"
+
+#include "common/strings.h"
+
+namespace fedflow::federation {
+
+namespace {
+
+/// Adapts one wrapper function to the FDBS table-function interface.
+class WrapperUdtf : public fdbs::TableFunction {
+ public:
+  WrapperUdtf(std::shared_ptr<ForeignFunctionWrapper> wrapper,
+              ForeignFunctionWrapper::ForeignFunction descriptor)
+      : wrapper_(std::move(wrapper)), descriptor_(std::move(descriptor)) {}
+
+  const std::string& name() const override { return descriptor_.name; }
+  const std::vector<Column>& params() const override {
+    return descriptor_.params;
+  }
+  const Schema& result_schema() const override {
+    return descriptor_.result_schema;
+  }
+
+  Result<Table> Invoke(const std::vector<Value>& args,
+                       fdbs::ExecContext& ctx) override {
+    return wrapper_->Execute(descriptor_.name, args, ctx);
+  }
+
+ private:
+  std::shared_ptr<ForeignFunctionWrapper> wrapper_;
+  ForeignFunctionWrapper::ForeignFunction descriptor_;
+};
+
+}  // namespace
+
+Status RegisterWrapper(fdbs::Database* db,
+                       std::shared_ptr<ForeignFunctionWrapper> wrapper) {
+  for (const auto& fn : wrapper->Functions()) {
+    FEDFLOW_RETURN_NOT_OK(db->catalog().RegisterTableFunction(
+        std::make_shared<WrapperUdtf>(wrapper, fn)));
+  }
+  return Status::OK();
+}
+
+Status RegisterWrapperFunction(fdbs::Database* db,
+                               std::shared_ptr<ForeignFunctionWrapper> wrapper,
+                               const std::string& function) {
+  for (const auto& fn : wrapper->Functions()) {
+    if (EqualsIgnoreCase(fn.name, function)) {
+      return db->catalog().RegisterTableFunction(
+          std::make_shared<WrapperUdtf>(wrapper, fn));
+    }
+  }
+  return Status::NotFound("wrapper " + wrapper->Name() +
+                          " serves no function " + function);
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,59 @@
+// SQL/MED-style foreign function wrapper interface (ISO SQL Part 9 draft,
+// paper §2): a standardized boundary that isolates the FDBS from the
+// intricacies of federated function execution. The WfMS coupling implements
+// this interface; RegisterWrapper() adapts every wrapper function into an
+// FDBS table function, which is how the paper prototyped the missing
+// SQL/MED support in commercial products.
+#ifndef FEDFLOW_FEDERATION_MED_WRAPPER_H_
+#define FEDFLOW_FEDERATION_MED_WRAPPER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "fdbs/database.h"
+#include "fdbs/exec_context.h"
+
+namespace fedflow::federation {
+
+/// A foreign-function wrapper: exposes named, typed functions of an external
+/// engine (here: the WfMS) to the FDBS.
+class ForeignFunctionWrapper {
+ public:
+  virtual ~ForeignFunctionWrapper() = default;
+
+  /// Wrapper identifier (e.g. "wfms").
+  virtual std::string Name() const = 0;
+
+  /// Descriptor of one foreign function the wrapper serves.
+  struct ForeignFunction {
+    std::string name;
+    std::vector<Column> params;
+    Schema result_schema;
+  };
+
+  /// All foreign functions currently served.
+  virtual std::vector<ForeignFunction> Functions() const = 0;
+
+  /// Executes a foreign function. Charges its costs to ctx.clock when set.
+  virtual Result<Table> Execute(const std::string& function,
+                                const std::vector<Value>& args,
+                                fdbs::ExecContext& ctx) = 0;
+};
+
+/// Registers every function of `wrapper` as a table function of `db`, so it
+/// can be referenced as TABLE(fn(args)) in the FROM clause.
+Status RegisterWrapper(fdbs::Database* db,
+                       std::shared_ptr<ForeignFunctionWrapper> wrapper);
+
+/// Registers a single named function of `wrapper` (used when functions are
+/// added to the wrapper incrementally).
+Status RegisterWrapperFunction(fdbs::Database* db,
+                               std::shared_ptr<ForeignFunctionWrapper> wrapper,
+                               const std::string& function);
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_MED_WRAPPER_H_

@@ -1,0 +1,168 @@
+#include "federation/sample_scenario.h"
+
+#include "federation/classify.h"
+
+namespace fedflow::federation {
+
+FederatedFunctionSpec GibKompNrSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GibKompNr";
+  spec.params = {Column{"KompName", DataType::kVarchar}};
+  spec.calls = {{"GCN", "pdm", "GetCompNo", {SpecArg::Param("KompName")}}};
+  spec.outputs = {{"Nr", "GCN", "No", DataType::kNull}};
+  return spec;
+}
+
+FederatedFunctionSpec GetNumberSupp1234Spec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetNumberSupp1234";
+  spec.params = {Column{"CompNo", DataType::kInt}};
+  spec.calls = {{"GN",
+                 "stock",
+                 "GetNumber",
+                 {SpecArg::Constant(Value::Int(1234)),
+                  SpecArg::Param("CompNo")}}};
+  spec.outputs = {{"Number", "GN", "Number", DataType::kBigInt}};
+  return spec;
+}
+
+FederatedFunctionSpec GetSuppQualSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetSuppQual";
+  spec.params = {Column{"SupplierName", DataType::kVarchar}};
+  spec.calls = {
+      {"GSN", "purchasing", "GetSupplierNo", {SpecArg::Param("SupplierName")}},
+      {"GQ", "stock", "GetQuality",
+       {SpecArg::NodeColumn("GSN", "SupplierNo")}},
+  };
+  spec.outputs = {{"Qual", "GQ", "Qual", DataType::kNull}};
+  return spec;
+}
+
+FederatedFunctionSpec GetSuppQualReliaSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetSuppQualRelia";
+  spec.params = {Column{"SupplierNo", DataType::kInt}};
+  spec.calls = {
+      {"GQ", "stock", "GetQuality", {SpecArg::Param("SupplierNo")}},
+      {"GR", "purchasing", "GetReliability", {SpecArg::Param("SupplierNo")}},
+  };
+  spec.outputs = {
+      {"Qual", "GQ", "Qual", DataType::kNull},
+      {"Relia", "GR", "Relia", DataType::kNull},
+  };
+  return spec;
+}
+
+FederatedFunctionSpec GetSubCompDiscountsSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetSubCompDiscounts";
+  spec.params = {Column{"CompNo", DataType::kInt},
+                 Column{"Discount", DataType::kInt}};
+  spec.calls = {
+      {"GSCD", "pdm", "GetSubCompNo", {SpecArg::Param("CompNo")}},
+      {"GCS4D", "purchasing", "GetCompSupp4Discount",
+       {SpecArg::Param("Discount")}},
+  };
+  spec.joins = {{"GSCD", "SubCompNo", "GCS4D", "CompNo"}};
+  spec.outputs = {
+      {"SubCompNo", "GSCD", "SubCompNo", DataType::kNull},
+      {"SupplierNo", "GCS4D", "SupplierNo", DataType::kNull},
+  };
+  return spec;
+}
+
+FederatedFunctionSpec GetNoSuppCompSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetNoSuppComp";
+  spec.params = {Column{"SupplierName", DataType::kVarchar},
+                 Column{"CompName", DataType::kVarchar}};
+  spec.calls = {
+      {"GSN", "purchasing", "GetSupplierNo", {SpecArg::Param("SupplierName")}},
+      {"GCN", "pdm", "GetCompNo", {SpecArg::Param("CompName")}},
+      {"GN", "stock", "GetNumber",
+       {SpecArg::NodeColumn("GSN", "SupplierNo"),
+        SpecArg::NodeColumn("GCN", "No")}},
+  };
+  spec.outputs = {{"Number", "GN", "Number", DataType::kNull}};
+  return spec;
+}
+
+FederatedFunctionSpec GetSuppInfoSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "GetSuppInfo";
+  spec.params = {Column{"SupplierName", DataType::kVarchar}};
+  spec.calls = {
+      {"GSN", "purchasing", "GetSupplierNo", {SpecArg::Param("SupplierName")}},
+      {"GQ", "stock", "GetQuality",
+       {SpecArg::NodeColumn("GSN", "SupplierNo")}},
+      {"GR", "purchasing", "GetReliability",
+       {SpecArg::NodeColumn("GSN", "SupplierNo")}},
+  };
+  spec.outputs = {
+      {"Qual", "GQ", "Qual", DataType::kNull},
+      {"Relia", "GR", "Relia", DataType::kNull},
+  };
+  return spec;
+}
+
+FederatedFunctionSpec AllCompNamesSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "AllCompNames";
+  spec.params = {Column{"MaxNo", DataType::kInt}};
+  spec.calls = {{"GCN", "pdm", "GetCompName", {SpecArg::Param("ITERATION")}}};
+  spec.outputs = {{"CompName", "GCN", "CompName", DataType::kNull}};
+  spec.loop.enabled = true;
+  spec.loop.count_param = "MaxNo";
+  spec.loop.union_all = true;
+  return spec;
+}
+
+FederatedFunctionSpec BuySuppCompSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "BuySuppComp";
+  spec.params = {Column{"SupplierNo", DataType::kInt},
+                 Column{"CompName", DataType::kVarchar}};
+  spec.calls = {
+      {"GQ", "stock", "GetQuality", {SpecArg::Param("SupplierNo")}},
+      {"GR", "purchasing", "GetReliability", {SpecArg::Param("SupplierNo")}},
+      {"GG", "purchasing", "GetGrade",
+       {SpecArg::NodeColumn("GQ", "Qual"), SpecArg::NodeColumn("GR", "Relia")}},
+      {"GCN", "pdm", "GetCompNo", {SpecArg::Param("CompName")}},
+      {"DP", "purchasing", "DecidePurchase",
+       {SpecArg::NodeColumn("GG", "Grade"), SpecArg::NodeColumn("GCN", "No")}},
+  };
+  spec.outputs = {{"Answer", "DP", "Answer", DataType::kNull}};
+  return spec;
+}
+
+std::vector<FederatedFunctionSpec> SampleSpecs() {
+  return {
+      GibKompNrSpec(),         GetNumberSupp1234Spec(), GetSuppQualSpec(),
+      GetSuppQualReliaSpec(),  GetSubCompDiscountsSpec(), GetNoSuppCompSpec(),
+      GetSuppInfoSpec(),       BuySuppCompSpec(),
+  };
+}
+
+std::vector<FederatedFunctionSpec> AllSampleSpecs() {
+  std::vector<FederatedFunctionSpec> specs = SampleSpecs();
+  specs.push_back(AllCompNamesSpec());
+  return specs;
+}
+
+Result<std::unique_ptr<IntegrationServer>> MakeSampleServer(
+    Architecture arch, const appsys::ScenarioConfig& config,
+    sim::LatencyModel model) {
+  appsys::Scenario scenario = appsys::GenerateScenario(config);
+  FEDFLOW_ASSIGN_OR_RETURN(std::unique_ptr<IntegrationServer> server,
+                           IntegrationServer::Create(arch, scenario, model));
+  for (const FederatedFunctionSpec& spec : AllSampleSpecs()) {
+    FEDFLOW_ASSIGN_OR_RETURN(MappingCase c, ClassifySpec(spec));
+    if (arch == Architecture::kUdtf && !UdtfSupports(c)) continue;
+    if (arch == Architecture::kJavaUdtf && !JavaUdtfSupports(c)) continue;
+    FEDFLOW_RETURN_NOT_OK(server->RegisterFederatedFunction(spec));
+  }
+  return server;
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,63 @@
+// The paper's purchasing scenario as federated-function specs: every example
+// function of §1/§3/§4, one per heterogeneity case. These drive the examples,
+// the integration tests and all reproduced experiments.
+#ifndef FEDFLOW_FEDERATION_SAMPLE_SCENARIO_H_
+#define FEDFLOW_FEDERATION_SAMPLE_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "appsys/dataset.h"
+#include "federation/integration_server.h"
+#include "federation/spec.h"
+
+namespace fedflow::federation {
+
+/// Trivial case: German federated name over pdm.GetCompNo (§3).
+FederatedFunctionSpec GibKompNrSpec();
+
+/// Simple case: constant supplier 1234 and an INT -> BIGINT cast (§3).
+FederatedFunctionSpec GetNumberSupp1234Spec();
+
+/// Dependent, linear: GetSupplierNo -> GetQuality (§3).
+FederatedFunctionSpec GetSuppQualSpec();
+
+/// Independent (parallel): GetQuality || GetReliability by supplier number —
+/// the parallel counterpart of GetSuppQual with the same function count (§4).
+FederatedFunctionSpec GetSuppQualReliaSpec();
+
+/// Independent with join: GetSubCompNo x GetCompSupp4Discount (§3).
+FederatedFunctionSpec GetSubCompDiscountsSpec();
+
+/// Dependent (1:n): GetSupplierNo + GetCompNo -> GetNumber; the paper's
+/// Fig. 6 breakdown function with three local functions.
+FederatedFunctionSpec GetNoSuppCompSpec();
+
+/// Dependent (n:1): GetSupplierNo -> {GetQuality, GetReliability}.
+FederatedFunctionSpec GetSuppInfoSpec();
+
+/// Dependent, cyclic: do-until loop over pdm.GetCompName — workflow only
+/// (§3/§4 loop-scaling experiment).
+FederatedFunctionSpec AllCompNamesSpec();
+
+/// The motivating example (Fig. 1): five local functions across all three
+/// application systems.
+FederatedFunctionSpec BuySuppCompSpec();
+
+/// All specs both architectures can express, in Fig. 5 order of increasing
+/// mapping complexity.
+std::vector<FederatedFunctionSpec> SampleSpecs();
+
+/// All specs including the cyclic AllCompNames (WfMS architecture only).
+std::vector<FederatedFunctionSpec> AllSampleSpecs();
+
+/// Builds a booted server over a generated scenario with every expressible
+/// sample function registered (under the UDTF architecture the cyclic spec
+/// is skipped — it is unsupported there by construction).
+Result<std::unique_ptr<IntegrationServer>> MakeSampleServer(
+    Architecture arch, const appsys::ScenarioConfig& config = {},
+    sim::LatencyModel model = {});
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_SAMPLE_SCENARIO_H_

@@ -1,0 +1,156 @@
+#include "federation/spec.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fedflow::federation {
+
+Result<const SpecCall*> FederatedFunctionSpec::FindCall(
+    const std::string& id) const {
+  for (const SpecCall& c : calls) {
+    if (EqualsIgnoreCase(c.id, id)) return &c;
+  }
+  return Status::NotFound("call node not found: " + id + " in spec " + name);
+}
+
+namespace {
+
+bool IsDeclaredParam(const FederatedFunctionSpec& spec,
+                     const std::string& name) {
+  for (const Column& p : spec.params) {
+    if (EqualsIgnoreCase(p.name, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateSpec(const FederatedFunctionSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("federated function has no name");
+  }
+  if (spec.calls.empty()) {
+    return Status::InvalidArgument("spec " + spec.name + " has no calls");
+  }
+  for (size_t i = 0; i < spec.calls.size(); ++i) {
+    for (size_t j = i + 1; j < spec.calls.size(); ++j) {
+      if (EqualsIgnoreCase(spec.calls[i].id, spec.calls[j].id)) {
+        return Status::InvalidArgument("duplicate call id: " +
+                                       spec.calls[i].id);
+      }
+    }
+  }
+  for (const SpecCall& c : spec.calls) {
+    if (c.id.empty() || c.system.empty() || c.function.empty()) {
+      return Status::InvalidArgument(
+          "call nodes need id, system and function (spec " + spec.name + ")");
+    }
+    for (const SpecArg& a : c.args) {
+      switch (a.kind) {
+        case SpecArg::Kind::kConstant:
+          break;
+        case SpecArg::Kind::kParam:
+          if (!IsDeclaredParam(spec, a.param)) {
+            if (EqualsIgnoreCase(a.param, "ITERATION")) {
+              if (!spec.loop.enabled) {
+                return Status::InvalidArgument(
+                    "call " + c.id +
+                    " uses ITERATION outside a loop (spec " + spec.name + ")");
+              }
+              break;
+            }
+            return Status::InvalidArgument("call " + c.id +
+                                           " references unknown parameter " +
+                                           a.param);
+          }
+          break;
+        case SpecArg::Kind::kNodeColumn: {
+          FEDFLOW_ASSIGN_OR_RETURN(const SpecCall* src, spec.FindCall(a.node));
+          if (EqualsIgnoreCase(src->id, c.id)) {
+            return Status::InvalidArgument("call " + c.id +
+                                           " references its own output");
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (const SpecJoin& j : spec.joins) {
+    FEDFLOW_RETURN_NOT_OK(spec.FindCall(j.left_node).status());
+    FEDFLOW_RETURN_NOT_OK(spec.FindCall(j.right_node).status());
+  }
+  if (spec.outputs.empty()) {
+    return Status::InvalidArgument("spec " + spec.name + " has no outputs");
+  }
+  for (const SpecOutput& o : spec.outputs) {
+    if (o.name.empty()) {
+      return Status::InvalidArgument("output column without a name in spec " +
+                                     spec.name);
+    }
+    FEDFLOW_RETURN_NOT_OK(spec.FindCall(o.node).status());
+  }
+  if (spec.loop.enabled) {
+    if (spec.loop.count_param.empty() ||
+        !IsDeclaredParam(spec, spec.loop.count_param)) {
+      return Status::InvalidArgument(
+          "loop of spec " + spec.name +
+          " needs a declared count parameter, got '" + spec.loop.count_param +
+          "'");
+    }
+  }
+  // Dependency acyclicity.
+  FEDFLOW_RETURN_NOT_OK(TopologicalCallOrder(spec).status());
+  return Status::OK();
+}
+
+Result<std::vector<size_t>> TopologicalCallOrder(
+    const FederatedFunctionSpec& spec) {
+  const size_t n = spec.calls.size();
+  auto index_of = [&](const std::string& id) -> int {
+    for (size_t i = 0; i < n; ++i) {
+      if (EqualsIgnoreCase(spec.calls[i].id, id)) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const SpecArg& a : spec.calls[i].args) {
+      if (a.kind != SpecArg::Kind::kNodeColumn) continue;
+      int d = index_of(a.node);
+      if (d < 0) return Status::NotFound("call node not found: " + a.node);
+      deps[i].push_back(static_cast<size_t>(d));
+    }
+    std::sort(deps[i].begin(), deps[i].end());
+    deps[i].erase(std::unique(deps[i].begin(), deps[i].end()), deps[i].end());
+  }
+  std::vector<int> pending(n);
+  for (size_t i = 0; i < n; ++i) pending[i] = static_cast<int>(deps[i].size());
+  std::vector<bool> done(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t round = 0; round < n; ++round) {
+    size_t chosen = SIZE_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!done[i] && pending[i] == 0) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      return Status::InvalidArgument(
+          "cyclic dependency between call nodes of spec " + spec.name);
+    }
+    done[chosen] = true;
+    order.push_back(chosen);
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      for (size_t d : deps[i]) {
+        if (d == chosen) --pending[i];
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace fedflow::federation

@@ -1,0 +1,120 @@
+// The federated-function specification: the mapping graph from one federated
+// function to local functions of application systems (paper §2/§3). One spec
+// is the single source of truth compiled by BOTH couplings — into a workflow
+// process (WfMS approach) or into CREATE FUNCTION SQL (enhanced SQL UDTF
+// approach). The UDTF compiler rejects what SQL cannot express (cycles),
+// which is how the paper's mapping-complexity matrix is computed rather than
+// asserted.
+#ifndef FEDFLOW_FEDERATION_SPEC_H_
+#define FEDFLOW_FEDERATION_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace fedflow::federation {
+
+/// One argument of a local-function call within the mapping.
+struct SpecArg {
+  enum class Kind {
+    kConstant,    ///< fixed value (paper's "supply of constant parameters")
+    kParam,       ///< parameter of the federated function
+    kNodeColumn,  ///< output column of another call node (dependency)
+  };
+  Kind kind = Kind::kConstant;
+  Value constant;
+  std::string param;
+  std::string node;
+  std::string column;
+
+  static SpecArg Constant(Value v) {
+    SpecArg a;
+    a.kind = Kind::kConstant;
+    a.constant = std::move(v);
+    return a;
+  }
+  static SpecArg Param(std::string name) {
+    SpecArg a;
+    a.kind = Kind::kParam;
+    a.param = std::move(name);
+    return a;
+  }
+  static SpecArg NodeColumn(std::string node, std::string column) {
+    SpecArg a;
+    a.kind = Kind::kNodeColumn;
+    a.node = std::move(node);
+    a.column = std::move(column);
+    return a;
+  }
+};
+
+/// One local-function call node of the mapping graph. `id` doubles as the
+/// correlation name in generated SQL (e.g. "GQ") and the activity name in the
+/// generated workflow process.
+struct SpecCall {
+  std::string id;
+  std::string system;
+  std::string function;
+  std::vector<SpecArg> args;
+};
+
+/// An equi-join predicate between two call results (the independent case's
+/// "join with selection", e.g. GSCD.SubCompNo = GCS4D.CompNo).
+struct SpecJoin {
+  std::string left_node;
+  std::string left_column;
+  std::string right_node;
+  std::string right_column;
+};
+
+/// One output column of the federated function.
+struct SpecOutput {
+  std::string name;                       ///< federated column name
+  std::string node;                       ///< source call node
+  std::string column;                     ///< source column
+  DataType cast_to = DataType::kNull;     ///< optional cast (simple case)
+};
+
+/// Optional do-until loop around the whole call graph (the cyclic case, e.g.
+/// AllCompNames). The implicit ITERATION counter (1-based) is available as an
+/// argument via SpecArg::Param("ITERATION").
+struct SpecLoop {
+  bool enabled = false;
+  /// Loop until ITERATION >= the value of this federated parameter.
+  std::string count_param;
+  /// Union all iterations' outputs (vs. keep only the last iteration).
+  bool union_all = true;
+};
+
+/// The complete mapping specification of one federated function.
+struct FederatedFunctionSpec {
+  std::string name;
+  std::vector<Column> params;
+  std::vector<SpecCall> calls;
+  std::vector<SpecJoin> joins;
+  std::vector<SpecOutput> outputs;
+  SpecLoop loop;
+
+  /// The declared result schema, derived from outputs (casts applied).
+  /// Column types resolve through the call nodes' function signatures, so
+  /// this needs the registry; the couplings compute it during compilation.
+  Result<const SpecCall*> FindCall(const std::string& id) const;
+};
+
+/// Structural validation: unique ids, known arg/output/join references,
+/// acyclic node dependencies, loop parameter declared, ITERATION only used
+/// inside loops. (Function existence is checked by the couplings, which know
+/// the application systems.)
+Status ValidateSpec(const FederatedFunctionSpec& spec);
+
+/// Stable topological order of the call nodes (by arg dependencies), with
+/// ties broken by declaration order. InvalidArgument on dependency cycles.
+Result<std::vector<size_t>> TopologicalCallOrder(
+    const FederatedFunctionSpec& spec);
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_SPEC_H_

@@ -1,0 +1,44 @@
+#include "federation/sql_source.h"
+
+#include "common/codec.h"
+
+namespace fedflow::federation {
+
+Status RemoteSqlSource::AttachTable(fdbs::Database* federation_db,
+                                    const std::string& local_name,
+                                    const std::string& remote_table) {
+  // Validate the remote table exists and capture its schema now; the
+  // provider re-reads the data on every scan (the source stays autonomous).
+  FEDFLOW_ASSIGN_OR_RETURN(const Table* remote,
+                           db_->catalog().GetTableConst(remote_table));
+  fdbs::ExternalTable entry;
+  entry.name = local_name;
+  entry.schema = remote->schema();
+  fdbs::Database* source_db = db_.get();
+  const sim::LatencyModel* model = model_;
+  int64_t* counter = &subqueries_;
+  std::string subquery = "SELECT * FROM " + remote_table;
+  entry.provider =
+      [source_db, model, counter, subquery](
+          fdbs::ExecContext& ctx) -> Result<Table> {
+    ++*counter;
+    // The subquery runs in the remote engine with its own context (its
+    // internal costs are the source's own business; the federation pays the
+    // shipping).
+    fdbs::ExecContext remote_ctx;
+    remote_ctx.db = source_db;
+    FEDFLOW_ASSIGN_OR_RETURN(Table result,
+                             source_db->Execute(subquery, remote_ctx));
+    if (ctx.clock != nullptr) {
+      ByteWriter sizer;
+      sizer.PutTable(result);
+      ctx.clock->Charge(sim::steps::kSqlSubqueries,
+                        model->sql_subquery_base_us +
+                            model->MarshalCost(sizer.size()));
+    }
+    return result;
+  };
+  return federation_db->catalog().RegisterExternalTable(std::move(entry));
+}
+
+}  // namespace fedflow::federation

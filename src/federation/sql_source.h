@@ -1,0 +1,53 @@
+// Remote SQL sources: the FDBS side of the paper's architecture integrates
+// several SQL databases besides the function-only application systems ("the
+// query is divided into the appropriate SQL subqueries for the SQL sources").
+// A RemoteSqlSource wraps another relational database behind the relational
+// wrapper interface: attached tables become external tables of the federation
+// FDBS; each scan ships one subquery to the source and pays a modeled
+// round-trip plus result-marshalling cost.
+#ifndef FEDFLOW_FEDERATION_SQL_SOURCE_H_
+#define FEDFLOW_FEDERATION_SQL_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "fdbs/database.h"
+#include "sim/latency.h"
+
+namespace fedflow::federation {
+
+/// A remote relational database reachable through SQL subqueries.
+class RemoteSqlSource {
+ public:
+  /// `name` identifies the source in error messages and cost accounting.
+  RemoteSqlSource(std::string name, const sim::LatencyModel* model)
+      : name_(std::move(name)),
+        model_(model),
+        db_(std::make_unique<fdbs::Database>()) {}
+
+  const std::string& name() const { return name_; }
+
+  /// The remote database itself (load data, create tables, ...).
+  fdbs::Database& database() { return *db_; }
+
+  /// Attaches remote table `remote_table` to `federation_db` under
+  /// `local_name`. Every scan of the attached table executes
+  /// SELECT * FROM <remote_table> on this source and charges the
+  /// "SQL subqueries" cost (round trip + per-byte result marshalling).
+  Status AttachTable(fdbs::Database* federation_db,
+                     const std::string& local_name,
+                     const std::string& remote_table);
+
+  /// Number of subqueries shipped to this source so far.
+  int64_t subqueries_shipped() const { return subqueries_; }
+
+ private:
+  std::string name_;
+  const sim::LatencyModel* model_;
+  std::unique_ptr<fdbs::Database> db_;
+  int64_t subqueries_ = 0;
+};
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_SQL_SOURCE_H_

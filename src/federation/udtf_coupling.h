@@ -1,0 +1,79 @@
+// The enhanced SQL UDTF architecture (paper §2): every local function of
+// every application system is exposed to the FDBS as an Access UDTF
+// (A-UDTF); a federated function becomes an Integration UDTF (I-UDTF) whose
+// body is ONE SQL statement referencing the A-UDTFs laterally. The I-UDTF SQL
+// is generated from the FederatedFunctionSpec and then parsed and executed by
+// our own FDBS — cyclic and general mappings are rejected at compile time,
+// exactly the paper's expressiveness limit.
+#ifndef FEDFLOW_FEDERATION_UDTF_COUPLING_H_
+#define FEDFLOW_FEDERATION_UDTF_COUPLING_H_
+
+#include <string>
+
+#include "appsys/registry.h"
+#include "fdbs/database.h"
+#include "federation/controller.h"
+#include "federation/spec.h"
+#include "sim/latency.h"
+#include "sim/system_state.h"
+
+namespace fedflow::federation {
+
+/// Renders a parameter reference inside generated SQL. The SQL I-UDTF
+/// compiler renders "SpecName.Param" (DB2 style); the Java/procedural
+/// coupling substitutes literal argument values.
+using ParamRenderer = std::function<std::string(const std::string& param)>;
+
+/// Builds the body SELECT of a (non-loop) spec: outputs with casts, lateral
+/// TABLE(...) references in topological order, join predicates. Shared by
+/// the SQL and the Java coupling. The spec must already be bound.
+Result<std::string> BuildSpecSelectSql(const FederatedFunctionSpec& spec,
+                                       const appsys::AppSystemRegistry& systems,
+                                       const ParamRenderer& render_param);
+
+/// Wires the UDTF architecture into an FDBS.
+class UdtfCoupling {
+ public:
+  UdtfCoupling(fdbs::Database* db, const appsys::AppSystemRegistry* systems,
+               Controller* controller, const sim::LatencyModel* model,
+               sim::SystemState* state)
+      : db_(db),
+        systems_(systems),
+        controller_(controller),
+        model_(model),
+        state_(state) {}
+
+  /// Registers one A-UDTF per local function of every application system
+  /// (this alone is the paper's "simple UDTF architecture": applications can
+  /// reference the A-UDTFs directly and do the integration themselves).
+  Status RegisterAccessUdtfs();
+
+  /// Generates the CREATE FUNCTION ... LANGUAGE SQL RETURN SELECT text for a
+  /// spec. Unsupported for cyclic/looping mappings (SQL has no loop).
+  Result<std::string> CompileIUdtfSql(const FederatedFunctionSpec& spec) const;
+
+  /// Compiles, parses and registers the I-UDTF (instrumented with I-UDTF
+  /// start/finish and warm-up costs).
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+
+  /// Generates CREATE PROCEDURE ... BEGIN ... END text for a spec — PSM
+  /// stored procedures DO support control structures, so this works for the
+  /// cyclic case too. But the result is CALL-only: it cannot be referenced
+  /// in a FROM clause and thus does not compose with other federated
+  /// functions or tables (the paper's §2/§3 point).
+  Result<std::string> CompilePsmSql(const FederatedFunctionSpec& spec) const;
+
+  /// Compiles and registers the PSM procedure in the FDBS.
+  Status RegisterPsmProcedure(const FederatedFunctionSpec& spec);
+
+ private:
+  fdbs::Database* db_;
+  const appsys::AppSystemRegistry* systems_;
+  Controller* controller_;
+  const sim::LatencyModel* model_;
+  sim::SystemState* state_;
+};
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_UDTF_COUPLING_H_

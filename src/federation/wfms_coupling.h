@@ -1,0 +1,116 @@
+// The WfMS architecture (paper §2): a federated function is a workflow
+// process. The FDBS reaches it through one SQL/MED-style wrapper UDTF that
+// starts the process in the workflow engine; the engine calls the local
+// functions (each activity boots its own Java program, the dominant cost),
+// handles containers, parallel forks and loops.
+#ifndef FEDFLOW_FEDERATION_WFMS_COUPLING_H_
+#define FEDFLOW_FEDERATION_WFMS_COUPLING_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "appsys/registry.h"
+#include "fdbs/database.h"
+#include "federation/controller.h"
+#include "federation/med_wrapper.h"
+#include "federation/spec.h"
+#include "sim/latency.h"
+#include "sim/system_state.h"
+#include "wfms/engine.h"
+
+namespace fedflow::federation {
+
+/// ProgramInvoker used by the engine under this coupling: every program
+/// activity boots a fresh Java program (JVM boot cost) and then performs the
+/// local function call in the application system.
+class WfmsProgramInvoker : public wfms::ProgramInvoker {
+ public:
+  WfmsProgramInvoker(const appsys::AppSystemRegistry* systems,
+                     const sim::LatencyModel* model)
+      : systems_(systems), model_(model) {}
+
+  Result<wfms::InvokeResult> Invoke(const std::string& system,
+                                    const std::string& function,
+                                    const std::vector<Value>& args) override;
+
+ private:
+  const appsys::AppSystemRegistry* systems_;
+  const sim::LatencyModel* model_;
+};
+
+/// A compiled spec: the process plus the helpers it needs registered.
+struct CompiledProcess {
+  wfms::ProcessDefinition process;
+  std::vector<std::pair<std::string, wfms::HelperFn>> helpers;
+};
+
+/// The SQL/MED wrapper bridging the FDBS to the workflow engine.
+class WfmsWrapper : public ForeignFunctionWrapper {
+ public:
+  WfmsWrapper(wfms::Engine* engine, const appsys::AppSystemRegistry* systems,
+              Controller* controller, const sim::LatencyModel* model,
+              sim::SystemState* state)
+      : engine_(engine),
+        controller_(controller),
+        model_(model),
+        state_(state),
+        invoker_(systems, model) {}
+
+  std::string Name() const override { return "wfms"; }
+  std::vector<ForeignFunction> Functions() const override {
+    return functions_;
+  }
+
+  /// Adds a federated function served by this wrapper (its process must be
+  /// registered with the engine under the same name).
+  void AddFunction(ForeignFunction fn) {
+    functions_.push_back(std::move(fn));
+  }
+
+  Result<Table> Execute(const std::string& function,
+                        const std::vector<Value>& args,
+                        fdbs::ExecContext& ctx) override;
+
+  wfms::ProgramInvoker* invoker() { return &invoker_; }
+
+ private:
+  wfms::Engine* engine_;
+  Controller* controller_;
+  const sim::LatencyModel* model_;
+  sim::SystemState* state_;
+  WfmsProgramInvoker invoker_;
+  std::vector<ForeignFunction> functions_;
+};
+
+/// Wires the WfMS architecture into an FDBS + engine pair.
+class WfmsCoupling {
+ public:
+  WfmsCoupling(fdbs::Database* db, wfms::Engine* engine,
+               const appsys::AppSystemRegistry* systems,
+               Controller* controller, const sim::LatencyModel* model,
+               sim::SystemState* state);
+
+  /// Compiles a spec into a process definition plus required helpers.
+  /// Handles every mapping case including loops (the cyclic case).
+  Result<CompiledProcess> CompileProcess(
+      const FederatedFunctionSpec& spec) const;
+
+  /// Compiles the spec, registers helpers and process with the engine, and
+  /// registers the wrapper UDTF with the FDBS.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+
+  /// The wrapper instance (shared with the FDBS catalog).
+  const std::shared_ptr<WfmsWrapper>& wrapper() const { return wrapper_; }
+
+ private:
+  fdbs::Database* db_;
+  wfms::Engine* engine_;
+  const appsys::AppSystemRegistry* systems_;
+  std::shared_ptr<WfmsWrapper> wrapper_;
+};
+
+}  // namespace fedflow::federation
+
+#endif  // FEDFLOW_FEDERATION_WFMS_COUPLING_H_

@@ -1,0 +1,41 @@
+#include "sim/rmi.h"
+
+#include "common/codec.h"
+
+namespace fedflow::sim {
+
+Result<Table> RmiChannel::Invoke(const std::string& function,
+                                 const std::vector<Value>& args,
+                                 const Handler& handler,
+                                 CallCosts* costs) const {
+  // Marshal the request.
+  ByteWriter request;
+  request.PutString(function);
+  request.PutRow(args);
+
+  // Unmarshal on the callee side.
+  ByteReader reader(request.buffer());
+  FEDFLOW_ASSIGN_OR_RETURN(std::string remote_fn, reader.GetString());
+  FEDFLOW_ASSIGN_OR_RETURN(Row remote_args, reader.GetRow());
+  if (!reader.AtEnd()) {
+    return Status::Internal("rmi: trailing request bytes");
+  }
+
+  FEDFLOW_ASSIGN_OR_RETURN(Table result, handler(remote_fn, remote_args));
+
+  // Marshal the response and unmarshal it on the caller side.
+  ByteWriter response;
+  response.PutTable(result);
+  ByteReader response_reader(response.buffer());
+  FEDFLOW_ASSIGN_OR_RETURN(Table reconstructed, response_reader.GetTable());
+
+  if (costs != nullptr) {
+    costs->call_us =
+        model_->rmi_call_base_us + model_->MarshalCost(request.size());
+    costs->return_us =
+        model_->rmi_return_base_us + model_->MarshalCost(response.size());
+  }
+  return reconstructed;
+}
+
+}  // namespace fedflow::sim

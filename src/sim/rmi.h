@@ -1,0 +1,47 @@
+// Simulated RMI channel. Arguments and results really are marshalled through
+// the binary codec (as in the paper's Java-RMI prototype), and the modeled
+// wire cost depends on the marshalled size.
+#ifndef FEDFLOW_SIM_RMI_H_
+#define FEDFLOW_SIM_RMI_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+#include "sim/latency.h"
+
+namespace fedflow::sim {
+
+/// A synchronous request/response channel with marshalling.
+class RmiChannel {
+ public:
+  explicit RmiChannel(const LatencyModel* model) : model_(model) {}
+
+  /// Server side of a call: receives the function name and unmarshalled
+  /// arguments, returns the result table.
+  using Handler = std::function<Result<Table>(
+      const std::string& function, const std::vector<Value>& args)>;
+
+  /// Costs of one round trip.
+  struct CallCosts {
+    VDuration call_us = 0;    ///< request marshal + dispatch
+    VDuration return_us = 0;  ///< response marshal + unmarshal
+  };
+
+  /// Invokes `handler` "remotely": marshals `args`, unmarshals on the callee
+  /// side, runs the handler, round-trips the result table the same way.
+  /// Returns the reconstructed result; `costs` (optional) receives the
+  /// modeled wire costs.
+  Result<Table> Invoke(const std::string& function,
+                       const std::vector<Value>& args, const Handler& handler,
+                       CallCosts* costs) const;
+
+ private:
+  const LatencyModel* model_;
+};
+
+}  // namespace fedflow::sim
+
+#endif  // FEDFLOW_SIM_RMI_H_

@@ -1,0 +1,66 @@
+// Boot / warm-up state of the integration server, driving the paper's
+// cold / warm / hot measurements (§4: "right after the entire system has been
+// booted, after some other function has been invoked, and after the same
+// function has been processed").
+#ifndef FEDFLOW_SIM_SYSTEM_STATE_H_
+#define FEDFLOW_SIM_SYSTEM_STATE_H_
+
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+
+namespace fedflow::sim {
+
+/// Tracks which parts of the stack are warm.
+class SystemState {
+ public:
+  /// Call temperature for a federated function.
+  enum class Warmth {
+    kCold,  ///< first call since boot: all processes/connections cold
+    kWarm,  ///< infrastructure warm, but this function runs for the first time
+    kHot,   ///< this function has run before: everything cached
+  };
+
+  /// (Re)boots the system: everything becomes cold.
+  void Boot() {
+    infrastructure_warm_ = false;
+    warm_functions_.clear();
+  }
+
+  /// Warmth the next call of `function` will experience.
+  Warmth QueryWarmth(const std::string& function) const {
+    if (!infrastructure_warm_) return Warmth::kCold;
+    if (warm_functions_.count(ToUpper(function)) > 0) return Warmth::kHot;
+    return Warmth::kWarm;
+  }
+
+  /// Records a completed call of `function`.
+  void MarkRun(const std::string& function) {
+    infrastructure_warm_ = true;
+    warm_functions_.insert(ToUpper(function));
+  }
+
+  bool infrastructure_warm() const { return infrastructure_warm_; }
+
+ private:
+  bool infrastructure_warm_ = false;
+  std::set<std::string> warm_functions_;
+};
+
+/// Stable name of a warmth level ("cold"/"warm"/"hot").
+inline const char* WarmthName(SystemState::Warmth w) {
+  switch (w) {
+    case SystemState::Warmth::kCold:
+      return "cold";
+    case SystemState::Warmth::kWarm:
+      return "warm";
+    case SystemState::Warmth::kHot:
+      return "hot";
+  }
+  return "?";
+}
+
+}  // namespace fedflow::sim
+
+#endif  // FEDFLOW_SIM_SYSTEM_STATE_H_

@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace fedflow::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentCont(input[i])) ++i;
+      tokens.push_back(
+          {TokenType::kIdentifier, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return Status::InvalidArgument("malformed numeric literal at offset " +
+                                         std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      tokens.push_back({is_double ? TokenType::kDoubleLiteral
+                                  : TokenType::kIntLiteral,
+                        input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kStringLiteral, std::move(text), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=" ||
+          two == "||") {
+        tokens.push_back({TokenType::kSymbol, two, start});
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(),.*+-/%=<>;";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("illegal character '" + std::string(1, c) +
+                                   "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace fedflow::sql

@@ -1,0 +1,36 @@
+// SQL tokenizer for the fedflow SQL subset.
+#ifndef FEDFLOW_SQL_LEXER_H_
+#define FEDFLOW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fedflow::sql {
+
+/// Token categories. Keywords stay kIdentifier at lex time; the parser matches
+/// them case-insensitively, which keeps the lexer keyword-agnostic.
+enum class TokenType {
+  kIdentifier,      ///< bare identifier or keyword
+  kIntLiteral,      ///< 123
+  kDoubleLiteral,   ///< 1.5, .5, 2.
+  kStringLiteral,   ///< 'abc' with '' escaping
+  kSymbol,          ///< punctuation / operator, in `text`
+  kEnd,             ///< end of input sentinel
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< raw text; string literals are unescaped
+  size_t offset = 0;  ///< byte offset into the statement
+};
+
+/// Tokenizes `input`. Returns InvalidArgument on unterminated strings or
+/// illegal characters. The result always ends with a kEnd token.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace fedflow::sql
+
+#endif  // FEDFLOW_SQL_LEXER_H_

@@ -1,0 +1,70 @@
+#include "wfms/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fedflow::wfms {
+
+const char* AuditEventName(AuditEvent event) {
+  switch (event) {
+    case AuditEvent::kProcessStarted:
+      return "process started";
+    case AuditEvent::kProcessFinished:
+      return "process finished";
+    case AuditEvent::kActivityStarted:
+      return "activity started";
+    case AuditEvent::kActivityFinished:
+      return "activity finished";
+    case AuditEvent::kActivityDead:
+      return "activity dead";
+    case AuditEvent::kActivityFailed:
+      return "activity failed";
+    case AuditEvent::kLoopIteration:
+      return "loop iteration";
+  }
+  return "unknown";
+}
+
+void AuditTrail::Record(VTime time, AuditEvent event, std::string activity,
+                        std::string detail) {
+  entries_.push_back(
+      AuditEntry{time, event, std::move(activity), std::move(detail)});
+}
+
+std::vector<AuditEntry> AuditTrail::ForActivity(
+    const std::string& activity) const {
+  std::vector<AuditEntry> out;
+  for (const AuditEntry& e : entries_) {
+    if (EqualsIgnoreCase(e.activity, activity)) out.push_back(e);
+  }
+  return out;
+}
+
+void AuditTrail::Normalize() {
+  auto rank = [](const AuditEntry& e) {
+    if (e.event == AuditEvent::kProcessStarted) return 0;
+    if (e.event == AuditEvent::kProcessFinished) return 2;
+    return 1;
+  };
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [&](const AuditEntry& a, const AuditEntry& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     return a.activity < b.activity;
+                   });
+}
+
+std::string AuditTrail::ToString() const {
+  std::ostringstream os;
+  for (const AuditEntry& e : entries_) {
+    os << "[" << e.time << " us] " << AuditEventName(e.event);
+    if (!e.activity.empty()) os << " " << e.activity;
+    if (!e.detail.empty()) os << " (" << e.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedflow::wfms

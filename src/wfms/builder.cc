@@ -1,0 +1,108 @@
+#include "wfms/builder.h"
+
+#include "sql/parser.h"
+
+namespace fedflow::wfms {
+
+ProcessBuilder::ProcessBuilder(std::string name) {
+  def_.name = std::move(name);
+}
+
+ProcessBuilder& ProcessBuilder::Input(std::string name, DataType type) {
+  def_.input_params.push_back(Column{std::move(name), type});
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Program(std::string name, std::string system,
+                                        std::string function,
+                                        std::vector<InputSource> inputs) {
+  ActivityDef a;
+  a.name = std::move(name);
+  a.kind = ActivityKind::kProgram;
+  a.system = std::move(system);
+  a.function = std::move(function);
+  a.inputs = std::move(inputs);
+  def_.activities.push_back(std::move(a));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Helper(std::string name, std::string helper,
+                                       std::vector<InputSource> inputs) {
+  ActivityDef a;
+  a.name = std::move(name);
+  a.kind = ActivityKind::kHelper;
+  a.helper = std::move(helper);
+  a.inputs = std::move(inputs);
+  def_.activities.push_back(std::move(a));
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Block(std::string name,
+                                      std::shared_ptr<ProcessDefinition> sub,
+                                      std::vector<InputSource> inputs,
+                                      std::string exit_condition,
+                                      BlockAccumulate accumulate,
+                                      int max_iterations) {
+  ActivityDef a;
+  a.name = std::move(name);
+  a.kind = ActivityKind::kBlock;
+  a.sub = std::move(sub);
+  a.inputs = std::move(inputs);
+  a.accumulate = accumulate;
+  a.max_iterations = max_iterations;
+  def_.activities.push_back(std::move(a));
+  if (!exit_condition.empty()) {
+    pending_exits_.push_back(
+        PendingExit{def_.activities.size() - 1, std::move(exit_condition)});
+  }
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Join(JoinKind kind) {
+  if (!def_.activities.empty()) def_.activities.back().join = kind;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Connect(std::string from, std::string to,
+                                        std::string condition) {
+  pending_connectors_.push_back(
+      PendingConnector{std::move(from), std::move(to), std::move(condition)});
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Output(std::string activity) {
+  def_.output_activity = std::move(activity);
+  return *this;
+}
+
+Result<ProcessDefinition> ProcessBuilder::Build() {
+  ProcessDefinition def = def_;  // copy so the builder stays reusable
+  for (const PendingConnector& pc : pending_connectors_) {
+    ControlConnector c;
+    c.from = pc.from;
+    c.to = pc.to;
+    if (!pc.condition.empty()) {
+      FEDFLOW_ASSIGN_OR_RETURN(c.condition,
+                               sql::ParseExpression(pc.condition));
+    }
+    def.connectors.push_back(std::move(c));
+  }
+  for (const PendingExit& pe : pending_exits_) {
+    FEDFLOW_ASSIGN_OR_RETURN(
+        def.activities[pe.activity_index].exit_condition,
+        sql::ParseExpression(pe.condition));
+  }
+  // Default output: the last activity.
+  if (def.output_activity.empty() && !def.activities.empty()) {
+    def.output_activity = def.activities.back().name;
+  }
+  FEDFLOW_RETURN_NOT_OK(ValidateProcess(def));
+  return def;
+}
+
+Result<std::shared_ptr<ProcessDefinition>> ProcessBuilder::BuildShared() {
+  FEDFLOW_ASSIGN_OR_RETURN(ProcessDefinition def, Build());
+  return std::make_shared<ProcessDefinition>(std::move(def));
+}
+
+}  // namespace fedflow::wfms

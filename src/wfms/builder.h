@@ -1,0 +1,88 @@
+// Fluent construction of process definitions. Conditions are given as SQL
+// expression text and parsed at Build() time; Build() also validates.
+#ifndef FEDFLOW_WFMS_BUILDER_H_
+#define FEDFLOW_WFMS_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wfms/model.h"
+
+namespace fedflow::wfms {
+
+/// Builds a ProcessDefinition step by step.
+///
+///   ProcessBuilder b("GetSuppQual");
+///   b.Input("SupplierName", DataType::kVarchar);
+///   b.Program("GetSupplierNo", "purchasing", "GetSupplierNo",
+///             {InputSource::FromProcessInput("SupplierName")});
+///   b.Program("GetQuality", "stock", "GetQuality",
+///             {InputSource::FromActivity("GetSupplierNo", "SupplierNo")});
+///   b.Connect("GetSupplierNo", "GetQuality");
+///   b.Output("GetQuality");
+///   auto def = b.Build();
+class ProcessBuilder {
+ public:
+  explicit ProcessBuilder(std::string name);
+
+  /// Declares a process input parameter.
+  ProcessBuilder& Input(std::string name, DataType type);
+
+  /// Adds a program activity calling `function` of application `system`.
+  ProcessBuilder& Program(std::string name, std::string system,
+                          std::string function,
+                          std::vector<InputSource> inputs);
+
+  /// Adds a helper activity running registered helper `helper`.
+  ProcessBuilder& Helper(std::string name, std::string helper,
+                         std::vector<InputSource> inputs);
+
+  /// Adds a block activity running `sub` in a do-until loop. `exit_condition`
+  /// is SQL expression text ("" = run once); it may reference ITERATION,
+  /// block input parameters, and sub-process output columns.
+  ProcessBuilder& Block(std::string name,
+                        std::shared_ptr<ProcessDefinition> sub,
+                        std::vector<InputSource> inputs,
+                        std::string exit_condition = "",
+                        BlockAccumulate accumulate =
+                            BlockAccumulate::kLastIteration,
+                        int max_iterations = 10000);
+
+  /// Sets the join kind of the most recently added activity.
+  ProcessBuilder& Join(JoinKind kind);
+
+  /// Adds a control connector; `condition` is SQL expression text
+  /// ("" = unconditional).
+  ProcessBuilder& Connect(std::string from, std::string to,
+                          std::string condition = "");
+
+  /// Designates the activity whose output is the process result.
+  ProcessBuilder& Output(std::string activity);
+
+  /// Parses conditions, validates, and returns the definition.
+  Result<ProcessDefinition> Build();
+
+  /// Like Build(), wrapped in a shared_ptr (for use as a block sub-process).
+  Result<std::shared_ptr<ProcessDefinition>> BuildShared();
+
+ private:
+  struct PendingConnector {
+    std::string from;
+    std::string to;
+    std::string condition;
+  };
+  struct PendingExit {
+    size_t activity_index;
+    std::string condition;
+  };
+
+  ProcessDefinition def_;
+  std::vector<PendingConnector> pending_connectors_;
+  std::vector<PendingExit> pending_exits_;
+};
+
+}  // namespace fedflow::wfms
+
+#endif  // FEDFLOW_WFMS_BUILDER_H_

@@ -1,0 +1,195 @@
+#include "wfms/condition.h"
+
+#include "common/strings.h"
+
+namespace fedflow::wfms {
+
+using sql::BinaryExpr;
+using sql::BinaryOp;
+using sql::CaseExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+using sql::LiteralExpr;
+using sql::UnaryExpr;
+using sql::UnaryOp;
+
+namespace {
+
+Result<Value> Truth(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() == DataType::kBool) return v;
+  FEDFLOW_ASSIGN_OR_RETURN(int64_t n, v.ToInt64());
+  return Value::Bool(n != 0);
+}
+
+}  // namespace
+
+Result<Value> EvalCondition(const Expr& expr,
+                            const ConditionResolver& resolve) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      return resolve(ref.qualifier(), ref.name());
+    }
+    case ExprKind::kFunctionCall:
+      return Status::Unsupported(
+          "function calls are not allowed in workflow conditions");
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::Branch& b : case_expr.branches()) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvalCondition(*b.condition, resolve));
+        FEDFLOW_ASSIGN_OR_RETURN(Value truth, Truth(cond));
+        if (!truth.is_null() && truth.AsBool()) {
+          return EvalCondition(*b.value, resolve);
+        }
+      }
+      if (case_expr.else_value() != nullptr) {
+        return EvalCondition(*case_expr.else_value(), resolve);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      FEDFLOW_ASSIGN_OR_RETURN(Value v, EvalCondition(*un.operand(), resolve));
+      switch (un.op()) {
+        case UnaryOp::kNeg: {
+          if (v.is_null()) return Value::Null();
+          if (v.type() == DataType::kDouble) return Value::Double(-v.AsDouble());
+          FEDFLOW_ASSIGN_OR_RETURN(int64_t n, v.ToInt64());
+          return Value::BigInt(-n);
+        }
+        case UnaryOp::kNot: {
+          FEDFLOW_ASSIGN_OR_RETURN(Value t, Truth(v));
+          if (t.is_null()) return Value::Null();
+          return Value::Bool(!t.AsBool());
+        }
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("bad unary op in condition");
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      const BinaryOp op = bin.op();
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        FEDFLOW_ASSIGN_OR_RETURN(Value lv, EvalCondition(*bin.left(), resolve));
+        FEDFLOW_ASSIGN_OR_RETURN(Value lt, Truth(lv));
+        if (op == BinaryOp::kAnd && !lt.is_null() && !lt.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (op == BinaryOp::kOr && !lt.is_null() && lt.AsBool()) {
+          return Value::Bool(true);
+        }
+        FEDFLOW_ASSIGN_OR_RETURN(Value rv,
+                                 EvalCondition(*bin.right(), resolve));
+        FEDFLOW_ASSIGN_OR_RETURN(Value rt, Truth(rv));
+        if (op == BinaryOp::kAnd) {
+          if (!rt.is_null() && !rt.AsBool()) return Value::Bool(false);
+          if (lt.is_null() || rt.is_null()) return Value::Null();
+          return Value::Bool(true);
+        }
+        if (!rt.is_null() && rt.AsBool()) return Value::Bool(true);
+        if (lt.is_null() || rt.is_null()) return Value::Null();
+        return Value::Bool(false);
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(Value lv, EvalCondition(*bin.left(), resolve));
+      FEDFLOW_ASSIGN_OR_RETURN(Value rv, EvalCondition(*bin.right(), resolve));
+      switch (op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          if (lv.is_null() || rv.is_null()) return Value::Null();
+          FEDFLOW_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
+          switch (op) {
+            case BinaryOp::kEq:
+              return Value::Bool(cmp == 0);
+            case BinaryOp::kNe:
+              return Value::Bool(cmp != 0);
+            case BinaryOp::kLt:
+              return Value::Bool(cmp < 0);
+            case BinaryOp::kLe:
+              return Value::Bool(cmp <= 0);
+            case BinaryOp::kGt:
+              return Value::Bool(cmp > 0);
+            default:
+              return Value::Bool(cmp >= 0);
+          }
+        }
+        case BinaryOp::kConcat:
+          if (lv.is_null() || rv.is_null()) return Value::Null();
+          return Value::Varchar(lv.ToString() + rv.ToString());
+        case BinaryOp::kLike:
+          if (lv.is_null() || rv.is_null()) return Value::Null();
+          if (lv.type() != DataType::kVarchar ||
+              rv.type() != DataType::kVarchar) {
+            return Status::TypeError("LIKE requires VARCHAR operands");
+          }
+          return Value::Bool(SqlLike(lv.AsVarchar(), rv.AsVarchar()));
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          if (lv.is_null() || rv.is_null()) return Value::Null();
+          if (lv.type() == DataType::kDouble ||
+              rv.type() == DataType::kDouble) {
+            FEDFLOW_ASSIGN_OR_RETURN(double a, lv.ToDouble());
+            FEDFLOW_ASSIGN_OR_RETURN(double b, rv.ToDouble());
+            switch (op) {
+              case BinaryOp::kAdd:
+                return Value::Double(a + b);
+              case BinaryOp::kSub:
+                return Value::Double(a - b);
+              case BinaryOp::kMul:
+                return Value::Double(a * b);
+              case BinaryOp::kDiv:
+                if (b == 0) return Status::ExecutionError("division by zero");
+                return Value::Double(a / b);
+              default:
+                return Status::TypeError("MOD requires integers");
+            }
+          }
+          FEDFLOW_ASSIGN_OR_RETURN(int64_t a, lv.ToInt64());
+          FEDFLOW_ASSIGN_OR_RETURN(int64_t b, rv.ToInt64());
+          switch (op) {
+            case BinaryOp::kAdd:
+              return Value::BigInt(a + b);
+            case BinaryOp::kSub:
+              return Value::BigInt(a - b);
+            case BinaryOp::kMul:
+              return Value::BigInt(a * b);
+            case BinaryOp::kDiv:
+              if (b == 0) return Status::ExecutionError("division by zero");
+              return Value::BigInt(a / b);
+            default:
+              if (b == 0) return Status::ExecutionError("modulo by zero");
+              return Value::BigInt(a % b);
+          }
+        }
+        default:
+          return Status::Internal("unhandled binary op in condition");
+      }
+    }
+  }
+  return Status::Internal("bad expression kind in condition");
+}
+
+Result<bool> EvalConditionBool(const Expr& expr,
+                               const ConditionResolver& resolve) {
+  FEDFLOW_ASSIGN_OR_RETURN(Value v, EvalCondition(expr, resolve));
+  if (v.is_null()) return false;
+  if (v.type() == DataType::kBool) return v.AsBool();
+  FEDFLOW_ASSIGN_OR_RETURN(int64_t n, v.ToInt64());
+  return n != 0;
+}
+
+}  // namespace fedflow::wfms

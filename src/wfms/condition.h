@@ -1,0 +1,34 @@
+// Transition/exit condition evaluation. Conditions reuse the SQL expression
+// grammar (parsed with sql::ParseExpression) but are evaluated over workflow
+// data: activity output columns, process input fields, loop counters.
+#ifndef FEDFLOW_WFMS_CONDITION_H_
+#define FEDFLOW_WFMS_CONDITION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace fedflow::wfms {
+
+/// Maps a (qualifier, name) reference to a value. Qualifiers are activity
+/// names ("GetQuality.Qual"), empty for process inputs / loop counters.
+using ConditionResolver = std::function<Result<Value>(
+    const std::string& qualifier, const std::string& name)>;
+
+/// Evaluates `expr` with `resolve`. Supports literals, references, arithmetic,
+/// comparisons, AND/OR/NOT and IS [NOT] NULL with SQL three-valued logic;
+/// function calls are rejected (conditions are data predicates only).
+Result<Value> EvalCondition(const sql::Expr& expr,
+                            const ConditionResolver& resolve);
+
+/// Convenience: evaluates and collapses to bool (NULL/unknown => false, as a
+/// transition condition that cannot be proven true does not fire).
+Result<bool> EvalConditionBool(const sql::Expr& expr,
+                               const ConditionResolver& resolve);
+
+}  // namespace fedflow::wfms
+
+#endif  // FEDFLOW_WFMS_CONDITION_H_

@@ -1,0 +1,48 @@
+// Workflow data containers. In a production-workflow system (FlowMark /
+// MQSeries Workflow lineage) every activity reads an input container and
+// writes an output container; data connectors move fields between them. Our
+// container holds named slots, each a Table (scalars are 1x1 tables), which
+// uniformly covers scalar parameters and table-valued function results.
+#ifndef FEDFLOW_WFMS_CONTAINER_H_
+#define FEDFLOW_WFMS_CONTAINER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+
+namespace fedflow::wfms {
+
+/// Named, ordered collection of tables. Used as the process-instance data
+/// space: one slot per completed activity (its output container) plus the
+/// process input fields.
+class Container {
+ public:
+  /// Sets (or replaces) slot `name`.
+  void Set(const std::string& name, Table table);
+
+  /// The slot's table; NotFound when absent.
+  Result<const Table*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Slot names in insertion order.
+  std::vector<std::string> Names() const;
+
+  /// Wraps a scalar into a 1x1 table with column `column`.
+  static Table WrapScalar(const std::string& column, const Value& value);
+
+  /// Extracts a scalar from `table` column `column`; the table must have
+  /// exactly one row (the paper's program activities take scalar inputs).
+  static Result<Value> ExtractScalar(const Table& table,
+                                     const std::string& column);
+
+ private:
+  std::vector<std::pair<std::string, Table>> slots_;
+};
+
+}  // namespace fedflow::wfms
+
+#endif  // FEDFLOW_WFMS_CONTAINER_H_

@@ -1,0 +1,574 @@
+#include "wfms/engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/strings.h"
+#include "wfms/condition.h"
+#include "wfms/container.h"
+#include "wfms/helpers.h"
+
+namespace fedflow::wfms {
+
+namespace {
+
+/// Lifecycle of one activity within an instance.
+enum class AState { kWaiting, kScheduled, kFinished, kDead, kFailed };
+
+struct ActState {
+  AState state = AState::kWaiting;
+  int incoming = 0;    ///< number of incoming control connectors
+  int unresolved = 0;  ///< incoming connectors not yet evaluated
+  int true_in = 0;     ///< incoming connectors that evaluated to true
+  VTime ready = 0;     ///< max resolution time over incoming connectors
+  VTime end = 0;       ///< completion time (finished activities)
+};
+
+}  // namespace
+
+/// Navigates one process instance. Pool mode executes ready activities on the
+/// engine's thread pool (real parallelism); inline mode (used for nested
+/// block sub-processes) drains a ready-queue on the calling thread. Virtual
+/// token timestamps are identical in both modes.
+class InstanceRunner {
+ public:
+  InstanceRunner(Engine* engine, const ProcessDefinition& def,
+                 const std::vector<Value>& args, ProgramInvoker* invoker,
+                 bool use_pool)
+      : engine_(engine),
+        def_(def),
+        invoker_(invoker),
+        use_pool_(use_pool),
+        raw_args_(args) {}
+
+  Result<ProcessResult> Run();
+
+ private:
+  struct Work {
+    size_t idx;
+    VTime start;
+  };
+
+  // Must hold mu_.
+  void Schedule(size_t idx, VTime start);
+  void MarkDead(size_t idx, VTime t);
+  void ResolveOutgoing(size_t idx, VTime t, bool source_ran);
+  void Fail(const Status& status, size_t idx, VTime t);
+
+  /// Task body; acquires mu_ internally.
+  void ExecuteActivity(size_t idx, VTime start);
+
+  /// Resolves one input source. Must hold mu_.
+  Result<Table> ResolveInput(const InputSource& in) const;
+  Result<Value> ResolveInputScalar(const InputSource& in) const;
+
+  /// Condition resolver over instance data. Must hold mu_.
+  Result<Value> ResolveRef(const std::string& qualifier,
+                           const std::string& name) const;
+
+  /// Runs the external work of an activity. Must NOT hold mu_; `inputs`
+  /// were resolved under the lock beforehand.
+  Result<InvokeResult> DoProgram(const ActivityDef& a,
+                                 const std::vector<Value>& args);
+  Result<InvokeResult> DoHelper(const ActivityDef& a,
+                                const std::vector<Table>& inputs);
+  Result<InvokeResult> DoBlock(const ActivityDef& a,
+                               const std::vector<Value>& args);
+
+  Engine* engine_;
+  const ProcessDefinition& def_;
+  ProgramInvoker* invoker_;
+  const bool use_pool_;
+  const std::vector<Value>& raw_args_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ActState> states_;
+  std::vector<std::vector<const ControlConnector*>> outgoing_;
+  std::vector<std::pair<std::string, Value>> inputs_;  // process input fields
+  Container data_;                                     // activity outputs
+  std::deque<Work> inline_queue_;
+  int outstanding_ = 0;
+  Status error_;
+  AuditTrail audit_;
+  TimeBreakdown breakdown_;
+};
+
+Result<ProcessResult> InstanceRunner::Run() {
+  const size_t n = def_.activities.size();
+
+  // Bind and coerce process inputs.
+  if (raw_args_.size() != def_.input_params.size()) {
+    return Status::InvalidArgument(
+        "process " + def_.name + " expects " +
+        std::to_string(def_.input_params.size()) + " argument(s), got " +
+        std::to_string(raw_args_.size()));
+  }
+  for (size_t i = 0; i < raw_args_.size(); ++i) {
+    FEDFLOW_ASSIGN_OR_RETURN(Value v,
+                             raw_args_[i].CastTo(def_.input_params[i].type));
+    inputs_.emplace_back(def_.input_params[i].name, std::move(v));
+  }
+
+  states_.resize(n);
+  outgoing_.resize(n);
+  for (const ControlConnector& c : def_.connectors) {
+    FEDFLOW_ASSIGN_OR_RETURN(size_t from, def_.ActivityIndex(c.from));
+    FEDFLOW_ASSIGN_OR_RETURN(size_t to, def_.ActivityIndex(c.to));
+    outgoing_[from].push_back(&c);
+    states_[to].incoming += 1;
+    states_[to].unresolved += 1;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    audit_.Record(0, AuditEvent::kProcessStarted, "", def_.name);
+    for (size_t i = 0; i < n; ++i) {
+      if (states_[i].incoming == 0) Schedule(i, 0);
+    }
+    if (use_pool_) {
+      cv_.wait(lock, [this] { return outstanding_ == 0; });
+    } else {
+      while (true) {
+        if (inline_queue_.empty()) {
+          if (outstanding_ == 0) break;
+          // Inline mode is single-threaded; outstanding without queued work
+          // cannot happen.
+          return Status::Internal("inline navigator stalled");
+        }
+        Work w = inline_queue_.front();
+        inline_queue_.pop_front();
+        lock.unlock();
+        ExecuteActivity(w.idx, w.start);
+        lock.lock();
+      }
+    }
+  }
+
+  // Assemble the result (single-threaded again from here).
+  FEDFLOW_RETURN_NOT_OK(error_);
+  VTime end_time = 0;
+  for (const ActState& s : states_) {
+    end_time = std::max(end_time, std::max(s.end, s.ready));
+  }
+  audit_.Record(end_time, AuditEvent::kProcessFinished, "", def_.name);
+  audit_.Normalize();
+
+  FEDFLOW_ASSIGN_OR_RETURN(size_t out_idx,
+                           def_.ActivityIndex(def_.output_activity));
+  if (states_[out_idx].state == AState::kDead) {
+    return Status::ExecutionError("output activity " + def_.output_activity +
+                                  " was removed by dead-path elimination");
+  }
+  if (states_[out_idx].state != AState::kFinished) {
+    return Status::Internal("output activity " + def_.output_activity +
+                            " did not finish");
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(const Table* out, data_.Get(def_.output_activity));
+
+  ProcessResult result;
+  result.output = *out;
+  result.elapsed_us = end_time;
+  result.breakdown = std::move(breakdown_);
+  result.audit = std::move(audit_);
+  return result;
+}
+
+void InstanceRunner::Schedule(size_t idx, VTime start) {
+  states_[idx].state = AState::kScheduled;
+  ++outstanding_;
+  if (use_pool_) {
+    engine_->pool_->Submit([this, idx, start] { ExecuteActivity(idx, start); });
+  } else {
+    inline_queue_.push_back(Work{idx, start});
+  }
+}
+
+void InstanceRunner::MarkDead(size_t idx, VTime t) {
+  states_[idx].state = AState::kDead;
+  audit_.Record(t, AuditEvent::kActivityDead, def_.activities[idx].name);
+  ResolveOutgoing(idx, t, /*source_ran=*/false);
+}
+
+void InstanceRunner::ResolveOutgoing(size_t idx, VTime t, bool source_ran) {
+  for (const ControlConnector* c : outgoing_[idx]) {
+    bool truth = false;
+    if (source_ran && error_.ok()) {
+      if (c->condition == nullptr) {
+        truth = true;
+      } else {
+        Result<bool> eval = EvalConditionBool(
+            *c->condition, [this](const std::string& q, const std::string& n) {
+              return ResolveRef(q, n);
+            });
+        if (!eval.ok()) {
+          error_ = eval.status().WithContext(
+              "evaluating transition condition " + c->from + " -> " + c->to);
+          return;
+        }
+        truth = *eval;
+      }
+    }
+    size_t to = *def_.ActivityIndex(c->to);
+    ActState& st = states_[to];
+    st.unresolved -= 1;
+    st.ready = std::max(st.ready, t);
+    if (truth) st.true_in += 1;
+    if (st.unresolved == 0 && st.state == AState::kWaiting && error_.ok()) {
+      const JoinKind join = def_.activities[to].join;
+      const bool should_run = join == JoinKind::kAnd
+                                  ? st.true_in == st.incoming
+                                  : st.true_in > 0;
+      if (should_run) {
+        Schedule(to, st.ready);
+      } else {
+        MarkDead(to, st.ready);
+      }
+    }
+  }
+}
+
+void InstanceRunner::Fail(const Status& status, size_t idx, VTime t) {
+  states_[idx].state = AState::kFailed;
+  audit_.Record(t, AuditEvent::kActivityFailed, def_.activities[idx].name,
+                status.ToString());
+  if (error_.ok()) {
+    error_ = status.WithContext("activity " + def_.activities[idx].name +
+                                " in process " + def_.name);
+  }
+}
+
+Result<Table> InstanceRunner::ResolveInput(const InputSource& in) const {
+  switch (in.kind) {
+    case InputSource::Kind::kConstant:
+      return Container::WrapScalar("value", in.constant);
+    case InputSource::Kind::kProcessInput: {
+      for (const auto& [name, value] : inputs_) {
+        if (EqualsIgnoreCase(name, in.param)) {
+          return Container::WrapScalar(name, value);
+        }
+      }
+      return Status::NotFound("process input not found: " + in.param);
+    }
+    case InputSource::Kind::kActivityOutput: {
+      if (!data_.Has(in.activity)) {
+        // A dead-path-eliminated source supplies no data: its consumers see
+        // an empty table (helpers like union_all skip it; scalar consumers
+        // fail with a clear message).
+        auto idx = def_.ActivityIndex(in.activity);
+        if (idx.ok() && states_[*idx].state == AState::kDead) {
+          return Table();
+        }
+      }
+      FEDFLOW_ASSIGN_OR_RETURN(const Table* t, data_.Get(in.activity));
+      if (in.column.empty()) return *t;
+      FEDFLOW_ASSIGN_OR_RETURN(size_t idx, t->schema().FindColumn(in.column));
+      Schema schema;
+      schema.AddColumn(t->schema().column(idx).name,
+                       t->schema().column(idx).type);
+      Table out(schema);
+      for (const Row& r : t->rows()) out.AppendRowUnchecked({r[idx]});
+      return out;
+    }
+  }
+  return Status::Internal("bad input source kind");
+}
+
+Result<Value> InstanceRunner::ResolveInputScalar(const InputSource& in) const {
+  FEDFLOW_ASSIGN_OR_RETURN(Table t, ResolveInput(in));
+  if (t.schema().num_columns() != 1) {
+    return Status::ExecutionError(
+        "scalar input requires a single-column source; specify a column");
+  }
+  if (t.num_rows() != 1) {
+    return Status::ExecutionError(
+        "scalar input requires exactly one row, got " +
+        std::to_string(t.num_rows()));
+  }
+  return t.rows()[0][0];
+}
+
+Result<Value> InstanceRunner::ResolveRef(const std::string& qualifier,
+                                         const std::string& name) const {
+  if (qualifier.empty() || EqualsIgnoreCase(qualifier, "INPUT")) {
+    for (const auto& [pname, value] : inputs_) {
+      if (EqualsIgnoreCase(pname, name)) return value;
+    }
+    if (!qualifier.empty()) {
+      return Status::NotFound("process input not found: " + name);
+    }
+  }
+  if (!qualifier.empty()) {
+    FEDFLOW_ASSIGN_OR_RETURN(const Table* t, data_.Get(qualifier));
+    if (t->num_rows() == 0) return Value::Null();
+    FEDFLOW_ASSIGN_OR_RETURN(size_t idx, t->schema().FindColumn(name));
+    return t->rows()[0][idx];
+  }
+  // Unqualified, not a process input: search completed activity outputs.
+  for (const std::string& slot : data_.Names()) {
+    const Table* t = *data_.Get(slot);
+    if (t->schema().IndexOf(name).has_value()) {
+      if (t->num_rows() == 0) return Value::Null();
+      return t->rows()[0][*t->schema().IndexOf(name)];
+    }
+  }
+  return Status::NotFound("condition reference not found: " + name);
+}
+
+void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
+  const ActivityDef& a = def_.activities[idx];
+
+  // Resolve inputs under the lock (reads shared instance data).
+  std::vector<Value> scalar_args;
+  std::vector<Table> table_args;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) {
+      // Process already failed; retire without running.
+      states_[idx].state = AState::kFailed;
+      if (--outstanding_ == 0) cv_.notify_all();
+      return;
+    }
+    Status st = Status::OK();
+    for (const InputSource& in : a.inputs) {
+      if (a.kind == ActivityKind::kHelper) {
+        Result<Table> t = ResolveInput(in);
+        if (!t.ok()) {
+          st = t.status();
+          break;
+        }
+        table_args.push_back(std::move(*t));
+      } else {
+        Result<Value> v = ResolveInputScalar(in);
+        if (!v.ok()) {
+          st = v.status();
+          break;
+        }
+        scalar_args.push_back(std::move(*v));
+      }
+    }
+    if (!st.ok()) {
+      Fail(st.WithContext("resolving inputs"), idx, start);
+      if (--outstanding_ == 0) cv_.notify_all();
+      return;
+    }
+    audit_.Record(start, AuditEvent::kActivityStarted, a.name);
+  }
+
+  // External work, outside the lock.
+  Result<InvokeResult> work = [&]() -> Result<InvokeResult> {
+    switch (a.kind) {
+      case ActivityKind::kProgram:
+        return DoProgram(a, scalar_args);
+      case ActivityKind::kHelper:
+        return DoHelper(a, table_args);
+      case ActivityKind::kBlock:
+        return DoBlock(a, scalar_args);
+    }
+    return Status::Internal("bad activity kind");
+  }();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!work.ok()) {
+    Fail(work.status(), idx, start);
+  } else {
+    const EngineOptions& opts = engine_->options_;
+    VDuration dur =
+        opts.navigation_cost_us + opts.container_cost_us + work->duration;
+    VTime end = start + dur;
+    states_[idx].state = AState::kFinished;
+    states_[idx].end = end;
+    data_.Set(a.name, std::move(work->output));
+    if (opts.navigation_cost_us > 0) {
+      breakdown_.Add(steps::kWorkflowNavigation, opts.navigation_cost_us);
+    }
+    if (opts.container_cost_us > 0) {
+      breakdown_.Add(steps::kProcessActivities, opts.container_cost_us);
+    }
+    breakdown_.Merge(work->steps);
+    audit_.Record(end, AuditEvent::kActivityFinished, a.name);
+    ResolveOutgoing(idx, end, /*source_ran=*/true);
+  }
+  if (--outstanding_ == 0) cv_.notify_all();
+}
+
+Result<InvokeResult> InstanceRunner::DoProgram(const ActivityDef& a,
+                                               const std::vector<Value>& args) {
+  if (invoker_ == nullptr) {
+    return Status::InvalidArgument(
+        "process contains program activities but no invoker was supplied");
+  }
+  return invoker_->Invoke(a.system, a.function, args);
+}
+
+Result<InvokeResult> InstanceRunner::DoHelper(const ActivityDef& a,
+                                              const std::vector<Table>& inputs) {
+  HelperFn fn;
+  {
+    auto it = engine_->helpers_.find(ToUpper(a.helper));
+    if (it == engine_->helpers_.end()) {
+      return Status::NotFound("helper not registered: " + a.helper);
+    }
+    fn = it->second;
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(Table out, fn(inputs));
+  InvokeResult result;
+  result.output = std::move(out);
+  result.duration = engine_->options_.helper_cost_us;
+  if (result.duration > 0) {
+    result.steps.Add(steps::kProcessActivities, result.duration);
+  }
+  return result;
+}
+
+Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
+                                             const std::vector<Value>& args) {
+  InvokeResult result;
+  std::vector<Table> iteration_outputs;
+  Table last_output;
+  VDuration total = 0;
+  int iteration = 0;
+
+  // Position of the implicit ITERATION parameter in the sub-process, if any.
+  int iter_param = -1;
+  for (size_t i = 0; i < a.sub->input_params.size(); ++i) {
+    if (EqualsIgnoreCase(a.sub->input_params[i].name, "ITERATION")) {
+      iter_param = static_cast<int>(i);
+    }
+  }
+
+  while (true) {
+    ++iteration;
+    if (iteration > a.max_iterations) {
+      return Status::ExecutionError(
+          "block " + a.name + " exceeded max_iterations (" +
+          std::to_string(a.max_iterations) + ")");
+    }
+    std::vector<Value> sub_args = args;
+    if (iter_param >= 0) sub_args[iter_param] = Value::Int(iteration);
+
+    InstanceRunner sub(engine_, *a.sub, sub_args, invoker_,
+                       /*use_pool=*/false);
+    FEDFLOW_ASSIGN_OR_RETURN(ProcessResult sub_result, sub.Run());
+    total += sub_result.elapsed_us;
+    result.steps.Merge(sub_result.breakdown);
+    last_output = std::move(sub_result.output);
+    if (a.accumulate == BlockAccumulate::kUnionAll) {
+      iteration_outputs.push_back(last_output);
+    }
+    {
+      // Audit the iteration on the parent trail.
+      std::lock_guard<std::mutex> lock(mu_);
+      audit_.Record(total, AuditEvent::kLoopIteration, a.name,
+                    "iteration " + std::to_string(iteration));
+    }
+
+    if (a.exit_condition == nullptr) break;
+    auto resolver = [&](const std::string& qualifier,
+                        const std::string& name) -> Result<Value> {
+      if (qualifier.empty() || EqualsIgnoreCase(qualifier, "LOOP")) {
+        if (EqualsIgnoreCase(name, "ITERATION")) return Value::Int(iteration);
+        if (EqualsIgnoreCase(name, "ROWCOUNT")) {
+          return Value::BigInt(static_cast<int64_t>(last_output.num_rows()));
+        }
+        // Block input parameters by name.
+        for (size_t i = 0; i < a.sub->input_params.size(); ++i) {
+          if (EqualsIgnoreCase(a.sub->input_params[i].name, name)) {
+            return sub_args[i];
+          }
+        }
+      }
+      // Sub-process output columns (first row), qualified by the sub-process
+      // name or unqualified.
+      if (qualifier.empty() || EqualsIgnoreCase(qualifier, a.sub->name)) {
+        auto idx = last_output.schema().IndexOf(name);
+        if (idx.has_value()) {
+          if (last_output.num_rows() == 0) return Value::Null();
+          return last_output.rows()[0][*idx];
+        }
+      }
+      return Status::NotFound("exit-condition reference not found: " + name);
+    };
+    FEDFLOW_ASSIGN_OR_RETURN(bool done,
+                             EvalConditionBool(*a.exit_condition, resolver));
+    if (done) break;
+  }
+
+  if (a.accumulate == BlockAccumulate::kUnionAll) {
+    Table merged(iteration_outputs.front().schema());
+    for (const Table& t : iteration_outputs) {
+      for (const Row& r : t.rows()) {
+        FEDFLOW_RETURN_NOT_OK(merged.AppendRow(r));
+      }
+    }
+    result.output = std::move(merged);
+  } else {
+    result.output = std::move(last_output);
+  }
+  result.duration = total;
+  return result;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  helpers_.emplace("IDENTITY", MakeIdentityHelper());
+  helpers_.emplace("CONCAT", MakeConcatHelper());
+  helpers_.emplace("UNION_ALL", MakeUnionAllHelper());
+}
+
+Engine::~Engine() = default;
+
+Status Engine::RegisterProcess(ProcessDefinition def) {
+  FEDFLOW_RETURN_NOT_OK(ValidateProcess(def));
+  std::string key = ToUpper(def.name);
+  if (processes_.count(key) > 0) {
+    return Status::AlreadyExists("process already registered: " + def.name);
+  }
+  processes_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+Result<const ProcessDefinition*> Engine::GetProcess(
+    const std::string& name) const {
+  auto it = processes_.find(ToUpper(name));
+  if (it == processes_.end()) {
+    return Status::NotFound("process not registered: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Engine::ProcessNames() const {
+  std::vector<std::string> names;
+  names.reserve(processes_.size());
+  for (const auto& [key, def] : processes_) names.push_back(def.name);
+  return names;
+}
+
+Status Engine::RegisterHelper(const std::string& name, HelperFn fn) {
+  std::string key = ToUpper(name);
+  if (helpers_.count(key) > 0) {
+    return Status::AlreadyExists("helper already registered: " + name);
+  }
+  helpers_.emplace(std::move(key), std::move(fn));
+  return Status::OK();
+}
+
+Result<ProcessResult> Engine::Run(const std::string& process,
+                                  const std::vector<Value>& args,
+                                  ProgramInvoker* invoker) {
+  FEDFLOW_ASSIGN_OR_RETURN(const ProcessDefinition* def, GetProcess(process));
+  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true);
+  return runner.Run();
+}
+
+Result<ProcessResult> Engine::RunDefinition(const ProcessDefinition& def,
+                                            const std::vector<Value>& args,
+                                            ProgramInvoker* invoker) {
+  FEDFLOW_RETURN_NOT_OK(ValidateProcess(def));
+  InstanceRunner runner(this, def, args, invoker, /*use_pool=*/true);
+  return runner.Run();
+}
+
+}  // namespace fedflow::wfms

@@ -1,0 +1,49 @@
+// FDL — a small textual process-definition language in the spirit of
+// MQSeries Workflow's Flow Definition Language. Line-oriented:
+//
+//   -- the paper's Fig. 1 process
+//   PROCESS BuySuppComp (SupplierNo INT, CompName VARCHAR)
+//     PROGRAM GetQuality SYSTEM stock FUNCTION GetQuality IN (INPUT.SupplierNo)
+//     PROGRAM GetReliability SYSTEM purchasing FUNCTION GetReliability
+//         IN (INPUT.SupplierNo)
+//     PROGRAM GetGrade SYSTEM pdm FUNCTION GetGrade
+//         IN (GetQuality.Qual, GetReliability.Relia)
+//     CONNECT GetQuality -> GetGrade
+//     CONNECT GetReliability -> GetGrade
+//     OUTPUT GetGrade
+//   END
+//
+// Statements (one per line; a trailing '\' continues on the next line):
+//   PROCESS name (param TYPE, ...)
+//   PROGRAM name SYSTEM sys FUNCTION fn [JOIN OR] [IN (src, ...)]
+//   HELPER name USING helper [JOIN OR] [IN (src, ...)]
+//   BLOCK name SUB process [JOIN OR] [IN (src, ...)] [UNION]
+//       [MAXITER n] [UNTIL expr-to-end-of-line]
+//   CONNECT from -> to [WHEN expr-to-end-of-line]
+//   OUTPUT activity
+//   END
+//
+// Input sources: INPUT.field | Activity.Column | Activity.* (whole table) |
+// literal. BLOCK SUB references a PROCESS defined earlier in the document.
+#ifndef FEDFLOW_WFMS_FDL_H_
+#define FEDFLOW_WFMS_FDL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wfms/model.h"
+
+namespace fedflow::wfms {
+
+/// Parses an FDL document into validated process definitions, in document
+/// order. InvalidArgument (with a line number) on syntax or semantic errors.
+Result<std::vector<ProcessDefinition>> ParseFdl(const std::string& text);
+
+/// Renders a process definition back to FDL text (block sub-processes are
+/// emitted as preceding PROCESS definitions).
+std::string ToFdl(const ProcessDefinition& def);
+
+}  // namespace fedflow::wfms
+
+#endif  // FEDFLOW_WFMS_FDL_H_

@@ -1,0 +1,177 @@
+#include "wfms/helpers.h"
+
+#include <unordered_map>
+
+namespace fedflow::wfms {
+
+HelperFn MakeIdentityHelper() {
+  return [](const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.size() != 1) {
+      return Status::InvalidArgument("identity helper expects 1 input");
+    }
+    return inputs[0];
+  };
+}
+
+HelperFn MakeCastHelper(std::string column, DataType target) {
+  return [column = std::move(column),
+          target](const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.size() != 1) {
+      return Status::InvalidArgument("cast helper expects 1 input");
+    }
+    const Table& in = inputs[0];
+    FEDFLOW_ASSIGN_OR_RETURN(size_t idx, in.schema().FindColumn(column));
+    Schema schema;
+    for (size_t c = 0; c < in.schema().num_columns(); ++c) {
+      schema.AddColumn(in.schema().column(c).name,
+                       c == idx ? target : in.schema().column(c).type);
+    }
+    Table out(schema);
+    for (const Row& r : in.rows()) {
+      Row row = r;
+      FEDFLOW_ASSIGN_OR_RETURN(row[idx], row[idx].CastTo(target));
+      out.AppendRowUnchecked(std::move(row));
+    }
+    return out;
+  };
+}
+
+HelperFn MakeRenameHelper(std::vector<std::string> names) {
+  return [names =
+              std::move(names)](const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.size() != 1) {
+      return Status::InvalidArgument("rename helper expects 1 input");
+    }
+    const Table& in = inputs[0];
+    if (in.schema().num_columns() != names.size()) {
+      return Status::InvalidArgument("rename helper: arity mismatch");
+    }
+    Schema schema;
+    for (size_t c = 0; c < names.size(); ++c) {
+      schema.AddColumn(names[c], in.schema().column(c).type);
+    }
+    return Table(schema, in.rows());
+  };
+}
+
+HelperFn MakeConcatHelper() {
+  return [](const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.empty()) {
+      return Status::InvalidArgument("concat helper expects >= 1 input");
+    }
+    Schema schema;
+    Row row;
+    for (const Table& in : inputs) {
+      if (in.num_rows() != 1) {
+        return Status::ExecutionError(
+            "concat helper requires single-row inputs");
+      }
+      for (size_t c = 0; c < in.schema().num_columns(); ++c) {
+        schema.AddColumn(in.schema().column(c).name, in.schema().column(c).type);
+        row.push_back(in.rows()[0][c]);
+      }
+    }
+    Table out(schema);
+    out.AppendRowUnchecked(std::move(row));
+    return out;
+  };
+}
+
+HelperFn MakeUnionAllHelper() {
+  return [](const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.empty()) {
+      return Status::InvalidArgument("union helper expects >= 1 input");
+    }
+    // Zero-column inputs come from dead-path-eliminated branches; skip them.
+    const Schema* schema = nullptr;
+    for (const Table& in : inputs) {
+      if (in.schema().num_columns() > 0) {
+        schema = &in.schema();
+        break;
+      }
+    }
+    if (schema == nullptr) return Table();
+    Table out(*schema);
+    for (const Table& in : inputs) {
+      if (in.schema().num_columns() == 0) continue;
+      if (in.schema().num_columns() != out.schema().num_columns()) {
+        return Status::TypeError("union helper: arity mismatch");
+      }
+      for (const Row& r : in.rows()) {
+        FEDFLOW_RETURN_NOT_OK(out.AppendRow(r));
+      }
+    }
+    return out;
+  };
+}
+
+HelperFn MakeJoinHelper(std::string left_column, std::string right_column) {
+  return [lc = std::move(left_column), rc = std::move(right_column)](
+             const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.size() != 2) {
+      return Status::InvalidArgument("join helper expects 2 inputs");
+    }
+    const Table& left = inputs[0];
+    const Table& right = inputs[1];
+    FEDFLOW_ASSIGN_OR_RETURN(size_t li, left.schema().FindColumn(lc));
+    FEDFLOW_ASSIGN_OR_RETURN(size_t ri, right.schema().FindColumn(rc));
+    // Build hash table on the right side.
+    std::unordered_multimap<size_t, size_t> index;
+    index.reserve(right.num_rows());
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      index.emplace(right.rows()[r][ri].Hash(), r);
+    }
+    Schema schema = left.schema().Concat(right.schema());
+    Table out(schema);
+    for (const Row& lrow : left.rows()) {
+      auto [lo, hi] = index.equal_range(lrow[li].Hash());
+      for (auto it = lo; it != hi; ++it) {
+        const Row& rrow = right.rows()[it->second];
+        if (!lrow[li].SqlEquals(rrow[ri])) continue;
+        Row combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        out.AppendRowUnchecked(std::move(combined));
+      }
+    }
+    return out;
+  };
+}
+
+HelperFn MakeProjectHelper(std::vector<std::string> columns) {
+  return [columns = std::move(columns)](
+             const std::vector<Table>& inputs) -> Result<Table> {
+    if (inputs.size() != 1) {
+      return Status::InvalidArgument("project helper expects 1 input");
+    }
+    const Table& in = inputs[0];
+    Schema schema;
+    std::vector<size_t> idx;
+    for (const std::string& c : columns) {
+      FEDFLOW_ASSIGN_OR_RETURN(size_t i, in.schema().FindColumn(c));
+      idx.push_back(i);
+      schema.AddColumn(in.schema().column(i).name, in.schema().column(i).type);
+    }
+    Table out(schema);
+    for (const Row& r : in.rows()) {
+      Row row;
+      row.reserve(idx.size());
+      for (size_t i : idx) row.push_back(r[i]);
+      out.AppendRowUnchecked(std::move(row));
+    }
+    return out;
+  };
+}
+
+HelperFn MakeConstHelper(std::string name, Value value) {
+  return [name = std::move(name),
+          value = std::move(value)](const std::vector<Table>&) -> Result<Table> {
+    Schema schema;
+    schema.AddColumn(name,
+                     value.is_null() ? DataType::kVarchar : value.type());
+    Table out(schema);
+    out.AppendRowUnchecked({value});
+    return out;
+  };
+}
+
+}  // namespace fedflow::wfms

@@ -1,0 +1,168 @@
+#include "wfms/model.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace fedflow::wfms {
+
+Result<const ActivityDef*> ProcessDefinition::FindActivity(
+    const std::string& name) const {
+  for (const ActivityDef& a : activities) {
+    if (EqualsIgnoreCase(a.name, name)) return &a;
+  }
+  return Status::NotFound("activity not found: " + name + " in process " +
+                          this->name);
+}
+
+Result<size_t> ProcessDefinition::ActivityIndex(const std::string& name) const {
+  for (size_t i = 0; i < activities.size(); ++i) {
+    if (EqualsIgnoreCase(activities[i].name, name)) return i;
+  }
+  return Status::NotFound("activity not found: " + name + " in process " +
+                          this->name);
+}
+
+namespace {
+
+/// Computes reachability: reach[i][j] true when a control path i -> j exists.
+std::vector<std::vector<bool>> Reachability(
+    const ProcessDefinition& def,
+    const std::vector<std::vector<size_t>>& succ) {
+  const size_t n = def.activities.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    // DFS from i.
+    std::vector<size_t> stack = {i};
+    while (!stack.empty()) {
+      size_t cur = stack.back();
+      stack.pop_back();
+      for (size_t next : succ[cur]) {
+        if (!reach[i][next]) {
+          reach[i][next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+Status ValidateProcess(const ProcessDefinition& def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("process has no name");
+  }
+  if (def.activities.empty()) {
+    return Status::InvalidArgument("process " + def.name +
+                                   " has no activities");
+  }
+  const size_t n = def.activities.size();
+
+  // Unique activity names.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (EqualsIgnoreCase(def.activities[i].name, def.activities[j].name)) {
+        return Status::InvalidArgument("duplicate activity name: " +
+                                       def.activities[i].name);
+      }
+    }
+  }
+
+  // Output activity exists.
+  FEDFLOW_RETURN_NOT_OK(def.ActivityIndex(def.output_activity).status());
+
+  // Connector endpoints exist; build successor lists.
+  std::vector<std::vector<size_t>> succ(n);
+  for (const ControlConnector& c : def.connectors) {
+    FEDFLOW_ASSIGN_OR_RETURN(size_t from, def.ActivityIndex(c.from));
+    FEDFLOW_ASSIGN_OR_RETURN(size_t to, def.ActivityIndex(c.to));
+    if (from == to) {
+      return Status::InvalidArgument("self-loop connector on " + c.from);
+    }
+    succ[from].push_back(to);
+  }
+
+  // Control flow must be acyclic (loops are expressed as block activities).
+  std::vector<std::vector<bool>> reach = Reachability(def, succ);
+  for (size_t i = 0; i < n; ++i) {
+    if (reach[i][i]) {
+      return Status::InvalidArgument(
+          "control-flow cycle through activity " + def.activities[i].name +
+          "; use a block activity with an exit condition for loops");
+    }
+  }
+
+  // Per-activity checks.
+  for (size_t i = 0; i < n; ++i) {
+    const ActivityDef& a = def.activities[i];
+    switch (a.kind) {
+      case ActivityKind::kProgram:
+        if (a.system.empty() || a.function.empty()) {
+          return Status::InvalidArgument(
+              "program activity " + a.name +
+              " must name an application system and a function");
+        }
+        break;
+      case ActivityKind::kHelper:
+        if (a.helper.empty()) {
+          return Status::InvalidArgument("helper activity " + a.name +
+                                         " must name a helper function");
+        }
+        break;
+      case ActivityKind::kBlock: {
+        if (a.sub == nullptr) {
+          return Status::InvalidArgument("block activity " + a.name +
+                                         " has no sub-process");
+        }
+        FEDFLOW_RETURN_NOT_OK(ValidateProcess(*a.sub));
+        if (a.inputs.size() != a.sub->input_params.size()) {
+          return Status::InvalidArgument(
+              "block activity " + a.name + " supplies " +
+              std::to_string(a.inputs.size()) + " input(s) but sub-process " +
+              a.sub->name + " declares " +
+              std::to_string(a.sub->input_params.size()));
+        }
+        if (a.max_iterations <= 0) {
+          return Status::InvalidArgument("block activity " + a.name +
+                                         " has non-positive max_iterations");
+        }
+        break;
+      }
+    }
+
+    // Data sources must exist; activity-output sources need a control path
+    // from the source to this activity so the value is available.
+    for (const InputSource& in : a.inputs) {
+      if (in.kind == InputSource::Kind::kProcessInput) {
+        bool found = false;
+        for (const Column& p : def.input_params) {
+          if (EqualsIgnoreCase(p.name, in.param)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "activity " + a.name + " reads unknown process input " +
+              in.param);
+        }
+      } else if (in.kind == InputSource::Kind::kActivityOutput) {
+        FEDFLOW_ASSIGN_OR_RETURN(size_t src, def.ActivityIndex(in.activity));
+        if (src == i) {
+          return Status::InvalidArgument("activity " + a.name +
+                                         " reads its own output");
+        }
+        if (!reach[src][i]) {
+          return Status::InvalidArgument(
+              "activity " + a.name + " reads output of " + in.activity +
+              " without a control path from it (add a control connector)");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fedflow::wfms

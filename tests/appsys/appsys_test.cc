@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "appsys/dataset.h"
+#include "appsys/pdm.h"
+#include "appsys/purchasing.h"
+#include "appsys/registry.h"
+#include "appsys/stockkeeping.h"
+
+namespace fedflow::appsys {
+namespace {
+
+class AppSysTest : public ::testing::Test {
+ protected:
+  AppSysTest()
+      : scenario_(GenerateScenario({})),
+        stock_(scenario_),
+        purchasing_(scenario_),
+        pdm_(scenario_) {}
+
+  Scenario scenario_;
+  StockKeepingSystem stock_;
+  PurchasingSystem purchasing_;
+  PdmSystem pdm_;
+};
+
+TEST_F(AppSysTest, DatasetIsDeterministic) {
+  Scenario again = GenerateScenario({});
+  ASSERT_EQ(again.suppliers.size(), scenario_.suppliers.size());
+  for (size_t i = 0; i < again.suppliers.size(); ++i) {
+    EXPECT_EQ(again.suppliers[i].supplier_no,
+              scenario_.suppliers[i].supplier_no);
+    EXPECT_EQ(again.suppliers[i].quality, scenario_.suppliers[i].quality);
+  }
+  EXPECT_EQ(again.stock.size(), scenario_.stock.size());
+  EXPECT_EQ(again.discounts.size(), scenario_.discounts.size());
+}
+
+TEST_F(AppSysTest, DifferentSeedsChangeRatings) {
+  Scenario other = GenerateScenario({8, 50, 99});
+  bool any_diff = false;
+  for (size_t i = 0; i < other.suppliers.size() - 1; ++i) {
+    if (other.suppliers[i].quality != scenario_.suppliers[i].quality) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(AppSysTest, DatasetGuaranteesPaperFixtures) {
+  // Supplier 1234 "Stark" and component 17 "brakepad" exist; 1234 stocks 17.
+  bool stark = false;
+  for (const SupplierRecord& s : scenario_.suppliers) {
+    if (s.supplier_no == 1234 && s.name == "Stark") stark = true;
+  }
+  EXPECT_TRUE(stark);
+  bool brakepad = false;
+  for (const ComponentRecord& c : scenario_.components) {
+    if (c.comp_no == 17 && c.name == "brakepad") brakepad = true;
+  }
+  EXPECT_TRUE(brakepad);
+  bool stocked = false;
+  for (const StockRecord& item : scenario_.stock) {
+    if (item.supplier_no == 1234 && item.comp_no == 17) stocked = true;
+  }
+  EXPECT_TRUE(stocked);
+}
+
+TEST_F(AppSysTest, BomIsAcyclic) {
+  // Sub-components always have larger numbers than their parent.
+  for (const ComponentRecord& c : scenario_.components) {
+    for (int32_t sub : c.sub_components) {
+      EXPECT_GT(sub, c.comp_no);
+    }
+  }
+}
+
+TEST_F(AppSysTest, CallValidatesArityAndCoercesTypes) {
+  EXPECT_FALSE(stock_.Call("GetQuality", {}).ok());
+  EXPECT_FALSE(stock_.Call("GetQuality", {Value::Int(1), Value::Int(2)}).ok());
+  // VARCHAR '1234' coerces to INT.
+  auto r = stock_.Call("GetQuality", {Value::Varchar("1234")});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table.rows()[0][0].AsInt(), 9);
+}
+
+TEST_F(AppSysTest, UnknownFunctionIsNotFound) {
+  auto r = stock_.Call("NoSuchFn", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AppSysTest, UnknownKeysYieldEmptyTables) {
+  EXPECT_EQ(stock_.Call("GetQuality", {Value::Int(424242)})->table.num_rows(),
+            0u);
+  EXPECT_EQ(purchasing_.Call("GetSupplierNo", {Value::Varchar("Ghost")})
+                ->table.num_rows(),
+            0u);
+  EXPECT_EQ(pdm_.Call("GetCompNo", {Value::Varchar("unobtainium")})
+                ->table.num_rows(),
+            0u);
+}
+
+TEST_F(AppSysTest, StockFunctions) {
+  auto number =
+      stock_.Call("GetNumber", {Value::Int(1234), Value::Int(17)});
+  ASSERT_TRUE(number.ok());
+  EXPECT_EQ(number->table.rows()[0][0].AsInt(), 100000 + 234 * 100 + 17);
+  auto comps = stock_.Call("GetSuppComps", {Value::Int(1234)});
+  ASSERT_TRUE(comps.ok());
+  EXPECT_GT(comps->table.num_rows(), 0u);
+}
+
+TEST_F(AppSysTest, PurchasingFunctions) {
+  auto no = purchasing_.Call("GetSupplierNo", {Value::Varchar("stark")});
+  ASSERT_TRUE(no.ok());  // case-insensitive lookup
+  EXPECT_EQ(no->table.rows()[0][0].AsInt(), 1234);
+  auto name = purchasing_.Call("GetSupplierName", {Value::Int(1234)});
+  EXPECT_EQ(name->table.rows()[0][0].AsVarchar(), "Stark");
+  auto relia = purchasing_.Call("GetReliability", {Value::Int(1234)});
+  EXPECT_EQ(relia->table.rows()[0][0].AsInt(), 8);
+  auto grade = purchasing_.Call("GetGrade", {Value::Int(9), Value::Int(8)});
+  EXPECT_EQ(grade->table.rows()[0][0].AsInt(), 8);
+  auto yes = purchasing_.Call("DecidePurchase", {Value::Int(5), Value::Int(1)});
+  EXPECT_EQ(yes->table.rows()[0][0].AsVarchar(), "BUY");
+  auto nope =
+      purchasing_.Call("DecidePurchase", {Value::Int(4), Value::Int(1)});
+  EXPECT_EQ(nope->table.rows()[0][0].AsVarchar(), "REJECT");
+}
+
+TEST_F(AppSysTest, DiscountFunctionFiltersByThreshold) {
+  auto all = purchasing_.Call("GetCompSupp4Discount", {Value::Int(0)});
+  auto some = purchasing_.Call("GetCompSupp4Discount", {Value::Int(10)});
+  ASSERT_TRUE(all.ok() && some.ok());
+  EXPECT_GT(all->table.num_rows(), some->table.num_rows());
+  EXPECT_EQ(all->table.schema().num_columns(), 2u);
+}
+
+TEST_F(AppSysTest, PdmFunctions) {
+  auto no = pdm_.Call("GetCompNo", {Value::Varchar("brakepad")});
+  EXPECT_EQ(no->table.rows()[0][0].AsInt(), 17);
+  auto name = pdm_.Call("GetCompName", {Value::Int(17)});
+  EXPECT_EQ(name->table.rows()[0][0].AsVarchar(), "brakepad");
+  auto subs = pdm_.Call("GetSubCompNo", {Value::Int(2)});
+  ASSERT_TRUE(subs.ok());
+  EXPECT_EQ(subs->table.schema().column(0).name, "SubCompNo");
+}
+
+TEST_F(AppSysTest, CallCostsModeled) {
+  auto r = stock_.Call("GetQuality", {Value::Int(1234)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->cost_us, 0);
+  // Table-valued calls cost more per row.
+  auto fn = stock_.GetFunction("GetSuppComps");
+  ASSERT_TRUE(fn.ok());
+  auto comps = stock_.Call("GetSuppComps", {Value::Int(1234)});
+  EXPECT_EQ(comps->cost_us,
+            (*fn)->base_cost_us +
+                (*fn)->per_row_cost_us *
+                    static_cast<VDuration>(comps->table.num_rows()));
+}
+
+TEST_F(AppSysTest, CallCountTracksEverything) {
+  PdmSystem fresh(scenario_);
+  EXPECT_EQ(fresh.call_count(), 0);
+  (void)fresh.Call("GetCompNo", {Value::Varchar("x")});
+  (void)fresh.Call("NoSuch", {});
+  EXPECT_EQ(fresh.call_count(), 2);
+}
+
+TEST_F(AppSysTest, FaultInjectionAndRecovery) {
+  stock_.InjectFault("GetQuality", Status::ExecutionError("down"));
+  auto r = stock_.Call("GetQuality", {Value::Int(1234)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("down"), std::string::npos);
+  stock_.InjectFault("GetQuality", Status::OK());
+  EXPECT_TRUE(stock_.Call("GetQuality", {Value::Int(1234)}).ok());
+}
+
+TEST_F(AppSysTest, FunctionNamesEnumerated) {
+  auto names = purchasing_.FunctionNames();
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST_F(AppSysTest, RegistryLookupAndDuplicates) {
+  AppSystemRegistry registry;
+  ASSERT_TRUE(
+      registry.Add(std::make_shared<PdmSystem>(scenario_)).ok());
+  EXPECT_FALSE(
+      registry.Add(std::make_shared<PdmSystem>(scenario_)).ok());
+  EXPECT_TRUE(registry.Get("PDM").ok());
+  EXPECT_FALSE(registry.Get("erp").ok());
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST_F(AppSysTest, ScenarioScalesWithConfig) {
+  Scenario big = GenerateScenario({16, 200, 42});
+  EXPECT_EQ(big.suppliers.size(), 17u);  // + Stark
+  EXPECT_EQ(big.components.size(), 200u);
+  EXPECT_GT(big.stock.size(), scenario_.stock.size());
+}
+
+TEST_F(AppSysTest, DecisionRuleOracle) {
+  EXPECT_EQ(PurchasingSystem::Decide(5, 1), "BUY");
+  EXPECT_EQ(PurchasingSystem::Decide(4, 1), "REJECT");
+  EXPECT_EQ(PurchasingSystem::Decide(10, 99), "BUY");
+}
+
+}  // namespace
+}  // namespace fedflow::appsys

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/schema.h"
+#include "common/table.h"
+
+namespace fedflow {
+namespace {
+
+Schema TwoColumns() {
+  Schema s;
+  s.AddColumn("id", DataType::kInt);
+  s.AddColumn("name", DataType::kVarchar);
+  return s;
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = TwoColumns();
+  EXPECT_EQ(*s.IndexOf("ID"), 0u);
+  EXPECT_EQ(*s.IndexOf("Name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, FindColumnDetectsAmbiguity) {
+  Schema s;
+  s.AddColumn("x", DataType::kInt);
+  s.AddColumn("X", DataType::kVarchar);
+  auto r = s.FindColumn("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, FindColumnNotFoundMentionsSchema) {
+  Schema s = TwoColumns();
+  auto r = s.FindColumn("zzz");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("id INT"), std::string::npos);
+}
+
+TEST(SchemaTest, ConcatAppendsColumns) {
+  Schema s = TwoColumns().Concat(TwoColumns());
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column(2).name, "id");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TwoColumns().ToString(), "id INT, name VARCHAR");
+}
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t(TwoColumns());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Varchar("a")}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendRowCoercesTypes) {
+  Table t(TwoColumns());
+  ASSERT_TRUE(t.AppendRow({Value::BigInt(7), Value::Int(9)}).ok());
+  EXPECT_EQ(t.rows()[0][0].type(), DataType::kInt);
+  EXPECT_EQ(t.rows()[0][1].type(), DataType::kVarchar);
+  EXPECT_EQ(t.rows()[0][1].AsVarchar(), "9");
+}
+
+TEST(TableTest, AppendRowRejectsBadCoercion) {
+  Table t(TwoColumns());
+  EXPECT_FALSE(t.AppendRow({Value::Varchar("abc"), Value::Varchar("x")}).ok());
+}
+
+TEST(TableTest, AppendRowAllowsNulls) {
+  Table t(TwoColumns());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.rows()[0][0].is_null());
+}
+
+TEST(TableTest, AtBoundsChecked) {
+  Table t(TwoColumns());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Varchar("a")}).ok());
+  EXPECT_TRUE(t.At(0, 1).ok());
+  EXPECT_FALSE(t.At(1, 0).ok());
+  EXPECT_FALSE(t.At(0, 2).ok());
+}
+
+TEST(TableTest, ScalarAt00) {
+  Table t(TwoColumns());
+  EXPECT_FALSE(t.ScalarAt00().ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(5), Value::Varchar("x")}).ok());
+  EXPECT_EQ(t.ScalarAt00()->AsInt(), 5);
+}
+
+TEST(TableTest, ToStringRendersAsciiTable) {
+  Table t(TwoColumns());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Varchar("abc")}).ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| id | name |"), std::string::npos);
+  EXPECT_NE(s.find("| 1  | abc  |"), std::string::npos);
+  EXPECT_NE(s.find("1 row(s)"), std::string::npos);
+}
+
+TEST(TableTest, SameRowsAnyOrder) {
+  Table a(TwoColumns());
+  Table b(TwoColumns());
+  ASSERT_TRUE(a.AppendRow({Value::Int(1), Value::Varchar("x")}).ok());
+  ASSERT_TRUE(a.AppendRow({Value::Int(2), Value::Varchar("y")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int(2), Value::Varchar("y")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int(1), Value::Varchar("x")}).ok());
+  EXPECT_TRUE(Table::SameRowsAnyOrder(a, b));
+  EXPECT_FALSE(a == b);  // order-sensitive structural equality
+  ASSERT_TRUE(b.AppendRow({Value::Int(3), Value::Varchar("z")}).ok());
+  EXPECT_FALSE(Table::SameRowsAnyOrder(a, b));
+}
+
+TEST(TableTest, SameRowsAnyOrderRequiresEqualSchema) {
+  Table a(TwoColumns());
+  Schema other;
+  other.AddColumn("id", DataType::kBigInt);
+  other.AddColumn("name", DataType::kVarchar);
+  Table b(other);
+  EXPECT_FALSE(Table::SameRowsAnyOrder(a, b));
+}
+
+}  // namespace
+}  // namespace fedflow

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace fedflow {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  const int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(10),
+              [&] { return counter.load() == kTasks; });
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+  }
+  // After destruction all enqueued tasks ran (workers drain before exit).
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int at_barrier = 0;
+  // Two tasks that can only finish if both are running at the same time.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ++at_barrier;
+      cv.notify_all();
+      cv.wait_for(lock, std::chrono::seconds(10),
+                  [&] { return at_barrier == 2; });
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  bool both = cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return at_barrier == 2; });
+  EXPECT_TRUE(both);
+}
+
+}  // namespace
+}  // namespace fedflow

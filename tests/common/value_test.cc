@@ -1,0 +1,149 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace fedflow {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-5).AsInt(), -5);
+  EXPECT_EQ(Value::BigInt(1LL << 40).AsBigInt(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Varchar("abc").AsVarchar(), "abc");
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), DataType::kInt);
+  EXPECT_EQ(Value::BigInt(1).type(), DataType::kBigInt);
+  EXPECT_EQ(Value::Double(1).type(), DataType::kDouble);
+  EXPECT_EQ(Value::Varchar("").type(), DataType::kVarchar);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Varchar("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, ToInt64Widens) {
+  EXPECT_EQ(*Value::Int(7).ToInt64(), 7);
+  EXPECT_EQ(*Value::BigInt(9).ToInt64(), 9);
+  EXPECT_EQ(*Value::Bool(true).ToInt64(), 1);
+  EXPECT_EQ(*Value::Double(3.9).ToInt64(), 3);
+  EXPECT_FALSE(Value::Varchar("x").ToInt64().ok());
+  EXPECT_FALSE(Value::Null().ToInt64().ok());
+}
+
+TEST(ValueTest, CastNullYieldsNull) {
+  auto v = Value::Null().CastTo(DataType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ValueTest, CastIntToBigIntAndBack) {
+  auto big = Value::Int(123).CastTo(DataType::kBigInt);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->AsBigInt(), 123);
+  auto back = big->CastTo(DataType::kInt);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsInt(), 123);
+}
+
+TEST(ValueTest, CastBigIntOverflowToIntFails) {
+  auto r = Value::BigInt(1LL << 40).CastTo(DataType::kInt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, CastStringToNumbers) {
+  EXPECT_EQ(Value::Varchar("17").CastTo(DataType::kInt)->AsInt(), 17);
+  EXPECT_EQ(Value::Varchar("-3").CastTo(DataType::kBigInt)->AsBigInt(), -3);
+  EXPECT_DOUBLE_EQ(Value::Varchar("2.5").CastTo(DataType::kDouble)->AsDouble(),
+                   2.5);
+  EXPECT_FALSE(Value::Varchar("17x").CastTo(DataType::kInt).ok());
+  EXPECT_FALSE(Value::Varchar("").CastTo(DataType::kInt).ok());
+}
+
+TEST(ValueTest, CastToVarcharRendersValue) {
+  EXPECT_EQ(Value::Int(5).CastTo(DataType::kVarchar)->AsVarchar(), "5");
+  EXPECT_EQ(Value::Bool(true).CastTo(DataType::kVarchar)->AsVarchar(), "TRUE");
+}
+
+TEST(ValueTest, CastToSameTypeIsIdentity) {
+  auto v = Value::Varchar("x").CastTo(DataType::kVarchar);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsVarchar(), "x");
+}
+
+TEST(ValueTest, SqlEqualsTreatsNullAsUnequal) {
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::Int(1).SqlEquals(Value::Null()));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::Int(1)));
+  EXPECT_TRUE(Value::Int(1).SqlEquals(Value::BigInt(1)));  // cross-width
+  EXPECT_TRUE(Value::Int(2).SqlEquals(Value::Double(2.0)));
+}
+
+TEST(ValueTest, CompareNumericCrossTypes) {
+  EXPECT_EQ(*Value::Int(1).Compare(Value::BigInt(2)), -1);
+  EXPECT_EQ(*Value::Double(2.5).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(*Value::Int(3).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(*Value::Varchar("a").Compare(Value::Varchar("b")), -1);
+  EXPECT_EQ(*Value::Varchar("b").Compare(Value::Varchar("a")), 1);
+  EXPECT_EQ(*Value::Varchar("a").Compare(Value::Varchar("a")), 0);
+}
+
+TEST(ValueTest, CompareNullSortsFirst) {
+  EXPECT_EQ(*Value::Null().Compare(Value::Int(0)), -1);
+  EXPECT_EQ(*Value::Int(0).Compare(Value::Null()), 1);
+  EXPECT_EQ(*Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareIncomparableTypesFails) {
+  EXPECT_FALSE(Value::Varchar("1").Compare(Value::Int(1)).ok());
+}
+
+TEST(ValueTest, HashConsistentWithCrossTypeEquality) {
+  // Equal numerics across representations must land in the same bucket for
+  // hash joins.
+  EXPECT_EQ(Value::Int(7).Hash(), Value::BigInt(7).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::BigInt(1));  // structural, not SQL
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (DataType t : {DataType::kBool, DataType::kInt, DataType::kBigInt,
+                     DataType::kDouble, DataType::kVarchar}) {
+    auto parsed = DataTypeFromName(DataTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(DataTypeTest, AliasesAccepted) {
+  EXPECT_EQ(*DataTypeFromName("integer"), DataType::kInt);
+  EXPECT_EQ(*DataTypeFromName("long"), DataType::kBigInt);
+  EXPECT_EQ(*DataTypeFromName("string"), DataType::kVarchar);
+  EXPECT_EQ(*DataTypeFromName("FLOAT"), DataType::kDouble);
+  EXPECT_FALSE(DataTypeFromName("blob").ok());
+}
+
+}  // namespace
+}  // namespace fedflow

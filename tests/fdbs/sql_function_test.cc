@@ -1,0 +1,154 @@
+#include "fdbs/sql_function.h"
+
+#include <gtest/gtest.h>
+
+#include "fdbs/database.h"
+
+namespace fedflow::fdbs {
+namespace {
+
+class SqlFunctionTest : public ::testing::Test {
+ protected:
+  SqlFunctionTest() {
+    EXPECT_TRUE(db_.Execute("CREATE TABLE nums (n INT, label VARCHAR)").ok());
+    EXPECT_TRUE(db_.Execute("INSERT INTO nums VALUES (1, 'one'), (2, 'two'), "
+                            "(3, 'three')")
+                    .ok());
+  }
+
+  Table MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? *r : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlFunctionTest, CreateAndInvokeSimpleFunction) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION LabelOf (x INT) "
+                    "RETURNS TABLE (label VARCHAR) LANGUAGE SQL RETURN "
+                    "SELECT label FROM nums WHERE n = LabelOf.x")
+                  .ok());
+  Table t = MustQuery("SELECT L.label FROM TABLE (LabelOf(2)) AS L");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0].AsVarchar(), "two");
+}
+
+TEST_F(SqlFunctionTest, ParameterCoercion) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Big (x BIGINT) "
+                    "RETURNS TABLE (y BIGINT) LANGUAGE SQL RETURN "
+                    "SELECT Big.x + 1")
+                  .ok());
+  Table t = MustQuery("SELECT B.y FROM TABLE (Big(5)) AS B");
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 6);
+}
+
+TEST_F(SqlFunctionTest, ResultCoercedToDeclaredSchema) {
+  // Body yields INT, declaration says BIGINT: coerced on the way out.
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION AsBig (x INT) "
+                    "RETURNS TABLE (y BIGINT) LANGUAGE SQL RETURN "
+                    "SELECT AsBig.x")
+                  .ok());
+  Table t = MustQuery("SELECT B.y FROM TABLE (AsBig(7)) AS B");
+  EXPECT_EQ(t.schema().column(0).type, DataType::kBigInt);
+  EXPECT_EQ(t.rows()[0][0].AsBigInt(), 7);
+}
+
+TEST_F(SqlFunctionTest, ArityMismatchBetweenBodyAndDeclarationFails) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION TwoCols (x INT) "
+                    "RETURNS TABLE (a INT) LANGUAGE SQL RETURN "
+                    "SELECT n, label FROM nums")
+                  .ok());
+  auto r = db_.Execute("SELECT * FROM TABLE (TwoCols(1)) AS T");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SqlFunctionTest, FunctionsCompose) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION F1 (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT F1.x * 2")
+                  .ok());
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION F2 (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN "
+                    "SELECT A.v + 1 FROM TABLE (F1(F2.x)) AS A")
+                  .ok());
+  Table t = MustQuery("SELECT R.v FROM TABLE (F2(10)) AS R");
+  EXPECT_EQ(t.rows()[0][0].AsInt(), 21);
+}
+
+TEST_F(SqlFunctionTest, SelfRecursionHitsDepthGuard) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Rec (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN "
+                    "SELECT R.v FROM TABLE (Rec(Rec.x)) AS R")
+                  .ok());
+  auto r = db_.Execute("SELECT * FROM TABLE (Rec(1)) AS R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos);
+}
+
+TEST_F(SqlFunctionTest, WrongArgumentCountRejected) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION One (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT One.x")
+                  .ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM TABLE (One()) AS T").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM TABLE (One(1, 2)) AS T").ok());
+}
+
+TEST_F(SqlFunctionTest, DuplicateFunctionNameRejected) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Dup (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT Dup.x")
+                  .ok());
+  auto r = db_.Execute(
+      "CREATE FUNCTION Dup (x INT) RETURNS TABLE (v INT) "
+      "LANGUAGE SQL RETURN SELECT Dup.x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SqlFunctionTest, DropFunctionRemovesIt) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Gone (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT Gone.x")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("DROP FUNCTION Gone").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM TABLE (Gone(1)) AS G").ok());
+}
+
+TEST_F(SqlFunctionTest, FunctionBodyJoinsTables) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Pairs (lo INT) "
+                    "RETURNS TABLE (a INT, b INT) LANGUAGE SQL RETURN "
+                    "SELECT x.n, y.n FROM nums AS x, nums AS y "
+                    "WHERE x.n < y.n AND x.n >= Pairs.lo")
+                  .ok());
+  Table t = MustQuery("SELECT * FROM TABLE (Pairs(1)) AS P");
+  EXPECT_EQ(t.num_rows(), 3u);  // (1,2),(1,3),(2,3)
+  Table t2 = MustQuery("SELECT * FROM TABLE (Pairs(2)) AS P");
+  EXPECT_EQ(t2.num_rows(), 1u);
+}
+
+TEST_F(SqlFunctionTest, CatalogListsRegisteredFunctions) {
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION Listed (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT Listed.x")
+                  .ok());
+  auto names = db_.catalog().TableFunctionNames();
+  bool found = false;
+  for (const std::string& n : names) {
+    if (n == "Listed") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace fedflow::fdbs

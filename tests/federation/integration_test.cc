@@ -1,0 +1,165 @@
+// End-to-end tests: both architectures over the full sample scenario.
+#include <gtest/gtest.h>
+
+#include "federation/sample_scenario.h"
+
+namespace fedflow::federation {
+namespace {
+
+using appsys::ScenarioConfig;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto wfms = MakeSampleServer(Architecture::kWfms);
+    ASSERT_TRUE(wfms.ok()) << wfms.status();
+    wfms_ = std::move(*wfms);
+    auto udtf = MakeSampleServer(Architecture::kUdtf);
+    ASSERT_TRUE(udtf.ok()) << udtf.status();
+    udtf_ = std::move(*udtf);
+  }
+
+  std::unique_ptr<IntegrationServer> wfms_;
+  std::unique_ptr<IntegrationServer> udtf_;
+};
+
+TEST_F(IntegrationTest, BuySuppCompRunsOnBothArchitectures) {
+  const std::string sql =
+      "SELECT BSC.Answer FROM TABLE (BuySuppComp(1001, 'brakepad')) AS BSC";
+  auto via_wfms = wfms_->Query(sql);
+  ASSERT_TRUE(via_wfms.ok()) << via_wfms.status();
+  auto via_udtf = udtf_->Query(sql);
+  ASSERT_TRUE(via_udtf.ok()) << via_udtf.status();
+  ASSERT_EQ(via_wfms->num_rows(), 1u);
+  ASSERT_EQ(via_udtf->num_rows(), 1u);
+  EXPECT_EQ(via_wfms->rows()[0][0].AsVarchar(),
+            via_udtf->rows()[0][0].AsVarchar());
+  const std::string answer = via_wfms->rows()[0][0].AsVarchar();
+  EXPECT_TRUE(answer == "BUY" || answer == "REJECT") << answer;
+}
+
+TEST_F(IntegrationTest, AllSharedFunctionsAgreeAcrossArchitectures) {
+  struct Case {
+    std::string name;
+    std::vector<Value> args;
+  };
+  const std::vector<Case> cases = {
+      {"GibKompNr", {Value::Varchar("brakepad")}},
+      {"GetNumberSupp1234", {Value::Int(17)}},
+      {"GetSuppQual", {Value::Varchar("Stark")}},
+      {"GetSuppQualRelia", {Value::Int(1234)}},
+      {"GetSubCompDiscounts", {Value::Int(3), Value::Int(5)}},
+      {"GetNoSuppComp", {Value::Varchar("Stark"), Value::Varchar("brakepad")}},
+      {"GetSuppInfo", {Value::Varchar("Acme")}},
+      {"BuySuppComp", {Value::Int(1234), Value::Varchar("brakepad")}},
+  };
+  for (const Case& c : cases) {
+    auto w = wfms_->CallFederated(c.name, c.args);
+    ASSERT_TRUE(w.ok()) << c.name << ": " << w.status();
+    auto u = udtf_->CallFederated(c.name, c.args);
+    ASSERT_TRUE(u.ok()) << c.name << ": " << u.status();
+    EXPECT_TRUE(Table::SameRowsAnyOrder(w->table, u->table))
+        << c.name << "\nWfMS:\n"
+        << w->table.ToString() << "UDTF:\n"
+        << u->table.ToString();
+  }
+}
+
+TEST_F(IntegrationTest, CyclicFunctionOnlyOnWfms) {
+  auto w = wfms_->CallFederated("AllCompNames", {Value::Int(5)});
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(w->table.num_rows(), 5u);
+  EXPECT_EQ(w->table.rows()[4][0].AsVarchar(), "comp_5");
+
+  // The UDTF server never even registered it.
+  auto u = udtf_->CallFederated("AllCompNames", {Value::Int(5)});
+  EXPECT_FALSE(u.ok());
+}
+
+TEST_F(IntegrationTest, TrivialCaseMapsGermanNameToLocalFunction) {
+  auto result = udtf_->Query(
+      "SELECT GKN.Nr FROM TABLE (GibKompNr('brakepad')) AS GKN");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->rows()[0][0].AsInt(), 17);
+}
+
+TEST_F(IntegrationTest, SimpleCaseCastsToBigInt) {
+  auto result = wfms_->CallFederated("GetNumberSupp1234", {Value::Int(17)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  EXPECT_EQ(result->table.schema().column(0).type, DataType::kBigInt);
+  EXPECT_EQ(result->table.rows()[0][0].AsBigInt(), 100000 + 234 * 100 + 17);
+}
+
+TEST_F(IntegrationTest, FederatedFunctionCombinesWithLocalTables) {
+  // The paper's motivation: federated functions referencable in SQL together
+  // with ordinary tables.
+  for (IntegrationServer* server : {wfms_.get(), udtf_.get()}) {
+    ASSERT_TRUE(server->Query("CREATE TABLE watchlist (name VARCHAR)").ok());
+    ASSERT_TRUE(
+        server->Query("INSERT INTO watchlist VALUES ('Stark'), ('Acme')")
+            .ok());
+    auto result = server->Query(
+        "SELECT W.name, GSQ.Qual FROM watchlist AS W, "
+        "TABLE (GetSuppQual(W.name)) AS GSQ ORDER BY W.name");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->num_rows(), 2u);
+    EXPECT_EQ(result->rows()[0][0].AsVarchar(), "Acme");
+  }
+}
+
+TEST_F(IntegrationTest, UdtfArchitectureExposesAccessUdtfsDirectly) {
+  // The "simple UDTF architecture": applications integrate A-UDTFs manually.
+  auto result = udtf_->Query(
+      "SELECT DP.Answer "
+      "FROM TABLE (GetQuality(1234)) AS GQ, "
+      "TABLE (GetReliability(1234)) AS GR, "
+      "TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG, "
+      "TABLE (GetCompNo('brakepad')) AS GCN, "
+      "TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 1u);
+  // Stark: quality 9, reliability 8 -> grade 8 -> BUY.
+  EXPECT_EQ(result->rows()[0][0].AsVarchar(), "BUY");
+}
+
+TEST_F(IntegrationTest, WfmsElapsedExceedsUdtfElapsed) {
+  // Warm both up first.
+  (void)wfms_->CallFederated("GetNoSuppComp",
+                             {Value::Varchar("Stark"), Value::Varchar("brakepad")});
+  (void)udtf_->CallFederated("GetNoSuppComp",
+                             {Value::Varchar("Stark"), Value::Varchar("brakepad")});
+  auto w = wfms_->CallFederated(
+      "GetNoSuppComp", {Value::Varchar("Stark"), Value::Varchar("brakepad")});
+  auto u = udtf_->CallFederated(
+      "GetNoSuppComp", {Value::Varchar("Stark"), Value::Varchar("brakepad")});
+  ASSERT_TRUE(w.ok() && u.ok());
+  EXPECT_EQ(w->warmth, sim::SystemState::Warmth::kHot);
+  double ratio = static_cast<double>(w->elapsed_us) /
+                 static_cast<double>(u->elapsed_us);
+  EXPECT_GT(ratio, 2.0) << "WfMS should be roughly 3x slower";
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST_F(IntegrationTest, FaultInAppSystemSurfacesThroughBothArchitectures) {
+  for (IntegrationServer* server : {wfms_.get(), udtf_.get()}) {
+    auto stock = server->systems().Get("stock");
+    ASSERT_TRUE(stock.ok());
+    (*stock)->InjectFault("GetQuality",
+                          Status::ExecutionError("backend down"));
+    auto result = server->CallFederated(
+        "BuySuppComp", {Value::Int(1001), Value::Varchar("brakepad")});
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("backend down"),
+              std::string::npos)
+        << result.status();
+    (*stock)->InjectFault("GetQuality", Status::OK());
+    auto retry = server->CallFederated(
+        "BuySuppComp", {Value::Int(1001), Value::Varchar("brakepad")});
+    EXPECT_TRUE(retry.ok()) << retry.status();
+  }
+}
+
+}  // namespace
+}  // namespace fedflow::federation

@@ -1,0 +1,241 @@
+// Tests of the enhanced Java UDTF architecture (procedural I-UDTFs) and the
+// underlying fdbs::ProceduralTableFunction / SqlClient machinery.
+#include <gtest/gtest.h>
+
+#include "fdbs/procedural_function.h"
+#include "federation/sample_scenario.h"
+
+namespace fedflow::federation {
+namespace {
+
+class JavaArchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto java = MakeSampleServer(Architecture::kJavaUdtf);
+    ASSERT_TRUE(java.ok()) << java.status();
+    java_ = std::move(*java);
+    auto sql = MakeSampleServer(Architecture::kUdtf);
+    ASSERT_TRUE(sql.ok()) << sql.status();
+    sql_ = std::move(*sql);
+    auto wfms = MakeSampleServer(Architecture::kWfms);
+    ASSERT_TRUE(wfms.ok()) << wfms.status();
+    wfms_ = std::move(*wfms);
+  }
+
+  std::unique_ptr<IntegrationServer> java_;
+  std::unique_ptr<IntegrationServer> sql_;
+  std::unique_ptr<IntegrationServer> wfms_;
+};
+
+TEST_F(JavaArchTest, NonCyclicFunctionsAgreeWithSqlArchitecture) {
+  struct Case {
+    std::string name;
+    std::vector<Value> args;
+  };
+  const std::vector<Case> cases = {
+      {"GibKompNr", {Value::Varchar("brakepad")}},
+      {"GetNumberSupp1234", {Value::Int(17)}},
+      {"GetSuppQual", {Value::Varchar("Stark")}},
+      {"GetSubCompDiscounts", {Value::Int(3), Value::Int(5)}},
+      {"GetNoSuppComp", {Value::Varchar("Stark"), Value::Varchar("brakepad")}},
+      {"BuySuppComp", {Value::Int(1234), Value::Varchar("brakepad")}},
+  };
+  for (const Case& c : cases) {
+    auto j = java_->CallFederated(c.name, c.args);
+    ASSERT_TRUE(j.ok()) << c.name << ": " << j.status();
+    auto s = sql_->CallFederated(c.name, c.args);
+    ASSERT_TRUE(s.ok()) << c.name << ": " << s.status();
+    EXPECT_TRUE(Table::SameRowsAnyOrder(j->table, s->table))
+        << c.name << "\nJava:\n"
+        << j->table.ToString() << "SQL:\n"
+        << s->table.ToString();
+  }
+}
+
+TEST_F(JavaArchTest, CyclicCaseSupportedUnlikeSqlVariant) {
+  // The paper's key point about the Java architecture: control structures
+  // become available, so the loop works — where the SQL variant cannot even
+  // register the function.
+  auto j = java_->CallFederated("AllCompNames", {Value::Int(5)});
+  ASSERT_TRUE(j.ok()) << j.status();
+  EXPECT_EQ(j->table.num_rows(), 5u);
+  EXPECT_EQ(j->table.rows()[0][0].AsVarchar(), "comp_1");
+  EXPECT_EQ(j->table.rows()[4][0].AsVarchar(), "comp_5");
+
+  EXPECT_FALSE(sql_->CallFederated("AllCompNames", {Value::Int(5)}).ok());
+
+  // And it agrees with the WfMS do-until loop.
+  auto w = wfms_->CallFederated("AllCompNames", {Value::Int(5)});
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(Table::SameRowsAnyOrder(j->table, w->table));
+}
+
+TEST_F(JavaArchTest, JavaSupportsMatrix) {
+  EXPECT_TRUE(JavaUdtfSupports(MappingCase::kTrivial));
+  EXPECT_TRUE(JavaUdtfSupports(MappingCase::kDependentCyclic));
+  EXPECT_FALSE(JavaUdtfSupports(MappingCase::kGeneral));
+}
+
+TEST_F(JavaArchTest, ChargesJavaAndJdbcCosts) {
+  (void)java_->CallFederated("GetSuppQual", {Value::Varchar("Stark")});
+  auto timed = java_->CallFederated("GetSuppQual", {Value::Varchar("Stark")});
+  ASSERT_TRUE(timed.ok());
+  const TimeBreakdown& b = timed->breakdown;
+  EXPECT_GT(b.Of(sim::steps::kJavaStartI), 0);
+  EXPECT_GT(b.Of(sim::steps::kJavaFinishI), 0);
+  EXPECT_GT(b.Of(sim::steps::kJdbcCalls), 0);
+  // The A-UDTF layer is shared with the SQL variant.
+  EXPECT_GT(b.Of(sim::steps::kUdtfPrepareA), 0);
+}
+
+TEST_F(JavaArchTest, LoopChargesOneStatementPerIteration) {
+  (void)java_->CallFederated("AllCompNames", {Value::Int(1)});
+  auto one = java_->CallFederated("AllCompNames", {Value::Int(1)});
+  auto four = java_->CallFederated("AllCompNames", {Value::Int(4)});
+  ASSERT_TRUE(one.ok() && four.ok());
+  sim::LatencyModel model;
+  EXPECT_EQ(four->breakdown.Of(sim::steps::kJdbcCalls) -
+                one->breakdown.Of(sim::steps::kJdbcCalls),
+            3 * model.jdbc_statement_us);
+}
+
+TEST_F(JavaArchTest, SitsBetweenTheOtherArchitecturesInCost) {
+  auto hot = [](IntegrationServer* server, const std::string& name,
+                const std::vector<Value>& args) {
+    (void)server->CallFederated(name, args);
+    (void)server->CallFederated(name, args);
+    return *server->CallFederated(name, args);
+  };
+  const std::vector<Value> args = {Value::Varchar("Stark"),
+                                   Value::Varchar("brakepad")};
+  auto j = hot(java_.get(), "GetNoSuppComp", args);
+  auto s = hot(sql_.get(), "GetNoSuppComp", args);
+  auto w = hot(wfms_.get(), "GetNoSuppComp", args);
+  // Java pays the SQL variant's A-UDTF costs plus JDBC/JVM overheads, but
+  // nowhere near the per-activity process starts of the WfMS.
+  EXPECT_GT(j.elapsed_us, s.elapsed_us);
+  EXPECT_LT(j.elapsed_us, w.elapsed_us);
+}
+
+TEST_F(JavaArchTest, ColdWarmHotAppliesToJavaArchitecture) {
+  java_->Reboot();
+  auto cold = java_->CallFederated("GibKompNr", {Value::Varchar("brakepad")});
+  auto hot = java_->CallFederated("GibKompNr", {Value::Varchar("brakepad")});
+  ASSERT_TRUE(cold.ok() && hot.ok());
+  EXPECT_GT(cold->elapsed_us, hot->elapsed_us);
+}
+
+// --- fdbs-level procedural function tests --------------------------------------
+
+TEST(ProceduralFunctionTest, BodyIssuesMultipleStatements) {
+  fdbs::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (v INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  auto body = [](const std::vector<Value>& args,
+                 fdbs::SqlClient* client) -> Result<Table> {
+    // Control structures + several statements: sum values above a threshold
+    // by issuing one statement per probe.
+    int64_t total = 0;
+    for (int v = 1; v <= args[0].AsInt(); ++v) {
+      FEDFLOW_ASSIGN_OR_RETURN(
+          Table t, client->Query("SELECT COUNT(*) FROM t WHERE v = " +
+                                 std::to_string(v)));
+      FEDFLOW_ASSIGN_OR_RETURN(Value count, t.ScalarAt00());
+      total += count.AsBigInt() * v;
+    }
+    Schema s;
+    s.AddColumn("total", DataType::kBigInt);
+    Table out(s);
+    out.AppendRowUnchecked({Value::BigInt(total)});
+    return out;
+  };
+  Schema result;
+  result.AddColumn("total", DataType::kBigInt);
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      "SumUpTo", std::vector<Column>{Column{"n", DataType::kInt}}, result,
+      body);
+  ASSERT_TRUE(db.catalog().RegisterTableFunction(fn).ok());
+  auto out = db.Execute("SELECT S.total FROM TABLE (SumUpTo(3)) AS S");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->rows()[0][0].AsBigInt(), 6);
+}
+
+TEST(ProceduralFunctionTest, ResultCoercedToDeclaredSchema) {
+  fdbs::Database db;
+  auto body = [](const std::vector<Value>&,
+                 fdbs::SqlClient*) -> Result<Table> {
+    Schema s;
+    s.AddColumn("x", DataType::kInt);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Int(7)});
+    return t;
+  };
+  Schema result;
+  result.AddColumn("x", DataType::kBigInt);
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      "Coerced", std::vector<Column>{}, result, body);
+  ASSERT_TRUE(db.catalog().RegisterTableFunction(fn).ok());
+  auto out = db.Execute("SELECT * FROM TABLE (Coerced()) AS C");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows()[0][0].type(), DataType::kBigInt);
+}
+
+TEST(ProceduralFunctionTest, BodyErrorsPropagate) {
+  fdbs::Database db;
+  auto body = [](const std::vector<Value>&,
+                 fdbs::SqlClient* client) -> Result<Table> {
+    return client->Query("SELECT * FROM missing_table");
+  };
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      "Broken", std::vector<Column>{}, Schema{}, body);
+  ASSERT_TRUE(db.catalog().RegisterTableFunction(fn).ok());
+  auto out = db.Execute("SELECT * FROM TABLE (Broken()) AS B");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProceduralFunctionTest, DepthGuardStopsRecursion) {
+  fdbs::Database db;
+  auto body = [](const std::vector<Value>&,
+                 fdbs::SqlClient* client) -> Result<Table> {
+    return client->Query("SELECT * FROM TABLE (Recurse()) AS R");
+  };
+  Schema result;
+  result.AddColumn("x", DataType::kInt);
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      "Recurse", std::vector<Column>{}, result, body);
+  ASSERT_TRUE(db.catalog().RegisterTableFunction(fn).ok());
+  auto out = db.Execute("SELECT * FROM TABLE (Recurse()) AS R");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ProceduralFunctionTest, StatementOverheadCharged) {
+  fdbs::Database db;
+  auto body = [](const std::vector<Value>&,
+                 fdbs::SqlClient* client) -> Result<Table> {
+    FEDFLOW_RETURN_NOT_OK(client->Query("SELECT 1").status());
+    FEDFLOW_RETURN_NOT_OK(client->Query("SELECT 2").status());
+    Schema s;
+    s.AddColumn("n", DataType::kInt);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Int(client->statements_issued())});
+    return t;
+  };
+  Schema result;
+  result.AddColumn("n", DataType::kInt);
+  auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
+      "TwoStatements", std::vector<Column>{}, result, body,
+      /*statement_overhead_us=*/100);
+  ASSERT_TRUE(db.catalog().RegisterTableFunction(fn).ok());
+  SimClock clock;
+  fdbs::ExecContext ctx;
+  ctx.clock = &clock;
+  auto out = db.Execute("SELECT * FROM TABLE (TwoStatements()) AS T", ctx);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(clock.breakdown().Of("JDBC calls"), 200);
+}
+
+}  // namespace
+}  // namespace fedflow::federation

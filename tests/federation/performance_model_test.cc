@@ -1,0 +1,216 @@
+// Tests asserting the reproduced experimental findings (§4): these encode
+// the paper's qualitative claims as invariants of the cost model, so a
+// regression in the simulation substrate fails loudly.
+#include <gtest/gtest.h>
+
+#include "federation/sample_scenario.h"
+
+namespace fedflow::federation {
+namespace {
+
+class PerformanceModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto wfms = MakeSampleServer(Architecture::kWfms);
+    ASSERT_TRUE(wfms.ok()) << wfms.status();
+    wfms_ = std::move(*wfms);
+    auto udtf = MakeSampleServer(Architecture::kUdtf);
+    ASSERT_TRUE(udtf.ok()) << udtf.status();
+    udtf_ = std::move(*udtf);
+  }
+
+  IntegrationServer::TimedResult Hot(IntegrationServer* server,
+                                     const std::string& name,
+                                     const std::vector<Value>& args) {
+    auto a = server->CallFederated(name, args);
+    EXPECT_TRUE(a.ok()) << a.status();
+    auto b = server->CallFederated(name, args);
+    EXPECT_TRUE(b.ok()) << b.status();
+    auto c = server->CallFederated(name, args);
+    EXPECT_TRUE(c.ok()) << c.status();
+    return std::move(*c);
+  }
+
+  std::unique_ptr<IntegrationServer> wfms_;
+  std::unique_ptr<IntegrationServer> udtf_;
+};
+
+const std::vector<Value>& NoSuppArgs() {
+  static const std::vector<Value> args = {Value::Varchar("Stark"),
+                                          Value::Varchar("brakepad")};
+  return args;
+}
+
+TEST_F(PerformanceModelTest, WorkRatioAtFig6AnchorIsAboutThree) {
+  auto w = Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  auto u = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());
+  double work_ratio = static_cast<double>(w.breakdown.Total()) /
+                      static_cast<double>(u.breakdown.Total());
+  EXPECT_GT(work_ratio, 2.5) << "paper: ratio ~3";
+  EXPECT_LT(work_ratio, 3.6);
+}
+
+TEST_F(PerformanceModelTest, Fig6WfmsSharesMatchPaperWithinTolerance) {
+  auto w = Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  const TimeBreakdown& b = w.breakdown;
+  struct Expectation {
+    const char* step;
+    int paper_pct;
+    int tolerance;
+  };
+  const Expectation expectations[] = {
+      {"Start UDTF", 9, 4},
+      {"Process UDTF", 11, 4},
+      {"RMI call", 3, 3},
+      {"Start workflow and Java environment", 10, 4},
+      {"Process activities", 51, 7},
+      {"Workflow", 9, 5},
+      {"Controller", 5, 3},
+      {"RMI return", 0, 2},
+      {"Finish UDTF", 2, 2},
+  };
+  for (const Expectation& e : expectations) {
+    int measured = b.PercentOf(e.step);
+    EXPECT_NEAR(measured, e.paper_pct, e.tolerance) << e.step;
+  }
+}
+
+TEST_F(PerformanceModelTest, Fig6UdtfSharesMatchPaperWithinTolerance) {
+  auto u = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());
+  const TimeBreakdown& b = u.breakdown;
+  struct Expectation {
+    const char* step;
+    int paper_pct;
+    int tolerance;
+  };
+  const Expectation expectations[] = {
+      {"Start I-UDTF", 11, 4},   {"Prepare A-UDTFs", 28, 6},
+      {"RMI calls", 24, 6},      {"Controller runs", 0, 2},
+      {"Process activities", 6, 6}, {"Finish A-UDTFs", 21, 6},
+      {"RMI returns", 1, 2},     {"Finish I-UDTF", 9, 4},
+  };
+  for (const Expectation& e : expectations) {
+    int measured = b.PercentOf(e.step);
+    EXPECT_NEAR(measured, e.paper_pct, e.tolerance) << e.step;
+  }
+}
+
+TEST_F(PerformanceModelTest, ColdWarmHotOrderingHoldsOnBothArchitectures) {
+  for (IntegrationServer* server : {wfms_.get(), udtf_.get()}) {
+    server->Reboot();
+    auto cold = server->CallFederated("BuySuppComp",
+                                      {Value::Int(1234),
+                                       Value::Varchar("brakepad")});
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(cold->warmth, sim::SystemState::Warmth::kCold);
+    server->Reboot();
+    (void)server->CallFederated("GibKompNr", {Value::Varchar("brakepad")});
+    auto warm = server->CallFederated("BuySuppComp",
+                                      {Value::Int(1234),
+                                       Value::Varchar("brakepad")});
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->warmth, sim::SystemState::Warmth::kWarm);
+    auto hot = server->CallFederated("BuySuppComp",
+                                     {Value::Int(1234),
+                                      Value::Varchar("brakepad")});
+    ASSERT_TRUE(hot.ok());
+    EXPECT_EQ(hot->warmth, sim::SystemState::Warmth::kHot);
+    EXPECT_GT(cold->elapsed_us, warm->elapsed_us);
+    EXPECT_GT(warm->elapsed_us, hot->elapsed_us);
+  }
+}
+
+TEST_F(PerformanceModelTest, LoopScalesLinearlyInIterationCount) {
+  // Paper: "the overall processing time rises linearly to the number of
+  // function calls." The per-iteration marginal cost must be constant.
+  auto t1 = Hot(wfms_.get(), "AllCompNames", {Value::Int(1)});
+  auto t2 = Hot(wfms_.get(), "AllCompNames", {Value::Int(2)});
+  auto t9 = Hot(wfms_.get(), "AllCompNames", {Value::Int(9)});
+  VDuration step = t2.elapsed_us - t1.elapsed_us;
+  EXPECT_GT(step, 0);
+  // Near-exact linearity: the only deviation is result-marshalling cost,
+  // which varies with the byte length of the returned component names.
+  EXPECT_NEAR(static_cast<double>(t9.elapsed_us),
+              static_cast<double>(t1.elapsed_us + 8 * step),
+              0.002 * static_cast<double>(t9.elapsed_us));
+}
+
+TEST_F(PerformanceModelTest, ParallelBeatsSequentialOnWfmsOnly) {
+  auto w_seq = Hot(wfms_.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto w_par = Hot(wfms_.get(), "GetSuppQualRelia", {Value::Int(1234)});
+  EXPECT_LT(w_par.elapsed_us, w_seq.elapsed_us)
+      << "WfMS: parallel activities must be faster";
+  auto u_seq = Hot(udtf_.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto u_par = Hot(udtf_.get(), "GetSuppQualRelia", {Value::Int(1234)});
+  EXPECT_GE(u_par.elapsed_us, u_seq.elapsed_us)
+      << "UDTF: the contrary result (paper §4)";
+}
+
+TEST_F(PerformanceModelTest, ControllerAblationMatchesPaperDirection) {
+  auto without = sim::WithoutController({});
+  auto wfms_nc = MakeSampleServer(Architecture::kWfms, {}, without);
+  auto udtf_nc = MakeSampleServer(Architecture::kUdtf, {}, without);
+  ASSERT_TRUE(wfms_nc.ok() && udtf_nc.ok());
+
+  auto w_with = Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  auto u_with = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());
+  auto w_without = Hot(wfms_nc->get(), "GetNoSuppComp", NoSuppArgs());
+  auto u_without = Hot(udtf_nc->get(), "GetNoSuppComp", NoSuppArgs());
+
+  double w_decrease = 1.0 - static_cast<double>(w_without.elapsed_us) /
+                                static_cast<double>(w_with.elapsed_us);
+  double u_decrease = 1.0 - static_cast<double>(u_without.elapsed_us) /
+                                static_cast<double>(u_with.elapsed_us);
+  // Paper: WfMS decreases ~8%, UDTF ~25%.
+  EXPECT_NEAR(w_decrease, 0.08, 0.04);
+  EXPECT_NEAR(u_decrease, 0.25, 0.05);
+  // And the ratio between the approaches increases without the controller.
+  double ratio_with = static_cast<double>(w_with.elapsed_us) /
+                      static_cast<double>(u_with.elapsed_us);
+  double ratio_without = static_cast<double>(w_without.elapsed_us) /
+                         static_cast<double>(u_without.elapsed_us);
+  EXPECT_GT(ratio_without, ratio_with);
+}
+
+TEST_F(PerformanceModelTest, ElapsedRatioStaysInPaperBand) {
+  // Across the Fig. 5 workload the WfMS approach is slower by roughly 2-4x.
+  struct Call {
+    const char* name;
+    std::vector<Value> args;
+  };
+  const std::vector<Call> calls = {
+      {"GibKompNr", {Value::Varchar("brakepad")}},
+      {"GetSuppQual", {Value::Varchar("Stark")}},
+      {"GetNoSuppComp", NoSuppArgs()},
+      {"BuySuppComp", {Value::Int(1234), Value::Varchar("brakepad")}},
+  };
+  for (const Call& c : calls) {
+    auto w = Hot(wfms_.get(), c.name, c.args);
+    auto u = Hot(udtf_.get(), c.name, c.args);
+    double ratio = static_cast<double>(w.elapsed_us) /
+                   static_cast<double>(u.elapsed_us);
+    EXPECT_GT(ratio, 1.5) << c.name;
+    EXPECT_LT(ratio, 4.5) << c.name;
+  }
+}
+
+TEST_F(PerformanceModelTest, HotCallsAreDeterministic) {
+  auto a = Hot(wfms_.get(), "BuySuppComp",
+               {Value::Int(1234), Value::Varchar("brakepad")});
+  auto b = Hot(wfms_.get(), "BuySuppComp",
+               {Value::Int(1234), Value::Varchar("brakepad")});
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.breakdown.Total(), b.breakdown.Total());
+}
+
+TEST_F(PerformanceModelTest, MoreLocalFunctionsCostMore) {
+  auto one = Hot(udtf_.get(), "GibKompNr", {Value::Varchar("brakepad")});
+  auto three = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());
+  auto five = Hot(udtf_.get(), "BuySuppComp",
+                  {Value::Int(1234), Value::Varchar("brakepad")});
+  EXPECT_LT(one.elapsed_us, three.elapsed_us);
+  EXPECT_LT(three.elapsed_us, five.elapsed_us);
+}
+
+}  // namespace
+}  // namespace fedflow::federation

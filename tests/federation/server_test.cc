@@ -1,0 +1,116 @@
+// IntegrationServer facade behavior across the three architectures.
+#include <gtest/gtest.h>
+
+#include "federation/sample_scenario.h"
+
+namespace fedflow::federation {
+namespace {
+
+TEST(ServerTest, ArchitectureNamesStable) {
+  EXPECT_STREQ(ArchitectureName(Architecture::kWfms), "WfMS approach");
+  EXPECT_STREQ(ArchitectureName(Architecture::kUdtf), "UDTF approach");
+  EXPECT_STREQ(ArchitectureName(Architecture::kJavaUdtf),
+               "Java UDTF approach");
+}
+
+TEST(ServerTest, EngineOnlyPresentUnderWfms) {
+  auto wfms = MakeSampleServer(Architecture::kWfms);
+  auto udtf = MakeSampleServer(Architecture::kUdtf);
+  ASSERT_TRUE(wfms.ok() && udtf.ok());
+  EXPECT_NE((*wfms)->engine(), nullptr);
+  EXPECT_NE((*wfms)->program_invoker(), nullptr);
+  EXPECT_EQ((*udtf)->engine(), nullptr);
+  EXPECT_EQ((*udtf)->program_invoker(), nullptr);
+}
+
+TEST(ServerTest, QueryTimedOnPlainSqlChargesNothing) {
+  auto server = MakeSampleServer(Architecture::kUdtf);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Query("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE((*server)->Query("INSERT INTO t VALUES (1)").ok());
+  auto timed = (*server)->QueryTimed("SELECT * FROM t");
+  ASSERT_TRUE(timed.ok());
+  // Local-only SQL crosses no modeled boundary: zero virtual time.
+  EXPECT_EQ(timed->elapsed_us, 0);
+}
+
+TEST(ServerTest, CallFederatedQuotesStringArguments) {
+  auto server = MakeSampleServer(Architecture::kUdtf);
+  ASSERT_TRUE(server.ok());
+  // A name containing a quote must survive literal rendering.
+  auto r = (*server)->CallFederated("GibKompNr",
+                                    {Value::Varchar("o'brien pad")});
+  ASSERT_TRUE(r.ok()) << r.status();  // unknown component: empty result
+  EXPECT_EQ(r->table.num_rows(), 0u);
+}
+
+TEST(ServerTest, RebootResetsWarmth) {
+  auto server = MakeSampleServer(Architecture::kUdtf);
+  ASSERT_TRUE(server.ok());
+  (void)(*server)->CallFederated("GibKompNr", {Value::Varchar("brakepad")});
+  EXPECT_EQ((*server)->state().QueryWarmth("GibKompNr"),
+            sim::SystemState::Warmth::kHot);
+  (*server)->Reboot();
+  EXPECT_EQ((*server)->state().QueryWarmth("GibKompNr"),
+            sim::SystemState::Warmth::kCold);
+  EXPECT_TRUE((*server)->controller().started());
+}
+
+TEST(ServerTest, RegisteringUnsupportedSpecFailsCleanly) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  auto server = IntegrationServer::Create(Architecture::kUdtf, scenario);
+  ASSERT_TRUE(server.ok());
+  auto st = (*server)->RegisterFederatedFunction(AllCompNamesSpec());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(ServerTest, UnknownSystemInSpecFails) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  auto server = IntegrationServer::Create(Architecture::kWfms, scenario);
+  ASSERT_TRUE(server.ok());
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.calls[0].system = "sap_r3";
+  auto st = (*server)->RegisterFederatedFunction(spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(ServerTest, ScenarioConfigScalesLoopExperiment) {
+  // Bigger component catalog => longer AllCompNames loops still work.
+  auto server = MakeSampleServer(Architecture::kWfms, {8, 120, 42});
+  ASSERT_TRUE(server.ok());
+  auto r = (*server)->CallFederated("AllCompNames", {Value::Int(100)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table.num_rows(), 100u);
+}
+
+TEST(ServerTest, WarmthReportedOnTimedCalls) {
+  auto server = MakeSampleServer(Architecture::kWfms);
+  ASSERT_TRUE(server.ok());
+  auto first = (*server)->CallFederated("GetSuppQual",
+                                        {Value::Varchar("Stark")});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->warmth, sim::SystemState::Warmth::kCold);
+  auto second = (*server)->CallFederated("GetSuppQual",
+                                         {Value::Varchar("Stark")});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->warmth, sim::SystemState::Warmth::kHot);
+}
+
+TEST(ServerTest, UnknownInputsDivergenceDocumented) {
+  // Known behavioral difference (see EXPERIMENTS.md): unknown supplier name
+  // yields an empty table through the UDTF lateral join but a failed process
+  // through the WfMS (scalar input from an empty predecessor output).
+  auto udtf = MakeSampleServer(Architecture::kUdtf);
+  auto wfms = MakeSampleServer(Architecture::kWfms);
+  ASSERT_TRUE(udtf.ok() && wfms.ok());
+  auto u = (*udtf)->CallFederated("GetSuppQual", {Value::Varchar("Ghost")});
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->table.num_rows(), 0u);
+  auto w = (*wfms)->CallFederated("GetSuppQual", {Value::Varchar("Ghost")});
+  EXPECT_FALSE(w.ok());
+}
+
+}  // namespace
+}  // namespace fedflow::federation

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "federation/classify.h"
+#include "federation/sample_scenario.h"
+#include "federation/spec.h"
+
+namespace fedflow::federation {
+namespace {
+
+TEST(SpecValidateTest, SampleSpecsAreValid) {
+  for (const FederatedFunctionSpec& spec : AllSampleSpecs()) {
+    EXPECT_TRUE(ValidateSpec(spec).ok()) << spec.name;
+  }
+}
+
+TEST(SpecValidateTest, RejectsEmptySpecs) {
+  FederatedFunctionSpec spec;
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+  spec.name = "f";
+  EXPECT_FALSE(ValidateSpec(spec).ok());  // no calls
+}
+
+TEST(SpecValidateTest, RejectsDuplicateCallIds) {
+  FederatedFunctionSpec spec = GetSuppQualSpec();
+  spec.calls.push_back(spec.calls[0]);
+  auto st = ValidateSpec(spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(SpecValidateTest, RejectsUnknownParamReference) {
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.calls[0].args[0] = SpecArg::Param("Ghost");
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(SpecValidateTest, RejectsIterationOutsideLoop) {
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.calls[0].args[0] = SpecArg::Param("ITERATION");
+  auto st = ValidateSpec(spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ITERATION"), std::string::npos);
+}
+
+TEST(SpecValidateTest, RejectsUnknownNodeReference) {
+  FederatedFunctionSpec spec = GetSuppQualSpec();
+  spec.calls[1].args[0] = SpecArg::NodeColumn("Ghost", "x");
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(SpecValidateTest, RejectsSelfReference) {
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.calls[0].args[0] = SpecArg::NodeColumn("GCN", "No");
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(SpecValidateTest, RejectsCyclicDependencies) {
+  FederatedFunctionSpec spec;
+  spec.name = "cycle";
+  spec.calls = {
+      {"A", "s", "f", {SpecArg::NodeColumn("B", "v")}},
+      {"B", "s", "f", {SpecArg::NodeColumn("A", "v")}},
+  };
+  spec.outputs = {{"v", "A", "v", DataType::kNull}};
+  auto st = ValidateSpec(spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cyclic"), std::string::npos);
+}
+
+TEST(SpecValidateTest, RejectsMissingOutputs) {
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.outputs.clear();
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(SpecValidateTest, LoopNeedsDeclaredCountParam) {
+  FederatedFunctionSpec spec = AllCompNamesSpec();
+  spec.loop.count_param = "Ghost";
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+  spec.loop.count_param = "";
+  EXPECT_FALSE(ValidateSpec(spec).ok());
+}
+
+TEST(TopologicalOrderTest, RespectsDependencies) {
+  FederatedFunctionSpec spec = BuySuppCompSpec();
+  auto order = TopologicalCallOrder(spec);
+  ASSERT_TRUE(order.ok());
+  auto pos = [&](const std::string& id) {
+    for (size_t i = 0; i < order->size(); ++i) {
+      if (spec.calls[(*order)[i]].id == id) return i;
+    }
+    return SIZE_MAX;
+  };
+  EXPECT_LT(pos("GQ"), pos("GG"));
+  EXPECT_LT(pos("GR"), pos("GG"));
+  EXPECT_LT(pos("GG"), pos("DP"));
+  EXPECT_LT(pos("GCN"), pos("DP"));
+}
+
+TEST(TopologicalOrderTest, StableForIndependentCalls) {
+  FederatedFunctionSpec spec = GetSuppQualReliaSpec();
+  auto order = TopologicalCallOrder(spec);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ((*order)[0], 0u);
+  EXPECT_EQ((*order)[1], 1u);
+}
+
+// --- classification ----------------------------------------------------------
+
+struct ClassifyCase {
+  const char* name;
+  MappingCase expected;
+};
+
+class ClassifySampleTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifySampleTest, SampleSpecClassifiesAsExpected) {
+  for (const FederatedFunctionSpec& spec : AllSampleSpecs()) {
+    if (spec.name == GetParam().name) {
+      auto c = ClassifySpec(spec);
+      ASSERT_TRUE(c.ok()) << c.status();
+      EXPECT_EQ(*c, GetParam().expected)
+          << spec.name << " -> " << MappingCaseName(*c);
+      return;
+    }
+  }
+  FAIL() << "sample spec not found: " << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, ClassifySampleTest,
+    ::testing::Values(
+        ClassifyCase{"GibKompNr", MappingCase::kTrivial},
+        ClassifyCase{"GetNumberSupp1234", MappingCase::kSimple},
+        ClassifyCase{"GetSuppQualRelia", MappingCase::kIndependent},
+        ClassifyCase{"GetSuppQual", MappingCase::kDependentLinear},
+        ClassifyCase{"GetSubCompDiscounts", MappingCase::kIndependent},
+        ClassifyCase{"GetNoSuppComp", MappingCase::kDependent1N},
+        ClassifyCase{"GetSuppInfo", MappingCase::kDependentN1},
+        ClassifyCase{"BuySuppComp", MappingCase::kDependent1N},
+        ClassifyCase{"AllCompNames", MappingCase::kDependentCyclic}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ClassifyTest, RenamedOutputStaysTrivial) {
+  // "Only the names of the functions and parameters may differ."
+  auto c = ClassifySpec(GibKompNrSpec());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, MappingCase::kTrivial);
+}
+
+TEST(ClassifyTest, CastMakesItSimple) {
+  FederatedFunctionSpec spec = GibKompNrSpec();
+  spec.outputs[0].cast_to = DataType::kBigInt;
+  EXPECT_EQ(*ClassifySpec(spec), MappingCase::kSimple);
+}
+
+TEST(ClassifyTest, ParamReorderMakesItSimple) {
+  FederatedFunctionSpec spec;
+  spec.name = "Swapped";
+  spec.params = {Column{"A", DataType::kInt}, Column{"B", DataType::kInt}};
+  spec.calls = {{"N", "stock", "GetNumber",
+                 {SpecArg::Param("B"), SpecArg::Param("A")}}};
+  spec.outputs = {{"Number", "N", "Number", DataType::kNull}};
+  EXPECT_EQ(*ClassifySpec(spec), MappingCase::kSimple);
+}
+
+TEST(ClassifySetTest, SharedLocalFunctionsMakeGeneralCase) {
+  auto c = ClassifySet({BuySuppCompSpec(), GetSuppQualReliaSpec()});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, MappingCase::kGeneral);
+}
+
+TEST(ClassifySetTest, DisjointSetTakesWorstIndividualCase) {
+  auto c = ClassifySet({GibKompNrSpec(), GetNumberSupp1234Spec()});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, MappingCase::kSimple);
+}
+
+TEST(ClassifySetTest, SingleSpecSetIsItsOwnCase) {
+  auto c = ClassifySet({GetSuppQualSpec()});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, MappingCase::kDependentLinear);
+}
+
+TEST(ClassifySetTest, EmptySetRejected) {
+  EXPECT_FALSE(ClassifySet({}).ok());
+}
+
+TEST(SupportMatrixTest, MatchesPaperTable) {
+  auto matrix = SupportMatrix();
+  ASSERT_EQ(matrix.size(), 8u);
+  for (const SupportEntry& e : matrix) {
+    EXPECT_EQ(e.udtf_supported, UdtfSupports(e.mapping_case));
+    EXPECT_EQ(e.wfms_supported, WfmsSupports(e.mapping_case));
+  }
+  EXPECT_FALSE(UdtfSupports(MappingCase::kDependentCyclic));
+  EXPECT_FALSE(UdtfSupports(MappingCase::kGeneral));
+  EXPECT_TRUE(UdtfSupports(MappingCase::kDependent1N));
+  EXPECT_TRUE(WfmsSupports(MappingCase::kDependentCyclic));
+}
+
+TEST(MappingCaseNameTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(MappingCase::kGeneral); ++i) {
+    names.insert(MappingCaseName(static_cast<MappingCase>(i)));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace fedflow::federation

@@ -1,0 +1,149 @@
+// Tests of remote SQL sources: external tables federated next to function
+// access (the paper's "SQL subqueries for the SQL sources").
+#include <gtest/gtest.h>
+
+#include "federation/sample_scenario.h"
+#include "federation/sql_source.h"
+
+namespace fedflow::federation {
+namespace {
+
+class SqlSourceTest : public ::testing::Test {
+ protected:
+  SqlSourceTest() : source_("warehouse_db", &model_) {
+    EXPECT_TRUE(source_.database()
+                    .Execute("CREATE TABLE bins (comp VARCHAR, bin INT)")
+                    .ok());
+    EXPECT_TRUE(source_.database()
+                    .Execute("INSERT INTO bins VALUES ('brakepad', 12), "
+                             "('wheel', 7), ('brakepad', 13)")
+                    .ok());
+  }
+
+  sim::LatencyModel model_;
+  RemoteSqlSource source_;
+  fdbs::Database federation_;
+};
+
+TEST_F(SqlSourceTest, AttachAndScan) {
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  auto r = federation_.Execute("SELECT * FROM bins ORDER BY bin");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->rows()[0][1].AsInt(), 7);
+  EXPECT_EQ(source_.subqueries_shipped(), 1);
+}
+
+TEST_F(SqlSourceTest, AttachUnderDifferentLocalName) {
+  ASSERT_TRUE(
+      source_.AttachTable(&federation_, "warehouse_bins", "bins").ok());
+  auto r = federation_.Execute(
+      "SELECT COUNT(*) FROM warehouse_bins WHERE comp = 'brakepad'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows()[0][0].AsBigInt(), 2);
+}
+
+TEST_F(SqlSourceTest, AttachUnknownRemoteTableFails) {
+  EXPECT_FALSE(source_.AttachTable(&federation_, "x", "ghost").ok());
+}
+
+TEST_F(SqlSourceTest, NameCollisionWithLocalTableRejected) {
+  ASSERT_TRUE(federation_.Execute("CREATE TABLE bins (x INT)").ok());
+  EXPECT_FALSE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  // And the other direction: external first, CREATE TABLE second.
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins2", "bins").ok());
+  EXPECT_FALSE(federation_.Execute("CREATE TABLE bins2 (x INT)").ok());
+}
+
+TEST_F(SqlSourceTest, ScansSeeRemoteUpdates) {
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  auto before = federation_.Execute("SELECT COUNT(*) FROM bins");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows()[0][0].AsBigInt(), 3);
+  // The source stays autonomous: its own clients keep writing.
+  ASSERT_TRUE(source_.database()
+                  .Execute("INSERT INTO bins VALUES ('axle', 1)")
+                  .ok());
+  auto after = federation_.Execute("SELECT COUNT(*) FROM bins");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows()[0][0].AsBigInt(), 4);
+}
+
+TEST_F(SqlSourceTest, SubqueryShippingCostCharged) {
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  SimClock clock;
+  fdbs::ExecContext ctx;
+  ctx.clock = &clock;
+  ASSERT_TRUE(federation_.Execute("SELECT * FROM bins", ctx).ok());
+  EXPECT_GE(clock.breakdown().Of(sim::steps::kSqlSubqueries),
+            model_.sql_subquery_base_us);
+}
+
+TEST_F(SqlSourceTest, JoinExternalTableWithLocalTable) {
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  ASSERT_TRUE(
+      federation_.Execute("CREATE TABLE prices (comp VARCHAR, price INT)")
+          .ok());
+  ASSERT_TRUE(federation_
+                  .Execute("INSERT INTO prices VALUES ('brakepad', 40), "
+                           "('wheel', 120)")
+                  .ok());
+  auto r = federation_.Execute(
+      "SELECT B.comp, B.bin, P.price FROM bins AS B, prices AS P "
+      "WHERE B.comp = P.comp ORDER BY B.bin");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->rows()[0][2].AsInt(), 120);
+}
+
+TEST_F(SqlSourceTest, ExternalTableCombinesWithFederatedFunctions) {
+  // The paper's full vision in one statement: a remote SQL source, the
+  // federation's own data, and a federated function over application
+  // systems.
+  auto server = MakeSampleServer(Architecture::kUdtf);
+  ASSERT_TRUE(server.ok());
+  RemoteSqlSource warehouse("warehouse", &model_);
+  ASSERT_TRUE(warehouse.database()
+                  .Execute("CREATE TABLE shelf (name VARCHAR, qty INT)")
+                  .ok());
+  ASSERT_TRUE(warehouse.database()
+                  .Execute("INSERT INTO shelf VALUES ('Stark', 4), "
+                           "('Acme', 11)")
+                  .ok());
+  ASSERT_TRUE(
+      warehouse.AttachTable(&(*server)->database(), "shelf", "shelf").ok());
+  auto r = (*server)->Query(
+      "SELECT S.name, S.qty, Q.Qual FROM shelf AS S, "
+      "TABLE (GetSuppQual(S.name)) AS Q ORDER BY Q.Qual DESC");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->rows()[0][0].AsVarchar(), "Stark");
+}
+
+TEST_F(SqlSourceTest, TwoSourcesFederatedTogether) {
+  RemoteSqlSource other("erp_db", &model_);
+  ASSERT_TRUE(
+      other.database().Execute("CREATE TABLE costs (comp VARCHAR, c INT)").ok());
+  ASSERT_TRUE(other.database()
+                  .Execute("INSERT INTO costs VALUES ('brakepad', 9)")
+                  .ok());
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  ASSERT_TRUE(other.AttachTable(&federation_, "costs", "costs").ok());
+  auto r = federation_.Execute(
+      "SELECT B.bin, C.c FROM bins AS B, costs AS C "
+      "WHERE B.comp = C.comp ORDER BY B.bin");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(source_.subqueries_shipped(), 1);
+  EXPECT_EQ(other.subqueries_shipped(), 1);
+}
+
+TEST_F(SqlSourceTest, DropExternalTable) {
+  ASSERT_TRUE(source_.AttachTable(&federation_, "bins", "bins").ok());
+  ASSERT_TRUE(federation_.catalog().DropExternalTable("bins").ok());
+  EXPECT_FALSE(federation_.Execute("SELECT * FROM bins").ok());
+  EXPECT_FALSE(federation_.catalog().DropExternalTable("bins").ok());
+}
+
+}  // namespace
+}  // namespace fedflow::federation

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "sim/latency.h"
+#include "sim/rmi.h"
+#include "sim/system_state.h"
+
+namespace fedflow::sim {
+namespace {
+
+TEST(LatencyModelTest, MarshalCostScalesWithBytes) {
+  LatencyModel m;
+  EXPECT_EQ(m.MarshalCost(0), 0);
+  EXPECT_EQ(m.MarshalCost(1000), m.rmi_per_byte_ns);
+  EXPECT_GT(m.MarshalCost(4000), m.MarshalCost(2000));
+}
+
+TEST(LatencyModelTest, WithoutControllerZeroesControllerCosts) {
+  LatencyModel m = WithoutController({});
+  EXPECT_EQ(m.controller_attach_us, 0);
+  EXPECT_EQ(m.controller_return_us, 0);
+  EXPECT_EQ(m.controller_dispatch_us, 0);
+  EXPECT_EQ(m.wf_controller_us, 0);
+  EXPECT_EQ(m.wf_controller_process_us, 0);
+  // Everything else untouched.
+  LatencyModel base;
+  EXPECT_EQ(m.rmi_call_base_us, base.rmi_call_base_us);
+  EXPECT_EQ(m.wf_jvm_boot_activity_us, base.wf_jvm_boot_activity_us);
+}
+
+TEST(SystemStateTest, ColdWarmHotTransitions) {
+  SystemState state;
+  EXPECT_EQ(state.QueryWarmth("F"), SystemState::Warmth::kCold);
+  state.MarkRun("G");
+  EXPECT_EQ(state.QueryWarmth("F"), SystemState::Warmth::kWarm);
+  EXPECT_EQ(state.QueryWarmth("G"), SystemState::Warmth::kHot);
+  state.MarkRun("F");
+  EXPECT_EQ(state.QueryWarmth("f"), SystemState::Warmth::kHot);  // case-ins
+  state.Boot();
+  EXPECT_EQ(state.QueryWarmth("F"), SystemState::Warmth::kCold);
+  EXPECT_FALSE(state.infrastructure_warm());
+}
+
+TEST(SystemStateTest, WarmthNames) {
+  EXPECT_STREQ(WarmthName(SystemState::Warmth::kCold), "cold");
+  EXPECT_STREQ(WarmthName(SystemState::Warmth::kWarm), "warm");
+  EXPECT_STREQ(WarmthName(SystemState::Warmth::kHot), "hot");
+}
+
+TEST(RmiTest, RoundTripsArgumentsAndResult) {
+  LatencyModel model;
+  RmiChannel rmi(&model);
+  std::vector<Value> seen_args;
+  std::string seen_fn;
+  auto handler = [&](const std::string& fn,
+                     const std::vector<Value>& args) -> Result<Table> {
+    seen_fn = fn;
+    seen_args = args;
+    Schema s;
+    s.AddColumn("echo", DataType::kVarchar);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Varchar("pong")});
+    return t;
+  };
+  RmiChannel::CallCosts costs;
+  auto result = rmi.Invoke(
+      "Ping", {Value::Int(1), Value::Null(), Value::Varchar("x")}, handler,
+      &costs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(seen_fn, "Ping");
+  ASSERT_EQ(seen_args.size(), 3u);
+  EXPECT_TRUE(seen_args[1].is_null());
+  EXPECT_EQ(result->rows()[0][0].AsVarchar(), "pong");
+  EXPECT_GE(costs.call_us, model.rmi_call_base_us);
+  EXPECT_GE(costs.return_us, model.rmi_return_base_us);
+}
+
+TEST(RmiTest, LargerPayloadCostsMore) {
+  LatencyModel model;
+  RmiChannel rmi(&model);
+  auto echo = [](const std::string&,
+                 const std::vector<Value>& args) -> Result<Table> {
+    Schema s;
+    s.AddColumn("v", DataType::kVarchar);
+    Table t(s);
+    t.AppendRowUnchecked({args[0]});
+    return t;
+  };
+  RmiChannel::CallCosts small, big;
+  ASSERT_TRUE(rmi.Invoke("f", {Value::Varchar("x")}, echo, &small).ok());
+  ASSERT_TRUE(
+      rmi.Invoke("f", {Value::Varchar(std::string(10000, 'x'))}, echo, &big)
+          .ok());
+  EXPECT_GT(big.call_us, small.call_us);
+  EXPECT_GT(big.return_us, small.return_us);
+}
+
+TEST(RmiTest, HandlerErrorPropagates) {
+  LatencyModel model;
+  RmiChannel rmi(&model);
+  auto handler = [](const std::string&,
+                    const std::vector<Value>&) -> Result<Table> {
+    return Status::ExecutionError("remote side failed");
+  };
+  auto result = rmi.Invoke("f", {}, handler, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("remote side failed"),
+            std::string::npos);
+}
+
+TEST(RmiTest, NullCostsPointerAllowed) {
+  LatencyModel model;
+  RmiChannel rmi(&model);
+  auto handler = [](const std::string&,
+                    const std::vector<Value>&) -> Result<Table> {
+    return Table();
+  };
+  EXPECT_TRUE(rmi.Invoke("f", {}, handler, nullptr).ok());
+}
+
+TEST(LatencyCalibrationTest, Fig6SharesEmergeFromConstants) {
+  // Sanity-check the calibration: the fixed WfMS wrapper costs relative to a
+  // 3-activity call should be in the ballpark of the paper's percentages.
+  LatencyModel m;
+  // For GetNoSuppComp: 3 program activities + 1 result helper.
+  VDuration activities = 3 * (m.wf_jvm_boot_activity_us + m.wf_container_us) +
+                         1000 /* approx local work */ + m.wf_helper_us +
+                         m.wf_container_us;
+  VDuration navigation = 4 * m.wf_navigation_us;
+  VDuration fixed = m.wf_udtf_start_us + m.wf_udtf_process_us +
+                    m.wf_controller_process_us + m.rmi_call_base_us +
+                    m.wf_process_start_us + m.wf_controller_us +
+                    m.rmi_return_base_us + m.wf_udtf_finish_us;
+  double total = static_cast<double>(activities + navigation + fixed);
+  double activity_share = static_cast<double>(activities) / total;
+  EXPECT_GT(activity_share, 0.45);  // paper: 51%
+  EXPECT_LT(activity_share, 0.60);
+  double nav_share = static_cast<double>(navigation) / total;
+  EXPECT_GT(nav_share, 0.05);  // paper: 9%
+  EXPECT_LT(nav_share, 0.15);
+}
+
+}  // namespace
+}  // namespace fedflow::sim

@@ -1,0 +1,109 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fedflow::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& input) {
+  auto tokens = Lex(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordsAreIdentifiers) {
+  auto tokens = MustLex("SELECT foo _bar b2z");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[2].text, "_bar");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = MustLex("1 123 1.5 .25 2. 1e3 1.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[4].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[5].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[6].type, TokenType::kDoubleLiteral);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = MustLex("'it''s'");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, EmptyStringLiteral) {
+  auto tokens = MustLex("''");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Lex("'abc");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = MustLex("<> <= >= != ||");
+  EXPECT_EQ(tokens[0].text, "<>");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[2].text, ">=");
+  EXPECT_EQ(tokens[3].text, "!=");
+  EXPECT_EQ(tokens[4].text, "||");
+}
+
+TEST(LexerTest, SingleCharSymbols) {
+  auto tokens = MustLex("( ) , . * + - / % = < > ;");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kSymbol);
+  }
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = MustLex("SELECT -- comment to end\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, IllegalCharacterFails) {
+  auto tokens = Lex("SELECT @x");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("@"), std::string::npos);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = MustLex("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+TEST(LexerTest, MalformedExponentFails) {
+  EXPECT_FALSE(Lex("1e").ok());
+  EXPECT_FALSE(Lex("1e+").ok());
+}
+
+TEST(LexerTest, DotBetweenIdentifiersIsSymbol) {
+  auto tokens = MustLex("a.b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, ".");
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+}
+
+}  // namespace
+}  // namespace fedflow::sql

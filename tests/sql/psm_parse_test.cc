@@ -1,0 +1,104 @@
+// Parser coverage for the PSM grammar and the DML statement forms.
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace fedflow::sql {
+namespace {
+
+TEST(PsmParseTest, MinimalProcedure) {
+  auto stmt = Parse("CREATE PROCEDURE p () BEGIN END");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateProcedure);
+  EXPECT_TRUE(stmt->create_procedure->body.empty());
+}
+
+TEST(PsmParseTest, AllStatementKinds) {
+  auto stmt = Parse(
+      "CREATE PROCEDURE p (n INT) BEGIN "
+      "DECLARE i INT; "
+      "SET i = 0; "
+      "IF p.n > 0 THEN SET i = 1; ELSE SET i = 2; END IF; "
+      "WHILE i < p.n DO SET i = i + 1; END WHILE; "
+      "EMIT SELECT p.i AS i; "
+      "RETURN SELECT p.i AS i; "
+      "END");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& body = stmt->create_procedure->body;
+  ASSERT_EQ(body.size(), 6u);
+  EXPECT_EQ(body[0].kind, PsmStatement::Kind::kDeclare);
+  EXPECT_EQ(body[1].kind, PsmStatement::Kind::kSet);
+  EXPECT_EQ(body[2].kind, PsmStatement::Kind::kIf);
+  EXPECT_EQ(body[2].then_branch.size(), 1u);
+  EXPECT_EQ(body[2].else_branch.size(), 1u);
+  EXPECT_EQ(body[3].kind, PsmStatement::Kind::kWhile);
+  EXPECT_EQ(body[4].kind, PsmStatement::Kind::kEmit);
+  EXPECT_EQ(body[5].kind, PsmStatement::Kind::kReturn);
+}
+
+TEST(PsmParseTest, MissingSemicolonRejected) {
+  EXPECT_FALSE(
+      Parse("CREATE PROCEDURE p () BEGIN DECLARE x INT END").ok());
+}
+
+TEST(PsmParseTest, UnterminatedIfRejected) {
+  EXPECT_FALSE(Parse("CREATE PROCEDURE p () BEGIN "
+                     "IF 1 = 1 THEN SET x = 1; END").ok());
+}
+
+TEST(PsmParseTest, UnknownStatementRejected) {
+  auto stmt = Parse("CREATE PROCEDURE p () BEGIN FROBNICATE; END");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("expected DECLARE"),
+            std::string::npos);
+}
+
+TEST(PsmParseTest, CallStatement) {
+  auto stmt = Parse("CALL DoThing(1, 'x', 2.5)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kCall);
+  EXPECT_EQ(stmt->call->name, "DoThing");
+  EXPECT_EQ(stmt->call->args.size(), 3u);
+  auto empty = Parse("CALL NoArgs()");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->call->args.empty());
+}
+
+TEST(DmlParseTest, UpdateStatement) {
+  auto stmt = Parse("UPDATE t SET a = 1, b = a + 2 WHERE a < 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kUpdate);
+  EXPECT_EQ(stmt->update->table, "t");
+  EXPECT_EQ(stmt->update->assignments.size(), 2u);
+  EXPECT_NE(stmt->update->where, nullptr);
+  auto no_where = Parse("UPDATE t SET a = 1");
+  ASSERT_TRUE(no_where.ok());
+  EXPECT_EQ(no_where->update->where, nullptr);
+}
+
+TEST(DmlParseTest, DeleteStatement) {
+  auto stmt = Parse("DELETE FROM t WHERE x IS NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kDelete);
+  EXPECT_EQ(stmt->del->table, "t");
+  EXPECT_NE(stmt->del->where, nullptr);
+  EXPECT_FALSE(Parse("DELETE t").ok());  // FROM mandatory
+}
+
+TEST(DmlParseTest, InsertSelectForm) {
+  auto stmt = Parse("INSERT INTO t SELECT a, b FROM u WHERE a > 0");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_TRUE(stmt->insert->rows.empty());
+  ASSERT_NE(stmt->insert->select, nullptr);
+  EXPECT_EQ(stmt->insert->select->items.size(), 2u);
+}
+
+TEST(DmlParseTest, DropProcedure) {
+  auto stmt = Parse("DROP PROCEDURE p");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->drop->is_procedure);
+}
+
+}  // namespace
+}  // namespace fedflow::sql

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "wfms/condition.h"
+#include "wfms/container.h"
+
+namespace fedflow::wfms {
+namespace {
+
+TEST(ContainerTest, SetGetAndOverwrite) {
+  Container c;
+  c.Set("A", Container::WrapScalar("v", Value::Int(1)));
+  EXPECT_TRUE(c.Has("a"));  // case-insensitive
+  c.Set("a", Container::WrapScalar("v", Value::Int(2)));
+  auto t = c.Get("A");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(c.Names().size(), 1u);
+}
+
+TEST(ContainerTest, GetMissingFails) {
+  Container c;
+  auto t = c.Get("nope");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ContainerTest, WrapScalarBuilds1x1Table) {
+  Table t = Container::WrapScalar("x", Value::Varchar("v"));
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.schema().column(0).name, "x");
+  EXPECT_EQ(t.schema().column(0).type, DataType::kVarchar);
+}
+
+TEST(ContainerTest, WrapNullScalarDefaultsVarchar) {
+  Table t = Container::WrapScalar("x", Value::Null());
+  EXPECT_EQ(t.schema().column(0).type, DataType::kVarchar);
+  EXPECT_TRUE(t.rows()[0][0].is_null());
+}
+
+TEST(ContainerTest, ExtractScalarRequiresSingleRow) {
+  Schema s;
+  s.AddColumn("v", DataType::kInt);
+  Table t(s);
+  EXPECT_FALSE(Container::ExtractScalar(t, "v").ok());
+  t.AppendRowUnchecked({Value::Int(1)});
+  EXPECT_EQ(Container::ExtractScalar(t, "v")->AsInt(), 1);
+  t.AppendRowUnchecked({Value::Int(2)});
+  EXPECT_FALSE(Container::ExtractScalar(t, "v").ok());
+}
+
+TEST(ContainerTest, ExtractScalarUnknownColumn) {
+  Schema s;
+  s.AddColumn("v", DataType::kInt);
+  Table t(s);
+  t.AppendRowUnchecked({Value::Int(1)});
+  EXPECT_FALSE(Container::ExtractScalar(t, "w").ok());
+}
+
+// --- conditions -------------------------------------------------------------
+
+class ConditionTest : public ::testing::Test {
+ protected:
+  Result<Value> Eval(const std::string& text) {
+    auto expr = sql::ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    return EvalCondition(**expr, resolver_);
+  }
+  Result<bool> EvalBool(const std::string& text) {
+    auto expr = sql::ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    return EvalConditionBool(**expr, resolver_);
+  }
+
+  ConditionResolver resolver_ = [](const std::string& q,
+                                   const std::string& n) -> Result<Value> {
+    if (q == "A" && n == "x") return Value::Int(7);
+    if (q == "A" && n == "s") return Value::Varchar("ok");
+    if (q.empty() && n == "ITERATION") return Value::Int(3);
+    if (q.empty() && n == "nullv") return Value::Null();
+    return Status::NotFound("no " + q + "." + n);
+  };
+};
+
+TEST_F(ConditionTest, ResolvesQualifiedAndUnqualifiedRefs) {
+  EXPECT_EQ(Eval("A.x")->AsInt(), 7);
+  EXPECT_EQ(Eval("ITERATION")->AsInt(), 3);
+  EXPECT_FALSE(Eval("B.x").ok());
+}
+
+TEST_F(ConditionTest, ComparisonAndLogic) {
+  EXPECT_TRUE(*EvalBool("A.x > 5 AND ITERATION < 10"));
+  EXPECT_FALSE(*EvalBool("A.x > 5 AND ITERATION > 10"));
+  EXPECT_TRUE(*EvalBool("A.x = 7 OR 1 = 0"));
+  EXPECT_TRUE(*EvalBool("NOT (A.x = 0)"));
+  EXPECT_TRUE(*EvalBool("A.s = 'ok'"));
+}
+
+TEST_F(ConditionTest, ArithmeticInsideConditions) {
+  EXPECT_TRUE(*EvalBool("A.x * 2 = 14"));
+  EXPECT_TRUE(*EvalBool("ITERATION + 4 >= A.x"));
+  EXPECT_EQ(Eval("A.x % 4")->AsBigInt(), 3);
+}
+
+TEST_F(ConditionTest, UnknownCollapsesToFalse) {
+  // NULL comparison -> unknown -> the transition does not fire.
+  EXPECT_FALSE(*EvalBool("nullv = 1"));
+  EXPECT_FALSE(*EvalBool("nullv > 0 AND A.x = 7"));
+  EXPECT_TRUE(*EvalBool("nullv IS NULL"));
+}
+
+TEST_F(ConditionTest, FunctionCallsRejected) {
+  auto r = Eval("UPPER(A.s) = 'OK'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ConditionTest, DivisionByZeroSurfaces) {
+  EXPECT_FALSE(Eval("A.x / 0 = 1").ok());
+}
+
+TEST_F(ConditionTest, ShortCircuit) {
+  // Right side would fail (unknown ref), but left decides.
+  EXPECT_FALSE(*EvalBool("1 = 0 AND B.broken = 1"));
+  EXPECT_TRUE(*EvalBool("1 = 1 OR B.broken = 1"));
+}
+
+TEST_F(ConditionTest, NumericTruthiness) {
+  EXPECT_TRUE(*EvalBool("1"));
+  EXPECT_FALSE(*EvalBool("0"));
+  EXPECT_TRUE(*EvalBool("A.x"));
+}
+
+TEST_F(ConditionTest, ConcatInCondition) {
+  EXPECT_TRUE(*EvalBool("A.s || '!' = 'ok!'"));
+}
+
+}  // namespace
+}  // namespace fedflow::wfms

@@ -1,0 +1,497 @@
+#include "wfms/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "wfms/builder.h"
+#include "wfms/helpers.h"
+
+namespace fedflow::wfms {
+namespace {
+
+/// Scriptable invoker: each function maps to a handler plus a fixed duration.
+class FakeInvoker : public ProgramInvoker {
+ public:
+  using Handler =
+      std::function<Result<Table>(const std::vector<Value>& args)>;
+
+  void Define(const std::string& fn, VDuration duration, Handler handler) {
+    handlers_[fn] = {duration, std::move(handler)};
+  }
+
+  /// Convenience: fn(args) returns one row {col: args[0] + delta}.
+  void DefineAddOne(const std::string& fn, VDuration duration,
+                    const std::string& col = "v") {
+    Define(fn, duration, [col](const std::vector<Value>& args) {
+      Schema s;
+      s.AddColumn(col, DataType::kInt);
+      Table t(s);
+      t.AppendRowUnchecked({Value::Int(args.empty() ? 1 : args[0].AsInt() + 1)});
+      return t;
+    });
+  }
+
+  Result<InvokeResult> Invoke(const std::string& system,
+                              const std::string& function,
+                              const std::vector<Value>& args) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      calls_.emplace_back(system, function);
+    }
+    auto it = handlers_.find(function);
+    if (it == handlers_.end()) {
+      return Status::NotFound("fake function not defined: " + function);
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(Table out, it->second.second(args));
+    InvokeResult r;
+    r.output = std::move(out);
+    r.duration = it->second.first;
+    r.steps.Add(steps::kProcessActivities, it->second.first);
+    return r;
+  }
+
+  std::vector<std::pair<std::string, std::string>> calls() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+
+ private:
+  std::map<std::string, std::pair<VDuration, Handler>> handlers_;
+  std::mutex mu_;
+  std::vector<std::pair<std::string, std::string>> calls_;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(EngineOptions{}) {}
+
+  Engine engine_;
+  FakeInvoker invoker_;
+};
+
+TEST_F(EngineTest, SequentialChainComputesAdditiveTime) {
+  invoker_.DefineAddOne("f1", 100);
+  invoker_.DefineAddOne("f2", 200);
+  ProcessBuilder b("chain");
+  b.Input("x", DataType::kInt);
+  b.Program("A", "sys", "f1", {InputSource::FromProcessInput("x")});
+  b.Program("B", "sys", "f2", {InputSource::FromActivity("A", "v")});
+  b.Connect("A", "B");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {Value::Int(5)}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 7);
+  EXPECT_EQ(result->elapsed_us, 300);
+  EXPECT_EQ(result->breakdown.Of(steps::kProcessActivities), 300);
+}
+
+TEST_F(EngineTest, ParallelForkElapsedIsMaxNotSum) {
+  invoker_.DefineAddOne("slow", 1000, "a");
+  invoker_.DefineAddOne("fast", 100, "b");
+  ProcessBuilder b("fork");
+  b.Input("x", DataType::kInt);
+  b.Program("S", "sys", "slow", {InputSource::FromProcessInput("x")});
+  b.Program("F", "sys", "fast", {InputSource::FromProcessInput("x")});
+  b.Helper("J", "concat",
+           {InputSource::FromActivity("S", ""),
+            InputSource::FromActivity("F", "")});
+  b.Connect("S", "J");
+  b.Connect("F", "J");
+  b.Output("J");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {Value::Int(1)}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Elapsed: max(1000, 100) = 1000, not 1100. Work records 1100.
+  EXPECT_EQ(result->elapsed_us, 1000);
+  EXPECT_EQ(result->breakdown.Of(steps::kProcessActivities), 1100);
+  // Concat produced one row with both columns.
+  EXPECT_EQ(result->output.schema().num_columns(), 2u);
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 2);
+}
+
+TEST_F(EngineTest, NavigationAndContainerCostsCharged) {
+  EngineOptions opts;
+  opts.navigation_cost_us = 10;
+  opts.container_cost_us = 5;
+  Engine engine(opts);
+  invoker_.DefineAddOne("f", 100);
+  ProcessBuilder b("p");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->elapsed_us, 115);
+  EXPECT_EQ(result->breakdown.Of(steps::kWorkflowNavigation), 10);
+  EXPECT_EQ(result->breakdown.Of(steps::kProcessActivities), 105);
+}
+
+TEST_F(EngineTest, TransitionConditionRoutesFlow) {
+  invoker_.DefineAddOne("src", 10);
+  invoker_.DefineAddOne("then", 10, "t");
+  invoker_.DefineAddOne("else", 10, "e");
+  ProcessBuilder b("route");
+  b.Input("x", DataType::kInt);
+  b.Program("A", "sys", "src", {InputSource::FromProcessInput("x")});
+  b.Program("T", "sys", "then", {InputSource::Constant(Value::Int(0))});
+  b.Program("E", "sys", "else", {InputSource::Constant(Value::Int(0))});
+  b.Helper("OUT", "union_all",
+           {InputSource::FromActivity("T", ""),
+            InputSource::FromActivity("E", "")});
+  b.Join(JoinKind::kOr);
+  b.Connect("A", "T", "A.v > 100");
+  b.Connect("A", "E", "A.v <= 100");
+  b.Connect("T", "OUT");
+  b.Connect("E", "OUT");
+  b.Output("E");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  auto result = engine_.RunDefinition(*def, {Value::Int(5)}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // A.v = 6 <= 100: E ran, T was dead-path eliminated.
+  bool t_dead = false, e_ran = false;
+  for (const AuditEntry& entry : result->audit.entries()) {
+    if (entry.activity == "T" && entry.event == AuditEvent::kActivityDead) {
+      t_dead = true;
+    }
+    if (entry.activity == "E" &&
+        entry.event == AuditEvent::kActivityFinished) {
+      e_ran = true;
+    }
+  }
+  EXPECT_TRUE(t_dead);
+  EXPECT_TRUE(e_ran);
+}
+
+TEST_F(EngineTest, DeadPathPropagatesThroughAndJoin) {
+  invoker_.DefineAddOne("f", 10);
+  ProcessBuilder b("deadchain");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("B", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("C", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Connect("A", "B", "1 = 0");  // never true
+  b.Connect("B", "C");           // C AND-joins on dead B
+  b.Output("A");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  int dead = 0;
+  for (const AuditEntry& entry : result->audit.entries()) {
+    if (entry.event == AuditEvent::kActivityDead) ++dead;
+  }
+  EXPECT_EQ(dead, 2);  // B and C
+}
+
+TEST_F(EngineTest, DeadOutputActivityIsAnError) {
+  invoker_.DefineAddOne("f", 10);
+  ProcessBuilder b("deadout");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("B", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Connect("A", "B", "1 = 0");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("dead-path"), std::string::npos);
+}
+
+TEST_F(EngineTest, OrJoinFiresOnFirstTrueEdge) {
+  invoker_.DefineAddOne("f", 10);
+  ProcessBuilder b("orjoin");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("B", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("C", "sys", "f", {InputSource::Constant(Value::Int(7))});
+  b.Join(JoinKind::kOr);
+  b.Connect("A", "C");
+  b.Connect("B", "C", "1 = 0");
+  b.Output("C");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 8);
+}
+
+TEST_F(EngineTest, ActivityFailureAbortsProcess) {
+  invoker_.DefineAddOne("ok", 10);
+  invoker_.Define("boom", 10, [](const std::vector<Value>&) -> Result<Table> {
+    return Status::ExecutionError("kaput");
+  });
+  ProcessBuilder b("failing");
+  b.Program("A", "sys", "ok", {InputSource::Constant(Value::Int(1))});
+  b.Program("B", "sys", "boom", {InputSource::FromActivity("A", "v")});
+  b.Connect("A", "B");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("kaput"), std::string::npos);
+  EXPECT_NE(result.status().message().find("activity B"), std::string::npos);
+}
+
+TEST_F(EngineTest, MissingInvokerForProgramActivities) {
+  ProcessBuilder b("noinv");
+  b.Program("A", "sys", "f", {});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(EngineTest, HelperOnlyProcessNeedsNoInvoker) {
+  ProcessBuilder b("helpers");
+  b.Helper("C", "constant_five", {});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(engine_
+                  .RegisterHelper("constant_five",
+                                  MakeConstHelper("v", Value::Int(5)))
+                  .ok());
+  auto result = engine_.RunDefinition(*def, {}, nullptr);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 5);
+}
+
+TEST_F(EngineTest, UnknownHelperFails) {
+  ProcessBuilder b("nohelper");
+  b.Helper("H", "does_not_exist", {});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, ProcessInputArityAndCoercion) {
+  invoker_.DefineAddOne("f", 10);
+  ProcessBuilder b("inputs");
+  b.Input("x", DataType::kInt);
+  b.Program("A", "sys", "f", {InputSource::FromProcessInput("x")});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  EXPECT_FALSE(engine_.RunDefinition(*def, {}, &invoker_).ok());
+  EXPECT_FALSE(
+      engine_.RunDefinition(*def, {Value::Int(1), Value::Int(2)}, &invoker_)
+          .ok());
+  // VARCHAR '41' coerces to INT 41.
+  auto result =
+      engine_.RunDefinition(*def, {Value::Varchar("41")}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 42);
+}
+
+TEST_F(EngineTest, ScalarInputFromMultiRowOutputFails) {
+  invoker_.Define("multi", 10, [](const std::vector<Value>&) {
+    Schema s;
+    s.AddColumn("v", DataType::kInt);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Int(1)});
+    t.AppendRowUnchecked({Value::Int(2)});
+    return Result<Table>(t);
+  });
+  invoker_.DefineAddOne("g", 10);
+  ProcessBuilder b("multirow");
+  b.Program("A", "sys", "multi", {});
+  b.Program("B", "sys", "g", {InputSource::FromActivity("A", "v")});
+  b.Connect("A", "B");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("exactly one row"),
+            std::string::npos);
+}
+
+TEST_F(EngineTest, RegisteredProcessRunsByName) {
+  invoker_.DefineAddOne("f", 10);
+  ProcessBuilder b("registered");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(engine_.RegisterProcess(*def).ok());
+  EXPECT_FALSE(engine_.RegisterProcess(*def).ok());  // duplicate
+  auto result = engine_.Run("REGISTERED", {}, &invoker_);  // case-insensitive
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(engine_.Run("ghost", {}, &invoker_).ok());
+  EXPECT_TRUE(engine_.GetProcess("registered").ok());
+}
+
+TEST_F(EngineTest, AuditTrailRecordsLifecycle) {
+  invoker_.DefineAddOne("f", 50);
+  ProcessBuilder b("audited");
+  b.Program("A", "sys", "f", {InputSource::Constant(Value::Int(1))});
+  b.Program("B", "sys", "f", {InputSource::FromActivity("A", "v")});
+  b.Connect("A", "B");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok());
+  const auto& entries = result->audit.entries();
+  ASSERT_GE(entries.size(), 6u);
+  EXPECT_EQ(entries.front().event, AuditEvent::kProcessStarted);
+  EXPECT_EQ(entries.back().event, AuditEvent::kProcessFinished);
+  auto b_events = result->audit.ForActivity("B");
+  ASSERT_EQ(b_events.size(), 2u);
+  EXPECT_EQ(b_events[0].event, AuditEvent::kActivityStarted);
+  EXPECT_EQ(b_events[0].time, 50);
+  EXPECT_EQ(b_events[1].time, 100);
+}
+
+// --- blocks / loops ----------------------------------------------------------
+
+class BlockTest : public EngineTest {
+ protected:
+  std::shared_ptr<ProcessDefinition> MakeBody(bool with_n = false) {
+    invoker_.Define("item", 100, [](const std::vector<Value>& args) {
+      Schema s;
+      s.AddColumn("v", DataType::kInt);
+      Table t(s);
+      t.AppendRowUnchecked({Value::Int(args[0].AsInt() * 10)});
+      return Result<Table>(t);
+    });
+    ProcessBuilder b("body");
+    if (with_n) b.Input("n", DataType::kInt);
+    b.Input("ITERATION", DataType::kInt);
+    b.Program("Item", "sys", "item",
+              {InputSource::FromProcessInput("ITERATION")});
+    auto def = b.BuildShared();
+    EXPECT_TRUE(def.ok());
+    return def.ok() ? *def : nullptr;
+  }
+
+  /// Block inputs for a body built with with_n=true.
+  std::vector<InputSource> NBlockInputs() {
+    return {InputSource::FromProcessInput("n"),
+            InputSource::Constant(Value::Int(0))};
+  }
+};
+
+TEST_F(BlockTest, DoUntilLoopUnionsIterations) {
+  ProcessBuilder b("loop");
+  b.Input("n", DataType::kInt);
+  b.Block("L", MakeBody(/*with_n=*/true), NBlockInputs(),
+          "ITERATION >= n", BlockAccumulate::kUnionAll);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  auto result = engine_.RunDefinition(*def, {Value::Int(4)}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->output.num_rows(), 4u);
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 10);
+  EXPECT_EQ(result->output.rows()[3][0].AsInt(), 40);
+}
+
+TEST_F(BlockTest, LastIterationAccumulateKeepsFinalOutput) {
+  ProcessBuilder b("loop");
+  b.Input("n", DataType::kInt);
+  b.Block("L", MakeBody(/*with_n=*/true), NBlockInputs(),
+          "ITERATION >= n", BlockAccumulate::kLastIteration);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {Value::Int(3)}, &invoker_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->output.num_rows(), 1u);
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 30);
+}
+
+TEST_F(BlockTest, LoopTimeScalesLinearly) {
+  ProcessBuilder b("loop");
+  b.Input("n", DataType::kInt);
+  b.Block("L", MakeBody(/*with_n=*/true), NBlockInputs(),
+          "ITERATION >= n", BlockAccumulate::kUnionAll);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto t2 = engine_.RunDefinition(*def, {Value::Int(2)}, &invoker_);
+  auto t8 = engine_.RunDefinition(*def, {Value::Int(8)}, &invoker_);
+  ASSERT_TRUE(t2.ok() && t8.ok());
+  EXPECT_EQ(t8->elapsed_us, 4 * t2->elapsed_us);
+}
+
+TEST_F(BlockTest, NoExitConditionRunsOnce) {
+  ProcessBuilder b("once");
+  b.Block("L", MakeBody(), {InputSource::Constant(Value::Int(7))});
+  // body has one param (ITERATION), overridden per iteration
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->output.rows()[0][0].AsInt(), 10);  // ITERATION=1 override
+}
+
+TEST_F(BlockTest, MaxIterationsGuard) {
+  ProcessBuilder b("runaway");
+  b.Block("L", MakeBody(), {InputSource::Constant(Value::Int(0))},
+          "1 = 0", BlockAccumulate::kLastIteration, /*max_iterations=*/5);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("max_iterations"),
+            std::string::npos);
+}
+
+TEST_F(BlockTest, LoopIterationsAudited) {
+  ProcessBuilder b("loop");
+  b.Input("n", DataType::kInt);
+  b.Block("L", MakeBody(/*with_n=*/true), NBlockInputs(),
+          "ITERATION >= n", BlockAccumulate::kUnionAll);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {Value::Int(3)}, &invoker_);
+  ASSERT_TRUE(result.ok());
+  int iterations = 0;
+  for (const AuditEntry& e : result->audit.entries()) {
+    if (e.event == AuditEvent::kLoopIteration) ++iterations;
+  }
+  EXPECT_EQ(iterations, 3);
+}
+
+TEST_F(EngineTest, ParallelActivitiesReallyRunConcurrently) {
+  // Two activities that each block until the other has started: only
+  // possible if the engine really executes them on different threads.
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  auto barrier = [&](const std::vector<Value>&) -> Result<Table> {
+    std::unique_lock<std::mutex> lock(mu);
+    ++started;
+    cv.notify_all();
+    if (!cv.wait_for(lock, std::chrono::seconds(10),
+                     [&] { return started >= 2; })) {
+      return Status::ExecutionError("barrier timeout");
+    }
+    Schema s;
+    s.AddColumn("v", DataType::kInt);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Int(1)});
+    return t;
+  };
+  invoker_.Define("b1", 10, barrier);
+  invoker_.Define("b2", 10, barrier);
+  ProcessBuilder b("concurrent");
+  b.Program("A", "sys", "b1", {});
+  b.Program("B", "sys", "b2", {});
+  b.Helper("J", "concat",
+           {InputSource::FromActivity("A", ""),
+            InputSource::FromActivity("B", "")});
+  b.Connect("A", "J");
+  b.Connect("B", "J");
+  b.Output("J");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  auto result = engine_.RunDefinition(*def, {}, &invoker_);
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+}  // namespace
+}  // namespace fedflow::wfms

@@ -1,0 +1,170 @@
+#include "wfms/helpers.h"
+
+#include <gtest/gtest.h>
+
+namespace fedflow::wfms {
+namespace {
+
+Table OneRow(std::vector<std::pair<std::string, Value>> cells) {
+  Schema s;
+  Row row;
+  for (auto& [name, v] : cells) {
+    s.AddColumn(name, v.is_null() ? DataType::kVarchar : v.type());
+    row.push_back(v);
+  }
+  Table t(s);
+  t.AppendRowUnchecked(std::move(row));
+  return t;
+}
+
+TEST(HelpersTest, IdentityReturnsInput) {
+  Table in = OneRow({{"x", Value::Int(1)}});
+  auto out = MakeIdentityHelper()({in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+  EXPECT_FALSE(MakeIdentityHelper()({in, in}).ok());
+}
+
+TEST(HelpersTest, CastChangesColumnTypeKeepingOthers) {
+  Table in = OneRow({{"a", Value::Int(5)}, {"b", Value::Varchar("x")}});
+  auto out = MakeCastHelper("a", DataType::kBigInt)({in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().column(0).type, DataType::kBigInt);
+  EXPECT_EQ(out->schema().column(1).type, DataType::kVarchar);
+  EXPECT_EQ(out->rows()[0][0].AsBigInt(), 5);
+}
+
+TEST(HelpersTest, CastUnknownColumnFails) {
+  Table in = OneRow({{"a", Value::Int(5)}});
+  EXPECT_FALSE(MakeCastHelper("zz", DataType::kBigInt)({in}).ok());
+}
+
+TEST(HelpersTest, CastFailureSurfaces) {
+  Table in = OneRow({{"a", Value::Varchar("not a number")}});
+  EXPECT_FALSE(MakeCastHelper("a", DataType::kInt)({in}).ok());
+}
+
+TEST(HelpersTest, RenameReplacesColumnNames) {
+  Table in = OneRow({{"a", Value::Int(1)}, {"b", Value::Int(2)}});
+  auto out = MakeRenameHelper({"x", "y"})({in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().column(0).name, "x");
+  EXPECT_FALSE(MakeRenameHelper({"only_one"})({in}).ok());
+}
+
+TEST(HelpersTest, ConcatCombinesSingleRows) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  Table b = OneRow({{"y", Value::Varchar("v")}});
+  auto out = MakeConcatHelper()({a, b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().num_columns(), 2u);
+  EXPECT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][1].AsVarchar(), "v");
+}
+
+TEST(HelpersTest, ConcatRejectsMultiRowInput) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  Table multi = a;
+  multi.AppendRowUnchecked({Value::Int(2)});
+  EXPECT_FALSE(MakeConcatHelper()({multi}).ok());
+  EXPECT_FALSE(MakeConcatHelper()({}).ok());
+}
+
+TEST(HelpersTest, UnionAllStacksRows) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  Table b = OneRow({{"x", Value::Int(2)}});
+  auto out = MakeUnionAllHelper()({a, b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST(HelpersTest, UnionAllSkipsDeadBranchPlaceholders) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  Table dead;  // zero columns = dead-path placeholder
+  auto out = MakeUnionAllHelper()({dead, a});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1u);
+  auto all_dead = MakeUnionAllHelper()({dead});
+  ASSERT_TRUE(all_dead.ok());
+  EXPECT_EQ(all_dead->num_rows(), 0u);
+}
+
+TEST(HelpersTest, UnionAllArityMismatchFails) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  Table b = OneRow({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  EXPECT_FALSE(MakeUnionAllHelper()({a, b}).ok());
+}
+
+TEST(HelpersTest, JoinMatchesEqualKeys) {
+  Schema ls;
+  ls.AddColumn("SubCompNo", DataType::kInt);
+  Table left(ls);
+  left.AppendRowUnchecked({Value::Int(1)});
+  left.AppendRowUnchecked({Value::Int(2)});
+  left.AppendRowUnchecked({Value::Int(3)});
+  Schema rs;
+  rs.AddColumn("CompNo", DataType::kInt);
+  rs.AddColumn("SupplierNo", DataType::kInt);
+  Table right(rs);
+  right.AppendRowUnchecked({Value::Int(2), Value::Int(100)});
+  right.AppendRowUnchecked({Value::Int(2), Value::Int(200)});
+  right.AppendRowUnchecked({Value::Int(9), Value::Int(300)});
+
+  auto out = MakeJoinHelper("SubCompNo", "CompNo")({left, right});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->schema().num_columns(), 3u);
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->rows()[0][0].AsInt(), 2);
+}
+
+TEST(HelpersTest, JoinAcrossNumericWidths) {
+  Schema ls;
+  ls.AddColumn("k", DataType::kInt);
+  Table left(ls);
+  left.AppendRowUnchecked({Value::Int(7)});
+  Schema rs;
+  rs.AddColumn("k2", DataType::kBigInt);
+  Table right(rs);
+  right.AppendRowUnchecked({Value::BigInt(7)});
+  auto out = MakeJoinHelper("k", "k2")({left, right});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1u);
+}
+
+TEST(HelpersTest, JoinNullKeysNeverMatch) {
+  Schema s;
+  s.AddColumn("k", DataType::kInt);
+  Table left(s);
+  left.AppendRowUnchecked({Value::Null()});
+  Table right(s);
+  right.AppendRowUnchecked({Value::Null()});
+  auto out = MakeJoinHelper("k", "k")({left, right});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+TEST(HelpersTest, JoinRequiresTwoInputsAndKnownColumns) {
+  Table a = OneRow({{"x", Value::Int(1)}});
+  EXPECT_FALSE(MakeJoinHelper("x", "x")({a}).ok());
+  EXPECT_FALSE(MakeJoinHelper("zz", "x")({a, a}).ok());
+}
+
+TEST(HelpersTest, ProjectSelectsAndReorders) {
+  Table in = OneRow({{"a", Value::Int(1)}, {"b", Value::Int(2)},
+                     {"c", Value::Int(3)}});
+  auto out = MakeProjectHelper({"c", "a"})({in});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().column(0).name, "c");
+  EXPECT_EQ(out->rows()[0][0].AsInt(), 3);
+  EXPECT_EQ(out->rows()[0][1].AsInt(), 1);
+  EXPECT_FALSE(MakeProjectHelper({"zz"})({in}).ok());
+}
+
+TEST(HelpersTest, ConstIgnoresInputs) {
+  auto out = MakeConstHelper("k", Value::Varchar("c"))({});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows()[0][0].AsVarchar(), "c");
+}
+
+}  // namespace
+}  // namespace fedflow::wfms

@@ -1,0 +1,268 @@
+#include "wfms/model.h"
+
+#include <gtest/gtest.h>
+
+#include "wfms/builder.h"
+
+namespace fedflow::wfms {
+namespace {
+
+ActivityDef Program(const std::string& name) {
+  ActivityDef a;
+  a.name = name;
+  a.kind = ActivityKind::kProgram;
+  a.system = "sys";
+  a.function = "fn";
+  return a;
+}
+
+TEST(ValidateTest, MinimalValidProcess) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.output_activity = "A";
+  EXPECT_TRUE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsEmptyProcess) {
+  ProcessDefinition def;
+  def.name = "p";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsMissingName) {
+  ProcessDefinition def;
+  def.activities.push_back(Program("A"));
+  def.output_activity = "A";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateActivityNames) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.activities.push_back(Program("a"));  // case-insensitive duplicate
+  def.output_activity = "A";
+  auto st = ValidateProcess(def);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsUnknownOutputActivity) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.output_activity = "B";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownConnectorEndpoints) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.output_activity = "A";
+  def.connectors.push_back({"A", "Z", nullptr});
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsSelfLoop) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.output_activity = "A";
+  def.connectors.push_back({"A", "A", nullptr});
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsControlFlowCycle) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.activities.push_back(Program("B"));
+  def.output_activity = "B";
+  def.connectors.push_back({"A", "B", nullptr});
+  def.connectors.push_back({"B", "A", nullptr});
+  auto st = ValidateProcess(def);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cycle"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsDataFlowWithoutControlPath) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  ActivityDef b = Program("B");
+  b.inputs.push_back(InputSource::FromActivity("A", "v"));
+  def.activities.push_back(std::move(b));
+  def.output_activity = "B";
+  // No connector A -> B: B could start before A's output exists.
+  auto st = ValidateProcess(def);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("control path"), std::string::npos);
+  def.connectors.push_back({"A", "B", nullptr});
+  EXPECT_TRUE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, TransitiveControlPathSuffices) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("A"));
+  def.activities.push_back(Program("B"));
+  ActivityDef c = Program("C");
+  c.inputs.push_back(InputSource::FromActivity("A", "v"));
+  def.activities.push_back(std::move(c));
+  def.output_activity = "C";
+  def.connectors.push_back({"A", "B", nullptr});
+  def.connectors.push_back({"B", "C", nullptr});
+  EXPECT_TRUE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownProcessInput) {
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef a = Program("A");
+  a.inputs.push_back(InputSource::FromProcessInput("missing"));
+  def.activities.push_back(std::move(a));
+  def.output_activity = "A";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+  def.input_params.push_back(Column{"missing", DataType::kInt});
+  EXPECT_TRUE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, RejectsReadingOwnOutput) {
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef a = Program("A");
+  a.inputs.push_back(InputSource::FromActivity("A", "v"));
+  def.activities.push_back(std::move(a));
+  def.output_activity = "A";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, ProgramNeedsSystemAndFunction) {
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef a;
+  a.name = "A";
+  a.kind = ActivityKind::kProgram;
+  def.activities.push_back(std::move(a));
+  def.output_activity = "A";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, HelperNeedsHelperName) {
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef a;
+  a.name = "A";
+  a.kind = ActivityKind::kHelper;
+  def.activities.push_back(std::move(a));
+  def.output_activity = "A";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, BlockNeedsSubProcessAndMatchingArity) {
+  auto sub = std::make_shared<ProcessDefinition>();
+  sub->name = "sub";
+  sub->input_params.push_back(Column{"x", DataType::kInt});
+  sub->activities.push_back(Program("Inner"));
+  sub->output_activity = "Inner";
+
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef block;
+  block.name = "B";
+  block.kind = ActivityKind::kBlock;
+  def.activities.push_back(block);
+  def.output_activity = "B";
+  EXPECT_FALSE(ValidateProcess(def).ok());  // no sub
+
+  def.activities[0].sub = sub;
+  EXPECT_FALSE(ValidateProcess(def).ok());  // arity mismatch (0 vs 1)
+
+  def.activities[0].inputs.push_back(InputSource::Constant(Value::Int(1)));
+  EXPECT_TRUE(ValidateProcess(def).ok());
+
+  def.activities[0].max_iterations = 0;
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ValidateTest, InvalidSubProcessSurfaces) {
+  auto sub = std::make_shared<ProcessDefinition>();
+  sub->name = "sub";  // no activities -> invalid
+  ProcessDefinition def;
+  def.name = "p";
+  ActivityDef block;
+  block.name = "B";
+  block.kind = ActivityKind::kBlock;
+  block.sub = sub;
+  def.activities.push_back(std::move(block));
+  def.output_activity = "B";
+  EXPECT_FALSE(ValidateProcess(def).ok());
+}
+
+TEST(ProcessDefinitionTest, FindActivityCaseInsensitive) {
+  ProcessDefinition def;
+  def.name = "p";
+  def.activities.push_back(Program("Alpha"));
+  auto a = def.FindActivity("ALPHA");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->name, "Alpha");
+  EXPECT_FALSE(def.FindActivity("beta").ok());
+  EXPECT_EQ(*def.ActivityIndex("alpha"), 0u);
+}
+
+TEST(BuilderTest, BuildsAndValidates) {
+  ProcessBuilder b("proc");
+  b.Input("x", DataType::kInt);
+  b.Program("A", "sys", "fn", {InputSource::FromProcessInput("x")});
+  b.Program("B", "sys", "fn", {InputSource::FromActivity("A", "v")});
+  b.Connect("A", "B");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->activities.size(), 2u);
+  EXPECT_EQ(def->connectors.size(), 1u);
+}
+
+TEST(BuilderTest, ParsesConditions) {
+  ProcessBuilder b("proc");
+  b.Program("A", "sys", "fn", {});
+  b.Program("B", "sys", "fn", {});
+  b.Connect("A", "B", "A.v > 3");
+  b.Output("B");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  ASSERT_NE(def->connectors[0].condition, nullptr);
+  EXPECT_EQ(def->connectors[0].condition->ToSql(), "(A.v > 3)");
+}
+
+TEST(BuilderTest, BadConditionFailsBuild) {
+  ProcessBuilder b("proc");
+  b.Program("A", "sys", "fn", {});
+  b.Program("B", "sys", "fn", {});
+  b.Connect("A", "B", ">>> nonsense");
+  b.Output("B");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuilderTest, DefaultOutputIsLastActivity) {
+  ProcessBuilder b("proc");
+  b.Program("A", "sys", "fn", {});
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->output_activity, "A");
+}
+
+TEST(BuilderTest, JoinAppliesToLastActivity) {
+  ProcessBuilder b("proc");
+  b.Program("A", "sys", "fn", {});
+  b.Program("B", "sys", "fn", {}).Join(JoinKind::kOr);
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->activities[0].join, JoinKind::kAnd);
+  EXPECT_EQ(def->activities[1].join, JoinKind::kOr);
+}
+
+}  // namespace
+}  // namespace fedflow::wfms
