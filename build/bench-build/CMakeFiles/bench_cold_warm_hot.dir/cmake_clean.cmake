@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cold_warm_hot"
+  "../bench/bench_cold_warm_hot.pdb"
+  "CMakeFiles/bench_cold_warm_hot.dir/bench_cold_warm_hot.cc.o"
+  "CMakeFiles/bench_cold_warm_hot.dir/bench_cold_warm_hot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cold_warm_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_controller_ablation"
+  "../bench/bench_controller_ablation.pdb"
+  "CMakeFiles/bench_controller_ablation.dir/bench_controller_ablation.cc.o"
+  "CMakeFiles/bench_controller_ablation.dir/bench_controller_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

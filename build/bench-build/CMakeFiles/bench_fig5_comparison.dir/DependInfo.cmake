@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_comparison.cc" "bench-build/CMakeFiles/bench_fig5_comparison.dir/bench_fig5_comparison.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig5_comparison.dir/bench_fig5_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federation/CMakeFiles/fedflow_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdbs/CMakeFiles/fedflow_fdbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfms/CMakeFiles/fedflow_wfms.dir/DependInfo.cmake"
+  "/root/repo/build/src/appsys/CMakeFiles/fedflow_appsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

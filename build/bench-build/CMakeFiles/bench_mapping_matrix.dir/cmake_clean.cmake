@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mapping_matrix"
+  "../bench/bench_mapping_matrix.pdb"
+  "CMakeFiles/bench_mapping_matrix.dir/bench_mapping_matrix.cc.o"
+  "CMakeFiles/bench_mapping_matrix.dir/bench_mapping_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

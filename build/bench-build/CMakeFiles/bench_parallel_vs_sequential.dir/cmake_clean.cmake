@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parallel_vs_sequential"
+  "../bench/bench_parallel_vs_sequential.pdb"
+  "CMakeFiles/bench_parallel_vs_sequential.dir/bench_parallel_vs_sequential.cc.o"
+  "CMakeFiles/bench_parallel_vs_sequential.dir/bench_parallel_vs_sequential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

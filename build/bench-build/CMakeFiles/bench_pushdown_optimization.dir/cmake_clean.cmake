@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pushdown_optimization"
+  "../bench/bench_pushdown_optimization.pdb"
+  "CMakeFiles/bench_pushdown_optimization.dir/bench_pushdown_optimization.cc.o"
+  "CMakeFiles/bench_pushdown_optimization.dir/bench_pushdown_optimization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pushdown_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

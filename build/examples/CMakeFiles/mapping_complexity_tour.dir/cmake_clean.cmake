@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_complexity_tour.dir/mapping_complexity_tour.cpp.o"
+  "CMakeFiles/mapping_complexity_tour.dir/mapping_complexity_tour.cpp.o.d"
+  "mapping_complexity_tour"
+  "mapping_complexity_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_complexity_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

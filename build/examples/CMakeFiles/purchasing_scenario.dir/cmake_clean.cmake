@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchasing_scenario.dir/purchasing_scenario.cpp.o"
+  "CMakeFiles/purchasing_scenario.dir/purchasing_scenario.cpp.o.d"
+  "purchasing_scenario"
+  "purchasing_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchasing_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_architectures.dir/three_architectures.cpp.o"
+  "CMakeFiles/three_architectures.dir/three_architectures.cpp.o.d"
+  "three_architectures"
+  "three_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appsys/appsystem.cc" "src/appsys/CMakeFiles/fedflow_appsys.dir/appsystem.cc.o" "gcc" "src/appsys/CMakeFiles/fedflow_appsys.dir/appsystem.cc.o.d"
+  "/root/repo/src/appsys/dataset.cc" "src/appsys/CMakeFiles/fedflow_appsys.dir/dataset.cc.o" "gcc" "src/appsys/CMakeFiles/fedflow_appsys.dir/dataset.cc.o.d"
+  "/root/repo/src/appsys/pdm.cc" "src/appsys/CMakeFiles/fedflow_appsys.dir/pdm.cc.o" "gcc" "src/appsys/CMakeFiles/fedflow_appsys.dir/pdm.cc.o.d"
+  "/root/repo/src/appsys/purchasing.cc" "src/appsys/CMakeFiles/fedflow_appsys.dir/purchasing.cc.o" "gcc" "src/appsys/CMakeFiles/fedflow_appsys.dir/purchasing.cc.o.d"
+  "/root/repo/src/appsys/stockkeeping.cc" "src/appsys/CMakeFiles/fedflow_appsys.dir/stockkeeping.cc.o" "gcc" "src/appsys/CMakeFiles/fedflow_appsys.dir/stockkeeping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

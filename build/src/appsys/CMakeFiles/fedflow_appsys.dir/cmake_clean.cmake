@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_appsys.dir/appsystem.cc.o"
+  "CMakeFiles/fedflow_appsys.dir/appsystem.cc.o.d"
+  "CMakeFiles/fedflow_appsys.dir/dataset.cc.o"
+  "CMakeFiles/fedflow_appsys.dir/dataset.cc.o.d"
+  "CMakeFiles/fedflow_appsys.dir/pdm.cc.o"
+  "CMakeFiles/fedflow_appsys.dir/pdm.cc.o.d"
+  "CMakeFiles/fedflow_appsys.dir/purchasing.cc.o"
+  "CMakeFiles/fedflow_appsys.dir/purchasing.cc.o.d"
+  "CMakeFiles/fedflow_appsys.dir/stockkeeping.cc.o"
+  "CMakeFiles/fedflow_appsys.dir/stockkeeping.cc.o.d"
+  "libfedflow_appsys.a"
+  "libfedflow_appsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_appsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

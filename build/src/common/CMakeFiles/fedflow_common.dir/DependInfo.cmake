@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/codec.cc" "src/common/CMakeFiles/fedflow_common.dir/codec.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/codec.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/common/CMakeFiles/fedflow_common.dir/schema.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/fedflow_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/fedflow_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/fedflow_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/fedflow_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/common/CMakeFiles/fedflow_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/value.cc.o.d"
+  "/root/repo/src/common/vclock.cc" "src/common/CMakeFiles/fedflow_common.dir/vclock.cc.o" "gcc" "src/common/CMakeFiles/fedflow_common.dir/vclock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

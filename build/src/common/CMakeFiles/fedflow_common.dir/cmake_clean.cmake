@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_common.dir/codec.cc.o"
+  "CMakeFiles/fedflow_common.dir/codec.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/schema.cc.o"
+  "CMakeFiles/fedflow_common.dir/schema.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/status.cc.o"
+  "CMakeFiles/fedflow_common.dir/status.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/strings.cc.o"
+  "CMakeFiles/fedflow_common.dir/strings.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/table.cc.o"
+  "CMakeFiles/fedflow_common.dir/table.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/thread_pool.cc.o"
+  "CMakeFiles/fedflow_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/value.cc.o"
+  "CMakeFiles/fedflow_common.dir/value.cc.o.d"
+  "CMakeFiles/fedflow_common.dir/vclock.cc.o"
+  "CMakeFiles/fedflow_common.dir/vclock.cc.o.d"
+  "libfedflow_common.a"
+  "libfedflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdbs/builtins.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/builtins.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/builtins.cc.o.d"
+  "/root/repo/src/fdbs/catalog.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/catalog.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/catalog.cc.o.d"
+  "/root/repo/src/fdbs/database.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/database.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/database.cc.o.d"
+  "/root/repo/src/fdbs/eval.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/eval.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/eval.cc.o.d"
+  "/root/repo/src/fdbs/executor.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/executor.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/executor.cc.o.d"
+  "/root/repo/src/fdbs/procedural_function.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/procedural_function.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/procedural_function.cc.o.d"
+  "/root/repo/src/fdbs/procedure.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/procedure.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/procedure.cc.o.d"
+  "/root/repo/src/fdbs/sql_function.cc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/sql_function.cc.o" "gcc" "src/fdbs/CMakeFiles/fedflow_fdbs.dir/sql_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedflow_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

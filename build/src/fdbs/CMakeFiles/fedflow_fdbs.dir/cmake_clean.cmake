@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_fdbs.dir/builtins.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/builtins.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/catalog.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/catalog.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/database.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/database.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/eval.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/eval.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/executor.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/executor.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/procedural_function.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/procedural_function.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/procedure.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/procedure.cc.o.d"
+  "CMakeFiles/fedflow_fdbs.dir/sql_function.cc.o"
+  "CMakeFiles/fedflow_fdbs.dir/sql_function.cc.o.d"
+  "libfedflow_fdbs.a"
+  "libfedflow_fdbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_fdbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fedflow_fdbs.
+# This may be replaced when dependencies are built.

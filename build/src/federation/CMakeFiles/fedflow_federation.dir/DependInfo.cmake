@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/binding.cc" "src/federation/CMakeFiles/fedflow_federation.dir/binding.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/binding.cc.o.d"
+  "/root/repo/src/federation/classify.cc" "src/federation/CMakeFiles/fedflow_federation.dir/classify.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/classify.cc.o.d"
+  "/root/repo/src/federation/controller.cc" "src/federation/CMakeFiles/fedflow_federation.dir/controller.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/controller.cc.o.d"
+  "/root/repo/src/federation/integration_server.cc" "src/federation/CMakeFiles/fedflow_federation.dir/integration_server.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/integration_server.cc.o.d"
+  "/root/repo/src/federation/java_coupling.cc" "src/federation/CMakeFiles/fedflow_federation.dir/java_coupling.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/java_coupling.cc.o.d"
+  "/root/repo/src/federation/med_wrapper.cc" "src/federation/CMakeFiles/fedflow_federation.dir/med_wrapper.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/med_wrapper.cc.o.d"
+  "/root/repo/src/federation/sample_scenario.cc" "src/federation/CMakeFiles/fedflow_federation.dir/sample_scenario.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/sample_scenario.cc.o.d"
+  "/root/repo/src/federation/spec.cc" "src/federation/CMakeFiles/fedflow_federation.dir/spec.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/spec.cc.o.d"
+  "/root/repo/src/federation/sql_source.cc" "src/federation/CMakeFiles/fedflow_federation.dir/sql_source.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/sql_source.cc.o.d"
+  "/root/repo/src/federation/udtf_coupling.cc" "src/federation/CMakeFiles/fedflow_federation.dir/udtf_coupling.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/udtf_coupling.cc.o.d"
+  "/root/repo/src/federation/wfms_coupling.cc" "src/federation/CMakeFiles/fedflow_federation.dir/wfms_coupling.cc.o" "gcc" "src/federation/CMakeFiles/fedflow_federation.dir/wfms_coupling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdbs/CMakeFiles/fedflow_fdbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfms/CMakeFiles/fedflow_wfms.dir/DependInfo.cmake"
+  "/root/repo/build/src/appsys/CMakeFiles/fedflow_appsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedflow_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

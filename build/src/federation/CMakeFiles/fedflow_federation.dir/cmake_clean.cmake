@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_federation.dir/binding.cc.o"
+  "CMakeFiles/fedflow_federation.dir/binding.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/classify.cc.o"
+  "CMakeFiles/fedflow_federation.dir/classify.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/controller.cc.o"
+  "CMakeFiles/fedflow_federation.dir/controller.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/integration_server.cc.o"
+  "CMakeFiles/fedflow_federation.dir/integration_server.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/java_coupling.cc.o"
+  "CMakeFiles/fedflow_federation.dir/java_coupling.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/med_wrapper.cc.o"
+  "CMakeFiles/fedflow_federation.dir/med_wrapper.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/sample_scenario.cc.o"
+  "CMakeFiles/fedflow_federation.dir/sample_scenario.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/spec.cc.o"
+  "CMakeFiles/fedflow_federation.dir/spec.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/sql_source.cc.o"
+  "CMakeFiles/fedflow_federation.dir/sql_source.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/udtf_coupling.cc.o"
+  "CMakeFiles/fedflow_federation.dir/udtf_coupling.cc.o.d"
+  "CMakeFiles/fedflow_federation.dir/wfms_coupling.cc.o"
+  "CMakeFiles/fedflow_federation.dir/wfms_coupling.cc.o.d"
+  "libfedflow_federation.a"
+  "libfedflow_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_sim.dir/rmi.cc.o"
+  "CMakeFiles/fedflow_sim.dir/rmi.cc.o.d"
+  "libfedflow_sim.a"
+  "libfedflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

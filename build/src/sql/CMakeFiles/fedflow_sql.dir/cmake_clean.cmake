@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_sql.dir/ast.cc.o"
+  "CMakeFiles/fedflow_sql.dir/ast.cc.o.d"
+  "CMakeFiles/fedflow_sql.dir/lexer.cc.o"
+  "CMakeFiles/fedflow_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fedflow_sql.dir/parser.cc.o"
+  "CMakeFiles/fedflow_sql.dir/parser.cc.o.d"
+  "libfedflow_sql.a"
+  "libfedflow_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wfms/audit.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/audit.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/audit.cc.o.d"
+  "/root/repo/src/wfms/builder.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/builder.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/builder.cc.o.d"
+  "/root/repo/src/wfms/condition.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/condition.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/condition.cc.o.d"
+  "/root/repo/src/wfms/container.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/container.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/container.cc.o.d"
+  "/root/repo/src/wfms/engine.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/engine.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/engine.cc.o.d"
+  "/root/repo/src/wfms/fdl.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/fdl.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/fdl.cc.o.d"
+  "/root/repo/src/wfms/helpers.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/helpers.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/helpers.cc.o.d"
+  "/root/repo/src/wfms/model.cc" "src/wfms/CMakeFiles/fedflow_wfms.dir/model.cc.o" "gcc" "src/wfms/CMakeFiles/fedflow_wfms.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedflow_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedflow_wfms.dir/audit.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/audit.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/builder.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/builder.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/condition.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/condition.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/container.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/container.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/engine.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/engine.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/fdl.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/fdl.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/helpers.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/helpers.cc.o.d"
+  "CMakeFiles/fedflow_wfms.dir/model.cc.o"
+  "CMakeFiles/fedflow_wfms.dir/model.cc.o.d"
+  "libfedflow_wfms.a"
+  "libfedflow_wfms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedflow_wfms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

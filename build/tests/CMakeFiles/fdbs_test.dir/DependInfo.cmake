@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fdbs/dml_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/dml_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/dml_test.cc.o.d"
+  "/root/repo/tests/fdbs/eval_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/eval_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/eval_test.cc.o.d"
+  "/root/repo/tests/fdbs/executor_edge_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/executor_edge_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/executor_edge_test.cc.o.d"
+  "/root/repo/tests/fdbs/executor_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/executor_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/executor_test.cc.o.d"
+  "/root/repo/tests/fdbs/procedure_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/procedure_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/procedure_test.cc.o.d"
+  "/root/repo/tests/fdbs/pushdown_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/pushdown_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/pushdown_test.cc.o.d"
+  "/root/repo/tests/fdbs/sql_features_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/sql_features_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/sql_features_test.cc.o.d"
+  "/root/repo/tests/fdbs/sql_function_test.cc" "tests/CMakeFiles/fdbs_test.dir/fdbs/sql_function_test.cc.o" "gcc" "tests/CMakeFiles/fdbs_test.dir/fdbs/sql_function_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federation/CMakeFiles/fedflow_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdbs/CMakeFiles/fedflow_fdbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfms/CMakeFiles/fedflow_wfms.dir/DependInfo.cmake"
+  "/root/repo/build/src/appsys/CMakeFiles/fedflow_appsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fedflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/fedflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbs_test.dir/fdbs/dml_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/dml_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/eval_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/eval_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/executor_edge_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/executor_edge_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/executor_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/executor_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/procedure_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/procedure_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/pushdown_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/pushdown_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/sql_features_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/sql_features_test.cc.o.d"
+  "CMakeFiles/fdbs_test.dir/fdbs/sql_function_test.cc.o"
+  "CMakeFiles/fdbs_test.dir/fdbs/sql_function_test.cc.o.d"
+  "fdbs_test"
+  "fdbs_test.pdb"
+  "fdbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_coupling_test.dir/federation/java_coupling_test.cc.o"
+  "CMakeFiles/java_coupling_test.dir/federation/java_coupling_test.cc.o.d"
+  "java_coupling_test"
+  "java_coupling_test.pdb"
+  "java_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

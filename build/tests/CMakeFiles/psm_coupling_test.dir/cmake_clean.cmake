@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_coupling_test.dir/federation/psm_coupling_test.cc.o"
+  "CMakeFiles/psm_coupling_test.dir/federation/psm_coupling_test.cc.o.d"
+  "psm_coupling_test"
+  "psm_coupling_test.pdb"
+  "psm_coupling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_coupling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_source_test.dir/federation/sql_source_test.cc.o"
+  "CMakeFiles/sql_source_test.dir/federation/sql_source_test.cc.o.d"
+  "sql_source_test"
+  "sql_source_test.pdb"
+  "sql_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_extra_test.dir/wfms/fdl_test.cc.o"
+  "CMakeFiles/wfms_extra_test.dir/wfms/fdl_test.cc.o.d"
+  "CMakeFiles/wfms_extra_test.dir/wfms/helpers_test.cc.o"
+  "CMakeFiles/wfms_extra_test.dir/wfms/helpers_test.cc.o.d"
+  "wfms_extra_test"
+  "wfms_extra_test.pdb"
+  "wfms_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

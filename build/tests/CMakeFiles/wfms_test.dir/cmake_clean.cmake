@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfms_test.dir/wfms/container_condition_test.cc.o"
+  "CMakeFiles/wfms_test.dir/wfms/container_condition_test.cc.o.d"
+  "CMakeFiles/wfms_test.dir/wfms/engine_test.cc.o"
+  "CMakeFiles/wfms_test.dir/wfms/engine_test.cc.o.d"
+  "CMakeFiles/wfms_test.dir/wfms/model_test.cc.o"
+  "CMakeFiles/wfms_test.dir/wfms/model_test.cc.o.d"
+  "wfms_test"
+  "wfms_test.pdb"
+  "wfms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

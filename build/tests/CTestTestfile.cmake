@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/fdbs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wfms_test[1]_include.cmake")
+include("/root/repo/build/tests/wfms_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/appsys_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/java_coupling_test[1]_include.cmake")
+include("/root/repo/build/tests/psm_coupling_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_source_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/performance_model_test[1]_include.cmake")
