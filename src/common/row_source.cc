@@ -1,0 +1,106 @@
+#include "common/row_source.h"
+
+namespace fedflow {
+
+namespace {
+
+/// Streams an owned table batch by batch; rows are moved out of the table.
+class TableSource : public RowSource {
+ public:
+  TableSource(Table table, size_t batch_size)
+      : table_(std::move(table)), batch_size_(std::max<size_t>(1, batch_size)) {}
+
+  const Schema& schema() const override { return table_.schema(); }
+
+  Result<RowBatch> Next() override {
+    RowBatch batch;
+    std::vector<Row>& rows = table_.mutable_rows();
+    const size_t n = std::min(batch_size_, rows.size() - pos_);
+    batch.rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.rows.push_back(std::move(rows[pos_ + i]));
+    }
+    pos_ += n;
+    return batch;
+  }
+
+ private:
+  Table table_;
+  size_t pos_ = 0;
+  size_t batch_size_;
+};
+
+/// Streams a borrowed table; rows are copied (the table keeps its data).
+class BorrowedTableSource : public RowSource {
+ public:
+  BorrowedTableSource(const Table* table, size_t batch_size)
+      : table_(table), batch_size_(std::max<size_t>(1, batch_size)) {}
+
+  const Schema& schema() const override { return table_->schema(); }
+
+  Result<RowBatch> Next() override {
+    RowBatch batch;
+    const std::vector<Row>& rows = table_->rows();
+    const size_t n = std::min(batch_size_, rows.size() - pos_);
+    batch.rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.rows.push_back(rows[pos_ + i]);
+    }
+    pos_ += n;
+    return batch;
+  }
+
+ private:
+  const Table* table_;
+  size_t pos_ = 0;
+  size_t batch_size_;
+};
+
+class GeneratorSource : public RowSource {
+ public:
+  GeneratorSource(Schema schema, std::function<Result<RowBatch>()> generate)
+      : schema_(std::move(schema)), generate_(std::move(generate)) {}
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<RowBatch> Next() override {
+    if (done_) return RowBatch{};
+    FEDFLOW_ASSIGN_OR_RETURN(RowBatch batch, generate_());
+    if (batch.empty()) done_ = true;
+    return batch;
+  }
+
+ private:
+  Schema schema_;
+  std::function<Result<RowBatch>()> generate_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RowSourcePtr MakeTableSource(Table table, size_t batch_size) {
+  return std::make_unique<TableSource>(std::move(table), batch_size);
+}
+
+RowSourcePtr MakeBorrowedTableSource(const Table* table, size_t batch_size) {
+  return std::make_unique<BorrowedTableSource>(table, batch_size);
+}
+
+RowSourcePtr MakeGeneratorSource(Schema schema,
+                                 std::function<Result<RowBatch>()> generate) {
+  return std::make_unique<GeneratorSource>(std::move(schema),
+                                           std::move(generate));
+}
+
+Result<Table> DrainToTable(RowSource& source) {
+  Table out(source.schema());
+  while (true) {
+    FEDFLOW_ASSIGN_OR_RETURN(RowBatch batch, source.Next());
+    if (batch.empty()) return out;
+    for (Row& row : batch.rows) {
+      out.AppendRowUnchecked(std::move(row));
+    }
+  }
+}
+
+}  // namespace fedflow

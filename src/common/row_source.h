@@ -1,0 +1,98 @@
+// Pull-based streaming of rows in fixed-size batches. A RowSource is the
+// unit of composition for the execution pipeline: the FDBS FROM chain, the
+// couplings (A-UDTF results streaming into the I-UDTF chain), the chunked
+// RMI channel and the WfMS containers all speak this protocol, so
+// intermediate results no longer have to be materialized as a full Table at
+// every tier boundary. Materialization happens only at statement boundaries
+// (DrainToTable) and inside inherently blocking operators (sorts, joins,
+// aggregation).
+#ifndef FEDFLOW_COMMON_ROW_SOURCE_H_
+#define FEDFLOW_COMMON_ROW_SOURCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/table.h"
+
+namespace fedflow {
+
+/// Default number of rows per pulled batch. Small enough to bound resident
+/// intermediate state, large enough to amortize per-batch overhead.
+inline constexpr size_t kDefaultRowBatchSize = 256;
+
+/// One batch of rows pulled through a pipeline. All rows conform to the
+/// producing source's schema(). An empty batch signals exhaustion.
+struct RowBatch {
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+};
+
+/// Tracks how many rows are buffered inside a pipeline's operators at any
+/// moment. Operators Acquire() rows when they buffer them and Release() when
+/// the rows move downstream (or into the final result table), so
+/// peak_resident_rows measures the peak *intermediate* row residency — the
+/// quantity the streaming refactor bounds by O(batch size · pipeline depth)
+/// where the materializing path held entire cross products.
+struct PipelineStats {
+  size_t resident_rows = 0;       ///< rows currently buffered in operators
+  size_t peak_resident_rows = 0;  ///< high-water mark of resident_rows
+  size_t batches_emitted = 0;     ///< total batches handed between operators
+  size_t rows_emitted = 0;        ///< total rows handed between operators
+
+  void Acquire(size_t n) {
+    resident_rows += n;
+    peak_resident_rows = std::max(peak_resident_rows, resident_rows);
+  }
+  void Release(size_t n) { resident_rows -= std::min(n, resident_rows); }
+  void Emitted(const RowBatch& batch) {
+    ++batches_emitted;
+    rows_emitted += batch.size();
+  }
+};
+
+/// A pull-based producer of row batches.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Schema every produced row conforms to.
+  virtual const Schema& schema() const = 0;
+
+  /// Pulls the next batch. An empty batch means the source is exhausted;
+  /// subsequent calls keep returning empty batches.
+  virtual Result<RowBatch> Next() = 0;
+};
+
+using RowSourcePtr = std::unique_ptr<RowSource>;
+
+/// Streams an owned table in batches of `batch_size` (a Table -> RowSource
+/// adapter; the reverse adapter is DrainToTable).
+RowSourcePtr MakeTableSource(Table table,
+                             size_t batch_size = kDefaultRowBatchSize);
+
+/// Streams a borrowed table; `table` must outlive the source.
+RowSourcePtr MakeBorrowedTableSource(const Table* table,
+                                     size_t batch_size = kDefaultRowBatchSize);
+
+/// A source driven by a generator callback: each call yields the next batch
+/// (empty = exhausted). The schema is copied into the source.
+RowSourcePtr MakeGeneratorSource(Schema schema,
+                                 std::function<Result<RowBatch>()> generate);
+
+/// Drains `source` to a materialized table — a statement boundary. Rows are
+/// moved, not copied.
+Result<Table> DrainToTable(RowSource& source);
+inline Result<Table> DrainToTable(const RowSourcePtr& source) {
+  return DrainToTable(*source);
+}
+
+}  // namespace fedflow
+
+#endif  // FEDFLOW_COMMON_ROW_SOURCE_H_

@@ -21,6 +21,24 @@ Status Table::AppendRow(Row row) {
   return Status::OK();
 }
 
+Status Table::AppendTableRows(Table&& other) {
+  if (other.schema() == schema_) {
+    if (rows_.empty()) {
+      rows_ = std::move(other.rows_);
+    } else {
+      rows_.reserve(rows_.size() + other.rows_.size());
+      for (Row& r : other.rows_) rows_.push_back(std::move(r));
+    }
+    other.rows_.clear();
+    return Status::OK();
+  }
+  for (Row& r : other.rows_) {
+    FEDFLOW_RETURN_NOT_OK(AppendRow(std::move(r)));
+  }
+  other.rows_.clear();
+  return Status::OK();
+}
+
 Result<Value> Table::At(size_t row, size_t col) const {
   if (row >= rows_.size() || col >= schema_.num_columns()) {
     return Status::InvalidArgument("table index out of range");

@@ -37,12 +37,19 @@ class Table {
   /// Appends without checking — used by operators that guarantee shape.
   void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
 
+  /// Moves all rows of `other` onto this table (a batch append; `other` is
+  /// left empty). When the schemas are equal the rows are spliced without
+  /// per-row work; otherwise each row goes through AppendRow's arity check
+  /// and per-value coercion.
+  Status AppendTableRows(Table&& other);
+
   /// Value at (row, col); bounds-checked.
   Result<Value> At(size_t row, size_t col) const;
 
-  /// Convenience for single-value results: the value at (0, 0).
-  /// ExecutionError when the table is not exactly 1x1... relaxed: returns
-  /// the first value of the first row; error when empty.
+  /// Convenience for single-value results: returns the value at (0, 0).
+  /// Deliberately relaxed — extra rows/columns beyond the first are ignored
+  /// (callers that require exactly 1x1 must check num_rows() themselves).
+  /// ExecutionError when the table has no rows or no columns.
   Result<Value> ScalarAt00() const;
 
   /// Renders an ASCII table (header + rows), used by examples and benches.

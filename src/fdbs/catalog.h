@@ -23,11 +23,18 @@ namespace fedflow::fdbs {
 using ExternalTableProvider =
     std::function<Result<Table>(ExecContext& ctx)>;
 
+/// Streaming variant: yields the same rows batch by batch, charging the
+/// transfer cost incrementally as batches are pulled.
+using ExternalTableStreamProvider =
+    std::function<Result<RowSourcePtr>(ExecContext& ctx, size_t batch_size)>;
+
 /// Catalog entry for a table served by a remote SQL source.
 struct ExternalTable {
   std::string name;
   Schema schema;
   ExternalTableProvider provider;
+  /// Optional; when set the executor prefers the streaming scan.
+  ExternalTableStreamProvider stream_provider;
 };
 
 /// Name-keyed (case-insensitive) registry of all objects the FDBS knows.

@@ -2,6 +2,7 @@
 #ifndef FEDFLOW_FDBS_EXEC_CONTEXT_H_
 #define FEDFLOW_FDBS_EXEC_CONTEXT_H_
 
+#include "common/row_source.h"
 #include "common/vclock.h"
 
 namespace fedflow::fdbs {
@@ -28,6 +29,22 @@ struct ExecContext {
   /// function invocations). Safe for deterministic functions; disable to
   /// compare plans.
   bool predicate_pushdown = true;
+
+  /// Rows per batch pulled through the execution pipeline (the FROM chain,
+  /// streaming UDTF invocations, chunked RMI returns). 0 disables batching:
+  /// every operator processes its whole input in one batch, reproducing the
+  /// fully materializing execution of the pre-streaming engine (used by the
+  /// residency bench as the comparison baseline).
+  size_t batch_size = kDefaultRowBatchSize;
+
+  /// Optional residency instrumentation for the execution pipeline; may be
+  /// null (the default — tracking costs a few counter updates per batch).
+  PipelineStats* pipeline_stats = nullptr;
+
+  /// The effective batch size (batch_size == 0 means "unbounded").
+  size_t EffectiveBatchSize() const {
+    return batch_size == 0 ? static_cast<size_t>(-1) : batch_size;
+  }
 
   /// Maximum allowed UDTF nesting depth.
   static constexpr int kMaxDepth = 32;

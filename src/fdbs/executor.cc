@@ -132,6 +132,326 @@ void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
   out->push_back(expr);
 }
 
+// ---------------------------------------------------------------------------
+// The FROM chain as a pull-based pipeline. Each operator produces full-width
+// combined rows (columns of not-yet-executed items are NULL) in batches of at
+// most chain->batch_size rows, so only O(batch size · chain depth) rows are
+// resident between the scans/function calls and the statement boundary —
+// the old path materialized the entire intermediate cross product after
+// every FROM item.
+// ---------------------------------------------------------------------------
+
+/// State shared by all operators of one chain (borrowed; outlives the drain).
+struct ChainState {
+  RowScope* scope = nullptr;
+  Evaluator* eval = nullptr;
+  fedflow::fdbs::ExecContext* ctx = nullptr;
+  const Schema* combined_schema = nullptr;
+  size_t batch_size = kDefaultRowBatchSize;
+  PipelineStats* stats = nullptr;  // may be null
+
+  void Emit(const RowBatch& batch) const {
+    if (stats != nullptr && !batch.empty()) {
+      stats->Acquire(batch.size());
+      stats->Emitted(batch);
+    }
+  }
+  void Consumed(size_t n) const {
+    if (stats != nullptr) stats->Release(n);
+  }
+};
+
+/// Emits the single all-NULL seed row the lateral chain starts from.
+class SeedSource : public RowSource {
+ public:
+  SeedSource(const ChainState* chain, size_t width)
+      : chain_(chain), width_(width) {}
+
+  const Schema& schema() const override { return *chain_->combined_schema; }
+
+  Result<RowBatch> Next() override {
+    RowBatch batch;
+    if (!emitted_) {
+      emitted_ = true;
+      batch.rows.emplace_back(width_, Value::Null());
+      chain_->Emit(batch);
+    }
+    return batch;
+  }
+
+ private:
+  const ChainState* chain_;
+  size_t width_;
+  bool emitted_ = false;
+};
+
+/// Crosses every input row with the rows of a (borrowed or owned) table —
+/// base-table scans and pre-materialized external scans.
+class CrossScanSource : public RowSource {
+ public:
+  CrossScanSource(const ChainState* chain, RowSourcePtr input,
+                  const Table* base, size_t offset)
+      : chain_(chain), input_(std::move(input)), base_(base), offset_(offset) {}
+
+  /// Variant owning the scanned data (external tables fetched per scan).
+  CrossScanSource(const ChainState* chain, RowSourcePtr input, Table owned,
+                  size_t offset)
+      : chain_(chain),
+        input_(std::move(input)),
+        owned_(std::move(owned)),
+        base_(&owned_),
+        offset_(offset) {}
+
+  const Schema& schema() const override { return *chain_->combined_schema; }
+
+  Result<RowBatch> Next() override {
+    RowBatch out;
+    const std::vector<Row>& base_rows = base_->rows();
+    while (out.size() < chain_->batch_size) {
+      if (in_pos_ == in_batch_.size()) {
+        chain_->Consumed(in_batch_.size());
+        if (input_done_) break;
+        FEDFLOW_ASSIGN_OR_RETURN(in_batch_, input_->Next());
+        in_pos_ = 0;
+        base_pos_ = 0;
+        if (in_batch_.empty()) {
+          input_done_ = true;
+          break;
+        }
+      }
+      const Row& partial = in_batch_.rows[in_pos_];
+      while (base_pos_ < base_rows.size() && out.size() < chain_->batch_size) {
+        Row combined = partial;
+        std::copy(base_rows[base_pos_].begin(), base_rows[base_pos_].end(),
+                  combined.begin() + offset_);
+        out.rows.push_back(std::move(combined));
+        ++base_pos_;
+      }
+      if (base_pos_ == base_rows.size()) {
+        base_pos_ = 0;
+        ++in_pos_;
+      }
+    }
+    chain_->Emit(out);
+    return out;
+  }
+
+ private:
+  const ChainState* chain_;
+  RowSourcePtr input_;
+  Table owned_;
+  const Table* base_;
+  size_t offset_;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+  size_t base_pos_ = 0;
+  bool input_done_ = false;
+};
+
+/// Crosses the single seed row with a streamed external table: the only scan
+/// shape where the remote data itself never needs to be materialized
+/// federation-side (re-iteration is impossible with one input row).
+class StreamScanSource : public RowSource {
+ public:
+  StreamScanSource(const ChainState* chain, RowSourcePtr input,
+                   RowSourcePtr data, size_t offset)
+      : chain_(chain),
+        input_(std::move(input)),
+        data_(std::move(data)),
+        offset_(offset) {}
+
+  const Schema& schema() const override { return *chain_->combined_schema; }
+
+  Result<RowBatch> Next() override {
+    if (!seeded_) {
+      FEDFLOW_ASSIGN_OR_RETURN(RowBatch seed, input_->Next());
+      if (seed.empty()) return RowBatch{};
+      seed_ = std::move(seed.rows.front());
+      chain_->Consumed(seed.size());
+      seeded_ = true;
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(RowBatch data, data_->Next());
+    RowBatch out;
+    out.rows.reserve(data.size());
+    for (Row& r : data.rows) {
+      Row combined = seed_;
+      for (size_t c = 0; c < r.size(); ++c) {
+        combined[offset_ + c] = std::move(r[c]);
+      }
+      out.rows.push_back(std::move(combined));
+    }
+    chain_->Emit(out);
+    return out;
+  }
+
+ private:
+  const ChainState* chain_;
+  RowSourcePtr input_;
+  RowSourcePtr data_;
+  size_t offset_;
+  Row seed_;
+  bool seeded_ = false;
+};
+
+/// The lateral apply: for each input row, evaluates the function arguments
+/// against it and streams the invocation's result rows into combined rows.
+class LateralApplySource : public RowSource {
+ public:
+  LateralApplySource(const ChainState* chain, RowSourcePtr input,
+                     TableFunction* fn, const TableRef* ref, size_t offset,
+                     std::vector<bool> visible)
+      : chain_(chain),
+        input_(std::move(input)),
+        fn_(fn),
+        ref_(ref),
+        offset_(offset),
+        visible_(std::move(visible)) {}
+
+  const Schema& schema() const override { return *chain_->combined_schema; }
+
+  Result<RowBatch> Next() override {
+    RowBatch out;
+    while (out.size() < chain_->batch_size) {
+      if (fn_stream_ == nullptr) {
+        if (in_pos_ == in_batch_.size()) {
+          chain_->Consumed(in_batch_.size());
+          if (input_done_) break;
+          FEDFLOW_ASSIGN_OR_RETURN(in_batch_, input_->Next());
+          in_pos_ = 0;
+          if (in_batch_.empty()) {
+            input_done_ = true;
+            break;
+          }
+        }
+        partial_ = std::move(in_batch_.rows[in_pos_++]);
+        FEDFLOW_RETURN_NOT_OK(OpenStream());
+      }
+      Result<RowBatch> fn_batch = fn_stream_->Next();
+      if (!fn_batch.ok()) {
+        return fn_batch.status().WithContext("in table function " + ref_->name);
+      }
+      if (fn_batch->empty()) {
+        fn_stream_.reset();
+        continue;
+      }
+      for (Row& r : fn_batch->rows) {
+        Row combined = partial_;
+        for (size_t c = 0; c < r.size(); ++c) {
+          combined[offset_ + c] = std::move(r[c]);
+        }
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    chain_->Emit(out);
+    return out;
+  }
+
+ private:
+  /// Evaluates the arguments against partial_ and opens the function's
+  /// result stream. Resolution runs under this item's visibility snapshot,
+  /// exactly as when the chain was assembled item by item.
+  Status OpenStream() {
+    RowScope* scope = chain_->scope;
+    scope->set_visibility_mask(&visible_);
+    scope->set_row(&partial_);
+    std::vector<Value> args;
+    args.reserve(ref_->args.size());
+    Status status = Status::OK();
+    for (size_t a = 0; a < ref_->args.size(); ++a) {
+      Result<Value> v = chain_->eval->Eval(*ref_->args[a], *scope);
+      if (v.ok()) v = v->CastTo(fn_->params()[a].type);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      args.push_back(std::move(*v));
+    }
+    scope->set_row(nullptr);
+    scope->set_visibility_mask(nullptr);
+    FEDFLOW_RETURN_NOT_OK(status);
+    Result<RowSourcePtr> stream =
+        fn_->InvokeStream(args, *chain_->ctx, chain_->batch_size);
+    if (!stream.ok()) {
+      return stream.status().WithContext("in table function " + ref_->name);
+    }
+    if ((*stream)->schema().num_columns() != fn_->result_schema().num_columns()) {
+      return Status::Internal("table function " + ref_->name +
+                              " returned wrong arity");
+    }
+    fn_stream_ = std::move(*stream);
+    return Status::OK();
+  }
+
+  const ChainState* chain_;
+  RowSourcePtr input_;
+  TableFunction* fn_;
+  const TableRef* ref_;
+  size_t offset_;
+  std::vector<bool> visible_;
+  RowBatch in_batch_;
+  size_t in_pos_ = 0;
+  bool input_done_ = false;
+  Row partial_;
+  RowSourcePtr fn_stream_;
+};
+
+/// Applies pushed-down WHERE conjuncts to each row as it streams past.
+class FilterSource : public RowSource {
+ public:
+  FilterSource(const ChainState* chain, RowSourcePtr input,
+               std::vector<ExprPtr> conjuncts, std::vector<bool> visible)
+      : chain_(chain),
+        input_(std::move(input)),
+        conjuncts_(std::move(conjuncts)),
+        visible_(std::move(visible)) {}
+
+  const Schema& schema() const override { return *chain_->combined_schema; }
+
+  Result<RowBatch> Next() override {
+    RowScope* scope = chain_->scope;
+    while (true) {
+      FEDFLOW_ASSIGN_OR_RETURN(RowBatch in, input_->Next());
+      if (in.empty()) return in;
+      RowBatch out;
+      scope->set_visibility_mask(&visible_);
+      Status status = Status::OK();
+      for (Row& r : in.rows) {
+        scope->set_row(&r);
+        bool keep = true;
+        for (const ExprPtr& conjunct : conjuncts_) {
+          Result<Value> v = chain_->eval->Eval(*conjunct, *scope);
+          if (!v.ok()) {
+            status = v.status();
+            break;
+          }
+          if (v->is_null() || v->type() != DataType::kBool || !v->AsBool()) {
+            keep = false;
+            break;
+          }
+        }
+        if (!status.ok()) break;
+        if (keep) out.rows.push_back(std::move(r));
+      }
+      scope->set_row(nullptr);
+      scope->set_visibility_mask(nullptr);
+      FEDFLOW_RETURN_NOT_OK(status);
+      chain_->Consumed(in.size());
+      // Keep pulling on a fully filtered batch: an empty batch would
+      // prematurely signal exhaustion downstream.
+      if (!out.empty()) {
+        chain_->Emit(out);
+        return out;
+      }
+    }
+  }
+
+ private:
+  const ChainState* chain_;
+  RowSourcePtr input_;
+  std::vector<ExprPtr> conjuncts_;
+  std::vector<bool> visible_;
+};
+
 }  // namespace
 
 Result<std::vector<size_t>> SelectExecutor::LateralOrder(
@@ -221,14 +541,12 @@ Result<Table> SelectExecutor::ExecuteFromChain(
     const Schema* schema = nullptr;
     std::string alias;
     size_t offset = 0;
-    const Table* base = nullptr;     // base table items
-    TableFunction* fn = nullptr;     // table-function items
+    const Table* base = nullptr;          // base table items
+    TableFunction* fn = nullptr;          // table-function items
+    const ExternalTable* ext = nullptr;   // external (remote SQL) items
   };
   std::vector<Item> items(n);
   std::vector<const Schema*> schemas(n, nullptr);
-  // Materialized results of external-table scans ("SQL subqueries" shipped
-  // to remote sources); kept alive for the duration of the chain.
-  std::vector<std::unique_ptr<Table>> external_data;
   size_t width = 0;
   for (size_t k = 0; k < n; ++k) {
     const TableRef& ref = stmt.from[k];
@@ -236,20 +554,12 @@ Result<Table> SelectExecutor::ExecuteFromChain(
     item.alias = ref.alias.empty() ? ref.name : ref.alias;
     if (ref.kind == TableRefKind::kBaseTable) {
       if (!catalog.HasTable(ref.name) && catalog.HasExternalTable(ref.name)) {
-        FEDFLOW_ASSIGN_OR_RETURN(const ExternalTable* ext,
+        // The scan itself (the "SQL subquery" shipped to the remote source)
+        // runs when the pipeline is assembled below: streamed when the
+        // source supports it, materialized otherwise.
+        FEDFLOW_ASSIGN_OR_RETURN(item.ext,
                                  catalog.GetExternalTable(ref.name));
-        Result<Table> fetched = ext->provider(*ctx_);
-        if (!fetched.ok()) {
-          return fetched.status().WithContext("fetching external table " +
-                                              ref.name);
-        }
-        if (!(fetched->schema() == ext->schema)) {
-          return Status::Internal("external table " + ref.name +
-                                  " returned a mismatching schema");
-        }
-        external_data.push_back(std::make_unique<Table>(std::move(*fetched)));
-        item.base = external_data.back().get();
-        item.schema = &ext->schema;
+        item.schema = &item.ext->schema;
         schemas[k] = item.schema;
         item.offset = width;
         width += item.schema->num_columns();
@@ -333,80 +643,94 @@ Result<Table> SelectExecutor::ExecuteFromChain(
     }
     return true;
   };
-  std::vector<Row> rows;
-  rows.emplace_back(width, Value::Null());
-  auto apply_ready_conjuncts = [&]() -> Status {
-    for (auto it = pending_conjuncts.begin();
-         it != pending_conjuncts.end();) {
-      if (!applicable(**it)) {
-        ++it;
-        continue;
-      }
-      std::vector<Row> kept;
-      kept.reserve(rows.size());
-      for (Row& r : rows) {
-        scope->set_row(&r);
-        FEDFLOW_ASSIGN_OR_RETURN(Value keep, eval.Eval(**it, *scope));
-        if (!keep.is_null() && keep.type() == DataType::kBool &&
-            keep.AsBool()) {
-          kept.push_back(std::move(r));
-        }
-      }
-      scope->set_row(nullptr);
-      rows = std::move(kept);
-      it = pending_conjuncts.erase(it);
-    }
-    return Status::OK();
-  };
+  // Assemble the pull-based pipeline: seed -> (scan | lateral apply)
+  // per FROM item in lateral order, with a filter operator after every item
+  // that makes further WHERE conjuncts applicable. Rows flow through in
+  // batches of ctx_->batch_size; nothing is materialized until the drain at
+  // the bottom (the statement boundary).
+  ChainState chain;
+  chain.scope = scope;
+  chain.eval = &eval;
+  chain.ctx = ctx_;
+  chain.combined_schema = combined_schema;
+  chain.batch_size = ctx_->EffectiveBatchSize();
+  chain.stats = ctx_->pipeline_stats;
 
-  for (size_t idx : order) {
+  RowSourcePtr pipe = std::make_unique<SeedSource>(&chain, width);
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    const size_t idx = order[oi];
     Item& item = items[idx];
-    std::vector<Row> next;
-    if (item.base != nullptr) {
-      next.reserve(rows.size() * std::max<size_t>(1, item.base->num_rows()));
-      for (const Row& partial : rows) {
-        for (const Row& r : item.base->rows()) {
-          Row combined = partial;
-          std::copy(r.begin(), r.end(), combined.begin() + item.offset);
-          next.push_back(std::move(combined));
+    const TableRef& ref = stmt.from[idx];
+    if (item.ext != nullptr) {
+      if (oi == 0 && item.ext->stream_provider) {
+        // First in the lateral order: crossed only with the single seed row,
+        // so the remote rows can stream straight through without ever being
+        // materialized on the federation side.
+        Result<RowSourcePtr> data =
+            item.ext->stream_provider(*ctx_, chain.batch_size);
+        if (!data.ok()) {
+          return data.status().WithContext("fetching external table " +
+                                           ref.name);
         }
+        if (!((*data)->schema() == item.ext->schema)) {
+          return Status::Internal("external table " + ref.name +
+                                  " returned a mismatching schema");
+        }
+        pipe = std::make_unique<StreamScanSource>(&chain, std::move(pipe),
+                                                  std::move(*data),
+                                                  item.offset);
+      } else {
+        // Re-scanned per input row: materialize once, scan many times.
+        Result<Table> fetched = item.ext->provider(*ctx_);
+        if (!fetched.ok()) {
+          return fetched.status().WithContext("fetching external table " +
+                                              ref.name);
+        }
+        if (!(fetched->schema() == item.ext->schema)) {
+          return Status::Internal("external table " + ref.name +
+                                  " returned a mismatching schema");
+        }
+        pipe = std::make_unique<CrossScanSource>(&chain, std::move(pipe),
+                                                 std::move(*fetched),
+                                                 item.offset);
       }
+    } else if (item.base != nullptr) {
+      pipe = std::make_unique<CrossScanSource>(&chain, std::move(pipe),
+                                               item.base, item.offset);
     } else {
-      const TableRef& ref = stmt.from[idx];
-      for (Row& partial : rows) {
-        scope->set_row(&partial);
-        std::vector<Value> args;
-        args.reserve(ref.args.size());
-        for (size_t a = 0; a < ref.args.size(); ++a) {
-          FEDFLOW_ASSIGN_OR_RETURN(Value v, eval.Eval(*ref.args[a], *scope));
-          FEDFLOW_ASSIGN_OR_RETURN(
-              v, v.CastTo(item.fn->params()[a].type));
-          args.push_back(std::move(v));
-        }
-        Result<Table> result = item.fn->Invoke(args, *ctx_);
-        if (!result.ok()) {
-          return result.status().WithContext("in table function " + ref.name);
-        }
-        if (result->schema().num_columns() != item.schema->num_columns()) {
-          return Status::Internal("table function " + ref.name +
-                                  " returned wrong arity");
-        }
-        for (const Row& r : result->rows()) {
-          Row combined = partial;
-          std::copy(r.begin(), r.end(), combined.begin() + item.offset);
-          next.push_back(std::move(combined));
-        }
-      }
-      scope->set_row(nullptr);
+      // Arguments resolve under the visibility at this point in the chain
+      // (item idx itself not yet visible) — snapshot the mask per operator.
+      pipe = std::make_unique<LateralApplySource>(&chain, std::move(pipe),
+                                                  item.fn, &ref, item.offset,
+                                                  visible);
     }
-    rows = std::move(next);
     visible[idx] = true;
-    FEDFLOW_RETURN_NOT_OK(apply_ready_conjuncts());
+    std::vector<sql::ExprPtr> ready;
+    for (auto it = pending_conjuncts.begin(); it != pending_conjuncts.end();) {
+      if (applicable(**it)) {
+        ready.push_back(*it);
+        it = pending_conjuncts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!ready.empty()) {
+      pipe = std::make_unique<FilterSource>(&chain, std::move(pipe),
+                                            std::move(ready), visible);
+    }
   }
-
   scope->set_visibility_mask(nullptr);
+
+  Table result(*combined_schema);
+  while (true) {
+    FEDFLOW_ASSIGN_OR_RETURN(RowBatch batch, pipe->Next());
+    if (batch.empty()) break;
+    const size_t pulled = batch.size();
+    for (Row& r : batch.rows) result.AppendRowUnchecked(std::move(r));
+    chain.Consumed(pulled);
+  }
   *remaining_predicates = std::move(pending_conjuncts);
-  return Table(*combined_schema, std::move(rows));
+  return result;
 }
 
 Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {

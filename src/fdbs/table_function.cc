@@ -1,0 +1,12 @@
+#include "fdbs/table_function.h"
+
+namespace fedflow::fdbs {
+
+Result<RowSourcePtr> TableFunction::InvokeStream(const std::vector<Value>& args,
+                                                 ExecContext& ctx,
+                                                 size_t batch_size) {
+  FEDFLOW_ASSIGN_OR_RETURN(Table result, Invoke(args, ctx));
+  return MakeTableSource(std::move(result), batch_size);
+}
+
+}  // namespace fedflow::fdbs

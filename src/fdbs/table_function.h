@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/row_source.h"
 #include "common/table.h"
 #include "fdbs/exec_context.h"
 
@@ -34,6 +35,15 @@ class TableFunction {
   /// schema equals result_schema().
   virtual Result<Table> Invoke(const std::vector<Value>& args,
                                ExecContext& ctx) = 0;
+
+  /// Streaming invocation: returns a source the caller pulls in batches of
+  /// `batch_size` rows, so results flow into the consuming pipeline without
+  /// a full materialization at the call boundary. The base implementation
+  /// adapts Invoke(); functions whose transport can genuinely stream
+  /// (chunked RMI of the A-UDTFs, the SQL/MED wrapper) override it.
+  virtual Result<RowSourcePtr> InvokeStream(const std::vector<Value>& args,
+                                            ExecContext& ctx,
+                                            size_t batch_size);
 };
 
 }  // namespace fedflow::fdbs

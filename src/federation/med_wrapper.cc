@@ -26,6 +26,12 @@ class WrapperUdtf : public fdbs::TableFunction {
     return wrapper_->Execute(descriptor_.name, args, ctx);
   }
 
+  Result<RowSourcePtr> InvokeStream(const std::vector<Value>& args,
+                                    fdbs::ExecContext& ctx,
+                                    size_t batch_size) override {
+    return wrapper_->ExecuteStream(descriptor_.name, args, ctx, batch_size);
+  }
+
  private:
   std::shared_ptr<ForeignFunctionWrapper> wrapper_;
   ForeignFunctionWrapper::ForeignFunction descriptor_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/row_source.h"
 #include "common/table.h"
 #include "fdbs/database.h"
 #include "fdbs/exec_context.h"
@@ -41,6 +42,18 @@ class ForeignFunctionWrapper {
   virtual Result<Table> Execute(const std::string& function,
                                 const std::vector<Value>& args,
                                 fdbs::ExecContext& ctx) = 0;
+
+  /// Streaming execution: the result rows are pulled in batches of
+  /// `batch_size`, charging transfer costs incrementally where the wrapper's
+  /// transport supports it. The default adapts Execute(); a fully drained
+  /// stream charges the same total as Execute().
+  virtual Result<RowSourcePtr> ExecuteStream(const std::string& function,
+                                             const std::vector<Value>& args,
+                                             fdbs::ExecContext& ctx,
+                                             size_t batch_size) {
+    FEDFLOW_ASSIGN_OR_RETURN(Table result, Execute(function, args, ctx));
+    return MakeTableSource(std::move(result), batch_size);
+  }
 };
 
 /// Registers every function of `wrapper` as a table function of `db`, so it

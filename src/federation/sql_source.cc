@@ -1,6 +1,10 @@
 #include "federation/sql_source.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/codec.h"
+#include "common/row_source.h"
 
 namespace fedflow::federation {
 
@@ -37,6 +41,69 @@ Status RemoteSqlSource::AttachTable(fdbs::Database* federation_db,
                             model->MarshalCost(sizer.size()));
     }
     return result;
+  };
+  // Streaming scan: the subquery still runs remotely in one piece, but the
+  // result ships back chunk by chunk. Chunk costs telescope over the
+  // cumulative marshalled size, so a fully drained stream charges exactly
+  // what the materializing provider charges.
+  entry.stream_provider =
+      [source_db, model, counter, subquery](
+          fdbs::ExecContext& ctx, size_t batch_size) -> Result<RowSourcePtr> {
+    ++*counter;
+    fdbs::ExecContext remote_ctx;
+    remote_ctx.db = source_db;
+    FEDFLOW_ASSIGN_OR_RETURN(Table result,
+                             source_db->Execute(subquery, remote_ctx));
+    SimClock* clock = ctx.clock;
+    struct StreamState {
+      Table table;
+      std::vector<size_t> prefix;  // cumulative marshalled size per row
+      size_t header_bytes = 0;
+      size_t next_row = 0;
+      size_t charged_bytes = 0;
+      bool charged_base = false;
+    };
+    auto st = std::make_shared<StreamState>();
+    if (clock != nullptr) {
+      ByteWriter sizer;
+      sizer.PutSchema(result.schema());
+      sizer.PutU32(static_cast<uint32_t>(result.num_rows()));
+      st->header_bytes = sizer.size();
+      st->prefix.reserve(result.num_rows());
+      for (const Row& r : result.rows()) {
+        sizer.PutRow(r);
+        st->prefix.push_back(sizer.size());
+      }
+    }
+    st->table = std::move(result);
+    Schema schema = st->table.schema();
+    return MakeGeneratorSource(
+        std::move(schema),
+        [st, clock, model, batch_size]() -> Result<RowBatch> {
+          RowBatch batch;
+          const size_t take =
+              std::min(batch_size, st->table.num_rows() - st->next_row);
+          batch.rows.reserve(take);
+          for (size_t i = 0; i < take; ++i) {
+            batch.rows.push_back(
+                std::move(st->table.mutable_rows()[st->next_row + i]));
+          }
+          const size_t end = st->next_row + take;
+          st->next_row = end;
+          if (clock != nullptr) {
+            const size_t cum =
+                end == 0 ? st->header_bytes : st->prefix[end - 1];
+            VDuration cost = model->MarshalCost(cum) -
+                             model->MarshalCost(st->charged_bytes);
+            if (!st->charged_base) {
+              cost += model->sql_subquery_base_us;
+              st->charged_base = true;
+            }
+            st->charged_bytes = cum;
+            if (cost > 0) clock->Charge(sim::steps::kSqlSubqueries, cost);
+          }
+          return batch;
+        });
   };
   return federation_db->catalog().RegisterExternalTable(std::move(entry));
 }

@@ -66,6 +66,54 @@ class AccessUdtf : public fdbs::TableFunction {
     return out;
   }
 
+  /// Streaming A-UDTF invocation: the dispatch into the application system
+  /// still happens eagerly (the remote side computes its full result), but
+  /// the RMI return leg is chunked — each pulled batch charges its share of
+  /// the wire cost, and a fully drained stream charges exactly what Invoke
+  /// charges.
+  Result<fedflow::RowSourcePtr> InvokeStream(const std::vector<Value>& args,
+                                             fdbs::ExecContext& ctx,
+                                             size_t batch_size) override {
+    SimClock* clock = ctx.clock;
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfPrepareA,
+                    model_->udtf_prepare_a_us + model_->controller_attach_us);
+    }
+    Controller::DispatchResult dispatched;
+    auto handler = [this, &dispatched](
+                       const std::string& fn,
+                       const std::vector<Value>& remote_args) -> Result<Table> {
+      Result<Controller::DispatchResult> d =
+          controller_->Dispatch(system_, fn, remote_args);
+      if (!d.ok()) return d.status();
+      dispatched = std::move(*d);
+      return dispatched.table;
+    };
+    VDuration call_us = 0;
+    sim::RmiChannel::ChunkCostFn on_chunk;
+    if (clock != nullptr) {
+      on_chunk = [clock](VDuration cost) {
+        clock->Charge(sim::steps::kUdtfRmiReturns, cost);
+      };
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(
+        fedflow::RowSourcePtr source,
+        rmi_.InvokeStreaming(name_, args, handler, batch_size, &call_us,
+                             std::move(on_chunk)));
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfRmiCalls, call_us);
+      clock->Charge(sim::steps::kUdtfControllerRuns,
+                    dispatched.dispatch_cost_us);
+      clock->Charge(sim::steps::kUdtfProcessActivities, dispatched.app_cost_us);
+      clock->Charge(sim::steps::kUdtfFinishA,
+                    model_->udtf_finish_a_us + model_->controller_return_us);
+      // Register the RMI-returns step at its usual breakdown position; the
+      // actual cost arrives per chunk as the stream is drained.
+      clock->ChargeWork(sim::steps::kUdtfRmiReturns, 0);
+    }
+    return source;
+  }
+
  private:
   std::string system_;
   std::string name_;
@@ -116,6 +164,38 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
     }
     if (state_ != nullptr) state_->MarkRun(name());
     return out;
+  }
+
+  /// Streaming I-UDTF invocation: charges warm-up and start/finish exactly
+  /// as Invoke (clock charges are order-independent), then passes the
+  /// inner function's stream through untouched.
+  Result<fedflow::RowSourcePtr> InvokeStream(const std::vector<Value>& args,
+                                             fdbs::ExecContext& ctx,
+                                             size_t batch_size) override {
+    SimClock* clock = ctx.clock;
+    if (clock != nullptr && state_ != nullptr) {
+      switch (state_->QueryWarmth(name())) {
+        case sim::SystemState::Warmth::kCold:
+          clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
+                                                 model_->first_run_function_us);
+          break;
+        case sim::SystemState::Warmth::kWarm:
+          clock->Charge(sim::steps::kWarmup, model_->first_run_function_us);
+          break;
+        case sim::SystemState::Warmth::kHot:
+          break;
+      }
+    }
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(fedflow::RowSourcePtr source,
+                             inner_->InvokeStream(args, ctx, batch_size));
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
+    }
+    if (state_ != nullptr) state_->MarkRun(name());
+    return source;
   }
 
  private:

@@ -104,6 +104,92 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
   return out;
 }
 
+Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
+                                                const std::vector<Value>& args,
+                                                fdbs::ExecContext& ctx,
+                                                size_t batch_size) {
+  SimClock* clock = ctx.clock;
+  if (!controller_->started()) {
+    return Status::ExecutionError(
+        "controller not started; boot the integration environment first");
+  }
+  if (clock != nullptr && state_ != nullptr) {
+    switch (state_->QueryWarmth(function)) {
+      case sim::SystemState::Warmth::kCold:
+        clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
+                                               model_->first_run_function_us);
+        break;
+      case sim::SystemState::Warmth::kWarm:
+        clock->Charge(sim::steps::kWarmup, model_->first_run_function_us);
+        break;
+      case sim::SystemState::Warmth::kHot:
+        break;
+    }
+  }
+  if (clock != nullptr) {
+    clock->Charge(sim::steps::kWfStartUdtf, model_->wf_udtf_start_us);
+    clock->Charge(sim::steps::kWfProcessUdtf,
+                  model_->wf_udtf_process_us + model_->wf_controller_process_us);
+  }
+
+  sim::RmiChannel rmi(model_);
+  wfms::ProcessResult process_result;
+  auto handler = [this, &process_result](
+                     const std::string& fn,
+                     const std::vector<Value>& remote_args) -> Result<Table> {
+    Result<wfms::ProcessResult> run = engine_->Run(fn, remote_args, &invoker_);
+    if (!run.ok()) return run.status();
+    process_result = std::move(*run);
+    return process_result.output;
+  };
+  VDuration call_us = 0;
+  sim::RmiChannel::ChunkCostFn on_chunk;
+  if (clock != nullptr) {
+    on_chunk = [clock](VDuration cost) {
+      clock->Charge(sim::steps::kWfRmiReturn, cost);
+    };
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(
+      RowSourcePtr source,
+      rmi.InvokeStreaming(function, args, handler, batch_size, &call_us,
+                          std::move(on_chunk)));
+  if (clock != nullptr) {
+    clock->Charge(sim::steps::kWfRmiCall, call_us);
+    clock->Charge(sim::steps::kWfProcessStart, model_->wf_process_start_us);
+    for (const auto& [step, dur] : process_result.breakdown.entries()) {
+      clock->ChargeWork(step, dur);
+    }
+    clock->AdvanceTo(clock->now() + process_result.elapsed_us);
+    clock->Charge(sim::steps::kWfController, model_->wf_controller_us);
+    // Register the RMI-return step at its usual breakdown position; the
+    // actual cost arrives per chunk as the stream is drained.
+    clock->ChargeWork(sim::steps::kWfRmiReturn, 0);
+    clock->Charge(sim::steps::kWfFinishUdtf, model_->wf_udtf_finish_us);
+  }
+  if (state_ != nullptr) state_->MarkRun(function);
+
+  // Coerce each pulled batch to the declared result schema.
+  for (const ForeignFunction& fn : functions_) {
+    if (EqualsIgnoreCase(fn.name, function)) {
+      std::shared_ptr<RowSource> inner(std::move(source));
+      Schema target = fn.result_schema;
+      return MakeGeneratorSource(
+          fn.result_schema, [inner, target]() -> Result<RowBatch> {
+            FEDFLOW_ASSIGN_OR_RETURN(RowBatch raw, inner->Next());
+            if (raw.empty()) return raw;
+            Table coerced(target);
+            for (Row& r : raw.rows) {
+              FEDFLOW_RETURN_NOT_OK(coerced.AppendRow(std::move(r)));
+            }
+            RowBatch batch;
+            batch.rows = std::move(coerced.mutable_rows());
+            return batch;
+          });
+    }
+  }
+  return source;
+}
+
 WfmsCoupling::WfmsCoupling(fdbs::Database* db, wfms::Engine* engine,
                            const appsys::AppSystemRegistry* systems,
                            Controller* controller,

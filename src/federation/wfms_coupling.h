@@ -73,6 +73,14 @@ class WfmsWrapper : public ForeignFunctionWrapper {
                         const std::vector<Value>& args,
                         fdbs::ExecContext& ctx) override;
 
+  /// Streaming execution: the process still runs to completion inside the
+  /// engine (a workflow instance is atomic), but the RMI return leg streams
+  /// the result rows back in chunks, charging wire cost per pulled batch.
+  Result<RowSourcePtr> ExecuteStream(const std::string& function,
+                                     const std::vector<Value>& args,
+                                     fdbs::ExecContext& ctx,
+                                     size_t batch_size) override;
+
   wfms::ProgramInvoker* invoker() { return &invoker_; }
 
  private:

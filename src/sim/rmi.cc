@@ -1,8 +1,81 @@
 #include "sim/rmi.h"
 
+#include <memory>
+#include <utility>
+
 #include "common/codec.h"
 
 namespace fedflow::sim {
+
+namespace {
+
+/// Decodes a marshalled response buffer chunk by chunk. `prefix_[i]` is the
+/// cumulative buffer size after encoding row i; charging
+/// MarshalCost(new cursor) - MarshalCost(old cursor) per chunk makes the
+/// total exactly equal the one-shot MarshalCost of the whole buffer, integer
+/// division notwithstanding.
+class ResponseStreamSource : public RowSource {
+ public:
+  ResponseStreamSource(std::vector<uint8_t> buffer, Schema schema,
+                       size_t num_rows, std::vector<size_t> prefix,
+                       size_t header_bytes, size_t batch_size,
+                       const LatencyModel* model,
+                       RmiChannel::ChunkCostFn on_chunk)
+      : buffer_(std::move(buffer)),
+        schema_(std::move(schema)),
+        num_rows_(num_rows),
+        prefix_(std::move(prefix)),
+        header_bytes_(header_bytes),
+        batch_size_(batch_size),
+        model_(model),
+        on_chunk_(std::move(on_chunk)),
+        reader_(buffer_) {
+    // Skip the header; the factory already validated it decodes.
+    (void)reader_.GetSchema();
+    (void)reader_.GetU32();
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<RowBatch> Next() override {
+    RowBatch batch;
+    const size_t take = std::min(batch_size_, num_rows_ - next_row_);
+    batch.rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      FEDFLOW_ASSIGN_OR_RETURN(Row row, reader_.GetRow());
+      batch.rows.push_back(std::move(row));
+    }
+    const size_t end_row = next_row_ + take;
+    next_row_ = end_row;
+    if (on_chunk_) {
+      const size_t cum = end_row == 0 ? header_bytes_ : prefix_[end_row - 1];
+      VDuration cost = model_->MarshalCost(cum) - model_->MarshalCost(charged_bytes_);
+      if (!charged_base_) {
+        cost += model_->rmi_return_base_us;
+        charged_base_ = true;
+      }
+      charged_bytes_ = cum;
+      if (cost > 0) on_chunk_(cost);
+    }
+    return batch;
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  Schema schema_;
+  size_t num_rows_;
+  std::vector<size_t> prefix_;
+  size_t header_bytes_;
+  size_t batch_size_;
+  const LatencyModel* model_;
+  RmiChannel::ChunkCostFn on_chunk_;
+  ByteReader reader_;
+  size_t next_row_ = 0;
+  size_t charged_bytes_ = 0;
+  bool charged_base_ = false;
+};
+
+}  // namespace
 
 Result<Table> RmiChannel::Invoke(const std::string& function,
                                  const std::vector<Value>& args,
@@ -36,6 +109,52 @@ Result<Table> RmiChannel::Invoke(const std::string& function,
         model_->rmi_return_base_us + model_->MarshalCost(response.size());
   }
   return reconstructed;
+}
+
+Result<RowSourcePtr> RmiChannel::InvokeStreaming(
+    const std::string& function, const std::vector<Value>& args,
+    const Handler& handler, size_t batch_size, VDuration* call_us,
+    ChunkCostFn on_chunk) const {
+  ByteWriter request;
+  request.PutString(function);
+  request.PutRow(args);
+
+  ByteReader reader(request.buffer());
+  FEDFLOW_ASSIGN_OR_RETURN(std::string remote_fn, reader.GetString());
+  FEDFLOW_ASSIGN_OR_RETURN(Row remote_args, reader.GetRow());
+  if (!reader.AtEnd()) {
+    return Status::Internal("rmi: trailing request bytes");
+  }
+
+  FEDFLOW_ASSIGN_OR_RETURN(Table result, handler(remote_fn, remote_args));
+
+  if (call_us != nullptr) {
+    *call_us = model_->rmi_call_base_us + model_->MarshalCost(request.size());
+  }
+
+  // Marshal the response exactly as PutTable would (same byte layout, so the
+  // total wire size equals the non-streaming path's), recording the buffer
+  // size at every row boundary for the per-chunk cost telescope.
+  ByteWriter response;
+  response.PutSchema(result.schema());
+  response.PutU32(static_cast<uint32_t>(result.num_rows()));
+  const size_t header_bytes = response.size();
+  std::vector<size_t> prefix;
+  prefix.reserve(result.num_rows());
+  for (const Row& row : result.rows()) {
+    response.PutRow(row);
+    prefix.push_back(response.size());
+  }
+
+  // Validate the header decodes before handing out the stream.
+  ByteReader check(response.buffer());
+  FEDFLOW_ASSIGN_OR_RETURN(Schema schema, check.GetSchema());
+  FEDFLOW_ASSIGN_OR_RETURN(uint32_t num_rows, check.GetU32());
+
+  std::vector<uint8_t> buffer = response.buffer();
+  return RowSourcePtr(new ResponseStreamSource(
+      std::move(buffer), std::move(schema), num_rows, std::move(prefix),
+      header_bytes, batch_size, model_, std::move(on_chunk)));
 }
 
 }  // namespace fedflow::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/row_source.h"
 #include "common/table.h"
 #include "sim/latency.h"
 
@@ -37,6 +38,22 @@ class RmiChannel {
   Result<Table> Invoke(const std::string& function,
                        const std::vector<Value>& args, const Handler& handler,
                        CallCosts* costs) const;
+
+  /// Receives the modeled wire cost of one response chunk as it is pulled.
+  using ChunkCostFn = std::function<void(VDuration)>;
+
+  /// Streaming variant of Invoke: the request round-trip is unchanged (the
+  /// handler runs eagerly, `call_us` receives the request cost), but the
+  /// response is decoded and handed to the caller in chunks of `batch_size`
+  /// rows. `on_chunk` (optional) is called with each chunk's wire cost as it
+  /// is pulled; chunk costs telescope over the cumulative marshalled size, so
+  /// a fully drained stream charges exactly Invoke's return_us — the base
+  /// cost and the response header ride on the first chunk.
+  Result<RowSourcePtr> InvokeStreaming(const std::string& function,
+                                       const std::vector<Value>& args,
+                                       const Handler& handler,
+                                       size_t batch_size, VDuration* call_us,
+                                       ChunkCostFn on_chunk) const;
 
  private:
   const LatencyModel* model_;

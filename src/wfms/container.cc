@@ -14,6 +14,16 @@ void Container::Set(const std::string& name, Table table) {
   slots_.emplace_back(name, std::move(table));
 }
 
+Status Container::Append(const std::string& name, Table batch) {
+  for (auto& [slot_name, slot_table] : slots_) {
+    if (EqualsIgnoreCase(slot_name, name)) {
+      return slot_table.AppendTableRows(std::move(batch));
+    }
+  }
+  slots_.emplace_back(name, std::move(batch));
+  return Status::OK();
+}
+
 Result<const Table*> Container::Get(const std::string& name) const {
   for (const auto& [slot_name, slot_table] : slots_) {
     if (EqualsIgnoreCase(slot_name, name)) return &slot_table;

@@ -23,6 +23,13 @@ class Container {
   /// Sets (or replaces) slot `name`.
   void Set(const std::string& name, Table table);
 
+  /// Appends `batch`'s rows onto slot `name` (creating the slot from the
+  /// batch when absent). Rows are moved, never copied wholesale — this is
+  /// what lets do-until loops accumulate output without re-copying the
+  /// accumulated table on every iteration. Schema-checked against the
+  /// existing slot.
+  Status Append(const std::string& name, Table batch);
+
   /// The slot's table; NotFound when absent.
   Result<const Table*> Get(const std::string& name) const;
 

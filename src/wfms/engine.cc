@@ -426,7 +426,10 @@ Result<InvokeResult> InstanceRunner::DoHelper(const ActivityDef& a,
 Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
                                              const std::vector<Value>& args) {
   InvokeResult result;
-  std::vector<Table> iteration_outputs;
+  // Union-all accumulation appends each iteration's rows in place (a batch
+  // append), so the loop never re-copies the rows accumulated so far.
+  Table accumulated;
+  bool accumulated_init = false;
   Table last_output;
   VDuration total = 0;
   int iteration = 0;
@@ -455,9 +458,6 @@ Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
     total += sub_result.elapsed_us;
     result.steps.Merge(sub_result.breakdown);
     last_output = std::move(sub_result.output);
-    if (a.accumulate == BlockAccumulate::kUnionAll) {
-      iteration_outputs.push_back(last_output);
-    }
     {
       // Audit the iteration on the parent trail.
       std::lock_guard<std::mutex> lock(mu_);
@@ -465,7 +465,9 @@ Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
                     "iteration " + std::to_string(iteration));
     }
 
-    if (a.exit_condition == nullptr) break;
+    // Evaluate the exit condition while last_output is still whole (the
+    // resolver reads it); only then move the rows into the accumulator.
+    bool done = a.exit_condition == nullptr;
     auto resolver = [&](const std::string& qualifier,
                         const std::string& name) -> Result<Value> {
       if (qualifier.empty() || EqualsIgnoreCase(qualifier, "LOOP")) {
@@ -491,19 +493,22 @@ Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
       }
       return Status::NotFound("exit-condition reference not found: " + name);
     };
-    FEDFLOW_ASSIGN_OR_RETURN(bool done,
-                             EvalConditionBool(*a.exit_condition, resolver));
+    if (!done) {
+      FEDFLOW_ASSIGN_OR_RETURN(done,
+                               EvalConditionBool(*a.exit_condition, resolver));
+    }
+    if (a.accumulate == BlockAccumulate::kUnionAll) {
+      if (!accumulated_init) {
+        accumulated = Table(last_output.schema());
+        accumulated_init = true;
+      }
+      FEDFLOW_RETURN_NOT_OK(accumulated.AppendTableRows(std::move(last_output)));
+    }
     if (done) break;
   }
 
   if (a.accumulate == BlockAccumulate::kUnionAll) {
-    Table merged(iteration_outputs.front().schema());
-    for (const Table& t : iteration_outputs) {
-      for (const Row& r : t.rows()) {
-        FEDFLOW_RETURN_NOT_OK(merged.AppendRow(r));
-      }
-    }
-    result.output = std::move(merged);
+    result.output = std::move(accumulated);
   } else {
     result.output = std::move(last_output);
   }

@@ -97,9 +97,8 @@ HelperFn MakeUnionAllHelper() {
       if (in.schema().num_columns() != out.schema().num_columns()) {
         return Status::TypeError("union helper: arity mismatch");
       }
-      for (const Row& r : in.rows()) {
-        FEDFLOW_RETURN_NOT_OK(out.AppendRow(r));
-      }
+      // Inputs are borrowed: copy the rows once, then batch-append.
+      FEDFLOW_RETURN_NOT_OK(out.AppendTableRows(Table(in)));
     }
     return out;
   };

@@ -1,0 +1,124 @@
+// RowBatch / RowSource streaming protocol: batching boundaries, the
+// empty-batch-means-exhausted contract, the Table adapters in both
+// directions, and PipelineStats residency accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/row_source.h"
+#include "common/table.h"
+
+namespace fedflow {
+namespace {
+
+Schema OneIntColumn() {
+  Schema s;
+  s.AddColumn("v", DataType::kInt);
+  return s;
+}
+
+Table IntTable(int n) {
+  Table t(OneIntColumn());
+  for (int i = 0; i < n; ++i) t.AppendRowUnchecked({Value::Int(i)});
+  return t;
+}
+
+TEST(RowSourceTest, TableSourceStreamsInBatches) {
+  RowSourcePtr src = MakeTableSource(IntTable(5), /*batch_size=*/2);
+  EXPECT_EQ(src->schema().num_columns(), 1u);
+  std::vector<size_t> sizes;
+  int next = 0;
+  while (true) {
+    auto batch = src->Next();
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    sizes.push_back(batch->size());
+    for (const Row& r : batch->rows) EXPECT_EQ(r[0].AsInt(), next++);
+  }
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 2, 1}));
+  // Exhaustion is sticky: further pulls keep returning empty batches.
+  auto again = src->Next();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->empty());
+}
+
+TEST(RowSourceTest, ZeroBatchSizeIsClampedToOne) {
+  RowSourcePtr src = MakeTableSource(IntTable(3), /*batch_size=*/0);
+  auto batch = src->Next();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 1u);
+}
+
+TEST(RowSourceTest, BorrowedTableSourceLeavesTableIntact) {
+  Table t = IntTable(4);
+  RowSourcePtr src = MakeBorrowedTableSource(&t, /*batch_size=*/3);
+  auto drained = DrainToTable(src);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->num_rows(), 4u);
+  // The borrowed table still owns its rows (the source copied them).
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.rows()[3][0].AsInt(), 3);
+}
+
+TEST(RowSourceTest, GeneratorSourceStopsAtFirstEmptyBatch) {
+  auto calls = std::make_shared<int>(0);
+  RowSourcePtr src = MakeGeneratorSource(
+      OneIntColumn(), [calls]() -> Result<RowBatch> {
+        ++*calls;
+        RowBatch batch;
+        if (*calls == 1) batch.rows.push_back({Value::Int(7)});
+        return batch;  // empty from the second call on
+      });
+  auto first = src->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ(first->rows[0][0].AsInt(), 7);
+  ASSERT_TRUE(src->Next().ok());  // empty: generator returns no rows
+  ASSERT_TRUE(src->Next().ok());  // sticky: generator must NOT be re-invoked
+  EXPECT_EQ(*calls, 2);
+}
+
+TEST(RowSourceTest, GeneratorSourcePropagatesErrors) {
+  RowSourcePtr src = MakeGeneratorSource(
+      OneIntColumn(),
+      []() -> Result<RowBatch> { return Status::ExecutionError("boom"); });
+  auto batch = src->Next();
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("boom"), std::string::npos);
+}
+
+TEST(RowSourceTest, DrainToTableRoundTrip) {
+  Table original = IntTable(10);
+  auto drained = DrainToTable(MakeTableSource(Table(original), 3));
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(*drained == original);
+}
+
+TEST(RowSourceTest, PipelineStatsTracksPeakResidency) {
+  PipelineStats stats;
+  stats.Acquire(100);
+  stats.Acquire(50);
+  EXPECT_EQ(stats.resident_rows, 150u);
+  EXPECT_EQ(stats.peak_resident_rows, 150u);
+  stats.Release(120);
+  EXPECT_EQ(stats.resident_rows, 30u);
+  stats.Acquire(40);
+  EXPECT_EQ(stats.resident_rows, 70u);
+  // Peak is a high-water mark: it does not decay on Release.
+  EXPECT_EQ(stats.peak_resident_rows, 150u);
+  // Release clamps at zero instead of underflowing.
+  stats.Release(1000);
+  EXPECT_EQ(stats.resident_rows, 0u);
+
+  RowBatch batch;
+  batch.rows.resize(3, Row(1, Value::Int(0)));
+  stats.Emitted(batch);
+  stats.Emitted(batch);
+  EXPECT_EQ(stats.batches_emitted, 2u);
+  EXPECT_EQ(stats.rows_emitted, 6u);
+}
+
+}  // namespace
+}  // namespace fedflow

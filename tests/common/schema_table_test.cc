@@ -87,6 +87,63 @@ TEST(TableTest, ScalarAt00) {
   EXPECT_EQ(t.ScalarAt00()->AsInt(), 5);
 }
 
+TEST(TableTest, ScalarAt00EmptyTableIsExecutionError) {
+  Table no_rows(TwoColumns());
+  auto r = no_rows.ScalarAt00();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(r.status().message().find("empty table"), std::string::npos);
+  // A table with rows but zero columns is just as empty at (0, 0).
+  Table no_columns;
+  EXPECT_FALSE(no_columns.ScalarAt00().ok());
+}
+
+TEST(TableTest, ScalarAt00IgnoresExtraRowsAndColumns) {
+  // Documented relaxed semantics: only (0, 0) matters; callers requiring an
+  // exact 1x1 shape must check num_rows() themselves.
+  Table t(TwoColumns());
+  ASSERT_TRUE(t.AppendRow({Value::Int(5), Value::Varchar("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(9), Value::Varchar("y")}).ok());
+  auto r = t.ScalarAt00();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 5);
+}
+
+TEST(TableTest, AppendTableRowsSplicesEqualSchemas) {
+  Table a(TwoColumns());
+  ASSERT_TRUE(a.AppendRow({Value::Int(1), Value::Varchar("x")}).ok());
+  Table b(TwoColumns());
+  ASSERT_TRUE(b.AppendRow({Value::Int(2), Value::Varchar("y")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int(3), Value::Varchar("z")}).ok());
+  ASSERT_TRUE(a.AppendTableRows(std::move(b)).ok());
+  ASSERT_EQ(a.num_rows(), 3u);
+  EXPECT_EQ(a.rows()[2][0].AsInt(), 3);
+  EXPECT_EQ(b.num_rows(), 0u);  // donor rows are moved out
+}
+
+TEST(TableTest, AppendTableRowsCoercesAcrossSchemas) {
+  Table a(TwoColumns());
+  Schema wider;
+  wider.AddColumn("id", DataType::kBigInt);
+  wider.AddColumn("name", DataType::kVarchar);
+  Table b(wider);
+  ASSERT_TRUE(b.AppendRow({Value::BigInt(7), Value::Varchar("w")}).ok());
+  // Unequal schemas fall back to per-row AppendRow with value coercion.
+  ASSERT_TRUE(a.AppendTableRows(std::move(b)).ok());
+  ASSERT_EQ(a.num_rows(), 1u);
+  EXPECT_EQ(a.rows()[0][0].type(), DataType::kInt);
+  EXPECT_EQ(a.rows()[0][0].AsInt(), 7);
+}
+
+TEST(TableTest, AppendTableRowsArityMismatchFails) {
+  Table a(TwoColumns());
+  Schema one;
+  one.AddColumn("id", DataType::kInt);
+  Table b(one);
+  ASSERT_TRUE(b.AppendRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(a.AppendTableRows(std::move(b)).ok());
+}
+
 TEST(TableTest, ToStringRendersAsciiTable) {
   Table t(TwoColumns());
   ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Varchar("abc")}).ok());

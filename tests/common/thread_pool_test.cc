@@ -44,6 +44,37 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, StressManyProducersEnqueueFromPoolThreads) {
+  // Re-entrant Submit: producer tasks running ON pool threads fan out child
+  // tasks into the same pool. Exercises the queue under contention and the
+  // lock ordering of Submit vs WorkerLoop (Submit must never be called while
+  // a worker holds the queue mutex).
+  ThreadPool pool(4);
+  constexpr int kProducers = 16;
+  constexpr int kChildrenPerProducer = 64;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int p = 0; p < kProducers; ++p) {
+    pool.Submit([&] {
+      for (int c = 0; c < kChildrenPerProducer; ++c) {
+        pool.Submit([&] {
+          if (done.fetch_add(1) + 1 == kProducers * kChildrenPerProducer) {
+            std::lock_guard<std::mutex> lock(mu);
+            cv.notify_all();
+          }
+        });
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  bool finished = cv.wait_for(lock, std::chrono::seconds(30), [&] {
+    return done.load() == kProducers * kChildrenPerProducer;
+  });
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(done.load(), kProducers * kChildrenPerProducer);
+}
+
 TEST(ThreadPoolTest, TasksRunConcurrently) {
   ThreadPool pool(2);
   std::mutex mu;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "fdbs/database.h"
+#include "fdbs/executor.h"
+#include "sql/parser.h"
 
 namespace fedflow::fdbs {
 namespace {
@@ -188,6 +190,75 @@ TEST_F(ExecutorEdgeTest, CountDistinctViaSubFunction) {
                   .ok());
   Table t = MustQuery("SELECT COUNT(*) FROM TABLE (distinct_v()) AS d");
   EXPECT_EQ(t.rows()[0][0].AsBigInt(), 2);
+}
+
+// --- LateralOrder planner edge cases (direct static calls; item schemas
+// are only consulted for unqualified column references, so qualified-only
+// statements may pass nullptrs).
+
+std::vector<size_t> MustOrder(const std::string& sql) {
+  auto stmt = sql::ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status();
+  std::vector<const Schema*> schemas(stmt->from.size(), nullptr);
+  auto order = SelectExecutor::LateralOrder(*stmt, schemas);
+  EXPECT_TRUE(order.ok()) << sql << " -> " << order.status();
+  return order.ok() ? *order : std::vector<size_t>{};
+}
+
+TEST_F(ExecutorEdgeTest, LateralOrderSelfReferenceImposesNoOrdering) {
+  // f's argument qualifier names f's own alias. A FROM item cannot depend on
+  // itself (a row is not in scope while it is being produced), so the
+  // self-reference is ignored rather than reported as a one-node cycle.
+  EXPECT_EQ(MustOrder("SELECT * FROM TABLE (f(a.v)) AS a"),
+            (std::vector<size_t>{0}));
+  // Same with a sibling present: only the cross-item edge b -> a counts.
+  EXPECT_EQ(MustOrder("SELECT * FROM TABLE (f(b.v + b.w)) AS b, "
+                      "TABLE (g(b.v)) AS c"),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST_F(ExecutorEdgeTest, LateralOrderTwoNodeCycleRejected) {
+  auto stmt = sql::ParseSelect(
+      "SELECT * FROM TABLE (f(b.v)) AS a, TABLE (g(a.v)) AS b");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const Schema*> schemas(stmt->from.size(), nullptr);
+  auto order = SelectExecutor::LateralOrder(*stmt, schemas);
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(order.status().message().find("cyclic dependency"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorEdgeTest, LateralOrderCycleRejectedEndToEnd) {
+  // The same structure through the full executor: the error must surface to
+  // the user, matching the paper's point that the UDTF approach cannot
+  // express cyclic mappings.
+  ASSERT_TRUE(db_.Execute(
+                    "CREATE FUNCTION inc2 (x INT) RETURNS TABLE (v INT) "
+                    "LANGUAGE SQL RETURN SELECT inc2.x + 1")
+                  .ok());
+  auto r = db_.Execute(
+      "SELECT * FROM TABLE (inc2(b.v)) AS a, TABLE (inc2(a.v)) AS b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("cyclic"), std::string::npos);
+}
+
+TEST_F(ExecutorEdgeTest, LateralOrderIndependentItemsKeepTextualOrder) {
+  // No dependencies at all: the stable sort must preserve DB2's documented
+  // left-to-right FROM processing.
+  EXPECT_EQ(MustOrder("SELECT * FROM t1, t2, t3, t4"),
+            (std::vector<size_t>{0, 1, 2, 3}));
+  // Mixed: only the constrained pair reorders; independent items stay put
+  // and ready items are picked lowest-original-index first.
+  EXPECT_EQ(MustOrder("SELECT * FROM TABLE (f(c.v)) AS a, t2 AS b, t3 AS c"),
+            (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST_F(ExecutorEdgeTest, LateralOrderParameterQualifiersImposeNoOrdering) {
+  // A qualifier matching no FROM alias is an enclosing-function parameter
+  // reference; it must not create an edge (and must not error).
+  EXPECT_EQ(MustOrder("SELECT * FROM TABLE (f(outer_fn.p)) AS a, t AS b"),
+            (std::vector<size_t>{0, 1}));
 }
 
 TEST_F(ExecutorEdgeTest, WhereTrueKeepsAll) {
