@@ -1,0 +1,131 @@
+#include "analysis/corpus.h"
+
+#include <utility>
+
+#include "analysis/spec_lint.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+using federation::FederatedFunctionSpec;
+using federation::SpecArg;
+using federation::SpecCall;
+using federation::SpecOutput;
+
+/// SupplierNo INT -> stock.GetQuality -> Qual: the smallest spec that lints
+/// clean against the sample systems; every entry perturbs a copy of it.
+FederatedFunctionSpec QualityBase(const std::string& name) {
+  FederatedFunctionSpec spec;
+  spec.name = name;
+  spec.params = {Column{"SupplierNo", DataType::kInt}};
+  spec.calls = {SpecCall{
+      "GQ", "stock", "GetQuality", {SpecArg::Param("SupplierNo")}}};
+  spec.outputs = {SpecOutput{"Qual", "GQ", "Qual", DataType::kNull}};
+  return spec;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> MalformedSpecCorpus() {
+  std::vector<CorpusEntry> corpus;
+
+  {
+    FederatedFunctionSpec spec = QualityBase("UnknownFunction");
+    spec.calls[0].function = "NoSuchFn";
+    corpus.push_back(CorpusEntry{"unknown-function", kSpecUnknownFunction,
+                                 "spec:UnknownFunction/node:GQ",
+                                 std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("BadArity");
+    spec.calls[0].args.push_back(SpecArg::Constant(Value::Int(7)));
+    corpus.push_back(CorpusEntry{"bad-arity", kSpecArityMismatch,
+                                 "spec:BadArity/node:GQ", std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("DanglingNode");
+    spec.calls[0].args[0] = SpecArg::NodeColumn("NOPE", "SupplierNo");
+    spec.params.clear();
+    corpus.push_back(CorpusEntry{"dangling-node", kSpecDanglingNode,
+                                 "spec:DanglingNode/node:GQ/arg:1",
+                                 std::move(spec)});
+  }
+  {
+    // GSN resolves, but GQ asks it for a column it does not produce.
+    FederatedFunctionSpec spec;
+    spec.name = "DanglingColumn";
+    spec.params = {Column{"SupplierName", DataType::kVarchar}};
+    spec.calls = {
+        SpecCall{"GSN", "purchasing", "GetSupplierNo",
+                 {SpecArg::Param("SupplierName")}},
+        SpecCall{"GQ", "stock", "GetQuality",
+                 {SpecArg::NodeColumn("GSN", "Nope")}}};
+    spec.outputs = {SpecOutput{"Qual", "GQ", "Qual", DataType::kNull}};
+    corpus.push_back(CorpusEntry{"dangling-column", kSpecUnknownNodeColumn,
+                                 "spec:DanglingColumn/node:GQ/arg:1",
+                                 std::move(spec)});
+  }
+  {
+    // A and B feed each other — iteration without a do-until exit.
+    FederatedFunctionSpec spec;
+    spec.name = "CycleNoExit";
+    spec.calls = {
+        SpecCall{"A", "stock", "GetQuality", {SpecArg::NodeColumn("B", "Qual")}},
+        SpecCall{"B", "stock", "GetQuality",
+                 {SpecArg::NodeColumn("A", "Qual")}}};
+    spec.outputs = {SpecOutput{"Qual", "A", "Qual", DataType::kNull}};
+    corpus.push_back(CorpusEntry{"cycle-without-exit", kSpecCycleWithoutExit,
+                                 "spec:CycleNoExit", std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("BadLoop");
+    spec.params.clear();
+    spec.calls[0].args[0] = SpecArg::Param("ITERATION");
+    spec.loop.enabled = true;
+    spec.loop.count_param = "N";  // never declared
+    corpus.push_back(CorpusEntry{"bad-loop", kSpecBadLoopParam,
+                                 "spec:BadLoop/loop", std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("TypeMismatch");
+    spec.params.clear();
+    spec.calls[0].args[0] = SpecArg::Constant(Value::Varchar("oops"));
+    corpus.push_back(CorpusEntry{"type-mismatch", kSpecArgTypeMismatch,
+                                 "spec:TypeMismatch/node:GQ/arg:1",
+                                 std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("DupOutput");
+    spec.outputs.push_back(SpecOutput{"Qual", "GQ", "Qual", DataType::kNull});
+    corpus.push_back(CorpusEntry{"duplicate-output", kSpecDuplicateOutput,
+                                 "spec:DupOutput/output:Qual",
+                                 std::move(spec)});
+  }
+  {
+    FederatedFunctionSpec spec = QualityBase("UnusedParam");
+    spec.params.push_back(Column{"Extra", DataType::kInt});
+    corpus.push_back(CorpusEntry{"unused-param", kSpecUnusedParam,
+                                 "spec:UnusedParam/param:Extra",
+                                 std::move(spec)});
+  }
+  {
+    // GR runs (and is paid for) but nothing consumes its result.
+    FederatedFunctionSpec spec;
+    spec.name = "DeadNode";
+    spec.params = {Column{"SupplierName", DataType::kVarchar}};
+    spec.calls = {
+        SpecCall{"GSN", "purchasing", "GetSupplierNo",
+                 {SpecArg::Param("SupplierName")}},
+        SpecCall{"GR", "purchasing", "GetReliability",
+                 {SpecArg::NodeColumn("GSN", "SupplierNo")}}};
+    spec.outputs = {
+        SpecOutput{"SupplierNo", "GSN", "SupplierNo", DataType::kNull}};
+    corpus.push_back(CorpusEntry{"dead-node", kSpecDeadNode,
+                                 "spec:DeadNode/node:GR", std::move(spec)});
+  }
+
+  return corpus;
+}
+
+}  // namespace fedflow::analysis

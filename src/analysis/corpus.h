@@ -1,0 +1,30 @@
+// A corpus of deliberately malformed federated-function specs, one per
+// diagnostic family. Golden tests pin the exact FF### code and location path
+// each entry produces; the fedlint CLI exposes the corpus for demonstration
+// (`fedlint --corpus NAME` must exit non-zero on every entry).
+#ifndef FEDFLOW_ANALYSIS_CORPUS_H_
+#define FEDFLOW_ANALYSIS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "federation/spec.h"
+
+namespace fedflow::analysis {
+
+/// One corpus entry: a spec that is defective in exactly one intended way.
+struct CorpusEntry {
+  std::string name;           ///< stable entry name (CLI `--corpus NAME`)
+  std::string expected_code;  ///< the FF### code the defect must produce
+  std::string expected_location;  ///< the exact location path of the finding
+  federation::FederatedFunctionSpec spec;
+};
+
+/// Malformed specs targeting the sample scenario's application systems
+/// (stock / purchasing / pdm). Every entry produces at least the expected
+/// diagnostic; entries are ordered by code.
+std::vector<CorpusEntry> MalformedSpecCorpus();
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_CORPUS_H_

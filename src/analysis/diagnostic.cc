@@ -1,0 +1,54 @@
+#include "analysis/diagnostic.h"
+
+namespace fedflow::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(SeverityName(severity)) + "[" + code + "] " +
+                    location + ": " + message;
+  if (!note.empty()) out += "; note: " + note;
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> Filter(const std::vector<Diagnostic>& diagnostics,
+                               Severity severity) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> Codes(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> out;
+  out.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) out.push_back(d.code);
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += diagnostics[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace fedflow::analysis

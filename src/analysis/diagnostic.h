@@ -1,0 +1,58 @@
+// Structured diagnostics for fedlint, the static verification pass over
+// federated-function specs, workflow models and generated I-UDTF SQL. A
+// Diagnostic pinpoints one defect with a stable code (FF###), a location path
+// ("spec:BuySuppComp/node:CheckStock/arg:2") and a human-readable message, so
+// defects are testable artifacts instead of free-text runtime errors.
+#ifndef FEDFLOW_ANALYSIS_DIAGNOSTIC_H_
+#define FEDFLOW_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace fedflow::analysis {
+
+/// How bad a finding is. Errors make registration fail; warnings are
+/// collected and queryable but do not block.
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+/// Stable display name ("warning" / "error").
+const char* SeverityName(Severity severity);
+
+/// One finding of an analyzer pass.
+///
+/// Code ranges (stable, append-only):
+///   FF001..FF049  spec errors          FF050..FF069  spec warnings
+///   FF070..FF099  classification consistency
+///   FF100..FF149  workflow errors      FF150..FF199  workflow warnings
+///   FF200..FF249  I-UDTF SQL errors    FF250..FF299  I-UDTF SQL warnings
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;      ///< stable code, e.g. "FF008"
+  std::string location;  ///< path, e.g. "spec:BuySuppComp/node:GQ/arg:2"
+  std::string message;   ///< what is wrong
+  std::string note;      ///< optional hint on how to fix it (may be empty)
+
+  /// "error[FF008] spec:X/node:GQ/arg:2: message" (plus "; note: ..." when a
+  /// note is present).
+  std::string ToString() const;
+};
+
+/// True when at least one diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Diagnostics of one severity, in input order.
+std::vector<Diagnostic> Filter(const std::vector<Diagnostic>& diagnostics,
+                               Severity severity);
+
+/// The codes of `diagnostics`, in input order (golden-test helper).
+std::vector<std::string> Codes(const std::vector<Diagnostic>& diagnostics);
+
+/// One line per diagnostic, `ToString()` format, '\n'-joined.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,519 @@
+#include "analysis/spec_lint.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/strings.h"
+#include "federation/classify.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+using federation::FederatedFunctionSpec;
+using federation::SpecArg;
+using federation::SpecCall;
+using federation::SpecJoin;
+using federation::SpecOutput;
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt || t == DataType::kBigInt || t == DataType::kDouble;
+}
+
+/// Widening rank among numeric types; higher holds more.
+int NumericRank(DataType t) {
+  switch (t) {
+    case DataType::kInt:
+      return 1;
+    case DataType::kBigInt:
+      return 2;
+    case DataType::kDouble:
+      return 3;
+    case DataType::kNull:
+    case DataType::kBool:
+    case DataType::kVarchar:
+      return 0;
+  }
+  return 0;
+}
+
+/// Collects diagnostics for one spec. Keeps the resolved local functions per
+/// call node around so later checks (types, dead nodes) can reuse them.
+class SpecLinter {
+ public:
+  SpecLinter(const FederatedFunctionSpec& spec,
+             const appsys::AppSystemRegistry& systems)
+      : spec_(spec), systems_(systems) {}
+
+  std::vector<Diagnostic> Run() {
+    if (spec_.name.empty()) {
+      Error(kSpecNoName, SpecLoc(), "federated function has no name",
+            "set FederatedFunctionSpec::name");
+    }
+    if (spec_.calls.empty()) {
+      Error(kSpecNoCalls, SpecLoc(),
+            "spec maps to no local-function calls",
+            "a mapping needs at least one call node");
+      return std::move(diags_);  // nothing else is checkable
+    }
+    ResolveCalls();
+    CheckCallIds();
+    CheckArgs();
+    CheckJoins();
+    CheckOutputs();
+    CheckLoop();
+    CheckUnusedParams();
+    CheckDeadNodes();
+    CheckCycles();
+    CheckClassification();
+    return std::move(diags_);
+  }
+
+ private:
+  void Error(const char* code, std::string location, std::string message,
+             std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kError, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+  void Warn(const char* code, std::string location, std::string message,
+            std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kWarning, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+
+  std::string SpecLoc() const {
+    return "spec:" + (spec_.name.empty() ? std::string("<unnamed>")
+                                         : spec_.name);
+  }
+  std::string NodeLoc(const SpecCall& call) const {
+    return SpecLoc() + "/node:" + (call.id.empty() ? "<unnamed>" : call.id);
+  }
+  std::string ArgLoc(const SpecCall& call, size_t arg_index) const {
+    return NodeLoc(call) + "/arg:" + std::to_string(arg_index + 1);
+  }
+
+  /// Index of the call node with `id`, or nullopt (case-insensitive).
+  std::optional<size_t> CallIndex(const std::string& id) const {
+    for (size_t i = 0; i < spec_.calls.size(); ++i) {
+      if (EqualsIgnoreCase(spec_.calls[i].id, id)) return i;
+    }
+    return std::nullopt;
+  }
+
+  bool IsDeclaredParam(const std::string& name) const {
+    for (const Column& p : spec_.params) {
+      if (EqualsIgnoreCase(p.name, name)) return true;
+    }
+    return false;
+  }
+
+  std::optional<DataType> DeclaredParamType(const std::string& name) const {
+    for (const Column& p : spec_.params) {
+      if (EqualsIgnoreCase(p.name, name)) return p.type;
+    }
+    return std::nullopt;
+  }
+
+  /// Resolves every call node's local function up front; unresolved nodes get
+  /// FF005/FF006 here and a nullptr entry that later checks skip over.
+  void ResolveCalls() {
+    functions_.resize(spec_.calls.size(), nullptr);
+    for (size_t i = 0; i < spec_.calls.size(); ++i) {
+      const SpecCall& call = spec_.calls[i];
+      if (call.id.empty() || call.system.empty() || call.function.empty()) {
+        Error(kSpecCallIncomplete, NodeLoc(call),
+              "call node needs id, system and function",
+              "fill in SpecCall::{id,system,function}");
+        continue;
+      }
+      Result<appsys::AppSystem*> sys = systems_.Get(call.system);
+      if (!sys.ok()) {
+        Error(kSpecUnknownSystem, NodeLoc(call),
+              "unknown application system '" + call.system + "'",
+              "registered systems: " + JoinNames(systems_.Names()));
+        continue;
+      }
+      Result<const appsys::LocalFunction*> fn =
+          (*sys)->GetFunction(call.function);
+      if (!fn.ok()) {
+        Error(kSpecUnknownFunction, NodeLoc(call),
+              "application system '" + call.system + "' has no function '" +
+                  call.function + "'");
+        continue;
+      }
+      functions_[i] = *fn;
+    }
+  }
+
+  static std::string JoinNames(const std::vector<std::string>& names) {
+    std::string out;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += names[i];
+    }
+    return out;
+  }
+
+  void CheckCallIds() {
+    for (size_t i = 0; i < spec_.calls.size(); ++i) {
+      for (size_t j = i + 1; j < spec_.calls.size(); ++j) {
+        if (!spec_.calls[i].id.empty() &&
+            EqualsIgnoreCase(spec_.calls[i].id, spec_.calls[j].id)) {
+          Error(kSpecDuplicateCallId, NodeLoc(spec_.calls[j]),
+                "duplicate call id '" + spec_.calls[j].id + "'",
+                "call ids double as SQL correlation names and activity names "
+                "and must be unique");
+        }
+      }
+    }
+  }
+
+  /// Static type of `node`.`column`, when the node and its function resolve.
+  std::optional<DataType> NodeColumnType(const std::string& node,
+                                         const std::string& column) const {
+    std::optional<size_t> idx = CallIndex(node);
+    if (!idx.has_value() || functions_[*idx] == nullptr) return std::nullopt;
+    const Schema& schema = functions_[*idx]->result_schema;
+    std::optional<size_t> col = schema.IndexOf(column);
+    if (!col.has_value()) return std::nullopt;
+    return schema.column(*col).type;
+  }
+
+  /// Static type of an argument expression, when resolvable.
+  std::optional<DataType> ArgType(const SpecArg& arg) const {
+    switch (arg.kind) {
+      case SpecArg::Kind::kConstant:
+        return arg.constant.is_null() ? std::nullopt
+                                      : std::optional(arg.constant.type());
+      case SpecArg::Kind::kParam:
+        if (EqualsIgnoreCase(arg.param, "ITERATION")) return DataType::kInt;
+        return DeclaredParamType(arg.param);
+      case SpecArg::Kind::kNodeColumn:
+        return NodeColumnType(arg.node, arg.column);
+    }
+    return std::nullopt;
+  }
+
+  static std::string DescribeArg(const SpecArg& arg) {
+    switch (arg.kind) {
+      case SpecArg::Kind::kConstant:
+        return "constant " + arg.constant.ToString();
+      case SpecArg::Kind::kParam:
+        return "parameter " + arg.param;
+      case SpecArg::Kind::kNodeColumn:
+        return arg.node + "." + arg.column;
+    }
+    return "?";
+  }
+
+  /// Arity, reference resolution, and type compatibility of every argument.
+  void CheckArgs() {
+    for (size_t i = 0; i < spec_.calls.size(); ++i) {
+      const SpecCall& call = spec_.calls[i];
+      const appsys::LocalFunction* fn = functions_[i];
+      if (fn != nullptr && fn->params.size() != call.args.size()) {
+        Error(kSpecArityMismatch, NodeLoc(call),
+              call.system + "." + call.function + " expects " +
+                  std::to_string(fn->params.size()) +
+                  " argument(s), spec supplies " +
+                  std::to_string(call.args.size()));
+      }
+      for (size_t a = 0; a < call.args.size(); ++a) {
+        const SpecArg& arg = call.args[a];
+        switch (arg.kind) {
+          case SpecArg::Kind::kConstant:
+            break;
+          case SpecArg::Kind::kParam:
+            if (EqualsIgnoreCase(arg.param, "ITERATION")) {
+              if (!spec_.loop.enabled) {
+                Error(kSpecIterationOutsideLoop, ArgLoc(call, a),
+                      "ITERATION is only defined inside a do-until loop",
+                      "enable SpecLoop or pass an explicit parameter");
+              }
+            } else if (!IsDeclaredParam(arg.param)) {
+              Error(kSpecUnknownParam, ArgLoc(call, a),
+                    "references undeclared parameter '" + arg.param + "'");
+            }
+            break;
+          case SpecArg::Kind::kNodeColumn: {
+            std::optional<size_t> src = CallIndex(arg.node);
+            if (!src.has_value()) {
+              Error(kSpecDanglingNode, ArgLoc(call, a),
+                    "references unknown call node '" + arg.node + "'");
+              break;
+            }
+            if (*src == i) {
+              Error(kSpecSelfReference, ArgLoc(call, a),
+                    "call reads its own output column '" + arg.column + "'");
+              break;
+            }
+            if (functions_[*src] != nullptr &&
+                !functions_[*src]->result_schema.IndexOf(arg.column)
+                     .has_value()) {
+              Error(kSpecUnknownNodeColumn, ArgLoc(call, a),
+                    "node '" + arg.node + "' has no output column '" +
+                        arg.column + "'",
+                    "columns: " +
+                        functions_[*src]->result_schema.ToString());
+            }
+            break;
+          }
+        }
+        // Type compatibility against the local function's signature.
+        if (fn == nullptr || a >= fn->params.size()) continue;
+        std::optional<DataType> got = ArgType(arg);
+        if (!got.has_value()) continue;
+        DataType want = fn->params[a].type;
+        if (*got == want) continue;
+        if (IsNumeric(*got) && IsNumeric(want)) {
+          if (NumericRank(*got) > NumericRank(want)) {
+            Warn(kSpecLossyCoercion, ArgLoc(call, a),
+                 std::string(DataTypeName(*got)) + " " + DescribeArg(arg) +
+                     " narrows to " + DataTypeName(want) + " parameter " +
+                     fn->params[a].name,
+                 "large values overflow at runtime");
+          }
+          continue;  // widening coercion is fine
+        }
+        Error(kSpecArgTypeMismatch, ArgLoc(call, a),
+              DescribeArg(arg) + " has type " + DataTypeName(*got) +
+                  " but parameter " + fn->params[a].name + " of " +
+                  call.system + "." + call.function + " is " +
+                  DataTypeName(want));
+      }
+    }
+  }
+
+  void CheckJoins() {
+    for (size_t j = 0; j < spec_.joins.size(); ++j) {
+      const SpecJoin& join = spec_.joins[j];
+      std::string loc = SpecLoc() + "/join:" + std::to_string(j + 1);
+      bool sides_ok = true;
+      for (const auto& [node, column] :
+           {std::pair{join.left_node, join.left_column},
+            std::pair{join.right_node, join.right_column}}) {
+        std::optional<size_t> idx = CallIndex(node);
+        if (!idx.has_value()) {
+          Error(kSpecJoinUnknownNode, loc,
+                "join references unknown call node '" + node + "'");
+          sides_ok = false;
+          continue;
+        }
+        if (functions_[*idx] != nullptr &&
+            !functions_[*idx]->result_schema.IndexOf(column).has_value()) {
+          Error(kSpecJoinUnknownColumn, loc,
+                "node '" + node + "' has no output column '" + column + "'");
+          sides_ok = false;
+        }
+      }
+      if (!sides_ok) continue;
+      std::optional<DataType> lt =
+          NodeColumnType(join.left_node, join.left_column);
+      std::optional<DataType> rt =
+          NodeColumnType(join.right_node, join.right_column);
+      if (lt.has_value() && rt.has_value() && *lt != *rt &&
+          !(IsNumeric(*lt) && IsNumeric(*rt))) {
+        Error(kSpecJoinTypeMismatch, loc,
+              "join compares " + std::string(DataTypeName(*lt)) + " " +
+                  join.left_node + "." + join.left_column + " with " +
+                  DataTypeName(*rt) + " " + join.right_node + "." +
+                  join.right_column,
+              "incomparable types never match at runtime");
+      }
+    }
+  }
+
+  void CheckOutputs() {
+    if (spec_.outputs.empty()) {
+      Error(kSpecNoOutputs, SpecLoc(), "spec declares no output columns");
+      return;
+    }
+    for (size_t o = 0; o < spec_.outputs.size(); ++o) {
+      const SpecOutput& out = spec_.outputs[o];
+      std::string loc =
+          SpecLoc() + "/output:" +
+          (out.name.empty() ? std::to_string(o + 1) : out.name);
+      if (out.name.empty()) {
+        Error(kSpecOutputUnnamed, loc, "output column has no name");
+      }
+      for (size_t p = o + 1; p < spec_.outputs.size(); ++p) {
+        if (!out.name.empty() &&
+            EqualsIgnoreCase(out.name, spec_.outputs[p].name)) {
+          Error(kSpecDuplicateOutput, loc,
+                "duplicate output column name '" + out.name + "'");
+        }
+      }
+      std::optional<size_t> idx = CallIndex(out.node);
+      if (!idx.has_value()) {
+        Error(kSpecOutputUnknownNode, loc,
+              "output references unknown call node '" + out.node + "'");
+        continue;
+      }
+      if (functions_[*idx] != nullptr &&
+          !functions_[*idx]->result_schema.IndexOf(out.column).has_value()) {
+        Error(kSpecOutputUnknownColumn, loc,
+              "node '" + out.node + "' has no output column '" + out.column +
+                  "'",
+              "columns: " + functions_[*idx]->result_schema.ToString());
+      }
+    }
+  }
+
+  void CheckLoop() {
+    if (!spec_.loop.enabled) return;
+    std::string loc = SpecLoc() + "/loop";
+    if (spec_.loop.count_param.empty() ||
+        !IsDeclaredParam(spec_.loop.count_param)) {
+      Error(kSpecBadLoopParam, loc,
+            "do-until loop needs a declared count parameter, got '" +
+                spec_.loop.count_param + "'");
+      return;
+    }
+    std::optional<DataType> t = DeclaredParamType(spec_.loop.count_param);
+    if (t.has_value() && *t != DataType::kInt && *t != DataType::kBigInt) {
+      Warn(kSpecLoopParamNotInteger, loc,
+           "loop count parameter " + spec_.loop.count_param + " has type " +
+               DataTypeName(*t),
+           "the ITERATION counter compares against an integer count");
+    }
+  }
+
+  void CheckUnusedParams() {
+    for (const Column& p : spec_.params) {
+      bool used = spec_.loop.enabled &&
+                  EqualsIgnoreCase(p.name, spec_.loop.count_param);
+      for (const SpecCall& call : spec_.calls) {
+        for (const SpecArg& arg : call.args) {
+          if (arg.kind == SpecArg::Kind::kParam &&
+              EqualsIgnoreCase(arg.param, p.name)) {
+            used = true;
+          }
+        }
+      }
+      if (!used) {
+        Warn(kSpecUnusedParam, SpecLoc() + "/param:" + p.name,
+             "federated parameter " + p.name + " is never used",
+             "drop the parameter or wire it into a call");
+      }
+    }
+  }
+
+  /// A node is dead when neither an output, a join, nor another call consumes
+  /// it — it still executes (and costs a remote call) but cannot influence
+  /// the federated result.
+  void CheckDeadNodes() {
+    for (size_t i = 0; i < spec_.calls.size(); ++i) {
+      const SpecCall& call = spec_.calls[i];
+      if (call.id.empty()) continue;
+      bool consumed = false;
+      for (const SpecOutput& out : spec_.outputs) {
+        if (EqualsIgnoreCase(out.node, call.id)) consumed = true;
+      }
+      for (const SpecJoin& join : spec_.joins) {
+        if (EqualsIgnoreCase(join.left_node, call.id) ||
+            EqualsIgnoreCase(join.right_node, call.id)) {
+          consumed = true;
+        }
+      }
+      for (size_t j = 0; j < spec_.calls.size() && !consumed; ++j) {
+        if (j == i) continue;
+        for (const SpecArg& arg : spec_.calls[j].args) {
+          if (arg.kind == SpecArg::Kind::kNodeColumn &&
+              EqualsIgnoreCase(arg.node, call.id)) {
+            consumed = true;
+          }
+        }
+      }
+      if (!consumed) {
+        Warn(kSpecDeadNode, NodeLoc(call),
+             "call node '" + call.id +
+                 "' is consumed by no output, join or dependency",
+             "the remote call still runs and is paid for");
+      }
+    }
+  }
+
+  /// Kahn's algorithm over resolvable node dependencies; leftovers are on a
+  /// cycle. A cycle in the dependency graph has no do-until exit condition by
+  /// construction — iteration must use SpecLoop instead.
+  void CheckCycles() {
+    const size_t n = spec_.calls.size();
+    std::vector<std::set<size_t>> deps(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (const SpecArg& arg : spec_.calls[i].args) {
+        if (arg.kind != SpecArg::Kind::kNodeColumn) continue;
+        std::optional<size_t> d = CallIndex(arg.node);
+        if (d.has_value() && *d != i) deps[i].insert(*d);
+      }
+    }
+    std::vector<size_t> pending(n);
+    for (size_t i = 0; i < n; ++i) pending[i] = deps[i].size();
+    std::vector<bool> done(n, false);
+    bool progress = true;
+    size_t remaining = n;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (done[i] || pending[i] != 0) continue;
+        done[i] = true;
+        --remaining;
+        progress = true;
+        for (size_t j = 0; j < n; ++j) {
+          if (!done[j] && deps[j].count(i) > 0) --pending[j];
+        }
+      }
+    }
+    if (remaining == 0) return;
+    std::string nodes;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (!nodes.empty()) nodes += ", ";
+      nodes += spec_.calls[i].id;
+    }
+    Error(kSpecCycleWithoutExit, SpecLoc(),
+          "dependency cycle between call nodes {" + nodes +
+              "} has no do-until exit condition",
+          "node dependencies must be acyclic; express iteration via SpecLoop");
+  }
+
+  /// Cross-checks the classifier: a spec the single-statement SQL compiler
+  /// can express (no do-until loop) must never classify as cyclic/general,
+  /// and a looping spec must never classify as UDTF-supported. Catching
+  /// drift here keeps the paper's complexity matrix computed, not asserted.
+  void CheckClassification() {
+    if (HasErrors(diags_)) return;  // classifier needs a valid spec
+    Result<federation::MappingCase> c = federation::ClassifySpec(spec_);
+    if (!c.ok()) {
+      Error(kSpecClassificationInconsistent, SpecLoc(),
+            "spec lints clean but ClassifySpec rejects it: " +
+                c.status().ToString(),
+            "fedlint and the classifier disagree; file a bug");
+      return;
+    }
+    bool sql_expressible = !spec_.loop.enabled;
+    if (federation::UdtfSupports(*c) != sql_expressible) {
+      Error(kSpecClassificationInconsistent, SpecLoc(),
+            std::string("classification '") + federation::MappingCaseName(*c) +
+                "' contradicts the mapping structure (" +
+                (sql_expressible ? "expressible" : "not expressible") +
+                " as one SQL statement)",
+            "the UDTF compiler and ClassifySpec must agree");
+    }
+  }
+
+  const FederatedFunctionSpec& spec_;
+  const appsys::AppSystemRegistry& systems_;
+  /// Resolved local function per call node; nullptr when unresolvable.
+  std::vector<const appsys::LocalFunction*> functions_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> LintSpec(const federation::FederatedFunctionSpec& spec,
+                                 const appsys::AppSystemRegistry& systems) {
+  return SpecLinter(spec, systems).Run();
+}
+
+}  // namespace fedflow::analysis

@@ -1,0 +1,60 @@
+// fedlint pass 1: static analysis of a FederatedFunctionSpec against the
+// registered application systems. Unlike ValidateSpec/BindSpec (which stop at
+// the first violation with a bare Status), this pass reports EVERY defect it
+// can find as a structured Diagnostic, including findings the runtime would
+// never surface (dead call nodes, unused parameters, lossy coercions).
+#ifndef FEDFLOW_ANALYSIS_SPEC_LINT_H_
+#define FEDFLOW_ANALYSIS_SPEC_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "appsys/registry.h"
+#include "federation/spec.h"
+
+namespace fedflow::analysis {
+
+// Spec error codes (FF001..FF049).
+inline constexpr char kSpecNoName[] = "FF001";
+inline constexpr char kSpecNoCalls[] = "FF002";
+inline constexpr char kSpecDuplicateCallId[] = "FF003";
+inline constexpr char kSpecCallIncomplete[] = "FF004";
+inline constexpr char kSpecUnknownSystem[] = "FF005";
+inline constexpr char kSpecUnknownFunction[] = "FF006";
+inline constexpr char kSpecArityMismatch[] = "FF007";
+inline constexpr char kSpecDanglingNode[] = "FF008";
+inline constexpr char kSpecUnknownNodeColumn[] = "FF009";
+inline constexpr char kSpecSelfReference[] = "FF010";
+inline constexpr char kSpecCycleWithoutExit[] = "FF011";
+inline constexpr char kSpecUnknownParam[] = "FF012";
+inline constexpr char kSpecIterationOutsideLoop[] = "FF013";
+inline constexpr char kSpecBadLoopParam[] = "FF014";
+inline constexpr char kSpecNoOutputs[] = "FF015";
+inline constexpr char kSpecOutputUnnamed[] = "FF016";
+inline constexpr char kSpecOutputUnknownNode[] = "FF017";
+inline constexpr char kSpecOutputUnknownColumn[] = "FF018";
+inline constexpr char kSpecJoinUnknownNode[] = "FF019";
+inline constexpr char kSpecJoinUnknownColumn[] = "FF020";
+inline constexpr char kSpecArgTypeMismatch[] = "FF021";
+inline constexpr char kSpecJoinTypeMismatch[] = "FF022";
+inline constexpr char kSpecDuplicateOutput[] = "FF023";
+
+// Spec warning codes (FF050..FF069).
+inline constexpr char kSpecUnusedParam[] = "FF050";
+inline constexpr char kSpecDeadNode[] = "FF051";
+inline constexpr char kSpecLossyCoercion[] = "FF052";
+inline constexpr char kSpecLoopParamNotInteger[] = "FF053";
+
+// Classification consistency (FF070..FF099).
+inline constexpr char kSpecClassificationInconsistent[] = "FF070";
+
+/// Analyzes `spec` against `systems` and returns every finding. An empty
+/// result means the spec is clean; HasErrors() decides registrability. The
+/// pass never fails — unresolvable references produce diagnostics, and
+/// dependent checks (e.g. column types behind an unknown system) are skipped.
+std::vector<Diagnostic> LintSpec(const federation::FederatedFunctionSpec& spec,
+                                 const appsys::AppSystemRegistry& systems);
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_SPEC_LINT_H_

@@ -1,0 +1,359 @@
+#include "analysis/sql_lint.h"
+
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt || t == DataType::kBigInt || t == DataType::kDouble;
+}
+
+/// The SQL cast functions the I-UDTF compiler emits around output columns.
+std::optional<DataType> CastFunctionTarget(const std::string& name) {
+  if (EqualsIgnoreCase(name, "INT")) return DataType::kInt;
+  if (EqualsIgnoreCase(name, "BIGINT")) return DataType::kBigInt;
+  if (EqualsIgnoreCase(name, "DOUBLE")) return DataType::kDouble;
+  if (EqualsIgnoreCase(name, "VARCHAR")) return DataType::kVarchar;
+  return std::nullopt;
+}
+
+/// One FROM item with its resolved output schema (nullopt for base tables or
+/// unresolvable functions — column checks against it are skipped).
+struct FromScope {
+  std::string alias;
+  std::optional<Schema> schema;
+};
+
+class SqlLinter {
+ public:
+  SqlLinter(const sql::CreateFunctionStmt& stmt, const UdtfLookup& lookup)
+      : stmt_(stmt), lookup_(lookup) {}
+
+  std::vector<Diagnostic> Run() {
+    if (stmt_.body == nullptr) {
+      Error(kSqlNotCreateFunction, FnLoc(),
+            "function has no SQL body to analyze");
+      return std::move(diags_);
+    }
+    CheckFrom();
+    CheckSelectList();
+    if (stmt_.body->where != nullptr) {
+      CheckExpr(*stmt_.body->where, FnLoc() + "/where", scope_.size());
+    }
+    CheckReturns();
+    return std::move(diags_);
+  }
+
+ private:
+  void Error(const char* code, std::string location, std::string message,
+             std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kError, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+  void Warn(const char* code, std::string location, std::string message,
+            std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kWarning, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+
+  std::string FnLoc() const { return "function:" + stmt_.name; }
+
+  std::optional<size_t> ParamIndex(const std::string& name) const {
+    for (size_t i = 0; i < stmt_.params.size(); ++i) {
+      if (EqualsIgnoreCase(stmt_.params[i].name, name)) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Index of `alias` among the first `visible` FROM items.
+  std::optional<size_t> AliasIndex(const std::string& alias,
+                                   size_t visible) const {
+    for (size_t i = 0; i < visible && i < scope_.size(); ++i) {
+      if (EqualsIgnoreCase(scope_[i].alias, alias)) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Resolves the FROM clause left-to-right: every TABLE(fn(...)) must name a
+  /// registered A-UDTF, its arguments may reference only aliases strictly to
+  /// the LEFT (lateral correlation), and aliases must be unique.
+  void CheckFrom() {
+    for (size_t k = 0; k < stmt_.body->from.size(); ++k) {
+      const sql::TableRef& ref = stmt_.body->from[k];
+      std::string alias = ref.alias.empty() ? ref.name : ref.alias;
+      std::string loc = FnLoc() + "/from:" + alias;
+      if (AliasIndex(alias, scope_.size()).has_value()) {
+        Error(kSqlDuplicateAlias, loc,
+              "duplicate FROM alias '" + alias + "'");
+      }
+      std::optional<Schema> schema;
+      std::optional<UdtfSignature> sig;
+      if (ref.kind == sql::TableRefKind::kTableFunction) {
+        sig = lookup_(ref.name);
+        if (!sig.has_value()) {
+          Error(kSqlUnknownTableFunction, loc,
+                "TABLE(...) references unknown function '" + ref.name + "'",
+                "is the A-UDTF registered in the FDBS catalog?");
+        } else {
+          schema = sig->result_schema;
+          if (ref.args.size() != sig->params.size()) {
+            Error(kSqlArgArityMismatch, loc,
+                  ref.name + " expects " +
+                      std::to_string(sig->params.size()) +
+                      " argument(s), call supplies " +
+                      std::to_string(ref.args.size()));
+          }
+        }
+        // Lateral rule: args see only FROM items already in scope (strictly
+        // to the left of this one).
+        for (size_t a = 0; a < ref.args.size(); ++a) {
+          std::string arg_loc = loc + "/arg:" + std::to_string(a + 1);
+          CheckExpr(*ref.args[a], arg_loc, k, /*lateral=*/true);
+          if (sig.has_value() && a < sig->params.size()) {
+            std::optional<DataType> got = StaticType(*ref.args[a], k);
+            if (got.has_value()) {
+              DataType want = sig->params[a].type;
+              if (*got != want && !(IsNumeric(*got) && IsNumeric(want))) {
+                Warn(kSqlArgTypeMismatch, arg_loc,
+                     "argument has type " + std::string(DataTypeName(*got)) +
+                         " but parameter " + sig->params[a].name + " of " +
+                         ref.name + " is " + DataTypeName(want));
+              }
+            }
+          }
+        }
+      }
+      scope_.push_back(FromScope{std::move(alias), std::move(schema)});
+    }
+  }
+
+  void CheckSelectList() {
+    for (size_t i = 0; i < stmt_.body->items.size(); ++i) {
+      const sql::SelectItem& item = stmt_.body->items[i];
+      if (item.is_star || item.expr == nullptr) continue;
+      CheckExpr(*item.expr, FnLoc() + "/select:" + std::to_string(i + 1),
+                scope_.size());
+    }
+  }
+
+  /// RETURNS clause vs SELECT list: arity always; column types when the item
+  /// is a plain or cast-wrapped column reference whose type resolves.
+  void CheckReturns() {
+    bool has_star = false;
+    for (const sql::SelectItem& item : stmt_.body->items) {
+      if (item.is_star) has_star = true;
+    }
+    if (has_star) return;  // arity only known at bind time
+    if (stmt_.body->items.size() != stmt_.returns.num_columns()) {
+      Error(kSqlReturnsArityMismatch, FnLoc() + "/returns",
+            "RETURNS TABLE declares " +
+                std::to_string(stmt_.returns.num_columns()) +
+                " column(s) but the body SELECT produces " +
+                std::to_string(stmt_.body->items.size()));
+      return;
+    }
+    for (size_t i = 0; i < stmt_.body->items.size(); ++i) {
+      const sql::SelectItem& item = stmt_.body->items[i];
+      if (item.expr == nullptr) continue;
+      std::optional<DataType> got = StaticType(*item.expr, scope_.size());
+      if (!got.has_value()) continue;
+      DataType want = stmt_.returns.column(i).type;
+      if (*got == want) continue;
+      if (IsNumeric(*got) && IsNumeric(want)) continue;
+      Warn(kSqlReturnTypeMismatch,
+           FnLoc() + "/select:" + std::to_string(i + 1),
+           "SELECT item has type " + std::string(DataTypeName(*got)) +
+               " but RETURNS column " + stmt_.returns.column(i).name +
+               " is " + DataTypeName(want));
+    }
+  }
+
+  /// Static type of an expression against the first `visible` FROM items;
+  /// nullopt when it cannot be determined without execution.
+  std::optional<DataType> StaticType(const sql::Expr& expr,
+                                     size_t visible) const {
+    switch (expr.kind()) {
+      case sql::ExprKind::kLiteral: {
+        const Value& v = static_cast<const sql::LiteralExpr&>(expr).value();
+        return v.is_null() ? std::nullopt : std::optional<DataType>(v.type());
+      }
+      case sql::ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+        if (EqualsIgnoreCase(ref.qualifier(), stmt_.name)) {
+          std::optional<size_t> p = ParamIndex(ref.name());
+          if (p.has_value()) return stmt_.params[*p].type;
+          return std::nullopt;
+        }
+        std::optional<size_t> idx = AliasIndex(ref.qualifier(), visible);
+        if (!idx.has_value() || !scope_[*idx].schema.has_value()) {
+          return std::nullopt;
+        }
+        std::optional<size_t> col =
+            scope_[*idx].schema->IndexOf(ref.name());
+        if (!col.has_value()) return std::nullopt;
+        return scope_[*idx].schema->column(*col).type;
+      }
+      case sql::ExprKind::kFunctionCall: {
+        const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+        return CastFunctionTarget(call.name());
+      }
+      case sql::ExprKind::kBinary:
+      case sql::ExprKind::kUnary:
+      case sql::ExprKind::kCase:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Resolves every column reference of `expr` against the first `visible`
+  /// FROM items plus the function's own parameters. With `lateral` set,
+  /// unresolvable aliases are reported as forward references (FF203) instead
+  /// of plain unknown references (FF205).
+  void CheckExpr(const sql::Expr& expr, const std::string& loc, size_t visible,
+                 bool lateral = false) {
+    switch (expr.kind()) {
+      case sql::ExprKind::kLiteral:
+        return;
+      case sql::ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+        CheckColumnRef(ref, loc, visible, lateral);
+        return;
+      }
+      case sql::ExprKind::kFunctionCall: {
+        const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+        for (const sql::ExprPtr& arg : call.args()) {
+          CheckExpr(*arg, loc, visible, lateral);
+        }
+        return;
+      }
+      case sql::ExprKind::kBinary: {
+        const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+        CheckExpr(*b.left(), loc, visible, lateral);
+        CheckExpr(*b.right(), loc, visible, lateral);
+        return;
+      }
+      case sql::ExprKind::kUnary:
+        CheckExpr(*static_cast<const sql::UnaryExpr&>(expr).operand(), loc,
+                  visible, lateral);
+        return;
+      case sql::ExprKind::kCase: {
+        const auto& c = static_cast<const sql::CaseExpr&>(expr);
+        for (const sql::CaseExpr::Branch& br : c.branches()) {
+          CheckExpr(*br.condition, loc, visible, lateral);
+          CheckExpr(*br.value, loc, visible, lateral);
+        }
+        if (c.else_value() != nullptr) {
+          CheckExpr(*c.else_value(), loc, visible, lateral);
+        }
+        return;
+      }
+    }
+  }
+
+  void CheckColumnRef(const sql::ColumnRefExpr& ref, const std::string& loc,
+                      size_t visible, bool lateral) {
+    // FunctionName.Param — DB2-style reference to the function's own
+    // parameter.
+    if (EqualsIgnoreCase(ref.qualifier(), stmt_.name)) {
+      if (!ParamIndex(ref.name()).has_value()) {
+        Error(kSqlUnknownParam, loc,
+              "reference " + ref.ToSql() + " names no declared parameter",
+              "parameters: " + ParamNames());
+      }
+      return;
+    }
+    if (ref.qualifier().empty()) {
+      // Unqualified: resolvable iff exactly one visible schema has the
+      // column, or it names a parameter.
+      if (ParamIndex(ref.name()).has_value()) return;
+      int hits = 0;
+      bool unknown_schema = false;
+      for (size_t i = 0; i < visible && i < scope_.size(); ++i) {
+        if (!scope_[i].schema.has_value()) {
+          unknown_schema = true;
+          continue;
+        }
+        if (scope_[i].schema->IndexOf(ref.name()).has_value()) ++hits;
+      }
+      if (hits == 0 && !unknown_schema) {
+        Error(lateral ? kSqlLateralForwardRef : kSqlUnknownRef, loc,
+              "unqualified reference " + ref.name() +
+                  " resolves to no visible column");
+      }
+      return;
+    }
+    std::optional<size_t> idx = AliasIndex(ref.qualifier(), visible);
+    if (!idx.has_value()) {
+      if (lateral && AliasAppearsAnywhere(ref.qualifier())) {
+        Error(kSqlLateralForwardRef, loc,
+              "lateral argument references " + ref.ToSql() +
+                  " but alias '" + ref.qualifier() +
+                  "' is defined to its right",
+              "DB2 lateral correlation only sees FROM items to the left");
+      } else {
+        Error(lateral ? kSqlLateralForwardRef : kSqlUnknownRef, loc,
+              "reference " + ref.ToSql() + " names unknown alias '" +
+                  ref.qualifier() + "'");
+      }
+      return;
+    }
+    if (!scope_[*idx].schema.has_value()) return;  // base table: skip
+    if (!scope_[*idx].schema->IndexOf(ref.name()).has_value()) {
+      Error(lateral ? kSqlLateralUnknownColumn : kSqlUnknownRef, loc,
+            "function aliased '" + scope_[*idx].alias +
+                "' has no output column '" + ref.name() + "'",
+            "columns: " + scope_[*idx].schema->ToString());
+    }
+  }
+
+  /// Whether `alias` names ANY FROM item of the body, scanned or not —
+  /// distinguishes a forward lateral reference from a plain unknown alias.
+  bool AliasAppearsAnywhere(const std::string& alias) const {
+    for (const sql::TableRef& ref : stmt_.body->from) {
+      const std::string& a = ref.alias.empty() ? ref.name : ref.alias;
+      if (EqualsIgnoreCase(a, alias)) return true;
+    }
+    return false;
+  }
+
+  std::string ParamNames() const {
+    std::string out;
+    for (size_t i = 0; i < stmt_.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt_.params[i].name;
+    }
+    return out.empty() ? "<none>" : out;
+  }
+
+  const sql::CreateFunctionStmt& stmt_;
+  const UdtfLookup& lookup_;
+  std::vector<FromScope> scope_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> LintIUdtfSql(const std::string& sql,
+                                     const UdtfLookup& lookup) {
+  Result<sql::Statement> parsed = sql::Parse(sql);
+  if (!parsed.ok()) {
+    return {Diagnostic{Severity::kError, kSqlParseError, "function:<unparsed>",
+                       "SQL does not parse: " + parsed.status().message(), ""}};
+  }
+  if (parsed->kind != sql::StatementKind::kCreateFunction) {
+    return {Diagnostic{Severity::kError, kSqlNotCreateFunction,
+                       "function:<unparsed>",
+                       "statement is not CREATE FUNCTION ... LANGUAGE SQL",
+                       "I-UDTF bodies are single SQL-bodied functions"}};
+  }
+  return SqlLinter(*parsed->create_function, lookup).Run();
+}
+
+}  // namespace fedflow::analysis

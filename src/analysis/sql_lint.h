@@ -1,0 +1,54 @@
+// fedlint pass 3: static analysis of generated I-UDTF SQL. Parses a
+// CREATE FUNCTION ... LANGUAGE SQL RETURN SELECT text and resolves every
+// reference WITHOUT executing it: lateral TABLE(...) arguments strictly
+// left-to-right against the A-UDTF output schemas (DB2's correlation rule),
+// SELECT-list and WHERE references against the full FROM scope, and
+// FunctionName.Param references against the declared parameters.
+#ifndef FEDFLOW_ANALYSIS_SQL_LINT_H_
+#define FEDFLOW_ANALYSIS_SQL_LINT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/schema.h"
+
+namespace fedflow::analysis {
+
+// SQL error codes (FF200..FF249).
+inline constexpr char kSqlParseError[] = "FF200";
+inline constexpr char kSqlNotCreateFunction[] = "FF201";
+inline constexpr char kSqlUnknownTableFunction[] = "FF202";
+inline constexpr char kSqlLateralForwardRef[] = "FF203";
+inline constexpr char kSqlLateralUnknownColumn[] = "FF204";
+inline constexpr char kSqlUnknownRef[] = "FF205";
+inline constexpr char kSqlDuplicateAlias[] = "FF206";
+inline constexpr char kSqlReturnsArityMismatch[] = "FF207";
+inline constexpr char kSqlUnknownParam[] = "FF208";
+inline constexpr char kSqlArgArityMismatch[] = "FF209";
+
+// SQL warning codes (FF250..FF299).
+inline constexpr char kSqlReturnTypeMismatch[] = "FF250";
+inline constexpr char kSqlArgTypeMismatch[] = "FF251";
+
+/// Signature of an A-UDTF as registered in the FDBS catalog.
+struct UdtfSignature {
+  std::vector<Column> params;
+  Schema result_schema;
+};
+
+/// Resolves a table-function name (case-insensitive) to its signature;
+/// nullopt when no such function is registered.
+using UdtfLookup =
+    std::function<std::optional<UdtfSignature>(const std::string& name)>;
+
+/// Analyzes one CREATE FUNCTION text. `lookup` supplies the A-UDTF schemas
+/// the body's FROM clause references. Parse failures yield a single FF200.
+std::vector<Diagnostic> LintIUdtfSql(const std::string& sql,
+                                     const UdtfLookup& lookup);
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_SQL_LINT_H_

@@ -1,0 +1,647 @@
+#include "analysis/workflow_lint.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+#include "sql/ast.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+using wfms::ActivityDef;
+using wfms::ActivityKind;
+using wfms::ControlConnector;
+using wfms::InputSource;
+using wfms::ProcessDefinition;
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt || t == DataType::kBigInt || t == DataType::kDouble;
+}
+
+/// Constant-folds an expression to a Value when every leaf is a literal.
+/// Covers the operators transition conditions use (NOT, AND, OR,
+/// comparisons, IS [NOT] NULL); anything else is "not constant".
+std::optional<Value> EvalConst(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kLiteral:
+      return static_cast<const sql::LiteralExpr&>(expr).value();
+    case sql::ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+      std::optional<Value> v = EvalConst(*u.operand());
+      if (!v.has_value()) return std::nullopt;
+      switch (u.op()) {
+        case sql::UnaryOp::kNot:
+          if (v->is_null()) return Value::Null();
+          if (v->type() != DataType::kBool) return std::nullopt;
+          return Value::Bool(!v->AsBool());
+        case sql::UnaryOp::kIsNull:
+          return Value::Bool(v->is_null());
+        case sql::UnaryOp::kIsNotNull:
+          return Value::Bool(!v->is_null());
+        case sql::UnaryOp::kNeg:
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case sql::ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      std::optional<Value> l = EvalConst(*b.left());
+      std::optional<Value> r = EvalConst(*b.right());
+      if (!l.has_value() || !r.has_value()) return std::nullopt;
+      auto as_bool = [](const Value& v) -> std::optional<bool> {
+        if (v.is_null()) return std::nullopt;  // SQL unknown
+        if (v.type() != DataType::kBool) return std::nullopt;
+        return v.AsBool();
+      };
+      switch (b.op()) {
+        case sql::BinaryOp::kAnd: {
+          std::optional<bool> lb = as_bool(*l), rb = as_bool(*r);
+          if (lb.has_value() && !*lb) return Value::Bool(false);
+          if (rb.has_value() && !*rb) return Value::Bool(false);
+          if (lb.has_value() && rb.has_value()) return Value::Bool(true);
+          return Value::Null();
+        }
+        case sql::BinaryOp::kOr: {
+          std::optional<bool> lb = as_bool(*l), rb = as_bool(*r);
+          if (lb.has_value() && *lb) return Value::Bool(true);
+          if (rb.has_value() && *rb) return Value::Bool(true);
+          if (lb.has_value() && rb.has_value()) return Value::Bool(false);
+          return Value::Null();
+        }
+        case sql::BinaryOp::kEq:
+        case sql::BinaryOp::kNe:
+        case sql::BinaryOp::kLt:
+        case sql::BinaryOp::kLe:
+        case sql::BinaryOp::kGt:
+        case sql::BinaryOp::kGe: {
+          if (l->is_null() || r->is_null()) return Value::Null();
+          Result<int> cmp = l->Compare(*r);
+          if (!cmp.ok()) return std::nullopt;
+          if (b.op() == sql::BinaryOp::kEq) return Value::Bool(*cmp == 0);
+          if (b.op() == sql::BinaryOp::kNe) return Value::Bool(*cmp != 0);
+          if (b.op() == sql::BinaryOp::kLt) return Value::Bool(*cmp < 0);
+          if (b.op() == sql::BinaryOp::kLe) return Value::Bool(*cmp <= 0);
+          if (b.op() == sql::BinaryOp::kGt) return Value::Bool(*cmp > 0);
+          return Value::Bool(*cmp >= 0);
+        }
+        case sql::BinaryOp::kAdd:
+        case sql::BinaryOp::kSub:
+        case sql::BinaryOp::kMul:
+        case sql::BinaryOp::kDiv:
+        case sql::BinaryOp::kMod:
+        case sql::BinaryOp::kConcat:
+        case sql::BinaryOp::kLike:
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case sql::ExprKind::kColumnRef:
+    case sql::ExprKind::kFunctionCall:
+    case sql::ExprKind::kCase:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// A transition condition that can never fire: constant FALSE or constant
+/// NULL (unknown does not fire a connector).
+bool IsConstantFalse(const sql::Expr& expr) {
+  std::optional<Value> v = EvalConst(expr);
+  if (!v.has_value()) return false;
+  if (v->is_null()) return true;
+  return v->type() == DataType::kBool && !v->AsBool();
+}
+
+/// The comparison operator that is the logical complement of `op`, if any.
+std::optional<sql::BinaryOp> ComplementOp(sql::BinaryOp op) {
+  if (op == sql::BinaryOp::kEq) return sql::BinaryOp::kNe;
+  if (op == sql::BinaryOp::kNe) return sql::BinaryOp::kEq;
+  if (op == sql::BinaryOp::kLt) return sql::BinaryOp::kGe;
+  if (op == sql::BinaryOp::kGe) return sql::BinaryOp::kLt;
+  if (op == sql::BinaryOp::kGt) return sql::BinaryOp::kLe;
+  if (op == sql::BinaryOp::kLe) return sql::BinaryOp::kGt;
+  return std::nullopt;
+}
+
+/// Structural complement check: `NOT x` vs `x`, or the same comparison with
+/// the complementary operator (`a > b` vs `a <= b`). Conservative — a miss
+/// only means no warning.
+bool AreComplementary(const sql::Expr& a, const sql::Expr& b) {
+  if (a.kind() == sql::ExprKind::kUnary) {
+    const auto& u = static_cast<const sql::UnaryExpr&>(a);
+    if (u.op() == sql::UnaryOp::kNot &&
+        u.operand()->ToSql() == b.ToSql()) {
+      return true;
+    }
+  }
+  if (b.kind() == sql::ExprKind::kUnary) {
+    const auto& u = static_cast<const sql::UnaryExpr&>(b);
+    if (u.op() == sql::UnaryOp::kNot &&
+        u.operand()->ToSql() == a.ToSql()) {
+      return true;
+    }
+  }
+  if (a.kind() == sql::ExprKind::kBinary &&
+      b.kind() == sql::ExprKind::kBinary) {
+    const auto& ba = static_cast<const sql::BinaryExpr&>(a);
+    const auto& bb = static_cast<const sql::BinaryExpr&>(b);
+    std::optional<sql::BinaryOp> comp = ComplementOp(ba.op());
+    if (comp.has_value() && *comp == bb.op() &&
+        ba.left()->ToSql() == bb.left()->ToSql() &&
+        ba.right()->ToSql() == bb.right()->ToSql()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collects unqualified column references (process-input / loop-counter
+/// reads) of a condition expression into `out`.
+void CollectUnqualifiedRefs(const sql::Expr& expr,
+                            std::vector<std::string>* out) {
+  switch (expr.kind()) {
+    case sql::ExprKind::kLiteral:
+      return;
+    case sql::ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      if (ref.qualifier().empty()) out->push_back(ref.name());
+      return;
+    }
+    case sql::ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+      for (const sql::ExprPtr& arg : call.args()) {
+        CollectUnqualifiedRefs(*arg, out);
+      }
+      return;
+    }
+    case sql::ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      CollectUnqualifiedRefs(*b.left(), out);
+      CollectUnqualifiedRefs(*b.right(), out);
+      return;
+    }
+    case sql::ExprKind::kUnary:
+      CollectUnqualifiedRefs(
+          *static_cast<const sql::UnaryExpr&>(expr).operand(), out);
+      return;
+    case sql::ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      for (const sql::CaseExpr::Branch& br : c.branches()) {
+        CollectUnqualifiedRefs(*br.condition, out);
+        CollectUnqualifiedRefs(*br.value, out);
+      }
+      if (c.else_value() != nullptr) {
+        CollectUnqualifiedRefs(*c.else_value(), out);
+      }
+      return;
+    }
+  }
+}
+
+class ProcessLinter {
+ public:
+  /// `external_uses` names sub-process params read from outside, e.g. by the
+  /// enclosing block activity's exit condition; they count as used for FF153.
+  ProcessLinter(const ProcessDefinition& def,
+                const appsys::AppSystemRegistry& systems,
+                std::vector<std::string> external_uses = {})
+      : def_(def), systems_(systems), external_uses_(std::move(external_uses)) {}
+
+  std::vector<Diagnostic> Run() {
+    if (def_.name.empty()) {
+      Error(kWfNoName, ProcLoc(), "process has no name");
+    }
+    if (def_.activities.empty()) {
+      Error(kWfNoActivities, ProcLoc(), "process has no activities");
+      return std::move(diags_);
+    }
+    ResolveActivities();
+    CheckOutputActivity();
+    BuildGraph();
+    CheckActivities();
+    CheckDeadActivities();
+    CheckConditions();
+    CheckUnusedProcessInputs();
+    return std::move(diags_);
+  }
+
+ private:
+  void Error(const char* code, std::string location, std::string message,
+             std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kError, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+  void Warn(const char* code, std::string location, std::string message,
+            std::string note = "") {
+    diags_.push_back(Diagnostic{Severity::kWarning, code, std::move(location),
+                                std::move(message), std::move(note)});
+  }
+
+  std::string ProcLoc() const {
+    return "process:" +
+           (def_.name.empty() ? std::string("<unnamed>") : def_.name);
+  }
+  std::string ActLoc(const ActivityDef& a) const {
+    return ProcLoc() + "/activity:" + (a.name.empty() ? "<unnamed>" : a.name);
+  }
+  std::string InputLoc(const ActivityDef& a, size_t i) const {
+    return ActLoc(a) + "/input:" + std::to_string(i + 1);
+  }
+  std::string ConnLoc(const ControlConnector& c) const {
+    return ProcLoc() + "/connector:" + c.from + "->" + c.to;
+  }
+
+  std::optional<size_t> ActivityIndex(const std::string& name) const {
+    for (size_t i = 0; i < def_.activities.size(); ++i) {
+      if (EqualsIgnoreCase(def_.activities[i].name, name)) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Duplicate names and program-function resolution.
+  void ResolveActivities() {
+    const size_t n = def_.activities.size();
+    functions_.resize(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      const ActivityDef& a = def_.activities[i];
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!a.name.empty() &&
+            EqualsIgnoreCase(a.name, def_.activities[j].name)) {
+          Error(kWfDuplicateActivity, ActLoc(def_.activities[j]),
+                "duplicate activity name '" + def_.activities[j].name + "'");
+        }
+      }
+      if (a.kind != ActivityKind::kProgram) continue;
+      if (a.system.empty() || a.function.empty()) {
+        Error(kWfProgramIncomplete, ActLoc(a),
+              "program activity must name an application system and a "
+              "function");
+        continue;
+      }
+      Result<appsys::AppSystem*> sys = systems_.Get(a.system);
+      if (!sys.ok()) {
+        Error(kWfUnknownSystem, ActLoc(a),
+              "unknown application system '" + a.system + "'");
+        continue;
+      }
+      Result<const appsys::LocalFunction*> fn = (*sys)->GetFunction(a.function);
+      if (!fn.ok()) {
+        Error(kWfUnknownFunction, ActLoc(a),
+              "application system '" + a.system + "' has no function '" +
+                  a.function + "'");
+        continue;
+      }
+      functions_[i] = *fn;
+    }
+  }
+
+  void CheckOutputActivity() {
+    output_index_ = ActivityIndex(def_.output_activity);
+    if (!output_index_.has_value()) {
+      Error(kWfUnknownOutputActivity, ProcLoc() + "/output",
+            "output activity '" + def_.output_activity + "' does not exist");
+    }
+  }
+
+  /// Successor lists and the reachability matrix; also connector endpoint
+  /// and cycle diagnostics.
+  void BuildGraph() {
+    const size_t n = def_.activities.size();
+    succ_.assign(n, {});
+    for (const ControlConnector& c : def_.connectors) {
+      std::optional<size_t> from = ActivityIndex(c.from);
+      std::optional<size_t> to = ActivityIndex(c.to);
+      if (!from.has_value()) {
+        Error(kWfUnknownConnectorEndpoint, ConnLoc(c),
+              "connector starts at unknown activity '" + c.from + "'");
+      }
+      if (!to.has_value()) {
+        Error(kWfUnknownConnectorEndpoint, ConnLoc(c),
+              "connector ends at unknown activity '" + c.to + "'");
+      }
+      if (!from.has_value() || !to.has_value()) continue;
+      if (*from == *to) {
+        Error(kWfSelfLoopConnector, ConnLoc(c),
+              "self-loop connector on '" + c.from + "'",
+              "use a block activity with an exit condition for loops");
+        continue;
+      }
+      succ_[*from].push_back(*to);
+    }
+    reach_.assign(n, std::vector<bool>(n, false));
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<size_t> stack = {i};
+      while (!stack.empty()) {
+        size_t cur = stack.back();
+        stack.pop_back();
+        for (size_t next : succ_[cur]) {
+          if (!reach_[i][next]) {
+            reach_[i][next] = true;
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (reach_[i][i]) {
+        Error(kWfControlCycle, ActLoc(def_.activities[i]),
+              "control-flow cycle through activity '" +
+                  def_.activities[i].name + "'",
+              "loops are expressed as block activities with exit conditions");
+      }
+    }
+  }
+
+  /// Static type of activity `src`'s output column `column`, when the source
+  /// is a program activity with a resolved signature.
+  std::optional<DataType> SourceColumnType(size_t src,
+                                           const std::string& column) const {
+    if (functions_[src] == nullptr) return std::nullopt;
+    std::optional<size_t> idx =
+        functions_[src]->result_schema.IndexOf(column);
+    if (!idx.has_value()) return std::nullopt;
+    return functions_[src]->result_schema.column(*idx).type;
+  }
+
+  std::optional<DataType> ProcessInputType(const std::string& field) const {
+    for (const Column& p : def_.input_params) {
+      if (EqualsIgnoreCase(p.name, field)) return p.type;
+    }
+    return std::nullopt;
+  }
+
+  void CheckActivities() {
+    for (size_t i = 0; i < def_.activities.size(); ++i) {
+      const ActivityDef& a = def_.activities[i];
+      switch (a.kind) {
+        case ActivityKind::kProgram:
+          if (functions_[i] != nullptr &&
+              a.inputs.size() != functions_[i]->params.size()) {
+            Error(kWfInputArityMismatch, ActLoc(a),
+                  a.system + "." + a.function + " expects " +
+                      std::to_string(functions_[i]->params.size()) +
+                      " input(s), activity supplies " +
+                      std::to_string(a.inputs.size()));
+          }
+          break;
+        case ActivityKind::kHelper:
+          if (a.helper.empty()) {
+            Error(kWfHelperUnnamed, ActLoc(a),
+                  "helper activity must name a registered helper function");
+          }
+          break;
+        case ActivityKind::kBlock:
+          if (a.sub == nullptr) {
+            Error(kWfBlockWithoutSub, ActLoc(a),
+                  "block activity has no sub-process");
+          } else {
+            if (a.inputs.size() != a.sub->input_params.size()) {
+              Error(kWfBlockArityMismatch, ActLoc(a),
+                    "block supplies " + std::to_string(a.inputs.size()) +
+                        " input(s) but sub-process '" + a.sub->name +
+                        "' declares " +
+                        std::to_string(a.sub->input_params.size()));
+            }
+            // Recurse into the sub-workflow. The block's exit condition is
+            // evaluated in the sub-process scope, so params it references
+            // count as used there.
+            std::vector<std::string> exit_refs;
+            if (a.exit_condition != nullptr) {
+              CollectUnqualifiedRefs(*a.exit_condition, &exit_refs);
+            }
+            std::vector<Diagnostic> sub =
+                ProcessLinter(*a.sub, systems_, std::move(exit_refs)).Run();
+            diags_.insert(diags_.end(), sub.begin(), sub.end());
+          }
+          if (a.max_iterations <= 0) {
+            Error(kWfBadMaxIterations, ActLoc(a),
+                  "non-positive max_iterations " +
+                      std::to_string(a.max_iterations));
+          }
+          break;
+      }
+      CheckInputs(i);
+    }
+  }
+
+  void CheckInputs(size_t i) {
+    const ActivityDef& a = def_.activities[i];
+    for (size_t k = 0; k < a.inputs.size(); ++k) {
+      const InputSource& in = a.inputs[k];
+      std::optional<DataType> got;
+      switch (in.kind) {
+        case InputSource::Kind::kConstant:
+          if (!in.constant.is_null()) got = in.constant.type();
+          break;
+        case InputSource::Kind::kProcessInput: {
+          got = ProcessInputType(in.param);
+          if (!got.has_value()) {
+            bool declared = false;
+            for (const Column& p : def_.input_params) {
+              if (EqualsIgnoreCase(p.name, in.param)) declared = true;
+            }
+            if (!declared) {
+              Error(kWfUnknownProcessInput, InputLoc(a, k),
+                    "reads unknown process input field '" + in.param + "'",
+                    "declared fields: " + InputFieldNames());
+            }
+          }
+          break;
+        }
+        case InputSource::Kind::kActivityOutput: {
+          std::optional<size_t> src = ActivityIndex(in.activity);
+          if (!src.has_value()) {
+            Error(kWfSourceUnknownActivity, InputLoc(a, k),
+                  "reads output of unknown activity '" + in.activity + "'");
+            break;
+          }
+          if (*src == i) {
+            Error(kWfSelfInput, InputLoc(a, k),
+                  "activity reads its own output");
+            break;
+          }
+          if (!reach_[*src][i]) {
+            Error(kWfSourceCannotPrecede, InputLoc(a, k),
+                  "reads output of '" + in.activity +
+                      "' but no control path guarantees it ran first",
+                  "add a control connector from '" + in.activity + "' to '" +
+                      a.name + "'");
+          }
+          if (!in.column.empty() && functions_[*src] != nullptr &&
+              !functions_[*src]->result_schema.IndexOf(in.column)
+                   .has_value()) {
+            Error(kWfSourceUnknownColumn, InputLoc(a, k),
+                  "activity '" + in.activity + "' has no output column '" +
+                      in.column + "'",
+                  "columns: " + functions_[*src]->result_schema.ToString());
+          }
+          if (!in.column.empty()) got = SourceColumnType(*src, in.column);
+          break;
+        }
+      }
+      // Container type check against the program signature.
+      if (a.kind != ActivityKind::kProgram || functions_[i] == nullptr ||
+          k >= functions_[i]->params.size() || !got.has_value()) {
+        continue;
+      }
+      DataType want = functions_[i]->params[k].type;
+      if (*got == want) continue;
+      if (IsNumeric(*got) && IsNumeric(want)) continue;  // coercible
+      Error(kWfInputTypeMismatch, InputLoc(a, k),
+            "input has type " + std::string(DataTypeName(*got)) +
+                " but parameter " + functions_[i]->params[k].name + " of " +
+                a.system + "." + a.function + " is " + DataTypeName(want));
+    }
+  }
+
+  std::string InputFieldNames() const {
+    std::string out;
+    for (size_t i = 0; i < def_.input_params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += def_.input_params[i].name;
+    }
+    return out.empty() ? "<none>" : out;
+  }
+
+  /// An activity is dead when the output activity is unreachable from it and
+  /// no other activity consumes its output container.
+  void CheckDeadActivities() {
+    if (!output_index_.has_value()) return;
+    const size_t out = *output_index_;
+    for (size_t i = 0; i < def_.activities.size(); ++i) {
+      if (i == out || reach_[i][out]) continue;
+      bool consumed = false;
+      for (size_t j = 0; j < def_.activities.size() && !consumed; ++j) {
+        if (j == i) continue;
+        for (const InputSource& in : def_.activities[j].inputs) {
+          if (in.kind == InputSource::Kind::kActivityOutput &&
+              EqualsIgnoreCase(in.activity, def_.activities[i].name)) {
+            consumed = true;
+          }
+        }
+      }
+      if (!consumed) {
+        Warn(kWfDeadActivity, ActLoc(def_.activities[i]),
+             "activity cannot reach the output activity '" +
+                 def_.output_activity + "' and nothing consumes its output",
+             "it still runs (and is paid for) on every instance");
+      }
+    }
+  }
+
+  /// Constant-false transition conditions and contradictory fork conditions
+  /// in front of an AND-join.
+  void CheckConditions() {
+    for (const ControlConnector& c : def_.connectors) {
+      if (c.condition != nullptr && IsConstantFalse(*c.condition)) {
+        Warn(kWfConstantFalseCondition, ConnLoc(c),
+             "transition condition " + c.condition->ToSql() +
+                 " can never fire",
+             "the target becomes a permanent dead path");
+      }
+    }
+    // Fork with complementary conditions: at most one branch survives; any
+    // AND-join fed by both branches can never start.
+    for (size_t x = 0; x < def_.activities.size(); ++x) {
+      std::vector<const ControlConnector*> outgoing;
+      for (const ControlConnector& c : def_.connectors) {
+        std::optional<size_t> from = ActivityIndex(c.from);
+        if (from.has_value() && *from == x && c.condition != nullptr) {
+          outgoing.push_back(&c);
+        }
+      }
+      for (size_t p = 0; p < outgoing.size(); ++p) {
+        for (size_t q = p + 1; q < outgoing.size(); ++q) {
+          if (!AreComplementary(*outgoing[p]->condition,
+                                *outgoing[q]->condition)) {
+            continue;
+          }
+          std::optional<size_t> t1 = ActivityIndex(outgoing[p]->to);
+          std::optional<size_t> t2 = ActivityIndex(outgoing[q]->to);
+          if (!t1.has_value() || !t2.has_value()) continue;
+          for (size_t j = 0; j < def_.activities.size(); ++j) {
+            if (def_.activities[j].join != wfms::JoinKind::kAnd) continue;
+            bool from_t1 = (j == *t1) || reach_[*t1][j];
+            bool from_t2 = (j == *t2) || reach_[*t2][j];
+            if (from_t1 && from_t2 && HasMultipleIncoming(j)) {
+              Warn(kWfContradictoryFork, ActLoc(def_.activities[j]),
+                   "AND-join depends on both branches of the contradictory "
+                   "fork at '" +
+                       def_.activities[x].name + "' (" +
+                       outgoing[p]->condition->ToSql() + " vs " +
+                       outgoing[q]->condition->ToSql() + ")",
+                   "at most one branch fires, so this activity is always "
+                   "dead-path-eliminated");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool HasMultipleIncoming(size_t j) const {
+    int count = 0;
+    for (const ControlConnector& c : def_.connectors) {
+      std::optional<size_t> to = ActivityIndex(c.to);
+      if (to.has_value() && *to == j) ++count;
+    }
+    return count >= 2;
+  }
+
+  void CheckUnusedProcessInputs() {
+    std::vector<std::string> cond_refs;
+    for (const ControlConnector& c : def_.connectors) {
+      if (c.condition != nullptr) {
+        CollectUnqualifiedRefs(*c.condition, &cond_refs);
+      }
+    }
+    for (const ActivityDef& a : def_.activities) {
+      if (a.exit_condition != nullptr) {
+        CollectUnqualifiedRefs(*a.exit_condition, &cond_refs);
+      }
+    }
+    for (const Column& p : def_.input_params) {
+      bool used = false;
+      for (const ActivityDef& a : def_.activities) {
+        for (const InputSource& in : a.inputs) {
+          if (in.kind == InputSource::Kind::kProcessInput &&
+              EqualsIgnoreCase(in.param, p.name)) {
+            used = true;
+          }
+        }
+      }
+      for (const std::string& ref : cond_refs) {
+        if (EqualsIgnoreCase(ref, p.name)) used = true;
+      }
+      for (const std::string& ref : external_uses_) {
+        if (EqualsIgnoreCase(ref, p.name)) used = true;
+      }
+      if (!used) {
+        Warn(kWfUnusedProcessInput, ProcLoc() + "/input:" + p.name,
+             "process input field " + p.name + " is never read");
+      }
+    }
+  }
+
+  const ProcessDefinition& def_;
+  const appsys::AppSystemRegistry& systems_;
+  std::vector<std::string> external_uses_;
+  /// Resolved local function per program activity; nullptr otherwise.
+  std::vector<const appsys::LocalFunction*> functions_;
+  std::vector<std::vector<size_t>> succ_;
+  std::vector<std::vector<bool>> reach_;
+  std::optional<size_t> output_index_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> LintProcess(const wfms::ProcessDefinition& def,
+                                    const appsys::AppSystemRegistry& systems) {
+  return ProcessLinter(def, systems).Run();
+}
+
+}  // namespace fedflow::analysis

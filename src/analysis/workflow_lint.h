@@ -1,0 +1,55 @@
+// fedlint pass 2: static analysis of a workflow process model. Complements
+// wfms::ValidateProcess (first-violation Status) with exhaustive structured
+// diagnostics, plus findings validation does not attempt: dead activities,
+// constant-false transition conditions, contradictory fork conditions ahead
+// of an AND-join, and container field/type checks against the registered
+// local-function signatures.
+#ifndef FEDFLOW_ANALYSIS_WORKFLOW_LINT_H_
+#define FEDFLOW_ANALYSIS_WORKFLOW_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "appsys/registry.h"
+#include "wfms/model.h"
+
+namespace fedflow::analysis {
+
+// Workflow error codes (FF100..FF149).
+inline constexpr char kWfNoName[] = "FF100";
+inline constexpr char kWfNoActivities[] = "FF101";
+inline constexpr char kWfDuplicateActivity[] = "FF102";
+inline constexpr char kWfUnknownOutputActivity[] = "FF103";
+inline constexpr char kWfUnknownConnectorEndpoint[] = "FF104";
+inline constexpr char kWfSelfLoopConnector[] = "FF105";
+inline constexpr char kWfControlCycle[] = "FF106";
+inline constexpr char kWfProgramIncomplete[] = "FF107";
+inline constexpr char kWfUnknownSystem[] = "FF108";
+inline constexpr char kWfUnknownFunction[] = "FF109";
+inline constexpr char kWfInputArityMismatch[] = "FF110";
+inline constexpr char kWfInputTypeMismatch[] = "FF111";
+inline constexpr char kWfUnknownProcessInput[] = "FF112";
+inline constexpr char kWfSourceCannotPrecede[] = "FF113";
+inline constexpr char kWfHelperUnnamed[] = "FF114";
+inline constexpr char kWfBlockWithoutSub[] = "FF115";
+inline constexpr char kWfBlockArityMismatch[] = "FF116";
+inline constexpr char kWfBadMaxIterations[] = "FF117";
+inline constexpr char kWfSelfInput[] = "FF118";
+inline constexpr char kWfSourceUnknownColumn[] = "FF119";
+inline constexpr char kWfSourceUnknownActivity[] = "FF120";
+
+// Workflow warning codes (FF150..FF199).
+inline constexpr char kWfDeadActivity[] = "FF150";
+inline constexpr char kWfConstantFalseCondition[] = "FF151";
+inline constexpr char kWfContradictoryFork[] = "FF152";
+inline constexpr char kWfUnusedProcessInput[] = "FF153";
+
+/// Analyzes `def` (and its sub-processes, recursively) against the registered
+/// application systems. Never fails; unresolvable pieces produce diagnostics
+/// and dependent checks are skipped.
+std::vector<Diagnostic> LintProcess(const wfms::ProcessDefinition& def,
+                                    const appsys::AppSystemRegistry& systems);
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_WORKFLOW_LINT_H_

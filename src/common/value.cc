@@ -69,11 +69,12 @@ Result<int64_t> Value::ToInt64() const {
       return static_cast<int64_t>(AsBool());
     case DataType::kDouble:
       return static_cast<int64_t>(AsDouble());
-    default:
-      return Status::TypeError("cannot convert " +
-                               std::string(DataTypeName(type())) +
-                               " to integer");
+    case DataType::kNull:
+    case DataType::kVarchar:
+      break;
   }
+  return Status::TypeError("cannot convert " +
+                           std::string(DataTypeName(type())) + " to integer");
 }
 
 Result<double> Value::ToDouble() const {
@@ -86,11 +87,12 @@ Result<double> Value::ToDouble() const {
       return AsDouble();
     case DataType::kBool:
       return AsBool() ? 1.0 : 0.0;
-    default:
-      return Status::TypeError("cannot convert " +
-                               std::string(DataTypeName(type())) +
-                               " to double");
+    case DataType::kNull:
+    case DataType::kVarchar:
+      break;
   }
+  return Status::TypeError("cannot convert " +
+                           std::string(DataTypeName(type())) + " to double");
 }
 
 std::string Value::ToString() const {

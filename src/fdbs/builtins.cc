@@ -106,9 +106,12 @@ Status RegisterBuiltins(Catalog* catalog) {
         return Value::BigInt(v.AsBigInt() < 0 ? -v.AsBigInt() : v.AsBigInt());
       case DataType::kDouble:
         return Value::Double(std::fabs(v.AsDouble()));
-      default:
+      case DataType::kNull:
+      case DataType::kBool:
+      case DataType::kVarchar:
         return Status::TypeError("ABS requires a numeric argument");
     }
+    return Status::Internal("bad value type");
   };
   abs_fn.return_type = [](const std::vector<DataType>& args) {
     return args.empty() ? DataType::kNull : args[0];

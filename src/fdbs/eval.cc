@@ -188,10 +188,13 @@ Result<Value> Evaluator::Eval(const Expr& expr, const RowScope& scope) const {
               return Value::BigInt(-v.AsBigInt());
             case DataType::kDouble:
               return Value::Double(-v.AsDouble());
-            default:
+            case DataType::kNull:
+            case DataType::kBool:
+            case DataType::kVarchar:
               return Status::TypeError("cannot negate " +
                                        std::string(DataTypeName(v.type())));
           }
+          return Status::Internal("bad value type");
         }
         case UnaryOp::kNot: {
           FEDFLOW_ASSIGN_OR_RETURN(Value t, ToTruth(v));
@@ -246,20 +249,12 @@ Result<Value> Evaluator::EvalBinary(const BinaryExpr& expr,
     case BinaryOp::kGe: {
       if (lv.is_null() || rv.is_null()) return Value::Null();
       FEDFLOW_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
-      switch (op) {
-        case BinaryOp::kEq:
-          return Value::Bool(cmp == 0);
-        case BinaryOp::kNe:
-          return Value::Bool(cmp != 0);
-        case BinaryOp::kLt:
-          return Value::Bool(cmp < 0);
-        case BinaryOp::kLe:
-          return Value::Bool(cmp <= 0);
-        case BinaryOp::kGt:
-          return Value::Bool(cmp > 0);
-        default:
-          return Value::Bool(cmp >= 0);
-      }
+      if (op == BinaryOp::kEq) return Value::Bool(cmp == 0);
+      if (op == BinaryOp::kNe) return Value::Bool(cmp != 0);
+      if (op == BinaryOp::kLt) return Value::Bool(cmp < 0);
+      if (op == BinaryOp::kLe) return Value::Bool(cmp <= 0);
+      if (op == BinaryOp::kGt) return Value::Bool(cmp > 0);
+      return Value::Bool(cmp >= 0);
     }
     case BinaryOp::kConcat: {
       if (lv.is_null() || rv.is_null()) return Value::Null();
@@ -283,50 +278,42 @@ Result<Value> Evaluator::EvalBinary(const BinaryExpr& expr,
       if (target == DataType::kDouble) {
         FEDFLOW_ASSIGN_OR_RETURN(double a, lv.ToDouble());
         FEDFLOW_ASSIGN_OR_RETURN(double b, rv.ToDouble());
-        switch (op) {
-          case BinaryOp::kAdd:
-            return Value::Double(a + b);
-          case BinaryOp::kSub:
-            return Value::Double(a - b);
-          case BinaryOp::kMul:
-            return Value::Double(a * b);
-          case BinaryOp::kDiv:
-            if (b == 0) return Status::ExecutionError("division by zero");
-            return Value::Double(a / b);
-          default:
-            return Status::TypeError("MOD requires integer operands");
+        if (op == BinaryOp::kAdd) return Value::Double(a + b);
+        if (op == BinaryOp::kSub) return Value::Double(a - b);
+        if (op == BinaryOp::kMul) return Value::Double(a * b);
+        if (op == BinaryOp::kDiv) {
+          if (b == 0) return Status::ExecutionError("division by zero");
+          return Value::Double(a / b);
         }
+        return Status::TypeError("MOD requires integer operands");
       }
       FEDFLOW_ASSIGN_OR_RETURN(int64_t a, lv.ToInt64());
       FEDFLOW_ASSIGN_OR_RETURN(int64_t b, rv.ToInt64());
       int64_t out;
-      switch (op) {
-        case BinaryOp::kAdd:
-          out = a + b;
-          break;
-        case BinaryOp::kSub:
-          out = a - b;
-          break;
-        case BinaryOp::kMul:
-          out = a * b;
-          break;
-        case BinaryOp::kDiv:
-          if (b == 0) return Status::ExecutionError("division by zero");
-          out = a / b;
-          break;
-        default:
-          if (b == 0) return Status::ExecutionError("modulo by zero");
-          out = a % b;
-          break;
+      if (op == BinaryOp::kAdd) {
+        out = a + b;
+      } else if (op == BinaryOp::kSub) {
+        out = a - b;
+      } else if (op == BinaryOp::kMul) {
+        out = a * b;
+      } else if (op == BinaryOp::kDiv) {
+        if (b == 0) return Status::ExecutionError("division by zero");
+        out = a / b;
+      } else {
+        if (b == 0) return Status::ExecutionError("modulo by zero");
+        out = a % b;
       }
       if (target == DataType::kInt && out >= INT32_MIN && out <= INT32_MAX) {
         return Value::Int(static_cast<int32_t>(out));
       }
       return Value::BigInt(out);
     }
-    default:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      // Handled above with short-circuit three-valued logic.
       return Status::Internal("unhandled binary op");
   }
+  return Status::Internal("unhandled binary op");
 }
 
 Result<Value> Evaluator::EvalCall(const FunctionCallExpr& expr,
@@ -407,13 +394,18 @@ Result<DataType> Evaluator::InferType(const Expr& expr,
           return DataType::kBool;
         case BinaryOp::kConcat:
           return DataType::kVarchar;
-        default: {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
           FEDFLOW_ASSIGN_OR_RETURN(DataType lt, InferType(*bin.left(), scope));
           FEDFLOW_ASSIGN_OR_RETURN(DataType rt,
                                    InferType(*bin.right(), scope));
           return PromoteNumeric(lt, rt);
         }
       }
+      return DataType::kNull;
     }
     case ExprKind::kUnary: {
       const auto& un = static_cast<const UnaryExpr&>(expr);

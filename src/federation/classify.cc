@@ -112,9 +112,15 @@ bool UdtfSupports(MappingCase c) {
     case MappingCase::kDependentCyclic:
     case MappingCase::kGeneral:
       return false;
-    default:
+    case MappingCase::kTrivial:
+    case MappingCase::kSimple:
+    case MappingCase::kIndependent:
+    case MappingCase::kDependentLinear:
+    case MappingCase::kDependent1N:
+    case MappingCase::kDependentN1:
       return true;
   }
+  return true;
 }
 
 bool WfmsSupports(MappingCase) { return true; }

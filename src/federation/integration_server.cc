@@ -1,5 +1,6 @@
 #include "federation/integration_server.h"
 
+#include "analysis/spec_lint.h"
 #include "appsys/pdm.h"
 #include "appsys/purchasing.h"
 #include "appsys/stockkeeping.h"
@@ -59,6 +60,18 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
 
 Status IntegrationServer::RegisterFederatedFunction(
     const FederatedFunctionSpec& spec) {
+  // Static verification gate: a spec with error findings never reaches a
+  // coupling; warnings are kept for the operator to query.
+  std::vector<analysis::Diagnostic> diags = analysis::LintSpec(spec, systems_);
+  if (analysis::HasErrors(diags)) {
+    return Status::InvalidArgument(
+        "fedlint rejected spec '" + spec.name + "':\n" +
+        analysis::FormatDiagnostics(analysis::Filter(
+            diags, analysis::Severity::kError)));
+  }
+  for (analysis::Diagnostic& d : diags) {
+    lint_warnings_.push_back(std::move(d));
+  }
   switch (arch_) {
     case Architecture::kWfms:
       return wfms_->RegisterFederatedFunction(spec);

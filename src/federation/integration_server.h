@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "appsys/dataset.h"
 #include "appsys/registry.h"
 #include "fdbs/database.h"
@@ -44,9 +45,17 @@ class IntegrationServer {
       Architecture arch, const appsys::Scenario& scenario,
       sim::LatencyModel model = {});
 
-  /// Registers a federated function under the server's architecture.
-  /// Unsupported when the UDTF architecture cannot express the mapping.
+  /// Registers a federated function under the server's architecture. The
+  /// spec is linted first: error diagnostics reject the registration
+  /// (InvalidArgument carrying every finding), warnings are collected and
+  /// queryable via lint_warnings(). Unsupported when the UDTF architecture
+  /// cannot express the mapping.
   Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+
+  /// Warning-severity fedlint findings accumulated across registrations.
+  const std::vector<analysis::Diagnostic>& lint_warnings() const {
+    return lint_warnings_;
+  }
 
   /// Executes SQL without cost accounting (functional path).
   Result<Table> Query(const std::string& sql);
@@ -99,6 +108,7 @@ class IntegrationServer {
   std::unique_ptr<WfmsCoupling> wfms_;
   std::unique_ptr<UdtfCoupling> udtf_;
   std::unique_ptr<JavaUdtfCoupling> java_;
+  std::vector<analysis::Diagnostic> lint_warnings_;
 };
 
 }  // namespace fedflow::federation

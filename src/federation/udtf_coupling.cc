@@ -235,9 +235,11 @@ const char* CastFunctionName(DataType t) {
       return "DOUBLE";
     case DataType::kVarchar:
       return "VARCHAR";
-    default:
-      return nullptr;
+    case DataType::kNull:
+    case DataType::kBool:
+      return nullptr;  // no SQL cast function for these targets
   }
+  return nullptr;
 }
 
 }  // namespace

@@ -109,20 +109,12 @@ Result<Value> EvalCondition(const Expr& expr,
         case BinaryOp::kGe: {
           if (lv.is_null() || rv.is_null()) return Value::Null();
           FEDFLOW_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
-          switch (op) {
-            case BinaryOp::kEq:
-              return Value::Bool(cmp == 0);
-            case BinaryOp::kNe:
-              return Value::Bool(cmp != 0);
-            case BinaryOp::kLt:
-              return Value::Bool(cmp < 0);
-            case BinaryOp::kLe:
-              return Value::Bool(cmp <= 0);
-            case BinaryOp::kGt:
-              return Value::Bool(cmp > 0);
-            default:
-              return Value::Bool(cmp >= 0);
-          }
+          if (op == BinaryOp::kEq) return Value::Bool(cmp == 0);
+          if (op == BinaryOp::kNe) return Value::Bool(cmp != 0);
+          if (op == BinaryOp::kLt) return Value::Bool(cmp < 0);
+          if (op == BinaryOp::kLe) return Value::Bool(cmp <= 0);
+          if (op == BinaryOp::kGt) return Value::Bool(cmp > 0);
+          return Value::Bool(cmp >= 0);
         }
         case BinaryOp::kConcat:
           if (lv.is_null() || rv.is_null()) return Value::Null();
@@ -144,38 +136,30 @@ Result<Value> EvalCondition(const Expr& expr,
               rv.type() == DataType::kDouble) {
             FEDFLOW_ASSIGN_OR_RETURN(double a, lv.ToDouble());
             FEDFLOW_ASSIGN_OR_RETURN(double b, rv.ToDouble());
-            switch (op) {
-              case BinaryOp::kAdd:
-                return Value::Double(a + b);
-              case BinaryOp::kSub:
-                return Value::Double(a - b);
-              case BinaryOp::kMul:
-                return Value::Double(a * b);
-              case BinaryOp::kDiv:
-                if (b == 0) return Status::ExecutionError("division by zero");
-                return Value::Double(a / b);
-              default:
-                return Status::TypeError("MOD requires integers");
+            if (op == BinaryOp::kAdd) return Value::Double(a + b);
+            if (op == BinaryOp::kSub) return Value::Double(a - b);
+            if (op == BinaryOp::kMul) return Value::Double(a * b);
+            if (op == BinaryOp::kDiv) {
+              if (b == 0) return Status::ExecutionError("division by zero");
+              return Value::Double(a / b);
             }
+            return Status::TypeError("MOD requires integers");
           }
           FEDFLOW_ASSIGN_OR_RETURN(int64_t a, lv.ToInt64());
           FEDFLOW_ASSIGN_OR_RETURN(int64_t b, rv.ToInt64());
-          switch (op) {
-            case BinaryOp::kAdd:
-              return Value::BigInt(a + b);
-            case BinaryOp::kSub:
-              return Value::BigInt(a - b);
-            case BinaryOp::kMul:
-              return Value::BigInt(a * b);
-            case BinaryOp::kDiv:
-              if (b == 0) return Status::ExecutionError("division by zero");
-              return Value::BigInt(a / b);
-            default:
-              if (b == 0) return Status::ExecutionError("modulo by zero");
-              return Value::BigInt(a % b);
+          if (op == BinaryOp::kAdd) return Value::BigInt(a + b);
+          if (op == BinaryOp::kSub) return Value::BigInt(a - b);
+          if (op == BinaryOp::kMul) return Value::BigInt(a * b);
+          if (op == BinaryOp::kDiv) {
+            if (b == 0) return Status::ExecutionError("division by zero");
+            return Value::BigInt(a / b);
           }
+          if (b == 0) return Status::ExecutionError("modulo by zero");
+          return Value::BigInt(a % b);
         }
-        default:
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          // Handled above with short-circuit semantics.
           return Status::Internal("unhandled binary op in condition");
       }
     }

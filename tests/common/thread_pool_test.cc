@@ -18,7 +18,12 @@ TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
   const int kTasks = 100;
   for (int i = 0; i < kTasks; ++i) {
     pool.Submit([&] {
-      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_all();
+      if (counter.fetch_add(1) + 1 == kTasks) {
+        // Notify under the lock: the waiter may otherwise satisfy its
+        // predicate and destroy cv while notify_all is still running.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mu);

@@ -73,7 +73,10 @@ TEST(ServerTest, UnknownSystemInSpecFails) {
   spec.calls[0].system = "sap_r3";
   auto st = (*server)->RegisterFederatedFunction(spec);
   ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  // The fedlint gate rejects the spec before any coupling sees it.
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("fedlint"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("FF005"), std::string::npos) << st.message();
 }
 
 TEST(ServerTest, ScenarioConfigScalesLoopExperiment) {
