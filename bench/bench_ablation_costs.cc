@@ -18,12 +18,24 @@ const std::vector<Value>& Args() {
   return args;
 }
 
-double RatioFor(const sim::LatencyModel& model) {
+struct ElapsedPair {
+  VDuration wfms_us = 0;
+  VDuration udtf_us = 0;
+};
+
+ElapsedPair MeasurePair(const sim::LatencyModel& model) {
   auto wfms = MustMakeServer(Architecture::kWfms, model);
   auto udtf = MustMakeServer(Architecture::kUdtf, model);
-  auto w = HotCall(wfms.get(), "GetNoSuppComp", Args());
-  auto u = HotCall(udtf.get(), "GetNoSuppComp", Args());
-  return static_cast<double>(w.elapsed_us) / static_cast<double>(u.elapsed_us);
+  ElapsedPair pair;
+  pair.wfms_us = HotCall(wfms.get(), "GetNoSuppComp", Args()).elapsed_us;
+  pair.udtf_us = HotCall(udtf.get(), "GetNoSuppComp", Args()).elapsed_us;
+  return pair;
+}
+
+double RatioFor(const sim::LatencyModel& model) {
+  ElapsedPair pair = MeasurePair(model);
+  return static_cast<double>(pair.wfms_us) /
+         static_cast<double>(pair.udtf_us);
 }
 
 void BM_RatioDefaultModel(benchmark::State& state) {
@@ -34,7 +46,7 @@ void BM_RatioDefaultModel(benchmark::State& state) {
 }
 BENCHMARK(BM_RatioDefaultModel)->Unit(benchmark::kMillisecond)->Iterations(2);
 
-void PrintJvmSweep() {
+void PrintJvmSweep(BenchJson& json) {
   std::printf("\n=== Ablation: per-activity JVM boot cost vs WfMS/UDTF ratio "
               "(GetNoSuppComp) ===\n");
   std::printf("%18s %10s\n", "jvm boot [us]", "ratio");
@@ -42,8 +54,13 @@ void PrintJvmSweep() {
   for (VDuration boot : {0LL, 1000LL, 2000LL, 4500LL, 9000LL, 18000LL}) {
     sim::LatencyModel model;
     model.wf_jvm_boot_activity_us = boot;
+    ElapsedPair pair = MeasurePair(model);
+    std::string scenario = "jvm_boot_" + std::to_string(boot);
+    json.Add(scenario, "wfms_elapsed_us", pair.wfms_us);
+    json.Add(scenario, "udtf_elapsed_us", pair.udtf_us);
     std::printf("%18lld %9.2fx\n", static_cast<long long>(boot),
-                RatioFor(model));
+                static_cast<double>(pair.wfms_us) /
+                    static_cast<double>(pair.udtf_us));
   }
   PrintRule(30);
   std::printf("paper:    starting a new Java program per activity is the "
@@ -51,7 +68,7 @@ void PrintJvmSweep() {
               "          without it the approaches converge\n");
 }
 
-void PrintRmiSweep() {
+void PrintRmiSweep(BenchJson& json) {
   std::printf("\n=== Ablation: RMI call cost vs WfMS/UDTF ratio "
               "(GetNoSuppComp) ===\n");
   std::printf("%18s %10s\n", "rmi call [us]", "ratio");
@@ -59,8 +76,13 @@ void PrintRmiSweep() {
   for (VDuration rmi : {0LL, 390LL, 780LL, 1560LL, 3120LL}) {
     sim::LatencyModel model;
     model.rmi_call_base_us = rmi;
+    ElapsedPair pair = MeasurePair(model);
+    std::string scenario = "rmi_call_" + std::to_string(rmi);
+    json.Add(scenario, "wfms_elapsed_us", pair.wfms_us);
+    json.Add(scenario, "udtf_elapsed_us", pair.udtf_us);
     std::printf("%18lld %9.2fx\n", static_cast<long long>(rmi),
-                RatioFor(model));
+                static_cast<double>(pair.wfms_us) /
+                    static_cast<double>(pair.udtf_us));
   }
   PrintRule(30);
   std::printf("note:     RMI hits the UDTF approach k times per call but the "
@@ -75,7 +97,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  fedflow::bench::PrintJvmSweep();
-  fedflow::bench::PrintRmiSweep();
+  fedflow::bench::BenchJson json("ablation_costs");
+  fedflow::bench::PrintJvmSweep(json);
+  fedflow::bench::PrintRmiSweep(json);
+  json.Write();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -62,6 +63,7 @@ BENCHMARK_CAPTURE(BM_ColdCall, udtf, Architecture::kUdtf)
 
 void PrintTable() {
   std::printf("\n=== Cold / warm / hot calls (virtual time, us) ===\n");
+  BenchJson json("cold_warm_hot");
   for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf}) {
     std::printf("\n--- %s ---\n", federation::ArchitectureName(arch));
     std::printf("%-22s %12s %12s %12s\n", "function", "cold", "warm", "hot");
@@ -69,6 +71,12 @@ void PrintTable() {
     bool ordering_holds = true;
     for (const SampleCall& call : Fig5Workload()) {
       Measurement m = Measure(arch, call);
+      std::string scenario =
+          std::string(arch == Architecture::kWfms ? "wfms/" : "udtf/") +
+          call.name;
+      json.Add(scenario, "cold_us", m.cold);
+      json.Add(scenario, "warm_us", m.warm);
+      json.Add(scenario, "hot_us", m.hot);
       std::printf("%-22s %12lld %12lld %12lld\n", call.name,
                   static_cast<long long>(m.cold),
                   static_cast<long long>(m.warm),
@@ -80,6 +88,7 @@ void PrintTable() {
     std::printf("measured: cold > warm > hot holds for all functions: %s\n",
                 ordering_holds ? "yes" : "NO");
   }
+  json.Write();
 }
 
 }  // namespace

@@ -57,10 +57,14 @@ void PrintTable() {
   std::printf("%-16s %18s %18s %10s\n", "architecture", "with ctrl [us]",
               "without ctrl [us]", "decrease");
   PrintRule(66);
+  BenchJson json("controller_ablation");
   VDuration w_with = 0, w_without = 0, u_with = 0, u_without = 0;
   for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf}) {
     VDuration with = MeasureHot(arch, with_controller);
     VDuration without = MeasureHot(arch, without_controller);
+    const char* scenario = arch == Architecture::kWfms ? "wfms" : "udtf";
+    json.Add(scenario, "with_controller_us", with);
+    json.Add(scenario, "without_controller_us", without);
     if (arch == Architecture::kWfms) {
       w_with = with;
       w_without = without;
@@ -81,6 +85,7 @@ void PrintTable() {
               static_cast<double>(w_with) / static_cast<double>(u_with),
               static_cast<double>(w_without) /
                   static_cast<double>(u_without));
+  json.Write();
 }
 
 }  // namespace

@@ -83,11 +83,15 @@ void PrintFig5Table() {
               "mapping case", "#fns", "WfMS [us]", "UDTF [us]", "Java [us]",
               "ratio", "work-r");
   PrintRule(106);
+  BenchJson json("fig5_comparison");
   std::vector<std::pair<int, VDuration>> wfms_points, udtf_points;
   for (const SampleCall& call : Fig5Workload()) {
     auto w = HotCall(Server(Architecture::kWfms), call.name, call.args);
     auto u = HotCall(Server(Architecture::kUdtf), call.name, call.args);
     auto j = HotCall(Server(Architecture::kJavaUdtf), call.name, call.args);
+    json.Add(call.name, "wfms_elapsed_us", w.elapsed_us);
+    json.Add(call.name, "udtf_elapsed_us", u.elapsed_us);
+    json.Add(call.name, "java_elapsed_us", j.elapsed_us);
     // Elapsed ratio (our engine overlaps parallel activities) and the
     // work-total ratio (the sum of all step times, which is what a fully
     // serialized engine — like the paper's — would take end to end).
@@ -114,6 +118,7 @@ void PrintFig5Table() {
               "where our engine overlaps\n"
               "          parallel activities\n",
               Slope(wfms_points), Slope(udtf_points));
+  json.Write();
 }
 
 }  // namespace

@@ -58,9 +58,14 @@ const std::map<std::string, int>& PaperShares(Architecture arch) {
   return arch == Architecture::kWfms ? wfms : udtf;
 }
 
-void PrintBreakdown(Architecture arch) {
+void PrintBreakdown(Architecture arch, BenchJson& json) {
   auto server = MustMakeServer(arch);
   auto result = HotCall(server.get(), "GetNoSuppComp", Args());
+  const char* scenario = arch == Architecture::kWfms ? "wfms" : "udtf";
+  json.Add(scenario, "elapsed_us", result.elapsed_us);
+  for (const auto& [step, dur] : result.breakdown.entries()) {
+    json.Add(scenario, step, dur);
+  }
   std::printf("\n--- %s: GetNoSuppComp, one hot call (total %lld us) ---\n",
               federation::ArchitectureName(arch),
               static_cast<long long>(result.elapsed_us));
@@ -89,7 +94,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   std::printf("\n=== Fig. 6: time portions of the overall function call ===\n");
-  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kWfms);
-  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kUdtf);
+  fedflow::bench::BenchJson json("fig6_breakdown");
+  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kWfms, json);
+  fedflow::bench::PrintBreakdown(fedflow::bench::Architecture::kUdtf, json);
+  json.Write();
   return 0;
 }

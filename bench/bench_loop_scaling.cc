@@ -44,10 +44,13 @@ void PrintTable() {
   std::printf("%6s %14s %18s\n", "N", "elapsed [us]", "per-iteration [us]");
   PrintRule(42);
   IntegrationServer* server = Server();
+  BenchJson json("loop_scaling");
   std::vector<std::pair<int, VDuration>> points;
   for (int n : {1, 2, 4, 8, 16, 32, 64}) {
     auto result = HotCall(server, "AllCompNames", {Value::Int(n)});
     points.emplace_back(n, result.elapsed_us);
+    json.Add("AllCompNames/n" + std::to_string(n), "elapsed_us",
+             result.elapsed_us);
     std::printf("%6d %14lld %18.1f\n", n,
                 static_cast<long long>(result.elapsed_us),
                 static_cast<double>(result.elapsed_us) / n);
@@ -77,6 +80,7 @@ void PrintTable() {
               "number of calls\n");
   std::printf("measured: fit elapsed = %.0f*N + %.0f us, R^2 = %.6f\n", slope,
               intercept, r2);
+  json.Write();
 }
 
 }  // namespace

@@ -96,6 +96,7 @@ void PrintMatrix() {
               "WfMS", "Java (ext)", "paper-UDTF", "paper-WfMS");
   PrintRule(82);
   const auto paper = federation::SupportMatrix();
+  BenchJson json("mapping_matrix");
   bool all_match = true;
   for (const MatrixRow& row : Cases()) {
     // Attempt compilation with both couplings over every spec of the row.
@@ -119,6 +120,12 @@ void PrintMatrix() {
       }
     }
     if (udtf_ok != paper_udtf || wfms_ok != paper_wfms) all_match = false;
+    json.Add(MappingCaseName(row.mapping_case), "udtf_supported",
+             udtf_ok ? 1 : 0);
+    json.Add(MappingCaseName(row.mapping_case), "wfms_supported",
+             wfms_ok ? 1 : 0);
+    json.Add(MappingCaseName(row.mapping_case), "java_supported",
+             java_ok ? 1 : 0);
     std::printf("%-20s %-12s %-12s %-12s %-10s %-10s\n",
                 MappingCaseName(row.mapping_case),
                 udtf_ok ? "supported" : "NOT supp.",
@@ -130,6 +137,7 @@ void PrintMatrix() {
   PrintRule(70);
   std::printf("measured matrix matches the paper's table: %s\n",
               all_match ? "yes" : "NO");
+  json.Write();
 }
 
 }  // namespace

@@ -52,9 +52,13 @@ void PrintTable() {
   std::printf("%-16s %20s %20s %10s\n", "architecture", "sequential [us]",
               "parallel [us]", "winner");
   PrintRule(70);
+  BenchJson json("parallel_vs_sequential");
   for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf}) {
     auto seq = HotCall(Server(arch), "GetSuppQual", SeqArgs());
     auto par = HotCall(Server(arch), "GetSuppQualRelia", ParArgs());
+    const char* scenario = arch == Architecture::kWfms ? "wfms" : "udtf";
+    json.Add(scenario, "sequential_us", seq.elapsed_us);
+    json.Add(scenario, "parallel_us", par.elapsed_us);
     std::printf("%-16s %20lld %20lld %10s\n",
                 federation::ArchitectureName(arch),
                 static_cast<long long>(seq.elapsed_us),
@@ -64,6 +68,7 @@ void PrintTable() {
   PrintRule(70);
   std::printf("paper:    WfMS processes the parallel case faster; the UDTF "
               "approach shows the contrary\n");
+  json.Write();
 }
 
 }  // namespace

@@ -73,6 +73,10 @@ void PrintTable() {
               "applied before the lateral A-UDTF calls, so only the\n"
               "selected suppliers are fetched remotely\n",
               static_cast<double>(without) / static_cast<double>(with));
+  BenchJson json("pushdown_optimization");
+  json.Add("watchlist_quality", "with_pushdown_us", with);
+  json.Add("watchlist_quality", "without_pushdown_us", without);
+  json.Write();
 }
 
 }  // namespace

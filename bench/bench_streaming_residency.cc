@@ -123,10 +123,15 @@ void PrintTable() {
   std::printf("query: %s\n\n", kQuery);
   std::printf("%-26s %20s\n", "plan", "peak resident rows");
   PrintRule(48);
+  BenchJson json("streaming_residency");
   const size_t materialized = Measure(db.get(), 0);
+  json.Add("materializing", "peak_resident_rows",
+           static_cast<int64_t>(materialized));
   std::printf("%-26s %20zu\n", "materializing (batch=0)", materialized);
   for (size_t bs : {size_t{64}, size_t{256}, size_t{1024}}) {
     const size_t peak = Measure(db.get(), bs);
+    json.Add("streaming_batch" + std::to_string(bs), "peak_resident_rows",
+             static_cast<int64_t>(peak));
     std::printf("streaming (batch=%-5zu)     %20zu\n", bs, peak);
     // The contract the refactor exists for: residency tracks the batch
     // size, not the 10k-row intermediate result.
@@ -142,6 +147,7 @@ void PrintTable() {
   std::printf(
       "the materializing plan buffers the whole 10k-row intermediate\n"
       "result between operators; the streaming plan holds a few batches\n");
+  json.Write();
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 #ifndef FEDFLOW_BENCH_BENCH_UTIL_H_
 #define FEDFLOW_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "federation/sample_scenario.h"
@@ -82,6 +84,54 @@ inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Machine-readable bench output: integer metrics (virtual-clock times,
+/// counts — never wall time) collected per scenario and written as
+/// BENCH_<name>.json in the working directory. Because every value comes off
+/// the deterministic virtual clock, the file is bit-identical across
+/// machines and runs, so CI can diff it against a checked-in golden. The
+/// path note goes to stderr; stdout tables stay byte-identical.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& scenario, const std::string& metric,
+           int64_t value) {
+    rows_.push_back(Row{scenario, metric, value});
+  }
+
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
+                 name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"scenario\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %lld}",
+                   i == 0 ? "" : ",", rows_[i].scenario.c_str(),
+                   rows_[i].metric.c_str(),
+                   static_cast<long long>(rows_[i].value));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench metrics written to %s\n", path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string scenario;
+    std::string metric;
+    int64_t value;
+  };
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace fedflow::bench
 

@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "execution error";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kTypeError,        ///< value of the wrong data type
   kExecutionError,   ///< runtime failure while evaluating / navigating
   kInternal,         ///< invariant violation inside fedflow itself
+  kUnavailable,      ///< transient remote failure; the call may be retried
+  kDeadlineExceeded, ///< the per-call (virtual-time) deadline ran out
 };
 
 /// Returns a stable lower-case name for a status code ("ok", "not found", ...).
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

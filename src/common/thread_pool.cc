@@ -22,9 +22,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (!shutdown_) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
   }
-  cv_.notify_one();
+  // Destruction has begun: workers may already have drained the queue and
+  // exited, so an enqueued task could never run. Run it inline instead.
+  task();
+}
+
+bool ThreadPool::shutdown_started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 void ThreadPool::WorkerLoop() {

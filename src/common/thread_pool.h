@@ -23,15 +23,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; never blocks.
+  /// Enqueues a task. Once destruction has begun the queue is no longer
+  /// guaranteed to be drained by a worker, so late tasks run inline on the
+  /// submitting thread instead of being silently dropped — every submitted
+  /// task runs exactly once either way.
   void Submit(std::function<void()> task);
+
+  /// True once the destructor has started tearing the pool down.
+  bool shutdown_started() const;
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;

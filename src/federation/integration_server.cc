@@ -40,12 +40,14 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
     server->engine_ = std::make_unique<wfms::Engine>(options);
     server->wfms_ = std::make_unique<WfmsCoupling>(
         &server->db_, server->engine_.get(), &server->systems_,
-        &server->controller_, &server->model_, &server->state_);
+        &server->controller_, &server->model_, &server->state_,
+        &server->fault_injector_, &server->retry_policy_);
   } else {
     // Both UDTF variants sit on the same A-UDTF access layer.
     server->udtf_ = std::make_unique<UdtfCoupling>(
         &server->db_, &server->systems_, &server->controller_,
-        &server->model_, &server->state_);
+        &server->model_, &server->state_, &server->fault_injector_,
+        &server->retry_policy_);
     FEDFLOW_RETURN_NOT_OK(server->udtf_->RegisterAccessUdtfs());
     if (arch == Architecture::kJavaUdtf) {
       server->java_ = std::make_unique<JavaUdtfCoupling>(

@@ -19,6 +19,7 @@
 #include "federation/java_coupling.h"
 #include "federation/udtf_coupling.h"
 #include "federation/wfms_coupling.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 #include "wfms/engine.h"
@@ -84,6 +85,23 @@ class IntegrationServer {
   Controller& controller() { return controller_; }
   sim::SystemState& state() { return state_; }
   const sim::LatencyModel& model() const { return model_; }
+
+  /// Fault injector wired into every coupling's invocation path. Without
+  /// profiles it is inert; configure profiles (or forced failures) and a
+  /// retry policy to run the fault/recovery experiments.
+  sim::FaultInjector& fault_injector() { return fault_injector_; }
+
+  /// Coupling-level retry policy. Default-constructed = retries disabled;
+  /// mutable so experiments can tune attempts/backoff/deadline (the
+  /// couplings hold a pointer to this instance).
+  sim::RetryPolicy& retry_policy() { return retry_policy_; }
+
+  /// Forward-recovery checkpoint of a failed WfMS federated function; null
+  /// under the UDTF architectures or when no instance is pending.
+  const wfms::InstanceCheckpoint* recovery_checkpoint(
+      const std::string& function) const {
+    return wfms_ ? wfms_->wrapper()->checkpoint(function) : nullptr;
+  }
   /// Engine of the WfMS architecture; null under the UDTF architecture.
   wfms::Engine* engine() { return engine_.get(); }
 
@@ -103,6 +121,8 @@ class IntegrationServer {
   appsys::AppSystemRegistry systems_;
   Controller controller_;
   sim::SystemState state_;
+  sim::FaultInjector fault_injector_;
+  sim::RetryPolicy retry_policy_;
   fdbs::Database db_;
   std::unique_ptr<wfms::Engine> engine_;
   std::unique_ptr<WfmsCoupling> wfms_;

@@ -23,13 +23,24 @@ class WrapperUdtf : public fdbs::TableFunction {
 
   Result<Table> Invoke(const std::vector<Value>& args,
                        fdbs::ExecContext& ctx) override {
-    return wrapper_->Execute(descriptor_.name, args, ctx);
+    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock);
+    while (true) {
+      Result<Table> out = wrapper_->Execute(descriptor_.name, args, ctx);
+      if (out.ok() || !retry.ShouldRetry(out.status())) return out;
+      FEDFLOW_RETURN_NOT_OK(retry.Backoff());
+    }
   }
 
   Result<RowSourcePtr> InvokeStream(const std::vector<Value>& args,
                                     fdbs::ExecContext& ctx,
                                     size_t batch_size) override {
-    return wrapper_->ExecuteStream(descriptor_.name, args, ctx, batch_size);
+    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock);
+    while (true) {
+      Result<RowSourcePtr> out =
+          wrapper_->ExecuteStream(descriptor_.name, args, ctx, batch_size);
+      if (out.ok() || !retry.ShouldRetry(out.status())) return out;
+      FEDFLOW_RETURN_NOT_OK(retry.Backoff());
+    }
   }
 
  private:

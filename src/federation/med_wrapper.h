@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "fdbs/database.h"
 #include "fdbs/exec_context.h"
+#include "sim/fault.h"
 
 namespace fedflow::federation {
 
@@ -54,6 +55,13 @@ class ForeignFunctionWrapper {
     FEDFLOW_ASSIGN_OR_RETURN(Table result, Execute(function, args, ctx));
     return MakeTableSource(std::move(result), batch_size);
   }
+
+  /// Retry policy the FDBS-side adapter applies around Execute /
+  /// ExecuteStream: on a retriable failure the same function is executed
+  /// again after a backoff charged to ctx.clock. Null (the default) disables
+  /// retries. A wrapper that keeps recovery state between attempts (the WfMS
+  /// coupling's checkpoints) gets its forward recovery driven by this loop.
+  virtual const sim::RetryPolicy* retry_policy() const { return nullptr; }
 };
 
 /// Registers every function of `wrapper` as a table function of `db`, so it

@@ -21,14 +21,15 @@ namespace {
 class AccessUdtf : public fdbs::TableFunction {
  public:
   AccessUdtf(std::string system, const appsys::LocalFunction& fn,
-             Controller* controller, const sim::LatencyModel* model)
+             Controller* controller, const sim::LatencyModel* model,
+             sim::FaultInjector* faults)
       : system_(std::move(system)),
         name_(fn.name),
         params_(fn.params),
         schema_(fn.result_schema),
         controller_(controller),
         model_(model),
-        rmi_(model) {}
+        rmi_(model, faults) {}
 
   const std::string& name() const override { return name_; }
   const std::vector<Column>& params() const override { return params_; }
@@ -52,8 +53,16 @@ class AccessUdtf : public fdbs::TableFunction {
       dispatched = std::move(*d);
       return dispatched.table;
     };
-    FEDFLOW_ASSIGN_OR_RETURN(Table out, rmi_.Invoke(name_, args, handler,
-                                                    &costs));
+    Result<Table> out = rmi_.Invoke(name_, args, handler, &costs);
+    if (!out.ok()) {
+      // A failed call is not free: the request leg was spent and the error
+      // response still travels back (satellite fix for rmi cost accounting).
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
+        clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
+      }
+      return out.status();
+    }
     if (clock != nullptr) {
       clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
       clock->Charge(sim::steps::kUdtfControllerRuns,
@@ -89,19 +98,24 @@ class AccessUdtf : public fdbs::TableFunction {
       dispatched = std::move(*d);
       return dispatched.table;
     };
-    VDuration call_us = 0;
+    sim::RmiChannel::CallCosts costs;
     sim::RmiChannel::ChunkCostFn on_chunk;
     if (clock != nullptr) {
       on_chunk = [clock](VDuration cost) {
         clock->Charge(sim::steps::kUdtfRmiReturns, cost);
       };
     }
-    FEDFLOW_ASSIGN_OR_RETURN(
-        fedflow::RowSourcePtr source,
-        rmi_.InvokeStreaming(name_, args, handler, batch_size, &call_us,
-                             std::move(on_chunk)));
+    Result<fedflow::RowSourcePtr> source = rmi_.InvokeStreaming(
+        name_, args, handler, batch_size, &costs, std::move(on_chunk));
+    if (!source.ok()) {
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
+        clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
+      }
+      return source.status();
+    }
     if (clock != nullptr) {
-      clock->Charge(sim::steps::kUdtfRmiCalls, call_us);
+      clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
       clock->Charge(sim::steps::kUdtfControllerRuns,
                     dispatched.dispatch_cost_us);
       clock->Charge(sim::steps::kUdtfProcessActivities, dispatched.app_cost_us);
@@ -128,8 +142,10 @@ class AccessUdtf : public fdbs::TableFunction {
 class InstrumentedIUdtf : public fdbs::TableFunction {
  public:
   InstrumentedIUdtf(std::shared_ptr<fdbs::TableFunction> inner,
-                    const sim::LatencyModel* model, sim::SystemState* state)
-      : inner_(std::move(inner)), model_(model), state_(state) {}
+                    const sim::LatencyModel* model, sim::SystemState* state,
+                    const sim::RetryPolicy* retry)
+      : inner_(std::move(inner)), model_(model), state_(state),
+        retry_(retry) {}
 
   const std::string& name() const override { return inner_->name(); }
   const std::vector<Column>& params() const override {
@@ -155,15 +171,26 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
           break;
       }
     }
-    if (clock != nullptr) {
-      clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
+    // Statement-level retry: the I-UDTF holds no state between attempts, so
+    // a retriable failure restarts the WHOLE body statement — every lateral
+    // A-UDTF reference runs (and charges) again. This is the architectural
+    // price the fault/recovery experiment measures.
+    sim::RetryLoop retry(retry_, clock);
+    while (true) {
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
+      }
+      Result<Table> out = inner_->Invoke(args, ctx);
+      if (out.ok()) {
+        if (clock != nullptr) {
+          clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
+        }
+        if (state_ != nullptr) state_->MarkRun(name());
+        return out;
+      }
+      if (!retry.ShouldRetry(out.status())) return out.status();
+      FEDFLOW_RETURN_NOT_OK(retry.Backoff());
     }
-    FEDFLOW_ASSIGN_OR_RETURN(Table out, inner_->Invoke(args, ctx));
-    if (clock != nullptr) {
-      clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
-    }
-    if (state_ != nullptr) state_->MarkRun(name());
-    return out;
   }
 
   /// Streaming I-UDTF invocation: charges warm-up and start/finish exactly
@@ -186,22 +213,32 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
           break;
       }
     }
-    if (clock != nullptr) {
-      clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
+    // Same statement-level retry as Invoke; only the eager part of the inner
+    // execution can fail here (stream construction), and it restarts whole.
+    sim::RetryLoop retry(retry_, clock);
+    while (true) {
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
+      }
+      Result<fedflow::RowSourcePtr> source =
+          inner_->InvokeStream(args, ctx, batch_size);
+      if (source.ok()) {
+        if (clock != nullptr) {
+          clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
+        }
+        if (state_ != nullptr) state_->MarkRun(name());
+        return source;
+      }
+      if (!retry.ShouldRetry(source.status())) return source.status();
+      FEDFLOW_RETURN_NOT_OK(retry.Backoff());
     }
-    FEDFLOW_ASSIGN_OR_RETURN(fedflow::RowSourcePtr source,
-                             inner_->InvokeStream(args, ctx, batch_size));
-    if (clock != nullptr) {
-      clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
-    }
-    if (state_ != nullptr) state_->MarkRun(name());
-    return source;
   }
 
  private:
   std::shared_ptr<fdbs::TableFunction> inner_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;
+  const sim::RetryPolicy* retry_;
 };
 
 std::string RenderArg(const SpecArg& arg, const ParamRenderer& render_param) {
@@ -251,7 +288,8 @@ Status UdtfCoupling::RegisterAccessUdtfs() {
       FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
                                sys->GetFunction(fn_name));
       FEDFLOW_RETURN_NOT_OK(db_->catalog().RegisterTableFunction(
-          std::make_shared<AccessUdtf>(sys_name, *fn, controller_, model_)));
+          std::make_shared<AccessUdtf>(sys_name, *fn, controller_, model_,
+                                       faults_)));
     }
   }
   return Status::OK();
@@ -404,8 +442,8 @@ Status UdtfCoupling::RegisterFederatedFunction(
   def->returns = stmt.create_function->returns;
   def->body = std::move(stmt.create_function->body);
   auto inner = std::make_shared<fdbs::SqlTableFunction>(std::move(def));
-  return db_->catalog().RegisterTableFunction(
-      std::make_shared<InstrumentedIUdtf>(std::move(inner), model_, state_));
+  return db_->catalog().RegisterTableFunction(std::make_shared<InstrumentedIUdtf>(
+      std::move(inner), model_, state_, retry_));
 }
 
 }  // namespace fedflow::federation

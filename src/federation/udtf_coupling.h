@@ -14,6 +14,7 @@
 #include "fdbs/database.h"
 #include "federation/controller.h"
 #include "federation/spec.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 
@@ -34,14 +35,22 @@ Result<std::string> BuildSpecSelectSql(const FederatedFunctionSpec& spec,
 /// Wires the UDTF architecture into an FDBS.
 class UdtfCoupling {
  public:
+  /// `faults` (optional) makes the A-UDTF RMI channels unreliable; `retry`
+  /// (optional) is the statement-level retry policy of the I-UDTFs. Because
+  /// an I-UDTF keeps no state between attempts, a retry restarts the WHOLE
+  /// SQL statement — every A-UDTF runs again (contrast WfmsCoupling, which
+  /// resumes from the engine's checkpoint).
   UdtfCoupling(fdbs::Database* db, const appsys::AppSystemRegistry* systems,
                Controller* controller, const sim::LatencyModel* model,
-               sim::SystemState* state)
+               sim::SystemState* state, sim::FaultInjector* faults = nullptr,
+               const sim::RetryPolicy* retry = nullptr)
       : db_(db),
         systems_(systems),
         controller_(controller),
         model_(model),
-        state_(state) {}
+        state_(state),
+        faults_(faults),
+        retry_(retry) {}
 
   /// Registers one A-UDTF per local function of every application system
   /// (this alone is the paper's "simple UDTF architecture": applications can
@@ -72,6 +81,8 @@ class UdtfCoupling {
   Controller* controller_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;
+  sim::FaultInjector* faults_;
+  const sim::RetryPolicy* retry_;
 };
 
 }  // namespace fedflow::federation

@@ -3,6 +3,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/codec.h"
 #include "common/strings.h"
 #include "federation/binding.h"
 #include "sim/rmi.h"
@@ -20,6 +21,18 @@ using wfms::ProcessDefinition;
 Result<wfms::InvokeResult> WfmsProgramInvoker::Invoke(
     const std::string& system, const std::string& function,
     const std::vector<Value>& args) {
+  // Local calls bypass RMI under this architecture, so injected faults hit
+  // here: a faulted attempt fails when the activity's program is launched.
+  sim::FaultInjector::Decision decision;
+  if (faults_ != nullptr) decision = faults_->Consult(function);
+  if (decision.fault == sim::FaultInjector::Fault::kTransient) {
+    return Status::Unavailable("wfms: transient failure in program activity " +
+                               function);
+  }
+  if (decision.fault == sim::FaultInjector::Fault::kPermanent) {
+    return Status::Unavailable("wfms: " + function +
+                               " is down (permanent outage)");
+  }
   FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem * sys, systems_->Get(system));
   FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem::CallResult call,
                            sys->Call(function, args));
@@ -27,9 +40,31 @@ Result<wfms::InvokeResult> WfmsProgramInvoker::Invoke(
   result.output = std::move(call.table);
   // The paper's dominant WfMS cost: each activity starts a fresh Java
   // program (JVM boot) before doing its actual work.
-  result.duration = model_->wf_jvm_boot_activity_us + call.cost_us;
+  result.duration = model_->wf_jvm_boot_activity_us + call.cost_us +
+                    decision.extra_latency_us;
   result.steps.Add(wfms::steps::kProcessActivities, result.duration);
   return result;
+}
+
+const wfms::InstanceCheckpoint* WfmsWrapper::checkpoint(
+    const std::string& function) const {
+  auto it = recovery_.find(ToUpper(function));
+  if (it == recovery_.end() || !it->second.ckpt.valid) return nullptr;
+  return &it->second.ckpt;
+}
+
+WfmsWrapper::PendingRecovery& WfmsWrapper::RecoveryFor(
+    const std::string& function, const std::vector<Value>& args) {
+  PendingRecovery& rec = recovery_[ToUpper(function)];
+  ByteWriter writer;
+  writer.PutRow(args);
+  // A checkpoint only carries across attempts of the same call; different
+  // arguments mean a new statement, so a stale instance is discarded.
+  if (rec.ckpt.valid && rec.args_key != writer.buffer()) {
+    rec = PendingRecovery{};
+  }
+  rec.args_key = writer.buffer();
+  return rec;
 }
 
 Result<Table> WfmsWrapper::Execute(const std::string& function,
@@ -61,34 +96,73 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
   }
 
   // One RMI call ships the request to the workflow engine; the process runs
-  // behind it.
-  sim::RmiChannel rmi(model_);
+  // behind it, recoverably: the engine checkpoints completed activities into
+  // the wrapper's per-function recovery slot, so a retried Execute resumes
+  // the failed instance from the last completed activity.
+  PendingRecovery& rec = RecoveryFor(function, args);
+  const bool resuming = rec.ckpt.valid;
+  sim::RmiChannel rmi(model_, faults_);
   sim::RmiChannel::CallCosts costs;
   wfms::ProcessResult process_result;
-  auto handler = [this, &process_result](
+  bool engine_ran = false;
+  auto handler = [this, &process_result, &rec, &engine_ran](
                      const std::string& fn,
                      const std::vector<Value>& remote_args) -> Result<Table> {
-    Result<wfms::ProcessResult> run = engine_->Run(fn, remote_args, &invoker_);
+    engine_ran = true;
+    Result<wfms::ProcessResult> run =
+        engine_->RunRecoverable(fn, remote_args, &invoker_, &rec.ckpt);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;
   };
-  FEDFLOW_ASSIGN_OR_RETURN(Table out, rmi.Invoke(function, args, handler,
-                                                 &costs));
+  Result<Table> invoked = rmi.Invoke(function, args, handler, &costs);
+  if (!invoked.ok()) {
+    // Charge what the failed attempt really consumed: the RMI legs always
+    // (request plus error response), and — when the engine ran and left a
+    // checkpoint — the process start plus the attempt's partial work, with
+    // the clock advanced only by the newly covered instance time.
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kWfRmiCall, costs.call_us);
+      if (engine_ran) {
+        if (!resuming) {
+          clock->Charge(sim::steps::kWfProcessStart,
+                        model_->wf_process_start_us);
+        }
+        if (rec.ckpt.valid) {
+          for (const auto& [step, dur] : rec.ckpt.attempt_work.entries()) {
+            clock->ChargeWork(step, dur);
+          }
+          VDuration delta = rec.ckpt.failed_at_us - rec.engine_charged_us;
+          if (delta > 0) {
+            clock->AdvanceTo(clock->now() + delta);
+            rec.engine_charged_us = rec.ckpt.failed_at_us;
+          }
+        }
+      }
+      clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
+    }
+    return invoked.status();
+  }
+  Table out = std::move(invoked).ValueUnsafe();
   if (clock != nullptr) {
     clock->Charge(sim::steps::kWfRmiCall, costs.call_us);
-    clock->Charge(sim::steps::kWfProcessStart, model_->wf_process_start_us);
+    if (!resuming) {
+      clock->Charge(sim::steps::kWfProcessStart, model_->wf_process_start_us);
+    }
     // The engine reports per-step work and a parallel-aware elapsed time:
     // merge the work into the breakdown and advance the clock by the
-    // instance's end-to-end time.
+    // instance's end-to-end time (on a resumed run: the part not yet
+    // advanced by failed attempts — the breakdown then holds new work only).
     for (const auto& [step, dur] : process_result.breakdown.entries()) {
       clock->ChargeWork(step, dur);
     }
-    clock->AdvanceTo(clock->now() + process_result.elapsed_us);
+    VDuration delta = process_result.elapsed_us - rec.engine_charged_us;
+    if (delta > 0) clock->AdvanceTo(clock->now() + delta);
     clock->Charge(sim::steps::kWfController, model_->wf_controller_us);
     clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
     clock->Charge(sim::steps::kWfFinishUdtf, model_->wf_udtf_finish_us);
   }
+  recovery_.erase(ToUpper(function));
   if (state_ != nullptr) state_->MarkRun(function);
 
   // Coerce to the declared result schema.
@@ -132,40 +206,73 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
                   model_->wf_udtf_process_us + model_->wf_controller_process_us);
   }
 
-  sim::RmiChannel rmi(model_);
+  PendingRecovery& rec = RecoveryFor(function, args);
+  const bool resuming = rec.ckpt.valid;
+  sim::RmiChannel rmi(model_, faults_);
+  sim::RmiChannel::CallCosts costs;
   wfms::ProcessResult process_result;
-  auto handler = [this, &process_result](
+  bool engine_ran = false;
+  auto handler = [this, &process_result, &rec, &engine_ran](
                      const std::string& fn,
                      const std::vector<Value>& remote_args) -> Result<Table> {
-    Result<wfms::ProcessResult> run = engine_->Run(fn, remote_args, &invoker_);
+    engine_ran = true;
+    Result<wfms::ProcessResult> run =
+        engine_->RunRecoverable(fn, remote_args, &invoker_, &rec.ckpt);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;
   };
-  VDuration call_us = 0;
   sim::RmiChannel::ChunkCostFn on_chunk;
   if (clock != nullptr) {
     on_chunk = [clock](VDuration cost) {
       clock->Charge(sim::steps::kWfRmiReturn, cost);
     };
   }
-  FEDFLOW_ASSIGN_OR_RETURN(
-      RowSourcePtr source,
-      rmi.InvokeStreaming(function, args, handler, batch_size, &call_us,
-                          std::move(on_chunk)));
+  Result<RowSourcePtr> streamed = rmi.InvokeStreaming(
+      function, args, handler, batch_size, &costs, std::move(on_chunk));
+  if (!streamed.ok()) {
+    // Same failed-attempt accounting as Execute: RMI legs, and partial
+    // engine progress when a checkpoint was left behind.
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kWfRmiCall, costs.call_us);
+      if (engine_ran) {
+        if (!resuming) {
+          clock->Charge(sim::steps::kWfProcessStart,
+                        model_->wf_process_start_us);
+        }
+        if (rec.ckpt.valid) {
+          for (const auto& [step, dur] : rec.ckpt.attempt_work.entries()) {
+            clock->ChargeWork(step, dur);
+          }
+          VDuration delta = rec.ckpt.failed_at_us - rec.engine_charged_us;
+          if (delta > 0) {
+            clock->AdvanceTo(clock->now() + delta);
+            rec.engine_charged_us = rec.ckpt.failed_at_us;
+          }
+        }
+      }
+      clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
+    }
+    return streamed.status();
+  }
+  RowSourcePtr source = std::move(streamed).ValueUnsafe();
   if (clock != nullptr) {
-    clock->Charge(sim::steps::kWfRmiCall, call_us);
-    clock->Charge(sim::steps::kWfProcessStart, model_->wf_process_start_us);
+    clock->Charge(sim::steps::kWfRmiCall, costs.call_us);
+    if (!resuming) {
+      clock->Charge(sim::steps::kWfProcessStart, model_->wf_process_start_us);
+    }
     for (const auto& [step, dur] : process_result.breakdown.entries()) {
       clock->ChargeWork(step, dur);
     }
-    clock->AdvanceTo(clock->now() + process_result.elapsed_us);
+    VDuration delta = process_result.elapsed_us - rec.engine_charged_us;
+    if (delta > 0) clock->AdvanceTo(clock->now() + delta);
     clock->Charge(sim::steps::kWfController, model_->wf_controller_us);
     // Register the RMI-return step at its usual breakdown position; the
     // actual cost arrives per chunk as the stream is drained.
     clock->ChargeWork(sim::steps::kWfRmiReturn, 0);
     clock->Charge(sim::steps::kWfFinishUdtf, model_->wf_udtf_finish_us);
   }
+  recovery_.erase(ToUpper(function));
   if (state_ != nullptr) state_->MarkRun(function);
 
   // Coerce each pulled batch to the declared result schema.
@@ -194,12 +301,13 @@ WfmsCoupling::WfmsCoupling(fdbs::Database* db, wfms::Engine* engine,
                            const appsys::AppSystemRegistry* systems,
                            Controller* controller,
                            const sim::LatencyModel* model,
-                           sim::SystemState* state)
+                           sim::SystemState* state, sim::FaultInjector* faults,
+                           const sim::RetryPolicy* retry)
     : db_(db),
       engine_(engine),
       systems_(systems),
       wrapper_(std::make_shared<WfmsWrapper>(engine, systems, controller,
-                                             model, state)) {}
+                                             model, state, faults, retry)) {}
 
 namespace {
 

@@ -6,6 +6,8 @@
 #ifndef FEDFLOW_FEDERATION_WFMS_COUPLING_H_
 #define FEDFLOW_FEDERATION_WFMS_COUPLING_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -16,6 +18,7 @@
 #include "federation/controller.h"
 #include "federation/med_wrapper.h"
 #include "federation/spec.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 #include "wfms/engine.h"
@@ -27,9 +30,13 @@ namespace fedflow::federation {
 /// local function call in the application system.
 class WfmsProgramInvoker : public wfms::ProgramInvoker {
  public:
+  /// `faults` (optional) is consulted per local-function invocation — WfMS
+  /// program activities call the application systems directly (no RMI), so
+  /// the invoker is where their attempts can fail.
   WfmsProgramInvoker(const appsys::AppSystemRegistry* systems,
-                     const sim::LatencyModel* model)
-      : systems_(systems), model_(model) {}
+                     const sim::LatencyModel* model,
+                     sim::FaultInjector* faults = nullptr)
+      : systems_(systems), model_(model), faults_(faults) {}
 
   Result<wfms::InvokeResult> Invoke(const std::string& system,
                                     const std::string& function,
@@ -38,6 +45,7 @@ class WfmsProgramInvoker : public wfms::ProgramInvoker {
  private:
   const appsys::AppSystemRegistry* systems_;
   const sim::LatencyModel* model_;
+  sim::FaultInjector* faults_;
 };
 
 /// A compiled spec: the process plus the helpers it needs registered.
@@ -49,14 +57,24 @@ struct CompiledProcess {
 /// The SQL/MED wrapper bridging the FDBS to the workflow engine.
 class WfmsWrapper : public ForeignFunctionWrapper {
  public:
+  /// `faults` feeds both the wrapper's RMI channel (federated-function
+  /// level) and the program invoker (local-function level); `retry` is
+  /// surfaced through retry_policy() so the SQL/MED adapter drives the retry
+  /// loop. Each Execute call is ONE attempt; between attempts the wrapper
+  /// keeps the engine's InstanceCheckpoint, so a retried call resumes the
+  /// failed process instance instead of restarting it — the paper's
+  /// forward-recovery argument for the WfMS coupling.
   WfmsWrapper(wfms::Engine* engine, const appsys::AppSystemRegistry* systems,
               Controller* controller, const sim::LatencyModel* model,
-              sim::SystemState* state)
+              sim::SystemState* state, sim::FaultInjector* faults = nullptr,
+              const sim::RetryPolicy* retry = nullptr)
       : engine_(engine),
         controller_(controller),
         model_(model),
         state_(state),
-        invoker_(systems, model) {}
+        faults_(faults),
+        retry_(retry),
+        invoker_(systems, model, faults) {}
 
   std::string Name() const override { return "wfms"; }
   std::vector<ForeignFunction> Functions() const override {
@@ -83,13 +101,36 @@ class WfmsWrapper : public ForeignFunctionWrapper {
 
   wfms::ProgramInvoker* invoker() { return &invoker_; }
 
+  const sim::RetryPolicy* retry_policy() const override { return retry_; }
+
+  /// The pending recovery checkpoint of `function` (null when its last run
+  /// succeeded or it never ran). For tests and audit inspection.
+  const wfms::InstanceCheckpoint* checkpoint(const std::string& function) const;
+
  private:
+  /// Cross-attempt recovery state of one federated function.
+  struct PendingRecovery {
+    wfms::InstanceCheckpoint ckpt;
+    /// Engine-instance virtual time already advanced on the caller's clock
+    /// by earlier (failed) attempts, so a later attempt only adds the delta.
+    VTime engine_charged_us = 0;
+    /// Marshalled arguments of the attempt that created the checkpoint; a
+    /// call with different arguments discards the stale instance.
+    std::vector<uint8_t> args_key;
+  };
+
+  PendingRecovery& RecoveryFor(const std::string& function,
+                               const std::vector<Value>& args);
+
   wfms::Engine* engine_;
   Controller* controller_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;
+  sim::FaultInjector* faults_;
+  const sim::RetryPolicy* retry_;
   WfmsProgramInvoker invoker_;
   std::vector<ForeignFunction> functions_;
+  std::map<std::string, PendingRecovery> recovery_;
 };
 
 /// Wires the WfMS architecture into an FDBS + engine pair.
@@ -98,7 +139,8 @@ class WfmsCoupling {
   WfmsCoupling(fdbs::Database* db, wfms::Engine* engine,
                const appsys::AppSystemRegistry* systems,
                Controller* controller, const sim::LatencyModel* model,
-               sim::SystemState* state);
+               sim::SystemState* state, sim::FaultInjector* faults = nullptr,
+               const sim::RetryPolicy* retry = nullptr);
 
   /// Compiles a spec into a process definition plus required helpers.
   /// Handles every mapping case including loops (the cyclic case).

@@ -1,0 +1,144 @@
+#include "sim/fault.h"
+
+#include "common/strings.h"
+
+namespace fedflow::sim {
+
+namespace {
+
+// FNV-1a over the upper-cased name: platform-independent (std::hash is not),
+// so the per-function RNG streams are the same on every machine.
+uint64_t NameHash(const std::string& upper) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : upper) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::Target& FaultInjector::TargetFor(const std::string& function) {
+  std::string key = ToUpper(function);
+  auto it = targets_.find(key);
+  if (it == targets_.end()) {
+    it = targets_.emplace(key, Target(seed_ ^ NameHash(key))).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::SetProfile(const std::string& function,
+                               FaultProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TargetFor(function).profile = profile;
+}
+
+void FaultInjector::InjectTransientFailures(const std::string& function,
+                                            int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TargetFor(function).forced_transient += count;
+}
+
+void FaultInjector::ClearProfiles() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, target] : targets_) {
+    target.profile = FaultProfile{};
+    target.forced_transient = 0;
+  }
+}
+
+FaultInjector::Decision FaultInjector::Consult(const std::string& function) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Target& target = TargetFor(function);
+  ++target.attempts;
+  Decision decision;
+  if (target.forced_transient > 0) {
+    --target.forced_transient;
+    ++target.injected;
+    decision.fault = Fault::kTransient;
+    return decision;
+  }
+  const FaultProfile& p = target.profile;
+  if (p.permanent_outage) {
+    ++target.injected;
+    decision.fault = Fault::kPermanent;
+    return decision;
+  }
+  // One draw per configured hazard, in a fixed order, so a given attempt
+  // number always consumes the same slice of the function's stream.
+  if (p.transient_failure_rate > 0.0 &&
+      target.rng.Chance(p.transient_failure_rate)) {
+    ++target.injected;
+    decision.fault = Fault::kTransient;
+  }
+  if (p.latency_spike_rate > 0.0 && target.rng.Chance(p.latency_spike_rate)) {
+    decision.extra_latency_us = p.latency_spike_us;
+  }
+  return decision;
+}
+
+int64_t FaultInjector::attempts(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = targets_.find(ToUpper(function));
+  return it == targets_.end() ? 0 : it->second.attempts;
+}
+
+int64_t FaultInjector::injected_failures(const std::string& function) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = targets_.find(ToUpper(function));
+  return it == targets_.end() ? 0 : it->second.injected;
+}
+
+int64_t FaultInjector::total_attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, target] : targets_) total += target.attempts;
+  return total;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, target] : targets_) {
+    target.attempts = 0;
+    target.injected = 0;
+  }
+}
+
+VDuration RetryPolicy::BackoffBefore(int attempt) const {
+  if (attempt <= 1) return 0;
+  VDuration backoff = initial_backoff_us;
+  for (int i = 2; i < attempt; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_us) break;
+  }
+  if (backoff > max_backoff_us) backoff = max_backoff_us;
+  return backoff;
+}
+
+bool IsRetriable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+bool RetryLoop::ShouldRetry(const Status& status) const {
+  if (status.ok() || !IsRetriable(status)) return false;
+  if (policy_ == nullptr) return false;
+  return attempt_ < policy_->max_attempts;
+}
+
+Status RetryLoop::Backoff() {
+  ++attempt_;
+  VDuration backoff = policy_ ? policy_->BackoffBefore(attempt_) : 0;
+  if (clock_ != nullptr) {
+    if (policy_ != nullptr && policy_->deadline_us > 0 &&
+        clock_->now() + backoff - start_ > policy_->deadline_us) {
+      return Status::DeadlineExceeded(
+          "call exceeded its retry deadline after " +
+          std::to_string(attempt_ - 1) + " attempt(s)");
+    }
+    if (backoff > 0) clock_->Charge(steps::kRetryBackoff, backoff);
+  }
+  return Status::OK();
+}
+
+}  // namespace fedflow::sim

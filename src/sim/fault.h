@@ -1,0 +1,157 @@
+// Deterministic fault injection and retry policies for the simulated
+// integration environment. A seeded FaultInjector decides, per target
+// function, whether an invocation fails transiently, fails permanently, or
+// suffers a latency spike; the RmiChannel (and the WfMS program invoker,
+// whose local calls bypass RMI) consult it on every attempt. A RetryPolicy
+// describes how couplings react: bounded attempts with exponential backoff
+// charged to the virtual clock, under an optional per-call deadline.
+//
+// Everything is driven by common/rng.h SplitMix64 streams, one stream per
+// target function (seeded from the injector seed and an FNV-1a hash of the
+// function name), so outcomes do not depend on thread scheduling as long as
+// each function's attempts happen in a deterministic order.
+#ifndef FEDFLOW_SIM_FAULT_H_
+#define FEDFLOW_SIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vclock.h"
+
+namespace fedflow::sim {
+
+namespace steps {
+/// Breakdown step charged for virtual time spent waiting between retry
+/// attempts (lives next to the Fig. 6 labels in latency.h).
+inline constexpr char kRetryBackoff[] = "Retry backoff";
+}  // namespace steps
+
+/// Failure behaviour of one target function. All probabilities are per
+/// attempt and drawn from the function's private RNG stream.
+struct FaultProfile {
+  double transient_failure_rate = 0.0;  ///< P(attempt fails retriably)
+  bool permanent_outage = false;        ///< every attempt fails
+  double latency_spike_rate = 0.0;      ///< P(attempt is slowed)
+  VDuration latency_spike_us = 0;       ///< extra latency when spiked
+};
+
+/// Seeded, thread-safe source of injected faults. Without profiles (or with
+/// all-zero profiles) every consultation is a no-op decision, so a wired-in
+/// injector leaves fault-free runs bit-identical. Also counts attempts per
+/// function, which is how the benches measure redundant re-execution.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  enum class Fault {
+    kNone,       ///< proceed normally
+    kTransient,  ///< fail this attempt with Status::Unavailable (retriable)
+    kPermanent,  ///< target is down; every attempt fails
+  };
+
+  /// Outcome of one consultation. extra_latency_us applies to the attempt
+  /// regardless of fault (a spiked request can still fail in flight).
+  struct Decision {
+    Fault fault = Fault::kNone;
+    VDuration extra_latency_us = 0;
+  };
+
+  /// Installs (or replaces) the profile of `function`. Case-insensitive on
+  /// the function name, like the rest of the federation layer.
+  void SetProfile(const std::string& function, FaultProfile profile);
+
+  /// Queues exactly `count` forced transient failures for the next `count`
+  /// attempts against `function` (consumed before any probability draw).
+  /// This is the deterministic hook used by tests: no RNG involved.
+  void InjectTransientFailures(const std::string& function, int count);
+
+  /// Removes all profiles and queued failures; counters survive.
+  void ClearProfiles();
+
+  /// Called once per invocation attempt against `function`. Records the
+  /// attempt and decides the attempt's fate.
+  Decision Consult(const std::string& function);
+
+  /// Attempts observed against `function` (including failed ones).
+  int64_t attempts(const std::string& function) const;
+
+  /// Faults this injector has inflicted on `function`.
+  int64_t injected_failures(const std::string& function) const;
+
+  /// Attempts observed across all functions.
+  int64_t total_attempts() const;
+
+  void ResetCounters();
+
+ private:
+  struct Target {
+    explicit Target(uint64_t stream_seed) : rng(stream_seed) {}
+    FaultProfile profile;
+    Rng rng;  ///< private stream: immune to cross-function attempt order
+    int forced_transient = 0;
+    int64_t attempts = 0;
+    int64_t injected = 0;
+  };
+
+  Target& TargetFor(const std::string& function);  // callers hold mu_
+
+  uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Target> targets_;
+};
+
+/// How a coupling retries retriable failures. The default policy performs a
+/// single attempt (retries disabled), so default-constructed wiring changes
+/// nothing.
+struct RetryPolicy {
+  int max_attempts = 1;              ///< total attempts; 1 = no retries
+  VDuration initial_backoff_us = 1000;  ///< wait before the 2nd attempt
+  int backoff_multiplier = 2;        ///< exponential growth factor
+  VDuration max_backoff_us = 32000;  ///< backoff cap
+  VDuration deadline_us = 0;         ///< per-call budget; 0 = unbounded
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff charged before attempt number `attempt` (2-based; attempt 2
+  /// waits initial_backoff_us, each further attempt multiplies, capped).
+  VDuration BackoffBefore(int attempt) const;
+};
+
+/// True for failures a retry may fix (currently: kUnavailable).
+bool IsRetriable(const Status& status);
+
+/// Drives one retry loop over virtual time: tracks the attempt count and the
+/// call's virtual start time, charges backoff under steps::kRetryBackoff,
+/// and converts an exhausted deadline into Status::DeadlineExceeded.
+class RetryLoop {
+ public:
+  /// Either pointer may be null (null policy = retries disabled; null clock
+  /// = backoff uncharged, deadline unenforced).
+  RetryLoop(const RetryPolicy* policy, SimClock* clock)
+      : policy_(policy), clock_(clock), start_(clock ? clock->now() : 0) {}
+
+  /// True when `status` is retriable and attempts remain.
+  bool ShouldRetry(const Status& status) const;
+
+  /// Charges the backoff preceding the next attempt. Returns
+  /// DeadlineExceeded (without charging) when the wait would overrun the
+  /// per-call deadline. Call only after ShouldRetry returned true.
+  Status Backoff();
+
+  /// Attempts performed so far (1 after the first try).
+  int attempt() const { return attempt_; }
+
+ private:
+  const RetryPolicy* policy_;
+  SimClock* clock_;
+  int attempt_ = 1;
+  VTime start_;
+};
+
+}  // namespace fedflow::sim
+
+#endif  // FEDFLOW_SIM_FAULT_H_

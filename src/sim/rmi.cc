@@ -75,6 +75,31 @@ class ResponseStreamSource : public RowSource {
   bool charged_base_ = false;
 };
 
+/// Status returned for an injected fault.
+Status InjectedStatus(FaultInjector::Fault fault, const std::string& function) {
+  switch (fault) {
+    case FaultInjector::Fault::kNone:
+      return Status::Internal("rmi: no fault to report");
+    case FaultInjector::Fault::kTransient:
+      return Status::Unavailable("rmi: transient failure invoking " +
+                                 function);
+    case FaultInjector::Fault::kPermanent:
+      return Status::Unavailable("rmi: " + function +
+                                 " is down (permanent outage)");
+  }
+  return Status::Internal("rmi: bad fault kind");
+}
+
+/// A failed call still spent the request leg, and the error response rides
+/// back over the wire like any other (sized on the status message).
+void FillFailureCosts(const LatencyModel* model, VDuration request_us,
+                      const Status& failure, RmiChannel::CallCosts* costs) {
+  if (costs == nullptr) return;
+  costs->call_us = request_us;
+  costs->return_us =
+      model->rmi_return_base_us + model->MarshalCost(failure.message().size());
+}
+
 }  // namespace
 
 Result<Table> RmiChannel::Invoke(const std::string& function,
@@ -94,17 +119,31 @@ Result<Table> RmiChannel::Invoke(const std::string& function,
     return Status::Internal("rmi: trailing request bytes");
   }
 
-  FEDFLOW_ASSIGN_OR_RETURN(Table result, handler(remote_fn, remote_args));
+  VDuration request_us =
+      model_->rmi_call_base_us + model_->MarshalCost(request.size());
+  FaultInjector::Decision decision;
+  if (faults_ != nullptr) decision = faults_->Consult(function);
+  request_us += decision.extra_latency_us;
+  if (decision.fault != FaultInjector::Fault::kNone) {
+    Status failure = InjectedStatus(decision.fault, function);
+    FillFailureCosts(model_, request_us, failure, costs);
+    return failure;
+  }
+
+  Result<Table> result = handler(remote_fn, remote_args);
+  if (!result.ok()) {
+    FillFailureCosts(model_, request_us, result.status(), costs);
+    return result.status();
+  }
 
   // Marshal the response and unmarshal it on the caller side.
   ByteWriter response;
-  response.PutTable(result);
+  response.PutTable(result.ValueUnsafe());
   ByteReader response_reader(response.buffer());
   FEDFLOW_ASSIGN_OR_RETURN(Table reconstructed, response_reader.GetTable());
 
   if (costs != nullptr) {
-    costs->call_us =
-        model_->rmi_call_base_us + model_->MarshalCost(request.size());
+    costs->call_us = request_us;
     costs->return_us =
         model_->rmi_return_base_us + model_->MarshalCost(response.size());
   }
@@ -113,7 +152,7 @@ Result<Table> RmiChannel::Invoke(const std::string& function,
 
 Result<RowSourcePtr> RmiChannel::InvokeStreaming(
     const std::string& function, const std::vector<Value>& args,
-    const Handler& handler, size_t batch_size, VDuration* call_us,
+    const Handler& handler, size_t batch_size, CallCosts* costs,
     ChunkCostFn on_chunk) const {
   ByteWriter request;
   request.PutString(function);
@@ -126,10 +165,27 @@ Result<RowSourcePtr> RmiChannel::InvokeStreaming(
     return Status::Internal("rmi: trailing request bytes");
   }
 
-  FEDFLOW_ASSIGN_OR_RETURN(Table result, handler(remote_fn, remote_args));
+  VDuration request_us =
+      model_->rmi_call_base_us + model_->MarshalCost(request.size());
+  FaultInjector::Decision decision;
+  if (faults_ != nullptr) decision = faults_->Consult(function);
+  request_us += decision.extra_latency_us;
+  if (decision.fault != FaultInjector::Fault::kNone) {
+    Status failure = InjectedStatus(decision.fault, function);
+    FillFailureCosts(model_, request_us, failure, costs);
+    return failure;
+  }
 
-  if (call_us != nullptr) {
-    *call_us = model_->rmi_call_base_us + model_->MarshalCost(request.size());
+  Result<Table> handled = handler(remote_fn, remote_args);
+  if (!handled.ok()) {
+    FillFailureCosts(model_, request_us, handled.status(), costs);
+    return handled.status();
+  }
+  Table result = std::move(handled).ValueUnsafe();
+
+  if (costs != nullptr) {
+    costs->call_us = request_us;
+    costs->return_us = 0;  // the response leg arrives through on_chunk
   }
 
   // Marshal the response exactly as PutTable would (same byte layout, so the
@@ -155,6 +211,17 @@ Result<RowSourcePtr> RmiChannel::InvokeStreaming(
   return RowSourcePtr(new ResponseStreamSource(
       std::move(buffer), std::move(schema), num_rows, std::move(prefix),
       header_bytes, batch_size, model_, std::move(on_chunk)));
+}
+
+Result<RowSourcePtr> RmiChannel::DecodeResponseBuffer(
+    std::vector<uint8_t> buffer, size_t batch_size) const {
+  ByteReader check(buffer);
+  FEDFLOW_ASSIGN_OR_RETURN(Schema schema, check.GetSchema());
+  FEDFLOW_ASSIGN_OR_RETURN(uint32_t num_rows, check.GetU32());
+  // No cost callback: the prefix sums only feed chunk-cost accounting.
+  return RowSourcePtr(new ResponseStreamSource(std::move(buffer),
+                                               std::move(schema), num_rows, {},
+                                               0, batch_size, model_, nullptr));
 }
 
 }  // namespace fedflow::sim

@@ -1,9 +1,12 @@
 // Simulated RMI channel. Arguments and results really are marshalled through
 // the binary codec (as in the paper's Java-RMI prototype), and the modeled
-// wire cost depends on the marshalled size.
+// wire cost depends on the marshalled size. An optional FaultInjector makes
+// the channel unreliable: attempts can fail transiently or permanently
+// (surfaced as Status::Unavailable) or suffer latency spikes.
 #ifndef FEDFLOW_SIM_RMI_H_
 #define FEDFLOW_SIM_RMI_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "common/result.h"
 #include "common/row_source.h"
 #include "common/table.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 
 namespace fedflow::sim {
@@ -18,23 +22,30 @@ namespace fedflow::sim {
 /// A synchronous request/response channel with marshalling.
 class RmiChannel {
  public:
-  explicit RmiChannel(const LatencyModel* model) : model_(model) {}
+  /// `faults` (optional) is consulted once per invocation attempt; null or
+  /// profile-free injectors leave the channel reliable.
+  explicit RmiChannel(const LatencyModel* model,
+                      FaultInjector* faults = nullptr)
+      : model_(model), faults_(faults) {}
 
   /// Server side of a call: receives the function name and unmarshalled
   /// arguments, returns the result table.
   using Handler = std::function<Result<Table>(
       const std::string& function, const std::vector<Value>& args)>;
 
-  /// Costs of one round trip.
+  /// Costs of one round trip. Failed calls still have costs: the request leg
+  /// was spent before the failure, and the error response travels back over
+  /// the wire like any other (its size modeled on the status message).
   struct CallCosts {
     VDuration call_us = 0;    ///< request marshal + dispatch
-    VDuration return_us = 0;  ///< response marshal + unmarshal
+    VDuration return_us = 0;  ///< response (or error) marshal + unmarshal
   };
 
   /// Invokes `handler` "remotely": marshals `args`, unmarshals on the callee
   /// side, runs the handler, round-trips the result table the same way.
   /// Returns the reconstructed result; `costs` (optional) receives the
-  /// modeled wire costs.
+  /// modeled wire costs — on failure the request leg plus the error-response
+  /// leg, so failed attempts are never free.
   Result<Table> Invoke(const std::string& function,
                        const std::vector<Value>& args, const Handler& handler,
                        CallCosts* costs) const;
@@ -43,20 +54,30 @@ class RmiChannel {
   using ChunkCostFn = std::function<void(VDuration)>;
 
   /// Streaming variant of Invoke: the request round-trip is unchanged (the
-  /// handler runs eagerly, `call_us` receives the request cost), but the
-  /// response is decoded and handed to the caller in chunks of `batch_size`
-  /// rows. `on_chunk` (optional) is called with each chunk's wire cost as it
-  /// is pulled; chunk costs telescope over the cumulative marshalled size, so
-  /// a fully drained stream charges exactly Invoke's return_us — the base
-  /// cost and the response header ride on the first chunk.
+  /// handler runs eagerly, `costs->call_us` receives the request cost), but
+  /// the response is decoded and handed to the caller in chunks of
+  /// `batch_size` rows. `on_chunk` (optional) is called with each chunk's
+  /// wire cost as it is pulled; chunk costs telescope over the cumulative
+  /// marshalled size, so a fully drained stream charges exactly Invoke's
+  /// return_us — the base cost and the response header ride on the first
+  /// chunk. On success `costs->return_us` stays 0 (the response leg arrives
+  /// through on_chunk); on failure both legs are filled like Invoke's.
   Result<RowSourcePtr> InvokeStreaming(const std::string& function,
                                        const std::vector<Value>& args,
                                        const Handler& handler,
-                                       size_t batch_size, VDuration* call_us,
+                                       size_t batch_size, CallCosts* costs,
                                        ChunkCostFn on_chunk) const;
+
+  /// Test seam: wraps a raw marshalled response buffer in the streaming
+  /// decoder without running a handler and without charging costs. Malformed
+  /// buffers (truncated rows, inflated row counts) must surface as Status
+  /// from the header check or from Next(), never as UB.
+  Result<RowSourcePtr> DecodeResponseBuffer(std::vector<uint8_t> buffer,
+                                            size_t batch_size) const;
 
  private:
   const LatencyModel* model_;
+  FaultInjector* faults_;
 };
 
 }  // namespace fedflow::sim

@@ -23,6 +23,10 @@ const char* AuditEventName(AuditEvent event) {
       return "activity failed";
     case AuditEvent::kLoopIteration:
       return "loop iteration";
+    case AuditEvent::kActivityCheckpointed:
+      return "activity checkpointed";
+    case AuditEvent::kProcessResumed:
+      return "process resumed";
   }
   return "unknown";
 }

@@ -18,6 +18,8 @@ enum class AuditEvent {
   kActivityDead,     ///< removed by dead-path elimination
   kActivityFailed,
   kLoopIteration,    ///< a block activity began another iteration
+  kActivityCheckpointed,  ///< output persisted for forward recovery
+  kProcessResumed,        ///< instance restarted from a checkpoint
 };
 
 /// Stable name of an audit event ("activity started", ...).

@@ -36,11 +36,12 @@ class InstanceRunner {
  public:
   InstanceRunner(Engine* engine, const ProcessDefinition& def,
                  const std::vector<Value>& args, ProgramInvoker* invoker,
-                 bool use_pool)
+                 bool use_pool, InstanceCheckpoint* ckpt = nullptr)
       : engine_(engine),
         def_(def),
         invoker_(invoker),
         use_pool_(use_pool),
+        ckpt_(ckpt),
         raw_args_(args) {}
 
   Result<ProcessResult> Run();
@@ -81,6 +82,7 @@ class InstanceRunner {
   const ProcessDefinition& def_;
   ProgramInvoker* invoker_;
   const bool use_pool_;
+  InstanceCheckpoint* ckpt_;  ///< null = run without forward recovery
   const std::vector<Value>& raw_args_;
 
   mutable std::mutex mu_;
@@ -92,6 +94,10 @@ class InstanceRunner {
   std::deque<Work> inline_queue_;
   int outstanding_ = 0;
   Status error_;
+  /// (virtual failure time, activity index) of the failure error_ reports;
+  /// earliest wins so the surfaced error does not depend on which pool
+  /// thread reported first when several activities fail in one attempt.
+  std::pair<VTime, size_t> error_rank_{0, 0};
   AuditTrail audit_;
   TimeBreakdown breakdown_;
 };
@@ -124,9 +130,46 @@ Result<ProcessResult> InstanceRunner::Run() {
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    audit_.Record(0, AuditEvent::kProcessStarted, "", def_.name);
+    std::vector<size_t> restored;
+    const bool resuming = ckpt_ != nullptr && ckpt_->valid;
+    if (resuming) {
+      // Restore persisted state: completed activities keep their outputs and
+      // finish times and are never re-executed.
+      audit_ = ckpt_->audit;
+      for (const InstanceCheckpoint::CompletedActivity& c : ckpt_->completed) {
+        Result<size_t> idx = def_.ActivityIndex(c.activity);
+        if (!idx.ok()) {
+          return Status::InvalidArgument(
+              "checkpoint names unknown activity " + c.activity +
+              " of process " + def_.name);
+        }
+        states_[*idx].state = AState::kFinished;
+        states_[*idx].end = c.end_us;
+        data_.Set(c.activity, c.output);
+        restored.push_back(*idx);
+      }
+      audit_.Record(ckpt_->failed_at_us, AuditEvent::kProcessResumed, "",
+                    def_.name);
+    } else {
+      audit_.Record(0, AuditEvent::kProcessStarted, "", def_.name);
+      if (ckpt_ != nullptr) {
+        ckpt_->process = def_.name;
+        ckpt_->args = raw_args_;
+        ckpt_->completed.clear();
+        ckpt_->audit = AuditTrail();
+      }
+    }
     for (size_t i = 0; i < n; ++i) {
-      if (states_[i].incoming == 0) Schedule(i, 0);
+      if (states_[i].incoming == 0 && states_[i].state == AState::kWaiting) {
+        Schedule(i, 0);
+      }
+    }
+    // Re-fire the restored activities' outgoing connectors: conditions
+    // re-evaluate identically over the restored containers, so dead paths
+    // die again and only genuinely unfinished successors get scheduled
+    // (restored targets are kFinished and skip the scheduling branch).
+    for (size_t idx : restored) {
+      ResolveOutgoing(idx, states_[idx].end, /*source_ran=*/true);
     }
     if (use_pool_) {
       cv_.wait(lock, [this] { return outstanding_ == 0; });
@@ -148,10 +191,25 @@ Result<ProcessResult> InstanceRunner::Run() {
   }
 
   // Assemble the result (single-threaded again from here).
-  FEDFLOW_RETURN_NOT_OK(error_);
   VTime end_time = 0;
   for (const ActState& s : states_) {
     end_time = std::max(end_time, std::max(s.end, s.ready));
+  }
+  if (!error_.ok()) {
+    if (ckpt_ != nullptr) {
+      // Persist the failed instance: everything that completed stays
+      // completed; a later run with this checkpoint resumes from here.
+      ckpt_->valid = true;
+      ckpt_->failed_at_us = end_time;
+      ckpt_->attempt_work = breakdown_;
+      ckpt_->audit = audit_;
+      ckpt_->audit.Normalize();
+    }
+    return error_;
+  }
+  if (ckpt_ != nullptr) {
+    ckpt_->valid = false;
+    ckpt_->completed.clear();
   }
   audit_.Record(end_time, AuditEvent::kProcessFinished, "", def_.name);
   audit_.Normalize();
@@ -195,7 +253,7 @@ void InstanceRunner::MarkDead(size_t idx, VTime t) {
 void InstanceRunner::ResolveOutgoing(size_t idx, VTime t, bool source_ran) {
   for (const ControlConnector* c : outgoing_[idx]) {
     bool truth = false;
-    if (source_ran && error_.ok()) {
+    if (source_ran) {
       if (c->condition == nullptr) {
         truth = true;
       } else {
@@ -204,8 +262,12 @@ void InstanceRunner::ResolveOutgoing(size_t idx, VTime t, bool source_ran) {
               return ResolveRef(q, n);
             });
         if (!eval.ok()) {
-          error_ = eval.status().WithContext(
-              "evaluating transition condition " + c->from + " -> " + c->to);
+          const std::pair<VTime, size_t> rank{t, idx};
+          if (error_.ok() || rank < error_rank_) {
+            error_ = eval.status().WithContext(
+                "evaluating transition condition " + c->from + " -> " + c->to);
+            error_rank_ = rank;
+          }
           return;
         }
         truth = *eval;
@@ -216,7 +278,12 @@ void InstanceRunner::ResolveOutgoing(size_t idx, VTime t, bool source_ran) {
     st.unresolved -= 1;
     st.ready = std::max(st.ready, t);
     if (truth) st.true_in += 1;
-    if (st.unresolved == 0 && st.state == AState::kWaiting && error_.ok()) {
+    // Scheduling deliberately ignores error_: independently-ready activities
+    // always run to completion even after a sibling failed, so the set of
+    // completed (checkpointable) activities is deterministic instead of
+    // depending on how far the pool got before the failure. Only the failed
+    // activity's successors stall (Fail never resolves outgoing connectors).
+    if (st.unresolved == 0 && st.state == AState::kWaiting) {
       const JoinKind join = def_.activities[to].join;
       const bool should_run = join == JoinKind::kAnd
                                   ? st.true_in == st.incoming
@@ -234,9 +301,11 @@ void InstanceRunner::Fail(const Status& status, size_t idx, VTime t) {
   states_[idx].state = AState::kFailed;
   audit_.Record(t, AuditEvent::kActivityFailed, def_.activities[idx].name,
                 status.ToString());
-  if (error_.ok()) {
+  const std::pair<VTime, size_t> rank{t, idx};
+  if (error_.ok() || rank < error_rank_) {
     error_ = status.WithContext("activity " + def_.activities[idx].name +
                                 " in process " + def_.name);
+    error_rank_ = rank;
   }
 }
 
@@ -325,12 +394,6 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
   std::vector<Table> table_args;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!error_.ok()) {
-      // Process already failed; retire without running.
-      states_[idx].state = AState::kFailed;
-      if (--outstanding_ == 0) cv_.notify_all();
-      return;
-    }
     Status st = Status::OK();
     for (const InputSource& in : a.inputs) {
       if (a.kind == ActivityKind::kHelper) {
@@ -380,6 +443,13 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
     VTime end = start + dur;
     states_[idx].state = AState::kFinished;
     states_[idx].end = end;
+    if (ckpt_ != nullptr) {
+      // Persist the completion before the output is moved into the instance
+      // container — the paper's WfMS keeps exactly this on stable storage.
+      ckpt_->completed.push_back(
+          InstanceCheckpoint::CompletedActivity{a.name, work->output, end});
+      audit_.Record(end, AuditEvent::kActivityCheckpointed, a.name);
+    }
     data_.Set(a.name, std::move(work->output));
     if (opts.navigation_cost_us > 0) {
       breakdown_.Add(steps::kWorkflowNavigation, opts.navigation_cost_us);
@@ -574,6 +644,31 @@ Result<ProcessResult> Engine::RunDefinition(const ProcessDefinition& def,
   FEDFLOW_RETURN_NOT_OK(ValidateProcess(def));
   InstanceRunner runner(this, def, args, invoker, /*use_pool=*/true);
   return runner.Run();
+}
+
+Result<ProcessResult> Engine::RunRecoverable(const std::string& process,
+                                             const std::vector<Value>& args,
+                                             ProgramInvoker* invoker,
+                                             InstanceCheckpoint* ckpt) {
+  if (ckpt == nullptr) {
+    return Status::InvalidArgument("RunRecoverable requires a checkpoint");
+  }
+  FEDFLOW_ASSIGN_OR_RETURN(const ProcessDefinition* def, GetProcess(process));
+  if (ckpt->valid && !EqualsIgnoreCase(ckpt->process, def->name)) {
+    return Status::InvalidArgument("checkpoint belongs to process " +
+                                   ckpt->process + ", not " + def->name);
+  }
+  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true, ckpt);
+  return runner.Run();
+}
+
+Result<ProcessResult> Engine::ResumeFrom(InstanceCheckpoint& ckpt,
+                                         ProgramInvoker* invoker) {
+  if (!ckpt.valid) {
+    return Status::InvalidArgument(
+        "checkpoint does not hold a failed instance");
+  }
+  return RunRecoverable(ckpt.process, ckpt.args, invoker, &ckpt);
 }
 
 }  // namespace fedflow::wfms

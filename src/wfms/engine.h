@@ -55,6 +55,34 @@ struct ProcessResult {
   AuditTrail audit;
 };
 
+/// Persistent state of a process instance for forward recovery: the output
+/// containers and audit trail as of the last completed activity, exactly what
+/// the paper credits the WfMS with keeping on persistent storage. Written by
+/// RunRecoverable after every activity completion; consumed by ResumeFrom.
+struct InstanceCheckpoint {
+  /// True while a failed instance is waiting to be resumed. A successful run
+  /// invalidates the checkpoint.
+  bool valid = false;
+  std::string process;
+  std::vector<Value> args;
+
+  /// One persisted activity completion (output container + finish time).
+  struct CompletedActivity {
+    std::string activity;
+    Table output;
+    VTime end_us = 0;
+  };
+  std::vector<CompletedActivity> completed;
+
+  /// Audit trail up to (and including) the failure.
+  AuditTrail audit;
+  /// Virtual time at which the failed attempt stopped navigating.
+  VTime failed_at_us = 0;
+  /// Work the failed attempt performed (new work only, not restored work),
+  /// so callers can still charge partial progress to the virtual clock.
+  TimeBreakdown attempt_work;
+};
+
 /// A production-workflow engine (MQSeries Workflow stand-in).
 class Engine {
  public:
@@ -88,6 +116,26 @@ class Engine {
   Result<ProcessResult> RunDefinition(const ProcessDefinition& def,
                                       const std::vector<Value>& args,
                                       ProgramInvoker* invoker);
+
+  /// Like Run, but with forward recovery through `ckpt` (must not be null):
+  /// after every completed activity the instance's container/audit state is
+  /// persisted into the checkpoint. On failure `ckpt->valid` becomes true and
+  /// a subsequent RunRecoverable with the same checkpoint resumes from the
+  /// last completed activity — finished activities are restored, not
+  /// re-executed; only the failed activity and its not-yet-run successors
+  /// navigate again. On success the checkpoint is invalidated. A resumed
+  /// result's breakdown holds the new work only, while elapsed_us spans the
+  /// whole instance timeline.
+  Result<ProcessResult> RunRecoverable(const std::string& process,
+                                       const std::vector<Value>& args,
+                                       ProgramInvoker* invoker,
+                                       InstanceCheckpoint* ckpt);
+
+  /// Resumes the failed instance persisted in `ckpt` (whose audit trail and
+  /// containers name the completed activities) with the checkpointed
+  /// arguments. InvalidArgument when the checkpoint holds no failed instance.
+  Result<ProcessResult> ResumeFrom(InstanceCheckpoint& ckpt,
+                                   ProgramInvoker* invoker);
 
   const EngineOptions& options() const { return options_; }
 

@@ -5,7 +5,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <thread>
 
 namespace fedflow {
 namespace {
@@ -78,6 +80,50 @@ TEST(ThreadPoolTest, StressManyProducersEnqueueFromPoolThreads) {
   });
   EXPECT_TRUE(finished);
   EXPECT_EQ(done.load(), kProducers * kChildrenPerProducer);
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownRunsTaskInline) {
+  // Regression: a Submit racing the destructor could enqueue a task no
+  // worker would ever pop — it silently never ran. Late tasks now run
+  // inline on the submitting thread.
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* raw = pool.get();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool worker_pinned = false;
+  bool release = false;
+  // Pin the single worker so the destructor blocks in join() with the
+  // shutdown flag already set.
+  raw->Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    worker_pinned = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_pinned; });
+  }
+  std::thread destroyer([&] { pool.reset(); });
+  while (!raw->shutdown_started()) {
+    std::this_thread::yield();
+  }
+  // The destructor has begun; a Submit now must still run the task —
+  // synchronously, on this thread.
+  std::thread::id ran_on{};
+  raw->Submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  destroyer.join();
+}
+
+TEST(ThreadPoolTest, ShutdownStartedFalseWhileAlive) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.shutdown_started());
 }
 
 TEST(ThreadPoolTest, TasksRunConcurrently) {

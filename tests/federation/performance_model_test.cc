@@ -203,6 +203,107 @@ TEST_F(PerformanceModelTest, HotCallsAreDeterministic) {
   EXPECT_EQ(a.breakdown.Total(), b.breakdown.Total());
 }
 
+TEST_F(PerformanceModelTest, WfmsRecoveryReExecutesFewerLocalFunctions) {
+  // The fault/recovery claim: after a transient failure in the last local
+  // function, the WfMS engine resumes the failed instance from its
+  // checkpoint (only GetNumber re-runs), while the stateless I-UDTF restarts
+  // the whole statement (all three A-UDTFs re-run).
+  auto w_clean = Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  auto u_clean = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());
+
+  for (IntegrationServer* server : {wfms_.get(), udtf_.get()}) {
+    server->retry_policy().max_attempts = 4;
+    server->fault_injector().ResetCounters();
+    server->fault_injector().InjectTransientFailures("GetNumber", 1);
+  }
+  auto w_fault = wfms_->CallFederated("GetNoSuppComp", NoSuppArgs());
+  auto u_fault = udtf_->CallFederated("GetNoSuppComp", NoSuppArgs());
+  ASSERT_TRUE(w_fault.ok()) << w_fault.status();
+  ASSERT_TRUE(u_fault.ok()) << u_fault.status();
+  EXPECT_EQ(w_fault->table.rows().size(), w_clean.table.rows().size());
+
+  sim::FaultInjector& wf = wfms_->fault_injector();
+  sim::FaultInjector& uf = udtf_->fault_injector();
+  // Both architectures retried the failed function once.
+  EXPECT_EQ(wf.attempts("GetNumber"), 2);
+  EXPECT_EQ(uf.attempts("GetNumber"), 2);
+  // WfMS forward recovery: the completed activities were restored from the
+  // checkpoint, not re-executed.
+  EXPECT_EQ(wf.attempts("GetSupplierNo"), 1);
+  EXPECT_EQ(wf.attempts("GetCompNo"), 1);
+  // UDTF whole-statement restart: every A-UDTF ran again.
+  EXPECT_EQ(uf.attempts("GetSupplierNo"), 2);
+  EXPECT_EQ(uf.attempts("GetCompNo"), 2);
+  auto local_attempts = [](sim::FaultInjector& f) {
+    return f.attempts("GetSupplierNo") + f.attempts("GetCompNo") +
+           f.attempts("GetNumber");
+  };
+  EXPECT_LT(local_attempts(wf), local_attempts(uf))
+      << "WfMS recovery must re-execute strictly fewer local functions";
+
+  // The redundant work also shows in virtual time: the WfMS failure penalty
+  // (retry backoff + one extra wrapper round trip + the re-run activity) is
+  // smaller than the UDTF penalty of re-running the whole statement.
+  VDuration w_penalty = w_fault->elapsed_us - w_clean.elapsed_us;
+  VDuration u_penalty = u_fault->elapsed_us - u_clean.elapsed_us;
+  EXPECT_GT(w_penalty, 0);
+  EXPECT_GT(u_penalty, 0);
+  EXPECT_LT(w_penalty, u_penalty);
+
+  // Both calls succeeded, so no recovery state lingers.
+  EXPECT_EQ(wfms_->recovery_checkpoint("GetNoSuppComp"), nullptr);
+  // Both runs charged the backoff step.
+  EXPECT_GT(w_fault->breakdown.Of(sim::steps::kRetryBackoff), 0);
+  EXPECT_GT(u_fault->breakdown.Of(sim::steps::kRetryBackoff), 0);
+}
+
+TEST_F(PerformanceModelTest, CheckpointSurvivesExhaustedRetriesAcrossCalls) {
+  // A permanent outage exhausts the retry budget and the federated call
+  // fails — but the WfMS keeps the failed instance's checkpoint, so once the
+  // outage clears, the next call resumes instead of restarting.
+  (void)Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  wfms_->retry_policy().max_attempts = 3;
+  sim::FaultProfile down;
+  down.permanent_outage = true;
+  wfms_->fault_injector().SetProfile("GetNumber", down);
+  wfms_->fault_injector().ResetCounters();
+
+  auto failed = wfms_->CallFederated("GetNoSuppComp", NoSuppArgs());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  const wfms::InstanceCheckpoint* ckpt =
+      wfms_->recovery_checkpoint("GetNoSuppComp");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_TRUE(ckpt->valid);
+  EXPECT_EQ(wfms_->fault_injector().attempts("GetNumber"), 3);
+  EXPECT_EQ(wfms_->fault_injector().attempts("GetSupplierNo"), 1)
+      << "completed siblings ran once and were checkpointed";
+
+  wfms_->fault_injector().ClearProfiles();
+  auto recovered = wfms_->CallFederated("GetNoSuppComp", NoSuppArgs());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(wfms_->fault_injector().attempts("GetSupplierNo"), 1)
+      << "recovery after the outage must not re-run completed activities";
+  EXPECT_EQ(wfms_->fault_injector().attempts("GetNumber"), 4);
+  EXPECT_EQ(wfms_->recovery_checkpoint("GetNoSuppComp"), nullptr);
+}
+
+TEST_F(PerformanceModelTest, DisabledInjectorLeavesTotalsUntouched) {
+  // Touching the fault APIs without enabling anything must not perturb the
+  // virtual-time model: a server whose injector was consulted-but-inert
+  // produces the same totals as a pristine one.
+  auto pristine = MakeSampleServer(Architecture::kWfms);
+  ASSERT_TRUE(pristine.ok());
+  auto baseline = Hot(pristine->get(), "GetNoSuppComp", NoSuppArgs());
+
+  wfms_->fault_injector().InjectTransientFailures("GetNumber", 0);
+  wfms_->fault_injector().SetProfile("GetCompNo", sim::FaultProfile{});
+  auto touched = Hot(wfms_.get(), "GetNoSuppComp", NoSuppArgs());
+  EXPECT_EQ(touched.elapsed_us, baseline.elapsed_us);
+  EXPECT_EQ(touched.breakdown.Total(), baseline.breakdown.Total());
+  EXPECT_EQ(touched.breakdown.Of(sim::steps::kRetryBackoff), 0);
+}
+
 TEST_F(PerformanceModelTest, MoreLocalFunctionsCostMore) {
   auto one = Hot(udtf_.get(), "GibKompNr", {Value::Varchar("brakepad")});
   auto three = Hot(udtf_.get(), "GetNoSuppComp", NoSuppArgs());

@@ -493,5 +493,192 @@ TEST_F(EngineTest, ParallelActivitiesReallyRunConcurrently) {
   ASSERT_TRUE(result.ok()) << result.status();
 }
 
+// --- Forward recovery -------------------------------------------------------
+
+/// Counts audit entries of `event` in `trail`.
+int CountEvents(const AuditTrail& trail, AuditEvent event) {
+  int n = 0;
+  for (const AuditEntry& e : trail.entries()) {
+    if (e.event == event) ++n;
+  }
+  return n;
+}
+
+class RecoveryTest : public EngineTest {
+ protected:
+  /// Registers chain A(100) -> B(200) -> C(300) whose middle activity fails
+  /// `fail_b_times` times before succeeding.
+  void RegisterChain(int fail_b_times) {
+    invoker_.DefineAddOne("f_a", 100);
+    auto remaining = std::make_shared<int>(fail_b_times);
+    invoker_.Define("f_b", 200, [remaining](const std::vector<Value>& args) {
+      if (*remaining > 0) {
+        --*remaining;
+        return Result<Table>(Status::Unavailable("flaky backend"));
+      }
+      Schema s;
+      s.AddColumn("v", DataType::kInt);
+      Table t(s);
+      t.AppendRowUnchecked({Value::Int(args[0].AsInt() + 1)});
+      return Result<Table>(std::move(t));
+    });
+    invoker_.DefineAddOne("f_c", 300);
+    ProcessBuilder b("chain");
+    b.Input("x", DataType::kInt);
+    b.Program("A", "sys", "f_a", {InputSource::FromProcessInput("x")});
+    b.Program("B", "sys", "f_b", {InputSource::FromActivity("A", "v")});
+    b.Program("C", "sys", "f_c", {InputSource::FromActivity("B", "v")});
+    b.Connect("A", "B");
+    b.Connect("B", "C");
+    b.Output("C");
+    auto def = b.Build();
+    ASSERT_TRUE(def.ok());
+    ASSERT_TRUE(engine_.RegisterProcess(*def).ok());
+  }
+
+  /// Program-activity invocations so far, by function name.
+  int Calls(const std::string& fn) {
+    int n = 0;
+    for (const auto& [system, function] : invoker_.calls()) {
+      if (function == fn) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(RecoveryTest, FailurePersistsCompletedActivitiesInCheckpoint) {
+  RegisterChain(/*fail_b_times=*/1);
+  InstanceCheckpoint ckpt;
+  auto failed =
+      engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, &ckpt);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(ckpt.valid);
+  EXPECT_EQ(ckpt.process, "chain");
+  ASSERT_EQ(ckpt.completed.size(), 1u);
+  EXPECT_EQ(ckpt.completed[0].activity, "A");
+  EXPECT_EQ(ckpt.completed[0].end_us, 100);
+  EXPECT_EQ(ckpt.completed[0].output.rows()[0][0].AsInt(), 6);
+  EXPECT_EQ(ckpt.failed_at_us, 100);
+  EXPECT_EQ(ckpt.attempt_work.Of(steps::kProcessActivities), 100)
+      << "the failed activity charges no work";
+  EXPECT_EQ(CountEvents(ckpt.audit, AuditEvent::kActivityCheckpointed), 1);
+  EXPECT_EQ(CountEvents(ckpt.audit, AuditEvent::kActivityFailed), 1);
+}
+
+TEST_F(RecoveryTest, ResumeReExecutesOnlyFailedAndUnrunActivities) {
+  RegisterChain(/*fail_b_times=*/1);
+  InstanceCheckpoint ckpt;
+  ASSERT_FALSE(
+      engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, &ckpt).ok());
+  EXPECT_EQ(Calls("f_a"), 1);
+  EXPECT_EQ(Calls("f_b"), 1);
+  EXPECT_EQ(Calls("f_c"), 0);
+
+  auto resumed = engine_.ResumeFrom(ckpt, &invoker_);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->output.rows()[0][0].AsInt(), 8);
+  // A was restored from the checkpoint, not re-executed.
+  EXPECT_EQ(Calls("f_a"), 1);
+  EXPECT_EQ(Calls("f_b"), 2);
+  EXPECT_EQ(Calls("f_c"), 1);
+  // elapsed_us spans the whole instance timeline...
+  EXPECT_EQ(resumed->elapsed_us, 600);
+  // ...while the breakdown holds only the new work (B + C, not A).
+  EXPECT_EQ(resumed->breakdown.Of(steps::kProcessActivities), 500);
+  EXPECT_EQ(CountEvents(resumed->audit, AuditEvent::kProcessResumed), 1);
+  // Success invalidates the checkpoint.
+  EXPECT_FALSE(ckpt.valid);
+}
+
+TEST_F(RecoveryTest, SiblingBranchesRunToCompletionAndAreCheckpointed) {
+  // Deterministic failure semantics: a failing activity does not cancel
+  // independent branches, so the checkpoint content is the same regardless
+  // of thread timing — the slow sibling is persisted, the failed branch and
+  // the join are not.
+  invoker_.DefineAddOne("slow_ok", 1000, "a");
+  auto remaining = std::make_shared<int>(1);
+  invoker_.Define("fail_once", 10, [remaining](const std::vector<Value>&) {
+    if (*remaining > 0) {
+      --*remaining;
+      return Result<Table>(Status::Unavailable("flaky"));
+    }
+    Schema s;
+    s.AddColumn("b", DataType::kInt);
+    Table t(s);
+    t.AppendRowUnchecked({Value::Int(7)});
+    return Result<Table>(std::move(t));
+  });
+  ProcessBuilder b("fork");
+  b.Input("x", DataType::kInt);
+  b.Program("S", "sys", "slow_ok", {InputSource::FromProcessInput("x")});
+  b.Program("F", "sys", "fail_once", {InputSource::FromProcessInput("x")});
+  b.Helper("J", "concat",
+           {InputSource::FromActivity("S", ""),
+            InputSource::FromActivity("F", "")});
+  b.Connect("S", "J");
+  b.Connect("F", "J");
+  b.Output("J");
+  auto def = b.Build();
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(engine_.RegisterProcess(*def).ok());
+
+  InstanceCheckpoint ckpt;
+  ASSERT_FALSE(
+      engine_.RunRecoverable("fork", {Value::Int(1)}, &invoker_, &ckpt).ok());
+  ASSERT_TRUE(ckpt.valid);
+  ASSERT_EQ(ckpt.completed.size(), 1u);
+  EXPECT_EQ(ckpt.completed[0].activity, "S");
+
+  auto resumed = engine_.ResumeFrom(ckpt, &invoker_);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(Calls("slow_ok"), 1) << "the slow sibling must not re-execute";
+  EXPECT_EQ(Calls("fail_once"), 2);
+  EXPECT_EQ(resumed->output.schema().num_columns(), 2u);
+}
+
+TEST_F(RecoveryTest, ExhaustedRetriesKeepCheckpointUsable) {
+  // Two consecutive failures: each failed attempt refreshes the checkpoint
+  // and the third run completes from it.
+  RegisterChain(/*fail_b_times=*/2);
+  InstanceCheckpoint ckpt;
+  ASSERT_FALSE(
+      engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, &ckpt).ok());
+  ASSERT_FALSE(engine_.ResumeFrom(ckpt, &invoker_).ok());
+  ASSERT_TRUE(ckpt.valid);
+  auto ok = engine_.ResumeFrom(ckpt, &invoker_);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(Calls("f_a"), 1);
+  EXPECT_EQ(Calls("f_b"), 3);
+}
+
+TEST_F(RecoveryTest, GuardsRejectBadCheckpoints) {
+  RegisterChain(/*fail_b_times=*/0);
+  auto null_ckpt =
+      engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, nullptr);
+  EXPECT_FALSE(null_ckpt.ok());
+
+  InstanceCheckpoint ckpt;
+  auto not_failed = engine_.ResumeFrom(ckpt, &invoker_);
+  EXPECT_FALSE(not_failed.ok());
+
+  ckpt.valid = true;
+  ckpt.process = "some_other_process";
+  auto mismatch =
+      engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, &ckpt);
+  EXPECT_FALSE(mismatch.ok());
+}
+
+TEST_F(RecoveryTest, SuccessfulRunLeavesCheckpointInvalid) {
+  RegisterChain(/*fail_b_times=*/0);
+  InstanceCheckpoint ckpt;
+  auto ok = engine_.RunRecoverable("chain", {Value::Int(5)}, &invoker_, &ckpt);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(ckpt.valid);
+  EXPECT_TRUE(ckpt.completed.empty());
+  EXPECT_EQ(ok->output.rows()[0][0].AsInt(), 8);
+  EXPECT_EQ(ok->elapsed_us, 600);
+}
+
 }  // namespace
 }  // namespace fedflow::wfms
