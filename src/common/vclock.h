@@ -53,6 +53,19 @@ class TimeBreakdown {
   std::vector<std::pair<std::string, VDuration>> entries_;
 };
 
+/// Observes every charge recorded on a SimClock. The tracing subsystem
+/// (src/obs) attaches one of these to mirror (step, duration) pairs into the
+/// currently open span; with no observer installed charging stays a pair of
+/// inlined adds.
+class ClockObserver {
+ public:
+  virtual ~ClockObserver() = default;
+
+  /// Called for each Charge()/ChargeWork() with the recorded step and
+  /// duration (AdvanceTo records no step and is not observed).
+  virtual void OnCharge(const std::string& step, VDuration duration_us) = 0;
+};
+
 /// Per-call virtual clock. Sequential work advances the clock and is recorded
 /// in the breakdown; concurrent work (parallel workflow branches) is recorded
 /// as work in the breakdown while the clock advances to the max branch end,
@@ -63,16 +76,23 @@ class SimClock {
   const TimeBreakdown& breakdown() const { return breakdown_; }
   TimeBreakdown& mutable_breakdown() { return breakdown_; }
 
+  /// Installs (or with nullptr removes) the charge observer. Not owned; the
+  /// observer must outlive the clock or be detached first.
+  void set_observer(ClockObserver* observer) { observer_ = observer; }
+  ClockObserver* observer() const { return observer_; }
+
   /// Sequential charge: advances the clock and records the step.
   void Charge(const std::string& step, VDuration dur) {
     now_ += dur;
     breakdown_.Add(step, dur);
+    if (observer_ != nullptr) observer_->OnCharge(step, dur);
   }
 
   /// Records work without advancing the clock (parallel branches record
   /// their work here; the navigator advances the clock with AdvanceTo).
   void ChargeWork(const std::string& step, VDuration dur) {
     breakdown_.Add(step, dur);
+    if (observer_ != nullptr) observer_->OnCharge(step, dur);
   }
 
   /// Moves the clock forward to `t` if t is later (join of parallel tokens).
@@ -88,6 +108,7 @@ class SimClock {
  private:
   VTime now_ = 0;
   TimeBreakdown breakdown_;
+  ClockObserver* observer_ = nullptr;
 };
 
 }  // namespace fedflow

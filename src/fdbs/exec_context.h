@@ -5,6 +5,11 @@
 #include "common/row_source.h"
 #include "common/vclock.h"
 
+namespace fedflow::obs {
+class TraceSession;
+class MetricsRegistry;
+}  // namespace fedflow::obs
+
 namespace fedflow::fdbs {
 
 class Database;
@@ -40,6 +45,16 @@ struct ExecContext {
   /// Optional residency instrumentation for the execution pipeline; may be
   /// null (the default — tracking costs a few counter updates per batch).
   PipelineStats* pipeline_stats = nullptr;
+
+  /// Optional tracing session (src/obs). When set and its tracer is enabled,
+  /// the executor and the couplings open spans and the clock's charges are
+  /// mirrored into the current span. Null (or a disabled tracer) keeps every
+  /// instrumentation site a no-op.
+  obs::TraceSession* trace = nullptr;
+
+  /// Optional metrics sink for call counts, retries, and warmth transitions;
+  /// may be null.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// The effective batch size (batch_size == 0 means "unbounded").
   size_t EffectiveBatchSize() const {

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "fdbs/catalog.h"
 #include "fdbs/database.h"
+#include "obs/trace.h"
 
 namespace fedflow::fdbs {
 
@@ -369,9 +370,14 @@ class LateralApplySource : public RowSource {
     scope->set_row(nullptr);
     scope->set_visibility_mask(nullptr);
     FEDFLOW_RETURN_NOT_OK(status);
+    // One span per lateral A-UDTF step: covers the eager part of the
+    // invocation (where the coupling charges its per-step costs).
+    obs::SpanScope step(chain_->ctx->trace, "lateral:" + ref_->name,
+                        obs::Layer::kFdbs);
     Result<RowSourcePtr> stream =
         fn_->InvokeStream(args, *chain_->ctx, chain_->batch_size);
     if (!stream.ok()) {
+      step.SetStatus(stream.status());
       return stream.status().WithContext("in table function " + ref_->name);
     }
     if ((*stream)->schema().num_columns() != fn_->result_schema().num_columns()) {

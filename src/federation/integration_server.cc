@@ -32,11 +32,13 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
   FEDFLOW_RETURN_NOT_OK(
       server->systems_.Add(std::make_shared<appsys::PdmSystem>(scenario)));
 
+  server->state_.AttachMetrics(&server->metrics_);
   if (arch == Architecture::kWfms) {
     wfms::EngineOptions options;
     options.navigation_cost_us = server->model_.wf_navigation_us;
     options.container_cost_us = server->model_.wf_container_us;
     options.helper_cost_us = server->model_.wf_helper_us;
+    options.metrics = &server->metrics_;
     server->engine_ = std::make_unique<wfms::Engine>(options);
     server->wfms_ = std::make_unique<WfmsCoupling>(
         &server->db_, server->engine_.get(), &server->systems_,
@@ -92,12 +94,27 @@ Result<Table> IntegrationServer::Query(const std::string& sql) {
 Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimed(
     const std::string& sql) {
   SimClock clock;
+  obs::TraceSession session(&tracer_, &clock);
   fdbs::ExecContext ctx;
   ctx.clock = &clock;
   ctx.db = &db_;
-  FEDFLOW_ASSIGN_OR_RETURN(Table table, db_.Execute(sql, ctx));
+  ctx.trace = &session;
+  ctx.metrics = &metrics_;
+  Result<Table> table = [&] {
+    // While the session observes the clock, every Charge/ChargeWork lands in
+    // the current span — the completeness invariant that makes the span tree
+    // reproduce the breakdown exactly.
+    if (tracer_.enabled()) clock.set_observer(&session);
+    obs::SpanScope root(&session, "query", obs::Layer::kFdbs);
+    root.SetAttribute("sql", sql);
+    Result<Table> t = db_.Execute(sql, ctx);
+    if (!t.ok()) root.SetStatus(t.status());
+    return t;
+  }();
+  clock.set_observer(nullptr);
+  FEDFLOW_RETURN_NOT_OK(table.status());
   TimedResult result;
-  result.table = std::move(table);
+  result.table = std::move(table).ValueUnsafe();
   result.elapsed_us = clock.now();
   result.breakdown = clock.breakdown();
   return result;
@@ -114,6 +131,14 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
   sql += ")) AS R";
   FEDFLOW_ASSIGN_OR_RETURN(TimedResult result, QueryTimed(sql));
   result.warmth = warmth;
+  metrics_.Inc("call.count");
+  metrics_.Inc("call.function." + name);
+  metrics_.Inc(std::string("call.warmth.") + sim::WarmthName(warmth));
+  metrics_.Observe(std::string("call.elapsed_us.") + sim::WarmthName(warmth),
+                   result.elapsed_us);
+  metrics_.Observe(
+      "call.elapsed_us." + name + "." + sim::WarmthName(warmth),
+      result.elapsed_us);
   return result;
 }
 

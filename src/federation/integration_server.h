@@ -19,6 +19,8 @@
 #include "federation/java_coupling.h"
 #include "federation/udtf_coupling.h"
 #include "federation/wfms_coupling.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
@@ -96,6 +98,16 @@ class IntegrationServer {
   /// couplings hold a pointer to this instance).
   sim::RetryPolicy& retry_policy() { return retry_policy_; }
 
+  /// The server's tracer. Default-disabled (every instrumentation site is a
+  /// no-op and virtual-time totals are bit-identical to an uninstrumented
+  /// build); call tracer().Enable() before a query to collect spans, then
+  /// tracer().Snapshot() to export them.
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Counters and virtual-time histograms: per-function call counts, warmth
+  /// transitions, retries, workflow checkpoints/resumes.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Forward-recovery checkpoint of a failed WfMS federated function; null
   /// under the UDTF architectures or when no instance is pending.
   const wfms::InstanceCheckpoint* recovery_checkpoint(
@@ -118,6 +130,8 @@ class IntegrationServer {
 
   Architecture arch_;
   sim::LatencyModel model_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
   appsys::AppSystemRegistry systems_;
   Controller controller_;
   sim::SystemState state_;

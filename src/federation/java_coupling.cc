@@ -6,6 +6,7 @@
 #include "fdbs/procedural_function.h"
 #include "federation/binding.h"
 #include "federation/udtf_coupling.h"
+#include "obs/trace.h"
 
 namespace fedflow::federation {
 
@@ -122,6 +123,8 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
     Result<Table> Invoke(const std::vector<Value>& args,
                          fdbs::ExecContext& ctx) override {
       SimClock* clock = ctx.clock;
+      obs::SpanScope span(ctx.trace, "java-iudtf:" + name(),
+                          obs::Layer::kCoupling);
       if (clock != nullptr && state_ != nullptr) {
         switch (state_->QueryWarmth(name())) {
           case sim::SystemState::Warmth::kCold:

@@ -23,7 +23,8 @@ class WrapperUdtf : public fdbs::TableFunction {
 
   Result<Table> Invoke(const std::vector<Value>& args,
                        fdbs::ExecContext& ctx) override {
-    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock);
+    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock, ctx.metrics,
+                         descriptor_.name);
     while (true) {
       Result<Table> out = wrapper_->Execute(descriptor_.name, args, ctx);
       if (out.ok() || !retry.ShouldRetry(out.status())) return out;
@@ -34,7 +35,8 @@ class WrapperUdtf : public fdbs::TableFunction {
   Result<RowSourcePtr> InvokeStream(const std::vector<Value>& args,
                                     fdbs::ExecContext& ctx,
                                     size_t batch_size) override {
-    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock);
+    sim::RetryLoop retry(wrapper_->retry_policy(), ctx.clock, ctx.metrics,
+                         descriptor_.name);
     while (true) {
       Result<RowSourcePtr> out =
           wrapper_->ExecuteStream(descriptor_.name, args, ctx, batch_size);

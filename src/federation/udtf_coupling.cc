@@ -7,6 +7,7 @@
 #include "fdbs/sql_function.h"
 #include "federation/binding.h"
 #include "federation/classify.h"
+#include "obs/trace.h"
 #include "sim/rmi.h"
 #include "sql/parser.h"
 
@@ -38,23 +39,34 @@ class AccessUdtf : public fdbs::TableFunction {
   Result<Table> Invoke(const std::vector<Value>& args,
                        fdbs::ExecContext& ctx) override {
     SimClock* clock = ctx.clock;
+    obs::SpanScope span(ctx.trace, "audtf:" + name_, obs::Layer::kCoupling);
+    span.SetAttribute("system", system_);
     if (clock != nullptr) {
       clock->Charge(sim::steps::kUdtfPrepareA,
                     model_->udtf_prepare_a_us + model_->controller_attach_us);
     }
     Controller::DispatchResult dispatched;
     sim::RmiChannel::CallCosts costs;
-    auto handler = [this, &dispatched](
+    obs::TraceSession* trace = ctx.trace;
+    auto handler = [this, &dispatched, trace](
                        const std::string& fn,
                        const std::vector<Value>& remote_args) -> Result<Table> {
+      // Runs under the serve-side RMI span: the local-function execution
+      // inside the application system gets its own appsys-layer span.
+      obs::SpanScope local(trace, "local:" + fn, obs::Layer::kAppsys);
+      local.SetAttribute("system", system_);
       Result<Controller::DispatchResult> d =
           controller_->Dispatch(system_, fn, remote_args);
-      if (!d.ok()) return d.status();
+      if (!d.ok()) {
+        local.SetStatus(d.status());
+        return d.status();
+      }
       dispatched = std::move(*d);
       return dispatched.table;
     };
-    Result<Table> out = rmi_.Invoke(name_, args, handler, &costs);
+    Result<Table> out = rmi_.Invoke(name_, args, handler, &costs, ctx.trace);
     if (!out.ok()) {
+      span.SetStatus(out.status());
       // A failed call is not free: the request leg was spent and the error
       // response still travels back (satellite fix for rmi cost accounting).
       if (clock != nullptr) {
@@ -84,17 +96,26 @@ class AccessUdtf : public fdbs::TableFunction {
                                              fdbs::ExecContext& ctx,
                                              size_t batch_size) override {
     SimClock* clock = ctx.clock;
+    obs::SpanScope span(ctx.trace, "audtf:" + name_, obs::Layer::kCoupling);
+    span.SetAttribute("system", system_);
+    span.SetAttribute("streaming", "true");
     if (clock != nullptr) {
       clock->Charge(sim::steps::kUdtfPrepareA,
                     model_->udtf_prepare_a_us + model_->controller_attach_us);
     }
     Controller::DispatchResult dispatched;
-    auto handler = [this, &dispatched](
+    obs::TraceSession* trace = ctx.trace;
+    auto handler = [this, &dispatched, trace](
                        const std::string& fn,
                        const std::vector<Value>& remote_args) -> Result<Table> {
+      obs::SpanScope local(trace, "local:" + fn, obs::Layer::kAppsys);
+      local.SetAttribute("system", system_);
       Result<Controller::DispatchResult> d =
           controller_->Dispatch(system_, fn, remote_args);
-      if (!d.ok()) return d.status();
+      if (!d.ok()) {
+        local.SetStatus(d.status());
+        return d.status();
+      }
       dispatched = std::move(*d);
       return dispatched.table;
     };
@@ -105,9 +126,11 @@ class AccessUdtf : public fdbs::TableFunction {
         clock->Charge(sim::steps::kUdtfRmiReturns, cost);
       };
     }
-    Result<fedflow::RowSourcePtr> source = rmi_.InvokeStreaming(
-        name_, args, handler, batch_size, &costs, std::move(on_chunk));
+    Result<fedflow::RowSourcePtr> source =
+        rmi_.InvokeStreaming(name_, args, handler, batch_size, &costs,
+                             std::move(on_chunk), ctx.trace);
     if (!source.ok()) {
+      span.SetStatus(source.status());
       if (clock != nullptr) {
         clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
         clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
@@ -158,6 +181,7 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
   Result<Table> Invoke(const std::vector<Value>& args,
                        fdbs::ExecContext& ctx) override {
     SimClock* clock = ctx.clock;
+    obs::SpanScope span(ctx.trace, "iudtf:" + name(), obs::Layer::kCoupling);
     if (clock != nullptr && state_ != nullptr) {
       switch (state_->QueryWarmth(name())) {
         case sim::SystemState::Warmth::kCold:
@@ -175,7 +199,7 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
     // a retriable failure restarts the WHOLE body statement — every lateral
     // A-UDTF reference runs (and charges) again. This is the architectural
     // price the fault/recovery experiment measures.
-    sim::RetryLoop retry(retry_, clock);
+    sim::RetryLoop retry(retry_, clock, ctx.metrics, name());
     while (true) {
       if (clock != nullptr) {
         clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
@@ -188,7 +212,11 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
         if (state_ != nullptr) state_->MarkRun(name());
         return out;
       }
-      if (!retry.ShouldRetry(out.status())) return out.status();
+      if (!retry.ShouldRetry(out.status())) {
+        span.SetStatus(out.status());
+        return out.status();
+      }
+      span.AddEvent("retrying statement", out.status().message());
       FEDFLOW_RETURN_NOT_OK(retry.Backoff());
     }
   }
@@ -200,6 +228,8 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
                                              fdbs::ExecContext& ctx,
                                              size_t batch_size) override {
     SimClock* clock = ctx.clock;
+    obs::SpanScope span(ctx.trace, "iudtf:" + name(), obs::Layer::kCoupling);
+    span.SetAttribute("streaming", "true");
     if (clock != nullptr && state_ != nullptr) {
       switch (state_->QueryWarmth(name())) {
         case sim::SystemState::Warmth::kCold:
@@ -215,7 +245,7 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
     }
     // Same statement-level retry as Invoke; only the eager part of the inner
     // execution can fail here (stream construction), and it restarts whole.
-    sim::RetryLoop retry(retry_, clock);
+    sim::RetryLoop retry(retry_, clock, ctx.metrics, name());
     while (true) {
       if (clock != nullptr) {
         clock->Charge(sim::steps::kUdtfStartI, model_->udtf_start_i_us);
@@ -229,7 +259,11 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
         if (state_ != nullptr) state_->MarkRun(name());
         return source;
       }
-      if (!retry.ShouldRetry(source.status())) return source.status();
+      if (!retry.ShouldRetry(source.status())) {
+        span.SetStatus(source.status());
+        return source.status();
+      }
+      span.AddEvent("retrying statement", source.status().message());
       FEDFLOW_RETURN_NOT_OK(retry.Backoff());
     }
   }

@@ -6,6 +6,7 @@
 #include "common/codec.h"
 #include "common/strings.h"
 #include "federation/binding.h"
+#include "obs/trace.h"
 #include "sim/rmi.h"
 #include "sql/parser.h"
 #include "wfms/helpers.h"
@@ -46,6 +47,26 @@ Result<wfms::InvokeResult> WfmsProgramInvoker::Invoke(
   return result;
 }
 
+Result<wfms::InvokeResult> WfmsProgramInvoker::InvokeTraced(
+    const std::string& system, const std::string& function,
+    const std::vector<Value>& args, const obs::TraceHandle& trace) {
+  if (!trace.active()) return Invoke(system, function, args);
+  obs::Tracer* tracer = trace.tracer;
+  obs::SpanId span = tracer->StartSpan("local:" + function, obs::Layer::kAppsys,
+                                       trace.parent, trace.base_us);
+  tracer->SetAttribute(span, "system", system);
+  Result<wfms::InvokeResult> result = Invoke(system, function, args);
+  if (!result.ok()) {
+    tracer->SetStatus(span, result.status());
+    tracer->AddEvent(span, trace.base_us, "invoke failed",
+                     result.status().message());
+    tracer->EndSpan(span, trace.base_us);
+    return result;
+  }
+  tracer->EndSpan(span, trace.base_us + result->duration);
+  return result;
+}
+
 const wfms::InstanceCheckpoint* WfmsWrapper::checkpoint(
     const std::string& function) const {
   auto it = recovery_.find(ToUpper(function));
@@ -75,6 +96,8 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
     return Status::ExecutionError(
         "controller not started; boot the integration environment first");
   }
+  obs::SpanScope span(ctx.trace, "wrapper:" + function, obs::Layer::kCoupling);
+  span.SetAttribute("architecture", "wfms");
   // Warm-up surcharges (cold/warm/hot experiment).
   if (clock != nullptr && state_ != nullptr) {
     switch (state_->QueryWarmth(function)) {
@@ -101,22 +124,33 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
   // the failed instance from the last completed activity.
   PendingRecovery& rec = RecoveryFor(function, args);
   const bool resuming = rec.ckpt.valid;
+  if (resuming) span.SetAttribute("resumed", "true");
   sim::RmiChannel rmi(model_, faults_);
   sim::RmiChannel::CallCosts costs;
   wfms::ProcessResult process_result;
   bool engine_ran = false;
-  auto handler = [this, &process_result, &rec, &engine_ran](
+  obs::TraceSession* trace = ctx.trace;
+  auto handler = [this, &process_result, &rec, &engine_ran, trace, clock](
                      const std::string& fn,
                      const std::vector<Value>& remote_args) -> Result<Table> {
     engine_ran = true;
-    Result<wfms::ProcessResult> run =
-        engine_->RunRecoverable(fn, remote_args, &invoker_, &rec.ckpt);
+    // The serve-side RMI span is current here; the process span hangs under
+    // it, with the engine's instance-relative token times mapped onto the
+    // session timeline from the current clock reading.
+    obs::TraceHandle engine_trace;
+    if (trace != nullptr && trace->active()) {
+      engine_trace = obs::TraceHandle{trace->tracer(), trace->current(),
+                                      clock != nullptr ? clock->now() : 0};
+    }
+    Result<wfms::ProcessResult> run = engine_->RunRecoverable(
+        fn, remote_args, &invoker_, &rec.ckpt, engine_trace);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;
   };
-  Result<Table> invoked = rmi.Invoke(function, args, handler, &costs);
+  Result<Table> invoked = rmi.Invoke(function, args, handler, &costs, trace);
   if (!invoked.ok()) {
+    span.SetStatus(invoked.status());
     // Charge what the failed attempt really consumed: the RMI legs always
     // (request plus error response), and — when the engine ran and left a
     // checkpoint — the process start plus the attempt's partial work, with
@@ -187,6 +221,9 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
     return Status::ExecutionError(
         "controller not started; boot the integration environment first");
   }
+  obs::SpanScope span(ctx.trace, "wrapper:" + function, obs::Layer::kCoupling);
+  span.SetAttribute("architecture", "wfms");
+  span.SetAttribute("streaming", "true");
   if (clock != nullptr && state_ != nullptr) {
     switch (state_->QueryWarmth(function)) {
       case sim::SystemState::Warmth::kCold:
@@ -208,16 +245,23 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
 
   PendingRecovery& rec = RecoveryFor(function, args);
   const bool resuming = rec.ckpt.valid;
+  if (resuming) span.SetAttribute("resumed", "true");
   sim::RmiChannel rmi(model_, faults_);
   sim::RmiChannel::CallCosts costs;
   wfms::ProcessResult process_result;
   bool engine_ran = false;
-  auto handler = [this, &process_result, &rec, &engine_ran](
+  obs::TraceSession* trace = ctx.trace;
+  auto handler = [this, &process_result, &rec, &engine_ran, trace, clock](
                      const std::string& fn,
                      const std::vector<Value>& remote_args) -> Result<Table> {
     engine_ran = true;
-    Result<wfms::ProcessResult> run =
-        engine_->RunRecoverable(fn, remote_args, &invoker_, &rec.ckpt);
+    obs::TraceHandle engine_trace;
+    if (trace != nullptr && trace->active()) {
+      engine_trace = obs::TraceHandle{trace->tracer(), trace->current(),
+                                      clock != nullptr ? clock->now() : 0};
+    }
+    Result<wfms::ProcessResult> run = engine_->RunRecoverable(
+        fn, remote_args, &invoker_, &rec.ckpt, engine_trace);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;
@@ -228,9 +272,11 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
       clock->Charge(sim::steps::kWfRmiReturn, cost);
     };
   }
-  Result<RowSourcePtr> streamed = rmi.InvokeStreaming(
-      function, args, handler, batch_size, &costs, std::move(on_chunk));
+  Result<RowSourcePtr> streamed =
+      rmi.InvokeStreaming(function, args, handler, batch_size, &costs,
+                          std::move(on_chunk), trace);
   if (!streamed.ok()) {
+    span.SetStatus(streamed.status());
     // Same failed-attempt accounting as Execute: RMI legs, and partial
     // engine progress when a checkpoint was left behind.
     if (clock != nullptr) {

@@ -42,6 +42,13 @@ class WfmsProgramInvoker : public wfms::ProgramInvoker {
                                     const std::string& function,
                                     const std::vector<Value>& args) override;
 
+  /// Traced variant: hangs a `local:<function>` appsys-layer span under the
+  /// activity span carried by `trace`, stamped with the invocation's virtual
+  /// duration; a failed attempt records the failure status on the span.
+  Result<wfms::InvokeResult> InvokeTraced(
+      const std::string& system, const std::string& function,
+      const std::vector<Value>& args, const obs::TraceHandle& trace) override;
+
  private:
   const appsys::AppSystemRegistry* systems_;
   const sim::LatencyModel* model_;

@@ -1,0 +1,173 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace fedflow::obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Deterministic display order: spans_[i] indices sorted by
+/// (start, name, id). Span ids are assigned in creation order, which races
+/// across pool threads; start times and names do not.
+std::vector<size_t> SortedIndices(const std::vector<Span>& spans) {
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&spans](size_t a, size_t b) {
+    const Span& sa = spans[a];
+    const Span& sb = spans[b];
+    if (sa.start_us != sb.start_us) return sa.start_us < sb.start_us;
+    if (sa.name != sb.name) return sa.name < sb.name;
+    return sa.id < sb.id;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Span>& spans) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (size_t idx : SortedIndices(spans)) {
+    const Span& span = spans[idx];
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"X\",\"name\":\"" << JsonEscape(span.name)
+       << "\",\"cat\":\"" << LayerName(span.layer)
+       << "\",\"pid\":1,\"tid\":" << span.trace_id
+       << ",\"ts\":" << span.start_us
+       << ",\"dur\":" << (span.end_us - span.start_us) << ",\"args\":{"
+       << "\"span_id\":" << span.id << ",\"parent_id\":" << span.parent
+       << ",\"trace_id\":" << span.trace_id;
+    for (const auto& [key, value] : span.attributes) {
+      os << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+    }
+    os << "}}";
+    // Span events become instant events on the same virtual thread.
+    for (const auto& event : span.events) {
+      os << ",\n{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << JsonEscape(event.name)
+         << "\",\"cat\":\"" << LayerName(span.layer)
+         << "\",\"pid\":1,\"tid\":" << span.trace_id
+         << ",\"ts\":" << event.time_us << ",\"args\":{\"span_id\":" << span.id
+         << ",\"detail\":\"" << JsonEscape(event.detail) << "\"}}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string SpanTreeString(const std::vector<Span>& spans) {
+  // parent id -> child display order (children already globally sorted).
+  std::map<SpanId, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  std::vector<size_t> order = SortedIndices(spans);
+  // A remote-parent span whose parent id is unknown locally still renders
+  // under that parent if present; otherwise it is a root.
+  auto known = [&spans](SpanId id) { return id != 0 && id <= spans.size(); };
+  for (size_t idx : order) {
+    const Span& span = spans[idx];
+    if (known(span.parent)) {
+      children[span.parent].push_back(idx);
+    } else {
+      roots.push_back(idx);
+    }
+  }
+  std::ostringstream os;
+  // Iterative DFS keeping sorted sibling order.
+  struct Frame {
+    size_t idx;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back(Frame{*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Span& span = spans[frame.idx];
+    for (int i = 0; i < frame.depth; ++i) os << "  ";
+    os << "[" << LayerName(span.layer) << "] " << span.name << "  "
+       << span.start_us << ".." << span.end_us << " (+"
+       << (span.end_us - span.start_us) << " us)";
+    for (const auto& [key, value] : span.attributes) {
+      os << "  " << key << "=" << value;
+    }
+    if (span.remote_parent) os << "  remote-parent";
+    os << "\n";
+    for (const auto& event : span.events) {
+      for (int i = 0; i < frame.depth + 1; ++i) os << "  ";
+      os << "@" << event.time_us << " " << event.name;
+      if (!event.detail.empty()) os << " (" << event.detail << ")";
+      os << "\n";
+    }
+    auto kids = children.find(span.id);
+    if (kids != children.end()) {
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        stack.push_back(Frame{*it, frame.depth + 1});
+      }
+    }
+  }
+  return os.str();
+}
+
+TimeBreakdown BreakdownFromSpans(const std::vector<Span>& spans) {
+  std::vector<SpanCharge> charges;
+  for (const Span& span : spans) {
+    charges.insert(charges.end(), span.charges.begin(), span.charges.end());
+  }
+  std::sort(charges.begin(), charges.end(),
+            [](const SpanCharge& a, const SpanCharge& b) {
+              return a.seq < b.seq;
+            });
+  TimeBreakdown breakdown;
+  for (const SpanCharge& charge : charges) {
+    breakdown.Add(charge.step, charge.duration_us);
+  }
+  return breakdown;
+}
+
+VDuration LayerTotal(const std::vector<Span>& spans, Layer layer) {
+  VDuration total = 0;
+  for (const Span& span : spans) {
+    if (span.layer != layer) continue;
+    for (const SpanCharge& charge : span.charges) {
+      total += charge.duration_us;
+    }
+  }
+  return total;
+}
+
+}  // namespace fedflow::obs

@@ -1,0 +1,38 @@
+// Exporters over a span snapshot: Chrome trace_event JSON (loadable in
+// chrome://tracing / Perfetto), a human-readable span tree, and the
+// breakdown reconstruction used to validate that the trace accounts for
+// every microsecond the clock charged.
+#ifndef FEDFLOW_OBS_EXPORT_H_
+#define FEDFLOW_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/vclock.h"
+#include "obs/trace.h"
+
+namespace fedflow::obs {
+
+/// Renders spans as a Chrome trace_event JSON document ("X" complete events;
+/// ts/dur are virtual microseconds, cat is the layer tag, span/parent ids and
+/// attributes ride in args). Spans are emitted sorted by (start, name, id) so
+/// output is deterministic even when pool threads raced on span creation.
+std::string ChromeTraceJson(const std::vector<Span>& spans);
+
+/// Renders an indented tree, one line per span:
+///   [layer] name  start..end (+dur us)  k=v ...
+/// Children are ordered by (start, name, id) under their parent.
+std::string SpanTreeString(const std::vector<Span>& spans);
+
+/// Reassembles a TimeBreakdown from all span charges, ordered by the global
+/// charge sequence — reproducing the clock breakdown's step-insertion order
+/// exactly. If the instrumentation is complete, the result compares equal
+/// (same entries, same order, same durations) to SimClock::breakdown().
+TimeBreakdown BreakdownFromSpans(const std::vector<Span>& spans);
+
+/// Sum of charges recorded under spans tagged with `layer`.
+VDuration LayerTotal(const std::vector<Span>& spans, Layer layer);
+
+}  // namespace fedflow::obs
+
+#endif  // FEDFLOW_OBS_EXPORT_H_

@@ -1,0 +1,82 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace fedflow::obs {
+
+void Histogram::Observe(VDuration value_us) {
+  if (count_ == 0 || value_us < min_) min_ = value_us;
+  if (count_ == 0 || value_us > max_) max_ = value_us;
+  ++count_;
+  sum_ += value_us;
+  int bucket = 0;
+  while (bucket < kNumBuckets && value_us > (VDuration{1} << bucket)) {
+    ++bucket;
+  }
+  ++counts_[bucket];
+}
+
+std::vector<std::pair<VDuration, uint64_t>> Histogram::Buckets() const {
+  std::vector<std::pair<VDuration, uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] != 0) out.emplace_back(VDuration{1} << i, counts_[i]);
+  }
+  if (counts_[kNumBuckets] != 0) out.emplace_back(-1, counts_[kNumBuckets]);
+  return out;
+}
+
+void MetricsRegistry::Inc(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, VDuration value_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Observe(value_us);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    os << name << ": count=" << hist.count() << " sum=" << hist.sum()
+       << "us min=" << hist.min() << "us max=" << hist.max() << "us\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace fedflow::obs

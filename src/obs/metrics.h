@@ -1,0 +1,82 @@
+// MetricsRegistry: named counters and virtual-time histograms for the
+// integration stack — per-function call counts, retry attempts, warmth
+// transitions, workflow checkpoint/resume counts. All values are derived
+// from deterministic virtual time or deterministic event counts, so a given
+// workload always produces the same registry contents.
+#ifndef FEDFLOW_OBS_METRICS_H_
+#define FEDFLOW_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/vclock.h"
+
+namespace fedflow::obs {
+
+/// A virtual-time histogram: count/sum/min/max plus exponential buckets
+/// (powers of two, in microseconds). Deterministic for deterministic input.
+class Histogram {
+ public:
+  void Observe(VDuration value_us);
+
+  uint64_t count() const { return count_; }
+  VDuration sum() const { return sum_; }
+  /// Minimum observed value (0 when empty).
+  VDuration min() const { return count_ == 0 ? 0 : min_; }
+  /// Maximum observed value (0 when empty).
+  VDuration max() const { return count_ == 0 ? 0 : max_; }
+
+  /// (upper_bound_us, count) pairs for non-empty power-of-two buckets, in
+  /// increasing bound order. The final catch-all bucket has bound -1.
+  std::vector<std::pair<VDuration, uint64_t>> Buckets() const;
+
+ private:
+  uint64_t count_ = 0;
+  VDuration sum_ = 0;
+  VDuration min_ = 0;
+  VDuration max_ = 0;
+  // counts_[i] counts observations with value <= 2^i µs; index kOverflow
+  // catches the rest.
+  static constexpr int kNumBuckets = 40;
+  uint64_t counts_[kNumBuckets + 1] = {};
+};
+
+/// Thread-safe registry of counters and histograms, keyed by name. Metric
+/// names use dotted paths ("call.count.GetNoSuppComp", "warmth.to_hot").
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero on first use).
+  void Inc(const std::string& name, uint64_t delta = 1);
+
+  /// Current value of a counter (0 when it was never incremented).
+  uint64_t counter(const std::string& name) const;
+
+  /// Records one observation into histogram `name`.
+  void Observe(const std::string& name, VDuration value_us);
+
+  /// Copy of histogram `name` (empty histogram when never observed).
+  Histogram histogram(const std::string& name) const;
+
+  /// All counters in name order.
+  std::map<std::string, uint64_t> Counters() const;
+
+  /// All histogram names in name order.
+  std::vector<std::string> HistogramNames() const;
+
+  /// Human-readable dump: counters then histogram summaries, name order.
+  std::string ToString() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace fedflow::obs
+
+#endif  // FEDFLOW_OBS_METRICS_H_

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+namespace fedflow::obs {
+
+const char* LayerName(Layer layer) {
+  switch (layer) {
+    case Layer::kFdbs:
+      return "fdbs";
+    case Layer::kCoupling:
+      return "coupling";
+    case Layer::kRmi:
+      return "rmi";
+    case Layer::kWfms:
+      return "wfms";
+    case Layer::kAppsys:
+      return "appsys";
+  }
+  return "unknown";
+}
+
+std::string Span::attribute(const std::string& key) const {
+  std::string value;
+  for (const auto& [k, v] : attributes) {
+    if (k == key) value = v;
+  }
+  return value;
+}
+
+SpanId Tracer::StartSpan(const std::string& name, Layer layer, SpanId parent,
+                         VTime start_us) {
+  if (!enabled_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  if (parent != 0 && parent <= spans_.size()) {
+    span.trace_id = spans_[parent - 1].trace_id;
+  } else {
+    span.parent = 0;
+    span.trace_id = next_trace_id_++;
+  }
+  span.name = name;
+  span.layer = layer;
+  span.start_us = start_us;
+  span.end_us = start_us;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+SpanId Tracer::StartRemoteSpan(const std::string& name, Layer layer,
+                               const TraceContext& ctx, VTime start_us) {
+  if (!enabled_) return 0;
+  if (!ctx.valid()) return StartSpan(name, layer, 0, start_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = ctx.span_id;
+  span.trace_id = ctx.trace_id;
+  span.remote_parent = true;
+  span.name = name;
+  span.layer = layer;
+  span.start_us = start_us;
+  span.end_us = start_us;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id, VTime end_us) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.finished) return;
+  span.end_us = end_us;
+  span.finished = true;
+}
+
+void Tracer::SetAttribute(SpanId id, const std::string& key,
+                          const std::string& value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attributes.emplace_back(key, value);
+}
+
+void Tracer::SetStatus(SpanId id, const Status& status) {
+  SetAttribute(id, "status", StatusCodeName(status.code()));
+}
+
+void Tracer::AddEvent(SpanId id, VTime time_us, const std::string& name,
+                      const std::string& detail) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].events.push_back(SpanEvent{time_us, name, detail});
+}
+
+void Tracer::AddCharge(SpanId id, const std::string& step,
+                       VDuration duration_us) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].charges.push_back(
+      SpanCharge{step, duration_us, next_charge_seq_++});
+}
+
+TraceContext Tracer::ContextOf(SpanId id) const {
+  if (id == 0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return {};
+  return TraceContext{spans_[id - 1].trace_id, id};
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_trace_id_ = 1;
+  next_charge_seq_ = 1;
+}
+
+}  // namespace fedflow::obs

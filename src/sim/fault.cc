@@ -132,11 +132,16 @@ Status RetryLoop::Backoff() {
   if (clock_ != nullptr) {
     if (policy_ != nullptr && policy_->deadline_us > 0 &&
         clock_->now() + backoff - start_ > policy_->deadline_us) {
+      if (metrics_ != nullptr) metrics_->Inc("retry.deadline_exceeded");
       return Status::DeadlineExceeded(
           "call exceeded its retry deadline after " +
           std::to_string(attempt_ - 1) + " attempt(s)");
     }
     if (backoff > 0) clock_->Charge(steps::kRetryBackoff, backoff);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Inc("retry.count");
+    if (!label_.empty()) metrics_->Inc("retry." + label_);
   }
   return Status::OK();
 }

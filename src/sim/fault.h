@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/vclock.h"
+#include "obs/metrics.h"
 
 namespace fedflow::sim {
 
@@ -130,9 +131,16 @@ bool IsRetriable(const Status& status);
 class RetryLoop {
  public:
   /// Either pointer may be null (null policy = retries disabled; null clock
-  /// = backoff uncharged, deadline unenforced).
-  RetryLoop(const RetryPolicy* policy, SimClock* clock)
-      : policy_(policy), clock_(clock), start_(clock ? clock->now() : 0) {}
+  /// = backoff uncharged, deadline unenforced). `metrics` (optional) counts
+  /// retries under "retry.count" / "retry.<label>" and exhausted deadlines
+  /// under "retry.deadline_exceeded".
+  RetryLoop(const RetryPolicy* policy, SimClock* clock,
+            obs::MetricsRegistry* metrics = nullptr, std::string label = "")
+      : policy_(policy),
+        clock_(clock),
+        metrics_(metrics),
+        label_(std::move(label)),
+        start_(clock ? clock->now() : 0) {}
 
   /// True when `status` is retriable and attempts remain.
   bool ShouldRetry(const Status& status) const;
@@ -148,6 +156,8 @@ class RetryLoop {
  private:
   const RetryPolicy* policy_;
   SimClock* clock_;
+  obs::MetricsRegistry* metrics_;
+  std::string label_;
   int attempt_ = 1;
   VTime start_;
 };

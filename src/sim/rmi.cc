@@ -100,45 +100,154 @@ void FillFailureCosts(const LatencyModel* model, VDuration request_us,
       model->rmi_return_base_us + model->MarshalCost(failure.message().size());
 }
 
-}  // namespace
+/// Opens and ends the client/server spans of one RMI attempt. Both spans end
+/// at the session clock's time when the guard leaves scope, and a non-OK
+/// outcome stamps each span's "status" attribute with the failing code —
+/// kUnavailable/kDeadlineExceeded legs show up in traces instead of being
+/// silently absent.
+class RmiSpanGuard {
+ public:
+  explicit RmiSpanGuard(obs::TraceSession* trace)
+      : trace_(trace != nullptr && trace->active() ? trace : nullptr) {}
 
-Result<Table> RmiChannel::Invoke(const std::string& function,
-                                 const std::vector<Value>& args,
-                                 const Handler& handler,
-                                 CallCosts* costs) const {
-  // Marshal the request.
+  ~RmiSpanGuard() {
+    if (trace_ == nullptr) return;
+    if (server_ != 0) {
+      trace_->Pop();
+      if (!status_.ok()) trace_->tracer()->SetStatus(server_, status_);
+      trace_->tracer()->EndSpan(server_, Now());
+    }
+    if (client_ != 0) {
+      if (!status_.ok()) trace_->tracer()->SetStatus(client_, status_);
+      trace_->tracer()->EndSpan(client_, Now());
+    }
+  }
+
+  RmiSpanGuard(const RmiSpanGuard&) = delete;
+  RmiSpanGuard& operator=(const RmiSpanGuard&) = delete;
+
+  /// Opens the client-side call span and appends its propagated context to
+  /// the marshalled request. Must run after the payload is fully written:
+  /// wire costs are computed on the payload size alone, so the context rides
+  /// out-of-band (the shape of a traceparent header) and traced runs charge
+  /// exactly what untraced runs charge.
+  void OpenClient(const std::string& function, bool streaming,
+                  ByteWriter& request) {
+    if (trace_ == nullptr) return;
+    client_ = trace_->tracer()->StartSpan("rmi:" + function, obs::Layer::kRmi,
+                                          trace_->current(), Now());
+    if (streaming) {
+      trace_->tracer()->SetAttribute(client_, "streaming", "true");
+    }
+    obs::TraceContext ctx = trace_->tracer()->ContextOf(client_);
+    request.PutI64(static_cast<int64_t>(ctx.trace_id));
+    request.PutI64(static_cast<int64_t>(ctx.span_id));
+  }
+
+  /// Opens the server-side serve span under the context decoded off the
+  /// wire and makes it the session's current span while the handler runs —
+  /// handler-side spans (workflow activities, local functions) parent under
+  /// the serve span, which parents under the client call via propagation.
+  void OpenServer(const std::string& function, const obs::TraceContext& ctx) {
+    if (trace_ == nullptr) return;
+    server_ = trace_->tracer()->StartRemoteSpan("serve:" + function,
+                                                obs::Layer::kRmi, ctx, Now());
+    if (server_ != 0) trace_->Push(server_);
+  }
+
+  void AddClientEvent(const std::string& name, const std::string& detail) {
+    if (trace_ != nullptr && client_ != 0) {
+      trace_->tracer()->AddEvent(client_, Now(), name, detail);
+    }
+  }
+
+  void set_status(const Status& status) { status_ = status; }
+
+ private:
+  VTime Now() const {
+    return trace_->clock() != nullptr ? trace_->clock()->now() : 0;
+  }
+
+  obs::TraceSession* trace_;
+  obs::SpanId client_ = 0;
+  obs::SpanId server_ = 0;
+  Status status_;
+};
+
+/// The request leg + handler execution shared by Invoke and InvokeStreaming:
+/// marshal, decode on the callee side (including any propagated trace
+/// context), consult the fault injector, run the handler under the server
+/// span. `request_us_out` receives the modeled request-leg cost.
+Result<Table> ServeAttempt(const LatencyModel* model, FaultInjector* faults,
+                           const std::string& function,
+                           const std::vector<Value>& args,
+                           const RmiChannel::Handler& handler, bool streaming,
+                           RmiChannel::CallCosts* costs, RmiSpanGuard& guard,
+                           VDuration* request_us_out) {
   ByteWriter request;
   request.PutString(function);
   request.PutRow(args);
+  const size_t payload_bytes = request.size();
+  guard.OpenClient(function, streaming, request);
 
   // Unmarshal on the callee side.
   ByteReader reader(request.buffer());
   FEDFLOW_ASSIGN_OR_RETURN(std::string remote_fn, reader.GetString());
   FEDFLOW_ASSIGN_OR_RETURN(Row remote_args, reader.GetRow());
+  obs::TraceContext wire_ctx;
+  if (!reader.AtEnd()) {
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t trace_id, reader.GetI64());
+    FEDFLOW_ASSIGN_OR_RETURN(int64_t span_id, reader.GetI64());
+    wire_ctx.trace_id = static_cast<uint64_t>(trace_id);
+    wire_ctx.span_id = static_cast<obs::SpanId>(span_id);
+  }
   if (!reader.AtEnd()) {
     return Status::Internal("rmi: trailing request bytes");
   }
 
   VDuration request_us =
-      model_->rmi_call_base_us + model_->MarshalCost(request.size());
+      model->rmi_call_base_us + model->MarshalCost(payload_bytes);
   FaultInjector::Decision decision;
-  if (faults_ != nullptr) decision = faults_->Consult(function);
+  if (faults != nullptr) decision = faults->Consult(function);
   request_us += decision.extra_latency_us;
+  *request_us_out = request_us;
+  if (decision.extra_latency_us > 0) {
+    guard.AddClientEvent("latency spike",
+                         std::to_string(decision.extra_latency_us) + " us");
+  }
   if (decision.fault != FaultInjector::Fault::kNone) {
     Status failure = InjectedStatus(decision.fault, function);
-    FillFailureCosts(model_, request_us, failure, costs);
+    guard.AddClientEvent("fault injected", failure.message());
+    guard.set_status(failure);
+    FillFailureCosts(model, request_us, failure, costs);
     return failure;
   }
 
+  guard.OpenServer(remote_fn, wire_ctx);
   Result<Table> result = handler(remote_fn, remote_args);
   if (!result.ok()) {
-    FillFailureCosts(model_, request_us, result.status(), costs);
-    return result.status();
+    guard.set_status(result.status());
+    FillFailureCosts(model, request_us, result.status(), costs);
   }
+  return result;
+}
+
+}  // namespace
+
+Result<Table> RmiChannel::Invoke(const std::string& function,
+                                 const std::vector<Value>& args,
+                                 const Handler& handler, CallCosts* costs,
+                                 obs::TraceSession* trace) const {
+  RmiSpanGuard guard(trace);
+  VDuration request_us = 0;
+  FEDFLOW_ASSIGN_OR_RETURN(
+      Table result, ServeAttempt(model_, faults_, function, args, handler,
+                                 /*streaming=*/false, costs, guard,
+                                 &request_us));
 
   // Marshal the response and unmarshal it on the caller side.
   ByteWriter response;
-  response.PutTable(result.ValueUnsafe());
+  response.PutTable(result);
   ByteReader response_reader(response.buffer());
   FEDFLOW_ASSIGN_OR_RETURN(Table reconstructed, response_reader.GetTable());
 
@@ -153,35 +262,13 @@ Result<Table> RmiChannel::Invoke(const std::string& function,
 Result<RowSourcePtr> RmiChannel::InvokeStreaming(
     const std::string& function, const std::vector<Value>& args,
     const Handler& handler, size_t batch_size, CallCosts* costs,
-    ChunkCostFn on_chunk) const {
-  ByteWriter request;
-  request.PutString(function);
-  request.PutRow(args);
-
-  ByteReader reader(request.buffer());
-  FEDFLOW_ASSIGN_OR_RETURN(std::string remote_fn, reader.GetString());
-  FEDFLOW_ASSIGN_OR_RETURN(Row remote_args, reader.GetRow());
-  if (!reader.AtEnd()) {
-    return Status::Internal("rmi: trailing request bytes");
-  }
-
-  VDuration request_us =
-      model_->rmi_call_base_us + model_->MarshalCost(request.size());
-  FaultInjector::Decision decision;
-  if (faults_ != nullptr) decision = faults_->Consult(function);
-  request_us += decision.extra_latency_us;
-  if (decision.fault != FaultInjector::Fault::kNone) {
-    Status failure = InjectedStatus(decision.fault, function);
-    FillFailureCosts(model_, request_us, failure, costs);
-    return failure;
-  }
-
-  Result<Table> handled = handler(remote_fn, remote_args);
-  if (!handled.ok()) {
-    FillFailureCosts(model_, request_us, handled.status(), costs);
-    return handled.status();
-  }
-  Table result = std::move(handled).ValueUnsafe();
+    ChunkCostFn on_chunk, obs::TraceSession* trace) const {
+  RmiSpanGuard guard(trace);
+  VDuration request_us = 0;
+  FEDFLOW_ASSIGN_OR_RETURN(
+      Table result, ServeAttempt(model_, faults_, function, args, handler,
+                                 /*streaming=*/true, costs, guard,
+                                 &request_us));
 
   if (costs != nullptr) {
     costs->call_us = request_us;

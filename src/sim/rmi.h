@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/row_source.h"
 #include "common/table.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/latency.h"
 
@@ -46,9 +47,18 @@ class RmiChannel {
   /// Returns the reconstructed result; `costs` (optional) receives the
   /// modeled wire costs — on failure the request leg plus the error-response
   /// leg, so failed attempts are never free.
+  ///
+  /// `trace` (optional) activates trace-context propagation: the client call
+  /// span's identity is marshalled into the request after the payload, the
+  /// server side decodes it off the wire and parents its serve span (and the
+  /// handler's spans) under the decoded context. Wire costs are computed on
+  /// the payload size alone, so traced and untraced runs charge identical
+  /// virtual time. Failed attempts stamp the span's "status" attribute with
+  /// the failing Status code.
   Result<Table> Invoke(const std::string& function,
                        const std::vector<Value>& args, const Handler& handler,
-                       CallCosts* costs) const;
+                       CallCosts* costs,
+                       obs::TraceSession* trace = nullptr) const;
 
   /// Receives the modeled wire cost of one response chunk as it is pulled.
   using ChunkCostFn = std::function<void(VDuration)>;
@@ -66,7 +76,8 @@ class RmiChannel {
                                        const std::vector<Value>& args,
                                        const Handler& handler,
                                        size_t batch_size, CallCosts* costs,
-                                       ChunkCostFn on_chunk) const;
+                                       ChunkCostFn on_chunk,
+                                       obs::TraceSession* trace = nullptr) const;
 
   /// Test seam: wraps a raw marshalled response buffer in the streaming
   /// decoder without running a handler and without charging costs. Malformed

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace fedflow::sim {
 
@@ -22,10 +23,15 @@ class SystemState {
     kHot,   ///< this function has run before: everything cached
   };
 
+  /// Attaches a metrics sink (or detaches with nullptr; not owned). Boots
+  /// and warmth transitions are counted under "warmth.*".
+  void AttachMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// (Re)boots the system: everything becomes cold.
   void Boot() {
     infrastructure_warm_ = false;
     warm_functions_.clear();
+    if (metrics_ != nullptr) metrics_->Inc("warmth.boot");
   }
 
   /// Warmth the next call of `function` will experience.
@@ -35,8 +41,17 @@ class SystemState {
     return Warmth::kWarm;
   }
 
-  /// Records a completed call of `function`.
+  /// Records a completed call of `function`, counting the warmth transition
+  /// it causes: cold → infrastructure warms ("warmth.to_warm"), first run of
+  /// a function → it becomes hot ("warmth.to_hot"), hot → stays hot (no
+  /// transition counted).
   void MarkRun(const std::string& function) {
+    if (metrics_ != nullptr) {
+      if (!infrastructure_warm_) metrics_->Inc("warmth.to_warm");
+      if (warm_functions_.count(ToUpper(function)) == 0) {
+        metrics_->Inc("warmth.to_hot");
+      }
+    }
     infrastructure_warm_ = true;
     warm_functions_.insert(ToUpper(function));
   }
@@ -46,6 +61,7 @@ class SystemState {
  private:
   bool infrastructure_warm_ = false;
   std::set<std::string> warm_functions_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Stable name of a warmth level ("cold"/"warm"/"hot").

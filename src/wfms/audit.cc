@@ -32,9 +32,9 @@ const char* AuditEventName(AuditEvent event) {
 }
 
 void AuditTrail::Record(VTime time, AuditEvent event, std::string activity,
-                        std::string detail) {
-  entries_.push_back(
-      AuditEntry{time, event, std::move(activity), std::move(detail)});
+                        std::string detail, int activity_index) {
+  entries_.push_back(AuditEntry{time, event, std::move(activity),
+                                std::move(detail), activity_index});
 }
 
 std::vector<AuditEntry> AuditTrail::ForActivity(
@@ -56,6 +56,9 @@ void AuditTrail::Normalize() {
                    [&](const AuditEntry& a, const AuditEntry& b) {
                      if (a.time != b.time) return a.time < b.time;
                      if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     if (a.activity_index != b.activity_index) {
+                       return a.activity_index < b.activity_index;
+                     }
                      return a.activity < b.activity;
                    });
 }

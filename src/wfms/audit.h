@@ -31,21 +31,28 @@ struct AuditEntry {
   AuditEvent event = AuditEvent::kProcessStarted;
   std::string activity;    ///< empty for process-level events
   std::string detail;      ///< free text (error message, iteration no., ...)
+  /// Position of the activity in the process definition; -1 for
+  /// process-level events. Ties on `time` order by this index — the same
+  /// rule that ranks errors, so parallel forks produce one deterministic
+  /// trail regardless of pool scheduling.
+  int activity_index = -1;
 };
 
 /// Ordered audit trail of one process instance.
 class AuditTrail {
  public:
   void Record(VTime time, AuditEvent event, std::string activity,
-              std::string detail = "");
+              std::string detail = "", int activity_index = -1);
 
   const std::vector<AuditEntry>& entries() const { return entries_; }
 
   /// Entries for one activity, in order.
   std::vector<AuditEntry> ForActivity(const std::string& activity) const;
 
-  /// Sorts entries by (time, activity); navigation under a thread pool can
-  /// record concurrently-finishing events out of order.
+  /// Sorts entries by (time, activity index): navigation under a thread pool
+  /// can record concurrently-finishing events out of order, and same-time
+  /// ties resolve by the activity's definition position (process-started
+  /// first, process-finished last), matching the engine's error ranking.
   void Normalize();
 
   /// Multi-line human-readable rendering.

@@ -36,12 +36,14 @@ class InstanceRunner {
  public:
   InstanceRunner(Engine* engine, const ProcessDefinition& def,
                  const std::vector<Value>& args, ProgramInvoker* invoker,
-                 bool use_pool, InstanceCheckpoint* ckpt = nullptr)
+                 bool use_pool, InstanceCheckpoint* ckpt = nullptr,
+                 obs::TraceHandle trace = {})
       : engine_(engine),
         def_(def),
         invoker_(invoker),
         use_pool_(use_pool),
         ckpt_(ckpt),
+        trace_(trace),
         raw_args_(args) {}
 
   Result<ProcessResult> Run();
@@ -72,17 +74,25 @@ class InstanceRunner {
   /// Runs the external work of an activity. Must NOT hold mu_; `inputs`
   /// were resolved under the lock beforehand.
   Result<InvokeResult> DoProgram(const ActivityDef& a,
-                                 const std::vector<Value>& args);
+                                 const std::vector<Value>& args,
+                                 obs::SpanId span, VTime start);
   Result<InvokeResult> DoHelper(const ActivityDef& a,
                                 const std::vector<Table>& inputs);
   Result<InvokeResult> DoBlock(const ActivityDef& a,
-                               const std::vector<Value>& args);
+                               const std::vector<Value>& args, size_t idx,
+                               obs::SpanId span, VTime start);
+
+  /// The instance's virtual time `t` (tokens start at 0) on the session
+  /// timeline.
+  VTime TraceTime(VTime t) const { return trace_.base_us + t; }
 
   Engine* engine_;
   const ProcessDefinition& def_;
   ProgramInvoker* invoker_;
   const bool use_pool_;
   InstanceCheckpoint* ckpt_;  ///< null = run without forward recovery
+  obs::TraceHandle trace_;
+  obs::SpanId proc_span_ = 0;  ///< process span; 0 when tracing is off
   const std::vector<Value>& raw_args_;
 
   mutable std::mutex mu_;
@@ -118,6 +128,24 @@ Result<ProcessResult> InstanceRunner::Run() {
     inputs_.emplace_back(def_.input_params[i].name, std::move(v));
   }
 
+  // Process-level span; every executed activity hangs a child span under it.
+  // Ends on every exit path at the instance's final virtual time.
+  struct ProcSpanGuard {
+    obs::Tracer* tracer = nullptr;
+    obs::SpanId id = 0;
+    VTime end_us = 0;
+    ~ProcSpanGuard() {
+      if (tracer != nullptr && id != 0) tracer->EndSpan(id, end_us);
+    }
+  } proc_guard;
+  if (trace_.active()) {
+    proc_span_ = trace_.tracer->StartSpan("wf:" + def_.name, obs::Layer::kWfms,
+                                          trace_.parent, TraceTime(0));
+    proc_guard.tracer = trace_.tracer;
+    proc_guard.id = proc_span_;
+    proc_guard.end_us = TraceTime(0);
+  }
+
   states_.resize(n);
   outgoing_.resize(n);
   for (const ControlConnector& c : def_.connectors) {
@@ -150,8 +178,21 @@ Result<ProcessResult> InstanceRunner::Run() {
       }
       audit_.Record(ckpt_->failed_at_us, AuditEvent::kProcessResumed, "",
                     def_.name);
+      if (proc_span_ != 0) {
+        trace_.tracer->AddEvent(proc_span_, TraceTime(ckpt_->failed_at_us),
+                                AuditEventName(AuditEvent::kProcessResumed),
+                                def_.name);
+      }
+      if (engine_->options_.metrics != nullptr) {
+        engine_->options_.metrics->Inc("wfms.resumes");
+      }
     } else {
       audit_.Record(0, AuditEvent::kProcessStarted, "", def_.name);
+      if (proc_span_ != 0) {
+        trace_.tracer->AddEvent(proc_span_, TraceTime(0),
+                                AuditEventName(AuditEvent::kProcessStarted),
+                                def_.name);
+      }
       if (ckpt_ != nullptr) {
         ckpt_->process = def_.name;
         ckpt_->args = raw_args_;
@@ -195,6 +236,10 @@ Result<ProcessResult> InstanceRunner::Run() {
   for (const ActState& s : states_) {
     end_time = std::max(end_time, std::max(s.end, s.ready));
   }
+  proc_guard.end_us = TraceTime(end_time);
+  if (!error_.ok() && proc_span_ != 0) {
+    trace_.tracer->SetStatus(proc_span_, error_);
+  }
   if (!error_.ok()) {
     if (ckpt_ != nullptr) {
       // Persist the failed instance: everything that completed stays
@@ -212,6 +257,11 @@ Result<ProcessResult> InstanceRunner::Run() {
     ckpt_->completed.clear();
   }
   audit_.Record(end_time, AuditEvent::kProcessFinished, "", def_.name);
+  if (proc_span_ != 0) {
+    trace_.tracer->AddEvent(proc_span_, TraceTime(end_time),
+                            AuditEventName(AuditEvent::kProcessFinished),
+                            def_.name);
+  }
   audit_.Normalize();
 
   FEDFLOW_ASSIGN_OR_RETURN(size_t out_idx,
@@ -246,7 +296,13 @@ void InstanceRunner::Schedule(size_t idx, VTime start) {
 
 void InstanceRunner::MarkDead(size_t idx, VTime t) {
   states_[idx].state = AState::kDead;
-  audit_.Record(t, AuditEvent::kActivityDead, def_.activities[idx].name);
+  audit_.Record(t, AuditEvent::kActivityDead, def_.activities[idx].name, "",
+                static_cast<int>(idx));
+  if (proc_span_ != 0) {
+    trace_.tracer->AddEvent(proc_span_, TraceTime(t),
+                            AuditEventName(AuditEvent::kActivityDead),
+                            def_.activities[idx].name);
+  }
   ResolveOutgoing(idx, t, /*source_ran=*/false);
 }
 
@@ -300,7 +356,7 @@ void InstanceRunner::ResolveOutgoing(size_t idx, VTime t, bool source_ran) {
 void InstanceRunner::Fail(const Status& status, size_t idx, VTime t) {
   states_[idx].state = AState::kFailed;
   audit_.Record(t, AuditEvent::kActivityFailed, def_.activities[idx].name,
-                status.ToString());
+                status.ToString(), static_cast<int>(idx));
   const std::pair<VTime, size_t> rank{t, idx};
   if (error_.ok() || rank < error_rank_) {
     error_ = status.WithContext("activity " + def_.activities[idx].name +
@@ -417,18 +473,34 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
       if (--outstanding_ == 0) cv_.notify_all();
       return;
     }
-    audit_.Record(start, AuditEvent::kActivityStarted, a.name);
+    audit_.Record(start, AuditEvent::kActivityStarted, a.name, "",
+                  static_cast<int>(idx));
+  }
+
+  // Per-activity span: token start/end times on the session timeline, audit
+  // records mirrored as span events. The tracer is internally synchronized,
+  // so span creation needs no instance lock.
+  obs::SpanId act_span = 0;
+  if (trace_.active() && proc_span_ != 0) {
+    act_span = trace_.tracer->StartSpan("activity:" + a.name, obs::Layer::kWfms,
+                                        proc_span_, TraceTime(start));
+    trace_.tracer->AddEvent(act_span, TraceTime(start),
+                            AuditEventName(AuditEvent::kActivityStarted),
+                            a.name);
+  }
+  if (engine_->options_.metrics != nullptr) {
+    engine_->options_.metrics->Inc("wfms.activities");
   }
 
   // External work, outside the lock.
   Result<InvokeResult> work = [&]() -> Result<InvokeResult> {
     switch (a.kind) {
       case ActivityKind::kProgram:
-        return DoProgram(a, scalar_args);
+        return DoProgram(a, scalar_args, act_span, start);
       case ActivityKind::kHelper:
         return DoHelper(a, table_args);
       case ActivityKind::kBlock:
-        return DoBlock(a, scalar_args);
+        return DoBlock(a, scalar_args, idx, act_span, start);
     }
     return Status::Internal("bad activity kind");
   }();
@@ -436,6 +508,13 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!work.ok()) {
     Fail(work.status(), idx, start);
+    if (act_span != 0) {
+      trace_.tracer->AddEvent(act_span, TraceTime(start),
+                              AuditEventName(AuditEvent::kActivityFailed),
+                              work.status().ToString());
+      trace_.tracer->SetStatus(act_span, work.status());
+      trace_.tracer->EndSpan(act_span, TraceTime(start));
+    }
   } else {
     const EngineOptions& opts = engine_->options_;
     VDuration dur =
@@ -448,7 +527,14 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
       // container — the paper's WfMS keeps exactly this on stable storage.
       ckpt_->completed.push_back(
           InstanceCheckpoint::CompletedActivity{a.name, work->output, end});
-      audit_.Record(end, AuditEvent::kActivityCheckpointed, a.name);
+      audit_.Record(end, AuditEvent::kActivityCheckpointed, a.name, "",
+                    static_cast<int>(idx));
+      if (act_span != 0) {
+        trace_.tracer->AddEvent(
+            act_span, TraceTime(end),
+            AuditEventName(AuditEvent::kActivityCheckpointed), a.name);
+      }
+      if (opts.metrics != nullptr) opts.metrics->Inc("wfms.checkpoints");
     }
     data_.Set(a.name, std::move(work->output));
     if (opts.navigation_cost_us > 0) {
@@ -458,19 +544,29 @@ void InstanceRunner::ExecuteActivity(size_t idx, VTime start) {
       breakdown_.Add(steps::kProcessActivities, opts.container_cost_us);
     }
     breakdown_.Merge(work->steps);
-    audit_.Record(end, AuditEvent::kActivityFinished, a.name);
+    audit_.Record(end, AuditEvent::kActivityFinished, a.name, "",
+                  static_cast<int>(idx));
+    if (act_span != 0) {
+      trace_.tracer->AddEvent(act_span, TraceTime(end),
+                              AuditEventName(AuditEvent::kActivityFinished),
+                              a.name);
+      trace_.tracer->EndSpan(act_span, TraceTime(end));
+    }
     ResolveOutgoing(idx, end, /*source_ran=*/true);
   }
   if (--outstanding_ == 0) cv_.notify_all();
 }
 
 Result<InvokeResult> InstanceRunner::DoProgram(const ActivityDef& a,
-                                               const std::vector<Value>& args) {
+                                               const std::vector<Value>& args,
+                                               obs::SpanId span, VTime start) {
   if (invoker_ == nullptr) {
     return Status::InvalidArgument(
         "process contains program activities but no invoker was supplied");
   }
-  return invoker_->Invoke(a.system, a.function, args);
+  return invoker_->InvokeTraced(
+      a.system, a.function, args,
+      obs::TraceHandle{trace_.tracer, span, TraceTime(start)});
 }
 
 Result<InvokeResult> InstanceRunner::DoHelper(const ActivityDef& a,
@@ -494,7 +590,9 @@ Result<InvokeResult> InstanceRunner::DoHelper(const ActivityDef& a,
 }
 
 Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
-                                             const std::vector<Value>& args) {
+                                             const std::vector<Value>& args,
+                                             size_t idx, obs::SpanId span,
+                                             VTime start) {
   InvokeResult result;
   // Union-all accumulation appends each iteration's rows in place (a batch
   // append), so the loop never re-copies the rows accumulated so far.
@@ -523,7 +621,9 @@ Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
     if (iter_param >= 0) sub_args[iter_param] = Value::Int(iteration);
 
     InstanceRunner sub(engine_, *a.sub, sub_args, invoker_,
-                       /*use_pool=*/false);
+                       /*use_pool=*/false, /*ckpt=*/nullptr,
+                       obs::TraceHandle{trace_.tracer, span,
+                                        TraceTime(start) + total});
     FEDFLOW_ASSIGN_OR_RETURN(ProcessResult sub_result, sub.Run());
     total += sub_result.elapsed_us;
     result.steps.Merge(sub_result.breakdown);
@@ -532,7 +632,13 @@ Result<InvokeResult> InstanceRunner::DoBlock(const ActivityDef& a,
       // Audit the iteration on the parent trail.
       std::lock_guard<std::mutex> lock(mu_);
       audit_.Record(total, AuditEvent::kLoopIteration, a.name,
-                    "iteration " + std::to_string(iteration));
+                    "iteration " + std::to_string(iteration),
+                    static_cast<int>(idx));
+      if (span != 0) {
+        trace_.tracer->AddEvent(span, TraceTime(start) + total,
+                                AuditEventName(AuditEvent::kLoopIteration),
+                                "iteration " + std::to_string(iteration));
+      }
     }
 
     // Evaluate the exit condition while last_output is still whole (the
@@ -632,24 +738,29 @@ Status Engine::RegisterHelper(const std::string& name, HelperFn fn) {
 
 Result<ProcessResult> Engine::Run(const std::string& process,
                                   const std::vector<Value>& args,
-                                  ProgramInvoker* invoker) {
+                                  ProgramInvoker* invoker,
+                                  const obs::TraceHandle& trace) {
   FEDFLOW_ASSIGN_OR_RETURN(const ProcessDefinition* def, GetProcess(process));
-  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true);
+  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true,
+                        /*ckpt=*/nullptr, trace);
   return runner.Run();
 }
 
 Result<ProcessResult> Engine::RunDefinition(const ProcessDefinition& def,
                                             const std::vector<Value>& args,
-                                            ProgramInvoker* invoker) {
+                                            ProgramInvoker* invoker,
+                                            const obs::TraceHandle& trace) {
   FEDFLOW_RETURN_NOT_OK(ValidateProcess(def));
-  InstanceRunner runner(this, def, args, invoker, /*use_pool=*/true);
+  InstanceRunner runner(this, def, args, invoker, /*use_pool=*/true,
+                        /*ckpt=*/nullptr, trace);
   return runner.Run();
 }
 
 Result<ProcessResult> Engine::RunRecoverable(const std::string& process,
                                              const std::vector<Value>& args,
                                              ProgramInvoker* invoker,
-                                             InstanceCheckpoint* ckpt) {
+                                             InstanceCheckpoint* ckpt,
+                                             const obs::TraceHandle& trace) {
   if (ckpt == nullptr) {
     return Status::InvalidArgument("RunRecoverable requires a checkpoint");
   }
@@ -658,17 +769,19 @@ Result<ProcessResult> Engine::RunRecoverable(const std::string& process,
     return Status::InvalidArgument("checkpoint belongs to process " +
                                    ckpt->process + ", not " + def->name);
   }
-  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true, ckpt);
+  InstanceRunner runner(this, *def, args, invoker, /*use_pool=*/true, ckpt,
+                        trace);
   return runner.Run();
 }
 
 Result<ProcessResult> Engine::ResumeFrom(InstanceCheckpoint& ckpt,
-                                         ProgramInvoker* invoker) {
+                                         ProgramInvoker* invoker,
+                                         const obs::TraceHandle& trace) {
   if (!ckpt.valid) {
     return Status::InvalidArgument(
         "checkpoint does not hold a failed instance");
   }
-  return RunRecoverable(ckpt.process, ckpt.args, invoker, &ckpt);
+  return RunRecoverable(ckpt.process, ckpt.args, invoker, &ckpt, trace);
 }
 
 }  // namespace fedflow::wfms

@@ -14,6 +14,8 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/vclock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wfms/audit.h"
 #include "wfms/model.h"
 #include "wfms/program.h"
@@ -41,6 +43,9 @@ struct EngineOptions {
   VDuration container_cost_us = 0;
   /// Work charged for a helper activity's execution.
   VDuration helper_cost_us = 0;
+  /// Optional metrics sink (not owned): activity executions, persisted
+  /// checkpoints, and resumes are counted under "wfms.*".
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of one process instance.
@@ -106,16 +111,21 @@ class Engine {
 
   /// Instantiates and runs a registered process. `args` bind positionally to
   /// the template's input parameters. `invoker` performs program activities
-  /// (may be null for processes without program activities).
+  /// (may be null for processes without program activities). `trace`
+  /// (optional) hangs a process span — with one child span per executed
+  /// activity, audit records mirrored as span events — under its parent;
+  /// token times are offset by the handle's base.
   Result<ProcessResult> Run(const std::string& process,
                             const std::vector<Value>& args,
-                            ProgramInvoker* invoker);
+                            ProgramInvoker* invoker,
+                            const obs::TraceHandle& trace = {});
 
   /// Runs an unregistered definition (validates first). For tests and
   /// one-shot compositions.
   Result<ProcessResult> RunDefinition(const ProcessDefinition& def,
                                       const std::vector<Value>& args,
-                                      ProgramInvoker* invoker);
+                                      ProgramInvoker* invoker,
+                                      const obs::TraceHandle& trace = {});
 
   /// Like Run, but with forward recovery through `ckpt` (must not be null):
   /// after every completed activity the instance's container/audit state is
@@ -129,13 +139,15 @@ class Engine {
   Result<ProcessResult> RunRecoverable(const std::string& process,
                                        const std::vector<Value>& args,
                                        ProgramInvoker* invoker,
-                                       InstanceCheckpoint* ckpt);
+                                       InstanceCheckpoint* ckpt,
+                                       const obs::TraceHandle& trace = {});
 
   /// Resumes the failed instance persisted in `ckpt` (whose audit trail and
   /// containers name the completed activities) with the checkpointed
   /// arguments. InvalidArgument when the checkpoint holds no failed instance.
   Result<ProcessResult> ResumeFrom(InstanceCheckpoint& ckpt,
-                                   ProgramInvoker* invoker);
+                                   ProgramInvoker* invoker,
+                                   const obs::TraceHandle& trace = {});
 
   const EngineOptions& options() const { return options_; }
 

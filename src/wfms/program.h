@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/table.h"
 #include "common/vclock.h"
+#include "obs/trace.h"
 
 namespace fedflow::wfms {
 
@@ -32,6 +33,19 @@ class ProgramInvoker {
   virtual Result<InvokeResult> Invoke(const std::string& system,
                                       const std::string& function,
                                       const std::vector<Value>& args) = 0;
+
+  /// Traced variant the engine calls for program activities: `trace` carries
+  /// the activity span as parent (and the virtual-time base of the
+  /// invocation) so invoker implementations can hang local-function spans
+  /// under the right activity. The default ignores the handle and delegates
+  /// to Invoke — existing invokers keep working unchanged.
+  virtual Result<InvokeResult> InvokeTraced(const std::string& system,
+                                            const std::string& function,
+                                            const std::vector<Value>& args,
+                                            const obs::TraceHandle& trace) {
+    (void)trace;
+    return Invoke(system, function, args);
+  }
 };
 
 }  // namespace fedflow::wfms

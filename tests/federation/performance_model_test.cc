@@ -120,6 +120,38 @@ TEST_F(PerformanceModelTest, ColdWarmHotOrderingHoldsOnBothArchitectures) {
   }
 }
 
+TEST_F(PerformanceModelTest, WarmthHistogramsPinHotWarmColdOrdering) {
+  // Same ordering claim, but read off the server's metrics registry: the
+  // per-warmth elapsed histograms must be disjoint and ordered —
+  // every hot call is faster than every warm call is faster than every cold
+  // call — and the warmth-transition counters must match the protocol.
+  for (IntegrationServer* server : {wfms_.get(), udtf_.get()}) {
+    server->metrics().Reset();
+    const std::vector<Value> args = {Value::Int(1234),
+                                     Value::Varchar("brakepad")};
+    for (int round = 0; round < 3; ++round) {
+      server->Reboot();
+      ASSERT_TRUE(server->CallFederated("BuySuppComp", args).ok());  // cold
+      server->Reboot();
+      (void)server->CallFederated("GibKompNr", {Value::Varchar("brakepad")});
+      ASSERT_TRUE(server->CallFederated("BuySuppComp", args).ok());  // warm
+      ASSERT_TRUE(server->CallFederated("BuySuppComp", args).ok());  // hot
+    }
+    obs::MetricsRegistry& metrics = server->metrics();
+    obs::Histogram cold = metrics.histogram("call.elapsed_us.BuySuppComp.cold");
+    obs::Histogram warm = metrics.histogram("call.elapsed_us.BuySuppComp.warm");
+    obs::Histogram hot = metrics.histogram("call.elapsed_us.BuySuppComp.hot");
+    ASSERT_EQ(cold.count(), 3u);
+    ASSERT_EQ(warm.count(), 3u);
+    ASSERT_EQ(hot.count(), 3u);
+    EXPECT_LT(hot.max(), warm.min());
+    EXPECT_LT(warm.max(), cold.min());
+    // Each round boots twice and re-warms infrastructure + both functions.
+    EXPECT_EQ(metrics.counter("warmth.boot"), 6u);
+    EXPECT_EQ(metrics.counter("warmth.to_warm"), 6u);
+  }
+}
+
 TEST_F(PerformanceModelTest, LoopScalesLinearlyInIterationCount) {
   // Paper: "the overall processing time rises linearly to the number of
   // function calls." The per-iteration marginal cost must be constant.

@@ -1,0 +1,237 @@
+// fedtrace: runs a federated call on the sample scenario with tracing
+// enabled and dumps the virtual-time trace.
+//
+//   fedtrace                              BuySuppComp on both architectures
+//   fedtrace --function GetNoSuppComp     another sample function
+//   fedtrace --arch wfms|udtf|both        architecture selection
+//   fedtrace --out PREFIX                 write PREFIX_<arch>.trace.json
+//                                         (default: fedtrace)
+//   fedtrace --no-tree                    suppress the span-tree printout
+//
+// For every run the tool prints the span tree and the trace-derived
+// per-step breakdown next to the clock's, and self-validates:
+//   * the breakdown reassembled from span charges equals the clock breakdown
+//     entry for entry (same steps, same order, same durations);
+//   * every layer expected under the architecture contributed a span.
+// Exit status is non-zero when any validation fails.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "federation/integration_server.h"
+#include "federation/sample_scenario.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace fedflow;  // NOLINT(google-build-using-namespace)
+using federation::Architecture;
+
+struct SampleCall {
+  const char* name;
+  std::vector<Value> args;
+  bool wfms_only = false;
+};
+
+std::vector<SampleCall> SampleCalls() {
+  return {
+      {"GibKompNr", {Value::Varchar("brakepad")}},
+      {"GetNumberSupp1234", {Value::Int(17)}},
+      {"GetSuppQual", {Value::Varchar("Stark")}},
+      {"GetSuppQualRelia", {Value::Int(1234)}},
+      {"GetSubCompDiscounts", {Value::Int(3), Value::Int(5)}},
+      {"GetNoSuppComp", {Value::Varchar("Stark"), Value::Varchar("brakepad")}},
+      {"GetSuppInfo", {Value::Varchar("Acme")}},
+      {"BuySuppComp", {Value::Int(1234), Value::Varchar("brakepad")}},
+      {"AllCompNames", {Value::Int(5)}, /*wfms_only=*/true},
+  };
+}
+
+const char* ArchTag(Architecture arch) {
+  switch (arch) {
+    case Architecture::kWfms:
+      return "wfms";
+    case Architecture::kUdtf:
+      return "udtf";
+    case Architecture::kJavaUdtf:
+      return "java";
+  }
+  return "?";
+}
+
+/// Layers every trace of the architecture must contain: the WfMS coupling
+/// exercises all five tiers; the UDTF couplings have no workflow engine.
+std::vector<obs::Layer> ExpectedLayers(Architecture arch) {
+  switch (arch) {
+    case Architecture::kWfms:
+      return {obs::Layer::kFdbs, obs::Layer::kCoupling, obs::Layer::kRmi,
+              obs::Layer::kWfms, obs::Layer::kAppsys};
+    case Architecture::kUdtf:
+    case Architecture::kJavaUdtf:
+      return {obs::Layer::kFdbs, obs::Layer::kCoupling, obs::Layer::kRmi,
+              obs::Layer::kAppsys};
+  }
+  return {};
+}
+
+bool BreakdownsEqual(const TimeBreakdown& a, const TimeBreakdown& b) {
+  return a.entries() == b.entries();
+}
+
+/// Runs `call` traced under `arch`; prints, exports, validates. Returns
+/// false when a validation failed.
+bool RunOne(Architecture arch, const SampleCall& call,
+            const std::string& out_prefix, bool print_tree) {
+  auto server = federation::MakeSampleServer(arch);
+  if (!server.ok()) {
+    std::fprintf(stderr, "fedtrace: %s\n", server.status().ToString().c_str());
+    return false;
+  }
+  (*server)->tracer().Enable();
+  auto result = (*server)->CallFederated(call.name, call.args);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fedtrace: %s(%s): %s\n", call.name, ArchTag(arch),
+                 result.status().ToString().c_str());
+    return false;
+  }
+  std::vector<obs::Span> spans = (*server)->tracer().Snapshot();
+
+  std::printf("== %s under the %s ==\n", call.name,
+              federation::ArchitectureName(arch));
+  std::printf("spans: %zu   virtual elapsed: %lld us\n", spans.size(),
+              static_cast<long long>(result->elapsed_us));
+  if (print_tree) {
+    std::printf("%s", obs::SpanTreeString(spans).c_str());
+  }
+
+  // Trace-derived breakdown vs the clock's.
+  TimeBreakdown derived = obs::BreakdownFromSpans(spans);
+  bool ok = true;
+  std::printf("step breakdown (clock | trace-derived):\n");
+  for (const auto& [step, dur] : result->breakdown.entries()) {
+    VDuration from_trace = 0;
+    for (const auto& [dstep, ddur] : derived.entries()) {
+      if (dstep == step) from_trace = ddur;
+    }
+    std::printf("  %-24s %10lld | %10lld%s\n", step.c_str(),
+                static_cast<long long>(dur),
+                static_cast<long long>(from_trace),
+                dur == from_trace ? "" : "   MISMATCH");
+  }
+  if (!BreakdownsEqual(result->breakdown, derived)) {
+    std::fprintf(stderr,
+                 "fedtrace: trace-derived breakdown differs from the clock "
+                 "breakdown for %s (%s)\n",
+                 call.name, ArchTag(arch));
+    ok = false;
+  }
+
+  for (obs::Layer layer : ExpectedLayers(arch)) {
+    bool found = false;
+    for (const obs::Span& s : spans) {
+      if (s.layer == layer) found = true;
+    }
+    if (!found) {
+      std::fprintf(stderr, "fedtrace: no span in layer '%s' for %s (%s)\n",
+                   obs::LayerName(layer), call.name, ArchTag(arch));
+      ok = false;
+    }
+  }
+
+  std::string path = out_prefix + "_" + ArchTag(arch) + ".trace.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "fedtrace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << obs::ChromeTraceJson(spans);
+  out.close();
+  std::printf("wrote %s\n\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string function = "BuySuppComp";
+  std::string arch_arg = "both";
+  std::string out_prefix = "fedtrace";
+  bool print_tree = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--function") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "fedtrace: --function needs a value\n");
+        return 2;
+      }
+      function = v;
+    } else if (arg == "--arch") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "fedtrace: --arch needs a value\n");
+        return 2;
+      }
+      arch_arg = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "fedtrace: --out needs a value\n");
+        return 2;
+      }
+      out_prefix = v;
+    } else if (arg == "--no-tree") {
+      print_tree = false;
+    } else {
+      std::fprintf(stderr, "fedtrace: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const SampleCall* call = nullptr;
+  static const std::vector<SampleCall> calls = SampleCalls();
+  for (const SampleCall& c : calls) {
+    if (EqualsIgnoreCase(c.name, function)) call = &c;
+  }
+  if (call == nullptr) {
+    std::fprintf(stderr, "fedtrace: unknown sample function %s; one of:\n",
+                 function.c_str());
+    for (const SampleCall& c : calls) {
+      std::fprintf(stderr, "  %s%s\n", c.name,
+                   c.wfms_only ? " (wfms only)" : "");
+    }
+    return 2;
+  }
+
+  std::vector<Architecture> archs;
+  if (arch_arg == "wfms") {
+    archs = {Architecture::kWfms};
+  } else if (arch_arg == "udtf") {
+    archs = {Architecture::kUdtf};
+  } else if (arch_arg == "java") {
+    archs = {Architecture::kJavaUdtf};
+  } else if (arch_arg == "both") {
+    archs = {Architecture::kWfms, Architecture::kUdtf};
+  } else {
+    std::fprintf(stderr, "fedtrace: --arch must be wfms|udtf|java|both\n");
+    return 2;
+  }
+
+  bool ok = true;
+  for (Architecture arch : archs) {
+    if (call->wfms_only && arch != Architecture::kWfms) {
+      std::fprintf(stderr, "fedtrace: %s is WfMS-only; skipping %s\n",
+                   call->name, ArchTag(arch));
+      continue;
+    }
+    ok = RunOne(arch, *call, out_prefix, print_tree) && ok;
+  }
+  return ok ? 0 : 1;
+}
