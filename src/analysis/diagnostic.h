@@ -28,6 +28,7 @@ const char* SeverityName(Severity severity);
 ///   FF070..FF099  classification consistency
 ///   FF100..FF149  workflow errors      FF150..FF199  workflow warnings
 ///   FF200..FF249  I-UDTF SQL errors    FF250..FF299  I-UDTF SQL warnings
+///   FF300..FF349  plan consistency (lowering agreement with the plan IR)
 struct Diagnostic {
   Severity severity = Severity::kError;
   std::string code;      ///< stable code, e.g. "FF008"

@@ -1,0 +1,39 @@
+// fedlint pass 4: plan-consistency checks. Compiles a spec into the plan IR
+// (plan/fed_plan.h), runs the requested optimizer passes, and verifies that
+// the per-architecture lowerings agree with the plan — same multiset of
+// local-function calls, every ordering constraint honored (lateral position
+// in the SQL lowering, connector reachability in the process lowering), the
+// spec-level and IR-level classifiers in agreement, and every sunk predicate
+// placed at a point where both of its sides are bound.
+#ifndef FEDFLOW_ANALYSIS_PLAN_LINT_H_
+#define FEDFLOW_ANALYSIS_PLAN_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "appsys/registry.h"
+#include "federation/spec.h"
+#include "plan/optimizer.h"
+#include "sim/latency.h"
+
+namespace fedflow::analysis {
+
+// Plan-consistency error codes (FF300..FF349).
+inline constexpr char kPlanCallSetMismatch[] = "FF300";
+inline constexpr char kPlanOrderingViolation[] = "FF301";
+inline constexpr char kPlanClassificationDrift[] = "FF302";
+inline constexpr char kPlanPredicateMisplaced[] = "FF303";
+inline constexpr char kPlanCompileFailed[] = "FF304";
+
+/// Compiles and optimizes the plan of `spec` under `options`, lowers it to
+/// every architecture that supports its mapping case, and cross-checks the
+/// lowerings against the plan. The spec should already have passed LintSpec;
+/// compile/lowering failures yield FF304 instead of crashing the pass.
+std::vector<Diagnostic> LintPlan(const federation::FederatedFunctionSpec& spec,
+                                 const appsys::AppSystemRegistry& systems,
+                                 const sim::LatencyModel& model,
+                                 const plan::PlanOptions& options = {});
+
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_PLAN_LINT_H_

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/dag.h"
 #include "common/strings.h"
 #include "federation/classify.h"
 
@@ -439,35 +440,20 @@ class SpecLinter {
   /// construction — iteration must use SpecLoop instead.
   void CheckCycles() {
     const size_t n = spec_.calls.size();
-    std::vector<std::set<size_t>> deps(n);
+    std::vector<std::vector<size_t>> deps(n);
     for (size_t i = 0; i < n; ++i) {
       for (const SpecArg& arg : spec_.calls[i].args) {
         if (arg.kind != SpecArg::Kind::kNodeColumn) continue;
         std::optional<size_t> d = CallIndex(arg.node);
-        if (d.has_value() && *d != i) deps[i].insert(*d);
+        // Self-references get their own FF diagnostic; excluding them here
+        // keeps this check focused on multi-node cycles.
+        if (d.has_value() && *d != i) deps[i].push_back(*d);
       }
     }
-    std::vector<size_t> pending(n);
-    for (size_t i = 0; i < n; ++i) pending[i] = deps[i].size();
-    std::vector<bool> done(n, false);
-    bool progress = true;
-    size_t remaining = n;
-    while (progress) {
-      progress = false;
-      for (size_t i = 0; i < n; ++i) {
-        if (done[i] || pending[i] != 0) continue;
-        done[i] = true;
-        --remaining;
-        progress = true;
-        for (size_t j = 0; j < n; ++j) {
-          if (!done[j] && deps[j].count(i) > 0) --pending[j];
-        }
-      }
-    }
-    if (remaining == 0) return;
+    dag::TopoSort sorted = dag::StableTopologicalSort(deps);
+    if (sorted.ok()) return;
     std::string nodes;
-    for (size_t i = 0; i < n; ++i) {
-      if (done[i]) continue;
+    for (size_t i : sorted.cyclic) {
       if (!nodes.empty()) nodes += ", ";
       nodes += spec_.calls[i].id;
     }

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/dag.h"
 #include "common/strings.h"
 #include "sql/ast.h"
 
@@ -331,20 +332,7 @@ class ProcessLinter {
       }
       succ_[*from].push_back(*to);
     }
-    reach_.assign(n, std::vector<bool>(n, false));
-    for (size_t i = 0; i < n; ++i) {
-      std::vector<size_t> stack = {i};
-      while (!stack.empty()) {
-        size_t cur = stack.back();
-        stack.pop_back();
-        for (size_t next : succ_[cur]) {
-          if (!reach_[i][next]) {
-            reach_[i][next] = true;
-            stack.push_back(next);
-          }
-        }
-      }
-    }
+    reach_ = dag::Reachability(succ_);
     for (size_t i = 0; i < n; ++i) {
       if (reach_[i][i]) {
         Error(kWfControlCycle, ActLoc(def_.activities[i]),

@@ -21,9 +21,18 @@ Result<const LocalFunction*> AppSystem::GetFunction(
   return &it->second;
 }
 
+std::map<std::string, int64_t> AppSystem::FunctionCallCounts() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return fn_call_counts_;
+}
+
 Result<AppSystem::CallResult> AppSystem::Call(
     const std::string& function, const std::vector<Value>& args) const {
   call_count_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++fn_call_counts_[ToUpper(function)];
+  }
   FEDFLOW_ASSIGN_OR_RETURN(const LocalFunction* fn, GetFunction(function));
   auto fault = faults_.find(ToUpper(function));
   if (fault != faults_.end() && !fault->second.ok()) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,8 @@ struct LocalFunction {
 };
 
 /// Base class for application systems. Thread-safe for concurrent Call()s
-/// (the store is immutable after construction; statistics are atomic).
+/// (the store is immutable after construction; statistics are atomic or
+/// mutex-guarded).
 class AppSystem {
  public:
   explicit AppSystem(std::string name) : name_(std::move(name)) {}
@@ -62,6 +64,12 @@ class AppSystem {
   /// Total number of Call() invocations (fault-injected ones included).
   int64_t call_count() const { return call_count_.load(); }
 
+  /// Per-function Call() counts, keyed by upper-cased function name
+  /// (fault-injected and unknown-function calls included). Snapshot; the
+  /// equivalence tests diff these across architectures to prove that two
+  /// lowerings of the same plan issue the same multiset of local calls.
+  std::map<std::string, int64_t> FunctionCallCounts() const;
+
   /// Forces subsequent calls of `function` to fail with `status` (error
   /// handling tests). An OK status clears the fault.
   void InjectFault(const std::string& function, Status status);
@@ -75,6 +83,9 @@ class AppSystem {
   std::map<std::string, LocalFunction> functions_;
   std::map<std::string, Status> faults_;
   mutable std::atomic<int64_t> call_count_{0};
+  /// Guards fn_call_counts_; Call() runs concurrently under the WfMS pool.
+  mutable std::mutex stats_mutex_;
+  mutable std::map<std::string, int64_t> fn_call_counts_;
 };
 
 }  // namespace fedflow::appsys

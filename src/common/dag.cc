@@ -1,0 +1,61 @@
+#include "common/dag.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fedflow::dag {
+
+TopoSort StableTopologicalSort(const std::vector<std::vector<size_t>>& deps) {
+  const size_t n = deps.size();
+  std::vector<std::vector<size_t>> d = deps;
+  std::vector<int> pending(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(d[i].begin(), d[i].end());
+    d[i].erase(std::unique(d[i].begin(), d[i].end()), d[i].end());
+    pending[i] = static_cast<int>(d[i].size());
+  }
+  TopoSort result;
+  result.order.reserve(n);
+  std::vector<bool> done(n, false);
+  for (size_t round = 0; round < n; ++round) {
+    size_t chosen = SIZE_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!done[i] && pending[i] == 0) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == SIZE_MAX) break;  // everything left sits on/behind a cycle
+    done[chosen] = true;
+    result.order.push_back(chosen);
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      for (size_t dep : d[i]) {
+        if (dep == chosen) --pending[i];
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!done[i]) result.cyclic.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::vector<bool>> Reachability(
+    const std::vector<std::vector<size_t>>& succ) {
+  const size_t n = succ.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> stack(succ[i].begin(), succ[i].end());
+    while (!stack.empty()) {
+      size_t j = stack.back();
+      stack.pop_back();
+      if (j >= n || reach[i][j]) continue;
+      reach[i][j] = true;
+      for (size_t k : succ[j]) stack.push_back(k);
+    }
+  }
+  return reach;
+}
+
+}  // namespace fedflow::dag

@@ -1,0 +1,37 @@
+#ifndef FEDFLOW_COMMON_DAG_H_
+#define FEDFLOW_COMMON_DAG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedflow::dag {
+
+/// Result of a stable topological sort over a dependency graph.
+struct TopoSort {
+  /// Node indices in execution order (valid only when ok()).
+  std::vector<size_t> order;
+  /// Nodes that could not be scheduled because they sit on (or behind) a
+  /// cycle, in ascending index order. Empty for acyclic graphs.
+  std::vector<size_t> cyclic;
+
+  bool ok() const { return cyclic.empty(); }
+};
+
+/// Stable Kahn's algorithm over `deps`, where deps[i] lists the nodes i
+/// depends on (duplicates and self-references are tolerated; a
+/// self-reference makes the node cyclic). Among ready nodes the lowest
+/// original index is always chosen, so declaration order is preserved
+/// wherever the dependency structure allows — the tie-break every caller in
+/// this codebase relies on (DB2's left-to-right lateral processing, spec
+/// declaration order, workflow activity order).
+TopoSort StableTopologicalSort(const std::vector<std::vector<size_t>>& deps);
+
+/// Transitive reachability over a successor graph: result[i][j] is true when
+/// j is reachable from i over one or more edges (result[i][i] is true only
+/// when i sits on a cycle).
+std::vector<std::vector<bool>> Reachability(
+    const std::vector<std::vector<size_t>>& succ);
+
+}  // namespace fedflow::dag
+
+#endif  // FEDFLOW_COMMON_DAG_H_

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "common/dag.h"
 #include "common/strings.h"
 #include "fdbs/catalog.h"
 #include "fdbs/database.h"
@@ -500,41 +501,41 @@ Result<std::vector<size_t>> SelectExecutor::LateralOrder(
       }
     }
   }
-  // Stable Kahn's algorithm: among ready items pick the lowest original
+  // Stable topological sort: among ready items pick the lowest original
   // index, preserving DB2's documented left-to-right processing where the
   // dependency structure allows it.
-  std::vector<int> pending(n, 0);
-  for (size_t k = 0; k < n; ++k) {
-    std::sort(deps[k].begin(), deps[k].end());
-    deps[k].erase(std::unique(deps[k].begin(), deps[k].end()), deps[k].end());
-    pending[k] = static_cast<int>(deps[k].size());
+  dag::TopoSort sorted = dag::StableTopologicalSort(deps);
+  if (!sorted.ok()) {
+    return Status::InvalidArgument(
+        "cyclic dependency between FROM-clause table functions; "
+        "the UDTF approach cannot express cyclic mappings");
   }
-  std::vector<size_t> order;
-  std::vector<bool> done(n, false);
-  order.reserve(n);
-  for (size_t round = 0; round < n; ++round) {
-    size_t chosen = SIZE_MAX;
-    for (size_t k = 0; k < n; ++k) {
-      if (!done[k] && pending[k] == 0) {
-        chosen = k;
-        break;
-      }
-    }
-    if (chosen == SIZE_MAX) {
-      return Status::InvalidArgument(
-          "cyclic dependency between FROM-clause table functions; "
-          "the UDTF approach cannot express cyclic mappings");
-    }
-    done[chosen] = true;
-    order.push_back(chosen);
-    for (size_t k = 0; k < n; ++k) {
-      if (done[k]) continue;
-      for (size_t d : deps[k]) {
-        if (d == chosen) --pending[k];
-      }
+  return std::move(sorted.order);
+}
+
+bool SelectExecutor::ConjunctApplicable(
+    const sql::Expr& expr, RowScope* scope,
+    const std::vector<bool>& visible) const {
+  // A conjunct is applicable when all its column references resolve under
+  // the current visibility mask (parameters always resolve).
+  if (!ctx_->predicate_pushdown) return false;
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const ColumnRefExpr* ref : refs) {
+    // The reference must resolve unambiguously against the FULL schema —
+    // otherwise an unqualified name could silently bind to the only
+    // visible column although the statement is ambiguous overall —
+    // and its binding must already have produced its columns.
+    scope->set_visibility_mask(nullptr);
+    const bool full_ok =
+        scope->ResolveColumnType(ref->qualifier(), ref->name()).ok();
+    scope->set_visibility_mask(&visible);
+    if (!full_ok) return false;
+    if (!scope->ResolveColumnType(ref->qualifier(), ref->name()).ok()) {
+      return false;
     }
   }
-  return order;
+  return true;
 }
 
 Result<Table> SelectExecutor::ExecuteFromChain(
@@ -627,28 +628,6 @@ Result<Table> SelectExecutor::ExecuteFromChain(
       pending_conjuncts.push_back(stmt.where);
     }
   }
-  // A conjunct is applicable when all its column references resolve under
-  // the current visibility mask (parameters always resolve).
-  auto applicable = [&](const sql::Expr& expr) {
-    if (!ctx_->predicate_pushdown) return false;
-    std::vector<const ColumnRefExpr*> refs;
-    CollectColumnRefs(expr, &refs);
-    for (const ColumnRefExpr* ref : refs) {
-      // The reference must resolve unambiguously against the FULL schema —
-      // otherwise an unqualified name could silently bind to the only
-      // visible column although the statement is ambiguous overall —
-      // and its binding must already have produced its columns.
-      scope->set_visibility_mask(nullptr);
-      const bool full_ok =
-          scope->ResolveColumnType(ref->qualifier(), ref->name()).ok();
-      scope->set_visibility_mask(&visible);
-      if (!full_ok) return false;
-      if (!scope->ResolveColumnType(ref->qualifier(), ref->name()).ok()) {
-        return false;
-      }
-    }
-    return true;
-  };
   // Assemble the pull-based pipeline: seed -> (scan | lateral apply)
   // per FROM item in lateral order, with a filter operator after every item
   // that makes further WHERE conjuncts applicable. Rows flow through in
@@ -713,7 +692,7 @@ Result<Table> SelectExecutor::ExecuteFromChain(
     visible[idx] = true;
     std::vector<sql::ExprPtr> ready;
     for (auto it = pending_conjuncts.begin(); it != pending_conjuncts.end();) {
-      if (applicable(**it)) {
+      if (ConjunctApplicable(**it, scope, visible)) {
         ready.push_back(*it);
         it = pending_conjuncts.erase(it);
       } else {

@@ -43,6 +43,16 @@ class SelectExecutor {
       const sql::SelectStmt& stmt, RowScope* scope, Schema* combined_schema,
       std::vector<sql::ExprPtr>* remaining_predicates);
 
+  /// True when `expr` can be evaluated at the current point in the lateral
+  /// chain: pushdown is on, every column reference resolves unambiguously
+  /// against the FULL schema, and its binding is already visible. This is
+  /// the dynamic counterpart of the plan optimizer's predicate sinking
+  /// (plan/optimizer.h): a conjunct the optimizer sinks onto call node C
+  /// becomes applicable here exactly when C's FROM item has produced its
+  /// columns.
+  bool ConjunctApplicable(const sql::Expr& expr, RowScope* scope,
+                          const std::vector<bool>& visible) const;
+
   Database* db_;
   ExecContext* ctx_;
   const ParamScope* params_;

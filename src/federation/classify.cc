@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "plan/shape.h"
 
 namespace fedflow::federation {
 
@@ -29,55 +30,11 @@ const char* MappingCaseName(MappingCase c) {
 }
 
 Result<MappingCase> ClassifySpec(const FederatedFunctionSpec& spec) {
+  // The dependency-shape rules live in plan/shape.h (header-only) so the
+  // plan IR classifier and this spec-level classifier cannot drift apart —
+  // fedlint cross-checks them per spec.
   FEDFLOW_RETURN_NOT_OK(ValidateSpec(spec));
-  if (spec.loop.enabled) return MappingCase::kDependentCyclic;
-
-  if (spec.calls.size() == 1) {
-    const SpecCall& call = spec.calls[0];
-    // Trivial: parameters pass through 1:1 in order, no constants, no casts.
-    bool trivial = call.args.size() == spec.params.size();
-    if (trivial) {
-      for (size_t i = 0; i < call.args.size(); ++i) {
-        if (call.args[i].kind != SpecArg::Kind::kParam ||
-            !EqualsIgnoreCase(call.args[i].param, spec.params[i].name)) {
-          trivial = false;
-          break;
-        }
-      }
-    }
-    if (trivial) {
-      for (const SpecOutput& o : spec.outputs) {
-        if (o.cast_to != DataType::kNull) trivial = false;
-      }
-    }
-    return trivial ? MappingCase::kTrivial : MappingCase::kSimple;
-  }
-
-  // Multiple calls: inspect the dependency structure.
-  const size_t n = spec.calls.size();
-  std::vector<std::set<size_t>> deps(n);  // deps[i] = nodes i depends on
-  std::vector<std::set<size_t>> rdeps(n);
-  bool any_dep = false;
-  for (size_t i = 0; i < n; ++i) {
-    for (const SpecArg& a : spec.calls[i].args) {
-      if (a.kind != SpecArg::Kind::kNodeColumn) continue;
-      for (size_t j = 0; j < n; ++j) {
-        if (EqualsIgnoreCase(spec.calls[j].id, a.node)) {
-          deps[i].insert(j);
-          rdeps[j].insert(i);
-          any_dep = true;
-        }
-      }
-    }
-  }
-  if (!any_dep) return MappingCase::kIndependent;
-  for (size_t i = 0; i < n; ++i) {
-    if (deps[i].size() >= 2) return MappingCase::kDependent1N;
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (rdeps[i].size() >= 2) return MappingCase::kDependentN1;
-  }
-  return MappingCase::kDependentLinear;
+  return plan::ClassifyShape(plan::ShapeOfSpec(spec));
 }
 
 Result<MappingCase> ClassifySet(

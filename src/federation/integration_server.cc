@@ -1,5 +1,6 @@
 #include "federation/integration_server.h"
 
+#include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 #include "appsys/pdm.h"
 #include "appsys/purchasing.h"
@@ -63,10 +64,20 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
 }
 
 Status IntegrationServer::RegisterFederatedFunction(
-    const FederatedFunctionSpec& spec) {
+    const FederatedFunctionSpec& spec, const plan::PlanOptions& options) {
   // Static verification gate: a spec with error findings never reaches a
   // coupling; warnings are kept for the operator to query.
   std::vector<analysis::Diagnostic> diags = analysis::LintSpec(spec, systems_);
+  if (!analysis::HasErrors(diags)) {
+    // Plan-consistency gate (FF3xx): the lowerings of the optimized plan
+    // must agree with it on call set, ordering and classification. Only
+    // reachable for plannable specs, hence behind the spec-lint errors.
+    std::vector<analysis::Diagnostic> plan_diags =
+        analysis::LintPlan(spec, systems_, model_, options);
+    for (analysis::Diagnostic& d : plan_diags) {
+      diags.push_back(std::move(d));
+    }
+  }
   if (analysis::HasErrors(diags)) {
     return Status::InvalidArgument(
         "fedlint rejected spec '" + spec.name + "':\n" +
@@ -78,11 +89,11 @@ Status IntegrationServer::RegisterFederatedFunction(
   }
   switch (arch_) {
     case Architecture::kWfms:
-      return wfms_->RegisterFederatedFunction(spec);
+      return wfms_->RegisterFederatedFunction(spec, options);
     case Architecture::kUdtf:
-      return udtf_->RegisterFederatedFunction(spec);
+      return udtf_->RegisterFederatedFunction(spec, options);
     case Architecture::kJavaUdtf:
-      return java_->RegisterFederatedFunction(spec);
+      return java_->RegisterFederatedFunction(spec, options);
   }
   return Status::Internal("bad architecture");
 }

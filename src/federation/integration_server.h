@@ -49,11 +49,15 @@ class IntegrationServer {
       sim::LatencyModel model = {});
 
   /// Registers a federated function under the server's architecture. The
-  /// spec is linted first: error diagnostics reject the registration
-  /// (InvalidArgument carrying every finding), warnings are collected and
-  /// queryable via lint_warnings(). Unsupported when the UDTF architecture
-  /// cannot express the mapping.
-  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+  /// spec is linted first: error diagnostics (including the FF3xx
+  /// plan-consistency checks) reject the registration (InvalidArgument
+  /// carrying every finding), warnings are collected and queryable via
+  /// lint_warnings(). Unsupported when the UDTF architecture cannot express
+  /// the mapping. `options` selects the plan-optimizer passes for this
+  /// statement (default passthrough, mirroring ExecContext's opt-in
+  /// predicate_pushdown).
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::PlanOptions& options = {});
 
   /// Warning-severity fedlint findings accumulated across registrations.
   const std::vector<analysis::Diagnostic>& lint_warnings() const {

@@ -4,9 +4,8 @@
 
 #include "common/strings.h"
 #include "fdbs/procedural_function.h"
-#include "federation/binding.h"
-#include "federation/udtf_coupling.h"
 #include "obs/trace.h"
+#include "plan/lower_sql.h"
 
 namespace fedflow::federation {
 
@@ -32,49 +31,42 @@ std::string LiteralSql(const Value& v) {
 }  // namespace
 
 Status JavaUdtfCoupling::RegisterFederatedFunction(
-    const FederatedFunctionSpec& spec) {
-  FEDFLOW_RETURN_NOT_OK(BindSpec(spec, *systems_));
-  FEDFLOW_ASSIGN_OR_RETURN(MappingCase mapping_case, ClassifySpec(spec));
-  if (!JavaUdtfSupports(mapping_case)) {
+    const FederatedFunctionSpec& spec, const plan::PlanOptions& options) {
+  // Compile + optimize the plan ONCE at registration; the procedural body
+  // interprets the captured plan directly, rendering parameters as literals
+  // at call time (a prepared-statement analog).
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
+                           plan::BuildPlan(spec, *systems_, *model_, options));
+  if (!JavaUdtfSupports(fed_plan.mapping_case)) {
     return Status::Unsupported(
         std::string("the Java UDTF architecture cannot express the ") +
-        MappingCaseName(mapping_case) + " case");
+        MappingCaseName(fed_plan.mapping_case) + " case");
   }
-  FEDFLOW_ASSIGN_OR_RETURN(Schema returns,
-                           ResolveResultSchema(spec, *systems_));
-
-  // The spec is captured by value; the body renders parameters as literals
-  // at call time (a prepared-statement analog).
-  const appsys::AppSystemRegistry* systems = systems_;
-  const sim::LatencyModel* model = model_;
-  sim::SystemState* state = state_;
-  FederatedFunctionSpec body_spec = spec;
-  body_spec.loop.enabled = false;
+  Schema returns = fed_plan.result_schema;
 
   fdbs::ProceduralBody body =
-      [spec, body_spec, systems, model, state, returns](
-          const std::vector<Value>& args,
-          fdbs::SqlClient* client) -> Result<Table> {
+      [fed_plan, returns](const std::vector<Value>& args,
+                          fdbs::SqlClient* client) -> Result<Table> {
     auto render_param = [&](const std::string& param) -> std::string {
-      for (size_t i = 0; i < spec.params.size(); ++i) {
-        if (EqualsIgnoreCase(spec.params[i].name, param)) {
+      for (size_t i = 0; i < fed_plan.params.size(); ++i) {
+        if (EqualsIgnoreCase(fed_plan.params[i].name, param)) {
           return LiteralSql(args[i]);
         }
       }
       return param;  // resolved per-iteration below (ITERATION)
     };
 
-    if (!spec.loop.enabled) {
-      FEDFLOW_ASSIGN_OR_RETURN(
-          std::string sql, BuildSpecSelectSql(body_spec, *systems,
-                                              render_param));
+    if (!fed_plan.loop.enabled) {
+      FEDFLOW_ASSIGN_OR_RETURN(std::string sql,
+                               plan::RenderSelectSql(fed_plan, render_param));
       return client->Query(sql);
     }
 
     // Cyclic case: client-side do-until loop, one statement per iteration.
     int64_t limit = 0;
-    for (size_t i = 0; i < spec.params.size(); ++i) {
-      if (EqualsIgnoreCase(spec.params[i].name, spec.loop.count_param)) {
+    for (size_t i = 0; i < fed_plan.params.size(); ++i) {
+      if (EqualsIgnoreCase(fed_plan.params[i].name,
+                           fed_plan.loop.count_param)) {
         FEDFLOW_ASSIGN_OR_RETURN(limit, args[i].ToInt64());
       }
     }
@@ -91,9 +83,9 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
       };
       FEDFLOW_ASSIGN_OR_RETURN(
           std::string sql,
-          BuildSpecSelectSql(body_spec, *systems, render_with_iteration));
+          plan::RenderSelectSql(fed_plan, render_with_iteration));
       FEDFLOW_ASSIGN_OR_RETURN(Table chunk, client->Query(sql));
-      if (!spec.loop.union_all) all = Table(returns);  // keep last only
+      if (!fed_plan.loop.union_all) all = Table(returns);  // keep last only
       for (Row& r : chunk.mutable_rows()) {
         FEDFLOW_RETURN_NOT_OK(all.AppendRow(std::move(r)));
       }
@@ -101,8 +93,6 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
     return all;
   };
 
-  (void)model;
-  (void)state;
   auto fn = std::make_shared<fdbs::ProceduralTableFunction>(
       spec.name, spec.params, returns, std::move(body),
       model_->jdbc_statement_us);

@@ -11,6 +11,7 @@
 #include "fdbs/database.h"
 #include "federation/classify.h"
 #include "federation/spec.h"
+#include "plan/optimizer.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 
@@ -30,11 +31,14 @@ class JavaUdtfCoupling {
                    const sim::LatencyModel* model, sim::SystemState* state)
       : db_(db), systems_(systems), model_(model), state_(state) {}
 
-  /// Compiles the spec into a procedural I-UDTF and registers it. The body
-  /// interprets the mapping: non-cyclic specs issue the same single SELECT
-  /// the SQL I-UDTF would contain; cyclic specs run a client-side do-until
-  /// loop issuing one statement per iteration and unioning the results.
-  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+  /// Compiles the spec into the federated plan (plan/fed_plan.h) and
+  /// registers a procedural I-UDTF interpreting it. The body interprets the
+  /// mapping: non-cyclic plans issue the same single SELECT the SQL I-UDTF
+  /// would contain; cyclic plans run a client-side do-until loop issuing one
+  /// statement per iteration and unioning the results. Optimizer passes are
+  /// opt-in via `options` and shape the captured plan once, at registration.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::PlanOptions& options = {});
 
  private:
   fdbs::Database* db_;

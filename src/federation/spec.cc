@@ -1,7 +1,9 @@
 #include "federation/spec.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/dag.h"
 #include "common/strings.h"
 
 namespace fedflow::federation {
@@ -121,36 +123,13 @@ Result<std::vector<size_t>> TopologicalCallOrder(
       if (d < 0) return Status::NotFound("call node not found: " + a.node);
       deps[i].push_back(static_cast<size_t>(d));
     }
-    std::sort(deps[i].begin(), deps[i].end());
-    deps[i].erase(std::unique(deps[i].begin(), deps[i].end()), deps[i].end());
   }
-  std::vector<int> pending(n);
-  for (size_t i = 0; i < n; ++i) pending[i] = static_cast<int>(deps[i].size());
-  std::vector<bool> done(n, false);
-  std::vector<size_t> order;
-  order.reserve(n);
-  for (size_t round = 0; round < n; ++round) {
-    size_t chosen = SIZE_MAX;
-    for (size_t i = 0; i < n; ++i) {
-      if (!done[i] && pending[i] == 0) {
-        chosen = i;
-        break;
-      }
-    }
-    if (chosen == SIZE_MAX) {
-      return Status::InvalidArgument(
-          "cyclic dependency between call nodes of spec " + spec.name);
-    }
-    done[chosen] = true;
-    order.push_back(chosen);
-    for (size_t i = 0; i < n; ++i) {
-      if (done[i]) continue;
-      for (size_t d : deps[i]) {
-        if (d == chosen) --pending[i];
-      }
-    }
+  dag::TopoSort sorted = dag::StableTopologicalSort(deps);
+  if (!sorted.ok()) {
+    return Status::InvalidArgument(
+        "cyclic dependency between call nodes of spec " + spec.name);
   }
-  return order;
+  return std::move(sorted.order);
 }
 
 }  // namespace fedflow::federation

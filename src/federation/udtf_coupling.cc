@@ -8,6 +8,7 @@
 #include "federation/binding.h"
 #include "federation/classify.h"
 #include "obs/trace.h"
+#include "plan/lower_sql.h"
 #include "sim/rmi.h"
 #include "sql/parser.h"
 
@@ -275,44 +276,6 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
   const sim::RetryPolicy* retry_;
 };
 
-std::string RenderArg(const SpecArg& arg, const ParamRenderer& render_param) {
-  switch (arg.kind) {
-    case SpecArg::Kind::kConstant:
-      if (arg.constant.type() == DataType::kVarchar) {
-        std::string escaped;
-        for (char c : arg.constant.AsVarchar()) {
-          if (c == '\'') escaped += "''";
-          else escaped.push_back(c);
-        }
-        return "'" + escaped + "'";
-      }
-      return arg.constant.ToString();
-    case SpecArg::Kind::kParam:
-      return render_param(arg.param);
-    case SpecArg::Kind::kNodeColumn:
-      return arg.node + "." + arg.column;
-  }
-  return "?";
-}
-
-/// Name of the SQL cast function for a target type.
-const char* CastFunctionName(DataType t) {
-  switch (t) {
-    case DataType::kInt:
-      return "INT";
-    case DataType::kBigInt:
-      return "BIGINT";
-    case DataType::kDouble:
-      return "DOUBLE";
-    case DataType::kVarchar:
-      return "VARCHAR";
-    case DataType::kNull:
-    case DataType::kBool:
-      return nullptr;  // no SQL cast function for these targets
-  }
-  return nullptr;
-}
-
 }  // namespace
 
 Status UdtfCoupling::RegisterAccessUdtfs() {
@@ -329,65 +292,19 @@ Status UdtfCoupling::RegisterAccessUdtfs() {
   return Status::OK();
 }
 
-Result<std::string> BuildSpecSelectSql(const FederatedFunctionSpec& spec,
-                                       const appsys::AppSystemRegistry& systems,
-                                       const ParamRenderer& render_param) {
-  (void)systems;  // spec is already bound; kept for interface symmetry
-  FEDFLOW_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                           TopologicalCallOrder(spec));
-  std::ostringstream sql;
-  sql << "SELECT ";
-  for (size_t i = 0; i < spec.outputs.size(); ++i) {
-    if (i > 0) sql << ", ";
-    const SpecOutput& out = spec.outputs[i];
-    std::string ref = out.node + "." + out.column;
-    if (out.cast_to != DataType::kNull) {
-      const char* cast = CastFunctionName(out.cast_to);
-      if (cast == nullptr) {
-        return Status::Unsupported("no SQL cast function for target type");
-      }
-      sql << cast << "(" << ref << ")";
-    } else {
-      sql << ref;
-    }
-    sql << " AS " << out.name;
-  }
-  sql << "\nFROM ";
-  for (size_t k = 0; k < order.size(); ++k) {
-    if (k > 0) sql << ",\n     ";
-    const SpecCall& call = spec.calls[order[k]];
-    sql << "TABLE (" << call.function << "(";
-    for (size_t a = 0; a < call.args.size(); ++a) {
-      if (a > 0) sql << ", ";
-      sql << RenderArg(call.args[a], render_param);
-    }
-    sql << ")) AS " << call.id;
-  }
-  if (!spec.joins.empty()) {
-    sql << "\nWHERE ";
-    for (size_t j = 0; j < spec.joins.size(); ++j) {
-      if (j > 0) sql << " AND ";
-      const SpecJoin& join = spec.joins[j];
-      sql << join.left_node << "." << join.left_column << "="
-          << join.right_node << "." << join.right_column;
-    }
-  }
-  return sql.str();
-}
-
 Result<std::string> UdtfCoupling::CompileIUdtfSql(
-    const FederatedFunctionSpec& spec) const {
-  FEDFLOW_RETURN_NOT_OK(BindSpec(spec, *systems_));
-  FEDFLOW_ASSIGN_OR_RETURN(MappingCase mapping_case, ClassifySpec(spec));
-  if (!UdtfSupports(mapping_case)) {
+    const FederatedFunctionSpec& spec,
+    const plan::PlanOptions& options) const {
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
+                           plan::BuildPlan(spec, *systems_, *model_, options));
+  if (!UdtfSupports(fed_plan.mapping_case)) {
     return Status::Unsupported(
         std::string("the enhanced SQL UDTF architecture cannot express the ") +
-        MappingCaseName(mapping_case) +
+        MappingCaseName(fed_plan.mapping_case) +
         " case (no loop/control structures in a single SQL statement)");
   }
 
-  FEDFLOW_ASSIGN_OR_RETURN(Schema returns,
-                           ResolveResultSchema(spec, *systems_));
+  const Schema& returns = fed_plan.result_schema;
   std::ostringstream sql;
   sql << "CREATE FUNCTION " << spec.name << " (";
   for (size_t i = 0; i < spec.params.size(); ++i) {
@@ -405,7 +322,7 @@ Result<std::string> UdtfCoupling::CompileIUdtfSql(
   // FunctionName.ParamName.
   FEDFLOW_ASSIGN_OR_RETURN(
       std::string select,
-      BuildSpecSelectSql(spec, *systems_, [&spec](const std::string& param) {
+      plan::RenderSelectSql(fed_plan, [&spec](const std::string& param) {
         return spec.name + "." + param;
       }));
   sql << select;
@@ -413,10 +330,14 @@ Result<std::string> UdtfCoupling::CompileIUdtfSql(
 }
 
 Result<std::string> UdtfCoupling::CompilePsmSql(
-    const FederatedFunctionSpec& spec) const {
-  FEDFLOW_RETURN_NOT_OK(BindSpec(spec, *systems_));
-  FEDFLOW_ASSIGN_OR_RETURN(MappingCase mapping_case, ClassifySpec(spec));
-  if (mapping_case == MappingCase::kGeneral) {
+    const FederatedFunctionSpec& spec,
+    const plan::PlanOptions& options) const {
+  // Compile the plan of the spec as declared — the loop stays in the IR
+  // (RenderSelectSql renders the body graph), so no loop-stripped spec copy
+  // is needed.
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
+                           plan::BuildPlan(spec, *systems_, *model_, options));
+  if (fed_plan.mapping_case == MappingCase::kGeneral) {
     return Status::Unsupported(
         "a stored procedure still implements ONE federated function; the "
         "general case needs a shared mapping artifact");
@@ -424,11 +345,9 @@ Result<std::string> UdtfCoupling::CompilePsmSql(
 
   // The body's SELECT, with parameters (and ITERATION, when looping)
   // referenced as ProcName.X — PSM variables resolve the same way.
-  FederatedFunctionSpec body_spec = spec;
-  body_spec.loop.enabled = false;
   FEDFLOW_ASSIGN_OR_RETURN(
       std::string select,
-      BuildSpecSelectSql(body_spec, *systems_, [&spec](const std::string& p) {
+      plan::RenderSelectSql(fed_plan, [&spec](const std::string& p) {
         return spec.name + "." + p;
       }));
 
@@ -462,8 +381,8 @@ Status UdtfCoupling::RegisterPsmProcedure(const FederatedFunctionSpec& spec) {
 }
 
 Status UdtfCoupling::RegisterFederatedFunction(
-    const FederatedFunctionSpec& spec) {
-  FEDFLOW_ASSIGN_OR_RETURN(std::string sql, CompileIUdtfSql(spec));
+    const FederatedFunctionSpec& spec, const plan::PlanOptions& options) {
+  FEDFLOW_ASSIGN_OR_RETURN(std::string sql, CompileIUdtfSql(spec, options));
   // Dogfood: parse the generated SQL with our own parser.
   FEDFLOW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind != sql::StatementKind::kCreateFunction) {

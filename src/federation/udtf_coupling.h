@@ -14,23 +14,12 @@
 #include "fdbs/database.h"
 #include "federation/controller.h"
 #include "federation/spec.h"
+#include "plan/optimizer.h"
 #include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 
 namespace fedflow::federation {
-
-/// Renders a parameter reference inside generated SQL. The SQL I-UDTF
-/// compiler renders "SpecName.Param" (DB2 style); the Java/procedural
-/// coupling substitutes literal argument values.
-using ParamRenderer = std::function<std::string(const std::string& param)>;
-
-/// Builds the body SELECT of a (non-loop) spec: outputs with casts, lateral
-/// TABLE(...) references in topological order, join predicates. Shared by
-/// the SQL and the Java coupling. The spec must already be bound.
-Result<std::string> BuildSpecSelectSql(const FederatedFunctionSpec& spec,
-                                       const appsys::AppSystemRegistry& systems,
-                                       const ParamRenderer& render_param);
 
 /// Wires the UDTF architecture into an FDBS.
 class UdtfCoupling {
@@ -58,19 +47,25 @@ class UdtfCoupling {
   Status RegisterAccessUdtfs();
 
   /// Generates the CREATE FUNCTION ... LANGUAGE SQL RETURN SELECT text for a
-  /// spec. Unsupported for cyclic/looping mappings (SQL has no loop).
-  Result<std::string> CompileIUdtfSql(const FederatedFunctionSpec& spec) const;
+  /// spec by building the federated plan (plan/fed_plan.h) and rendering its
+  /// SQL lowering. Unsupported for cyclic/looping mappings (SQL has no
+  /// loop). With default (passthrough) options the text is identical to the
+  /// pre-IR compiler; optimizer passes are opt-in per statement.
+  Result<std::string> CompileIUdtfSql(const FederatedFunctionSpec& spec,
+                                      const plan::PlanOptions& options = {}) const;
 
   /// Compiles, parses and registers the I-UDTF (instrumented with I-UDTF
   /// start/finish and warm-up costs).
-  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::PlanOptions& options = {});
 
   /// Generates CREATE PROCEDURE ... BEGIN ... END text for a spec — PSM
   /// stored procedures DO support control structures, so this works for the
   /// cyclic case too. But the result is CALL-only: it cannot be referenced
   /// in a FROM clause and thus does not compose with other federated
   /// functions or tables (the paper's §2/§3 point).
-  Result<std::string> CompilePsmSql(const FederatedFunctionSpec& spec) const;
+  Result<std::string> CompilePsmSql(const FederatedFunctionSpec& spec,
+                                    const plan::PlanOptions& options = {}) const;
 
   /// Compiles and registers the PSM procedure in the FDBS.
   Status RegisterPsmProcedure(const FederatedFunctionSpec& spec);

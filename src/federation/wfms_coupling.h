@@ -18,6 +18,7 @@
 #include "federation/controller.h"
 #include "federation/med_wrapper.h"
 #include "federation/spec.h"
+#include "plan/optimizer.h"
 #include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
@@ -149,14 +150,20 @@ class WfmsCoupling {
                sim::SystemState* state, sim::FaultInjector* faults = nullptr,
                const sim::RetryPolicy* retry = nullptr);
 
-  /// Compiles a spec into a process definition plus required helpers.
-  /// Handles every mapping case including loops (the cyclic case).
+  /// Compiles a spec into a process definition plus required helpers by
+  /// building the federated plan (plan/fed_plan.h) and lowering it. Handles
+  /// every mapping case including loops (the cyclic case). With default
+  /// (passthrough) options the result is identical to the pre-IR compiler;
+  /// optimizer passes are opt-in per statement, mirroring
+  /// ExecContext::predicate_pushdown.
   Result<CompiledProcess> CompileProcess(
-      const FederatedFunctionSpec& spec) const;
+      const FederatedFunctionSpec& spec,
+      const plan::PlanOptions& options = {}) const;
 
   /// Compiles the spec, registers helpers and process with the engine, and
   /// registers the wrapper UDTF with the FDBS.
-  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec);
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::PlanOptions& options = {});
 
   /// The wrapper instance (shared with the FDBS catalog).
   const std::shared_ptr<WfmsWrapper>& wrapper() const { return wrapper_; }
@@ -165,6 +172,7 @@ class WfmsCoupling {
   fdbs::Database* db_;
   wfms::Engine* engine_;
   const appsys::AppSystemRegistry* systems_;
+  const sim::LatencyModel* model_;
   std::shared_ptr<WfmsWrapper> wrapper_;
 };
 

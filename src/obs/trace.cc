@@ -14,6 +14,8 @@ const char* LayerName(Layer layer) {
       return "wfms";
     case Layer::kAppsys:
       return "appsys";
+    case Layer::kPlan:
+      return "plan";
   }
   return "unknown";
 }

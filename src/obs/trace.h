@@ -36,6 +36,7 @@ enum class Layer {
   kRmi,       ///< simulated RMI channel legs (client call / server serve)
   kWfms,      ///< workflow engine: process instances and activities
   kAppsys,    ///< local-function execution inside an application system
+  kPlan,      ///< plan compiler/optimizer: compile, passes, lowering checks
 };
 
 /// Stable lower-case layer name ("fdbs", "coupling", ...).

@@ -1,0 +1,61 @@
+#include "plan/cost.h"
+
+#include <algorithm>
+
+namespace fedflow::plan {
+
+PlanCostEstimate EstimatePlan(const FedPlan& plan,
+                              const sim::LatencyModel& model) {
+  PlanCostEstimate est;
+  const size_t n = plan.calls.size();
+  est.nodes.reserve(n);
+  for (const PlanCall& call : plan.calls) {
+    NodeCost c;
+    c.wfms_us = model.wf_navigation_us + model.wf_container_us +
+                model.wf_jvm_boot_activity_us + call.modeled_call_us;
+    c.udtf_us = model.udtf_prepare_a_us + model.controller_attach_us +
+                model.rmi_call_base_us + model.controller_dispatch_us +
+                call.modeled_call_us + model.udtf_finish_a_us +
+                model.controller_return_us + model.rmi_return_base_us;
+    est.nodes.push_back(c);
+  }
+
+  // WfMS: the engine runs each stage's calls in parallel; a call starts when
+  // its latest constraint (data dependency or sequencing edge) finishes.
+  std::vector<VDuration> end(n, 0);
+  for (size_t k : plan.order) {
+    VDuration start = 0;
+    for (size_t d : plan.calls[k].data_deps) {
+      start = std::max(start, end[d]);
+    }
+    for (const auto& [from, to] : plan.sequencing_edges) {
+      if (to == k) start = std::max(start, end[from]);
+    }
+    end[k] = start + est.nodes[k].wfms_us;
+  }
+  VDuration calls_critical = 0;
+  for (size_t i = 0; i < n; ++i) {
+    calls_critical = std::max(calls_critical, end[i]);
+    est.wfms_work_us += est.nodes[i].wfms_us;
+  }
+  // Join helpers chain pairwise after the call nodes; the result helper is
+  // always last.
+  const VDuration helper_us =
+      model.wf_navigation_us + model.wf_container_us + model.wf_helper_us;
+  VDuration engine_elapsed =
+      calls_critical +
+      static_cast<VDuration>(plan.joins.size() + 1) * helper_us;
+  est.wfms_elapsed_us = model.wf_udtf_start_us + model.wf_udtf_process_us +
+                        model.wf_controller_process_us +
+                        model.rmi_call_base_us + model.wf_process_start_us +
+                        engine_elapsed + model.wf_controller_us +
+                        model.rmi_return_base_us + model.wf_udtf_finish_us;
+
+  // UDTF: lateral A-UDTF references evaluate left-to-right inside ONE SQL
+  // statement — no intra-statement parallelism, regardless of stages.
+  est.udtf_elapsed_us = model.udtf_start_i_us + model.udtf_finish_i_us;
+  for (const NodeCost& c : est.nodes) est.udtf_elapsed_us += c.udtf_us;
+  return est;
+}
+
+}  // namespace fedflow::plan

@@ -1,0 +1,49 @@
+// Static cost model over the plan IR: per-node and whole-plan virtual-time
+// estimates for both architectures, derived from the same LatencyModel the
+// runtime charges. The WfMS estimate follows the engine's schedule semantics
+// (critical path through the parallel stages, helpers chained after the call
+// nodes); the UDTF estimate sums the lateral chain sequentially — a single
+// SQL statement cannot parallelize independent calls, which is the paper's
+// structural argument and what makes parallelization a WfMS-only win.
+//
+// Scope: base costs only. Per-row costs, marshalled bytes, warm-up
+// surcharges and retries depend on runtime data and are excluded, so the
+// estimate is an ordering tool (compare schedules of one plan), not a
+// predictor of absolute elapsed time.
+#ifndef FEDFLOW_PLAN_COST_H_
+#define FEDFLOW_PLAN_COST_H_
+
+#include <vector>
+
+#include "common/vclock.h"
+#include "plan/fed_plan.h"
+#include "sim/latency.h"
+
+namespace fedflow::plan {
+
+/// Modeled cost of one call node under each architecture.
+struct NodeCost {
+  VDuration wfms_us = 0;  ///< navigation + container + JVM boot + call
+  VDuration udtf_us = 0;  ///< A-UDTF prepare/finish + controller + RMI + call
+};
+
+/// Modeled cost of a whole plan (one loop iteration for looping plans).
+struct PlanCostEstimate {
+  std::vector<NodeCost> nodes;  ///< indexed like plan.calls
+  /// WfMS: wrapper + process start overhead + critical path through the
+  /// stages + join/result helper chain + return overhead.
+  VDuration wfms_elapsed_us = 0;
+  /// WfMS: summed activity work (what elapsed collapses to when every stage
+  /// is a singleton).
+  VDuration wfms_work_us = 0;
+  /// UDTF: I-UDTF start/finish + the lateral chain, summed sequentially.
+  VDuration udtf_elapsed_us = 0;
+};
+
+/// Estimates `plan` under both architectures.
+PlanCostEstimate EstimatePlan(const FedPlan& plan,
+                              const sim::LatencyModel& model);
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_COST_H_

@@ -1,0 +1,109 @@
+#include "plan/explain.h"
+
+#include <sstream>
+
+#include "plan/cost.h"
+
+namespace fedflow::plan {
+
+namespace {
+
+std::string TypeNameLower(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kBigInt:
+      return "bigint";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kVarchar:
+      return "varchar";
+  }
+  return "?";
+}
+
+std::string RenderArgBrief(const federation::SpecArg& arg) {
+  switch (arg.kind) {
+    case federation::SpecArg::Kind::kConstant:
+      return arg.constant.ToString();
+    case federation::SpecArg::Kind::kParam:
+      return ":" + arg.param;
+    case federation::SpecArg::Kind::kNodeColumn:
+      return arg.node + "." + arg.column;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainPlan(const FedPlan& plan, const sim::LatencyModel& model) {
+  PlanCostEstimate est = EstimatePlan(plan, model);
+  std::ostringstream out;
+  out << "PLAN " << plan.name << "  ["
+      << federation::MappingCaseName(plan.mapping_case) << ", "
+      << (plan.optimized ? "optimized" : "passthrough") << "]\n";
+
+  out << "  params:";
+  if (plan.params.empty()) {
+    out << " (none)";
+  } else {
+    for (const Column& p : plan.params) {
+      out << " " << p.name << " " << TypeNameLower(p.type);
+    }
+  }
+  out << "\n";
+
+  if (plan.loop.enabled) {
+    out << "  loop: do-until ITERATION >= " << plan.loop.count_param
+        << (plan.loop.union_all ? " (union all)" : " (keep last)") << "\n";
+  }
+
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    out << "  stage " << (s + 1);
+    if (plan.stages[s].size() > 1) out << "  (parallel fork)";
+    out << "\n";
+    for (size_t i : plan.stages[s]) {
+      const PlanCall& call = plan.calls[i];
+      out << "    call " << call.id << " = " << call.system << "."
+          << call.function << "(";
+      for (size_t a = 0; a < call.args.size(); ++a) {
+        if (a > 0) out << ", ";
+        out << RenderArgBrief(call.args[a]);
+      }
+      out << ")  wfms=" << est.nodes[i].wfms_us
+          << "us udtf=" << est.nodes[i].udtf_us << "us\n";
+      for (const std::string& pred : call.predicates) {
+        out << "      sink predicate: " << pred << "\n";
+      }
+    }
+  }
+
+  for (size_t j = 0; j < plan.joins.size(); ++j) {
+    const federation::SpecJoin& join = plan.joins[j];
+    out << "  join " << (j + 1) << ": " << join.left_node << "."
+        << join.left_column << "=" << join.right_node << "."
+        << join.right_column << "\n";
+  }
+
+  out << "  lateral order:";
+  for (size_t k : plan.order) out << " " << plan.calls[k].id;
+  out << "\n";
+
+  out << "  modeled elapsed: wfms=" << est.wfms_elapsed_us
+      << "us (critical path)  udtf=" << est.udtf_elapsed_us
+      << "us (sequential lateral chain)\n";
+
+  if (!plan.decisions.empty()) {
+    out << "  decisions:\n";
+    for (const std::string& d : plan.decisions) {
+      out << "    - " << d << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fedflow::plan

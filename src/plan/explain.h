@@ -1,0 +1,20 @@
+// EXPLAIN-style rendering of an optimized plan: the stages with per-node
+// modeled costs under both architectures, the lateral order, sunk
+// predicates, modeled totals and the optimizer's decision log. Deterministic
+// text, suitable for golden-file diffing in CI.
+#ifndef FEDFLOW_PLAN_EXPLAIN_H_
+#define FEDFLOW_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/fed_plan.h"
+#include "sim/latency.h"
+
+namespace fedflow::plan {
+
+/// Renders `plan` as a multi-line EXPLAIN report (trailing newline).
+std::string ExplainPlan(const FedPlan& plan, const sim::LatencyModel& model);
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_EXPLAIN_H_

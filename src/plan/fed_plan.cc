@@ -1,0 +1,191 @@
+#include "plan/fed_plan.h"
+
+#include <algorithm>
+
+#include "common/dag.h"
+#include "common/strings.h"
+#include "federation/binding.h"
+#include "plan/shape.h"
+
+namespace fedflow::plan {
+
+using federation::FederatedFunctionSpec;
+using federation::SpecArg;
+using federation::SpecCall;
+
+Result<size_t> FedPlan::CallIndex(const std::string& id) const {
+  for (size_t i = 0; i < calls.size(); ++i) {
+    if (EqualsIgnoreCase(calls[i].id, id)) return i;
+  }
+  return Status::NotFound("call node not found: " + id + " in plan " + name);
+}
+
+namespace {
+
+/// The constraint graph the schedule derives from: parameter-flow edges plus
+/// any sequencing edges.
+std::vector<std::vector<size_t>> ConstraintDeps(const FedPlan& plan) {
+  std::vector<std::vector<size_t>> deps(plan.calls.size());
+  for (size_t i = 0; i < plan.calls.size(); ++i) {
+    deps[i] = plan.calls[i].data_deps;
+  }
+  for (const auto& [from, to] : plan.sequencing_edges) {
+    if (to < deps.size()) deps[to].push_back(from);
+  }
+  return deps;
+}
+
+ShapeFeatures ShapeOfPlan(const FedPlan& plan) {
+  ShapeFeatures f;
+  f.num_calls = plan.calls.size();
+  f.loop = plan.loop.enabled;
+  f.deps.resize(f.num_calls);
+  for (size_t i = 0; i < f.num_calls; ++i) {
+    f.deps[i] = plan.calls[i].data_deps;
+  }
+  if (f.num_calls == 1) {
+    const PlanCall& call = plan.calls[0];
+    bool identity = call.args.size() == plan.params.size();
+    if (identity) {
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (call.args[i].kind != SpecArg::Kind::kParam ||
+            !EqualsIgnoreCase(call.args[i].param, plan.params[i].name)) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    if (identity) {
+      for (const federation::SpecOutput& o : plan.outputs) {
+        if (o.cast_to != DataType::kNull) identity = false;
+      }
+    }
+    f.single_call_identity = identity;
+  }
+  return f;
+}
+
+}  // namespace
+
+federation::MappingCase ClassifyPlan(const FedPlan& plan) {
+  return ClassifyShape(ShapeOfPlan(plan));
+}
+
+Status RecomputeSchedule(FedPlan* plan) {
+  const size_t n = plan->calls.size();
+  std::vector<std::vector<size_t>> deps = ConstraintDeps(*plan);
+  dag::TopoSort sorted = dag::StableTopologicalSort(deps);
+  if (!sorted.ok()) {
+    return Status::Internal("sequencing edges of plan " + plan->name +
+                            " contradict its data dependencies");
+  }
+  // The total order must respect every constraint (the optimizer owns
+  // reordering; this only validates).
+  std::vector<size_t> position(n, 0);
+  if (plan->order.size() != n) {
+    return Status::Internal("plan " + plan->name + " has an incomplete order");
+  }
+  for (size_t k = 0; k < n; ++k) position[plan->order[k]] = k;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d : deps[i]) {
+      if (position[d] >= position[i]) {
+        return Status::Internal("order of plan " + plan->name +
+                                " violates a dependency of call " +
+                                plan->calls[i].id);
+      }
+    }
+  }
+  // Longest-path levels over the constraint graph: level 0 holds the
+  // unconstrained calls, level k+1 everything whose latest constraint sits
+  // in level k — the parallel-stage view of the schedule.
+  std::vector<size_t> level(n, 0);
+  for (size_t i : sorted.order) {
+    for (size_t d : deps[i]) level[i] = std::max(level[i], level[d] + 1);
+  }
+  size_t depth = 0;
+  for (size_t i = 0; i < n; ++i) depth = std::max(depth, level[i] + 1);
+  plan->stages.assign(depth, {});
+  // Within a stage, list calls in lateral (order) position for stable
+  // display.
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = plan->order[k];
+    plan->stages[level[i]].push_back(i);
+  }
+  if (n == 0) plan->stages.clear();
+  return Status::OK();
+}
+
+Result<FedPlan> CompilePlan(const FederatedFunctionSpec& spec,
+                            const appsys::AppSystemRegistry& systems,
+                            const CompileOptions& options) {
+  FEDFLOW_RETURN_NOT_OK(federation::ValidateSpec(spec));
+  FEDFLOW_RETURN_NOT_OK(federation::BindSpec(spec, systems));
+
+  FedPlan plan;
+  plan.name = spec.name;
+  plan.params = spec.params;
+  plan.joins = spec.joins;
+  plan.outputs = spec.outputs;
+  plan.loop = spec.loop;
+  FEDFLOW_ASSIGN_OR_RETURN(plan.result_schema,
+                           federation::ResolveResultSchema(spec, systems));
+
+  const size_t n = spec.calls.size();
+  plan.calls.reserve(n);
+  for (const SpecCall& call : spec.calls) {
+    PlanCall node;
+    node.id = call.id;
+    node.system = call.system;
+    node.function = call.function;
+    node.args = call.args;
+    FEDFLOW_ASSIGN_OR_RETURN(
+        const Schema* schema,
+        federation::NodeResultSchema(spec, systems, call.id));
+    node.result_schema = *schema;
+    FEDFLOW_ASSIGN_OR_RETURN(appsys::AppSystem * sys, systems.Get(call.system));
+    FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
+                             sys->GetFunction(call.function));
+    node.modeled_call_us = fn->base_cost_us;
+    for (const SpecArg& a : call.args) {
+      if (a.kind != SpecArg::Kind::kNodeColumn) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (EqualsIgnoreCase(spec.calls[j].id, a.node)) {
+          node.data_deps.push_back(j);
+        }
+      }
+    }
+    std::sort(node.data_deps.begin(), node.data_deps.end());
+    node.data_deps.erase(
+        std::unique(node.data_deps.begin(), node.data_deps.end()),
+        node.data_deps.end());
+    plan.calls.push_back(std::move(node));
+  }
+
+  // Passthrough order == TopologicalCallOrder of the spec: the SQL lowering
+  // renders byte-identical lateral FROM chains.
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t i = 0; i < n; ++i) deps[i] = plan.calls[i].data_deps;
+  dag::TopoSort sorted = dag::StableTopologicalSort(deps);
+  if (!sorted.ok()) {
+    return Status::InvalidArgument(
+        "cyclic dependency between call nodes of spec " + spec.name);
+  }
+  plan.order = std::move(sorted.order);
+
+  if (options.sequential_baseline) {
+    for (size_t k = 0; k + 1 < plan.order.size(); ++k) {
+      size_t from = plan.order[k];
+      size_t to = plan.order[k + 1];
+      const std::vector<size_t>& dd = plan.calls[to].data_deps;
+      if (std::find(dd.begin(), dd.end(), from) == dd.end()) {
+        plan.sequencing_edges.emplace_back(from, to);
+      }
+    }
+  }
+
+  FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(&plan));
+  plan.mapping_case = ClassifyShape(ShapeOfSpec(spec));
+  return plan;
+}
+
+}  // namespace fedflow::plan

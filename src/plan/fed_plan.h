@@ -1,0 +1,116 @@
+// The federated-plan IR: one DAG compiled from a FederatedFunctionSpec that
+// all three couplings lower — the WfMS builder emits its process model from
+// it, the SQL I-UDTF compiler renders its lateral SELECT from it, and the
+// Java/procedural I-UDTF interprets it. Centralizing the execution structure
+// (call nodes, parameter-flow edges, parallel stages, do-until loops,
+// pushdown-able predicates) means an optimization written once benefits every
+// architecture, and the per-architecture cost gap stays attributable to
+// coupling overhead rather than plan shape (paper §6's open problem).
+#ifndef FEDFLOW_PLAN_FED_PLAN_H_
+#define FEDFLOW_PLAN_FED_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "appsys/registry.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/vclock.h"
+#include "federation/classify.h"
+#include "federation/spec.h"
+
+namespace fedflow::plan {
+
+/// One local-function call node of the plan.
+struct PlanCall {
+  std::string id;        ///< correlation name / activity name (e.g. "GQ")
+  std::string system;    ///< owning application system
+  std::string function;  ///< local function
+  std::vector<federation::SpecArg> args;  ///< parameter flow, verbatim
+
+  /// The call's declared result schema (resolved against the registry at
+  /// compile time, so lowerings never re-bind).
+  Schema result_schema;
+  /// The local function's modeled server-side cost (base cost; per-row and
+  /// marshalling costs are runtime-dependent and excluded from the static
+  /// estimate).
+  VDuration modeled_call_us = 0;
+  /// Parameter-flow edges: indices of calls this node's arguments reference
+  /// (sorted, deduplicated). These are the plan's hard ordering constraints.
+  std::vector<size_t> data_deps;
+  /// WHERE conjuncts the optimizer sank onto this node: each becomes
+  /// evaluable as soon as this call (the later of the conjunct's two sides in
+  /// the lateral order) has produced its columns. Annotation only — the FDBS
+  /// executor's dynamic pushdown applies conjuncts at exactly this point.
+  std::vector<std::string> predicates;
+};
+
+/// The compiled plan of one federated function.
+struct FedPlan {
+  std::string name;
+  std::vector<Column> params;
+  std::vector<PlanCall> calls;  ///< declaration order (stable node ids)
+  std::vector<federation::SpecJoin> joins;
+  std::vector<federation::SpecOutput> outputs;
+  federation::SpecLoop loop;
+  Schema result_schema;
+
+  /// Ordering constraints BEYOND the data dependencies. Empty for
+  /// data-driven (passthrough) plans; the sequential-baseline compiler
+  /// chains every call after its predecessor here, and the parallelize pass
+  /// removes edges not implied by parameter flow.
+  std::vector<std::pair<size_t, size_t>> sequencing_edges;
+  /// Total order over `calls` honoring data_deps and sequencing_edges; the
+  /// lateral FROM order of the SQL lowering. For passthrough plans this is
+  /// exactly TopologicalCallOrder of the spec.
+  std::vector<size_t> order;
+  /// Parallel stages: stages[k] runs after every call in stages[0..k-1] it
+  /// is constrained against. Nodes within a stage are independent (the WfMS
+  /// engine's parallel fork). Derived from the constraint graph; display and
+  /// cost model only — the WfMS lowering stays data-driven.
+  std::vector<std::vector<size_t>> stages;
+
+  federation::MappingCase mapping_case = federation::MappingCase::kSimple;
+  /// True once an optimizer pass ran (regardless of whether it changed
+  /// anything).
+  bool optimized = false;
+  /// Optimizer decision log: chosen vs rejected alternatives, in pass order.
+  std::vector<std::string> decisions;
+
+  /// Index of the call with `id` (case-insensitive).
+  Result<size_t> CallIndex(const std::string& id) const;
+};
+
+/// Compile-time shape directives (distinct from optimizer passes).
+struct CompileOptions {
+  /// Model a naive one-call-at-a-time integration: chain every call after
+  /// the previous one in topological order via sequencing edges. This is the
+  /// optimizer's baseline — the parallelize pass recovers the data-driven
+  /// schedule from it.
+  bool sequential_baseline = false;
+};
+
+/// Compiles a spec into the plan IR: validates, binds against the
+/// application systems, resolves schemas and modeled costs, derives the
+/// dependency edges, the total order and the parallel stages. Performs no
+/// optimization: lowering a freshly compiled plan is byte-identical to the
+/// legacy per-coupling compilers (the passthrough guarantee).
+Result<FedPlan> CompilePlan(const federation::FederatedFunctionSpec& spec,
+                            const appsys::AppSystemRegistry& systems,
+                            const CompileOptions& options = {});
+
+/// Classifies a plan by IR shape — the same rule set ClassifySpec uses
+/// (plan/shape.h), recomputed from the IR so fedlint can cross-check that
+/// compilation preserved the mapping class.
+federation::MappingCase ClassifyPlan(const FedPlan& plan);
+
+/// Recomputes `plan->stages` (longest-path levels) and verifies
+/// `plan->order` against the current constraint graph (data_deps +
+/// sequencing_edges). Used by optimizer passes after edge changes.
+Status RecomputeSchedule(FedPlan* plan);
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_FED_PLAN_H_

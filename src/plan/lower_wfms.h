@@ -1,0 +1,33 @@
+// WfMS lowering of the plan IR: emits the workflow process model (program
+// activities per call node, control connectors from the plan's ordering
+// constraints, join/result helper activities, do-until blocks for looping
+// plans). For a passthrough plan the emitted ProcessDefinition is
+// byte-identical to the legacy WfmsCoupling::CompileProcess output; a
+// sequential-baseline plan additionally chains the call activities via its
+// sequencing edges, serializing the engine's schedule.
+#ifndef FEDFLOW_PLAN_LOWER_WFMS_H_
+#define FEDFLOW_PLAN_LOWER_WFMS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/fed_plan.h"
+#include "wfms/model.h"
+
+namespace fedflow::plan {
+
+/// A lowered plan: the process plus the helpers it needs registered.
+struct LoweredProcess {
+  wfms::ProcessDefinition process;
+  std::vector<std::pair<std::string, wfms::HelperFn>> helpers;
+};
+
+/// Lowers `plan` to a validated process definition. Handles every mapping
+/// case including loops (the cyclic case).
+Result<LoweredProcess> LowerToProcess(const FedPlan& plan);
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_LOWER_WFMS_H_

@@ -1,0 +1,194 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "plan/cost.h"
+
+namespace fedflow::plan {
+
+namespace {
+
+/// Appends a decision to the plan log and mirrors it as a span event.
+void Decide(FedPlan* plan, obs::SpanScope* span, const std::string& verdict,
+            const std::string& detail) {
+  plan->decisions.push_back(verdict + ": " + detail);
+  if (span != nullptr) span->AddEvent(verdict, detail);
+}
+
+std::string OrderNames(const FedPlan& plan, const std::vector<size_t>& order) {
+  std::string s;
+  for (size_t k : order) {
+    if (!s.empty()) s += ", ";
+    s += plan.calls[k].id;
+  }
+  return s;
+}
+
+Status Parallelize(FedPlan* plan, const sim::LatencyModel& model,
+                   obs::SpanScope* span) {
+  if (plan->sequencing_edges.empty()) {
+    Decide(plan, span, "parallelize",
+           "schedule already data-driven; no sequencing edges to drop");
+    return Status::OK();
+  }
+  PlanCostEstimate sequential = EstimatePlan(*plan, model);
+  size_t dropped = plan->sequencing_edges.size();
+  std::vector<std::pair<size_t, size_t>> kept_edges =
+      std::move(plan->sequencing_edges);
+  plan->sequencing_edges.clear();
+  FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(plan));
+  PlanCostEstimate parallel = EstimatePlan(*plan, model);
+  if (parallel.wfms_elapsed_us > sequential.wfms_elapsed_us) {
+    // Cannot happen (removing constraints never lengthens the critical
+    // path), but the pass is cost-based, not structural: keep the cheaper
+    // schedule.
+    plan->sequencing_edges = std::move(kept_edges);
+    FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(plan));
+    Decide(plan, span, "parallelize",
+           "rejected: dropping sequencing edges did not shorten the modeled "
+           "critical path");
+    return Status::OK();
+  }
+  Decide(plan, span, "parallelize",
+         "chose data-driven schedule over sequential baseline: dropped " +
+             std::to_string(dropped) +
+             " sequencing edge(s); modeled wfms elapsed " +
+             std::to_string(sequential.wfms_elapsed_us) + "us -> " +
+             std::to_string(parallel.wfms_elapsed_us) +
+             "us (udtf unchanged: lateral SQL evaluates sequentially)");
+  return Status::OK();
+}
+
+Status Reorder(FedPlan* plan, const sim::LatencyModel& model,
+               obs::SpanScope* span) {
+  if (!plan->joins.empty()) {
+    // Joined sources are multi-row, and the lateral chain nest-loops them:
+    // moving a call earlier re-invokes every later call once per extra outer
+    // row, changing the multiset of local calls (and their cost) — not an
+    // equivalence-preserving transformation.
+    Decide(plan, span, "reorder",
+           "rejected: joined sources nest-loop in the lateral chain, so "
+           "reordering would change inner invocation counts; kept order " +
+               OrderNames(*plan, plan->order));
+    return Status::OK();
+  }
+  const size_t n = plan->calls.size();
+  // Constraints: data deps + sequencing edges.
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t i = 0; i < n; ++i) deps[i] = plan->calls[i].data_deps;
+  for (const auto& [from, to] : plan->sequencing_edges) {
+    deps[to].push_back(from);
+  }
+  std::vector<int> pending(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(deps[i].begin(), deps[i].end());
+    deps[i].erase(std::unique(deps[i].begin(), deps[i].end()), deps[i].end());
+    pending[i] = static_cast<int>(deps[i].size());
+  }
+  PlanCostEstimate est = EstimatePlan(*plan, model);
+  // Cost-greedy list scheduling: among ready calls, front the most
+  // expensive (longest-processing-time-first); ties keep declaration order.
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<bool> done(n, false);
+  for (size_t round = 0; round < n; ++round) {
+    size_t chosen = SIZE_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || pending[i] != 0) continue;
+      if (chosen == SIZE_MAX ||
+          est.nodes[i].udtf_us > est.nodes[chosen].udtf_us) {
+        chosen = i;
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      return Status::Internal("reorder pass found a cycle in plan " +
+                              plan->name);
+    }
+    done[chosen] = true;
+    order.push_back(chosen);
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      for (size_t d : deps[i]) {
+        if (d == chosen) --pending[i];
+      }
+    }
+  }
+  if (order == plan->order) {
+    Decide(plan, span, "reorder",
+           "kept lateral order " + OrderNames(*plan, plan->order) +
+           " (already cost-ranked under the dependency constraints)");
+    return Status::OK();
+  }
+  std::string before = OrderNames(*plan, plan->order);
+  plan->order = std::move(order);
+  FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(plan));
+  Decide(plan, span, "reorder",
+         "chose cost-ranked lateral order " + OrderNames(*plan, plan->order) +
+             " over declaration order " + before +
+             " (most expensive ready call first)");
+  return Status::OK();
+}
+
+Status SinkPredicates(FedPlan* plan, obs::SpanScope* span) {
+  if (plan->joins.empty()) {
+    Decide(plan, span, "sink-predicates", "no join conjuncts to place");
+    return Status::OK();
+  }
+  const size_t n = plan->calls.size();
+  std::vector<size_t> position(n, 0);
+  for (size_t k = 0; k < plan->order.size(); ++k) {
+    position[plan->order[k]] = k;
+  }
+  for (const federation::SpecJoin& join : plan->joins) {
+    FEDFLOW_ASSIGN_OR_RETURN(size_t left, plan->CallIndex(join.left_node));
+    FEDFLOW_ASSIGN_OR_RETURN(size_t right, plan->CallIndex(join.right_node));
+    size_t sink = position[left] >= position[right] ? left : right;
+    std::string conjunct = join.left_node + "." + join.left_column + "=" +
+                           join.right_node + "." + join.right_column;
+    plan->calls[sink].predicates.push_back(conjunct);
+    Decide(plan, span, "sink-predicates",
+           "conjunct " + conjunct + " sinks onto call " +
+               plan->calls[sink].id + " (lateral position " +
+               std::to_string(position[sink] + 1) +
+               "; the earliest point where both sides are bound)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Optimize(FedPlan* plan, const sim::LatencyModel& model,
+                const PlanOptions& options, obs::TraceSession* trace) {
+  if (options.passthrough()) return Status::OK();
+  obs::SpanScope span(trace, "optimize:" + plan->name, obs::Layer::kPlan);
+  span.SetAttribute("mapping_case",
+                    federation::MappingCaseName(plan->mapping_case));
+  plan->optimized = true;
+  if (options.parallelize) {
+    FEDFLOW_RETURN_NOT_OK(Parallelize(plan, model, &span));
+  }
+  if (options.reorder) {
+    FEDFLOW_RETURN_NOT_OK(Reorder(plan, model, &span));
+  }
+  if (options.sink_predicates) {
+    FEDFLOW_RETURN_NOT_OK(SinkPredicates(plan, &span));
+  }
+  return Status::OK();
+}
+
+Result<FedPlan> BuildPlan(const federation::FederatedFunctionSpec& spec,
+                          const appsys::AppSystemRegistry& systems,
+                          const sim::LatencyModel& model,
+                          const PlanOptions& options,
+                          obs::TraceSession* trace) {
+  CompileOptions compile;
+  compile.sequential_baseline = options.sequential_baseline;
+  obs::SpanScope span(trace, "plan:" + spec.name, obs::Layer::kPlan);
+  FEDFLOW_ASSIGN_OR_RETURN(FedPlan plan,
+                           CompilePlan(spec, systems, compile));
+  FEDFLOW_RETURN_NOT_OK(Optimize(&plan, model, options, trace));
+  return plan;
+}
+
+}  // namespace fedflow::plan

@@ -1,0 +1,60 @@
+// The cost-based plan optimizer. Passes are opt-in per federated function
+// (mirroring ExecContext::predicate_pushdown): with every pass off the plan
+// is a pure passthrough and the lowerings reproduce the legacy compilers
+// byte-for-byte — the bit-identical virtual-time guarantee all existing
+// benchmarks pin. Each pass logs its decision (chosen vs rejected
+// alternative, with modeled costs) into FedPlan::decisions and, when a trace
+// session is supplied, as events on a plan-layer span.
+#ifndef FEDFLOW_PLAN_OPTIMIZER_H_
+#define FEDFLOW_PLAN_OPTIMIZER_H_
+
+#include "appsys/registry.h"
+#include "common/result.h"
+#include "obs/trace.h"
+#include "plan/fed_plan.h"
+#include "sim/latency.h"
+
+namespace fedflow::plan {
+
+/// Per-function plan options: compile-time shape plus opt-in passes.
+struct PlanOptions {
+  /// Compile the naive sequential baseline (see CompileOptions).
+  bool sequential_baseline = false;
+  /// Drop sequencing edges not implied by parameter flow, recovering the
+  /// data-driven parallel schedule (a WfMS-only elapsed-time win; lateral
+  /// SQL stays sequential either way).
+  bool parallelize = false;
+  /// Re-derive the total order cost-ranked: among ready calls, schedule the
+  /// most expensive first (ties by declaration order). Changes the lateral
+  /// FROM order of the SQL lowering; the WfMS process graph is order-free.
+  bool reorder = false;
+  /// Sink WHERE conjuncts onto the earliest call in the lateral order at
+  /// which both sides are available (annotation consumed by EXPLAIN and the
+  /// FF3xx lint; the executor's dynamic pushdown already applies conjuncts
+  /// at exactly that point).
+  bool sink_predicates = false;
+
+  /// True when no optimization pass is enabled — the lowerings then
+  /// reproduce the legacy compilers bit-identically.
+  bool passthrough() const {
+    return !parallelize && !reorder && !sink_predicates;
+  }
+};
+
+/// Runs the enabled passes over `plan` in place, appending decisions.
+/// `trace` (optional) gets an "optimize:<name>" plan-layer span whose events
+/// mirror the decision log.
+Status Optimize(FedPlan* plan, const sim::LatencyModel& model,
+                const PlanOptions& options,
+                obs::TraceSession* trace = nullptr);
+
+/// Compile + optimize in one step: what the couplings call at registration.
+Result<FedPlan> BuildPlan(const federation::FederatedFunctionSpec& spec,
+                          const appsys::AppSystemRegistry& systems,
+                          const sim::LatencyModel& model,
+                          const PlanOptions& options = {},
+                          obs::TraceSession* trace = nullptr);
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_OPTIMIZER_H_

@@ -1,0 +1,113 @@
+// Mapping-shape classification over the plan IR's dependency structure.
+// Header-only so BOTH the spec-level classifier (fedflow_spec, which the plan
+// library links) and the plan-level classifier can share ONE rule set without
+// a link cycle — the single source of truth the complexity matrix pins
+// against.
+#ifndef FEDFLOW_PLAN_SHAPE_H_
+#define FEDFLOW_PLAN_SHAPE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/strings.h"
+#include "federation/classify.h"
+
+namespace fedflow::plan {
+
+/// The structural features the paper's §3 complexity cases are decided on.
+struct ShapeFeatures {
+  size_t num_calls = 0;
+  /// deps[i] = call nodes i's arguments reference (deduplicated, no
+  /// self-references).
+  std::vector<std::vector<size_t>> deps;
+  /// Do-until loop around the whole call graph (the cyclic case).
+  bool loop = false;
+  /// Single-call specs only: parameters pass through 1:1 in declaration
+  /// order, no constants, no output casts (the trivial case).
+  bool single_call_identity = false;
+};
+
+/// Classifies a mapping by its dependency shape. Rules, in order:
+///  - a loop is cyclic regardless of the graph;
+///  - one call is trivial (identity signature) or simple;
+///  - no dependency edge at all: independent;
+///  - a node consuming >= 2 nodes: dependent (1:n);
+///  - a node feeding >= 2 nodes: dependent (n:1);
+///  - otherwise every node has fan-in and fan-out <= 1, i.e. the graph is a
+///    union of chains: ONE chain covering all nodes (exactly n-1 edges) is
+///    dependent (linear); a chain PLUS detached nodes mixes parallel and
+///    sequential execution and is dependent (1:n) — the matrix row covering
+///    "parallel and sequential execution of activities". (The classifier
+///    previously called such mixed shapes linear, which the I-UDTF SQL lint
+///    contradicted; this rule is now the single source of truth.)
+inline federation::MappingCase ClassifyShape(const ShapeFeatures& f) {
+  using federation::MappingCase;
+  if (f.loop) return MappingCase::kDependentCyclic;
+  if (f.num_calls <= 1) {
+    return f.single_call_identity ? MappingCase::kTrivial
+                                  : MappingCase::kSimple;
+  }
+  size_t edges = 0;
+  std::vector<size_t> fan_out(f.num_calls, 0);
+  for (size_t i = 0; i < f.deps.size() && i < f.num_calls; ++i) {
+    edges += f.deps[i].size();
+    for (size_t d : f.deps[i]) {
+      if (d < f.num_calls) ++fan_out[d];
+    }
+  }
+  if (edges == 0) return MappingCase::kIndependent;
+  for (size_t i = 0; i < f.deps.size(); ++i) {
+    if (f.deps[i].size() >= 2) return MappingCase::kDependent1N;
+  }
+  for (size_t i = 0; i < f.num_calls; ++i) {
+    if (fan_out[i] >= 2) return MappingCase::kDependentN1;
+  }
+  if (edges == f.num_calls - 1) return MappingCase::kDependentLinear;
+  return MappingCase::kDependent1N;  // chain(s) + detached nodes: mixed
+}
+
+/// Extracts the features of a spec (the classifier's view before binding).
+inline ShapeFeatures ShapeOfSpec(const federation::FederatedFunctionSpec& spec) {
+  using federation::SpecArg;
+  ShapeFeatures f;
+  f.num_calls = spec.calls.size();
+  f.loop = spec.loop.enabled;
+  f.deps.resize(f.num_calls);
+  for (size_t i = 0; i < f.num_calls; ++i) {
+    for (const SpecArg& a : spec.calls[i].args) {
+      if (a.kind != SpecArg::Kind::kNodeColumn) continue;
+      for (size_t j = 0; j < f.num_calls; ++j) {
+        if (j == i) continue;
+        if (EqualsIgnoreCase(spec.calls[j].id, a.node)) {
+          bool seen = false;
+          for (size_t d : f.deps[i]) seen = seen || d == j;
+          if (!seen) f.deps[i].push_back(j);
+        }
+      }
+    }
+  }
+  if (f.num_calls == 1) {
+    const federation::SpecCall& call = spec.calls[0];
+    bool identity = call.args.size() == spec.params.size();
+    if (identity) {
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (call.args[i].kind != SpecArg::Kind::kParam ||
+            !EqualsIgnoreCase(call.args[i].param, spec.params[i].name)) {
+          identity = false;
+          break;
+        }
+      }
+    }
+    if (identity) {
+      for (const federation::SpecOutput& o : spec.outputs) {
+        if (o.cast_to != DataType::kNull) identity = false;
+      }
+    }
+    f.single_call_identity = identity;
+  }
+  return f;
+}
+
+}  // namespace fedflow::plan
+
+#endif  // FEDFLOW_PLAN_SHAPE_H_

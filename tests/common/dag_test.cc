@@ -1,0 +1,73 @@
+#include "common/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace fedflow::dag {
+namespace {
+
+TEST(StableTopologicalSortTest, IndependentNodesKeepDeclarationOrder) {
+  TopoSort sorted = StableTopologicalSort({{}, {}, {}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted.order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(StableTopologicalSortTest, RespectsDependencies) {
+  // 0 depends on 2, 1 depends on 0: only valid order is 2, 0, 1.
+  TopoSort sorted = StableTopologicalSort({{2}, {0}, {}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted.order, (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(StableTopologicalSortTest, LowestReadyIndexWinsTies) {
+  // 3 ready up front but 0 declared first; 2 unlocks after 0.
+  TopoSort sorted = StableTopologicalSort({{}, {}, {0}, {}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted.order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(StableTopologicalSortTest, ToleratesDuplicateEdges) {
+  TopoSort sorted = StableTopologicalSort({{1, 1, 1}, {}});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted.order, (std::vector<size_t>{1, 0}));
+}
+
+TEST(StableTopologicalSortTest, ReportsCycleMembers) {
+  // 1 <-> 2 cycle; 3 sits behind it; 0 is free.
+  TopoSort sorted = StableTopologicalSort({{}, {2}, {1}, {2}});
+  EXPECT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.order, (std::vector<size_t>{0}));
+  EXPECT_EQ(sorted.cyclic, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(StableTopologicalSortTest, SelfReferenceIsCyclic) {
+  TopoSort sorted = StableTopologicalSort({{0}});
+  EXPECT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.cyclic, (std::vector<size_t>{0}));
+}
+
+TEST(StableTopologicalSortTest, EmptyGraph) {
+  TopoSort sorted = StableTopologicalSort({});
+  EXPECT_TRUE(sorted.ok());
+  EXPECT_TRUE(sorted.order.empty());
+}
+
+TEST(ReachabilityTest, TransitiveClosure) {
+  // 0 -> 1 -> 2, 3 detached.
+  std::vector<std::vector<bool>> reach = Reachability({{1}, {2}, {}, {}});
+  EXPECT_TRUE(reach[0][1]);
+  EXPECT_TRUE(reach[0][2]);
+  EXPECT_TRUE(reach[1][2]);
+  EXPECT_FALSE(reach[2][0]);
+  EXPECT_FALSE(reach[0][3]);
+  EXPECT_FALSE(reach[3][0]);
+}
+
+TEST(ReachabilityTest, SelfReachableOnlyOnCycle) {
+  std::vector<std::vector<bool>> reach = Reachability({{1}, {0}, {}});
+  EXPECT_TRUE(reach[0][0]);
+  EXPECT_TRUE(reach[1][1]);
+  EXPECT_FALSE(reach[2][2]);
+}
+
+}  // namespace
+}  // namespace fedflow::dag

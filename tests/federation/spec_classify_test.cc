@@ -164,6 +164,25 @@ TEST(ClassifyTest, ParamReorderMakesItSimple) {
   EXPECT_EQ(*ClassifySpec(spec), MappingCase::kSimple);
 }
 
+TEST(ClassifyTest, ChainPlusDetachedNodeIsMixedNotLinear) {
+  // Regression: a two-call chain plus a detached third call mixes parallel
+  // and sequential execution — the matrix's dependent (1:n) row. The
+  // classifier used to call this shape dependent-linear; the rule now lives
+  // in plan/shape.h, shared with the plan-IR classifier.
+  FederatedFunctionSpec spec;
+  spec.name = "Mixed";
+  spec.params = {Column{"X", DataType::kInt}};
+  spec.calls = {
+      {"A", "s", "f", {SpecArg::Param("X")}},
+      {"B", "s", "g", {SpecArg::NodeColumn("A", "v")}},
+      {"C", "s", "h", {SpecArg::Param("X")}},
+  };
+  spec.outputs = {{"v", "B", "v", DataType::kNull}};
+  auto c = ClassifySpec(spec);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(*c, MappingCase::kDependent1N);
+}
+
 TEST(ClassifySetTest, SharedLocalFunctionsMakeGeneralCase) {
   auto c = ClassifySet({BuySuppCompSpec(), GetSuppQualReliaSpec()});
   ASSERT_TRUE(c.ok());

@@ -1,0 +1,182 @@
+// Cross-architecture equivalence of the OPTIMIZED plan: for every mapping
+// class of the sample scenario, the WfMS and I-UDTF lowerings of the same
+// optimized plan must execute the same multiset of local-function calls
+// (per-function count deltas on the application systems) and produce
+// identical result tables. The cyclic class, which lateral SQL cannot
+// express, is checked WfMS vs the procedural (Java) I-UDTF instead. The
+// general class exists only for sets of federated functions (ClassifySet)
+// and has no single registrable spec.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "appsys/dataset.h"
+#include "federation/integration_server.h"
+#include "federation/sample_scenario.h"
+#include "plan/optimizer.h"
+
+namespace fedflow::federation {
+namespace {
+
+struct EquivalenceCase {
+  const char* name;
+  const char* mapping_class;
+  std::vector<Value> args;
+  bool cyclic = false;  ///< lateral SQL cannot express it; use the Java UDTF
+};
+
+std::vector<EquivalenceCase> Cases() {
+  return {
+      {"GibKompNr", "trivial", {Value::Varchar("brakepad")}},
+      {"GetNumberSupp1234", "simple", {Value::Int(17)}},
+      {"GetSuppQualRelia", "independent", {Value::Int(1234)}},
+      {"GetSuppQual", "dependent: linear", {Value::Varchar("Stark")}},
+      {"GetSubCompDiscounts", "independent + join",
+       {Value::Int(3), Value::Int(5)}},
+      {"GetNoSuppComp", "dependent: (1:n)",
+       {Value::Varchar("Stark"), Value::Varchar("brakepad")}},
+      {"GetSuppInfo", "dependent: (n:1)", {Value::Varchar("Acme")}},
+      {"BuySuppComp", "general example (Fig. 1)",
+       {Value::Int(1234), Value::Varchar("brakepad")}},
+      {"AllCompNames", "dependent: cyclic", {Value::Int(5)}, /*cyclic=*/true},
+  };
+}
+
+plan::PlanOptions Optimized() {
+  plan::PlanOptions options;
+  options.sequential_baseline = true;
+  options.parallelize = true;
+  options.reorder = true;
+  options.sink_predicates = true;
+  return options;
+}
+
+const FederatedFunctionSpec& SpecByName(const std::string& name) {
+  static const std::vector<FederatedFunctionSpec> specs = AllSampleSpecs();
+  for (const FederatedFunctionSpec& spec : specs) {
+    if (spec.name == name) return spec;
+  }
+  ADD_FAILURE() << "sample spec not found: " << name;
+  static const FederatedFunctionSpec empty;
+  return empty;
+}
+
+/// Per-function call counts across every application system of the server,
+/// keyed "SYSTEM.FUNCTION".
+std::map<std::string, int64_t> AllCounts(const IntegrationServer& server) {
+  std::map<std::string, int64_t> counts;
+  for (const std::string& sys_name : server.systems().Names()) {
+    auto sys = server.systems().Get(sys_name);
+    if (!sys.ok()) continue;
+    for (const auto& [fn, n] : (*sys)->FunctionCallCounts()) {
+      counts[sys_name + "." + fn] += n;
+    }
+  }
+  return counts;
+}
+
+std::map<std::string, int64_t> Delta(
+    const std::map<std::string, int64_t>& before,
+    const std::map<std::string, int64_t>& after) {
+  std::map<std::string, int64_t> delta;
+  for (const auto& [key, n] : after) {
+    auto it = before.find(key);
+    int64_t d = n - (it == before.end() ? 0 : it->second);
+    if (d != 0) delta[key] = d;
+  }
+  return delta;
+}
+
+std::string FormatCounts(const std::map<std::string, int64_t>& counts) {
+  std::string out;
+  for (const auto& [key, n] : counts) {
+    out += "  " + key + " x" + std::to_string(n) + "\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+class PlanEquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(PlanEquivalenceTest, LoweringsExecuteSameCallsAndResults) {
+  const EquivalenceCase& c = GetParam();
+  const appsys::Scenario scenario = appsys::GenerateScenario({});
+  const FederatedFunctionSpec& spec = SpecByName(c.name);
+  const Architecture other_arch =
+      c.cyclic ? Architecture::kJavaUdtf : Architecture::kUdtf;
+
+  auto wfms = IntegrationServer::Create(Architecture::kWfms, scenario);
+  ASSERT_TRUE(wfms.ok()) << wfms.status();
+  auto other = IntegrationServer::Create(other_arch, scenario);
+  ASSERT_TRUE(other.ok()) << other.status();
+
+  ASSERT_TRUE((*wfms)->RegisterFederatedFunction(spec, Optimized()).ok());
+  ASSERT_TRUE((*other)->RegisterFederatedFunction(spec, Optimized()).ok());
+
+  auto wfms_before = AllCounts(**wfms);
+  auto wfms_result = (*wfms)->CallFederated(c.name, c.args);
+  ASSERT_TRUE(wfms_result.ok()) << wfms_result.status();
+  auto wfms_delta = Delta(wfms_before, AllCounts(**wfms));
+
+  auto other_before = AllCounts(**other);
+  auto other_result = (*other)->CallFederated(c.name, c.args);
+  ASSERT_TRUE(other_result.ok()) << other_result.status();
+  auto other_delta = Delta(other_before, AllCounts(**other));
+
+  // Same multiset of local-function calls...
+  EXPECT_EQ(wfms_delta, other_delta)
+      << c.mapping_class << "\nWfMS calls:\n" << FormatCounts(wfms_delta)
+      << ArchitectureName(other_arch) << " calls:\n"
+      << FormatCounts(other_delta);
+
+  // ...and identical result tables (same schema width, same rows).
+  EXPECT_EQ(wfms_result->table.schema().num_columns(),
+            other_result->table.schema().num_columns());
+  EXPECT_TRUE(
+      Table::SameRowsAnyOrder(wfms_result->table, other_result->table))
+      << c.mapping_class << "\nWfMS:\n" << wfms_result->table.ToString()
+      << ArchitectureName(other_arch) << ":\n"
+      << other_result->table.ToString();
+}
+
+TEST_P(PlanEquivalenceTest, OptimizationPreservesPassthroughSemantics) {
+  const EquivalenceCase& c = GetParam();
+  const appsys::Scenario scenario = appsys::GenerateScenario({});
+  const FederatedFunctionSpec& spec = SpecByName(c.name);
+  std::vector<Architecture> archs = {Architecture::kWfms};
+  if (!c.cyclic) archs.push_back(Architecture::kUdtf);
+
+  for (Architecture arch : archs) {
+    auto passthrough = IntegrationServer::Create(arch, scenario);
+    ASSERT_TRUE(passthrough.ok()) << passthrough.status();
+    auto optimized = IntegrationServer::Create(arch, scenario);
+    ASSERT_TRUE(optimized.ok()) << optimized.status();
+    ASSERT_TRUE((*passthrough)->RegisterFederatedFunction(spec).ok());
+    ASSERT_TRUE(
+        (*optimized)->RegisterFederatedFunction(spec, Optimized()).ok());
+
+    auto p_before = AllCounts(**passthrough);
+    auto p_result = (*passthrough)->CallFederated(c.name, c.args);
+    ASSERT_TRUE(p_result.ok()) << p_result.status();
+    auto p_delta = Delta(p_before, AllCounts(**passthrough));
+
+    auto o_before = AllCounts(**optimized);
+    auto o_result = (*optimized)->CallFederated(c.name, c.args);
+    ASSERT_TRUE(o_result.ok()) << o_result.status();
+    auto o_delta = Delta(o_before, AllCounts(**optimized));
+
+    EXPECT_EQ(p_delta, o_delta) << ArchitectureName(arch);
+    EXPECT_TRUE(Table::SameRowsAnyOrder(p_result->table, o_result->table))
+        << ArchitectureName(arch) << "\npassthrough:\n"
+        << p_result->table.ToString() << "optimized:\n"
+        << o_result->table.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMappingClasses, PlanEquivalenceTest, ::testing::ValuesIn(Cases()),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace fedflow::federation

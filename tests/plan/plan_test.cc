@@ -1,0 +1,277 @@
+// Plan-IR unit tests: passthrough fidelity (the bit-identity contract the
+// benchmarks pin), schedule/stage structure, the cost model, the optimizer
+// passes and the shared shape classifier.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "appsys/dataset.h"
+#include "appsys/pdm.h"
+#include "appsys/purchasing.h"
+#include "appsys/registry.h"
+#include "appsys/stockkeeping.h"
+#include "federation/classify.h"
+#include "federation/sample_scenario.h"
+#include "plan/cost.h"
+#include "plan/explain.h"
+#include "plan/fed_plan.h"
+#include "plan/optimizer.h"
+#include "plan/shape.h"
+
+namespace fedflow::plan {
+namespace {
+
+using federation::FederatedFunctionSpec;
+using federation::MappingCase;
+
+const appsys::AppSystemRegistry& SampleRegistry() {
+  static appsys::AppSystemRegistry* systems = [] {
+    appsys::Scenario scenario = appsys::GenerateScenario({});
+    auto* registry = new appsys::AppSystemRegistry();
+    (void)registry->Add(std::make_shared<appsys::StockKeepingSystem>(scenario));
+    (void)registry->Add(std::make_shared<appsys::PurchasingSystem>(scenario));
+    (void)registry->Add(std::make_shared<appsys::PdmSystem>(scenario));
+    return registry;
+  }();
+  return *systems;
+}
+
+size_t PositionOf(const FedPlan& plan, const std::string& id) {
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    if (plan.calls[plan.order[k]].id == id) return k;
+  }
+  ADD_FAILURE() << "call not in order: " << id;
+  return 0;
+}
+
+TEST(PlanCompileTest, PassthroughOrderMatchesSpecTopologicalOrder) {
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    auto plan = CompilePlan(spec, SampleRegistry());
+    ASSERT_TRUE(plan.ok()) << spec.name << ": " << plan.status();
+    auto expected = federation::TopologicalCallOrder(spec);
+    ASSERT_TRUE(expected.ok()) << spec.name;
+    EXPECT_EQ(plan->order, *expected) << spec.name;
+    EXPECT_FALSE(plan->optimized) << spec.name;
+    EXPECT_TRUE(plan->decisions.empty()) << spec.name;
+    EXPECT_TRUE(plan->sequencing_edges.empty()) << spec.name;
+  }
+}
+
+TEST(PlanCompileTest, StagesPartitionCallsAndRespectDependencies) {
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    auto plan = CompilePlan(spec, SampleRegistry());
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    std::vector<size_t> stage_of(plan->calls.size(), SIZE_MAX);
+    size_t seen = 0;
+    for (size_t s = 0; s < plan->stages.size(); ++s) {
+      for (size_t i : plan->stages[s]) {
+        ASSERT_LT(i, plan->calls.size());
+        EXPECT_EQ(stage_of[i], SIZE_MAX) << spec.name << ": call twice";
+        stage_of[i] = s;
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, plan->calls.size()) << spec.name;
+    for (size_t i = 0; i < plan->calls.size(); ++i) {
+      for (size_t d : plan->calls[i].data_deps) {
+        EXPECT_LT(stage_of[d], stage_of[i])
+            << spec.name << ": dependency not in an earlier stage";
+      }
+    }
+  }
+}
+
+TEST(PlanCompileTest, ResultSchemaMatchesOutputs) {
+  auto plan = CompilePlan(federation::GetSuppQualReliaSpec(), SampleRegistry());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->result_schema.num_columns(),
+            federation::GetSuppQualReliaSpec().outputs.size());
+}
+
+TEST(PlanCompileTest, SequentialBaselineChainsEveryCall) {
+  CompileOptions options;
+  options.sequential_baseline = true;
+  auto plan =
+      CompilePlan(federation::GetSuppQualReliaSpec(), SampleRegistry(), options);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->calls.size(), 2u);
+  EXPECT_EQ(plan->sequencing_edges.size(), 1u);
+  ASSERT_EQ(plan->stages.size(), 2u);  // chain: every stage a singleton
+  EXPECT_EQ(plan->stages[0].size(), 1u);
+  EXPECT_EQ(plan->stages[1].size(), 1u);
+}
+
+TEST(PlanOptimizerTest, ParallelizeRecoversHandwrittenSchedule) {
+  const FederatedFunctionSpec spec = federation::GetSuppQualReliaSpec();
+  sim::LatencyModel model;
+
+  auto handwritten = BuildPlan(spec, SampleRegistry(), model);
+  ASSERT_TRUE(handwritten.ok());
+
+  PlanOptions seq;
+  seq.sequential_baseline = true;
+  auto sequential = BuildPlan(spec, SampleRegistry(), model, seq);
+  ASSERT_TRUE(sequential.ok());
+
+  PlanOptions opt = seq;
+  opt.parallelize = true;
+  auto optimized = BuildPlan(spec, SampleRegistry(), model, opt);
+  ASSERT_TRUE(optimized.ok());
+
+  PlanCostEstimate hand_est = EstimatePlan(*handwritten, model);
+  PlanCostEstimate seq_est = EstimatePlan(*sequential, model);
+  PlanCostEstimate opt_est = EstimatePlan(*optimized, model);
+
+  // The pass drops the baseline's sequencing edges and recovers exactly the
+  // hand-written parallel schedule — the bench_plan_optimizer acceptance.
+  EXPECT_EQ(opt_est.wfms_elapsed_us, hand_est.wfms_elapsed_us);
+  EXPECT_EQ(opt_est.udtf_elapsed_us, hand_est.udtf_elapsed_us);
+  EXPECT_LT(opt_est.wfms_elapsed_us, seq_est.wfms_elapsed_us);
+  // Lateral SQL evaluates sequentially regardless of the schedule.
+  EXPECT_EQ(seq_est.udtf_elapsed_us, hand_est.udtf_elapsed_us);
+  EXPECT_TRUE(optimized->sequencing_edges.empty());
+  EXPECT_TRUE(optimized->optimized);
+  EXPECT_FALSE(optimized->decisions.empty());
+}
+
+TEST(PlanOptimizerTest, ReorderSchedulesMostExpensiveReadyCallFirst) {
+  sim::LatencyModel model;
+  PlanOptions options;
+  options.reorder = true;
+  // Same two independent calls as GetSubCompDiscounts but without the join,
+  // so the pass may legally reorder.
+  FederatedFunctionSpec spec = federation::GetSubCompDiscountsSpec();
+  spec.joins.clear();
+  auto plan = BuildPlan(spec, SampleRegistry(), model, options);
+  ASSERT_TRUE(plan.ok());
+  // GetCompSupp4Discount (GCS4D) is costlier than GetSubCompNo (GSCD), so it
+  // moves ahead of declaration order.
+  EXPECT_LT(PositionOf(*plan, "GCS4D"), PositionOf(*plan, "GSCD"));
+}
+
+TEST(PlanOptimizerTest, ReorderRefusesJoinedPlans) {
+  // Joined sources are multi-row and the lateral chain nest-loops them, so
+  // reordering would change how often inner functions are invoked — the
+  // equivalence suite pins that both lowerings execute the same multiset of
+  // local calls.
+  sim::LatencyModel model;
+  PlanOptions options;
+  options.reorder = true;
+  auto plan = BuildPlan(federation::GetSubCompDiscountsSpec(), SampleRegistry(),
+                        model, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(PositionOf(*plan, "GSCD"), PositionOf(*plan, "GCS4D"));
+  ASSERT_FALSE(plan->decisions.empty());
+  EXPECT_NE(plan->decisions[0].find("rejected"), std::string::npos)
+      << plan->decisions[0];
+}
+
+TEST(PlanOptimizerTest, ReorderKeepsDependencyConstraints) {
+  sim::LatencyModel model;
+  PlanOptions options;
+  options.reorder = true;
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    auto plan = BuildPlan(spec, SampleRegistry(), model, options);
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    std::vector<size_t> pos(plan->calls.size());
+    for (size_t k = 0; k < plan->order.size(); ++k) pos[plan->order[k]] = k;
+    for (size_t i = 0; i < plan->calls.size(); ++i) {
+      for (size_t d : plan->calls[i].data_deps) {
+        EXPECT_LT(pos[d], pos[i]) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(PlanOptimizerTest, SinksJoinConjunctOntoLaterSide) {
+  sim::LatencyModel model;
+  PlanOptions options;
+  options.sink_predicates = true;
+  auto plan = BuildPlan(federation::GetSubCompDiscountsSpec(), SampleRegistry(),
+                        model, options);
+  ASSERT_TRUE(plan.ok());
+  size_t with_predicate = 0;
+  for (const PlanCall& call : plan->calls) {
+    with_predicate += call.predicates.size();
+    for (const std::string& p : call.predicates) {
+      EXPECT_NE(p.find('='), std::string::npos) << p;
+    }
+  }
+  EXPECT_EQ(with_predicate, plan->joins.size());
+}
+
+TEST(PlanClassifyTest, PlanClassMatchesSpecClassForAllSamples) {
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    auto plan = CompilePlan(spec, SampleRegistry());
+    ASSERT_TRUE(plan.ok()) << spec.name;
+    auto spec_class = federation::ClassifySpec(spec);
+    ASSERT_TRUE(spec_class.ok()) << spec.name;
+    EXPECT_EQ(ClassifyPlan(*plan), *spec_class) << spec.name;
+    EXPECT_EQ(plan->mapping_case, *spec_class) << spec.name;
+  }
+}
+
+TEST(PlanExplainTest, RendersStructureAndCosts) {
+  sim::LatencyModel model;
+  PlanOptions opt;
+  opt.sequential_baseline = true;
+  opt.parallelize = true;
+  auto plan =
+      BuildPlan(federation::GetSuppQualReliaSpec(), SampleRegistry(), model, opt);
+  ASSERT_TRUE(plan.ok());
+  std::string text = ExplainPlan(*plan, model);
+  EXPECT_NE(text.find("PLAN GetSuppQualRelia"), std::string::npos);
+  EXPECT_NE(text.find("parallel fork"), std::string::npos);
+  EXPECT_NE(text.find("modeled elapsed"), std::string::npos);
+  EXPECT_NE(text.find("decisions:"), std::string::npos);
+}
+
+// --- shared shape classifier (the 8-class matrix's single source of truth) --
+
+ShapeFeatures Features(size_t n, std::vector<std::vector<size_t>> deps) {
+  ShapeFeatures f;
+  f.num_calls = n;
+  f.deps = std::move(deps);
+  return f;
+}
+
+TEST(ClassifyShapeTest, PinsTheComplexityMatrix) {
+  // Loop: cyclic regardless of the graph.
+  ShapeFeatures loop = Features(1, {{}});
+  loop.loop = true;
+  EXPECT_EQ(ClassifyShape(loop), MappingCase::kDependentCyclic);
+
+  // One call: trivial with the identity signature, simple otherwise.
+  ShapeFeatures identity = Features(1, {{}});
+  identity.single_call_identity = true;
+  EXPECT_EQ(ClassifyShape(identity), MappingCase::kTrivial);
+  EXPECT_EQ(ClassifyShape(Features(1, {{}})), MappingCase::kSimple);
+
+  // No edges: independent.
+  EXPECT_EQ(ClassifyShape(Features(3, {{}, {}, {}})),
+            MappingCase::kIndependent);
+
+  // Fan-in >= 2: dependent (1:n); fan-out >= 2: dependent (n:1).
+  EXPECT_EQ(ClassifyShape(Features(3, {{}, {}, {0, 1}})),
+            MappingCase::kDependent1N);
+  EXPECT_EQ(ClassifyShape(Features(3, {{}, {0}, {0}})),
+            MappingCase::kDependentN1);
+
+  // One chain covering every node: dependent (linear).
+  EXPECT_EQ(ClassifyShape(Features(3, {{}, {0}, {1}})),
+            MappingCase::kDependentLinear);
+}
+
+TEST(ClassifyShapeTest, ChainPlusDetachedNodeIsMixedNotLinear) {
+  // Regression: a chain plus a detached node mixes parallel and sequential
+  // execution — the matrix's dependent (1:n) row, not dependent (linear).
+  // The spec classifier used to call this linear, contradicting the SQL lint.
+  EXPECT_EQ(ClassifyShape(Features(3, {{}, {0}, {}})),
+            MappingCase::kDependent1N);
+  EXPECT_EQ(ClassifyShape(Features(4, {{}, {0}, {}, {2}})),
+            MappingCase::kDependent1N);
+}
+
+}  // namespace
+}  // namespace fedflow::plan

@@ -2,8 +2,9 @@
 // processes and I-UDTF SQL compiled from them.
 //
 //   fedlint                 lint the full sample scenario (all specs, their
-//                           compiled workflow processes and generated I-UDTF
-//                           SQL); exit 0 iff no findings
+//                           compiled workflow processes, generated I-UDTF
+//                           SQL, and plan/lowering consistency); exit 0 iff
+//                           no findings
 //   fedlint --list-corpus   print the malformed-spec corpus entry names
 //   fedlint --corpus NAME   lint one corpus entry; exit 1 on findings
 //   fedlint --corpus-all    lint every corpus entry; exit 1 on findings
@@ -13,6 +14,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/diagnostic.h"
+#include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 #include "analysis/sql_lint.h"
 #include "analysis/workflow_lint.h"
@@ -107,7 +109,21 @@ int LintSampleScenario() {
       ++findings;
     }
 
-    // Pass 3: the generated I-UDTF SQL (loop specs are WfMS-only).
+    // Pass 3: plan consistency — the optimized plan's lowerings must agree
+    // with the IR on call set, ordering, classification and sunk predicates
+    // (FF3xx). Checked in both passthrough and fully-optimized modes.
+    {
+      std::vector<Diagnostic> pl = LintPlan(spec, *systems, model);
+      diags.insert(diags.end(), pl.begin(), pl.end());
+      plan::PlanOptions optimized;
+      optimized.parallelize = true;
+      optimized.reorder = true;
+      optimized.sink_predicates = true;
+      std::vector<Diagnostic> po = LintPlan(spec, *systems, model, optimized);
+      diags.insert(diags.end(), po.begin(), po.end());
+    }
+
+    // Pass 4: the generated I-UDTF SQL (loop specs are WfMS-only).
     if (!spec.loop.enabled) {
       Result<std::string> sql = udtf.CompileIUdtfSql(spec);
       if (sql.ok()) {
