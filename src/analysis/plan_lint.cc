@@ -307,4 +307,24 @@ std::vector<Diagnostic> LintPlan(const federation::FederatedFunctionSpec& spec,
   return out;
 }
 
+std::vector<Diagnostic> LintPoolConfig(
+    const federation::FederatedFunctionSpec& spec,
+    const plan::PlanOptions& options, size_t controller_pool_size) {
+  std::vector<Diagnostic> out;
+  if (!options.parallelize || controller_pool_size > 1) return out;
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = kPlanPoolSerialized;
+  d.location = "spec:" + spec.name;
+  d.message =
+      "PlanOptions.parallelize is requested but the controller pool holds a "
+      "single controller: parallel stages all dispatch through it and "
+      "serialize";
+  d.note =
+      "size the pool to the plan's parallel width "
+      "(ControllerPoolOptions.max_size > 1) or drop the parallelize pass";
+  out.push_back(std::move(d));
+  return out;
+}
+
 }  // namespace fedflow::analysis

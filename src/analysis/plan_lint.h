@@ -24,6 +24,7 @@ inline constexpr char kPlanOrderingViolation[] = "FF301";
 inline constexpr char kPlanClassificationDrift[] = "FF302";
 inline constexpr char kPlanPredicateMisplaced[] = "FF303";
 inline constexpr char kPlanCompileFailed[] = "FF304";
+inline constexpr char kPlanPoolSerialized[] = "FF310";
 
 /// Compiles and optimizes the plan of `spec` under `options`, lowers it to
 /// every architecture that supports its mapping case, and cross-checks the
@@ -33,6 +34,14 @@ std::vector<Diagnostic> LintPlan(const federation::FederatedFunctionSpec& spec,
                                  const appsys::AppSystemRegistry& systems,
                                  const sim::LatencyModel& model,
                                  const plan::PlanOptions& options = {});
+
+/// Deployment-consistency check: warns (FF310) when `options` requests the
+/// parallelize pass but the deployment's controller pool holds a single
+/// controller — parallel plan stages all dispatch through the one controller
+/// and serialize, so the optimization cannot deliver its speedup.
+std::vector<Diagnostic> LintPoolConfig(
+    const federation::FederatedFunctionSpec& spec,
+    const plan::PlanOptions& options, size_t controller_pool_size);
 
 }  // namespace fedflow::analysis
 

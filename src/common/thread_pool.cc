@@ -3,7 +3,9 @@
 namespace fedflow {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) num_threads = 1;
+  // num_threads == 0 is a valid degenerate pool: no workers are started and
+  // Submit runs tasks inline (see header) — it must NOT be clamped to 1,
+  // which would surprise callers expecting single-threaded execution.
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -20,7 +22,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  {
+  if (!threads_.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shutdown_) {
       queue_.push_back(std::move(task));
@@ -28,8 +30,8 @@ void ThreadPool::Submit(std::function<void()> task) {
       return;
     }
   }
-  // Destruction has begun: workers may already have drained the queue and
-  // exited, so an enqueued task could never run. Run it inline instead.
+  // Zero-worker pool, or destruction has begun: an enqueued task could never
+  // run (no worker will ever drain the queue). Run it inline instead.
   task();
 }
 

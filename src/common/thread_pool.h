@@ -16,17 +16,21 @@ namespace fedflow {
 /// coordinated by the caller (the workflow navigator keeps its own counts).
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least 1).
+  /// Starts `num_threads` workers. 0 starts no workers at all: the pool
+  /// degrades to inline execution — Submit runs the task on the calling
+  /// thread before returning. Useful for deterministic single-threaded
+  /// harness runs where real concurrency would perturb virtual-time
+  /// ordering.
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Once destruction has begun the queue is no longer
-  /// guaranteed to be drained by a worker, so late tasks run inline on the
-  /// submitting thread instead of being silently dropped — every submitted
-  /// task runs exactly once either way.
+  /// Enqueues a task. With zero workers, or once destruction has begun (the
+  /// queue is no longer guaranteed to be drained by a worker), the task runs
+  /// inline on the submitting thread instead of deadlocking or being
+  /// silently dropped — every submitted task runs exactly once either way.
   void Submit(std::function<void()> task);
 
   /// True once the destructor has started tearing the pool down.

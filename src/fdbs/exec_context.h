@@ -10,6 +10,10 @@ class TraceSession;
 class MetricsRegistry;
 }  // namespace fedflow::obs
 
+namespace fedflow::sim {
+struct FlowState;
+}  // namespace fedflow::sim
+
 namespace fedflow::fdbs {
 
 class Database;
@@ -55,6 +59,13 @@ struct ExecContext {
   /// Optional metrics sink for call counts, retries, and warmth transitions;
   /// may be null.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Per-invocation flow state under pooled execution (sim/flow_state.h):
+  /// identifies the tenant and carries the leased controller plus its warmth
+  /// ledger. Null (or null members) = single-flow mode; couplings fall back
+  /// to their construction-time controller/state, which keeps legacy callers
+  /// bit-identical.
+  sim::FlowState* flow = nullptr;
 
   /// The effective batch size (batch_size == 0 means "unbounded").
   size_t EffectiveBatchSize() const {

@@ -5,6 +5,7 @@
 #include "appsys/pdm.h"
 #include "appsys/purchasing.h"
 #include "appsys/stockkeeping.h"
+#include "sim/flow_state.h"
 #include "sql/ast.h"
 
 namespace fedflow::federation {
@@ -23,9 +24,9 @@ const char* ArchitectureName(Architecture arch) {
 
 Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
     Architecture arch, const appsys::Scenario& scenario,
-    sim::LatencyModel model) {
+    sim::LatencyModel model, ControllerPoolOptions pool_options) {
   std::unique_ptr<IntegrationServer> server(
-      new IntegrationServer(arch, model));
+      new IntegrationServer(arch, model, pool_options));
   FEDFLOW_RETURN_NOT_OK(server->systems_.Add(
       std::make_shared<appsys::StockKeepingSystem>(scenario)));
   FEDFLOW_RETURN_NOT_OK(
@@ -33,7 +34,11 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
   FEDFLOW_RETURN_NOT_OK(
       server->systems_.Add(std::make_shared<appsys::PdmSystem>(scenario)));
 
-  server->state_.AttachMetrics(&server->metrics_);
+  // The couplings are wired with the pinned (primary) controller and its
+  // ledger; pooled flows override both per invocation via ExecContext::flow.
+  server->controller_pool_.AttachMetrics(&server->metrics_);
+  Controller* primary = server->controller_pool_.primary();
+  sim::SystemState* primary_state = server->controller_pool_.primary_state();
   if (arch == Architecture::kWfms) {
     wfms::EngineOptions options;
     options.navigation_cost_us = server->model_.wf_navigation_us;
@@ -43,23 +48,23 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
     server->engine_ = std::make_unique<wfms::Engine>(options);
     server->wfms_ = std::make_unique<WfmsCoupling>(
         &server->db_, server->engine_.get(), &server->systems_,
-        &server->controller_, &server->model_, &server->state_,
+        primary, &server->model_, primary_state,
         &server->fault_injector_, &server->retry_policy_);
   } else {
     // Both UDTF variants sit on the same A-UDTF access layer.
     server->udtf_ = std::make_unique<UdtfCoupling>(
-        &server->db_, &server->systems_, &server->controller_,
-        &server->model_, &server->state_, &server->fault_injector_,
+        &server->db_, &server->systems_, primary,
+        &server->model_, primary_state, &server->fault_injector_,
         &server->retry_policy_);
     FEDFLOW_RETURN_NOT_OK(server->udtf_->RegisterAccessUdtfs());
     if (arch == Architecture::kJavaUdtf) {
       server->java_ = std::make_unique<JavaUdtfCoupling>(
-          &server->db_, &server->systems_, &server->model_, &server->state_);
+          &server->db_, &server->systems_, &server->model_, primary_state);
     }
   }
 
-  server->controller_.Start();
-  server->state_.Boot();
+  server->controller_pool_.Start();
+  primary_state->Boot();
   return server;
 }
 
@@ -75,6 +80,13 @@ Status IntegrationServer::RegisterFederatedFunction(
     std::vector<analysis::Diagnostic> plan_diags =
         analysis::LintPlan(spec, systems_, model_, options);
     for (analysis::Diagnostic& d : plan_diags) {
+      diags.push_back(std::move(d));
+    }
+    // Deployment-consistency warning (FF310): a parallelized plan over a
+    // single-controller pool serializes its parallel stages.
+    std::vector<analysis::Diagnostic> pool_diags = analysis::LintPoolConfig(
+        spec, options, controller_pool_.options().max_size);
+    for (analysis::Diagnostic& d : pool_diags) {
       diags.push_back(std::move(d));
     }
   }
@@ -104,44 +116,78 @@ Result<Table> IntegrationServer::Query(const std::string& sql) {
 
 Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimed(
     const std::string& sql) {
-  SimClock clock;
-  obs::TraceSession session(&tracer_, &clock);
+  return QueryTimedFor("default", "", sql);
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimedFor(
+    const std::string& tenant, const std::string& function,
+    const std::string& sql) {
+  // Admission: lease a controller for the whole flow. With pool size 1 this
+  // always returns the pinned controller — the legacy single-flow path.
+  FEDFLOW_ASSIGN_OR_RETURN(ControllerPool::Lease lease,
+                           controller_pool_.Checkout(tenant, function));
+  FEDFLOW_ASSIGN_OR_RETURN(
+      TimedResult result,
+      RunFlow(lease.controller(), lease.ledger(), tenant, sql));
+  // The checkout's warmth verdict is what the statement's federated function
+  // experienced on the leased controller. Plain SQL (no affinity) reports
+  // the default kHot, matching the pre-pool QueryTimed.
+  if (!function.empty()) result.warmth = lease.warmth();
+  return result;
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
+    Controller* controller, sim::SystemState* ledger,
+    const std::string& tenant, const std::string& sql) {
+  sim::FlowState flow;
+  flow.flow_id = next_flow_id_.fetch_add(1);
+  flow.tenant = tenant;
+  flow.faults = &fault_injector_;
+  flow.controller = controller;
+  flow.warmth = ledger;
+  obs::TraceSession session(&tracer_, &flow.clock);
+  flow.trace = &session;
   fdbs::ExecContext ctx;
-  ctx.clock = &clock;
+  ctx.clock = &flow.clock;
   ctx.db = &db_;
   ctx.trace = &session;
   ctx.metrics = &metrics_;
+  ctx.flow = &flow;
   Result<Table> table = [&] {
     // While the session observes the clock, every Charge/ChargeWork lands in
     // the current span — the completeness invariant that makes the span tree
     // reproduce the breakdown exactly.
-    if (tracer_.enabled()) clock.set_observer(&session);
+    if (tracer_.enabled()) flow.clock.set_observer(&session);
     obs::SpanScope root(&session, "query", obs::Layer::kFdbs);
     root.SetAttribute("sql", sql);
     Result<Table> t = db_.Execute(sql, ctx);
     if (!t.ok()) root.SetStatus(t.status());
     return t;
   }();
-  clock.set_observer(nullptr);
+  flow.clock.set_observer(nullptr);
   FEDFLOW_RETURN_NOT_OK(table.status());
   TimedResult result;
   result.table = std::move(table).ValueUnsafe();
-  result.elapsed_us = clock.now();
-  result.breakdown = clock.breakdown();
+  result.elapsed_us = flow.clock.now();
+  result.breakdown = flow.clock.breakdown();
   return result;
 }
 
-Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
-    const std::string& name, const std::vector<Value>& args) {
-  sim::SystemState::Warmth warmth = state_.QueryWarmth(name);
+std::string IntegrationServer::BuildCallSql(const std::string& name,
+                                            const std::vector<Value>& args) {
   std::string sql = "SELECT * FROM TABLE (" + name + "(";
   for (size_t i = 0; i < args.size(); ++i) {
     if (i > 0) sql += ", ";
     sql += sql::LiteralExpr(args[i]).ToSql();
   }
   sql += ")) AS R";
-  FEDFLOW_ASSIGN_OR_RETURN(TimedResult result, QueryTimed(sql));
-  result.warmth = warmth;
+  return sql;
+}
+
+void IntegrationServer::RecordCallMetrics(const std::string& tenant,
+                                          const std::string& name,
+                                          const TimedResult& result) {
+  const sim::SystemState::Warmth warmth = result.warmth;
   metrics_.Inc("call.count");
   metrics_.Inc("call.function." + name);
   metrics_.Inc(std::string("call.warmth.") + sim::WarmthName(warmth));
@@ -150,13 +196,52 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
   metrics_.Observe(
       "call.elapsed_us." + name + "." + sim::WarmthName(warmth),
       result.elapsed_us);
+  if (tenant != "default") {
+    obs::TenantMetrics scoped(&metrics_, tenant);
+    scoped.Inc("call.count");
+    scoped.Inc("call.function." + name);
+    scoped.Observe("call.elapsed_us", result.elapsed_us);
+  }
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
+    const std::string& name, const std::vector<Value>& args) {
+  return CallFederatedFor("default", name, args);
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedFor(
+    const std::string& tenant, const std::string& name,
+    const std::vector<Value>& args) {
+  FEDFLOW_ASSIGN_OR_RETURN(
+      TimedResult result, QueryTimedFor(tenant, name, BuildCallSql(name, args)));
+  RecordCallMetrics(tenant, name, result);
+  return result;
+}
+
+Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedOnLease(
+    const ControllerPool::Lease& lease, const std::string& tenant,
+    const std::string& name, const std::vector<Value>& args) {
+  if (!lease.valid()) {
+    return Status::InvalidArgument(
+        "CallFederatedOnLease: lease was already released");
+  }
+  // Pre-call verdict: what this function experiences on the leased
+  // controller. Must be read before execution marks the function run.
+  const sim::SystemState::Warmth warmth = lease.ledger()->QueryWarmth(name);
+  FEDFLOW_ASSIGN_OR_RETURN(
+      TimedResult result,
+      RunFlow(lease.controller(), lease.ledger(), tenant,
+              BuildCallSql(name, args)));
+  result.warmth = warmth;
+  RecordCallMetrics(tenant, name, result);
   return result;
 }
 
 void IntegrationServer::Reboot() {
-  controller_.Stop();
-  controller_.Start();
-  state_.Boot();
+  // No leases are outstanding when a caller reboots the environment (flows
+  // release their controller before QueryTimedFor returns), so the pool
+  // reboot cannot fail.
+  (void)controller_pool_.Reboot();
 }
 
 }  // namespace fedflow::federation

@@ -6,6 +6,8 @@
 #ifndef FEDFLOW_FEDERATION_INTEGRATION_SERVER_H_
 #define FEDFLOW_FEDERATION_INTEGRATION_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "appsys/registry.h"
 #include "fdbs/database.h"
 #include "federation/controller.h"
+#include "federation/controller_pool.h"
 #include "federation/spec.h"
 #include "federation/java_coupling.h"
 #include "federation/udtf_coupling.h"
@@ -23,6 +26,7 @@
 #include "obs/trace.h"
 #include "sim/fault.h"
 #include "sim/latency.h"
+#include "sim/resource_pools.h"
 #include "sim/system_state.h"
 #include "wfms/engine.h"
 
@@ -43,10 +47,12 @@ const char* ArchitectureName(Architecture arch);
 class IntegrationServer {
  public:
   /// Builds a server over the scenario's three application systems and
-  /// boots it (controller started, state cold).
+  /// boots it (controllers started, state cold). `pool_options` sizes the
+  /// warm-controller pool; the default (max_size 1) reproduces the paper's
+  /// single-controller deployment bit-identically.
   static Result<std::unique_ptr<IntegrationServer>> Create(
       Architecture arch, const appsys::Scenario& scenario,
-      sim::LatencyModel model = {});
+      sim::LatencyModel model = {}, ControllerPoolOptions pool_options = {});
 
   /// Registers a federated function under the server's architecture. The
   /// spec is linted first: error diagnostics (including the FF3xx
@@ -78,18 +84,49 @@ class IntegrationServer {
   /// Executes SQL under the virtual clock.
   Result<TimedResult> QueryTimed(const std::string& sql);
 
+  /// Multi-tenant entry point: runs `sql` as one flow for `tenant`, leasing
+  /// a controller from the pool with `function` as warmth affinity (empty =
+  /// no affinity). kUnavailable when admission fails (pool or tenant quota
+  /// exhausted). QueryTimed delegates here with ("default", "").
+  Result<TimedResult> QueryTimedFor(const std::string& tenant,
+                                    const std::string& function,
+                                    const std::string& sql);
+
   /// Convenience: SELECT * FROM TABLE(name(args...)) AS R, timed.
   Result<TimedResult> CallFederated(const std::string& name,
                                     const std::vector<Value>& args);
 
-  /// Reboots the environment: controller restart, all caches cold.
+  /// CallFederated for one tenant's flow; tenants other than "default" also
+  /// get tenant-scoped call metrics ("tenant.<t>.call.*").
+  Result<TimedResult> CallFederatedFor(const std::string& tenant,
+                                       const std::string& name,
+                                       const std::vector<Value>& args);
+
+  /// CallFederatedFor on a controller the caller already leased from
+  /// controller_pool(). The load harness holds one lease per in-flight
+  /// virtual flow for the flow's whole virtual duration, so concurrent flows
+  /// occupy distinct controllers; this entry point runs the statement on
+  /// that lease instead of checking out per call. Warmth is the leased
+  /// ledger's pre-call verdict for `name`. InvalidArgument on a released
+  /// lease.
+  Result<TimedResult> CallFederatedOnLease(const ControllerPool::Lease& lease,
+                                           const std::string& tenant,
+                                           const std::string& name,
+                                           const std::vector<Value>& args);
+
+  /// Reboots the environment: controller restart, all caches cold, pooled
+  /// controllers beyond the pinned one evicted.
   void Reboot();
 
   Architecture architecture() const { return arch_; }
   fdbs::Database& database() { return db_; }
   const appsys::AppSystemRegistry& systems() const { return systems_; }
-  Controller& controller() { return controller_; }
-  sim::SystemState& state() { return state_; }
+  /// The pinned (primary) controller — the single-flow identity.
+  Controller& controller() { return *controller_pool_.primary(); }
+  /// The pinned controller's warmth ledger — the single-flow identity.
+  sim::SystemState& state() { return *controller_pool_.primary_state(); }
+  /// The warm-controller pool behind all flows.
+  ControllerPool& controller_pool() { return controller_pool_; }
   const sim::LatencyModel& model() const { return model_; }
 
   /// Fault injector wired into every coupling's invocation path. Without
@@ -129,16 +166,37 @@ class IntegrationServer {
   }
 
  private:
-  IntegrationServer(Architecture arch, sim::LatencyModel model)
-      : arch_(arch), model_(model), controller_(&systems_, &model_) {}
+  /// One flow on an already-selected controller/ledger pair: builds the
+  /// per-invocation FlowState, traces and times the statement. Shared by the
+  /// per-call checkout path (QueryTimedFor) and the external-lease path
+  /// (CallFederatedOnLease). The result's warmth is left at its default.
+  Result<TimedResult> RunFlow(Controller* controller,
+                              sim::SystemState* ledger,
+                              const std::string& tenant,
+                              const std::string& sql);
+
+  /// "SELECT * FROM TABLE (name(args...)) AS R".
+  static std::string BuildCallSql(const std::string& name,
+                                  const std::vector<Value>& args);
+
+  /// The call.* counters/histograms (plus the tenant-scoped view for
+  /// non-default tenants) recorded after every successful federated call.
+  void RecordCallMetrics(const std::string& tenant, const std::string& name,
+                         const TimedResult& result);
+
+  IntegrationServer(Architecture arch, sim::LatencyModel model,
+                    ControllerPoolOptions pool_options)
+      : arch_(arch),
+        model_(model),
+        controller_pool_(&systems_, &model_, pool_options) {}
 
   Architecture arch_;
   sim::LatencyModel model_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
   appsys::AppSystemRegistry systems_;
-  Controller controller_;
-  sim::SystemState state_;
+  ControllerPool controller_pool_;
+  std::atomic<int64_t> next_flow_id_{1};
   sim::FaultInjector fault_injector_;
   sim::RetryPolicy retry_policy_;
   fdbs::Database db_;

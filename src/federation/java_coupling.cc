@@ -6,6 +6,7 @@
 #include "fdbs/procedural_function.h"
 #include "obs/trace.h"
 #include "plan/lower_sql.h"
+#include "sim/flow_state.h"
 
 namespace fedflow::federation {
 
@@ -113,10 +114,14 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
     Result<Table> Invoke(const std::vector<Value>& args,
                          fdbs::ExecContext& ctx) override {
       SimClock* clock = ctx.clock;
+      // Per-flow warmth ledger with single-flow fallback (ExecContext::flow).
+      sim::SystemState* state =
+          ctx.flow != nullptr && ctx.flow->warmth != nullptr ? ctx.flow->warmth
+                                                             : state_;
       obs::SpanScope span(ctx.trace, "java-iudtf:" + name(),
                           obs::Layer::kCoupling);
-      if (clock != nullptr && state_ != nullptr) {
-        switch (state_->QueryWarmth(name())) {
+      if (clock != nullptr && state != nullptr) {
+        switch (state->QueryWarmth(name())) {
           case sim::SystemState::Warmth::kCold:
             clock->Charge(sim::steps::kWarmup,
                           model_->cold_infrastructure_us +
@@ -138,7 +143,7 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
         clock->Charge(sim::steps::kJavaFinishI,
                       model_->java_iudtf_finish_us);
       }
-      if (state_ != nullptr) state_->MarkRun(name());
+      if (state != nullptr) state->MarkRun(name());
       return out;
     }
 

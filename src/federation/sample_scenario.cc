@@ -152,10 +152,11 @@ std::vector<FederatedFunctionSpec> AllSampleSpecs() {
 
 Result<std::unique_ptr<IntegrationServer>> MakeSampleServer(
     Architecture arch, const appsys::ScenarioConfig& config,
-    sim::LatencyModel model) {
+    sim::LatencyModel model, ControllerPoolOptions pool_options) {
   appsys::Scenario scenario = appsys::GenerateScenario(config);
-  FEDFLOW_ASSIGN_OR_RETURN(std::unique_ptr<IntegrationServer> server,
-                           IntegrationServer::Create(arch, scenario, model));
+  FEDFLOW_ASSIGN_OR_RETURN(
+      std::unique_ptr<IntegrationServer> server,
+      IntegrationServer::Create(arch, scenario, model, pool_options));
   for (const FederatedFunctionSpec& spec : AllSampleSpecs()) {
     FEDFLOW_ASSIGN_OR_RETURN(MappingCase c, ClassifySpec(spec));
     if (arch == Architecture::kUdtf && !UdtfSupports(c)) continue;

@@ -53,10 +53,12 @@ std::vector<FederatedFunctionSpec> AllSampleSpecs();
 
 /// Builds a booted server over a generated scenario with every expressible
 /// sample function registered (under the UDTF architecture the cyclic spec
-/// is skipped — it is unsupported there by construction).
+/// is skipped — it is unsupported there by construction). `pool_options`
+/// sizes the controller pool; the default single-controller pool is
+/// bit-identical to the pre-pool server.
 Result<std::unique_ptr<IntegrationServer>> MakeSampleServer(
     Architecture arch, const appsys::ScenarioConfig& config = {},
-    sim::LatencyModel model = {});
+    sim::LatencyModel model = {}, ControllerPoolOptions pool_options = {});
 
 }  // namespace fedflow::federation
 

@@ -9,6 +9,7 @@
 #include "federation/classify.h"
 #include "obs/trace.h"
 #include "plan/lower_sql.h"
+#include "sim/flow_state.h"
 #include "sim/rmi.h"
 #include "sql/parser.h"
 
@@ -49,7 +50,8 @@ class AccessUdtf : public fdbs::TableFunction {
     Controller::DispatchResult dispatched;
     sim::RmiChannel::CallCosts costs;
     obs::TraceSession* trace = ctx.trace;
-    auto handler = [this, &dispatched, trace](
+    Controller* controller = FlowController(ctx);
+    auto handler = [this, controller, &dispatched, trace](
                        const std::string& fn,
                        const std::vector<Value>& remote_args) -> Result<Table> {
       // Runs under the serve-side RMI span: the local-function execution
@@ -57,7 +59,7 @@ class AccessUdtf : public fdbs::TableFunction {
       obs::SpanScope local(trace, "local:" + fn, obs::Layer::kAppsys);
       local.SetAttribute("system", system_);
       Result<Controller::DispatchResult> d =
-          controller_->Dispatch(system_, fn, remote_args);
+          controller->Dispatch(system_, fn, remote_args);
       if (!d.ok()) {
         local.SetStatus(d.status());
         return d.status();
@@ -106,13 +108,14 @@ class AccessUdtf : public fdbs::TableFunction {
     }
     Controller::DispatchResult dispatched;
     obs::TraceSession* trace = ctx.trace;
-    auto handler = [this, &dispatched, trace](
+    Controller* controller = FlowController(ctx);
+    auto handler = [this, controller, &dispatched, trace](
                        const std::string& fn,
                        const std::vector<Value>& remote_args) -> Result<Table> {
       obs::SpanScope local(trace, "local:" + fn, obs::Layer::kAppsys);
       local.SetAttribute("system", system_);
       Result<Controller::DispatchResult> d =
-          controller_->Dispatch(system_, fn, remote_args);
+          controller->Dispatch(system_, fn, remote_args);
       if (!d.ok()) {
         local.SetStatus(d.status());
         return d.status();
@@ -153,6 +156,16 @@ class AccessUdtf : public fdbs::TableFunction {
   }
 
  private:
+  /// The controller this invocation dispatches through: the flow's leased
+  /// controller under pooled execution, else the coupling's construction-time
+  /// controller (single-flow mode — bit-identical legacy behavior).
+  Controller* FlowController(const fdbs::ExecContext& ctx) const {
+    if (ctx.flow != nullptr && ctx.flow->controller != nullptr) {
+      return ctx.flow->controller;
+    }
+    return controller_;
+  }
+
   std::string system_;
   std::string name_;
   std::vector<Column> params_;
@@ -182,9 +195,10 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
   Result<Table> Invoke(const std::vector<Value>& args,
                        fdbs::ExecContext& ctx) override {
     SimClock* clock = ctx.clock;
+    sim::SystemState* state = FlowLedger(ctx);
     obs::SpanScope span(ctx.trace, "iudtf:" + name(), obs::Layer::kCoupling);
-    if (clock != nullptr && state_ != nullptr) {
-      switch (state_->QueryWarmth(name())) {
+    if (clock != nullptr && state != nullptr) {
+      switch (state->QueryWarmth(name())) {
         case sim::SystemState::Warmth::kCold:
           clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
                                                  model_->first_run_function_us);
@@ -210,7 +224,7 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
         if (clock != nullptr) {
           clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
         }
-        if (state_ != nullptr) state_->MarkRun(name());
+        if (state != nullptr) state->MarkRun(name());
         return out;
       }
       if (!retry.ShouldRetry(out.status())) {
@@ -229,10 +243,11 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
                                              fdbs::ExecContext& ctx,
                                              size_t batch_size) override {
     SimClock* clock = ctx.clock;
+    sim::SystemState* state = FlowLedger(ctx);
     obs::SpanScope span(ctx.trace, "iudtf:" + name(), obs::Layer::kCoupling);
     span.SetAttribute("streaming", "true");
-    if (clock != nullptr && state_ != nullptr) {
-      switch (state_->QueryWarmth(name())) {
+    if (clock != nullptr && state != nullptr) {
+      switch (state->QueryWarmth(name())) {
         case sim::SystemState::Warmth::kCold:
           clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
                                                  model_->first_run_function_us);
@@ -257,7 +272,7 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
         if (clock != nullptr) {
           clock->Charge(sim::steps::kUdtfFinishI, model_->udtf_finish_i_us);
         }
-        if (state_ != nullptr) state_->MarkRun(name());
+        if (state != nullptr) state->MarkRun(name());
         return source;
       }
       if (!retry.ShouldRetry(source.status())) {
@@ -270,6 +285,16 @@ class InstrumentedIUdtf : public fdbs::TableFunction {
   }
 
  private:
+  /// The warmth ledger this invocation charges against: the flow's leased
+  /// controller's ledger under pooled execution, else the construction-time
+  /// global state (single-flow mode).
+  sim::SystemState* FlowLedger(const fdbs::ExecContext& ctx) const {
+    if (ctx.flow != nullptr && ctx.flow->warmth != nullptr) {
+      return ctx.flow->warmth;
+    }
+    return state_;
+  }
+
   std::shared_ptr<fdbs::TableFunction> inner_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;

@@ -5,6 +5,7 @@
 #include "federation/binding.h"
 #include "obs/trace.h"
 #include "plan/lower_wfms.h"
+#include "sim/flow_state.h"
 #include "sim/rmi.h"
 
 namespace fedflow::federation {
@@ -59,16 +60,23 @@ Result<wfms::InvokeResult> WfmsProgramInvoker::InvokeTraced(
 
 const wfms::InstanceCheckpoint* WfmsWrapper::checkpoint(
     const std::string& function) const {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
   auto it = recovery_.find(ToUpper(function));
   if (it == recovery_.end() || !it->second.ckpt.valid) return nullptr;
   return &it->second.ckpt;
 }
 
-WfmsWrapper::PendingRecovery& WfmsWrapper::RecoveryFor(
+WfmsWrapper::PendingRecovery WfmsWrapper::TakeRecovery(
     const std::string& function, const std::vector<Value>& args) {
-  PendingRecovery& rec = recovery_[ToUpper(function)];
   ByteWriter writer;
   writer.PutRow(args);
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  PendingRecovery rec;
+  auto it = recovery_.find(ToUpper(function));
+  if (it != recovery_.end()) {
+    rec = std::move(it->second);
+    recovery_.erase(it);
+  }
   // A checkpoint only carries across attempts of the same call; different
   // arguments mean a new statement, so a stale instance is discarded.
   if (rec.ckpt.valid && rec.args_key != writer.buffer()) {
@@ -78,19 +86,40 @@ WfmsWrapper::PendingRecovery& WfmsWrapper::RecoveryFor(
   return rec;
 }
 
+void WfmsWrapper::StoreRecovery(const std::string& function,
+                                PendingRecovery rec) {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_[ToUpper(function)] = std::move(rec);
+}
+
+Controller* WfmsWrapper::FlowController(const fdbs::ExecContext& ctx) const {
+  if (ctx.flow != nullptr && ctx.flow->controller != nullptr) {
+    return ctx.flow->controller;
+  }
+  return controller_;
+}
+
+sim::SystemState* WfmsWrapper::FlowLedger(const fdbs::ExecContext& ctx) const {
+  if (ctx.flow != nullptr && ctx.flow->warmth != nullptr) {
+    return ctx.flow->warmth;
+  }
+  return state_;
+}
+
 Result<Table> WfmsWrapper::Execute(const std::string& function,
                                    const std::vector<Value>& args,
                                    fdbs::ExecContext& ctx) {
   SimClock* clock = ctx.clock;
-  if (!controller_->started()) {
+  sim::SystemState* state = FlowLedger(ctx);
+  if (!FlowController(ctx)->started()) {
     return Status::ExecutionError(
         "controller not started; boot the integration environment first");
   }
   obs::SpanScope span(ctx.trace, "wrapper:" + function, obs::Layer::kCoupling);
   span.SetAttribute("architecture", "wfms");
   // Warm-up surcharges (cold/warm/hot experiment).
-  if (clock != nullptr && state_ != nullptr) {
-    switch (state_->QueryWarmth(function)) {
+  if (clock != nullptr && state != nullptr) {
+    switch (state->QueryWarmth(function)) {
       case sim::SystemState::Warmth::kCold:
         clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
                                                model_->first_run_function_us);
@@ -112,7 +141,7 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
   // behind it, recoverably: the engine checkpoints completed activities into
   // the wrapper's per-function recovery slot, so a retried Execute resumes
   // the failed instance from the last completed activity.
-  PendingRecovery& rec = RecoveryFor(function, args);
+  PendingRecovery rec = TakeRecovery(function, args);
   const bool resuming = rec.ckpt.valid;
   if (resuming) span.SetAttribute("resumed", "true");
   sim::RmiChannel rmi(model_, faults_);
@@ -165,6 +194,7 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
       }
       clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
     }
+    StoreRecovery(function, std::move(rec));
     return invoked.status();
   }
   Table out = std::move(invoked).ValueUnsafe();
@@ -186,8 +216,8 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
     clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
     clock->Charge(sim::steps::kWfFinishUdtf, model_->wf_udtf_finish_us);
   }
-  recovery_.erase(ToUpper(function));
-  if (state_ != nullptr) state_->MarkRun(function);
+  // Success: the recovery entry taken at the top is simply dropped.
+  if (state != nullptr) state->MarkRun(function);
 
   // Coerce to the declared result schema.
   for (const ForeignFunction& fn : functions_) {
@@ -207,15 +237,16 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
                                                 fdbs::ExecContext& ctx,
                                                 size_t batch_size) {
   SimClock* clock = ctx.clock;
-  if (!controller_->started()) {
+  sim::SystemState* state = FlowLedger(ctx);
+  if (!FlowController(ctx)->started()) {
     return Status::ExecutionError(
         "controller not started; boot the integration environment first");
   }
   obs::SpanScope span(ctx.trace, "wrapper:" + function, obs::Layer::kCoupling);
   span.SetAttribute("architecture", "wfms");
   span.SetAttribute("streaming", "true");
-  if (clock != nullptr && state_ != nullptr) {
-    switch (state_->QueryWarmth(function)) {
+  if (clock != nullptr && state != nullptr) {
+    switch (state->QueryWarmth(function)) {
       case sim::SystemState::Warmth::kCold:
         clock->Charge(sim::steps::kWarmup, model_->cold_infrastructure_us +
                                                model_->first_run_function_us);
@@ -233,7 +264,7 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
                   model_->wf_udtf_process_us + model_->wf_controller_process_us);
   }
 
-  PendingRecovery& rec = RecoveryFor(function, args);
+  PendingRecovery rec = TakeRecovery(function, args);
   const bool resuming = rec.ckpt.valid;
   if (resuming) span.SetAttribute("resumed", "true");
   sim::RmiChannel rmi(model_, faults_);
@@ -289,6 +320,7 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
       }
       clock->Charge(sim::steps::kWfRmiReturn, costs.return_us);
     }
+    StoreRecovery(function, std::move(rec));
     return streamed.status();
   }
   RowSourcePtr source = std::move(streamed).ValueUnsafe();
@@ -308,8 +340,8 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
     clock->ChargeWork(sim::steps::kWfRmiReturn, 0);
     clock->Charge(sim::steps::kWfFinishUdtf, model_->wf_udtf_finish_us);
   }
-  recovery_.erase(ToUpper(function));
-  if (state_ != nullptr) state_->MarkRun(function);
+  // Success: the recovery entry taken at the top is simply dropped.
+  if (state != nullptr) state->MarkRun(function);
 
   // Coerce each pulled batch to the declared result schema.
   for (const ForeignFunction& fn : functions_) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -127,8 +128,19 @@ class WfmsWrapper : public ForeignFunctionWrapper {
     std::vector<uint8_t> args_key;
   };
 
-  PendingRecovery& RecoveryFor(const std::string& function,
+  /// Takes the pending recovery entry of `function` out of the map (empty
+  /// when none, reset when the arguments differ from the checkpointed call).
+  /// The attempt operates on the returned copy; StoreRecovery puts it back
+  /// on failure, a successful attempt simply drops it — sequentially
+  /// identical to the old in-map reference, and safe for concurrent flows.
+  PendingRecovery TakeRecovery(const std::string& function,
                                const std::vector<Value>& args);
+  void StoreRecovery(const std::string& function, PendingRecovery rec);
+
+  /// Per-flow controller / warmth ledger with single-flow fallback to the
+  /// construction-time wiring (see fdbs::ExecContext::flow).
+  Controller* FlowController(const fdbs::ExecContext& ctx) const;
+  sim::SystemState* FlowLedger(const fdbs::ExecContext& ctx) const;
 
   wfms::Engine* engine_;
   Controller* controller_;
@@ -138,6 +150,7 @@ class WfmsWrapper : public ForeignFunctionWrapper {
   const sim::RetryPolicy* retry_;
   WfmsProgramInvoker invoker_;
   std::vector<ForeignFunction> functions_;
+  mutable std::mutex recovery_mu_;
   std::map<std::string, PendingRecovery> recovery_;
 };
 

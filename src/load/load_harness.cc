@@ -1,0 +1,328 @@
+#include "load/load_harness.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace fedflow::load {
+
+namespace {
+
+// One issued flow travelling through admission, dispatch and completion.
+struct Job {
+  int64_t id = 0;
+  size_t workload_index = 0;
+  std::string tenant;
+  VTime first_arrival = 0;
+  int attempts = 0;
+};
+
+// Per-function circuit-breaker state. open_until < 0 means closed.
+struct Breaker {
+  int consecutive_failures = 0;
+  VTime open_until = -1;
+};
+
+// Discrete-time Poisson process: each arrival_tick the process fires with
+// probability tick/mean, so the gap between arrivals is a geometric number
+// of ticks with mean `mean_us`. Integer arithmetic only — the draw sequence
+// is bit-identical on every platform, unlike an exponential via std::log.
+VDuration NextGap(Rng& rng, VDuration mean_us, VDuration tick_us) {
+  const uint64_t mean_ticks = static_cast<uint64_t>(mean_us / tick_us);
+  VDuration gap = tick_us;
+  if (mean_ticks <= 1) return gap;
+  while (rng.Next() % mean_ticks != 0) gap += tick_us;
+  return gap;
+}
+
+}  // namespace
+
+const char* ArrivalModeName(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kClosed:
+      return "closed";
+    case ArrivalMode::kOpen:
+      return "open";
+  }
+  return "?";
+}
+
+LoadHarness::LoadHarness(federation::IntegrationServer* server,
+                         LoadOptions options)
+    : server_(server), options_(std::move(options)) {
+  if (options_.tenants.empty()) options_.tenants.push_back("default");
+  if (options_.concurrency == 0) options_.concurrency = 1;
+  if (options_.arrival_tick_us <= 0) options_.arrival_tick_us = 100;
+  if (options_.mean_interarrival_us < options_.arrival_tick_us) {
+    options_.mean_interarrival_us = options_.arrival_tick_us;
+  }
+}
+
+Result<LoadReport> LoadHarness::Run(const std::vector<Invocation>& workload) {
+  if (server_ == nullptr) {
+    return Status::InvalidArgument("load harness needs a server");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("load harness needs a non-empty workload");
+  }
+  return options_.threads > 0 ? RunThreaded(workload) : RunVirtual(workload);
+}
+
+Result<LoadReport> LoadHarness::RunVirtual(
+    const std::vector<Invocation>& workload) {
+  LoadReport report;
+  federation::ControllerPool& pool = server_->controller_pool();
+  obs::MetricsRegistry& metrics = server_->metrics();
+  Rng rng(options_.seed);
+
+  // The virtual timeline: events totally ordered by (time, schedule seq), so
+  // simultaneous events fire in the order they were scheduled.
+  enum class Kind { kArrival, kRetry, kCompletion };
+  struct Event {
+    Kind kind = Kind::kArrival;
+    Job job;              // kRetry: the flow being re-admitted
+    uint64_t flight = 0;  // kCompletion: the in-flight entry
+  };
+  std::map<std::pair<VTime, uint64_t>, Event> events;
+  uint64_t next_seq = 0;
+  auto schedule = [&](VTime t, Event ev) {
+    events.emplace(std::make_pair(t, next_seq++), std::move(ev));
+  };
+
+  // A dispatched flow holds its controller lease until its virtual
+  // completion event — that occupancy is what makes pool size matter.
+  struct Flight {
+    Job job;
+    federation::ControllerPool::Lease lease;
+  };
+  std::map<uint64_t, Flight> flights;
+  uint64_t next_flight = 1;
+
+  std::deque<Job> queue;
+  std::map<std::string, Breaker> breakers;
+  int64_t scheduled_arrivals = 0;  // arrivals put on the timeline
+  int64_t issued = 0;              // arrivals that fired (assigns flow ids)
+  int64_t terminal = 0;            // flows in a terminal state
+  VTime last_event = 0;
+
+  auto schedule_arrival = [&](VTime t) {
+    if (scheduled_arrivals >= options_.total_invocations) return;
+    ++scheduled_arrivals;
+    schedule(t, Event{Kind::kArrival, Job{}, 0});
+  };
+
+  // A flow reached a terminal state; in closed-loop mode its client
+  // immediately issues the next one.
+  auto on_terminal = [&](VTime now) {
+    ++terminal;
+    if (options_.mode == ArrivalMode::kClosed) schedule_arrival(now);
+  };
+
+  auto breaker_admit = [&](const std::string& fn, VTime now) {
+    if (options_.breaker_failure_threshold <= 0) return true;
+    Breaker& b = breakers[fn];
+    if (b.open_until < 0) return true;
+    if (now < b.open_until) return false;
+    // Half-open: one probe goes through with a single strike left, so one
+    // more failure re-opens the breaker immediately.
+    b.open_until = -1;
+    b.consecutive_failures = options_.breaker_failure_threshold - 1;
+    return true;
+  };
+  auto breaker_success = [&](const std::string& fn) {
+    if (options_.breaker_failure_threshold <= 0) return;
+    Breaker& b = breakers[fn];
+    b.consecutive_failures = 0;
+    b.open_until = -1;
+  };
+  auto breaker_failure = [&](const std::string& fn, VTime now) {
+    if (options_.breaker_failure_threshold <= 0) return;
+    Breaker& b = breakers[fn];
+    if (++b.consecutive_failures >= options_.breaker_failure_threshold) {
+      b.open_until = now + options_.breaker_cooldown_us;
+    }
+  };
+
+  auto note_queue_depth = [&] {
+    const int64_t depth = static_cast<int64_t>(queue.size());
+    if (depth > report.max_queue_depth) report.max_queue_depth = depth;
+    metrics.SetGauge("load.queue.depth", depth);
+    metrics.SetGaugeMax("load.queue.max_depth", depth);
+  };
+
+  // Admits queued flows head-first while the pool has a controller for the
+  // head's tenant. Strict FIFO: an unlucky head (pool or quota exhausted)
+  // blocks the line — deterministic, and the fairness policy queues model.
+  auto try_dispatch = [&](VTime now) {
+    while (!queue.empty()) {
+      Job& head = queue.front();
+      const Invocation& inv = workload[head.workload_index];
+      Result<federation::ControllerPool::Lease> lease =
+          pool.Checkout(head.tenant, inv.function);
+      if (!lease.ok()) break;
+      Job job = std::move(queue.front());
+      queue.pop_front();
+      note_queue_depth();
+      ++job.attempts;
+      Result<federation::IntegrationServer::TimedResult> result =
+          server_->CallFederatedOnLease(*lease, job.tenant, inv.function,
+                                        inv.args);
+      if (result.ok()) {
+        breaker_success(inv.function);
+        const uint64_t fid = next_flight++;
+        const VTime done = now + result->elapsed_us;
+        flights.emplace(fid, Flight{std::move(job), std::move(*lease)});
+        schedule(done, Event{Kind::kCompletion, Job{}, fid});
+        continue;
+      }
+      // The attempt failed; its lease drops here and the controller is back
+      // in the pool immediately (a failed flow's virtual cost is not put on
+      // the shared timeline — failures surface at dispatch).
+      breaker_failure(inv.function, now);
+      if (job.attempts <= options_.retry_budget) {
+        ++report.retried;
+        schedule(now + options_.retry_backoff_us * job.attempts,
+                 Event{Kind::kRetry, std::move(job), 0});
+      } else {
+        ++report.failed;
+        on_terminal(now);
+      }
+    }
+  };
+
+  // Re-admission shared by fresh arrivals and retries: breaker first, then
+  // the bounded queue, then a dispatch attempt.
+  auto admit = [&](Job job, VTime now) {
+    const Invocation& inv = workload[job.workload_index];
+    if (!breaker_admit(inv.function, now)) {
+      ++report.short_circuited;
+      on_terminal(now);
+      return;
+    }
+    if (queue.size() >= options_.queue_capacity) {
+      ++report.rejected;
+      on_terminal(now);
+      return;
+    }
+    queue.push_back(std::move(job));
+    note_queue_depth();
+    try_dispatch(now);
+  };
+
+  // Prime the timeline.
+  if (options_.mode == ArrivalMode::kClosed) {
+    const int64_t initial =
+        std::min<int64_t>(static_cast<int64_t>(options_.concurrency),
+                          options_.total_invocations);
+    for (int64_t i = 0; i < initial; ++i) schedule_arrival(0);
+  } else {
+    schedule_arrival(NextGap(rng, options_.mean_interarrival_us,
+                             options_.arrival_tick_us));
+  }
+
+  while (!events.empty()) {
+    auto it = events.begin();
+    const VTime now = it->first.first;
+    Event ev = std::move(it->second);
+    events.erase(it);
+    if (now > last_event) last_event = now;
+    switch (ev.kind) {
+      case Kind::kArrival: {
+        // The open-loop arrival process is oblivious to the system state:
+        // the next arrival goes on the timeline before this one is admitted.
+        if (options_.mode == ArrivalMode::kOpen) {
+          schedule_arrival(now + NextGap(rng, options_.mean_interarrival_us,
+                                         options_.arrival_tick_us));
+        }
+        Job job;
+        job.id = issued;
+        job.workload_index =
+            static_cast<size_t>(issued) % workload.size();
+        job.tenant = options_.tenants[static_cast<size_t>(issued) %
+                                      options_.tenants.size()];
+        job.first_arrival = now;
+        ++issued;
+        admit(std::move(job), now);
+        break;
+      }
+      case Kind::kRetry:
+        admit(std::move(ev.job), now);
+        break;
+      case Kind::kCompletion: {
+        auto fit = flights.find(ev.flight);
+        if (fit == flights.end()) {
+          return Status::Internal("load harness: completion for unknown flow");
+        }
+        Flight flight = std::move(fit->second);
+        flights.erase(fit);
+        // Return the controller before re-dispatching so the queue head can
+        // take this very slot at the completion timestamp.
+        flight.lease.Release();
+        ++report.completed;
+        report.sojourn_us.Observe(now - flight.job.first_arrival);
+        on_terminal(now);
+        try_dispatch(now);
+        break;
+      }
+    }
+  }
+
+  if (!queue.empty() || !flights.empty() ||
+      terminal != options_.total_invocations) {
+    return Status::Internal("load harness stalled with flows pending");
+  }
+  report.makespan_us = last_event;
+  report.pool = pool.pool().stats();
+  metrics.SetGauge("load.queue.depth", 0);
+  return report;
+}
+
+Result<LoadReport> LoadHarness::RunThreaded(
+    const std::vector<Invocation>& workload) {
+  // TSan smoke mode: real workers drive closed-loop calls through the
+  // server's own per-call checkout path, exercising the pool, wrapper and
+  // metrics mutexes under genuine concurrency. Admission rejections are
+  // waited out (the virtual mode models that wait as queueing), so every
+  // invocation reaches a terminal state and the counts still add up; timing
+  // is wall-dependent and must not be golden-pinned.
+  LoadReport report;
+  std::mutex mu;
+  {
+    ThreadPool workers(options_.threads);
+    for (int64_t i = 0; i < options_.total_invocations; ++i) {
+      workers.Submit([this, &workload, &report, &mu, i] {
+        const Invocation& inv = workload[static_cast<size_t>(i) %
+                                         workload.size()];
+        const std::string& tenant =
+            options_.tenants[static_cast<size_t>(i) %
+                             options_.tenants.size()];
+        for (;;) {
+          Result<federation::IntegrationServer::TimedResult> result =
+              server_->CallFederatedFor(tenant, inv.function, inv.args);
+          std::lock_guard<std::mutex> lock(mu);
+          if (result.ok()) {
+            ++report.completed;
+            report.sojourn_us.Observe(result->elapsed_us);
+            return;
+          }
+          if (result.status().code() == StatusCode::kUnavailable) {
+            std::this_thread::yield();
+            continue;
+          }
+          ++report.failed;
+          return;
+        }
+      });
+    }
+  }  // ~ThreadPool drains every submitted task
+  report.pool = server_->controller_pool().pool().stats();
+  return report;
+}
+
+}  // namespace fedflow::load

@@ -1,0 +1,137 @@
+// Open/closed-loop load harness over the IntegrationServer: the paper's
+// single-flow experiments (§4) generalized to concurrent multi-tenant load.
+// Closed loop keeps a fixed number of clients issuing back-to-back flows
+// (throughput at saturation); open loop draws Poisson arrivals at a target
+// rate (tail latency under a given offered load). Either way, every flow
+// leases a controller from the server's pool for its whole virtual duration,
+// waits in a bounded admission queue while the pool is exhausted, may retry
+// transient failures against a per-invocation budget, and is short-circuited
+// by a per-function circuit breaker after consecutive failures.
+//
+// Determinism: the default mode is a sequential virtual-time event loop —
+// arrivals, dispatches and completions are ordered by (virtual time, event
+// sequence number), inter-arrival gaps come from an integer geometric draw
+// off the shared Rng, and every flow's duration is its deterministic virtual
+// elapsed time. A fixed (options, workload, seed) triple therefore always
+// produces the same LoadReport, which is what lets bench_load pin throughput
+// and p50/p99/p999 in a CI-diffed golden. `threads > 0` switches to a real
+// ThreadPool (TSan smoke): counts still add up, but timing is wall-dependent
+// and nothing from that mode belongs in a golden.
+#ifndef FEDFLOW_LOAD_LOAD_HARNESS_H_
+#define FEDFLOW_LOAD_LOAD_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "common/vclock.h"
+#include "federation/integration_server.h"
+#include "obs/metrics.h"
+#include "sim/resource_pools.h"
+
+namespace fedflow::load {
+
+/// How flows arrive at the server.
+enum class ArrivalMode {
+  kClosed,  ///< `concurrency` clients, each issuing its next flow on completion
+  kOpen,    ///< Poisson arrivals with mean gap `mean_interarrival_us`
+};
+
+/// Stable display name ("closed" / "open").
+const char* ArrivalModeName(ArrivalMode mode);
+
+/// One workload item: a federated function call.
+struct Invocation {
+  std::string function;
+  std::vector<Value> args;
+};
+
+/// Harness configuration.
+struct LoadOptions {
+  ArrivalMode mode = ArrivalMode::kClosed;
+
+  /// Closed loop: clients in flight at once.
+  size_t concurrency = 4;
+
+  /// Open loop: mean virtual inter-arrival gap. The gap is drawn as a
+  /// geometric number of `arrival_tick_us` ticks (the discrete-time Poisson
+  /// process) — integer arithmetic only, so the draw is bit-identical on
+  /// every platform.
+  VDuration mean_interarrival_us = 20000;
+  VDuration arrival_tick_us = 100;
+
+  /// Flows to issue in total (arrivals, including ones later rejected).
+  int64_t total_invocations = 100;
+
+  /// Seed for the arrival process and nothing else.
+  uint64_t seed = 42;
+
+  /// Bounded admission queue: flows that arrive while the pool is exhausted
+  /// wait here; arrivals beyond the bound are rejected outright.
+  size_t queue_capacity = 64;
+
+  /// Re-admissions granted to one flow after failed attempts; each retry
+  /// waits `retry_backoff_us` × attempt before re-entering the queue.
+  int retry_budget = 0;
+  VDuration retry_backoff_us = 1000;
+
+  /// Per-function circuit breaker: after this many consecutive failures the
+  /// function's arrivals are short-circuited for `breaker_cooldown_us`, then
+  /// one probe is let through (half-open). 0 disables the breaker.
+  int breaker_failure_threshold = 0;
+  VDuration breaker_cooldown_us = 100000;
+
+  /// Tenants, assigned to flows round-robin. Empty means {"default"}.
+  std::vector<std::string> tenants;
+
+  /// 0 = deterministic sequential virtual-time loop (the golden mode).
+  /// > 0 = that many real ThreadPool workers driving closed-loop calls
+  /// through the server — the TSan smoke mode; counts are exact, timing is
+  /// not deterministic, queue/retry/breaker do not apply.
+  size_t threads = 0;
+};
+
+/// Outcome of one run. completed + failed + rejected + short_circuited ==
+/// total_invocations.
+struct LoadReport {
+  int64_t completed = 0;
+  int64_t failed = 0;             ///< terminal failures (budget exhausted)
+  int64_t rejected = 0;           ///< bounced off a full admission queue
+  int64_t short_circuited = 0;    ///< refused by an open circuit breaker
+  int64_t retried = 0;            ///< re-admissions after failed attempts
+  VDuration makespan_us = 0;      ///< virtual time of the last event
+  int64_t max_queue_depth = 0;
+  obs::LatencySummary sojourn_us;  ///< arrival → completion, queue wait included
+  sim::WarmPool::Stats pool;       ///< controller-pool stats after the run
+
+  /// Completed flows per 1000 virtual seconds (integer, golden-safe).
+  int64_t ThroughputPerKiloSecond() const {
+    return makespan_us > 0 ? completed * 1000000000 / makespan_us : 0;
+  }
+};
+
+/// Drives one IntegrationServer. The server outlives the harness.
+class LoadHarness {
+ public:
+  LoadHarness(federation::IntegrationServer* server, LoadOptions options);
+
+  /// Runs `total_invocations` flows, cycling through `workload` in order
+  /// (flow i calls workload[i % size]). InvalidArgument on an empty
+  /// workload.
+  Result<LoadReport> Run(const std::vector<Invocation>& workload);
+
+  const LoadOptions& options() const { return options_; }
+
+ private:
+  Result<LoadReport> RunVirtual(const std::vector<Invocation>& workload);
+  Result<LoadReport> RunThreaded(const std::vector<Invocation>& workload);
+
+  federation::IntegrationServer* server_;
+  LoadOptions options_;
+};
+
+}  // namespace fedflow::load
+
+#endif  // FEDFLOW_LOAD_LOAD_HARNESS_H_

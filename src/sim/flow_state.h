@@ -1,0 +1,66 @@
+// Per-invocation flow state. Every federated statement runs as one *flow*:
+// it gets its own virtual clock, its own trace session, and — under pooled
+// execution — a leased controller plus that controller's warmth ledger. The
+// global single-flow SystemState of earlier revisions is split in two: the
+// per-invocation part lives here, the shared warm-resource part lives in
+// resource_pools.h (WarmPool / ResourcePools).
+//
+// Layering note: the flow carries a federation::Controller* strictly as an
+// opaque lease handle (forward-declared, never dereferenced below the
+// federation layer), so the sim layer needs no link dependency on it.
+#ifndef FEDFLOW_SIM_FLOW_STATE_H_
+#define FEDFLOW_SIM_FLOW_STATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/vclock.h"
+#include "sim/system_state.h"
+
+namespace fedflow::federation {
+class Controller;
+}  // namespace fedflow::federation
+
+namespace fedflow::obs {
+class TraceSession;
+}  // namespace fedflow::obs
+
+namespace fedflow::sim {
+
+class FaultInjector;
+
+/// Everything one in-flight federated invocation owns or has leased.
+/// Couplings reach it through fdbs::ExecContext::flow; a null flow (or null
+/// member) falls back to the coupling's construction-time wiring, which is
+/// how single-flow callers stay bit-identical.
+struct FlowState {
+  /// Monotonic id assigned by the server (0 = unassigned).
+  int64_t flow_id = 0;
+
+  /// Tenant the invocation is accounted against ("default" when the caller
+  /// is tenant-agnostic). Drives pool quotas and tenant-scoped metrics.
+  std::string tenant = "default";
+
+  /// The flow's private virtual clock; one statement, one timeline.
+  SimClock clock;
+
+  /// The flow's trace session (not owned; may be null).
+  obs::TraceSession* trace = nullptr;
+
+  /// Shared fault injector (not owned; per-function streams keep outcomes
+  /// independent of flow interleaving). May be null.
+  FaultInjector* faults = nullptr;
+
+  /// Controller leased to this flow from the ControllerPool (not owned;
+  /// opaque below the federation layer). Null = use the coupling's default.
+  federation::Controller* controller = nullptr;
+
+  /// Warmth ledger of the leased controller (not owned). Cold/warm/hot
+  /// surcharges and MarkRun land here, so warmth follows the controller a
+  /// flow actually ran on — not a global singleton.
+  SystemState* warmth = nullptr;
+};
+
+}  // namespace fedflow::sim
+
+#endif  // FEDFLOW_SIM_FLOW_STATE_H_

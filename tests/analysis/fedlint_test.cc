@@ -10,6 +10,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/diagnostic.h"
+#include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 #include "analysis/sql_lint.h"
 #include "analysis/workflow_lint.h"
@@ -341,6 +342,62 @@ TEST(LintGateTest, WarningsRegisterAndAreQueryable) {
       << Dump(warnings);
   EXPECT_TRUE(HasFinding(warnings, kSpecDeadNode, "spec:DeadNode/node:GR"))
       << Dump(warnings);
+}
+
+// ---------------------------------------------------------------------------
+// FF310: parallelize over a single-controller pool serializes.
+
+TEST(LintPoolConfigTest, WarnsWhenParallelizeMeetsSingleControllerPool) {
+  federation::FederatedFunctionSpec spec = federation::GetSuppQualSpec();
+  plan::PlanOptions options;
+  options.parallelize = true;
+  std::vector<Diagnostic> diags = LintPoolConfig(spec, options, 1);
+  ASSERT_EQ(diags.size(), 1u) << Dump(diags);
+  EXPECT_EQ(diags[0].code, kPlanPoolSerialized);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].location, "spec:" + spec.name);
+}
+
+TEST(LintPoolConfigTest, SilentWithoutParallelizeOrWithRealPool) {
+  federation::FederatedFunctionSpec spec = federation::GetSuppQualSpec();
+  plan::PlanOptions passthrough;
+  EXPECT_TRUE(LintPoolConfig(spec, passthrough, 1).empty());
+  plan::PlanOptions options;
+  options.parallelize = true;
+  EXPECT_TRUE(LintPoolConfig(spec, options, 2).empty());
+  EXPECT_TRUE(LintPoolConfig(spec, options, 8).empty());
+}
+
+TEST(LintPoolConfigTest, ServerRegistrationCollectsFf310Warning) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  plan::PlanOptions options;
+  options.parallelize = true;
+
+  // Pool of one: the warning is collected, the registration still succeeds.
+  auto single = federation::IntegrationServer::Create(
+      federation::Architecture::kWfms, scenario);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE((*single)
+                  ->RegisterFederatedFunction(federation::GetSuppQualSpec(),
+                                              options)
+                  .ok());
+  EXPECT_TRUE(HasFinding((*single)->lint_warnings(), kPlanPoolSerialized,
+                         "spec:GetSuppQual"))
+      << Dump((*single)->lint_warnings());
+
+  // Pool of four: the parallel stages can really fan out — no warning.
+  federation::ControllerPoolOptions pool;
+  pool.max_size = 4;
+  auto pooled = federation::IntegrationServer::Create(
+      federation::Architecture::kWfms, scenario, {}, pool);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE((*pooled)
+                  ->RegisterFederatedFunction(federation::GetSuppQualSpec(),
+                                              options)
+                  .ok());
+  EXPECT_FALSE(HasFinding((*pooled)->lint_warnings(), kPlanPoolSerialized,
+                          "spec:GetSuppQual"))
+      << Dump((*pooled)->lint_warnings());
 }
 
 }  // namespace

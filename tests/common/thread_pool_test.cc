@@ -34,9 +34,22 @@ TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
   EXPECT_EQ(counter.load(), kTasks);
 }
 
-TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+TEST(ThreadPoolTest, ZeroThreadsDegradesToInlineExecution) {
+  // Regression: a pool of size 0 used to clamp to 1 worker; callers wanting
+  // deterministic single-threaded execution (the load harness) got a real
+  // thread instead. Size 0 now starts no workers and Submit runs the task
+  // inline on the calling thread, synchronously — no deadlock, no thread.
   ThreadPool pool(0);
-  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::thread::id ran_on{};
+  int order = 0;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); order = 1; });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_EQ(order, 1);  // completed before Submit returned
+  // Re-entrant inline submission also completes (no queue involved).
+  int nested = 0;
+  pool.Submit([&] { pool.Submit([&] { nested = 7; }); });
+  EXPECT_EQ(nested, 7);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

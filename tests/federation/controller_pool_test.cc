@@ -1,0 +1,180 @@
+#include "federation/controller_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "appsys/registry.h"
+#include "sim/latency.h"
+#include "sim/system_state.h"
+
+namespace fedflow::federation {
+namespace {
+
+ControllerPoolOptions Opts(size_t max_size, size_t warm_target = 0,
+                           size_t quota = 0) {
+  ControllerPoolOptions o;
+  o.max_size = max_size;
+  o.warm_target = warm_target;
+  o.per_tenant_quota = quota;
+  return o;
+}
+
+class ControllerPoolTest : public ::testing::Test {
+ protected:
+  appsys::AppSystemRegistry systems_;
+  sim::LatencyModel model_;
+};
+
+TEST_F(ControllerPoolTest, SizeOneCheckoutIsThePinnedPrimary) {
+  ControllerPool pool(&systems_, &model_, Opts(1));
+  ASSERT_NE(pool.primary(), nullptr);
+  ASSERT_NE(pool.primary_state(), nullptr);
+
+  auto lease = pool.Checkout("default", "F");
+  ASSERT_TRUE(lease.ok());
+  // The single-flow identity: the lease hands out exactly the controller and
+  // ledger the couplings were wired with.
+  EXPECT_EQ(lease->controller(), pool.primary());
+  EXPECT_EQ(lease->ledger(), pool.primary_state());
+  EXPECT_EQ(pool.in_use(), 1u);
+
+  auto second = pool.Checkout("default", "F");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ControllerPoolTest, LeaseReturnsSlotOnDestructionAndOnRelease) {
+  ControllerPool pool(&systems_, &model_, Opts(1));
+  {
+    auto lease = pool.Checkout("default", "");
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(pool.in_use(), 1u);
+  }  // RAII return
+  EXPECT_EQ(pool.in_use(), 0u);
+
+  auto lease = pool.Checkout("default", "");
+  ASSERT_TRUE(lease.ok());
+  lease->Release();
+  EXPECT_FALSE(lease->valid());
+  EXPECT_EQ(pool.in_use(), 0u);
+  lease->Release();  // idempotent
+  EXPECT_EQ(pool.pool().stats().returns, 2);
+}
+
+TEST_F(ControllerPoolTest, CheckoutReturnOrderingIsMostRecentlyUsedFirst) {
+  ControllerPool pool(&systems_, &model_, Opts(3));
+  auto a = pool.Checkout("t", "");
+  auto b = pool.Checkout("t", "");
+  auto c = pool.Checkout("t", "");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  Controller* b_ctrl = b->controller();
+  Controller* c_ctrl = c->controller();
+  ASSERT_NE(b_ctrl, c_ctrl);
+
+  // Return b, then c: the next flow gets c's controller (MRU keeps caches
+  // warmest), and after that b's.
+  b->Release();
+  c->Release();
+  auto next = pool.Checkout("t", "");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->controller(), c_ctrl);
+  auto after = pool.Checkout("t", "");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->controller(), b_ctrl);
+}
+
+TEST_F(ControllerPoolTest, WarmToHotPromotionCountsAcrossCheckouts) {
+  ControllerPool pool(&systems_, &model_, Opts(1));
+  auto first = pool.Checkout("t", "F");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->warmth(), sim::SystemState::Warmth::kCold);
+  first->ledger()->MarkRun("F");
+  first->Release();
+
+  auto warm = pool.Checkout("t", "G");  // infrastructure warm, G never ran
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->warmth(), sim::SystemState::Warmth::kWarm);
+  warm->ledger()->MarkRun("G");
+  warm->Release();
+
+  auto hot = pool.Checkout("t", "F");  // F ran before on this controller
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->warmth(), sim::SystemState::Warmth::kHot);
+  hot->Release();
+
+  sim::WarmPool::Stats stats = pool.pool().stats();
+  EXPECT_EQ(stats.cold_checkouts, 1);
+  EXPECT_EQ(stats.warm_checkouts, 1);
+  EXPECT_EQ(stats.hot_checkouts, 1);
+}
+
+TEST_F(ControllerPoolTest, LruEvictionDestroysControllersDeterministically) {
+  ControllerPool pool(&systems_, &model_, Opts(3, /*warm_target=*/1));
+  auto a = pool.Checkout("t", "");  // pinned
+  auto b = pool.Checkout("t", "");
+  auto c = pool.Checkout("t", "");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->controller(), pool.primary());
+  EXPECT_EQ(pool.size(), 3u);
+
+  // Releasing beyond the warm target trims LRU-first; the pinned primary is
+  // never trimmed even when it is the least recently used idle slot.
+  a->Release();
+  EXPECT_EQ(pool.size(), 3u);
+  b->Release();
+  EXPECT_EQ(pool.size(), 2u);  // b evicted (LRU among evictable)
+  c->Release();
+  EXPECT_EQ(pool.size(), 1u);  // c evicted, primary survives
+  EXPECT_EQ(pool.pool().stats().evicted, 2);
+  EXPECT_EQ(pool.primary(), pool.Checkout("t", "")->controller());
+}
+
+TEST_F(ControllerPoolTest, TenantQuotaExhaustionIsUnavailable) {
+  ControllerPool pool(&systems_, &model_, Opts(4, 0, /*quota=*/1));
+  auto alice = pool.Checkout("alice", "");
+  ASSERT_TRUE(alice.ok());
+
+  auto again = pool.Checkout("alice", "");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pool.pool().stats().quota_rejections, 1);
+
+  // The quota is per tenant, and frees with the lease.
+  EXPECT_TRUE(pool.Checkout("bob", "").ok());
+  alice->Release();
+  EXPECT_TRUE(pool.Checkout("alice", "").ok());
+}
+
+TEST_F(ControllerPoolTest, StartPropagatesToLazilyCreatedControllers) {
+  ControllerPool pool(&systems_, &model_, Opts(2));
+  EXPECT_FALSE(pool.primary()->started());
+  pool.Start();
+  EXPECT_TRUE(pool.primary()->started());
+
+  auto a = pool.Checkout("t", "");
+  auto b = pool.Checkout("t", "");  // created after Start
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(b->controller()->started());
+}
+
+TEST_F(ControllerPoolTest, RebootRequiresNoOutstandingLeases) {
+  ControllerPool pool(&systems_, &model_, Opts(2));
+  pool.Start();
+  auto lease = pool.Checkout("t", "F");
+  ASSERT_TRUE(lease.ok());
+  lease->ledger()->MarkRun("F");
+  EXPECT_FALSE(pool.Reboot().ok());
+
+  lease->Release();
+  ASSERT_TRUE(pool.Reboot().ok());
+  // Cold again, extra controllers gone, primary restarted.
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.primary()->started());
+  auto after = pool.Checkout("t", "F");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->warmth(), sim::SystemState::Warmth::kCold);
+}
+
+}  // namespace
+}  // namespace fedflow::federation

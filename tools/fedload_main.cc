@@ -1,0 +1,195 @@
+// fedload: drives the open/closed-loop load harness against the sample
+// scenario and prints the per-architecture report.
+//
+//   fedload                               closed loop, all architectures
+//   fedload --arch wfms|udtf|java|all     architecture selection
+//   fedload --mode closed|open            arrival mode
+//   fedload --invocations N               flows to issue (default 200)
+//   fedload --pool N                      controller-pool size (default 4)
+//   fedload --concurrency N               closed-loop clients (default 8)
+//   fedload --mean-gap-us N               open-loop mean inter-arrival gap
+//   fedload --queue N                     admission-queue capacity
+//   fedload --tenants a,b,c               tenant round-robin
+//   fedload --seed N                      arrival-process seed
+//   fedload --threads N                   real ThreadPool workers instead of
+//                                         the virtual-time loop (TSan smoke)
+//
+// The virtual-time mode is deterministic: same flags, same report. Exit
+// status is non-zero when a run fails or (deterministic mode) when any flow
+// ends in an unexpected terminal state.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "federation/controller_pool.h"
+#include "federation/sample_scenario.h"
+#include "load/load_harness.h"
+
+namespace {
+
+using namespace fedflow;  // NOLINT(google-build-using-namespace)
+using federation::Architecture;
+
+const char* ArchTag(Architecture arch) {
+  switch (arch) {
+    case Architecture::kWfms:
+      return "wfms";
+    case Architecture::kUdtf:
+      return "udtf";
+    case Architecture::kJavaUdtf:
+      return "java_udtf";
+  }
+  return "?";
+}
+
+std::vector<load::Invocation> Workload() {
+  return {
+      {"GibKompNr", {Value::Varchar("brakepad")}},
+      {"GetSuppQual", {Value::Varchar("Stark")}},
+      {"GetNumberSupp1234", {Value::Int(17)}},
+  };
+}
+
+int64_t ParseInt(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "fedload: bad value for %s: %s\n", flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+int RunOne(Architecture arch, size_t pool_size,
+           const load::LoadOptions& options) {
+  federation::ControllerPoolOptions pool;
+  pool.max_size = pool_size;
+  auto server = federation::MakeSampleServer(arch, {}, {}, pool);
+  if (!server.ok()) {
+    std::fprintf(stderr, "fedload: server build failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  load::LoadHarness harness(server->get(), options);
+  auto report = harness.Run(Workload());
+  if (!report.ok()) {
+    std::fprintf(stderr, "fedload: run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s mode=%s pool=%zu  completed=%lld failed=%lld "
+              "rejected=%lld short_circuited=%lld retried=%lld\n",
+              ArchTag(arch), load::ArrivalModeName(options.mode), pool_size,
+              static_cast<long long>(report->completed),
+              static_cast<long long>(report->failed),
+              static_cast<long long>(report->rejected),
+              static_cast<long long>(report->short_circuited),
+              static_cast<long long>(report->retried));
+  if (options.threads == 0) {
+    std::printf("           makespan=%lldus thr/ksec=%lld p50=%lldus "
+                "p99=%lldus p999=%lldus max_queue=%lld\n",
+                static_cast<long long>(report->makespan_us),
+                static_cast<long long>(report->ThroughputPerKiloSecond()),
+                static_cast<long long>(report->sojourn_us.Percentile(500)),
+                static_cast<long long>(report->sojourn_us.Percentile(990)),
+                static_cast<long long>(report->sojourn_us.Percentile(999)),
+                static_cast<long long>(report->max_queue_depth));
+  }
+  std::printf("           pool: created=%lld cold=%lld warm=%lld hot=%lld "
+              "evicted=%lld\n",
+              static_cast<long long>(report->pool.created),
+              static_cast<long long>(report->pool.cold_checkouts),
+              static_cast<long long>(report->pool.warm_checkouts),
+              static_cast<long long>(report->pool.hot_checkouts),
+              static_cast<long long>(report->pool.evicted));
+
+  // In the deterministic modes of this tool nothing injects faults or
+  // overflows an unbounded-enough queue, so every flow must complete.
+  if (report->completed != options.total_invocations) {
+    std::fprintf(stderr, "fedload: %lld of %lld flows did not complete\n",
+                 static_cast<long long>(options.total_invocations -
+                                        report->completed),
+                 static_cast<long long>(options.total_invocations));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string arch = "all";
+  load::LoadOptions options;
+  options.mode = load::ArrivalMode::kClosed;
+  options.concurrency = 8;
+  options.total_invocations = 200;
+  options.queue_capacity = 256;
+  size_t pool_size = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fedload: %s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--arch") == 0) {
+      arch = next();
+    } else if (std::strcmp(a, "--mode") == 0) {
+      const std::string mode = next();
+      if (mode == "closed") {
+        options.mode = load::ArrivalMode::kClosed;
+      } else if (mode == "open") {
+        options.mode = load::ArrivalMode::kOpen;
+      } else {
+        std::fprintf(stderr, "fedload: unknown mode %s\n", mode.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(a, "--invocations") == 0) {
+      options.total_invocations = ParseInt(a, next());
+    } else if (std::strcmp(a, "--pool") == 0) {
+      pool_size = static_cast<size_t>(ParseInt(a, next()));
+    } else if (std::strcmp(a, "--concurrency") == 0) {
+      options.concurrency = static_cast<size_t>(ParseInt(a, next()));
+    } else if (std::strcmp(a, "--mean-gap-us") == 0) {
+      options.mean_interarrival_us = ParseInt(a, next());
+    } else if (std::strcmp(a, "--queue") == 0) {
+      options.queue_capacity = static_cast<size_t>(ParseInt(a, next()));
+    } else if (std::strcmp(a, "--seed") == 0) {
+      options.seed = static_cast<uint64_t>(ParseInt(a, next()));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      options.threads = static_cast<size_t>(ParseInt(a, next()));
+    } else if (std::strcmp(a, "--tenants") == 0) {
+      options.tenants = Split(next(), ',');
+    } else {
+      std::fprintf(stderr, "fedload: unknown flag %s\n", a);
+      return 2;
+    }
+  }
+
+  std::vector<Architecture> archs;
+  if (arch == "all") {
+    archs = {Architecture::kWfms, Architecture::kUdtf,
+             Architecture::kJavaUdtf};
+  } else if (arch == "wfms") {
+    archs = {Architecture::kWfms};
+  } else if (arch == "udtf") {
+    archs = {Architecture::kUdtf};
+  } else if (arch == "java") {
+    archs = {Architecture::kJavaUdtf};
+  } else {
+    std::fprintf(stderr, "fedload: unknown arch %s\n", arch.c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  for (Architecture a : archs) rc |= RunOne(a, pool_size, options);
+  return rc;
+}
