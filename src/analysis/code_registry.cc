@@ -1,0 +1,138 @@
+#include "analysis/code_registry.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+constexpr Severity kErr = Severity::kError;
+constexpr Severity kWarn = Severity::kWarning;
+
+std::vector<CodeInfo> BuildRegistry() {
+  return {
+      // Spec errors (FF001..FF049).
+      {"FF001", kErr, "spec-no-name", "spec has no name"},
+      {"FF002", kErr, "spec-no-calls", "spec declares no call nodes"},
+      {"FF003", kErr, "spec-duplicate-call-id", "duplicate call node id"},
+      {"FF004", kErr, "spec-call-incomplete", "call node misses system or function"},
+      {"FF005", kErr, "spec-unknown-system", "call references an unregistered application system"},
+      {"FF006", kErr, "spec-unknown-function", "call references a function the system does not export"},
+      {"FF007", kErr, "spec-arity-mismatch", "call argument count differs from the local signature"},
+      {"FF008", kErr, "spec-dangling-node", "argument references an undeclared call node"},
+      {"FF009", kErr, "spec-unknown-node-column", "argument references a column the node does not produce"},
+      {"FF010", kErr, "spec-self-reference", "call node consumes its own output"},
+      {"FF011", kErr, "spec-cycle-without-exit", "node dependencies form a cycle"},
+      {"FF012", kErr, "spec-unknown-param", "argument references an undeclared federated parameter"},
+      {"FF013", kErr, "spec-iteration-outside-loop", "ITERATION used without an enclosing loop"},
+      {"FF014", kErr, "spec-bad-loop-param", "loop count parameter missing or undeclared"},
+      {"FF015", kErr, "spec-no-outputs", "spec declares no outputs"},
+      {"FF016", kErr, "spec-output-unnamed", "output column has no name"},
+      {"FF017", kErr, "spec-output-unknown-node", "output references an undeclared call node"},
+      {"FF018", kErr, "spec-output-unknown-column", "output references a column the node does not produce"},
+      {"FF019", kErr, "spec-join-unknown-node", "join references an undeclared call node"},
+      {"FF020", kErr, "spec-join-unknown-column", "join references a column the node does not produce"},
+      {"FF021", kErr, "spec-arg-type-mismatch", "argument type cannot satisfy the local parameter"},
+      {"FF022", kErr, "spec-join-type-mismatch", "join compares columns of different types"},
+      {"FF023", kErr, "spec-duplicate-output", "duplicate federated output name"},
+      // Spec warnings (FF050..FF069).
+      {"FF050", kWarn, "spec-unused-param", "declared federated parameter is never consumed"},
+      {"FF051", kWarn, "spec-dead-node", "call node feeds neither outputs nor other nodes"},
+      {"FF052", kWarn, "spec-lossy-coercion", "argument coercion may lose precision"},
+      {"FF053", kWarn, "spec-loop-param-not-integer", "loop count parameter is not an integer"},
+      // Classification consistency (FF070..FF099).
+      {"FF070", kErr, "spec-classification-inconsistent", "spec-level and plan-level classifiers disagree"},
+      // Workflow errors (FF100..FF149).
+      {"FF100", kErr, "wf-no-name", "process has no name"},
+      {"FF101", kErr, "wf-no-activities", "process declares no activities"},
+      {"FF102", kErr, "wf-duplicate-activity", "duplicate activity name"},
+      {"FF103", kErr, "wf-unknown-output-activity", "process output references an unknown activity"},
+      {"FF104", kErr, "wf-unknown-connector-endpoint", "control connector references an unknown activity"},
+      {"FF105", kErr, "wf-self-loop-connector", "control connector loops an activity onto itself"},
+      {"FF106", kErr, "wf-control-cycle", "control connectors form a cycle"},
+      {"FF107", kErr, "wf-program-incomplete", "program activity misses system or function"},
+      {"FF108", kErr, "wf-unknown-system", "program activity targets an unregistered system"},
+      {"FF109", kErr, "wf-unknown-function", "program activity targets a function the system does not export"},
+      {"FF110", kErr, "wf-input-arity-mismatch", "activity input count differs from the signature"},
+      {"FF111", kErr, "wf-input-type-mismatch", "activity input type cannot satisfy the signature"},
+      {"FF112", kErr, "wf-unknown-process-input", "activity consumes an undeclared process input"},
+      {"FF113", kErr, "wf-source-cannot-precede", "data connector source cannot run before its sink"},
+      {"FF114", kErr, "wf-helper-unnamed", "helper activity has no helper function"},
+      {"FF115", kErr, "wf-block-without-sub", "block activity has no sub-process"},
+      {"FF116", kErr, "wf-block-arity-mismatch", "block input count differs from its sub-process"},
+      {"FF117", kErr, "wf-bad-max-iterations", "block declares a non-positive iteration bound"},
+      {"FF118", kErr, "wf-self-input", "activity consumes its own output"},
+      {"FF119", kErr, "wf-source-unknown-column", "data connector selects a column the source lacks"},
+      {"FF120", kErr, "wf-source-unknown-activity", "data connector references an unknown activity"},
+      // Workflow warnings (FF150..FF199).
+      {"FF150", kWarn, "wf-dead-activity", "activity result is never consumed"},
+      {"FF151", kWarn, "wf-constant-false-condition", "transition condition is constantly false"},
+      {"FF152", kWarn, "wf-contradictory-fork", "fork conditions cannot all be satisfied"},
+      {"FF153", kWarn, "wf-unused-process-input", "process input is never consumed"},
+      // SQL errors (FF200..FF249).
+      {"FF200", kErr, "sql-parse-error", "generated I-UDTF SQL does not parse"},
+      {"FF201", kErr, "sql-not-create-function", "statement is not CREATE FUNCTION"},
+      {"FF202", kErr, "sql-unknown-table-function", "body references an unregistered table function"},
+      {"FF203", kErr, "sql-lateral-forward-ref", "lateral reference points at a later FROM item"},
+      {"FF204", kErr, "sql-lateral-unknown-column", "lateral reference selects a column the item lacks"},
+      {"FF205", kErr, "sql-unknown-ref", "body references an unknown column or alias"},
+      {"FF206", kErr, "sql-duplicate-alias", "duplicate correlation alias"},
+      {"FF207", kErr, "sql-returns-arity-mismatch", "RETURNS arity differs from the SELECT list"},
+      {"FF208", kErr, "sql-unknown-param", "body references an undeclared function parameter"},
+      {"FF209", kErr, "sql-arg-arity-mismatch", "table-function call arity differs from its signature"},
+      // SQL warnings (FF250..FF299).
+      {"FF250", kWarn, "sql-return-type-mismatch", "RETURNS column type differs from the SELECT list"},
+      {"FF251", kWarn, "sql-arg-type-mismatch", "table-function argument type differs from its signature"},
+      // Plan consistency errors (FF300..FF309).
+      {"FF300", kErr, "plan-call-set-mismatch", "lowering calls a different set of local functions than the plan"},
+      {"FF301", kErr, "plan-ordering-violation", "lowering violates the plan's dependency order"},
+      {"FF302", kErr, "plan-classification-drift", "plan and lowering disagree on the mapping class"},
+      {"FF303", kErr, "plan-predicate-misplaced", "sunk predicate evaluated at the wrong node"},
+      {"FF304", kErr, "plan-compile-failed", "spec does not compile into a federated plan"},
+      // Plan deployment warnings (FF310..FF349).
+      {"FF310", kWarn, "plan-pool-serialized", "parallel plan over a single-controller pool serializes"},
+      // Dataflow: schema/type inference (FF400..FF409).
+      {"FF400", kErr, "df-cast-never-succeeds", "output cast can never succeed for any value"},
+      {"FF401", kWarn, "df-cast-value-dependent", "output cast succeeds only for some runtime values"},
+      {"FF402", kWarn, "df-cast-narrowing", "output cast narrows and may lose precision"},
+      {"FF403", kErr, "df-result-schema-drift", "inferred result schema differs from the compiled plan"},
+      // Dataflow: interval cardinality (FF410..FF419).
+      {"FF410", kWarn, "df-unbounded-invocations", "an unbounded factor makes invocation counts unbounded"},
+      {"FF411", kErr, "df-invocation-explosion", "two or more unbounded factors multiply invocation counts"},
+      {"FF412", kErr, "df-scalar-of-multi-row", "scalar argument consumes a node that can return many rows"},
+      {"FF413", kErr, "df-unbounded-loop-union", "union-all loop accumulates an unbounded body"},
+      // Dataflow: virtual-time budget (FF420..FF429).
+      {"FF420", kErr, "df-deadline-infeasible", "hot critical path exceeds the modeled deadline"},
+      {"FF421", kErr, "df-retry-schedule-infeasible", "retry backoff schedule exceeds its own deadline"},
+      {"FF422", kWarn, "df-cold-start-over-deadline", "cold-start worst case exceeds the modeled deadline"},
+      // Dataflow: tenant-flow taint (FF430..FF449).
+      {"FF430", kWarn, "df-shared-lease-flow", "results flow across unquotaed shared-pool leases"},
+      {"FF431", kErr, "df-stage-over-tenant-quota", "parallel stage is wider than the per-tenant quota"},
+  };
+}
+
+}  // namespace
+
+const std::vector<CodeInfo>& AllDiagnosticCodes() {
+  static const std::vector<CodeInfo>* kCodes =
+      new std::vector<CodeInfo>(BuildRegistry());
+  return *kCodes;
+}
+
+const std::vector<CodeBand>& DiagnosticCodeBands() {
+  static const std::vector<CodeBand>* kBands = new std::vector<CodeBand>{
+      {1, 99, "spec"},
+      {100, 199, "workflow"},
+      {200, 299, "sql"},
+      {300, 349, "plan"},
+      {400, 449, "dataflow"},
+  };
+  return *kBands;
+}
+
+const CodeInfo* FindDiagnosticCode(const std::string& code) {
+  for (const CodeInfo& info : AllDiagnosticCodes()) {
+    if (info.code == code) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace fedflow::analysis

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/dataflow/dataflow_lint.h"
 #include "analysis/spec_lint.h"
 
 namespace fedflow::analysis {
@@ -123,6 +124,145 @@ std::vector<CorpusEntry> MalformedSpecCorpus() {
         SpecOutput{"SupplierNo", "GSN", "SupplierNo", DataType::kNull}};
     corpus.push_back(CorpusEntry{"dead-node", kSpecDeadNode,
                                  "spec:DeadNode/node:GR", std::move(spec)});
+  }
+
+  return corpus;
+}
+
+std::vector<SemanticCorpusEntry> SemanticSpecCorpus() {
+  std::vector<SemanticCorpusEntry> corpus;
+
+  {
+    // VARCHAR -> BOOL goes through ToInt64, which rejects every string: the
+    // cast is well-formed syntactically but can never succeed at runtime.
+    SemanticCorpusEntry entry;
+    entry.name = "cast-never-succeeds";
+    entry.expected_code = kDfCastNeverSucceeds;
+    entry.expected_location = "spec:CastNever/output:Reliable";
+    entry.spec.name = "CastNever";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt}};
+    entry.spec.calls = {SpecCall{"GSN", "purchasing", "GetSupplierName",
+                                 {SpecArg::Param("SupplierNo")}}};
+    entry.spec.outputs = {
+        SpecOutput{"Reliable", "GSN", "SupplierName", DataType::kBool}};
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // Two unbounded set-returners precede GSN in the lateral order, so the
+    // nest-loop lowerings invoke it rows(GSC) x rows(GCS) times — a product
+    // of two unbounded factors.
+    SemanticCorpusEntry entry;
+    entry.name = "invocation-explosion";
+    entry.expected_code = kDfInvocationExplosion;
+    entry.expected_location = "spec:Explosion/node:GSN";
+    entry.spec.name = "Explosion";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt},
+                         Column{"Discount", DataType::kInt}};
+    entry.spec.calls = {
+        SpecCall{"GSC", "stock", "GetSuppComps",
+                 {SpecArg::Param("SupplierNo")}},
+        SpecCall{"GCS", "purchasing", "GetCompSupp4Discount",
+                 {SpecArg::Param("Discount")}},
+        SpecCall{"GSN", "purchasing", "GetSupplierName",
+                 {SpecArg::Param("SupplierNo")}}};
+    entry.spec.outputs = {
+        SpecOutput{"CompNo", "GSC", "CompNo", DataType::kNull},
+        SpecOutput{"DiscComp", "GCS", "CompNo", DataType::kNull},
+        SpecOutput{"SupplierName", "GSN", "SupplierName", DataType::kNull}};
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // GetCompName takes one CompNo, but GSC's row contract is [0, inf): the
+    // WfMS activity rejects multi-row inputs while the lateral lowerings
+    // nest-loop over them, so the couplings diverge.
+    SemanticCorpusEntry entry;
+    entry.name = "scalar-of-multi-row";
+    entry.expected_code = kDfScalarOfMultiRow;
+    entry.expected_location = "spec:ScalarOfSet/node:GCN/arg:1";
+    entry.spec.name = "ScalarOfSet";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt}};
+    entry.spec.calls = {
+        SpecCall{"GSC", "stock", "GetSuppComps",
+                 {SpecArg::Param("SupplierNo")}},
+        SpecCall{"GCN", "pdm", "GetCompName",
+                 {SpecArg::NodeColumn("GSC", "CompNo")}}};
+    entry.spec.outputs = {
+        SpecOutput{"CompName", "GCN", "CompName", DataType::kNull}};
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // A union-all do-until whose body is an unbounded set-returner
+    // accumulates rows without bound across iterations.
+    SemanticCorpusEntry entry;
+    entry.name = "unbounded-loop-union";
+    entry.expected_code = kDfUnboundedLoopUnion;
+    entry.expected_location = "spec:UnboundedUnion/loop";
+    entry.spec.name = "UnboundedUnion";
+    entry.spec.params = {Column{"N", DataType::kInt}};
+    entry.spec.calls = {SpecCall{"GSUB", "pdm", "GetSubCompNo",
+                                 {SpecArg::Param("ITERATION")}}};
+    entry.spec.outputs = {
+        SpecOutput{"SubCompNo", "GSUB", "SubCompNo", DataType::kNull}};
+    entry.spec.loop.enabled = true;
+    entry.spec.loop.count_param = "N";
+    entry.spec.loop.union_all = true;
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // Even the cheapest supported lowering of a single-call plan costs
+    // thousands of modeled microseconds; a 1000us deadline is infeasible
+    // fully warm.
+    SemanticCorpusEntry entry;
+    entry.name = "deadline-infeasible";
+    entry.expected_code = kDfDeadlineInfeasible;
+    entry.expected_location = "spec:DeadlineMiss/deadline";
+    entry.spec.name = "DeadlineMiss";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt}};
+    entry.spec.calls = {SpecCall{"GQ", "stock", "GetQuality",
+                                 {SpecArg::Param("SupplierNo")}}};
+    entry.spec.outputs = {SpecOutput{"Qual", "GQ", "Qual", DataType::kNull}};
+    entry.deadline_us = 1000;
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // Backoff before attempts 2 and 3 sums to 30000us, more than the retry
+    // policy's own 20000us per-call deadline: the last attempt can never run.
+    SemanticCorpusEntry entry;
+    entry.name = "retry-schedule-infeasible";
+    entry.expected_code = kDfRetryScheduleInfeasible;
+    entry.expected_location = "spec:RetryInfeasible/retry";
+    entry.spec.name = "RetryInfeasible";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt}};
+    entry.spec.calls = {SpecCall{"GQ", "stock", "GetQuality",
+                                 {SpecArg::Param("SupplierNo")}}};
+    entry.spec.outputs = {SpecOutput{"Qual", "GQ", "Qual", DataType::kNull}};
+    entry.retry.max_attempts = 3;
+    entry.retry.initial_backoff_us = 10000;
+    entry.retry.backoff_multiplier = 2;
+    entry.retry.deadline_us = 20000;
+    corpus.push_back(std::move(entry));
+  }
+  {
+    // GQ and GR are independent, so the parallelize pass puts them in one
+    // 2-wide stage — wider than the single lease the tenant quota admits.
+    SemanticCorpusEntry entry;
+    entry.name = "stage-over-tenant-quota";
+    entry.expected_code = kDfStageOverTenantQuota;
+    entry.expected_location = "spec:QuotaOverflow/stage:1";
+    entry.spec.name = "QuotaOverflow";
+    entry.spec.params = {Column{"SupplierNo", DataType::kInt}};
+    entry.spec.calls = {
+        SpecCall{"GQ", "stock", "GetQuality", {SpecArg::Param("SupplierNo")}},
+        SpecCall{"GR", "purchasing", "GetReliability",
+                 {SpecArg::Param("SupplierNo")}},
+        SpecCall{"GG", "purchasing", "GetGrade",
+                 {SpecArg::NodeColumn("GQ", "Qual"),
+                  SpecArg::NodeColumn("GR", "Relia")}}};
+    entry.spec.outputs = {SpecOutput{"Grade", "GG", "Grade", DataType::kNull}};
+    entry.pool_max_size = 4;
+    entry.per_tenant_quota = 1;
+    entry.parallelize = true;
+    corpus.push_back(std::move(entry));
   }
 
   return corpus;

@@ -1,0 +1,44 @@
+// Virtual-time budget analysis (FF420..FF429): folds the static cost model
+// (plan::EstimatePlan, the same LatencyModel the runtime charges) through
+// the plan and judges the result against a modeled per-call deadline — the
+// hot critical path of the cheapest supported lowering must fit (FF420), the
+// cold-start worst case should (FF422), and a configured retry policy's
+// backoff schedule must fit inside its own deadline (FF421).
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_BUDGET_ANALYSIS_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_BUDGET_ANALYSIS_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/vclock.h"
+#include "federation/spec.h"
+#include "plan/fed_plan.h"
+#include "sim/fault.h"
+#include "sim/latency.h"
+
+namespace fedflow::analysis::dataflow {
+
+struct BudgetAnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Modeled hot-path elapsed time per lowering (one loop iteration; base
+  /// costs only, like plan::EstimatePlan).
+  VDuration hot_wfms_us = 0;
+  VDuration hot_udtf_us = 0;
+  /// Warm-up surcharge of the cold-start worst case.
+  VDuration cold_surcharge_us = 0;
+  /// Total backoff the retry policy can charge (attempts 2..max_attempts).
+  VDuration backoff_total_us = 0;
+};
+
+/// Runs the budget analysis. `deadline_us` 0 disables the FF420/FF422
+/// deadline checks; a disabled retry policy (max_attempts <= 1 or no
+/// deadline) disables FF421.
+BudgetAnalysisResult AnalyzeBudget(const plan::FedPlan& plan,
+                                   const federation::FederatedFunctionSpec& spec,
+                                   const sim::LatencyModel& model,
+                                   VDuration deadline_us,
+                                   const sim::RetryPolicy& retry);
+
+}  // namespace fedflow::analysis::dataflow
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_BUDGET_ANALYSIS_H_

@@ -1,0 +1,239 @@
+#include "analysis/dataflow/cardinality_analysis.h"
+
+#include "analysis/dataflow/dataflow_lint.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fedflow::analysis::dataflow {
+
+namespace {
+
+using federation::SpecArg;
+using federation::SpecCall;
+using federation::SpecJoin;
+
+/// Declared row contract of the node's local function; [1, 1] when the
+/// function cannot be resolved (spec lint already errored).
+Interval RowContract(const plan::PlanCall& call,
+                     const appsys::AppSystemRegistry& systems) {
+  Result<appsys::AppSystem*> sys = systems.Get(call.system);
+  if (!sys.ok()) return Interval::Exact(1);
+  Result<const appsys::LocalFunction*> fn = (*sys)->GetFunction(call.function);
+  if (!fn.ok()) return Interval::Exact(1);
+  if ((*fn)->max_rows == appsys::kUnboundedRows) {
+    return Interval::AtLeast((*fn)->min_rows);
+  }
+  return Interval::Of((*fn)->min_rows, (*fn)->max_rows);
+}
+
+/// The lattice over the lateral chain: the state after position k is the
+/// row interval of the lateral product of positions 0..k (one loop
+/// iteration). Bottom is "no fact yet" so the hull join never pulls a real
+/// bound toward zero.
+struct ChainState {
+  bool defined = false;
+  Interval product;
+};
+
+class ChainLattice {
+ public:
+  using State = ChainState;
+
+  ChainLattice(std::vector<Interval> rows, std::vector<bool> filtered)
+      : rows_(std::move(rows)), filtered_(std::move(filtered)) {}
+
+  State Initial(size_t) { return ChainState{}; }
+
+  State Transfer(size_t pos, const std::vector<const State*>& pred_outs) {
+    Interval in = Interval::Exact(1);
+    for (const State* p : pred_outs) {
+      if (p->defined) in = p->product;
+    }
+    ChainState out;
+    out.defined = true;
+    out.product = in.Mul(rows_[pos]);
+    if (filtered_[pos]) out.product.min = 0;  // a filter can drop every row
+    return out;
+  }
+
+  bool Join(State* into, const State& from) {
+    if (!from.defined) return false;
+    if (!into->defined) {
+      *into = from;
+      return true;
+    }
+    Interval hull = into->product.Join(from.product);
+    if (hull == into->product) return false;
+    into->product = hull;
+    return true;
+  }
+
+  void Widen(State* into, const State& previous) {
+    if (into->defined && previous.defined) {
+      into->product = previous.product.Widen(into->product);
+    }
+  }
+
+ private:
+  std::vector<Interval> rows_;
+  std::vector<bool> filtered_;
+};
+
+std::string NodeLoc(const std::string& spec_name, const std::string& id) {
+  return "spec:" + spec_name + "/node:" + id;
+}
+
+}  // namespace
+
+CardinalityAnalysisResult AnalyzeCardinality(
+    const PlanGraph& graph, const federation::FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems,
+    std::optional<std::int64_t> concrete_loop_count) {
+  CardinalityAnalysisResult result;
+  const plan::FedPlan& plan = *graph.plan;
+  const size_t n = plan.calls.size();
+
+  result.iterations = Interval::Exact(1);
+  if (plan.loop.enabled) {
+    // A do-until loop runs at least once; the count parameter is operator
+    // supplied, so the static bound is open above. This is NOT a data-driven
+    // unbounded factor — FF410/FF411 count row sources only.
+    result.iterations = concrete_loop_count.has_value()
+                            ? Interval::Exact(std::max<std::int64_t>(
+                                  1, *concrete_loop_count))
+                            : Interval::AtLeast(1);
+  }
+
+  // Per-position facts along the lateral order.
+  std::vector<Interval> rows_by_pos(n, Interval::Exact(1));
+  std::vector<bool> filtered(n, false);
+  for (size_t k = 0; k < n; ++k) {
+    const plan::PlanCall& call = plan.calls[graph.order[k]];
+    rows_by_pos[k] = RowContract(call, systems);
+    filtered[k] = !call.predicates.empty();
+  }
+  // A join filters at its LATER lateral position (where the executor's
+  // dynamic pushdown applies the conjunct).
+  for (const SpecJoin& join : plan.joins) {
+    Result<size_t> left = plan.CallIndex(join.left_node);
+    Result<size_t> right = plan.CallIndex(join.right_node);
+    if (!left.ok() || !right.ok()) continue;
+    for (size_t k = n; k-- > 0;) {
+      if (graph.order[k] == *left || graph.order[k] == *right) {
+        filtered[k] = true;
+        break;
+      }
+    }
+  }
+
+  // Solve the chain: position k's state = product rows of positions 0..k.
+  Graph chain;
+  chain.preds.resize(n);
+  chain.succs.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    chain.order.push_back(k);
+    if (k > 0) {
+      chain.preds[k].push_back(k - 1);
+      chain.succs[k - 1].push_back(k);
+    }
+  }
+  ChainLattice lattice(rows_by_pos, filtered);
+  WorklistSolver<ChainLattice> solver;
+  std::vector<ChainState> states = solver.Solve(&lattice, chain);
+
+  result.nodes.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    size_t node = graph.order[k];
+    NodeCardinality& card = result.nodes[node];
+    card.rows = rows_by_pos[k];
+    // Inflow = the product BEFORE this position: the nest-loop lowerings
+    // invoke the position once per row of it; the WfMS process runs the
+    // activity exactly once. Both scale with the loop iterations.
+    Interval inflow = k == 0 ? Interval::Exact(1) : states[k - 1].product;
+    card.invocations_udtf = inflow.Mul(result.iterations);
+    card.invocations_wfms = Interval::Exact(1).Mul(result.iterations);
+    for (size_t j = 0; j < k; ++j) {
+      if (rows_by_pos[j].unbounded()) ++card.unbounded_factors;
+    }
+  }
+
+  Interval per_iteration =
+      n == 0 ? Interval::Exact(0) : states[n - 1].product;
+  Interval total = spec.loop.enabled && !spec.loop.union_all
+                       ? per_iteration  // keep-last loop: one iteration's rows
+                       : per_iteration.Mul(result.iterations);
+  result.result_rows_wfms = total;
+  result.result_rows_udtf = total;
+
+  // FF410/FF411: one finding per spec, the worst explosion degree at its
+  // earliest lateral position.
+  size_t worst_node = n;
+  int worst_factors = 0;
+  for (size_t k = 0; k < n; ++k) {
+    size_t node = graph.order[k];
+    int factors = result.nodes[node].unbounded_factors;
+    if (factors > worst_factors) {
+      worst_factors = factors;
+      worst_node = node;
+    }
+  }
+  if (worst_node < n) {
+    const std::string& id = plan.calls[worst_node].id;
+    if (worst_factors >= 2) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kDfInvocationExplosion, NodeLoc(spec.name, id),
+          "invocation count multiplies " + std::to_string(worst_factors) +
+              " unbounded row sources under the nest-loop lowerings",
+          "the lateral product has no polynomial bound; restructure the "
+          "mapping or bound the set-returning calls"});
+    } else {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, kDfUnboundedInvocations, NodeLoc(spec.name, id),
+          "invocation count is unbounded under the nest-loop lowerings "
+          "(one unbounded preceding row source)",
+          "each row of the preceding set-returner triggers one invocation"});
+    }
+  }
+
+  // FF412: a multi-row result consumed as a scalar argument. The lowerings
+  // disagree here — the WfMS activity rejects inputs with more than one row
+  // while the lateral lowerings nest-loop over them.
+  for (const SpecCall& call : spec.calls) {
+    for (size_t a = 0; a < call.args.size(); ++a) {
+      const SpecArg& arg = call.args[a];
+      if (arg.kind != SpecArg::Kind::kNodeColumn) continue;
+      Result<size_t> source = plan.CallIndex(arg.node);
+      if (!source.ok()) continue;
+      const Interval& rows = result.nodes[*source].rows;
+      if (rows.unbounded() || rows.max > 1) {
+        result.diagnostics.push_back(Diagnostic{
+            Severity::kError, kDfScalarOfMultiRow,
+            NodeLoc(spec.name, call.id) + "/arg:" + std::to_string(a + 1),
+            "scalar argument consumes node '" + arg.node +
+                "', whose row contract " + rows.ToString() +
+                " allows more than one row",
+            "the WfMS activity rejects multi-row inputs while the lateral "
+            "lowerings nest-loop over them — the couplings would diverge"});
+      }
+    }
+  }
+
+  // FF413: a union-all do-until over an unbounded body accumulates without
+  // bound.
+  if (spec.loop.enabled && spec.loop.union_all && per_iteration.unbounded()) {
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kError, kDfUnboundedLoopUnion, "spec:" + spec.name + "/loop",
+        "do-until loop unions an unbounded per-iteration result " +
+            per_iteration.ToString(),
+        "bound the set-returning calls in the loop body or keep only the "
+        "last iteration"});
+  }
+
+  return result;
+}
+
+}  // namespace fedflow::analysis::dataflow

@@ -1,0 +1,49 @@
+// Interval cardinality analysis over the plan graph (FF410..FF419): bounds
+// the rows each call produces per invocation (from the local functions'
+// declared row contracts) and folds them into per-node invocation-count
+// intervals per lowering. The WfMS process runs every activity exactly once
+// per loop iteration; the nest-loop lateral lowerings (SQL and Java I-UDTF)
+// invoke a lateral position once per row of the preceding product — which is
+// where invocation counts can explode (FF410/FF411). Also flags scalar
+// consumption of multi-row results (FF412, where the lowerings' semantics
+// diverge) and unbounded do-until accumulation (FF413).
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_CARDINALITY_ANALYSIS_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_CARDINALITY_ANALYSIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/dataflow/dataflow_lint.h"
+#include "analysis/dataflow/framework.h"
+#include "analysis/dataflow/interval.h"
+#include "analysis/diagnostic.h"
+#include "appsys/registry.h"
+#include "federation/spec.h"
+
+namespace fedflow::analysis::dataflow {
+
+struct CardinalityAnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Per call node, indexed like FedPlan::calls.
+  std::vector<NodeCardinality> nodes;
+  /// Loop iterations ([1, 1] without a loop; [1, inf) for a parameter-driven
+  /// loop unless a concrete count is supplied).
+  Interval iterations;
+  /// Federated result-row interval per lowering (joins/predicates make the
+  /// lower bound 0 — filters can drop every row).
+  Interval result_rows_wfms;
+  Interval result_rows_udtf;
+};
+
+/// Runs the cardinality analysis. `concrete_loop_count` binds the loop's
+/// count parameter when the caller knows the argument value (fuzzer oracle
+/// mode).
+CardinalityAnalysisResult AnalyzeCardinality(
+    const PlanGraph& graph, const federation::FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems,
+    std::optional<std::int64_t> concrete_loop_count = std::nullopt);
+
+}  // namespace fedflow::analysis::dataflow
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_CARDINALITY_ANALYSIS_H_

@@ -1,0 +1,82 @@
+#include "analysis/dataflow/dataflow_lint.h"
+
+#include <utility>
+
+#include "analysis/dataflow/budget_analysis.h"
+#include "analysis/dataflow/cardinality_analysis.h"
+#include "analysis/dataflow/framework.h"
+#include "analysis/dataflow/schema_analysis.h"
+#include "analysis/dataflow/taint_analysis.h"
+#include "plan/fed_plan.h"
+#include "plan/optimizer.h"
+
+namespace fedflow::analysis {
+
+Result<DataflowResult> RunDataflow(
+    const federation::FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems, const sim::LatencyModel& model,
+    const DataflowOptions& options) {
+  // All value-level analyses run over the passthrough plan — the optimizer
+  // passes reshape schedules, never schemas or cardinalities. Only the
+  // taint pass looks at the (possibly parallelized) stage structure.
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan passthrough,
+                           plan::CompilePlan(spec, systems));
+  dataflow::PlanGraph graph = dataflow::PlanGraph::Build(passthrough);
+
+  DataflowResult result;
+
+  dataflow::SchemaAnalysisResult schema = dataflow::AnalyzeSchema(graph, spec);
+  result.inferred_result_schema = std::move(schema.inferred_result_schema);
+  for (Diagnostic& d : schema.diagnostics) {
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  dataflow::CardinalityAnalysisResult cards = dataflow::AnalyzeCardinality(
+      graph, spec, systems, options.concrete_loop_count);
+  result.cards = std::move(cards.nodes);
+  result.iterations = cards.iterations;
+  result.result_rows_wfms = cards.result_rows_wfms;
+  result.result_rows_udtf = cards.result_rows_udtf;
+  result.call_ids.reserve(passthrough.calls.size());
+  for (const plan::PlanCall& call : passthrough.calls) {
+    result.call_ids.push_back(call.id);
+  }
+  for (Diagnostic& d : cards.diagnostics) {
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  dataflow::BudgetAnalysisResult budget = dataflow::AnalyzeBudget(
+      passthrough, spec, model, options.deadline_us, options.retry);
+  result.hot_wfms_us = budget.hot_wfms_us;
+  result.hot_udtf_us = budget.hot_udtf_us;
+  for (Diagnostic& d : budget.diagnostics) {
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  // The taint pass judges the stage structure the deployment will actually
+  // run: the parallelized plan when registration requests the pass.
+  if (options.parallelize) {
+    plan::PlanOptions plan_options;
+    plan_options.parallelize = true;
+    FEDFLOW_ASSIGN_OR_RETURN(
+        plan::FedPlan parallel,
+        plan::BuildPlan(spec, systems, model, plan_options));
+    dataflow::PlanGraph parallel_graph = dataflow::PlanGraph::Build(parallel);
+    dataflow::TaintAnalysisResult taint = dataflow::AnalyzeTaint(
+        parallel_graph, spec, options.pool_max_size, options.per_tenant_quota,
+        /*parallelize=*/true);
+    for (Diagnostic& d : taint.diagnostics) {
+      result.diagnostics.push_back(std::move(d));
+    }
+  } else {
+    dataflow::TaintAnalysisResult taint = dataflow::AnalyzeTaint(
+        graph, spec, options.pool_max_size, options.per_tenant_quota,
+        /*parallelize=*/false);
+    for (Diagnostic& d : taint.diagnostics) {
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+}  // namespace fedflow::analysis

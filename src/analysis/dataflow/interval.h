@@ -1,0 +1,108 @@
+// The interval lattice for the cardinality analysis: closed integer
+// intervals [min, max] with an "unbounded above" top element, ordered by
+// inclusion. Arithmetic saturates instead of overflowing, Join is the convex
+// hull, and Widen jumps straight to a bound's extreme when an iteration grew
+// it — the classical termination device for the do-until back edge.
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_INTERVAL_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace fedflow::analysis::dataflow {
+
+/// A row-count interval [min, max]; max == kUnbounded means "no upper
+/// bound". min is always finite and >= 0.
+struct Interval {
+  /// Sentinel for "no upper bound" (only valid in `max`).
+  static constexpr int64_t kUnbounded = -1;
+
+  int64_t min = 0;
+  int64_t max = 0;
+
+  static Interval Exact(int64_t n) { return Interval{n, n}; }
+  static Interval Of(int64_t lo, int64_t hi) { return Interval{lo, hi}; }
+  static Interval AtLeast(int64_t lo) { return Interval{lo, kUnbounded}; }
+
+  bool unbounded() const { return max == kUnbounded; }
+
+  bool Contains(int64_t n) const {
+    return n >= min && (unbounded() || n <= max);
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+
+  /// [a,b] + [c,d] = [a+c, b+d], unbounded-absorbing.
+  Interval Add(const Interval& other) const {
+    Interval out;
+    out.min = SatAdd(min, other.min);
+    out.max = (unbounded() || other.unbounded())
+                  ? kUnbounded
+                  : SatAdd(max, other.max);
+    return out;
+  }
+
+  /// [a,b] * [c,d] = [a*c, b*d]; an unbounded factor keeps the product
+  /// unbounded unless the other bound is exactly zero.
+  Interval Mul(const Interval& other) const {
+    Interval out;
+    out.min = SatMul(min, other.min);
+    if ((unbounded() && other.max != 0) || (other.unbounded() && max != 0)) {
+      out.max = kUnbounded;
+    } else if (unbounded() || other.unbounded()) {
+      out.max = 0;  // [_, inf) * [_, 0] — the zero annihilates
+    } else {
+      out.max = SatMul(max, other.max);
+    }
+    return out;
+  }
+
+  /// Convex hull (lattice join).
+  Interval Join(const Interval& other) const {
+    Interval out;
+    out.min = std::min(min, other.min);
+    out.max = (unbounded() || other.unbounded()) ? kUnbounded
+                                                 : std::max(max, other.max);
+    return out;
+  }
+
+  /// Standard interval widening: a bound that moved between `this` (the
+  /// previous state) and `newer` jumps to its extreme, so ascending chains
+  /// along the loop back edge stabilize in one step.
+  Interval Widen(const Interval& newer) const {
+    Interval out;
+    out.min = newer.min < min ? 0 : min;
+    out.max = (unbounded() || (!newer.unbounded() && newer.max <= max))
+                  ? max
+                  : kUnbounded;
+    return out;
+  }
+
+  /// "[2, 5]" or "[0, inf)".
+  std::string ToString() const {
+    std::string out = "[" + std::to_string(min) + ", ";
+    out += unbounded() ? "inf)" : std::to_string(max) + "]";
+    return out;
+  }
+
+ private:
+  /// Saturating helpers: row counts never get near INT64_MAX legitimately,
+  /// so saturation at kSaturation doubles as an overflow guard.
+  static constexpr int64_t kSaturation = int64_t{1} << 60;
+
+  static int64_t SatAdd(int64_t a, int64_t b) {
+    return (a > kSaturation - b) ? kSaturation : a + b;
+  }
+  static int64_t SatMul(int64_t a, int64_t b) {
+    if (a == 0 || b == 0) return 0;
+    if (a > kSaturation / b) return kSaturation;
+    return a * b;
+  }
+};
+
+}  // namespace fedflow::analysis::dataflow
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_INTERVAL_H_

@@ -1,0 +1,143 @@
+#include "analysis/dataflow/schema_analysis.h"
+
+#include "analysis/dataflow/dataflow_lint.h"
+
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fedflow::analysis::dataflow {
+
+namespace {
+
+using federation::SpecOutput;
+
+/// The schema lattice: bottom = no columns known yet, one ascending step to
+/// the node's resolved signature. Transfer is constant per node (a call's
+/// result schema is fixed by its local function), so the solver converges in
+/// one sweep; the value of running it through the framework is the shared
+/// fixpoint/widening discipline with the interval analysis on looping plans.
+class SchemaLattice {
+ public:
+  using State = Schema;
+
+  explicit SchemaLattice(const PlanGraph& graph) : graph_(graph) {}
+
+  State Initial(size_t) { return Schema(); }
+
+  State Transfer(size_t node, const std::vector<const State*>&) {
+    return graph_.plan->calls[node].result_schema;
+  }
+
+  bool Join(State* into, const State& from) {
+    if (*into == from) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(State*, const State&) {}  // finite lattice: join suffices
+
+ private:
+  const PlanGraph& graph_;
+};
+
+std::string OutputLoc(const std::string& spec_name, const SpecOutput& out) {
+  return "spec:" + spec_name + "/output:" + out.name;
+}
+
+}  // namespace
+
+CastFeasibility ClassifyCast(DataType from, DataType to) {
+  if (from == to || from == DataType::kNull) return CastFeasibility::kAlways;
+  switch (to) {
+    case DataType::kNull:
+      return CastFeasibility::kNever;  // CastTo rejects a NULL target
+    case DataType::kBool:
+      // Via ToInt64: every numeric converts; VARCHAR never does.
+      return from == DataType::kVarchar ? CastFeasibility::kNever
+                                        : CastFeasibility::kAlways;
+    case DataType::kInt:
+      if (from == DataType::kVarchar) return CastFeasibility::kValueDependent;
+      if (from == DataType::kBool) return CastFeasibility::kAlways;
+      return CastFeasibility::kNarrowing;  // BIGINT/DOUBLE range-checked down
+    case DataType::kBigInt:
+      if (from == DataType::kVarchar) return CastFeasibility::kValueDependent;
+      if (from == DataType::kDouble) return CastFeasibility::kNarrowing;
+      return CastFeasibility::kAlways;
+    case DataType::kDouble:
+      return from == DataType::kVarchar ? CastFeasibility::kValueDependent
+                                        : CastFeasibility::kAlways;
+    case DataType::kVarchar:
+      return CastFeasibility::kAlways;  // ToString is total
+  }
+  return CastFeasibility::kNever;
+}
+
+SchemaAnalysisResult AnalyzeSchema(
+    const PlanGraph& graph, const federation::FederatedFunctionSpec& spec) {
+  SchemaAnalysisResult result;
+  const plan::FedPlan& plan = *graph.plan;
+
+  SchemaLattice lattice(graph);
+  WorklistSolver<SchemaLattice> solver;
+  result.node_schemas = solver.Solve(&lattice, graph);
+
+  for (const SpecOutput& out : spec.outputs) {
+    Result<size_t> node = plan.CallIndex(out.node);
+    if (!node.ok()) continue;  // FF017 territory; unreachable past spec lint
+    const Schema& schema = result.node_schemas[*node];
+    std::optional<size_t> col = schema.IndexOf(out.column);
+    if (!col.has_value()) continue;  // FF018 territory
+    DataType source = schema.column(*col).type;
+    DataType declared = source;
+
+    if (out.cast_to != DataType::kNull) {
+      declared = out.cast_to;
+      std::string cast_desc = std::string(DataTypeName(source)) + " -> " +
+                              DataTypeName(out.cast_to);
+      switch (ClassifyCast(source, out.cast_to)) {
+        case CastFeasibility::kAlways:
+          break;
+        case CastFeasibility::kValueDependent:
+          result.diagnostics.push_back(Diagnostic{
+              Severity::kWarning, kDfCastValueDependent,
+              OutputLoc(spec.name, out),
+              "output cast " + cast_desc + " depends on the runtime value",
+              "a non-numeric string aborts the federated call at runtime"});
+          break;
+        case CastFeasibility::kNarrowing:
+          result.diagnostics.push_back(Diagnostic{
+              Severity::kWarning, kDfCastNarrowing, OutputLoc(spec.name, out),
+              "output cast " + cast_desc + " narrows the inferred type",
+              "values outside the target range overflow or truncate"});
+          break;
+        case CastFeasibility::kNever:
+          result.diagnostics.push_back(Diagnostic{
+              Severity::kError, kDfCastNeverSucceeds,
+              OutputLoc(spec.name, out),
+              "output cast " + cast_desc + " can never succeed",
+              "Value::CastTo rejects every non-null " +
+                  std::string(DataTypeName(source)) + " here"});
+          break;
+      }
+    }
+    result.inferred_result_schema.AddColumn(out.name, declared);
+  }
+
+  // The honesty check: what we inferred must be what the compiler resolved.
+  // Column names compare case-sensitively via Schema::operator==, exactly
+  // like the lowerings compare result schemas.
+  if (!(result.inferred_result_schema == plan.result_schema)) {
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kError, kDfResultSchemaDrift, "spec:" + spec.name,
+        "inferred result schema (" + result.inferred_result_schema.ToString() +
+            ") disagrees with the compiled plan's (" +
+            plan.result_schema.ToString() + ")",
+        "schema inference and plan compilation diverged; one of them is "
+        "wrong"});
+  }
+  return result;
+}
+
+}  // namespace fedflow::analysis::dataflow

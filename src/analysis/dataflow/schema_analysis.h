@@ -1,0 +1,47 @@
+// Schema/type inference over the plan graph (FF400..FF409): propagates
+// column types from the local-function signatures through the call graph,
+// then judges every declared output cast by feasibility — impossible casts
+// are errors, value-dependent (parse) and narrowing casts are warnings —
+// and cross-checks the inferred federated result schema against the schema
+// the compiler resolved (the honesty check FF403).
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_SCHEMA_ANALYSIS_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_SCHEMA_ANALYSIS_H_
+
+#include <vector>
+
+#include "analysis/dataflow/framework.h"
+#include "analysis/diagnostic.h"
+#include "common/schema.h"
+#include "federation/spec.h"
+
+namespace fedflow::analysis::dataflow {
+
+/// Static feasibility of casting a value of `from` to `to`, mirroring
+/// Value::CastTo's runtime behavior.
+enum class CastFeasibility {
+  kAlways,          ///< succeeds for every value (widening, ToString, ...)
+  kValueDependent,  ///< may fail at runtime (VARCHAR parsed as a number)
+  kNarrowing,       ///< succeeds or overflows/truncates (BIGINT/DOUBLE down)
+  kNever,           ///< no value converts (VARCHAR -> BOOLEAN)
+};
+
+CastFeasibility ClassifyCast(DataType from, DataType to);
+
+struct SchemaAnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Column types of each node's result, by call index (the solver's
+  /// fixpoint states).
+  std::vector<Schema> node_schemas;
+  /// The federated result schema implied by the outputs over the inferred
+  /// node schemas, casts applied.
+  Schema inferred_result_schema;
+};
+
+/// Runs the schema analysis over `graph` (built from the spec's compiled
+/// plan).
+SchemaAnalysisResult AnalyzeSchema(const PlanGraph& graph,
+                                   const federation::FederatedFunctionSpec& spec);
+
+}  // namespace fedflow::analysis::dataflow
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_SCHEMA_ANALYSIS_H_

@@ -1,0 +1,132 @@
+#include "analysis/dataflow/taint_analysis.h"
+
+#include "analysis/dataflow/dataflow_lint.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strings.h"
+
+namespace fedflow::analysis::dataflow {
+
+namespace {
+
+using federation::SpecOutput;
+
+/// Backward reachability as a forward problem on the reversed graph: a node
+/// escapes when an output reads it or any of its (forward) successors
+/// escapes. State is a two-point lattice, so the solver's plain join
+/// converges without widening.
+class EscapeLattice {
+ public:
+  /// char, not bool: the solver hands out State* into a std::vector<State>,
+  /// and std::vector<bool>'s proxy references have no addresses.
+  using State = char;
+
+  explicit EscapeLattice(std::vector<bool> output_reads)
+      : output_reads_(std::move(output_reads)) {}
+
+  State Initial(size_t node) { return output_reads_[node] ? 1 : 0; }
+
+  State Transfer(size_t node, const std::vector<const State*>& pred_outs) {
+    char escapes = output_reads_[node] ? 1 : 0;
+    for (const State* p : pred_outs) {
+      if (*p != 0) escapes = 1;
+    }
+    return escapes;
+  }
+
+  bool Join(State* into, const State& from) {
+    if (*into != 0 || from == 0) return false;
+    *into = 1;
+    return true;
+  }
+
+  void Widen(State*, const State&) {}
+
+ private:
+  std::vector<bool> output_reads_;
+};
+
+}  // namespace
+
+TaintAnalysisResult AnalyzeTaint(const PlanGraph& graph,
+                                 const federation::FederatedFunctionSpec& spec,
+                                 std::size_t pool_max_size,
+                                 std::size_t per_tenant_quota,
+                                 bool parallelize) {
+  TaintAnalysisResult result;
+  const plan::FedPlan& plan = *graph.plan;
+  const size_t n = plan.calls.size();
+
+  std::vector<bool> output_reads(n, false);
+  for (const SpecOutput& out : spec.outputs) {
+    Result<size_t> node = plan.CallIndex(out.node);
+    if (node.ok()) output_reads[*node] = true;
+  }
+
+  // Reverse the graph: escape facts flow from consumers back to producers.
+  Graph reversed;
+  reversed.preds.resize(n);
+  reversed.succs.resize(n);
+  for (size_t node = 0; node < n; ++node) {
+    for (size_t succ : graph.succs[node]) {
+      reversed.preds[node].push_back(succ);
+      reversed.succs[succ].push_back(node);
+    }
+  }
+  for (size_t k = graph.order.size(); k-- > 0;) {
+    reversed.order.push_back(graph.order[k]);
+  }
+  EscapeLattice lattice(output_reads);
+  WorklistSolver<EscapeLattice> solver;
+  std::vector<char> states = solver.Solve(&lattice, reversed);
+  result.escapes.assign(states.begin(), states.end());
+
+  for (const std::vector<size_t>& stage : plan.stages) {
+    result.max_stage_width = std::max(result.max_stage_width, stage.size());
+  }
+
+  const bool shared_pool = pool_max_size > 1 && per_tenant_quota == 0;
+  if (shared_pool) {
+    // Report once per spec, at the first escaping output.
+    for (const SpecOutput& out : spec.outputs) {
+      Result<size_t> node = plan.CallIndex(out.node);
+      if (!node.ok() || !result.escapes[*node]) continue;
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, kDfSharedLeaseFlow,
+          "spec:" + spec.name + "/output:" + out.name,
+          "A-UDTF results flow into federated outputs through a shared "
+          "controller pool (" +
+              std::to_string(pool_max_size) +
+              " controllers, no per-tenant quota)",
+          "controllers and their warmth ledgers serve tenants back to back; "
+          "set ControllerPoolOptions::per_tenant_quota to scope leases"});
+      break;
+    }
+  }
+
+  if (parallelize && per_tenant_quota >= 1 &&
+      result.max_stage_width > per_tenant_quota) {
+    // Locate the widest stage for the report (1-based, like arg paths).
+    size_t stage_index = 0;
+    for (size_t s = 0; s < plan.stages.size(); ++s) {
+      if (plan.stages[s].size() == result.max_stage_width) {
+        stage_index = s + 1;
+        break;
+      }
+    }
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kError, kDfStageOverTenantQuota,
+        "spec:" + spec.name + "/stage:" + std::to_string(stage_index),
+        "parallel stage " + std::to_string(stage_index) + " is " +
+            std::to_string(result.max_stage_width) +
+            " calls wide but the per-tenant quota admits only " +
+            std::to_string(per_tenant_quota) + " concurrent lease(s)",
+        "one tenant's flows cannot execute the stage concurrently; raise "
+        "per_tenant_quota or drop the parallelize pass"});
+  }
+  return result;
+}
+
+}  // namespace fedflow::analysis::dataflow

@@ -1,0 +1,41 @@
+// Tenant-flow taint analysis (FF430..FF439): under a multi-tenant
+// deployment, every A-UDTF invocation of a flow runs on whichever pooled
+// controller the flow leased. With a shared pool (more than one controller,
+// no per-tenant quota) a controller — and its warmth ledger and connection
+// state — serves different tenants back to back, so results that flow from
+// call nodes into federated outputs cross tenant-scoped lease boundaries
+// (FF430). With a quota configured, a plan whose parallel stage is wider
+// than the quota cannot be admitted concurrently for one tenant (FF431).
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_TAINT_ANALYSIS_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_TAINT_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/dataflow/framework.h"
+#include "analysis/diagnostic.h"
+#include "federation/spec.h"
+
+namespace fedflow::analysis::dataflow {
+
+struct TaintAnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Per call node: reaches a federated output (directly or transitively),
+  /// i.e. its lease-scoped result escapes the flow.
+  std::vector<bool> escapes;
+  /// Widest parallel stage of the analyzed plan.
+  std::size_t max_stage_width = 0;
+};
+
+/// Runs the taint analysis over the plan in `graph`. `pool_max_size` /
+/// `per_tenant_quota` describe the deployment's controller pool;
+/// `parallelize` marks registrations that request the parallelize pass.
+TaintAnalysisResult AnalyzeTaint(const PlanGraph& graph,
+                                 const federation::FederatedFunctionSpec& spec,
+                                 std::size_t pool_max_size,
+                                 std::size_t per_tenant_quota,
+                                 bool parallelize);
+
+}  // namespace fedflow::analysis::dataflow
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_TAINT_ANALYSIS_H_

@@ -29,6 +29,12 @@ const char* SeverityName(Severity severity);
 ///   FF100..FF149  workflow errors      FF150..FF199  workflow warnings
 ///   FF200..FF249  I-UDTF SQL errors    FF250..FF299  I-UDTF SQL warnings
 ///   FF300..FF349  plan consistency (lowering agreement with the plan IR)
+///   FF400..FF449  dataflow abstract interpretation (schema FF400..FF409,
+///                 cardinality FF410..FF419, budget FF420..FF429,
+///                 tenant-flow taint FF430..FF449)
+///
+/// The authoritative per-code table (rule name, severity, summary) lives in
+/// analysis/code_registry.h and is mirrored in DESIGN.md §13.1.
 struct Diagnostic {
   Severity severity = Severity::kError;
   std::string code;      ///< stable code, e.g. "FF008"

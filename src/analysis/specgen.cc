@@ -1,0 +1,566 @@
+#include "analysis/specgen.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace fedflow::analysis {
+
+namespace {
+
+using federation::FederatedFunctionSpec;
+using federation::MappingCase;
+using federation::SpecArg;
+using federation::SpecCall;
+using federation::SpecJoin;
+using federation::SpecOutput;
+
+/// The case tag baked into generated function names (also a quick visual
+/// check when a fuzz failure names the offending spec).
+const char* CaseTag(MappingCase c) {
+  switch (c) {
+    case MappingCase::kTrivial:
+      return "TRIV";
+    case MappingCase::kSimple:
+      return "SIMP";
+    case MappingCase::kIndependent:
+      return "INDE";
+    case MappingCase::kDependentLinear:
+      return "LINE";
+    case MappingCase::kDependent1N:
+      return "DE1N";
+    case MappingCase::kDependentN1:
+      return "DEN1";
+    case MappingCase::kDependentCyclic:
+      return "CYCL";
+    case MappingCase::kGeneral:
+      return "GENE";
+  }
+  return "XXXX";
+}
+
+/// A local function's registration-facts the generator draws on. Mirrors the
+/// three application systems; specgen_test cross-checks this table against
+/// the live registry so it cannot drift silently.
+struct FnInfo {
+  const char* system;
+  const char* function;
+  std::vector<Column> params;
+  std::vector<Column> results;
+  bool single_row;  ///< [0,1] or [1,1] contract (scalar-consumable)
+};
+
+const std::vector<FnInfo>& Catalog() {
+  static const std::vector<FnInfo>* kCatalog = new std::vector<FnInfo>{
+      {"stock",
+       "GetQuality",
+       {Column{"SupplierNo", DataType::kInt}},
+       {Column{"Qual", DataType::kInt}},
+       true},
+      {"stock",
+       "GetNumber",
+       {Column{"SupplierNo", DataType::kInt}, Column{"CompNo", DataType::kInt}},
+       {Column{"Number", DataType::kInt}},
+       true},
+      {"stock",
+       "GetSuppComps",
+       {Column{"SupplierNo", DataType::kInt}},
+       {Column{"CompNo", DataType::kInt}},
+       false},
+      {"purchasing",
+       "GetSupplierNo",
+       {Column{"SupplierName", DataType::kVarchar}},
+       {Column{"SupplierNo", DataType::kInt}},
+       true},
+      {"purchasing",
+       "GetSupplierName",
+       {Column{"SupplierNo", DataType::kInt}},
+       {Column{"SupplierName", DataType::kVarchar}},
+       true},
+      {"purchasing",
+       "GetReliability",
+       {Column{"SupplierNo", DataType::kInt}},
+       {Column{"Relia", DataType::kInt}},
+       true},
+      {"purchasing",
+       "GetCompSupp4Discount",
+       {Column{"Discount", DataType::kInt}},
+       {Column{"CompNo", DataType::kInt}, Column{"SupplierNo", DataType::kInt}},
+       false},
+      {"purchasing",
+       "GetGrade",
+       {Column{"Qual", DataType::kInt}, Column{"Relia", DataType::kInt}},
+       {Column{"Grade", DataType::kInt}},
+       true},
+      {"purchasing",
+       "DecidePurchase",
+       {Column{"Grade", DataType::kInt}, Column{"CompNo", DataType::kInt}},
+       {Column{"Answer", DataType::kVarchar}},
+       true},
+      {"pdm",
+       "GetCompNo",
+       {Column{"CompName", DataType::kVarchar}},
+       {Column{"No", DataType::kInt}},
+       true},
+      {"pdm",
+       "GetCompName",
+       {Column{"CompNo", DataType::kInt}},
+       {Column{"CompName", DataType::kVarchar}},
+       true},
+      {"pdm",
+       "GetSubCompNo",
+       {Column{"CompNo", DataType::kInt}},
+       {Column{"SubCompNo", DataType::kInt}},
+       false},
+  };
+  return *kCatalog;
+}
+
+const FnInfo& Fn(const char* function) {
+  for (const FnInfo& f : Catalog()) {
+    if (std::string(f.function) == function) return f;
+  }
+  return Catalog()[0];  // unreachable with valid names
+}
+
+/// Builder that accumulates a spec plus the concrete argument values its
+/// federated parameters need for guaranteed-hit execution.
+class Builder {
+ public:
+  Builder(std::string name, Rng* rng) : rng_(rng) { spec_.name = std::move(name); }
+
+  /// Declares a federated parameter carrying `value` at execution time.
+  /// Returns its (generated) name.
+  std::string AddParam(DataType type, Value value) {
+    std::string name = "P" + std::to_string(spec_.params.size() + 1);
+    spec_.params.push_back(Column{name, type});
+    args_.push_back(std::move(value));
+    return name;
+  }
+
+  /// Adds a call node; `args` in the local function's parameter order.
+  std::string AddCall(const FnInfo& fn, std::vector<SpecArg> call_args) {
+    std::string id = "N" + std::to_string(spec_.calls.size() + 1);
+    spec_.calls.push_back(SpecCall{id, fn.system, fn.function, std::move(call_args)});
+    return id;
+  }
+
+  /// Exposes `column` of `node`, deduplicating federated output names.
+  void AddOutput(const std::string& node, const std::string& column,
+                 DataType cast_to = DataType::kNull) {
+    std::string name = column;
+    for (const SpecOutput& o : spec_.outputs) {
+      if (o.name == name) {
+        name = node + "_" + column;
+        break;
+      }
+    }
+    spec_.outputs.push_back(SpecOutput{name, node, column, cast_to});
+  }
+
+  void AddJoin(std::string ln, std::string lc, std::string rn, std::string rc) {
+    spec_.joins.push_back(
+        SpecJoin{std::move(ln), std::move(lc), std::move(rn), std::move(rc)});
+  }
+
+  Rng& rng() { return *rng_; }
+  FederatedFunctionSpec& spec() { return spec_; }
+  std::vector<Value>& args() { return args_; }
+
+ private:
+  FederatedFunctionSpec spec_;
+  std::vector<Value> args_;
+  Rng* rng_;
+};
+
+}  // namespace
+
+SpecGenerator::SpecGenerator(const appsys::Scenario& scenario) {
+  for (const appsys::SupplierRecord& s : scenario.suppliers) {
+    supplier_nos_.push_back(s.supplier_no);
+    supplier_names_.push_back(s.name);
+  }
+  for (const appsys::ComponentRecord& c : scenario.components) {
+    comp_nos_.push_back(c.comp_no);
+    comp_names_.push_back(c.name);
+  }
+  for (const appsys::StockRecord& s : scenario.stock) {
+    stock_pairs_.emplace_back(s.supplier_no, s.comp_no);
+  }
+}
+
+GeneratedSpec SpecGenerator::Generate(std::uint64_t seed) const {
+  static constexpr MappingCase kCases[] = {
+      MappingCase::kTrivial,        MappingCase::kSimple,
+      MappingCase::kIndependent,    MappingCase::kDependentLinear,
+      MappingCase::kDependent1N,    MappingCase::kDependentN1,
+      MappingCase::kDependentCyclic, MappingCase::kGeneral,
+  };
+  return GenerateCase(kCases[seed % 8], seed);
+}
+
+GeneratedSpec SpecGenerator::GenerateCase(MappingCase c,
+                                          std::uint64_t seed) const {
+  // Salt the stream with the case so the same seed yields independent
+  // draws per class.
+  Rng rng(seed * 8 + static_cast<std::uint64_t>(c) + 0x5ecf00dULL);
+  std::string name =
+      std::string("FZ_") + CaseTag(c) + "_" + std::to_string(seed);
+
+  GeneratedSpec out;
+  out.mapping_case = c;
+  Builder b(name, &rng);
+
+  // Domain draws.
+  auto supplier_no = [&] {
+    return Value::Int(supplier_nos_[rng.Uniform(
+        0, static_cast<int64_t>(supplier_nos_.size()) - 1)]);
+  };
+  auto supplier_name = [&] {
+    return Value::Varchar(supplier_names_[rng.Uniform(
+        0, static_cast<int64_t>(supplier_names_.size()) - 1)]);
+  };
+  auto comp_no = [&] {
+    return Value::Int(comp_nos_[rng.Uniform(
+        0, static_cast<int64_t>(comp_nos_.size()) - 1)]);
+  };
+  auto comp_name = [&] {
+    return Value::Varchar(comp_names_[rng.Uniform(
+        0, static_cast<int64_t>(comp_names_.size()) - 1)]);
+  };
+  auto rating = [&] { return Value::Int(static_cast<int32_t>(rng.Uniform(1, 10))); };
+  auto discount = [&] {
+    static constexpr int32_t kTiers[] = {0, 5, 10, 15};
+    return Value::Int(kTiers[rng.Uniform(0, 3)]);
+  };
+  /// Hit value for a local parameter, by its (semantic) name.
+  auto domain_value = [&](const Column& param) {
+    const std::string& n = param.name;
+    if (n == "SupplierNo") return supplier_no();
+    if (n == "SupplierName") return supplier_name();
+    if (n == "CompNo") return comp_no();
+    if (n == "CompName") return comp_name();
+    if (n == "Discount") return discount();
+    return rating();  // Qual / Relia / Grade
+  };
+  /// Declares one federated param (typed like `param`) per local param and
+  /// returns the SpecArg list, special-casing GetNumber so its
+  /// (SupplierNo, CompNo) pair is a real stock record.
+  auto params_for = [&](const FnInfo& fn) {
+    std::vector<SpecArg> call_args;
+    if (std::string(fn.function) == "GetNumber" && !stock_pairs_.empty()) {
+      const auto& pair = stock_pairs_[rng.Uniform(
+          0, static_cast<int64_t>(stock_pairs_.size()) - 1)];
+      call_args.push_back(
+          SpecArg::Param(b.AddParam(DataType::kInt, Value::Int(pair.first))));
+      call_args.push_back(
+          SpecArg::Param(b.AddParam(DataType::kInt, Value::Int(pair.second))));
+      return call_args;
+    }
+    for (const Column& p : fn.params) {
+      call_args.push_back(SpecArg::Param(b.AddParam(p.type, domain_value(p))));
+    }
+    return call_args;
+  };
+  auto output_all = [&](const std::string& node, const FnInfo& fn) {
+    for (const Column& col : fn.results) b.AddOutput(node, col.name);
+  };
+
+  switch (c) {
+    case MappingCase::kTrivial: {
+      // Identity signature: federated params mirror the local ones by name
+      // and order, no constants, no casts.
+      const FnInfo& fn =
+          Catalog()[rng.Uniform(0, static_cast<int64_t>(Catalog().size()) - 1)];
+      std::vector<SpecArg> call_args;
+      if (std::string(fn.function) == "GetNumber" && !stock_pairs_.empty()) {
+        const auto& pair = stock_pairs_[rng.Uniform(
+            0, static_cast<int64_t>(stock_pairs_.size()) - 1)];
+        b.spec().params = fn.params;
+        b.args() = {Value::Int(pair.first), Value::Int(pair.second)};
+      } else {
+        b.spec().params = fn.params;
+        for (const Column& p : fn.params) b.args().push_back(domain_value(p));
+      }
+      for (const Column& p : fn.params) {
+        call_args.push_back(SpecArg::Param(p.name));
+      }
+      std::string node = b.AddCall(fn, std::move(call_args));
+      output_all(node, fn);
+      break;
+    }
+    case MappingCase::kSimple: {
+      // Single call, non-identity: exactly one of (a) a constant-bound
+      // argument, (b) reversed parameter order, (c) an always-succeeding
+      // output cast.
+      const FnInfo& fn =
+          Catalog()[rng.Uniform(0, static_cast<int64_t>(Catalog().size()) - 1)];
+      int variant = static_cast<int>(rng.Uniform(0, 2));
+      // Constant-binding and reordering both need >= 2 local params (the
+      // former to keep at least one federated param); fall back to a cast.
+      if (variant != 2 && fn.params.size() < 2) variant = 2;
+      if (variant == 0) {
+        // One local param gets a constant; the rest stay federated.
+        std::vector<SpecArg> call_args;
+        if (std::string(fn.function) == "GetNumber" && !stock_pairs_.empty()) {
+          const auto& pair = stock_pairs_[rng.Uniform(
+              0, static_cast<int64_t>(stock_pairs_.size()) - 1)];
+          // Bind BOTH halves of the pair (constant + param) so the hit
+          // guarantee survives the split.
+          call_args.push_back(SpecArg::Constant(Value::Int(pair.first)));
+          call_args.push_back(SpecArg::Param(
+              b.AddParam(DataType::kInt, Value::Int(pair.second))));
+        } else {
+          size_t bound = static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(fn.params.size()) - 1));
+          for (size_t i = 0; i < fn.params.size(); ++i) {
+            if (i == bound) {
+              call_args.push_back(SpecArg::Constant(domain_value(fn.params[i])));
+            } else {
+              call_args.push_back(SpecArg::Param(
+                  b.AddParam(fn.params[i].type, domain_value(fn.params[i]))));
+            }
+          }
+        }
+        std::string node = b.AddCall(fn, std::move(call_args));
+        output_all(node, fn);
+      } else if (variant == 1) {
+        // Federated params declared in reverse order (args still correct).
+        std::vector<std::string> names(fn.params.size());
+        std::vector<Value> values(fn.params.size());
+        if (std::string(fn.function) == "GetNumber" && !stock_pairs_.empty()) {
+          const auto& pair = stock_pairs_[rng.Uniform(
+              0, static_cast<int64_t>(stock_pairs_.size()) - 1)];
+          values[0] = Value::Int(pair.first);
+          values[1] = Value::Int(pair.second);
+        } else {
+          for (size_t i = 0; i < fn.params.size(); ++i) {
+            values[i] = domain_value(fn.params[i]);
+          }
+        }
+        for (size_t k = fn.params.size(); k-- > 0;) {
+          names[k] = b.AddParam(fn.params[k].type, values[k]);
+        }
+        std::vector<SpecArg> call_args;
+        for (const std::string& n : names) call_args.push_back(SpecArg::Param(n));
+        std::string node = b.AddCall(fn, std::move(call_args));
+        output_all(node, fn);
+      } else {
+        // Cast one output along an always-succeeding edge.
+        std::string node = b.AddCall(fn, params_for(fn));
+        size_t cast_at = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(fn.results.size()) - 1));
+        for (size_t i = 0; i < fn.results.size(); ++i) {
+          if (i != cast_at) {
+            b.AddOutput(node, fn.results[i].name);
+            continue;
+          }
+          DataType to = DataType::kVarchar;
+          if (fn.results[i].type == DataType::kInt) {
+            to = rng.Chance(0.5) ? DataType::kBigInt : DataType::kDouble;
+          }
+          b.AddOutput(node, fn.results[i].name, to);
+        }
+      }
+      break;
+    }
+    case MappingCase::kIndependent: {
+      // The WfMS RESULT activity assembles multi-node outputs either
+      // scalarly (every contributing node must be 1x1) or along a join
+      // chain — so the generator emits exactly those two shapes.
+      if (rng.Chance(0.6)) {
+        // 2-3 guaranteed-single-row calls, scalar assembly.
+        std::vector<const FnInfo*> single_row;
+        for (const FnInfo& fn : Catalog()) {
+          if (fn.single_row) single_row.push_back(&fn);
+        }
+        size_t n = static_cast<size_t>(rng.Uniform(2, 3));
+        for (size_t i = 0; i < n; ++i) {
+          const FnInfo& fn = *single_row[rng.Uniform(
+              0, static_cast<int64_t>(single_row.size()) - 1)];
+          std::string node = b.AddCall(fn, params_for(fn));
+          output_all(node, fn);
+        }
+      } else {
+        // Two set-returners joined on their component-number columns (the
+        // paper's "join with selection" mechanism).
+        struct JoinSide {
+          const char* function;
+          const char* column;
+        };
+        static constexpr JoinSide kSides[] = {
+            {"GetSuppComps", "CompNo"},
+            {"GetCompSupp4Discount", "CompNo"},
+            {"GetSubCompNo", "SubCompNo"},
+        };
+        size_t li = static_cast<size_t>(rng.Uniform(0, 2));
+        size_t ri = static_cast<size_t>(rng.Uniform(0, 2));
+        if (ri == li) ri = (ri + 1) % 3;
+        const FnInfo& lf = Fn(kSides[li].function);
+        const FnInfo& rf = Fn(kSides[ri].function);
+        std::string ln = b.AddCall(lf, params_for(lf));
+        std::string rn = b.AddCall(rf, params_for(rf));
+        b.AddJoin(ln, kSides[li].column, rn, kSides[ri].column);
+        output_all(ln, lf);
+        output_all(rn, rf);
+      }
+      break;
+    }
+    case MappingCase::kDependentLinear: {
+      // A hand-authored chain; every scalar link hits by construction.
+      int pattern = static_cast<int>(rng.Uniform(0, 3));
+      if (pattern == 0) {
+        // GetSupplierNo -> GetQuality [-> GetGrade -> DecidePurchase]
+        const FnInfo& pn = Fn("GetSupplierNo");
+        const FnInfo& sq = Fn("GetQuality");
+        std::string n1 = b.AddCall(pn, params_for(pn));
+        std::string n2 =
+            b.AddCall(sq, {SpecArg::NodeColumn(n1, "SupplierNo")});
+        if (rng.Chance(0.5)) {
+          const FnInfo& pg = Fn("GetGrade");
+          const FnInfo& pd = Fn("DecidePurchase");
+          std::string n3 = b.AddCall(
+              pg, {SpecArg::NodeColumn(n2, "Qual"), SpecArg::Constant(rating())});
+          std::string n4 = b.AddCall(
+              pd, {SpecArg::NodeColumn(n3, "Grade"), SpecArg::Constant(comp_no())});
+          output_all(n4, pd);
+        } else {
+          output_all(n2, sq);
+        }
+      } else if (pattern == 1) {
+        // GetSupplierNo -> GetReliability -> GetGrade
+        const FnInfo& pn = Fn("GetSupplierNo");
+        const FnInfo& pr = Fn("GetReliability");
+        const FnInfo& pg = Fn("GetGrade");
+        std::string n1 = b.AddCall(pn, params_for(pn));
+        std::string n2 =
+            b.AddCall(pr, {SpecArg::NodeColumn(n1, "SupplierNo")});
+        std::string n3 = b.AddCall(
+            pg, {SpecArg::Constant(rating()), SpecArg::NodeColumn(n2, "Relia")});
+        output_all(n3, pg);
+      } else if (pattern == 2) {
+        // GetCompNo -> {GetCompName | GetSubCompNo}
+        const FnInfo& dc = Fn("GetCompNo");
+        std::string n1 = b.AddCall(dc, params_for(dc));
+        const FnInfo& next =
+            rng.Chance(0.5) ? Fn("GetCompName") : Fn("GetSubCompNo");
+        std::string n2 = b.AddCall(next, {SpecArg::NodeColumn(n1, "No")});
+        output_all(n2, next);
+      } else {
+        // GetSupplierNo -> {GetSupplierName | GetSuppComps}
+        const FnInfo& pn = Fn("GetSupplierNo");
+        std::string n1 = b.AddCall(pn, params_for(pn));
+        const FnInfo& next =
+            rng.Chance(0.5) ? Fn("GetSupplierName") : Fn("GetSuppComps");
+        std::string n2 =
+            b.AddCall(next, {SpecArg::NodeColumn(n1, "SupplierNo")});
+        output_all(n2, next);
+      }
+      break;
+    }
+    case MappingCase::kDependent1N: {
+      // One node consuming >= 2 nodes.
+      if (rng.Chance(0.5)) {
+        // GetQuality + GetReliability -> GetGrade [-> DecidePurchase]
+        const FnInfo& sq = Fn("GetQuality");
+        const FnInfo& pr = Fn("GetReliability");
+        const FnInfo& pg = Fn("GetGrade");
+        Value s = supplier_no();
+        std::string p = b.AddParam(DataType::kInt, s);
+        std::string n1 = b.AddCall(sq, {SpecArg::Param(p)});
+        std::string n2 = b.AddCall(pr, {SpecArg::Param(p)});
+        std::string n3 = b.AddCall(pg, {SpecArg::NodeColumn(n1, "Qual"),
+                                        SpecArg::NodeColumn(n2, "Relia")});
+        if (rng.Chance(0.4)) {
+          const FnInfo& pd = Fn("DecidePurchase");
+          std::string n4 = b.AddCall(
+              pd, {SpecArg::NodeColumn(n3, "Grade"), SpecArg::Constant(comp_no())});
+          output_all(n4, pd);
+        } else {
+          output_all(n3, pg);
+        }
+      } else {
+        // GetSupplierNo + GetCompNo -> DecidePurchase(Grade<-const, CompNo)
+        // via GetGrade on constants? Keep it concrete: GetCompNo + GetGrade
+        // (constants) -> DecidePurchase(Grade, No).
+        const FnInfo& dc = Fn("GetCompNo");
+        const FnInfo& pg = Fn("GetGrade");
+        const FnInfo& pd = Fn("DecidePurchase");
+        std::string n1 = b.AddCall(dc, params_for(dc));
+        std::string n2 = b.AddCall(
+            pg, {SpecArg::Constant(rating()), SpecArg::Constant(rating())});
+        std::string n3 = b.AddCall(pd, {SpecArg::NodeColumn(n2, "Grade"),
+                                        SpecArg::NodeColumn(n1, "No")});
+        output_all(n3, pd);
+      }
+      break;
+    }
+    case MappingCase::kDependentN1: {
+      // One node feeding >= 2 nodes.
+      if (rng.Chance(0.5)) {
+        const FnInfo& pn = Fn("GetSupplierNo");
+        const FnInfo& sq = Fn("GetQuality");
+        const FnInfo& pr = Fn("GetReliability");
+        std::string n1 = b.AddCall(pn, params_for(pn));
+        std::string n2 = b.AddCall(sq, {SpecArg::NodeColumn(n1, "SupplierNo")});
+        std::string n3 = b.AddCall(pr, {SpecArg::NodeColumn(n1, "SupplierNo")});
+        output_all(n2, sq);
+        output_all(n3, pr);
+      } else {
+        // GetCompNo fans out to GetCompName and DecidePurchase — both
+        // guaranteed 1x1, so the WfMS scalar result assembly holds.
+        const FnInfo& dc = Fn("GetCompNo");
+        const FnInfo& dn = Fn("GetCompName");
+        const FnInfo& pd = Fn("DecidePurchase");
+        std::string n1 = b.AddCall(dc, params_for(dc));
+        std::string n2 = b.AddCall(dn, {SpecArg::NodeColumn(n1, "No")});
+        std::string n3 = b.AddCall(
+            pd, {SpecArg::Constant(rating()), SpecArg::NodeColumn(n1, "No")});
+        output_all(n2, dn);
+        output_all(n3, pd);
+      }
+      break;
+    }
+    case MappingCase::kDependentCyclic: {
+      // Do-until loop; ITERATION drives a component lookup (components are
+      // numbered 1..n, so iterations 1..4 always hit). Set-returning bodies
+      // keep only the last iteration (union_all would be FF413).
+      std::string count =
+          b.AddParam(DataType::kInt,
+                     Value::Int(static_cast<int32_t>(rng.Uniform(1, 4))));
+      const FnInfo& body = rng.Chance(0.7) ? Fn("GetCompName") : Fn("GetSubCompNo");
+      std::string n1 = b.AddCall(body, {SpecArg::Param("ITERATION")});
+      output_all(n1, body);
+      b.spec().loop.enabled = true;
+      b.spec().loop.count_param = count;
+      b.spec().loop.union_all = body.single_row ? rng.Chance(0.7) : false;
+      break;
+    }
+    case MappingCase::kGeneral: {
+      // A pair of specs sharing GetQuality; the set classifies general even
+      // though each member is simple/linear on its own.
+      const FnInfo& sq = Fn("GetQuality");
+      std::string p = b.AddParam(DataType::kInt, supplier_no());
+      std::string n1 = b.AddCall(sq, {SpecArg::Param(p)});
+      size_t cast = rng.Uniform(0, 1);
+      b.AddOutput(n1, "Qual",
+                  cast == 0 ? DataType::kBigInt : DataType::kDouble);
+
+      Builder sib(b.spec().name + "_S", &rng);
+      const FnInfo& pn = Fn("GetSupplierNo");
+      std::string sp = sib.AddParam(DataType::kVarchar, supplier_name());
+      std::string s1 = sib.AddCall(pn, {SpecArg::Param(sp)});
+      std::string s2 = sib.AddCall(sq, {SpecArg::NodeColumn(s1, "SupplierNo")});
+      sib.AddOutput(s2, "Qual");
+      out.sibling = std::move(sib.spec());
+      out.sibling_args = std::move(sib.args());
+      break;
+    }
+  }
+
+  out.spec = std::move(b.spec());
+  out.args = std::move(b.args());
+  return out;
+}
+
+}  // namespace fedflow::analysis

@@ -18,6 +18,10 @@
 
 namespace fedflow::appsys {
 
+/// Sentinel for LocalFunction::max_rows: the function can return any number
+/// of rows (set-returning lookups whose fan-out depends on the store).
+inline constexpr int64_t kUnboundedRows = -1;
+
 /// A predefined function exposed by an application system.
 struct LocalFunction {
   std::string name;
@@ -29,6 +33,11 @@ struct LocalFunction {
   VDuration base_cost_us = 300;
   /// Additional work per returned row.
   VDuration per_row_cost_us = 5;
+  /// Declared row contract: every successful call returns between min_rows
+  /// and max_rows rows (max_rows == kUnboundedRows when unbounded). The
+  /// static cardinality analysis folds these through federated plans.
+  int64_t min_rows = 1;
+  int64_t max_rows = 1;
 };
 
 /// Base class for application systems. Thread-safe for concurrent Call()s

@@ -16,6 +16,8 @@ PdmSystem::PdmSystem(const Scenario& scenario) : AppSystem("pdm") {
   get_no.params = {Column{"CompName", DataType::kVarchar}};
   get_no.result_schema.AddColumn("No", DataType::kInt);
   get_no.base_cost_us = 300;
+  get_no.min_rows = 0;  // point lookup: hit or miss
+  get_no.max_rows = 1;
   get_no.body = [this, schema = get_no.result_schema](
                     const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -32,6 +34,8 @@ PdmSystem::PdmSystem(const Scenario& scenario) : AppSystem("pdm") {
   get_name.params = {Column{"CompNo", DataType::kInt}};
   get_name.result_schema.AddColumn("CompName", DataType::kVarchar);
   get_name.base_cost_us = 300;
+  get_name.min_rows = 0;  // point lookup: hit or miss
+  get_name.max_rows = 1;
   get_name.body = [this, schema = get_name.result_schema](
                       const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -49,6 +53,8 @@ PdmSystem::PdmSystem(const Scenario& scenario) : AppSystem("pdm") {
   get_sub.result_schema.AddColumn("SubCompNo", DataType::kInt);
   get_sub.base_cost_us = 500;
   get_sub.per_row_cost_us = 10;
+  get_sub.min_rows = 0;  // set-returning: one row per subcomponent
+  get_sub.max_rows = kUnboundedRows;
   get_sub.body = [this, schema = get_sub.result_schema](
                      const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);

@@ -23,6 +23,8 @@ PurchasingSystem::PurchasingSystem(const Scenario& scenario)
   get_no.params = {Column{"SupplierName", DataType::kVarchar}};
   get_no.result_schema.AddColumn("SupplierNo", DataType::kInt);
   get_no.base_cost_us = 300;
+  get_no.min_rows = 0;  // point lookup: hit or miss
+  get_no.max_rows = 1;
   get_no.body = [this, schema = get_no.result_schema](
                     const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -39,6 +41,8 @@ PurchasingSystem::PurchasingSystem(const Scenario& scenario)
   get_name.params = {Column{"SupplierNo", DataType::kInt}};
   get_name.result_schema.AddColumn("SupplierName", DataType::kVarchar);
   get_name.base_cost_us = 300;
+  get_name.min_rows = 0;  // point lookup: hit or miss
+  get_name.max_rows = 1;
   get_name.body = [this, schema = get_name.result_schema](
                       const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -55,6 +59,8 @@ PurchasingSystem::PurchasingSystem(const Scenario& scenario)
   get_relia.params = {Column{"SupplierNo", DataType::kInt}};
   get_relia.result_schema.AddColumn("Relia", DataType::kInt);
   get_relia.base_cost_us = 350;
+  get_relia.min_rows = 0;  // point lookup: hit or miss
+  get_relia.max_rows = 1;
   get_relia.body = [this, schema = get_relia.result_schema](
                        const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -73,6 +79,8 @@ PurchasingSystem::PurchasingSystem(const Scenario& scenario)
   get_disc.result_schema.AddColumn("SupplierNo", DataType::kInt);
   get_disc.base_cost_us = 600;
   get_disc.per_row_cost_us = 10;
+  get_disc.min_rows = 0;  // set-returning: one row per discounted offer
+  get_disc.max_rows = kUnboundedRows;
   get_disc.body = [this, schema = get_disc.result_schema](
                       const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);

@@ -17,6 +17,8 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
   get_quality.params = {Column{"SupplierNo", DataType::kInt}};
   get_quality.result_schema.AddColumn("Qual", DataType::kInt);
   get_quality.base_cost_us = 350;
+  get_quality.min_rows = 0;  // point lookup: hit or miss
+  get_quality.max_rows = 1;
   get_quality.body = [this,
                       schema = get_quality.result_schema](
                          const std::vector<Value>& args) -> Result<Table> {
@@ -35,6 +37,8 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
                        Column{"CompNo", DataType::kInt}};
   get_number.result_schema.AddColumn("Number", DataType::kInt);
   get_number.base_cost_us = 400;
+  get_number.min_rows = 0;  // point lookup: hit or miss
+  get_number.max_rows = 1;
   get_number.body = [this, schema = get_number.result_schema](
                         const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
@@ -52,6 +56,8 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
   get_supp_comps.result_schema.AddColumn("CompNo", DataType::kInt);
   get_supp_comps.base_cost_us = 500;
   get_supp_comps.per_row_cost_us = 10;
+  get_supp_comps.min_rows = 0;  // set-returning: one row per stocked component
+  get_supp_comps.max_rows = kUnboundedRows;
   get_supp_comps.body = [this, schema = get_supp_comps.result_schema](
                             const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);

@@ -1,5 +1,6 @@
 #include "federation/integration_server.h"
 
+#include "analysis/dataflow/dataflow_lint.h"
 #include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 #include "appsys/pdm.h"
@@ -88,6 +89,26 @@ Status IntegrationServer::RegisterFederatedFunction(
         spec, options, controller_pool_.options().max_size);
     for (analysis::Diagnostic& d : pool_diags) {
       diags.push_back(std::move(d));
+    }
+    // Abstract-interpretation gate (FF4xx): schema, cardinality, budget and
+    // tenant-flow dataflow analyses over the compiled plan, parameterized by
+    // this deployment (deadline, retry policy, pool shape).
+    analysis::DataflowOptions dopts;
+    dopts.deadline_us = analysis_deadline_us_;
+    dopts.retry = retry_policy_;
+    dopts.pool_max_size = controller_pool_.options().max_size;
+    dopts.per_tenant_quota = controller_pool_.options().per_tenant_quota;
+    dopts.parallelize = options.parallelize;
+    Result<analysis::DataflowResult> dataflow =
+        analysis::RunDataflow(spec, systems_, model_, dopts);
+    if (dataflow.ok()) {
+      metrics_.Inc("analysis.dataflow.runs");
+      for (analysis::Diagnostic& d : dataflow->diagnostics) {
+        metrics_.Inc(d.severity == analysis::Severity::kError
+                         ? "analysis.dataflow.errors"
+                         : "analysis.dataflow.warnings");
+        diags.push_back(std::move(d));
+      }
     }
   }
   if (analysis::HasErrors(diags)) {

@@ -139,6 +139,11 @@ class IntegrationServer {
   /// couplings hold a pointer to this instance).
   sim::RetryPolicy& retry_policy() { return retry_policy_; }
 
+  /// Modeled per-call deadline the registration-time dataflow analyses
+  /// check plans against (FF420/FF422). 0 (the default) disables the
+  /// deadline checks; set before RegisterFederatedFunction to enforce one.
+  VDuration& analysis_deadline_us() { return analysis_deadline_us_; }
+
   /// The server's tracer. Default-disabled (every instrumentation site is a
   /// no-op and virtual-time totals are bit-identical to an uninstrumented
   /// build); call tracer().Enable() before a query to collect spans, then
@@ -199,6 +204,7 @@ class IntegrationServer {
   std::atomic<int64_t> next_flow_id_{1};
   sim::FaultInjector fault_injector_;
   sim::RetryPolicy retry_policy_;
+  VDuration analysis_deadline_us_ = 0;
   fdbs::Database db_;
   std::unique_ptr<wfms::Engine> engine_;
   std::unique_ptr<WfmsCoupling> wfms_;

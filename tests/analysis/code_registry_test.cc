@@ -1,0 +1,98 @@
+// Tests over the diagnostic-code registry: every FF### code is unique,
+// numerically ordered, inside a declared band, named for SARIF, and
+// documented in DESIGN.md's diagnostic table.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/code_registry.h"
+#include "analysis/dataflow/dataflow_lint.h"
+#include "analysis/plan_lint.h"
+#include "analysis/spec_lint.h"
+
+namespace fedflow::analysis {
+namespace {
+
+int NumericCode(const std::string& code) {
+  EXPECT_EQ(code.size(), 5u) << code;
+  EXPECT_EQ(code.substr(0, 2), "FF") << code;
+  return std::stoi(code.substr(2));
+}
+
+TEST(CodeRegistryTest, CodesAreUniqueAndOrdered) {
+  std::set<std::string> codes;
+  std::set<std::string> names;
+  int previous = 0;
+  for (const CodeInfo& info : AllDiagnosticCodes()) {
+    EXPECT_TRUE(codes.insert(info.code).second)
+        << "duplicate code " << info.code;
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate rule name " << info.name;
+    int numeric = NumericCode(info.code);
+    EXPECT_GT(numeric, previous) << info.code << " out of order";
+    previous = numeric;
+  }
+  EXPECT_GE(codes.size(), 80u);
+}
+
+TEST(CodeRegistryTest, EveryCodeFallsInExactlyOneBand) {
+  const std::vector<CodeBand>& bands = DiagnosticCodeBands();
+  for (const CodeInfo& info : AllDiagnosticCodes()) {
+    int numeric = NumericCode(info.code);
+    int owners = 0;
+    for (const CodeBand& band : bands) {
+      if (numeric >= band.lo && numeric <= band.hi) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << info.code << " is in " << owners << " bands";
+  }
+}
+
+TEST(CodeRegistryTest, RuleNamesAreKebabCase) {
+  for (const CodeInfo& info : AllDiagnosticCodes()) {
+    EXPECT_FALSE(info.name.empty()) << info.code;
+    for (char c : info.name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '-')
+          << info.code << " rule name '" << info.name << "'";
+    }
+    EXPECT_FALSE(info.summary.empty()) << info.code;
+  }
+}
+
+TEST(CodeRegistryTest, LookupFindsKnownAndRejectsUnknown) {
+  const CodeInfo* info = FindDiagnosticCode("FF410");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "df-unbounded-invocations");
+  EXPECT_EQ(info->severity, Severity::kWarning);
+  EXPECT_EQ(FindDiagnosticCode("FF999"), nullptr);
+}
+
+TEST(CodeRegistryTest, RegistryCoversTheEmittableConstants) {
+  for (const char* code :
+       {kSpecDanglingNode, kSpecArityMismatch, kPlanCompileFailed,
+        kDfCastNeverSucceeds, kDfUnboundedInvocations, kDfInvocationExplosion,
+        kDfScalarOfMultiRow, kDfUnboundedLoopUnion, kDfDeadlineInfeasible,
+        kDfRetryScheduleInfeasible, kDfColdStartOverDeadline,
+        kDfSharedLeaseFlow, kDfStageOverTenantQuota}) {
+    EXPECT_NE(FindDiagnosticCode(code), nullptr) << code << " unregistered";
+  }
+}
+
+TEST(CodeRegistryTest, EveryCodeIsDocumentedInDesignDoc) {
+  std::ifstream in(std::string(FEDFLOW_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_TRUE(in.good()) << "DESIGN.md not found under FEDFLOW_SOURCE_DIR";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string design = buffer.str();
+  for (const CodeInfo& info : AllDiagnosticCodes()) {
+    EXPECT_NE(design.find(info.code), std::string::npos)
+        << info.code << " (" << info.name << ") is not documented in DESIGN.md";
+  }
+}
+
+}  // namespace
+}  // namespace fedflow::analysis

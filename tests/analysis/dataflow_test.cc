@@ -1,0 +1,404 @@
+// Tests for the dataflow pass: the interval lattice, the worklist solver's
+// widening discipline on cyclic graphs, cast feasibility, and each analysis'
+// FF4xx diagnostics — golden-pinned through the semantic corpus and checked
+// clean over the sample scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/dataflow/dataflow_lint.h"
+#include "analysis/dataflow/framework.h"
+#include "analysis/dataflow/interval.h"
+#include "analysis/dataflow/schema_analysis.h"
+#include "analysis/diagnostic.h"
+#include "analysis/spec_lint.h"
+#include "appsys/dataset.h"
+#include "appsys/pdm.h"
+#include "appsys/purchasing.h"
+#include "appsys/registry.h"
+#include "appsys/stockkeeping.h"
+#include "federation/sample_scenario.h"
+#include "plan/fed_plan.h"
+#include "sim/latency.h"
+
+namespace fedflow::analysis {
+namespace {
+
+using dataflow::Graph;
+using dataflow::Interval;
+using dataflow::WorklistSolver;
+using federation::FederatedFunctionSpec;
+using federation::SpecArg;
+using federation::SpecCall;
+using federation::SpecOutput;
+
+appsys::AppSystemRegistry MakeRegistry() {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  appsys::AppSystemRegistry systems;
+  EXPECT_TRUE(
+      systems.Add(std::make_shared<appsys::StockKeepingSystem>(scenario)).ok());
+  EXPECT_TRUE(
+      systems.Add(std::make_shared<appsys::PurchasingSystem>(scenario)).ok());
+  EXPECT_TRUE(systems.Add(std::make_shared<appsys::PdmSystem>(scenario)).ok());
+  return systems;
+}
+
+bool HasFinding(const std::vector<Diagnostic>& diags, const std::string& code,
+                const std::string& location) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.code == code && d.location == location;
+  });
+}
+
+/// SupplierNo INT -> stock.GetQuality -> Qual, the minimal clean spec.
+FederatedFunctionSpec QualitySpec(const std::string& name) {
+  FederatedFunctionSpec spec;
+  spec.name = name;
+  spec.params = {Column{"SupplierNo", DataType::kInt}};
+  spec.calls = {
+      SpecCall{"GQ", "stock", "GetQuality", {SpecArg::Param("SupplierNo")}}};
+  spec.outputs = {SpecOutput{"Qual", "GQ", "Qual", DataType::kNull}};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// The interval lattice.
+
+TEST(IntervalTest, ArithmeticSaturatesAndAbsorbsUnbounded) {
+  EXPECT_EQ(Interval::Exact(3).Add(Interval::Of(1, 2)), Interval::Of(4, 5));
+  EXPECT_EQ(Interval::Of(2, 3).Mul(Interval::Of(4, 5)), Interval::Of(8, 15));
+  EXPECT_EQ(Interval::AtLeast(1).Add(Interval::Exact(5)),
+            Interval::AtLeast(6));
+  EXPECT_EQ(Interval::AtLeast(2).Mul(Interval::Exact(3)),
+            Interval::AtLeast(6));
+  // The zero annihilates an unbounded factor.
+  EXPECT_EQ(Interval::AtLeast(1).Mul(Interval::Exact(0)), Interval::Exact(0));
+}
+
+TEST(IntervalTest, JoinIsConvexHull) {
+  EXPECT_EQ(Interval::Of(1, 3).Join(Interval::Of(5, 9)), Interval::Of(1, 9));
+  EXPECT_EQ(Interval::Of(1, 3).Join(Interval::AtLeast(0)),
+            Interval::AtLeast(0));
+}
+
+TEST(IntervalTest, WidenJumpsGrowingBoundsToTheirExtremes) {
+  // Upper bound grew: jumps to unbounded. Lower bound shrank: jumps to 0.
+  EXPECT_EQ(Interval::Of(1, 3).Widen(Interval::Of(1, 4)),
+            Interval::AtLeast(1));
+  EXPECT_EQ(Interval::Of(2, 3).Widen(Interval::Of(1, 3)), Interval::Of(0, 3));
+  // Stable interval stays put.
+  EXPECT_EQ(Interval::Of(1, 3).Widen(Interval::Of(1, 3)), Interval::Of(1, 3));
+}
+
+TEST(IntervalTest, ContainsAndToString) {
+  EXPECT_TRUE(Interval::Of(0, 5).Contains(5));
+  EXPECT_FALSE(Interval::Of(0, 5).Contains(6));
+  EXPECT_TRUE(Interval::AtLeast(1).Contains(1000000));
+  EXPECT_FALSE(Interval::AtLeast(1).Contains(0));
+  EXPECT_EQ(Interval::Of(2, 5).ToString(), "[2, 5]");
+  EXPECT_EQ(Interval::AtLeast(0).ToString(), "[0, inf)");
+}
+
+// ---------------------------------------------------------------------------
+// The worklist solver on a synthetic cyclic graph.
+
+/// A counting lattice that strictly ascends around a cycle: without widening
+/// it would climb forever; with it, the back-edge target jumps to unbounded
+/// and the solve converges.
+struct GrowLattice {
+  using State = Interval;
+  State Initial(size_t) { return Interval::Exact(0); }
+  State Transfer(size_t, const std::vector<const Interval*>& pred_outs) {
+    Interval in = Interval::Exact(0);
+    for (const Interval* p : pred_outs) in = in.Join(*p);
+    return in.Add(Interval::Exact(1));
+  }
+  bool Join(Interval* into, const Interval& from) {
+    Interval hull = into->Join(from);
+    if (hull == *into) return false;
+    *into = hull;
+    return true;
+  }
+  void Widen(Interval* into, const Interval& previous) {
+    *into = previous.Widen(*into);
+  }
+};
+
+Graph TwoNodeCycle(bool declare_back_edge) {
+  Graph g;
+  g.preds = {{1}, {0}};
+  g.succs = {{1}, {0}};
+  if (declare_back_edge) g.back_edges = {{1, 0}};
+  g.order = {0, 1};
+  return g;
+}
+
+TEST(WorklistSolverTest, WideningMakesACyclicAscentConverge) {
+  GrowLattice lattice;
+  WorklistSolver<GrowLattice> solver;
+  std::vector<Interval> out = solver.Solve(&lattice, TwoNodeCycle(true));
+  EXPECT_TRUE(solver.converged());
+  EXPECT_TRUE(out[0].unbounded());
+  EXPECT_TRUE(out[1].unbounded());
+}
+
+TEST(WorklistSolverTest, IterationCapCatchesAnUndeclaredBackEdge) {
+  // Same cycle, but hidden from the widening discipline: the safety valve
+  // must stop the ascent and report non-convergence instead of hanging.
+  GrowLattice lattice;
+  WorklistSolver<GrowLattice> solver;
+  (void)solver.Solve(&lattice, TwoNodeCycle(false));
+  EXPECT_FALSE(solver.converged());
+}
+
+TEST(WorklistSolverTest, LoopFreeGraphConvergesInOneSweep) {
+  GrowLattice lattice;
+  WorklistSolver<GrowLattice> solver;
+  Graph g;
+  g.preds = {{}, {0}, {1}};
+  g.succs = {{1}, {2}, {}};
+  g.order = {0, 1, 2};
+  std::vector<Interval> out = solver.Solve(&lattice, g);
+  EXPECT_TRUE(solver.converged());
+  // The hull keeps the Initial [0, 0] floor; the chain's depth sets the max.
+  EXPECT_EQ(out[2], Interval::Of(0, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Cast feasibility (the FF400/FF401/FF402 decision table).
+
+TEST(ClassifyCastTest, MatchesValueCastToSemantics) {
+  using dataflow::CastFeasibility;
+  using dataflow::ClassifyCast;
+  EXPECT_EQ(ClassifyCast(DataType::kInt, DataType::kInt),
+            CastFeasibility::kAlways);
+  EXPECT_EQ(ClassifyCast(DataType::kInt, DataType::kVarchar),
+            CastFeasibility::kAlways);
+  EXPECT_EQ(ClassifyCast(DataType::kVarchar, DataType::kInt),
+            CastFeasibility::kValueDependent);
+  EXPECT_EQ(ClassifyCast(DataType::kDouble, DataType::kInt),
+            CastFeasibility::kNarrowing);
+  EXPECT_EQ(ClassifyCast(DataType::kDouble, DataType::kBigInt),
+            CastFeasibility::kNarrowing);
+  EXPECT_EQ(ClassifyCast(DataType::kVarchar, DataType::kBool),
+            CastFeasibility::kNever);
+  EXPECT_EQ(ClassifyCast(DataType::kInt, DataType::kNull),
+            CastFeasibility::kNever);
+}
+
+// ---------------------------------------------------------------------------
+// The semantic corpus, golden-pinned through RunDataflow.
+
+TEST(DataflowGoldenTest, EverySemanticEntryProducesItsPinnedDiagnostic) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  std::vector<SemanticCorpusEntry> corpus = SemanticSpecCorpus();
+  ASSERT_GE(corpus.size(), 6u);
+  for (const SemanticCorpusEntry& entry : corpus) {
+    // Syntactically clean: the shape pass must not error.
+    std::vector<Diagnostic> shape = LintSpec(entry.spec, systems);
+    EXPECT_FALSE(HasErrors(shape))
+        << entry.name << ":\n" << FormatDiagnostics(shape);
+
+    DataflowOptions options;
+    options.deadline_us = entry.deadline_us;
+    options.retry = entry.retry;
+    options.pool_max_size = entry.pool_max_size;
+    options.per_tenant_quota = entry.per_tenant_quota;
+    options.parallelize = entry.parallelize;
+    Result<DataflowResult> df =
+        RunDataflow(entry.spec, systems, model, options);
+    ASSERT_TRUE(df.ok()) << entry.name << ": " << df.status();
+    EXPECT_TRUE(
+        HasFinding(df->diagnostics, entry.expected_code,
+                   entry.expected_location))
+        << entry.name << ":\n" << FormatDiagnostics(df->diagnostics);
+    EXPECT_TRUE(HasErrors(df->diagnostics)) << entry.name;
+  }
+}
+
+TEST(DataflowGoldenTest, SemanticCorpusCoversEveryAnalysisFamily) {
+  std::vector<std::string> codes;
+  for (const SemanticCorpusEntry& e : SemanticSpecCorpus()) {
+    codes.push_back(e.expected_code);
+  }
+  for (const char* required :
+       {kDfCastNeverSucceeds, kDfInvocationExplosion, kDfScalarOfMultiRow,
+        kDfUnboundedLoopUnion, kDfDeadlineInfeasible,
+        kDfRetryScheduleInfeasible, kDfStageOverTenantQuota}) {
+    EXPECT_NE(std::find(codes.begin(), codes.end(), required), codes.end())
+        << "semantic corpus lacks an entry for " << required;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The sample scenario under the default deployment.
+
+TEST(DataflowSampleTest, SampleSpecsHaveNoDataflowErrors) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    Result<DataflowResult> df = RunDataflow(spec, systems, model);
+    ASSERT_TRUE(df.ok()) << spec.name << ": " << df.status();
+    EXPECT_FALSE(HasErrors(df->diagnostics))
+        << spec.name << ":\n" << FormatDiagnostics(df->diagnostics);
+    // Structural facts line up with the compiled plan.
+    EXPECT_EQ(df->cards.size(), df->call_ids.size()) << spec.name;
+    EXPECT_GE(df->iterations.min, 1) << spec.name;
+    EXPECT_GT(df->hot_wfms_us, 0) << spec.name;
+    EXPECT_GT(df->hot_udtf_us, 0) << spec.name;
+  }
+}
+
+TEST(DataflowSampleTest, LateralSetReturnerChainWarnsUnboundedInvocations) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    if (spec.name != "GetSubCompDiscounts") continue;
+    Result<DataflowResult> df = RunDataflow(spec, systems, model);
+    ASSERT_TRUE(df.ok()) << df.status();
+    EXPECT_TRUE(HasFinding(df->diagnostics, kDfUnboundedInvocations,
+                           "spec:GetSubCompDiscounts/node:GCS4D"))
+        << FormatDiagnostics(df->diagnostics);
+    return;
+  }
+  FAIL() << "sample scenario lost GetSubCompDiscounts";
+}
+
+// ---------------------------------------------------------------------------
+// Schema analysis: value-dependent casts and the FF403 honesty check.
+
+TEST(SchemaAnalysisTest, ValueDependentCastWarns) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  FederatedFunctionSpec spec;
+  spec.name = "NameAsInt";
+  spec.params = {Column{"SupplierNo", DataType::kInt}};
+  spec.calls = {SpecCall{"GSN", "purchasing", "GetSupplierName",
+                         {SpecArg::Param("SupplierNo")}}};
+  spec.outputs = {SpecOutput{"NameNum", "GSN", "SupplierName", DataType::kInt}};
+  Result<DataflowResult> df = RunDataflow(spec, systems, model);
+  ASSERT_TRUE(df.ok()) << df.status();
+  EXPECT_TRUE(HasFinding(df->diagnostics, kDfCastValueDependent,
+                         "spec:NameAsInt/output:NameNum"))
+      << FormatDiagnostics(df->diagnostics);
+  EXPECT_FALSE(HasErrors(df->diagnostics));
+}
+
+TEST(SchemaAnalysisTest, TamperedPlanSchemaTripsTheDriftCheck) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  FederatedFunctionSpec spec = QualitySpec("Drift");
+  Result<plan::FedPlan> plan = plan::CompilePlan(spec, systems);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Simulate a compiler bug: the plan promises a column the outputs don't
+  // produce. The schema analysis must refuse to vouch for it.
+  plan::FedPlan tampered = *plan;
+  tampered.result_schema = Schema();
+  tampered.result_schema.AddColumn("NotQual", DataType::kVarchar);
+  dataflow::PlanGraph graph = dataflow::PlanGraph::Build(tampered);
+  dataflow::SchemaAnalysisResult schema = dataflow::AnalyzeSchema(graph, spec);
+  EXPECT_TRUE(HasFinding(schema.diagnostics, kDfResultSchemaDrift,
+                         "spec:Drift"))
+      << FormatDiagnostics(schema.diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Budget analysis: the deadline verdict flips with the deployment knob.
+
+TEST(BudgetAnalysisTest, DeadlineVerdictTracksTheModeledHotPath) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  FederatedFunctionSpec spec = QualitySpec("Budgeted");
+
+  Result<DataflowResult> base = RunDataflow(spec, systems, model);
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_TRUE(base->diagnostics.empty())
+      << FormatDiagnostics(base->diagnostics);
+  VDuration best = std::min(base->hot_wfms_us, base->hot_udtf_us);
+  ASSERT_GT(best, 1);
+
+  // Just above the hot path but below the cold-start worst case: a warning.
+  DataflowOptions warn;
+  warn.deadline_us = best + 1;
+  Result<DataflowResult> cold = RunDataflow(spec, systems, model, warn);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(HasFinding(cold->diagnostics, kDfColdStartOverDeadline,
+                         "spec:Budgeted/deadline"))
+      << FormatDiagnostics(cold->diagnostics);
+  EXPECT_FALSE(HasErrors(cold->diagnostics));
+
+  // Below the hot path: infeasible outright.
+  DataflowOptions err;
+  err.deadline_us = best - 1;
+  Result<DataflowResult> hot = RunDataflow(spec, systems, model, err);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_TRUE(HasFinding(hot->diagnostics, kDfDeadlineInfeasible,
+                         "spec:Budgeted/deadline"))
+      << FormatDiagnostics(hot->diagnostics);
+
+  // Comfortably above hot + cold surcharge: silent.
+  DataflowOptions fine;
+  fine.deadline_us = best + 1000000;
+  Result<DataflowResult> ok = RunDataflow(spec, systems, model, fine);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->diagnostics.empty()) << FormatDiagnostics(ok->diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Taint analysis: shared-pool lease flow.
+
+TEST(TaintAnalysisTest, UnquotaedSharedPoolWarnsOnEscapingOutputs) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  FederatedFunctionSpec spec = QualitySpec("Pooled");
+  DataflowOptions options;
+  options.pool_max_size = 4;  // shared, and no per-tenant quota
+  Result<DataflowResult> df = RunDataflow(spec, systems, model, options);
+  ASSERT_TRUE(df.ok()) << df.status();
+  EXPECT_TRUE(HasFinding(df->diagnostics, kDfSharedLeaseFlow,
+                         "spec:Pooled/output:Qual"))
+      << FormatDiagnostics(df->diagnostics);
+  EXPECT_FALSE(HasErrors(df->diagnostics));
+
+  // A quota scopes the leases: the warning disappears.
+  options.per_tenant_quota = 1;
+  Result<DataflowResult> quotaed = RunDataflow(spec, systems, model, options);
+  ASSERT_TRUE(quotaed.ok());
+  EXPECT_TRUE(quotaed->diagnostics.empty())
+      << FormatDiagnostics(quotaed->diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality facts the fuzzer holds the runtime to.
+
+TEST(CardinalityTest, ConcreteLoopCountSharpensTheIterationInterval) {
+  appsys::AppSystemRegistry systems = MakeRegistry();
+  sim::LatencyModel model;
+  FederatedFunctionSpec spec;
+  spec.name = "Loopy";
+  spec.params = {Column{"N", DataType::kInt}};
+  spec.calls = {SpecCall{"GCN", "pdm", "GetCompName",
+                         {SpecArg::Param("ITERATION")}}};
+  spec.outputs = {SpecOutput{"CompName", "GCN", "CompName", DataType::kNull}};
+  spec.loop.enabled = true;
+  spec.loop.count_param = "N";
+  spec.loop.union_all = false;  // keep-last
+
+  Result<DataflowResult> open = RunDataflow(spec, systems, model);
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_EQ(open->iterations, Interval::AtLeast(1));
+
+  DataflowOptions options;
+  options.concrete_loop_count = 3;
+  Result<DataflowResult> sharp = RunDataflow(spec, systems, model, options);
+  ASSERT_TRUE(sharp.ok());
+  EXPECT_EQ(sharp->iterations, Interval::Exact(3));
+  // Keep-last loop: the result interval is one iteration's rows, [0, 1].
+  EXPECT_EQ(sharp->result_rows_wfms, Interval::Of(0, 1));
+}
+
+}  // namespace
+}  // namespace fedflow::analysis

@@ -400,5 +400,51 @@ TEST(LintPoolConfigTest, ServerRegistrationCollectsFf310Warning) {
       << Dump((*pooled)->lint_warnings());
 }
 
+// ---------------------------------------------------------------------------
+// Dataflow gate (FF4xx): semantically broken but syntactically clean specs
+// must die at registration, with the pinned code and location in the status.
+
+TEST(RegistrationGateTest, SemanticCorpusEntriesAreRejectedAtRegistration) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  std::vector<SemanticCorpusEntry> corpus = SemanticSpecCorpus();
+  ASSERT_GE(corpus.size(), 6u);
+  for (const SemanticCorpusEntry& entry : corpus) {
+    federation::ControllerPoolOptions pool;
+    pool.max_size = entry.pool_max_size;
+    pool.per_tenant_quota = entry.per_tenant_quota;
+    auto server = federation::IntegrationServer::Create(
+        federation::Architecture::kWfms, scenario, {}, pool);
+    ASSERT_TRUE(server.ok()) << entry.name << ": " << server.status();
+    (*server)->retry_policy() = entry.retry;
+    (*server)->analysis_deadline_us() = entry.deadline_us;
+    plan::PlanOptions options;
+    options.parallelize = entry.parallelize;
+    Status status = (*server)->RegisterFederatedFunction(entry.spec, options);
+    ASSERT_FALSE(status.ok())
+        << entry.name << " registered despite " << entry.expected_code;
+    std::string text = status.ToString();
+    EXPECT_NE(text.find(entry.expected_code), std::string::npos)
+        << entry.name << ": " << text;
+    EXPECT_NE(text.find(entry.expected_location), std::string::npos)
+        << entry.name << ": " << text;
+  }
+}
+
+TEST(RegistrationGateTest, SampleSpecsStillRegisterUnderTheDataflowGate) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  auto server = federation::IntegrationServer::Create(
+      federation::Architecture::kWfms, scenario);
+  ASSERT_TRUE(server.ok());
+  for (const FederatedFunctionSpec& spec : federation::AllSampleSpecs()) {
+    EXPECT_TRUE((*server)->RegisterFederatedFunction(spec).ok()) << spec.name;
+  }
+  // The FF410 cardinality warning is collected, not blocking.
+  bool has_ff410 = false;
+  for (const Diagnostic& d : (*server)->lint_warnings()) {
+    has_ff410 = has_ff410 || d.code == "FF410";
+  }
+  EXPECT_TRUE(has_ff410) << Dump((*server)->lint_warnings());
+}
+
 }  // namespace
 }  // namespace fedflow::analysis

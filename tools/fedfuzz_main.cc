@@ -1,0 +1,367 @@
+// fedfuzz: differential fuzzing of the coupling stack, driven by the
+// generative spec fuzzer (analysis/specgen.h).
+//
+// For every seed the harness generates a lint-clean federated-function spec
+// (cycling the paper's whole mapping-complexity matrix), then checks three
+// oracles against the live couplings:
+//
+//   1. Static:   the generated spec must carry no error-severity findings
+//                (spec lint + plan lint + the FF4xx dataflow analyses) and
+//                must classify as the case the generator intended.
+//   2. Register: every architecture that supports the spec's class must
+//                accept it; every architecture that does not must reject it.
+//   3. Execute:  all accepting architectures must return the same result
+//                (schema + row multiset), and the observed row counts and
+//                per-function local-call counts must fall inside the
+//                intervals the cardinality analysis predicted.
+//
+//   fedfuzz [--seeds N] [--start S] [--report]
+//
+// Exit 0 when every seed passes, 1 on any violation, 64 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cstring>
+#include <memory>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/dataflow_lint.h"
+#include "analysis/spec_lint.h"
+#include "analysis/specgen.h"
+#include "appsys/dataset.h"
+#include "federation/classify.h"
+#include "federation/integration_server.h"
+#include "federation/java_coupling.h"
+
+namespace {
+
+using namespace fedflow;            // NOLINT(google-build-using-namespace)
+using federation::Architecture;
+using federation::IntegrationServer;
+using federation::MappingCase;
+
+struct Options {
+  std::uint64_t seeds = 200;
+  std::uint64_t start = 0;
+  bool report = false;
+};
+
+/// Per-(SYSTEM.FUNCTION) call counts across one server's app systems.
+std::map<std::string, int64_t> AllCounts(const IntegrationServer& server) {
+  std::map<std::string, int64_t> counts;
+  for (const std::string& name : server.systems().Names()) {
+    Result<appsys::AppSystem*> system = server.systems().Get(name);
+    if (!system.ok()) continue;
+    for (const auto& [fn, n] : (*system)->FunctionCallCounts()) {
+      counts[(*system)->name() + "." + fn] += n;
+    }
+  }
+  return counts;
+}
+
+/// observed - before, dropping zero deltas.
+std::map<std::string, int64_t> Delta(const std::map<std::string, int64_t>& before,
+                                     const std::map<std::string, int64_t>& after) {
+  std::map<std::string, int64_t> delta;
+  for (const auto& [key, n] : after) {
+    int64_t b = 0;
+    auto it = before.find(key);
+    if (it != before.end()) b = it->second;
+    if (n != b) delta[key] = n - b;
+  }
+  return delta;
+}
+
+/// Sorted textual row multiset — row order is not part of the contract.
+std::vector<std::string> RowSet(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.num_rows());
+  for (const auto& row : table.rows()) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += "|";
+    }
+    rows.push_back(std::move(line));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string Upper(std::string s) {
+  for (char& ch : s) ch = static_cast<char>(std::toupper(ch));
+  return s;
+}
+
+class Harness {
+ public:
+  Harness() : scenario_(appsys::GenerateScenario({})), generator_(scenario_) {
+    static constexpr Architecture kArchs[] = {
+        Architecture::kWfms, Architecture::kUdtf, Architecture::kJavaUdtf};
+    for (int a = 0; a < 3; ++a) {
+      Result<std::unique_ptr<IntegrationServer>> server =
+          IntegrationServer::Create(kArchs[a], scenario_);
+      if (server.ok()) servers_[a] = std::move(*server);
+    }
+  }
+
+  bool RunSeed(std::uint64_t seed) {
+    analysis::GeneratedSpec gen = generator_.Generate(seed);
+    ++case_count_[static_cast<int>(gen.mapping_case)];
+    bool ok = CheckSpec(seed, gen.mapping_case, gen.spec, gen.args);
+    if (gen.sibling.has_value()) {
+      // The general case's sibling classifies on its own; registration and
+      // execution must still agree. Both members live on the same servers,
+      // which is exactly the shared-local-function deployment.
+      ok = CheckSpec(seed, MappingCase::kGeneral, *gen.sibling,
+                     gen.sibling_args) &&
+           ok;
+    }
+    return ok;
+  }
+
+  void PrintReport(std::uint64_t seeds) const {
+    std::printf("fedfuzz coverage over %llu seed(s):\n",
+                static_cast<unsigned long long>(seeds));
+    static constexpr MappingCase kCases[] = {
+        MappingCase::kTrivial,         MappingCase::kSimple,
+        MappingCase::kIndependent,     MappingCase::kDependentLinear,
+        MappingCase::kDependent1N,     MappingCase::kDependentN1,
+        MappingCase::kDependentCyclic, MappingCase::kGeneral,
+    };
+    for (MappingCase c : kCases) {
+      std::printf("  %-18s %llu spec(s)\n", federation::MappingCaseName(c),
+                  static_cast<unsigned long long>(
+                      case_count_[static_cast<int>(c)]));
+    }
+    std::printf("  executions checked: %llu, bound checks: %llu\n",
+                static_cast<unsigned long long>(executions_),
+                static_cast<unsigned long long>(bound_checks_));
+  }
+
+ private:
+  bool Fail(std::uint64_t seed, const std::string& spec_name,
+            const std::string& what) {
+    std::printf("FAIL seed=%llu spec=%s: %s\n",
+                static_cast<unsigned long long>(seed), spec_name.c_str(),
+                what.c_str());
+    return false;
+  }
+
+  bool CheckSpec(std::uint64_t seed, MappingCase intended,
+                 const federation::FederatedFunctionSpec& spec,
+                 const std::vector<Value>& args) {
+    IntegrationServer& wfms = *servers_[0];
+
+    // Oracle 1: statically clean and correctly classified.
+    std::vector<analysis::Diagnostic> diags =
+        analysis::LintSpec(spec, wfms.systems());
+    Result<analysis::DataflowResult> dataflow = analysis::RunDataflow(
+        spec, wfms.systems(), wfms.model(), analysis::DataflowOptions{});
+    if (!dataflow.ok()) {
+      return Fail(seed, spec.name,
+                  "dataflow analysis failed: " + dataflow.status().ToString());
+    }
+    for (const analysis::Diagnostic& d : dataflow->diagnostics) {
+      diags.push_back(d);
+    }
+    if (analysis::HasErrors(diags)) {
+      return Fail(seed, spec.name,
+                  "generated spec has error findings (generator bug):\n" +
+                      analysis::FormatDiagnostics(analysis::Filter(
+                          diags, analysis::Severity::kError)));
+    }
+    Result<MappingCase> classified = federation::ClassifySpec(spec);
+    if (!classified.ok()) {
+      return Fail(seed, spec.name,
+                  "classification failed: " + classified.status().ToString());
+    }
+    if (intended != MappingCase::kGeneral && *classified != intended) {
+      return Fail(seed, spec.name,
+                  std::string("classified as ") +
+                      federation::MappingCaseName(*classified) +
+                      ", generator intended " +
+                      federation::MappingCaseName(intended));
+    }
+
+    // Oracle 2: the support matrix decides registration. The SQL I-UDTF
+    // cannot express cycles; the procedural (Java) I-UDTF loops client-side
+    // and only the cross-spec general case is beyond it.
+    bool expected[3] = {federation::WfmsSupports(*classified),
+                        federation::UdtfSupports(*classified),
+                        federation::JavaUdtfSupports(*classified)};
+    bool registered[3] = {false, false, false};
+    for (int a = 0; a < 3; ++a) {
+      bool expect = expected[a];
+      Status status = servers_[a]->RegisterFederatedFunction(spec);
+      if (status.ok() != expect) {
+        return Fail(
+            seed, spec.name,
+            std::string(federation::ArchitectureName(
+                servers_[a]->architecture())) +
+                (expect ? " rejected a supported spec: " + status.ToString()
+                        : " accepted an unsupported (cyclic/general) spec"));
+      }
+      registered[a] = status.ok();
+    }
+
+    // Tight cardinality bounds: re-run the analysis with the loop count the
+    // execution will actually use.
+    analysis::DataflowOptions bound_options;
+    if (spec.loop.enabled) {
+      for (size_t i = 0; i < spec.params.size(); ++i) {
+        if (Upper(spec.params[i].name) == Upper(spec.loop.count_param)) {
+          bound_options.concrete_loop_count = args[i].AsInt();
+        }
+      }
+    }
+    Result<analysis::DataflowResult> bounds = analysis::RunDataflow(
+        spec, wfms.systems(), wfms.model(), bound_options);
+    if (!bounds.ok()) {
+      return Fail(seed, spec.name,
+                  "bound analysis failed: " + bounds.status().ToString());
+    }
+
+    // Oracle 3: identical results everywhere, observations inside bounds.
+    Schema first_schema;
+    std::vector<std::string> first_rows;
+    int first_arch = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (!registered[a]) continue;
+      IntegrationServer& server = *servers_[a];
+      std::map<std::string, int64_t> before = AllCounts(server);
+      Result<IntegrationServer::TimedResult> result =
+          server.CallFederated(spec.name, args);
+      if (!result.ok()) {
+        return Fail(seed, spec.name,
+                    std::string(federation::ArchitectureName(
+                        server.architecture())) +
+                        " execution failed: " + result.status().ToString());
+      }
+      ++executions_;
+      std::map<std::string, int64_t> delta = Delta(before, AllCounts(server));
+
+      if (first_arch < 0) {
+        first_arch = a;
+        first_schema = result->table.schema();
+        first_rows = RowSet(result->table);
+      } else {
+        if (!(result->table.schema() == first_schema)) {
+          return Fail(seed, spec.name, "result schema diverges across couplings");
+        }
+        if (RowSet(result->table) != first_rows) {
+          return Fail(seed, spec.name,
+                      "result rows diverge across couplings (" +
+                          std::to_string(first_rows.size()) + " vs " +
+                          std::to_string(result->table.num_rows()) + ")");
+        }
+      }
+      if (!CheckBounds(seed, spec, *bounds, a == 0, result->table.num_rows(),
+                       delta)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Observed row count and per-function call counts against the intervals
+  /// the cardinality analysis predicted for this lowering.
+  bool CheckBounds(std::uint64_t seed,
+                   const federation::FederatedFunctionSpec& spec,
+                   const analysis::DataflowResult& bounds, bool wfms_lowering,
+                   size_t observed_rows,
+                   const std::map<std::string, int64_t>& delta) {
+    ++bound_checks_;
+    const analysis::dataflow::Interval& rows =
+        wfms_lowering ? bounds.result_rows_wfms : bounds.result_rows_udtf;
+    if (!rows.Contains(static_cast<int64_t>(observed_rows))) {
+      return Fail(seed, spec.name,
+                  "observed " + std::to_string(observed_rows) +
+                      " result row(s), analysis predicted " + rows.ToString());
+    }
+    // Sum the per-node invocation intervals per local function.
+    std::map<std::string, analysis::dataflow::Interval> predicted;
+    for (size_t i = 0; i < bounds.cards.size(); ++i) {
+      const federation::SpecCall* call = nullptr;
+      for (const federation::SpecCall& c : spec.calls) {
+        if (Upper(c.id) == Upper(bounds.call_ids[i])) call = &c;
+      }
+      if (call == nullptr) continue;
+      std::string key = call->system + "." + Upper(call->function);
+      const analysis::dataflow::Interval& inv =
+          wfms_lowering ? bounds.cards[i].invocations_wfms
+                        : bounds.cards[i].invocations_udtf;
+      auto [it, inserted] = predicted.emplace(key, inv);
+      if (!inserted) it->second = it->second.Add(inv);
+    }
+    for (const auto& [key, observed] : delta) {
+      auto it = predicted.find(key);
+      if (it == predicted.end()) {
+        return Fail(seed, spec.name,
+                    "observed calls to " + key +
+                        " which the analysis did not predict at all");
+      }
+      if (!it->second.Contains(observed)) {
+        return Fail(seed, spec.name,
+                    "observed " + std::to_string(observed) + " call(s) to " +
+                        key + ", analysis predicted " + it->second.ToString());
+      }
+    }
+    for (const auto& [key, interval] : predicted) {
+      if (interval.min > 0 && delta.find(key) == delta.end()) {
+        return Fail(seed, spec.name,
+                    "analysis predicted at least " +
+                        std::to_string(interval.min) + " call(s) to " + key +
+                        " but none were observed");
+      }
+    }
+    return true;
+  }
+
+  appsys::Scenario scenario_;
+  analysis::SpecGenerator generator_;
+  std::unique_ptr<IntegrationServer> servers_[3];
+  std::uint64_t case_count_[8] = {};
+  std::uint64_t executions_ = 0;
+  std::uint64_t bound_checks_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      options.seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--start" && i + 1 < argc) {
+      options.start = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--report") {
+      options.report = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fedfuzz [--seeds N] [--start S] [--report]\n");
+      return 64;
+    }
+  }
+
+  Harness harness;
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = options.start; seed < options.start + options.seeds;
+       ++seed) {
+    if (!harness.RunSeed(seed)) ++failures;
+  }
+  if (options.report) harness.PrintReport(options.seeds);
+  if (failures > 0) {
+    std::printf("fedfuzz: %llu of %llu seed(s) FAILED\n",
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(options.seeds));
+    return 1;
+  }
+  std::printf("fedfuzz: %llu seed(s) passed\n",
+              static_cast<unsigned long long>(options.seeds));
+  return 0;
+}

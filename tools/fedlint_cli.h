@@ -1,0 +1,47 @@
+// The fedlint CLI, factored into a small library so the CLI contract —
+// argument parsing, output formats and exit codes — is unit-testable without
+// spawning the binary.
+//
+// Exit codes:
+//   0   clean, or warnings without --strict
+//   1   warnings only, under --strict
+//   2   at least one error-severity finding (or a compilation failure)
+//   64  usage error
+#ifndef FEDFLOW_TOOLS_FEDLINT_CLI_H_
+#define FEDFLOW_TOOLS_FEDLINT_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace fedflow::tools {
+
+enum class OutputFormat { kText, kJson, kSarif };
+
+enum class LintMode { kSample, kListCorpus, kCorpusOne, kCorpusAll };
+
+struct CliOptions {
+  LintMode mode = LintMode::kSample;
+  OutputFormat format = OutputFormat::kText;
+  bool strict = false;
+  std::string corpus_name;  ///< kCorpusOne only
+};
+
+/// Parses argv (without the program name). On failure returns false and puts
+/// the usage text in `error`.
+bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* options,
+                  std::string* error);
+
+/// Runs fedlint per `options`, appending all human/machine output to
+/// `output`. Returns the process exit code (see header comment).
+int RunFedlint(const CliOptions& options, std::string* output);
+
+/// Renders diagnostics in the chosen format (exposed for tests; text format
+/// is one Diagnostic::ToString() per line).
+std::string FormatFindings(const std::vector<analysis::Diagnostic>& diags,
+                           OutputFormat format);
+
+}  // namespace fedflow::tools
+
+#endif  // FEDFLOW_TOOLS_FEDLINT_CLI_H_

@@ -1,207 +1,32 @@
 // fedlint: static verification of federated-function specs, the workflow
-// processes and I-UDTF SQL compiled from them.
+// processes and I-UDTF SQL compiled from them, and semantic dataflow facts
+// over the FedPlan IR.
 //
-//   fedlint                 lint the full sample scenario (all specs, their
-//                           compiled workflow processes, generated I-UDTF
-//                           SQL, and plan/lowering consistency); exit 0 iff
-//                           no findings
-//   fedlint --list-corpus   print the malformed-spec corpus entry names
-//   fedlint --corpus NAME   lint one corpus entry; exit 1 on findings
-//   fedlint --corpus-all    lint every corpus entry; exit 1 on findings
+//   fedlint                 lint the full sample scenario, all five passes
+//   fedlint --list-corpus   print the corpus entry names
+//   fedlint --corpus NAME   lint one corpus entry
+//   fedlint --corpus-all    lint every corpus entry
+//   fedlint --format=F      text (default), json, or sarif
+//   fedlint --strict        exit 1 when the findings are warnings only
+//
+// Exit codes: 0 clean (or warnings without --strict), 1 warnings under
+// --strict, 2 errors, 64 usage.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/corpus.h"
-#include "analysis/diagnostic.h"
-#include "analysis/plan_lint.h"
-#include "analysis/spec_lint.h"
-#include "analysis/sql_lint.h"
-#include "analysis/workflow_lint.h"
-#include "appsys/dataset.h"
-#include "appsys/pdm.h"
-#include "appsys/purchasing.h"
-#include "appsys/registry.h"
-#include "appsys/stockkeeping.h"
-#include "federation/classify.h"
-#include "federation/sample_scenario.h"
-#include "federation/wfms_coupling.h"
-#include "federation/udtf_coupling.h"
-#include "fdbs/database.h"
-#include "sim/latency.h"
-#include "sim/system_state.h"
-#include "wfms/engine.h"
-
-namespace {
-
-using namespace fedflow;           // NOLINT(google-build-using-namespace)
-using namespace fedflow::analysis; // NOLINT(google-build-using-namespace)
-
-void Print(const std::vector<Diagnostic>& diags) {
-  for (const Diagnostic& d : diags) {
-    std::printf("%s\n", d.ToString().c_str());
-  }
-}
-
-/// The registry the sample scenario and the corpus lint against.
-Result<appsys::AppSystemRegistry> SampleRegistry() {
-  appsys::Scenario scenario = appsys::GenerateScenario({});
-  appsys::AppSystemRegistry systems;
-  FEDFLOW_RETURN_NOT_OK(
-      systems.Add(std::make_shared<appsys::StockKeepingSystem>(scenario)));
-  FEDFLOW_RETURN_NOT_OK(
-      systems.Add(std::make_shared<appsys::PurchasingSystem>(scenario)));
-  FEDFLOW_RETURN_NOT_OK(
-      systems.Add(std::make_shared<appsys::PdmSystem>(scenario)));
-  return systems;
-}
-
-/// Resolves A-UDTF names across every registered application system, as the
-/// FDBS catalog does after RegisterAccessUdtfs().
-UdtfLookup MakeLookup(const appsys::AppSystemRegistry& systems) {
-  return [&systems](const std::string& name) -> std::optional<UdtfSignature> {
-    for (const std::string& sys_name : systems.Names()) {
-      Result<appsys::AppSystem*> sys = systems.Get(sys_name);
-      if (!sys.ok()) continue;
-      Result<const appsys::LocalFunction*> fn = (*sys)->GetFunction(name);
-      if (fn.ok()) {
-        return UdtfSignature{(*fn)->params, (*fn)->result_schema};
-      }
-    }
-    return std::nullopt;
-  };
-}
-
-/// Lints every sample spec through all three passes. Returns the total
-/// finding count.
-int LintSampleScenario() {
-  Result<appsys::AppSystemRegistry> systems = SampleRegistry();
-  if (!systems.ok()) {
-    std::printf("error: %s\n", systems.status().ToString().c_str());
-    return 1;
-  }
-
-  // Infrastructure the couplings compile against (nothing is executed).
-  sim::LatencyModel model;
-  sim::SystemState state;
-  fdbs::Database db;
-  federation::Controller controller(&*systems, &model);
-  wfms::Engine engine{wfms::EngineOptions{}};
-  federation::WfmsCoupling wfms(&db, &engine, &*systems, &controller, &model,
-                                &state);
-  federation::UdtfCoupling udtf(&db, &*systems, &controller, &model, &state);
-  UdtfLookup lookup = MakeLookup(*systems);
-
-  int findings = 0;
-  for (const federation::FederatedFunctionSpec& spec :
-       federation::AllSampleSpecs()) {
-    // Pass 1: the spec itself.
-    std::vector<Diagnostic> diags = LintSpec(spec, *systems);
-
-    // Pass 2: the workflow process compiled from it.
-    Result<federation::CompiledProcess> compiled = wfms.CompileProcess(spec);
-    if (compiled.ok()) {
-      std::vector<Diagnostic> wf = LintProcess(compiled->process, *systems);
-      diags.insert(diags.end(), wf.begin(), wf.end());
-    } else {
-      std::printf("%s: workflow compilation failed: %s\n", spec.name.c_str(),
-                  compiled.status().ToString().c_str());
-      ++findings;
-    }
-
-    // Pass 3: plan consistency — the optimized plan's lowerings must agree
-    // with the IR on call set, ordering, classification and sunk predicates
-    // (FF3xx). Checked in both passthrough and fully-optimized modes.
-    {
-      std::vector<Diagnostic> pl = LintPlan(spec, *systems, model);
-      diags.insert(diags.end(), pl.begin(), pl.end());
-      plan::PlanOptions optimized;
-      optimized.parallelize = true;
-      optimized.reorder = true;
-      optimized.sink_predicates = true;
-      std::vector<Diagnostic> po = LintPlan(spec, *systems, model, optimized);
-      diags.insert(diags.end(), po.begin(), po.end());
-    }
-
-    // Pass 4: the generated I-UDTF SQL (loop specs are WfMS-only).
-    if (!spec.loop.enabled) {
-      Result<std::string> sql = udtf.CompileIUdtfSql(spec);
-      if (sql.ok()) {
-        std::vector<Diagnostic> sq = LintIUdtfSql(*sql, lookup);
-        diags.insert(diags.end(), sq.begin(), sq.end());
-      } else {
-        std::printf("%s: I-UDTF compilation failed: %s\n", spec.name.c_str(),
-                    sql.status().ToString().c_str());
-        ++findings;
-      }
-    }
-
-    if (diags.empty()) {
-      std::printf("%-22s clean\n", spec.name.c_str());
-    } else {
-      std::printf("%-22s %zu finding(s)\n", spec.name.c_str(), diags.size());
-      Print(diags);
-      findings += static_cast<int>(diags.size());
-    }
-  }
-  return findings;
-}
-
-int LintCorpusEntry(const CorpusEntry& entry,
-                    const appsys::AppSystemRegistry& systems) {
-  std::vector<Diagnostic> diags = LintSpec(entry.spec, systems);
-  std::printf("corpus entry '%s' (expect %s):\n", entry.name.c_str(),
-              entry.expected_code.c_str());
-  Print(diags);
-  return static_cast<int>(diags.size());
-}
-
-}  // namespace
+#include "fedlint_cli.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-
-  if (!args.empty() && args[0] == "--list-corpus") {
-    for (const CorpusEntry& e : MalformedSpecCorpus()) {
-      std::printf("%-20s %s at %s\n", e.name.c_str(),
-                  e.expected_code.c_str(), e.expected_location.c_str());
-    }
-    return 0;
+  fedflow::tools::CliOptions options;
+  std::string error;
+  if (!fedflow::tools::ParseCliArgs(args, &options, &error)) {
+    std::fputs(error.c_str(), stderr);
+    return 64;
   }
-
-  if (!args.empty() && (args[0] == "--corpus" || args[0] == "--corpus-all")) {
-    Result<appsys::AppSystemRegistry> systems = SampleRegistry();
-    if (!systems.ok()) {
-      std::printf("error: %s\n", systems.status().ToString().c_str());
-      return 1;
-    }
-    int findings = 0;
-    bool matched = false;
-    for (const CorpusEntry& e : MalformedSpecCorpus()) {
-      if (args[0] == "--corpus") {
-        if (args.size() < 2 || e.name != args[1]) continue;
-      }
-      matched = true;
-      findings += LintCorpusEntry(e, *systems);
-    }
-    if (!matched) {
-      std::printf("unknown corpus entry; try --list-corpus\n");
-      return 2;
-    }
-    return findings > 0 ? 1 : 0;
-  }
-
-  if (!args.empty()) {
-    std::printf(
-        "usage: fedlint [--list-corpus | --corpus NAME | --corpus-all]\n");
-    return 2;
-  }
-
-  int findings = LintSampleScenario();
-  if (findings == 0) {
-    std::printf("sample scenario: clean across all passes\n");
-    return 0;
-  }
-  std::printf("sample scenario: %d finding(s)\n", findings);
-  return 1;
+  std::string output;
+  int code = fedflow::tools::RunFedlint(options, &output);
+  std::fputs(output.c_str(), stdout);
+  return code;
 }
