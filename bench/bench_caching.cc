@@ -1,0 +1,174 @@
+// The caching ablation: what the opt-in plan + result cache layer (§14)
+// adds on top of the paper's cold/warm/hot effect. Uncached, a hot call
+// still pays the full modeled chain every time; with caching enabled a hot
+// controller with a resident entry answers at cache_hit_us, a private-store
+// write (stock SetQuality) bumps the store's data version and forces the
+// next call back onto the real path, and the call after that hits again.
+// Plans are compiled exactly once per registered function either way — the
+// plan-cache compile counter is part of the golden.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
+
+namespace fedflow::bench {
+namespace {
+
+constexpr char kFunction[] = "GetSuppQual";
+const char* ArchTag(Architecture arch) {
+  switch (arch) {
+    case Architecture::kWfms:
+      return "wfms";
+    case Architecture::kUdtf:
+      return "udtf";
+    case Architecture::kJavaUdtf:
+      return "java";
+  }
+  return "?";
+}
+
+std::vector<Value> CallArgs() { return {Value::Varchar("Stark")}; }
+
+/// Bumps the stock store's data version through the one sanctioned data
+/// access path, invalidating every cached result derived from it.
+void WriteStockQuality(IntegrationServer* server) {
+  auto stock = server->systems().Get("stock");
+  if (!stock.ok()) std::abort();
+  auto written =
+      (*stock)->Call("SetQuality", {Value::Int(1234), Value::Int(99)});
+  if (!written.ok()) {
+    std::fprintf(stderr, "SetQuality failed: %s\n",
+                 written.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+struct Measurement {
+  VDuration uncached_cold = 0;
+  VDuration uncached_hot = 0;
+  VDuration cached_cold = 0;
+  VDuration cached_hot_hit = 0;
+  VDuration after_write_miss = 0;
+  VDuration rehit = 0;
+  cache::PlanCache::Stats plan;
+  cache::ResultCache::Stats result;
+};
+
+Measurement Measure(Architecture arch) {
+  auto server = MustMakeServer(arch);
+  Measurement m;
+  // Uncached baseline: the paper's cold and hot calls.
+  server->Reboot();
+  m.uncached_cold = MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+  m.uncached_hot = MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+
+  // Cached run. The reboot flushes the result cache, so the cold call runs
+  // for real (cold calls are never probed — the warm-up is the phenomenon
+  // under measurement) and memoizes its result on the way out.
+  server->set_caching_enabled(true);
+  server->Reboot();
+  m.cached_cold = MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+  // Hot + resident: served straight from the cache at cache_hit_us.
+  m.cached_hot_hit = MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+  // A write to the stock store supersedes the entry; the next call probes,
+  // misses and runs the real chain again (plus the probe it paid).
+  WriteStockQuality(server.get());
+  m.after_write_miss =
+      MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+  // ... and re-memoizes at the new data version, so the next call hits.
+  m.rehit = MustCall(server.get(), kFunction, CallArgs()).elapsed_us;
+
+  m.plan = server->plan_cache().stats();
+  m.result = server->result_cache().stats();
+  return m;
+}
+
+void BM_UncachedHotCall(benchmark::State& state, Architecture arch) {
+  auto server = MustMakeServer(arch);
+  (void)MustCall(server.get(), kFunction, CallArgs());
+  for (auto _ : state) {
+    auto result = MustCall(server.get(), kFunction, CallArgs());
+    state.SetIterationTime(static_cast<double>(result.elapsed_us) * 1e-6);
+  }
+}
+void BM_CachedHotCall(benchmark::State& state, Architecture arch) {
+  auto server = MustMakeServer(arch);
+  server->set_caching_enabled(true);
+  (void)MustCall(server.get(), kFunction, CallArgs());
+  for (auto _ : state) {
+    auto result = MustCall(server.get(), kFunction, CallArgs());
+    state.SetIterationTime(static_cast<double>(result.elapsed_us) * 1e-6);
+  }
+}
+BENCHMARK_CAPTURE(BM_UncachedHotCall, wfms, Architecture::kWfms)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_CachedHotCall, wfms, Architecture::kWfms)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void PrintTable() {
+  std::printf("\n=== Result caching: %s (virtual time, us) ===\n", kFunction);
+  BenchJson json("caching");
+  bool hit_below_uncached = true;
+  for (Architecture arch : {Architecture::kWfms, Architecture::kUdtf,
+                            Architecture::kJavaUdtf}) {
+    Measurement m = Measure(arch);
+    const std::string tag = ArchTag(arch);
+    std::printf("\n--- %s ---\n", federation::ArchitectureName(arch));
+    std::printf("%-28s %12s\n", "scenario", "elapsed");
+    PrintRule(42);
+    std::printf("%-28s %12lld\n", "uncached cold",
+                static_cast<long long>(m.uncached_cold));
+    std::printf("%-28s %12lld\n", "uncached hot",
+                static_cast<long long>(m.uncached_hot));
+    std::printf("%-28s %12lld\n", "cached cold (memoizes)",
+                static_cast<long long>(m.cached_cold));
+    std::printf("%-28s %12lld\n", "cached hot hit",
+                static_cast<long long>(m.cached_hot_hit));
+    std::printf("%-28s %12lld\n", "after-write miss",
+                static_cast<long long>(m.after_write_miss));
+    std::printf("%-28s %12lld\n", "re-hit",
+                static_cast<long long>(m.rehit));
+    PrintRule(42);
+    std::printf("plan compiles=%lld  result hits=%lld misses=%lld "
+                "invalidations=%lld\n",
+                static_cast<long long>(m.plan.compiles),
+                static_cast<long long>(m.result.hits),
+                static_cast<long long>(m.result.misses),
+                static_cast<long long>(m.result.invalidations));
+    json.Add(tag, "uncached_cold_us", m.uncached_cold);
+    json.Add(tag, "uncached_hot_us", m.uncached_hot);
+    json.Add(tag, "cached_cold_us", m.cached_cold);
+    json.Add(tag, "cached_hot_hit_us", m.cached_hot_hit);
+    json.Add(tag, "after_write_miss_us", m.after_write_miss);
+    json.Add(tag, "rehit_us", m.rehit);
+    json.Add(tag, "plan_compiles", m.plan.compiles);
+    json.Add(tag, "result_hits", m.result.hits);
+    json.Add(tag, "result_misses", m.result.misses);
+    json.Add(tag, "result_insertions", m.result.insertions);
+    json.Add(tag, "result_invalidations", m.result.invalidations);
+    if (m.cached_hot_hit >= m.uncached_hot) hit_below_uncached = false;
+  }
+  std::printf("\nhit path strictly below the uncached hot path for every "
+              "architecture: %s\n",
+              hit_below_uncached ? "yes" : "NO");
+  json.Write();
+}
+
+}  // namespace
+}  // namespace fedflow::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fedflow::bench::PrintTable();
+  return 0;
+}

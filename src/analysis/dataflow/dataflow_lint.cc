@@ -1,5 +1,6 @@
 #include "analysis/dataflow/dataflow_lint.h"
 
+#include <optional>
 #include <utility>
 
 #include "analysis/dataflow/budget_analysis.h"
@@ -15,7 +16,7 @@ namespace fedflow::analysis {
 Result<DataflowResult> RunDataflow(
     const federation::FederatedFunctionSpec& spec,
     const appsys::AppSystemRegistry& systems, const sim::LatencyModel& model,
-    const DataflowOptions& options) {
+    const DataflowOptions& options, const plan::FedPlan* optimized) {
   // All value-level analyses run over the passthrough plan — the optimizer
   // passes reshape schedules, never schemas or cardinalities. Only the
   // taint pass looks at the (possibly parallelized) stage structure.
@@ -54,14 +55,23 @@ Result<DataflowResult> RunDataflow(
   }
 
   // The taint pass judges the stage structure the deployment will actually
-  // run: the parallelized plan when registration requests the pass.
+  // run: the parallelized plan when registration requests the pass. The
+  // server's plan cache supplies it as `optimized`; without one, compile it
+  // here (direct callers, tests).
   if (options.parallelize) {
-    plan::PlanOptions plan_options;
-    plan_options.parallelize = true;
-    FEDFLOW_ASSIGN_OR_RETURN(
-        plan::FedPlan parallel,
-        plan::BuildPlan(spec, systems, model, plan_options));
-    dataflow::PlanGraph parallel_graph = dataflow::PlanGraph::Build(parallel);
+    std::optional<plan::FedPlan> owned;
+    if (optimized == nullptr) {
+      plan::PlanOptions plan_options;
+      plan_options.parallelize = true;
+      FEDFLOW_ASSIGN_OR_RETURN(
+          plan::FedPlan parallel,
+          plan::BuildPlan(spec, systems, model, plan_options));
+      owned = std::move(parallel);
+    }
+    const plan::FedPlan& parallel_plan =
+        optimized != nullptr ? *optimized : *owned;
+    dataflow::PlanGraph parallel_graph =
+        dataflow::PlanGraph::Build(parallel_plan);
     dataflow::TaintAnalysisResult taint = dataflow::AnalyzeTaint(
         parallel_graph, spec, options.pool_max_size, options.per_tenant_quota,
         /*parallelize=*/true);

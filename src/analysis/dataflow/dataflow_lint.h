@@ -24,6 +24,10 @@
 #include "sim/fault.h"
 #include "sim/latency.h"
 
+namespace fedflow::plan {
+struct FedPlan;
+}  // namespace fedflow::plan
+
 namespace fedflow::analysis {
 
 // Schema/type dataflow codes (FF400..FF409).
@@ -114,11 +118,14 @@ struct DataflowResult {
 /// Runs all four dataflow analyses over `spec` compiled against `systems`.
 /// The spec must already be plannable (LintSpec clean of errors); a compile
 /// failure surfaces as an error status, which registration treats like the
-/// FF304 compile-failure path.
+/// FF304 compile-failure path. `optimized` (optional) supplies the
+/// already-optimized plan the deployment will run — the server's plan cache
+/// passes it so the parallelize-mode taint pass does not recompile.
 Result<DataflowResult> RunDataflow(const federation::FederatedFunctionSpec& spec,
                                    const appsys::AppSystemRegistry& systems,
                                    const sim::LatencyModel& model,
-                                   const DataflowOptions& options = {});
+                                   const DataflowOptions& options = {},
+                                   const plan::FedPlan* optimized = nullptr);
 
 }  // namespace fedflow::analysis
 

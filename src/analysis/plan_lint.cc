@@ -1,6 +1,7 @@
 #include "analysis/plan_lint.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -265,18 +266,22 @@ void CheckPredicates(const plan::FedPlan& fed_plan, const std::string& where,
 std::vector<Diagnostic> LintPlan(const federation::FederatedFunctionSpec& spec,
                                  const appsys::AppSystemRegistry& systems,
                                  const sim::LatencyModel& model,
-                                 const plan::PlanOptions& options) {
+                                 const plan::PlanOptions& options,
+                                 const plan::FedPlan* prebuilt) {
   std::vector<Diagnostic> out;
   const std::string where = "plan:" + spec.name;
 
-  Result<plan::FedPlan> compiled =
-      plan::BuildPlan(spec, systems, model, options);
-  if (!compiled.ok()) {
-    Add(&out, kPlanCompileFailed, where,
-        "plan compilation failed: " + compiled.status().message());
-    return out;
+  std::optional<plan::FedPlan> compiled;
+  if (prebuilt == nullptr) {
+    Result<plan::FedPlan> built = plan::BuildPlan(spec, systems, model, options);
+    if (!built.ok()) {
+      Add(&out, kPlanCompileFailed, where,
+          "plan compilation failed: " + built.status().message());
+      return out;
+    }
+    compiled = std::move(*built);
   }
-  const plan::FedPlan& fed_plan = *compiled;
+  const plan::FedPlan& fed_plan = prebuilt != nullptr ? *prebuilt : *compiled;
 
   // Classification agreement: the spec-level classifier, the plan's recorded
   // case and the IR-shape classifier must coincide.

@@ -30,10 +30,14 @@ inline constexpr char kPlanPoolSerialized[] = "FF310";
 /// every architecture that supports its mapping case, and cross-checks the
 /// lowerings against the plan. The spec should already have passed LintSpec;
 /// compile/lowering failures yield FF304 instead of crashing the pass.
+/// `prebuilt` (optional) supplies the already-compiled plan for `spec` under
+/// `options` — the server's plan cache passes it so the lint does not
+/// recompile; it must match (spec, options) or the verdicts are meaningless.
 std::vector<Diagnostic> LintPlan(const federation::FederatedFunctionSpec& spec,
                                  const appsys::AppSystemRegistry& systems,
                                  const sim::LatencyModel& model,
-                                 const plan::PlanOptions& options = {});
+                                 const plan::PlanOptions& options = {},
+                                 const plan::FedPlan* prebuilt = nullptr);
 
 /// Deployment-consistency check: warns (FF310) when `options` requests the
 /// parallelize pass but the deployment's controller pool holds a single

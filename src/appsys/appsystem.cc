@@ -58,6 +58,7 @@ Result<AppSystem::CallResult> AppSystem::Call(
   if (!out.ok()) {
     return out.status().WithContext(name_ + "." + function);
   }
+  if (fn->mutates) data_version_.fetch_add(1);
   CallResult result;
   result.cost_us = fn->base_cost_us +
                    fn->per_row_cost_us * static_cast<VDuration>(out->num_rows());

@@ -38,11 +38,16 @@ struct LocalFunction {
   /// static cardinality analysis folds these through federated plans.
   int64_t min_rows = 1;
   int64_t max_rows = 1;
+  /// Whether the function writes the system's private store. A successful
+  /// call of a mutating function bumps the system's data version, making
+  /// every result-cache key derived from the old version unreachable.
+  bool mutates = false;
 };
 
 /// Base class for application systems. Thread-safe for concurrent Call()s
-/// (the store is immutable after construction; statistics are atomic or
-/// mutex-guarded).
+/// (stores are immutable after construction unless a subclass registers a
+/// mutating function, in which case it must guard its own store; statistics
+/// and the data version are atomic or mutex-guarded).
 class AppSystem {
  public:
   explicit AppSystem(std::string name) : name_(std::move(name)) {}
@@ -73,6 +78,16 @@ class AppSystem {
   /// Total number of Call() invocations (fault-injected ones included).
   int64_t call_count() const { return call_count_.load(); }
 
+  /// Monotonic version of the system's private store. Starts at 0 and bumps
+  /// on every successful call of a mutating local function (and on explicit
+  /// BumpDataVersion). Result-cache keys embed this stamp, so a write
+  /// invalidates every memoized result derived from the old store state.
+  int64_t data_version() const { return data_version_.load(); }
+
+  /// Advances the data version — the invalidation hook for subclasses whose
+  /// stores change outside the Call() path (e.g. test fixtures).
+  void BumpDataVersion() { data_version_.fetch_add(1); }
+
   /// Per-function Call() counts, keyed by upper-cased function name
   /// (fault-injected and unknown-function calls included). Snapshot; the
   /// equivalence tests diff these across architectures to prove that two
@@ -92,6 +107,9 @@ class AppSystem {
   std::map<std::string, LocalFunction> functions_;
   std::map<std::string, Status> faults_;
   mutable std::atomic<int64_t> call_count_{0};
+  /// Mutable because Call() is const even for mutating functions (the store
+  /// a subclass mutates is its own; the registry hands out const access).
+  mutable std::atomic<int64_t> data_version_{0};
   /// Guards fn_call_counts_; Call() runs concurrently under the WfMS pool.
   mutable std::mutex stats_mutex_;
   mutable std::map<std::string, int64_t> fn_call_counts_;

@@ -23,6 +23,7 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
                       schema = get_quality.result_schema](
                          const std::vector<Value>& args) -> Result<Table> {
     Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
     auto it = quality_.find(args[0].AsInt());
     if (it != quality_.end()) {
       out.AppendRowUnchecked({Value::Int(it->second)});
@@ -30,6 +31,25 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
     return out;
   };
   (void)Register(std::move(get_quality));
+
+  LocalFunction set_quality;
+  set_quality.name = "SetQuality";
+  set_quality.params = {Column{"SupplierNo", DataType::kInt},
+                        Column{"Qual", DataType::kInt}};
+  set_quality.result_schema.AddColumn("Qual", DataType::kInt);
+  set_quality.base_cost_us = 450;
+  set_quality.min_rows = 1;  // echoes the stored rating
+  set_quality.max_rows = 1;
+  set_quality.mutates = true;
+  set_quality.body = [this, schema = set_quality.result_schema](
+                         const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    quality_[args[0].AsInt()] = args[1].AsInt();
+    out.AppendRowUnchecked({Value::Int(args[1].AsInt())});
+    return out;
+  };
+  (void)Register(std::move(set_quality));
 
   LocalFunction get_number;
   get_number.name = "GetNumber";

@@ -4,6 +4,7 @@
 #define FEDFLOW_APPSYS_STOCKKEEPING_H_
 
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -16,12 +17,15 @@ namespace fedflow::appsys {
 ///   GetQuality(SupplierNo INT)            -> (Qual INT)
 ///   GetNumber(SupplierNo INT, CompNo INT) -> (Number INT)
 ///   GetSuppComps(SupplierNo INT)          -> (CompNo INT)*  (table-valued)
+///   SetQuality(SupplierNo INT, Qual INT)  -> (Qual INT)    (mutating)
 class StockKeepingSystem : public AppSystem {
  public:
   explicit StockKeepingSystem(const Scenario& scenario);
 
  private:
-  // Private embedded store — invisible to the FDBS by design.
+  // Private embedded store — invisible to the FDBS by design. SetQuality
+  // writes quality_, so reads and writes of it go through quality_mutex_.
+  mutable std::mutex quality_mutex_;
   std::map<int32_t, int32_t> quality_;                     // supplier -> qual
   std::map<std::pair<int32_t, int32_t>, int32_t> stock_;   // (supp,comp) -> no
   std::map<int32_t, std::vector<int32_t>> supp_comps_;     // supp -> comps

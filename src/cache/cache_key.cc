@@ -1,0 +1,58 @@
+#include "cache/cache_key.h"
+
+#include "common/codec.h"
+#include "common/strings.h"
+
+namespace fedflow::cache {
+
+std::string FingerprintArgs(const std::vector<Value>& args) {
+  ByteWriter writer;
+  writer.PutRow(args);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(writer.size() * 2);
+  for (uint8_t b : writer.buffer()) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+std::string DataVersionStamp(const appsys::AppSystemRegistry& systems,
+                             const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out.push_back('|');
+    out += ToUpper(name);
+    out.push_back(':');
+    Result<appsys::AppSystem*> sys = systems.Get(name);
+    if (sys.ok()) {
+      out += std::to_string((*sys)->data_version());
+    } else {
+      out.push_back('?');
+    }
+  }
+  return out;
+}
+
+size_t EstimateTableBytes(const Table& table) {
+  // Fixed per-row and per-value overheads plus the varchar payloads: close
+  // enough to steer the byte budget, cheap enough to compute on every insert.
+  constexpr size_t kPerRow = 24;
+  constexpr size_t kPerValue = 16;
+  size_t bytes = 64;  // schema + entry bookkeeping
+  for (size_t i = 0; i < table.schema().num_columns(); ++i) {
+    bytes += table.schema().column(i).name.size() + kPerValue;
+  }
+  for (const Row& row : table.rows()) {
+    bytes += kPerRow + row.size() * kPerValue;
+    for (const Value& v : row) {
+      if (!v.is_null() && v.type() == DataType::kVarchar) {
+        bytes += v.AsVarchar().size();
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace fedflow::cache

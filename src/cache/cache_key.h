@@ -1,0 +1,40 @@
+// Canonical key material for the caching layer: argument fingerprints and
+// data-version stamps. Federated-call memoization is only sound when two
+// argument lists that are value-equal map to the same key and any mutation
+// of an involved private store changes the key — both properties are
+// provided here, on top of the binary codec (common/codec.h) and the
+// per-store monotonic data versions (appsys::AppSystem::data_version).
+#ifndef FEDFLOW_CACHE_CACHE_KEY_H_
+#define FEDFLOW_CACHE_CACHE_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "appsys/registry.h"
+#include "common/table.h"
+#include "common/value.h"
+
+namespace fedflow::cache {
+
+/// Canonical fingerprint of an argument list: the binary codec encoding of
+/// the row, rendered as lowercase hex. Value-equal argument lists always
+/// produce the same fingerprint; any type or value difference changes it.
+std::string FingerprintArgs(const std::vector<Value>& args);
+
+/// Composed data-version stamp of the named application systems:
+/// "STOCK:3|PURCH:0|...", systems in the given order, names upper-cased.
+/// A bump of any involved store's version changes the stamp, which changes
+/// every result-cache key derived from it — versioned invalidation without
+/// enumerating entries. Unknown system names stamp as "<NAME>:?" (they never
+/// match a future stamp, so lookups safely miss).
+std::string DataVersionStamp(const appsys::AppSystemRegistry& systems,
+                             const std::vector<std::string>& names);
+
+/// Rough retained-size estimate of a table (schema + rows), used to account
+/// result-cache entries against the LRU byte budget. Deterministic: derived
+/// from value types and payload lengths only, never from allocator behavior.
+size_t EstimateTableBytes(const Table& table);
+
+}  // namespace fedflow::cache
+
+#endif  // FEDFLOW_CACHE_CACHE_KEY_H_

@@ -1,0 +1,95 @@
+#include "cache/plan_cache.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace fedflow::cache {
+
+namespace {
+
+bool SameOptions(const plan::PlanOptions& a, const plan::PlanOptions& b) {
+  return a.sequential_baseline == b.sequential_baseline &&
+         a.parallelize == b.parallelize && a.reorder == b.reorder &&
+         a.sink_predicates == b.sink_predicates;
+}
+
+}  // namespace
+
+void PlanCache::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
+Result<std::shared_ptr<const plan::FedPlan>> PlanCache::GetOrBuild(
+    const federation::FederatedFunctionSpec& spec,
+    const appsys::AppSystemRegistry& systems, const sim::LatencyModel& model,
+    const plan::PlanOptions& options) {
+  const std::string key = ToUpper(spec.name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (SameOptions(it->second.options, options)) {
+        ++stats_.hits;
+        if (metrics_ != nullptr) metrics_->Inc("cache.plan.hit");
+        return it->second.plan;
+      }
+      // Options drift: the resident plan was built for a different
+      // registration; drop it so the entry always matches its registration.
+      entries_.erase(it);
+      ++stats_.invalidations;
+      if (metrics_ != nullptr) metrics_->Inc("cache.plan.invalidation");
+    }
+    ++stats_.misses;
+    if (metrics_ != nullptr) metrics_->Inc("cache.plan.miss");
+  }
+  // Compile outside the lock: BuildPlan can be expensive and is reentrant.
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan built,
+                           plan::BuildPlan(spec, systems, model, options));
+  auto shared = std::make_shared<const plan::FedPlan>(std::move(built));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compiles;
+  if (metrics_ != nullptr) metrics_->Inc("cache.plan.compile");
+  entries_[key] = Entry{shared, options};
+  return shared;
+}
+
+std::shared_ptr<const plan::FedPlan> PlanCache::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToUpper(name));
+  if (it == entries_.end()) return nullptr;
+  return it->second.plan;
+}
+
+bool PlanCache::Invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool erased = entries_.erase(ToUpper(name)) > 0;
+  if (erased) {
+    ++stats_.invalidations;
+    if (metrics_ != nullptr) metrics_->Inc("cache.plan.invalidation");
+  }
+  return erased;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += static_cast<int64_t>(entries_.size());
+  if (metrics_ != nullptr && !entries_.empty()) {
+    metrics_->Inc("cache.plan.invalidation", entries_.size());
+  }
+  entries_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace fedflow::cache

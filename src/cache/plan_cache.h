@@ -1,0 +1,75 @@
+// The plan cache: one compiled + optimized FedPlan per registered federated
+// function, built exactly once and shared by every consumer — the FF3xx
+// plan-consistency lint, the dataflow analyses, the coupling lowerings, the
+// per-call interpreters and the fedplan EXPLAIN CLI all read the same
+// instance. This fixes the recompilation bug by construction: there is no
+// second BuildPlan call site left on the registration or invocation path.
+#ifndef FEDFLOW_CACHE_PLAN_CACHE_H_
+#define FEDFLOW_CACHE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "plan/optimizer.h"
+
+namespace fedflow::cache {
+
+/// Thread-safe cache of compiled federated plans, keyed by function name
+/// (case-insensitive). Entries remember the PlanOptions they were built
+/// with: a lookup under different options recompiles and replaces the entry
+/// (counted as an invalidation), so a cached plan always matches the options
+/// of the registration that produced it.
+class PlanCache {
+ public:
+  /// Lifetime counters.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t compiles = 0;
+    int64_t invalidations = 0;
+  };
+
+  /// Attaches a metrics sink (nullptr detaches; not owned). Hits, misses,
+  /// compiles and invalidations are counted under "cache.plan.*".
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+  /// The cached plan for `spec.name` under `options`, compiling it via
+  /// plan::BuildPlan only on the first request (or when the cached entry was
+  /// built under different options). Compilation failures are not cached.
+  Result<std::shared_ptr<const plan::FedPlan>> GetOrBuild(
+      const federation::FederatedFunctionSpec& spec,
+      const appsys::AppSystemRegistry& systems, const sim::LatencyModel& model,
+      const plan::PlanOptions& options = {});
+
+  /// The cached plan for `name`, or null when none is resident. Never
+  /// compiles; does not count as a hit or miss.
+  std::shared_ptr<const plan::FedPlan> Lookup(const std::string& name) const;
+
+  /// Drops the entry for `name`; returns whether one existed.
+  bool Invalidate(const std::string& name);
+
+  /// Drops every entry.
+  void Clear();
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const plan::FedPlan> plan;
+    plan::PlanOptions options;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace fedflow::cache
+
+#endif  // FEDFLOW_CACHE_PLAN_CACHE_H_

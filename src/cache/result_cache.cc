@@ -1,0 +1,285 @@
+#include "cache/result_cache.h"
+
+#include <limits>
+#include <utility>
+
+#include "cache/cache_key.h"
+#include "common/strings.h"
+
+namespace fedflow::cache {
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+void ResultCache::AttachMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  if (metrics_ != nullptr) UpdateGaugesLocked();
+}
+
+std::string ResultCache::SeriesKey(const Key& key) {
+  return key.scope + "|" + ToUpper(key.function) + "|" + key.args;
+}
+
+std::string ResultCache::FullKey(const Key& key) {
+  return SeriesKey(key) + "|" + key.version;
+}
+
+bool ResultCache::Lookup(const Key& key, Table* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string series = SeriesKey(key);
+  auto sit = by_series_.find(series);
+  if (sit != by_series_.end()) {
+    auto it = entries_.find(sit->second);
+    if (it != entries_.end()) {
+      if (sit->second == FullKey(key)) {
+        ++stats_.hits;
+        if (metrics_ != nullptr) {
+          metrics_->Inc("cache.result.hit");
+          metrics_->Observe("cache.result.saved_us",
+                            it->second.entry.saved_cost_us);
+        }
+        it->second.last_use_seq = ++use_seq_;
+        *out = it->second.entry.table;
+        return true;
+      }
+      // Same (scope, function, args), different data version: the store
+      // moved on under this entry — versioned invalidation.
+      RemoveLocked(it);
+      ++stats_.invalidations;
+      if (metrics_ != nullptr) {
+        metrics_->Inc("cache.result.invalidation");
+        UpdateGaugesLocked();
+      }
+    }
+  }
+  ++stats_.misses;
+  if (metrics_ != nullptr) metrics_->Inc("cache.result.miss");
+  return false;
+}
+
+void ResultCache::Insert(const Key& key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string series = SeriesKey(key);
+  const std::string full = FullKey(key);
+  auto sit = by_series_.find(series);
+  if (sit != by_series_.end()) {
+    auto it = entries_.find(sit->second);
+    if (it != entries_.end()) {
+      const bool superseded = sit->second != full;
+      RemoveLocked(it);
+      if (superseded) {
+        ++stats_.invalidations;
+        if (metrics_ != nullptr) metrics_->Inc("cache.result.invalidation");
+      }
+    }
+  }
+
+  Node node;
+  node.bytes = EstimateTableBytes(entry.table);
+  node.series = series;
+  node.entry = std::move(entry);
+  node.last_use_seq = ++use_seq_;
+
+  // An entry that alone exceeds a bound is simply not admitted — evicting
+  // the whole cache for it would only thrash.
+  if (options_.max_bytes != 0 && node.bytes > options_.max_bytes) return;
+  if (options_.per_tenant_max_bytes != 0 &&
+      node.bytes > options_.per_tenant_max_bytes) {
+    return;
+  }
+
+  if (options_.per_tenant_max_bytes != 0) {
+    const std::string tenant = node.entry.tenant;
+    size_t used = 0;
+    auto tb = tenant_bytes_.find(tenant);
+    if (tb != tenant_bytes_.end()) used = tb->second;
+    if (used + node.bytes > options_.per_tenant_max_bytes) {
+      EvictToBudgetLocked(options_.per_tenant_max_bytes - node.bytes, &tenant);
+    }
+  }
+  if (options_.max_bytes != 0 && bytes_ + node.bytes > options_.max_bytes) {
+    EvictToBudgetLocked(options_.max_bytes - node.bytes, nullptr);
+  }
+
+  bytes_ += node.bytes;
+  tenant_bytes_[node.entry.tenant] += node.bytes;
+  by_series_[series] = full;
+  entries_[full] = std::move(node);
+  ++stats_.insertions;
+  if (metrics_ != nullptr) {
+    metrics_->Inc("cache.result.insert");
+    UpdateGaugesLocked();
+  }
+}
+
+int64_t ResultCache::InvalidateSlots(const std::vector<uint64_t>& slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool match = false;
+    for (uint64_t slot : slots) {
+      if (it->second.entry.slot == slot) {
+        match = true;
+        break;
+      }
+    }
+    if (match) {
+      auto next = std::next(it);
+      RemoveLocked(it);
+      ++dropped;
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    stats_.invalidations += dropped;
+    if (metrics_ != nullptr) {
+      metrics_->Inc("cache.result.invalidation", dropped);
+      UpdateGaugesLocked();
+    }
+  }
+  return dropped;
+}
+
+int64_t ResultCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = static_cast<int64_t>(entries_.size());
+  entries_.clear();
+  by_series_.clear();
+  tenant_bytes_.clear();
+  bytes_ = 0;
+  if (dropped > 0) {
+    stats_.invalidations += dropped;
+    if (metrics_ != nullptr) {
+      metrics_->Inc("cache.result.invalidation", dropped);
+    }
+  }
+  if (metrics_ != nullptr) UpdateGaugesLocked();
+  return dropped;
+}
+
+int64_t ResultCache::InvalidateFunction(const std::string& function) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string upper = ToUpper(function);
+  int64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    // series = scope|FUNCTION|args
+    const std::string& series = it->second.series;
+    size_t first = series.find('|');
+    size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : series.find('|', first + 1);
+    const bool match =
+        first != std::string::npos && second != std::string::npos &&
+        series.compare(first + 1, second - first - 1, upper) == 0;
+    if (match) {
+      auto next = std::next(it);
+      RemoveLocked(it);
+      ++dropped;
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    stats_.invalidations += dropped;
+    if (metrics_ != nullptr) {
+      metrics_->Inc("cache.result.invalidation", dropped);
+      UpdateGaugesLocked();
+    }
+  }
+  return dropped;
+}
+
+void ResultCache::RemoveLocked(std::map<std::string, Node>::iterator it) {
+  bytes_ -= it->second.bytes;
+  auto tb = tenant_bytes_.find(it->second.entry.tenant);
+  if (tb != tenant_bytes_.end()) {
+    tb->second -= it->second.bytes;
+    if (tb->second == 0) tenant_bytes_.erase(tb);
+  }
+  auto sit = by_series_.find(it->second.series);
+  if (sit != by_series_.end() && sit->second == it->first) {
+    by_series_.erase(sit);
+  }
+  entries_.erase(it);
+}
+
+void ResultCache::EvictToBudgetLocked(size_t budget,
+                                      const std::string* tenant) {
+  auto over = [&]() {
+    if (tenant != nullptr) {
+      auto tb = tenant_bytes_.find(*tenant);
+      return tb != tenant_bytes_.end() && tb->second > budget;
+    }
+    return bytes_ > budget;
+  };
+  while (over()) {
+    // Scan for the least recently used candidate. The cache holds at most a
+    // few hundred entries under any modeled workload; O(n) keeps the
+    // determinism obvious.
+    auto victim = entries_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (tenant != nullptr && it->second.entry.tenant != *tenant) continue;
+      if (it->second.last_use_seq < oldest) {
+        oldest = it->second.last_use_seq;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    RemoveLocked(victim);
+    ++stats_.evictions;
+    if (metrics_ != nullptr) metrics_->Inc("cache.result.eviction");
+  }
+}
+
+void ResultCache::UpdateGaugesLocked() {
+  if (metrics_ == nullptr) return;
+  metrics_->SetGauge("cache.result.bytes", static_cast<int64_t>(bytes_));
+  metrics_->SetGauge("cache.result.entries",
+                     static_cast<int64_t>(entries_.size()));
+  for (const auto& [tenant, bytes] : tenant_bytes_) {
+    metrics_->SetGauge(
+        obs::TenantMetricName(tenant, "cache.result.bytes"),
+        static_cast<int64_t>(bytes));
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::tenant_bytes(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second;
+}
+
+ResultCacheOptions ResultCache::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void ResultCache::set_options(const ResultCacheOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.max_bytes != 0 && bytes_ > options_.max_bytes) {
+    EvictToBudgetLocked(options_.max_bytes, nullptr);
+    if (metrics_ != nullptr) UpdateGaugesLocked();
+  }
+}
+
+}  // namespace fedflow::cache

@@ -1,0 +1,162 @@
+// The result cache: memoized call results for the hot path of the
+// federation. Two granularities share one store:
+//
+//   - A-UDTF local-call results ("scope" = owning application system):
+//     skipping the modeled RMI + controller dispatch + server-side work of a
+//     repeated local call;
+//   - whole federated-function results ("scope" = kFederatedScope): a hot
+//     controller slot with a resident entry skips the modeled call entirely,
+//     generalizing the paper's cold/warm/hot observation to the fleet.
+//
+// Keys are (scope, function, canonicalized args, data-version stamp). The
+// stamp (cache/cache_key.h) composes the involved application systems'
+// monotonic data versions, so any private-store mutation makes every derived
+// key unreachable — versioned invalidation without enumerating entries;
+// superseded entries are detected on the next lookup or insert and counted
+// as invalidations.
+//
+// Entries remember the warm-pool slot whose ledger was active when they were
+// produced. Rebooting or evicting a slot flushes its entries: a post-reboot
+// call must never be served at hot cost from a cold controller.
+//
+// Residency is bounded by an LRU byte budget; per-tenant byte quotas reuse
+// the admission-control idea of the controller pool's per-tenant checkout
+// quota (a tenant over its budget evicts its own LRU entries first and can
+// never starve the fleet). All decisions are ranked by a monotonic
+// use-sequence counter, never wall time, so a fixed call sequence always
+// produces the same hits and evictions. Thread-safe.
+#ifndef FEDFLOW_CACHE_RESULT_CACHE_H_
+#define FEDFLOW_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/vclock.h"
+#include "obs/metrics.h"
+
+namespace fedflow::cache {
+
+/// Scope tag of whole-federated-function entries (A-UDTF entries use the
+/// owning application system's name).
+inline constexpr char kFederatedScope[] = "fed";
+
+/// Residency limits.
+struct ResultCacheOptions {
+  /// Global LRU byte budget (estimated retained bytes; see
+  /// EstimateTableBytes). Inserting beyond the budget evicts least recently
+  /// used entries. 0 disables the global bound.
+  size_t max_bytes = 1 << 20;
+
+  /// Per-tenant byte quota; 0 = unlimited. A tenant inserting beyond its
+  /// quota evicts its own least recently used entries first — the result
+  /// cache analog of the controller pool's per-tenant checkout quota.
+  size_t per_tenant_max_bytes = 0;
+};
+
+/// Thread-safe memoization store for call results.
+class ResultCache {
+ public:
+  /// Cache key; all fields participate in identity.
+  struct Key {
+    std::string scope;     ///< kFederatedScope or application-system name
+    std::string function;  ///< function name (case-insensitive)
+    std::string args;      ///< canonical argument fingerprint
+    std::string version;   ///< composed data-version stamp
+  };
+
+  /// One memoized result plus its provenance.
+  struct Entry {
+    Table table;
+    /// Modeled virtual time the original (uncached) call spent — what a hit
+    /// saves. Informational; reported via "cache.result.saved_us".
+    VDuration saved_cost_us = 0;
+    /// Warm-pool slot whose ledger was active when the entry was produced.
+    uint64_t slot = 0;
+    /// Tenant the entry's bytes are accounted against.
+    std::string tenant = "default";
+  };
+
+  /// Lifetime counters.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    int64_t invalidations = 0;
+  };
+
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  /// Attaches a metrics sink (nullptr detaches; not owned). Counts land
+  /// under "cache.result.*"; per-tenant residency under
+  /// "tenant.<t>.cache.result.bytes" gauges.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
+  /// Looks `key` up, copying the memoized table into `*out` on a hit and
+  /// refreshing the entry's LRU position. An entry for the same
+  /// (scope, function, args) at a DIFFERENT data version is superseded: it
+  /// is dropped, counted as an invalidation, and the lookup misses.
+  bool Lookup(const Key& key, Table* out);
+
+  /// Inserts (or replaces) the entry for `key`, evicting per-tenant then
+  /// global LRU surplus. An entry larger than the whole budget is not
+  /// admitted. A resident entry for the same (scope, function, args) at an
+  /// older version is dropped first (counted as an invalidation).
+  void Insert(const Key& key, Entry entry);
+
+  /// Drops every entry produced on one of `slots`; returns how many.
+  int64_t InvalidateSlots(const std::vector<uint64_t>& slots);
+
+  /// Drops every entry (environment reboot); returns how many. Counted as
+  /// invalidations — distinct from LRU evictions.
+  int64_t InvalidateAll();
+
+  /// Drops every entry for `function` in any scope; returns how many.
+  int64_t InvalidateFunction(const std::string& function);
+
+  Stats stats() const;
+  size_t size() const;
+  size_t bytes() const;
+  size_t tenant_bytes(const std::string& tenant) const;
+  ResultCacheOptions options() const;
+  void set_options(const ResultCacheOptions& options);
+
+ private:
+  struct Node {
+    Entry entry;
+    size_t bytes = 0;
+    uint64_t last_use_seq = 0;
+    std::string series;  ///< scope|function|args (version-free identity)
+  };
+
+  static std::string FullKey(const Key& key);
+  static std::string SeriesKey(const Key& key);
+
+  /// Removes `it` from every index, updating byte accounting. Does NOT count
+  /// a metric — callers classify the removal (eviction vs invalidation).
+  void RemoveLocked(std::map<std::string, Node>::iterator it);
+
+  /// Evicts LRU entries (optionally restricted to `tenant`) until the given
+  /// budget holds. Counts evictions.
+  void EvictToBudgetLocked(size_t budget, const std::string* tenant);
+
+  void UpdateGaugesLocked();
+
+  mutable std::mutex mu_;
+  ResultCacheOptions options_;
+  std::map<std::string, Node> entries_;          // full key -> node
+  std::map<std::string, std::string> by_series_; // series -> full key
+  std::map<std::string, size_t> tenant_bytes_;
+  size_t bytes_ = 0;
+  uint64_t use_seq_ = 0;
+  Stats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace fedflow::cache
+
+#endif  // FEDFLOW_CACHE_RESULT_CACHE_H_

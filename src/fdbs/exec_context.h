@@ -14,6 +14,11 @@ namespace fedflow::sim {
 struct FlowState;
 }  // namespace fedflow::sim
 
+namespace fedflow::cache {
+class PlanCache;
+class ResultCache;
+}  // namespace fedflow::cache
+
 namespace fedflow::fdbs {
 
 class Database;
@@ -66,6 +71,19 @@ struct ExecContext {
   /// to their construction-time controller/state, which keeps legacy callers
   /// bit-identical.
   sim::FlowState* flow = nullptr;
+
+  /// Compiled-plan cache of the owning server (may be null). Read-only on
+  /// the invocation path: couplings and the procedural interpreter fetch the
+  /// registration-time plan instead of recompiling.
+  cache::PlanCache* plan_cache = nullptr;
+
+  /// Result cache of the owning server (may be null). Only consulted when
+  /// use_result_cache is also set — caching is opt-in per statement, like
+  /// predicate_pushdown, so the default path stays bit-identical.
+  cache::ResultCache* result_cache = nullptr;
+
+  /// Per-statement opt-in for result-cache lookups/inserts.
+  bool use_result_cache = false;
 
   /// The effective batch size (batch_size == 0 means "unbounded").
   size_t EffectiveBatchSize() const {

@@ -1,5 +1,7 @@
 #include "federation/controller_pool.h"
 
+#include "cache/result_cache.h"
+
 namespace fedflow::federation {
 
 namespace {
@@ -103,6 +105,9 @@ Status ControllerPool::Reboot() {
   std::vector<uint64_t> evicted = pool_.Reboot();
   std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t slot : evicted) controllers_.erase(slot);
+  // Every warmth ledger just went cold; a memoized result served at hot cost
+  // from a rebooted controller would undo the experiment the reboot sets up.
+  if (result_cache_ != nullptr) result_cache_->InvalidateAll();
   primary_->Stop();
   if (started_) primary_->Start();
   return Status::OK();
@@ -110,6 +115,11 @@ Status ControllerPool::Reboot() {
 
 void ControllerPool::AttachMetrics(obs::MetricsRegistry* metrics) {
   pool_.AttachMetrics(metrics);
+}
+
+void ControllerPool::AttachResultCache(cache::ResultCache* result_cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_cache_ = result_cache;
 }
 
 void ControllerPool::set_options(const ControllerPoolOptions& options) {
@@ -130,6 +140,9 @@ void ControllerPool::ReturnSlot(uint64_t slot) {
   if (!evicted.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     for (uint64_t id : evicted) controllers_.erase(id);
+    // The evicted slots' warmth ledgers are gone; flush the results priced
+    // against them.
+    if (result_cache_ != nullptr) result_cache_->InvalidateSlots(evicted);
   }
 }
 

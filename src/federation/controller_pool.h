@@ -25,6 +25,10 @@
 #include "sim/resource_pools.h"
 #include "sim/system_state.h"
 
+namespace fedflow::cache {
+class ResultCache;
+}  // namespace fedflow::cache
+
 namespace fedflow::federation {
 
 /// Pool limits; forwarded into the underlying sim::WarmPool.
@@ -100,6 +104,12 @@ class ControllerPool {
 
   void AttachMetrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches the server's result cache (nullptr detaches; not owned).
+  /// Rebooting the pool flushes the whole cache, and evicting a slot flushes
+  /// the entries produced on it — a cached result must never outlive the
+  /// warmth ledger it was priced under.
+  void AttachResultCache(cache::ResultCache* result_cache);
+
   /// Replaces the pool limits (existing warm slots are trimmed lazily on the
   /// next release).
   void set_options(const ControllerPoolOptions& options);
@@ -123,6 +133,7 @@ class ControllerPool {
   bool started_ = false;
   Controller* primary_ = nullptr;
   sim::SystemState* primary_state_ = nullptr;
+  cache::ResultCache* result_cache_ = nullptr;  // guarded by mu_
 };
 
 }  // namespace fedflow::federation

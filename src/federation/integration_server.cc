@@ -1,11 +1,14 @@
 #include "federation/integration_server.h"
 
+#include <algorithm>
+
 #include "analysis/dataflow/dataflow_lint.h"
 #include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 #include "appsys/pdm.h"
 #include "appsys/purchasing.h"
 #include "appsys/stockkeeping.h"
+#include "cache/cache_key.h"
 #include "sim/flow_state.h"
 #include "sql/ast.h"
 
@@ -38,6 +41,10 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
   // The couplings are wired with the pinned (primary) controller and its
   // ledger; pooled flows override both per invocation via ExecContext::flow.
   server->controller_pool_.AttachMetrics(&server->metrics_);
+  server->plan_cache_.AttachMetrics(&server->metrics_);
+  server->result_cache_.AttachMetrics(&server->metrics_);
+  // Slot evictions and reboots must flush the results priced on them.
+  server->controller_pool_.AttachResultCache(&server->result_cache_);
   Controller* primary = server->controller_pool_.primary();
   sim::SystemState* primary_state = server->controller_pool_.primary_state();
   if (arch == Architecture::kWfms) {
@@ -74,12 +81,21 @@ Status IntegrationServer::RegisterFederatedFunction(
   // Static verification gate: a spec with error findings never reaches a
   // coupling; warnings are kept for the operator to query.
   std::vector<analysis::Diagnostic> diags = analysis::LintSpec(spec, systems_);
+  std::shared_ptr<const plan::FedPlan> fed_plan;
   if (!analysis::HasErrors(diags)) {
+    // Compile + optimize exactly once, at registration. The cached plan is
+    // handed to the FF3xx lint, the dataflow analyses and the coupling — and
+    // stays resident for per-call interpreters and fedplan EXPLAIN. When
+    // compilation fails, LintPlan's own compile attempt reports FF304 below
+    // and the registration is rejected on that diagnostic.
+    Result<std::shared_ptr<const plan::FedPlan>> built =
+        plan_cache_.GetOrBuild(spec, systems_, model_, options);
+    if (built.ok()) fed_plan = *built;
     // Plan-consistency gate (FF3xx): the lowerings of the optimized plan
     // must agree with it on call set, ordering and classification. Only
     // reachable for plannable specs, hence behind the spec-lint errors.
     std::vector<analysis::Diagnostic> plan_diags =
-        analysis::LintPlan(spec, systems_, model_, options);
+        analysis::LintPlan(spec, systems_, model_, options, fed_plan.get());
     for (analysis::Diagnostic& d : plan_diags) {
       diags.push_back(std::move(d));
     }
@@ -100,7 +116,7 @@ Status IntegrationServer::RegisterFederatedFunction(
     dopts.per_tenant_quota = controller_pool_.options().per_tenant_quota;
     dopts.parallelize = options.parallelize;
     Result<analysis::DataflowResult> dataflow =
-        analysis::RunDataflow(spec, systems_, model_, dopts);
+        analysis::RunDataflow(spec, systems_, model_, dopts, fed_plan.get());
     if (dataflow.ok()) {
       metrics_.Inc("analysis.dataflow.runs");
       for (analysis::Diagnostic& d : dataflow->diagnostics) {
@@ -120,13 +136,28 @@ Status IntegrationServer::RegisterFederatedFunction(
   for (analysis::Diagnostic& d : diags) {
     lint_warnings_.push_back(std::move(d));
   }
+  if (fed_plan == nullptr) {
+    // Unreachable in practice (a plan that failed to compile was rejected by
+    // FF304 above); kept as a legacy fallback that compiles once itself.
+    switch (arch_) {
+      case Architecture::kWfms:
+        return wfms_->RegisterFederatedFunction(spec, options);
+      case Architecture::kUdtf:
+        return udtf_->RegisterFederatedFunction(spec, options);
+      case Architecture::kJavaUdtf:
+        return java_->RegisterFederatedFunction(spec, options);
+    }
+    return Status::Internal("bad architecture");
+  }
   switch (arch_) {
     case Architecture::kWfms:
-      return wfms_->RegisterFederatedFunction(spec, options);
+      return wfms_->RegisterFederatedFunction(spec, *fed_plan);
     case Architecture::kUdtf:
-      return udtf_->RegisterFederatedFunction(spec, options);
+      return udtf_->RegisterFederatedFunction(spec, *fed_plan);
     case Architecture::kJavaUdtf:
-      return java_->RegisterFederatedFunction(spec, options);
+      // The procedural body shares ownership: interpreter and EXPLAIN read
+      // the same cached instance.
+      return java_->RegisterFederatedFunction(spec, fed_plan);
   }
   return Status::Internal("bad architecture");
 }
@@ -149,7 +180,7 @@ Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimedFor(
                            controller_pool_.Checkout(tenant, function));
   FEDFLOW_ASSIGN_OR_RETURN(
       TimedResult result,
-      RunFlow(lease.controller(), lease.ledger(), tenant, sql));
+      RunFlow(lease.controller(), lease.ledger(), lease.slot(), tenant, sql));
   // The checkout's warmth verdict is what the statement's federated function
   // experienced on the leased controller. Plain SQL (no affinity) reports
   // the default kHot, matching the pre-pool QueryTimed.
@@ -158,7 +189,7 @@ Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimedFor(
 }
 
 Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
-    Controller* controller, sim::SystemState* ledger,
+    Controller* controller, sim::SystemState* ledger, uint64_t slot,
     const std::string& tenant, const std::string& sql) {
   sim::FlowState flow;
   flow.flow_id = next_flow_id_.fetch_add(1);
@@ -166,6 +197,7 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
   flow.faults = &fault_injector_;
   flow.controller = controller;
   flow.warmth = ledger;
+  flow.slot = slot;
   obs::TraceSession session(&tracer_, &flow.clock);
   flow.trace = &session;
   fdbs::ExecContext ctx;
@@ -174,6 +206,9 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
   ctx.trace = &session;
   ctx.metrics = &metrics_;
   ctx.flow = &flow;
+  ctx.plan_cache = &plan_cache_;
+  ctx.result_cache = &result_cache_;
+  ctx.use_result_cache = caching_enabled_;
   Result<Table> table = [&] {
     // While the session observes the clock, every Charge/ChargeWork lands in
     // the current span — the completeness invariant that makes the span tree
@@ -209,20 +244,92 @@ void IntegrationServer::RecordCallMetrics(const std::string& tenant,
                                           const std::string& name,
                                           const TimedResult& result) {
   const sim::SystemState::Warmth warmth = result.warmth;
+  // The function name is one dotted segment of the metric name; escaping it
+  // keeps "Get.Stock" from aliasing a "Get" function's "Stock" sub-metric.
+  const std::string fn = obs::EscapeMetricSegment(name);
   metrics_.Inc("call.count");
-  metrics_.Inc("call.function." + name);
+  metrics_.Inc("call.function." + fn);
   metrics_.Inc(std::string("call.warmth.") + sim::WarmthName(warmth));
   metrics_.Observe(std::string("call.elapsed_us.") + sim::WarmthName(warmth),
                    result.elapsed_us);
   metrics_.Observe(
-      "call.elapsed_us." + name + "." + sim::WarmthName(warmth),
+      "call.elapsed_us." + fn + "." + sim::WarmthName(warmth),
       result.elapsed_us);
   if (tenant != "default") {
     obs::TenantMetrics scoped(&metrics_, tenant);
     scoped.Inc("call.count");
-    scoped.Inc("call.function." + name);
+    scoped.Inc("call.function." + fn);
     scoped.Observe("call.elapsed_us", result.elapsed_us);
   }
+}
+
+cache::ResultCache::Key IntegrationServer::FederatedCacheKey(
+    const std::string& name, const std::vector<Value>& args) const {
+  cache::ResultCache::Key key;
+  key.scope = cache::kFederatedScope;
+  key.function = name;
+  key.args = cache::FingerprintArgs(args);
+  // Stamp the systems the cached plan calls into, in first-call order; with
+  // no resident plan (e.g. a function registered through a coupling
+  // directly), conservatively stamp every registered system.
+  std::vector<std::string> stamped;
+  if (std::shared_ptr<const plan::FedPlan> plan = plan_cache_.Lookup(name)) {
+    for (const plan::PlanCall& call : plan->calls) {
+      if (std::find(stamped.begin(), stamped.end(), call.system) ==
+          stamped.end()) {
+        stamped.push_back(call.system);
+      }
+    }
+  } else {
+    stamped = systems_.Names();
+  }
+  key.version = cache::DataVersionStamp(systems_, stamped);
+  return key;
+}
+
+bool IntegrationServer::TryServeCached(sim::SystemState::Warmth warmth,
+                                       const std::string& name,
+                                       const std::vector<Value>& args,
+                                       TimedResult* out) {
+  // Hot slot + resident entry: the fleet generalization of the paper's hot
+  // call — the modeled call is skipped entirely. Cold and warm calls always
+  // run for real (the warm-up is the phenomenon under measurement).
+  if (!caching_enabled_ || warmth != sim::SystemState::Warmth::kHot) {
+    return false;
+  }
+  Table resident;
+  if (!result_cache_.Lookup(FederatedCacheKey(name, args), &resident)) {
+    return false;
+  }
+  out->table = std::move(resident);
+  out->elapsed_us = model_.cache_hit_us;
+  out->breakdown = TimeBreakdown();
+  out->breakdown.Add(sim::steps::kCacheHit, model_.cache_hit_us);
+  out->warmth = warmth;
+  return true;
+}
+
+void IntegrationServer::FinishCachedCall(sim::SystemState::Warmth warmth,
+                                         uint64_t slot,
+                                         const std::string& tenant,
+                                         const std::string& name,
+                                         const std::vector<Value>& args,
+                                         TimedResult* result) {
+  if (!caching_enabled_) return;
+  // A hot call probed the cache before falling through to the real flow;
+  // the flow's own clock never saw that probe.
+  if (warmth == sim::SystemState::Warmth::kHot) {
+    result->elapsed_us += model_.cache_probe_us;
+    result->breakdown.Add(sim::steps::kCacheProbe, model_.cache_probe_us);
+  }
+  cache::ResultCache::Entry entry;
+  entry.table = result->table;
+  entry.saved_cost_us = result->elapsed_us;
+  entry.slot = slot;
+  entry.tenant = tenant;
+  // Keyed at the post-call data versions: a call that itself mutated a store
+  // inserts under the new stamp and can never serve the pre-mutation state.
+  result_cache_.Insert(FederatedCacheKey(name, args), std::move(entry));
 }
 
 Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
@@ -233,8 +340,22 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
 Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedFor(
     const std::string& tenant, const std::string& name,
     const std::vector<Value>& args) {
+  // Admission: lease a controller for the whole call. With pool size 1 this
+  // always returns the pinned controller — the legacy single-flow path.
+  FEDFLOW_ASSIGN_OR_RETURN(ControllerPool::Lease lease,
+                           controller_pool_.Checkout(tenant, name));
+  const sim::SystemState::Warmth warmth = lease.warmth();
+  TimedResult result;
+  if (TryServeCached(warmth, name, args, &result)) {
+    lease.ledger()->MarkRun(name);
+    RecordCallMetrics(tenant, name, result);
+    return result;
+  }
   FEDFLOW_ASSIGN_OR_RETURN(
-      TimedResult result, QueryTimedFor(tenant, name, BuildCallSql(name, args)));
+      result, RunFlow(lease.controller(), lease.ledger(), lease.slot(), tenant,
+                      BuildCallSql(name, args)));
+  result.warmth = warmth;
+  FinishCachedCall(warmth, lease.slot(), tenant, name, args, &result);
   RecordCallMetrics(tenant, name, result);
   return result;
 }
@@ -249,11 +370,17 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedOnLease(
   // Pre-call verdict: what this function experiences on the leased
   // controller. Must be read before execution marks the function run.
   const sim::SystemState::Warmth warmth = lease.ledger()->QueryWarmth(name);
+  TimedResult result;
+  if (TryServeCached(warmth, name, args, &result)) {
+    lease.ledger()->MarkRun(name);
+    RecordCallMetrics(tenant, name, result);
+    return result;
+  }
   FEDFLOW_ASSIGN_OR_RETURN(
-      TimedResult result,
-      RunFlow(lease.controller(), lease.ledger(), tenant,
-              BuildCallSql(name, args)));
+      result, RunFlow(lease.controller(), lease.ledger(), lease.slot(), tenant,
+                      BuildCallSql(name, args)));
   result.warmth = warmth;
+  FinishCachedCall(warmth, lease.slot(), tenant, name, args, &result);
   RecordCallMetrics(tenant, name, result);
   return result;
 }

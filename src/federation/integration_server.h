@@ -15,6 +15,8 @@
 #include "analysis/diagnostic.h"
 #include "appsys/dataset.h"
 #include "appsys/registry.h"
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
 #include "fdbs/database.h"
 #include "federation/controller.h"
 #include "federation/controller_pool.h"
@@ -154,6 +156,25 @@ class IntegrationServer {
   /// transitions, retries, workflow checkpoints/resumes.
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// The compiled-plan cache: one optimized FedPlan per registered function,
+  /// built exactly once at registration and shared by the lint gate, the
+  /// dataflow analyses, the coupling lowerings and fedplan EXPLAIN.
+  cache::PlanCache& plan_cache() { return plan_cache_; }
+  const cache::PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// The result cache behind the opt-in caching path (see
+  /// set_caching_enabled); always constructed, only consulted when enabled.
+  cache::ResultCache& result_cache() { return result_cache_; }
+  const cache::ResultCache& result_cache() const { return result_cache_; }
+
+  /// Per-statement opt-in for result caching, mirroring the opt-in optimizer
+  /// passes: default OFF, so the uncached virtual-time totals every golden
+  /// pins stay bit-identical. When ON, A-UDTF local calls are memoized and a
+  /// whole federated call on a hot controller can be served straight from a
+  /// resident entry at cache_hit_us.
+  void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
+  bool caching_enabled() const { return caching_enabled_; }
+
   /// Forward-recovery checkpoint of a failed WfMS federated function; null
   /// under the UDTF architectures or when no instance is pending.
   const wfms::InstanceCheckpoint* recovery_checkpoint(
@@ -174,11 +195,32 @@ class IntegrationServer {
   /// One flow on an already-selected controller/ledger pair: builds the
   /// per-invocation FlowState, traces and times the statement. Shared by the
   /// per-call checkout path (QueryTimedFor) and the external-lease path
-  /// (CallFederatedOnLease). The result's warmth is left at its default.
+  /// (CallFederatedOnLease). `slot` is the lease's warm-pool slot (0 when
+  /// unpooled); result-cache entries produced by the flow record it. The
+  /// result's warmth is left at its default.
   Result<TimedResult> RunFlow(Controller* controller,
-                              sim::SystemState* ledger,
+                              sim::SystemState* ledger, uint64_t slot,
                               const std::string& tenant,
                               const std::string& sql);
+
+  /// The whole-federated-call cache key of name(args): the data-version
+  /// stamp covers the systems the cached plan calls into (every registered
+  /// system when no plan is resident).
+  cache::ResultCache::Key FederatedCacheKey(
+      const std::string& name, const std::vector<Value>& args) const;
+
+  /// Serves name(args) from a resident whole-call entry when caching is
+  /// enabled and the leased controller is hot for `name` — the fleet
+  /// generalization of the paper's hot call. True on a hit (with `*out`
+  /// filled at cache_hit_us); false = run the flow for real.
+  bool TryServeCached(sim::SystemState::Warmth warmth, const std::string& name,
+                      const std::vector<Value>& args, TimedResult* out);
+
+  /// Post-run bookkeeping of the opt-in cache: charges the probe that
+  /// preceded a hot miss onto `result` and memoizes the call result.
+  void FinishCachedCall(sim::SystemState::Warmth warmth, uint64_t slot,
+                        const std::string& tenant, const std::string& name,
+                        const std::vector<Value>& args, TimedResult* result);
 
   /// "SELECT * FROM TABLE (name(args...)) AS R".
   static std::string BuildCallSql(const std::string& name,
@@ -200,6 +242,9 @@ class IntegrationServer {
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
   appsys::AppSystemRegistry systems_;
+  cache::PlanCache plan_cache_;
+  cache::ResultCache result_cache_;
+  bool caching_enabled_ = false;
   ControllerPool controller_pool_;
   std::atomic<int64_t> next_flow_id_{1};
   sim::FaultInjector fault_injector_;

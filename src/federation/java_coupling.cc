@@ -38,16 +38,25 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
   // at call time (a prepared-statement analog).
   FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
                            plan::BuildPlan(spec, *systems_, *model_, options));
-  if (!JavaUdtfSupports(fed_plan.mapping_case)) {
+  return RegisterFederatedFunction(
+      spec, std::make_shared<const plan::FedPlan>(std::move(fed_plan)));
+}
+
+Status JavaUdtfCoupling::RegisterFederatedFunction(
+    const FederatedFunctionSpec& spec,
+    std::shared_ptr<const plan::FedPlan> fed_plan) {
+  if (!JavaUdtfSupports(fed_plan->mapping_case)) {
     return Status::Unsupported(
         std::string("the Java UDTF architecture cannot express the ") +
-        MappingCaseName(fed_plan.mapping_case) + " case");
+        MappingCaseName(fed_plan->mapping_case) + " case");
   }
-  Schema returns = fed_plan.result_schema;
+  Schema returns = fed_plan->result_schema;
 
   fdbs::ProceduralBody body =
-      [fed_plan, returns](const std::vector<Value>& args,
-                          fdbs::SqlClient* client) -> Result<Table> {
+      [plan = std::move(fed_plan), returns](
+          const std::vector<Value>& args,
+          fdbs::SqlClient* client) -> Result<Table> {
+    const plan::FedPlan& fed_plan = *plan;
     auto render_param = [&](const std::string& param) -> std::string {
       for (size_t i = 0; i < fed_plan.params.size(); ++i) {
         if (EqualsIgnoreCase(fed_plan.params[i].name, param)) {

@@ -7,6 +7,8 @@
 #ifndef FEDFLOW_FEDERATION_JAVA_COUPLING_H_
 #define FEDFLOW_FEDERATION_JAVA_COUPLING_H_
 
+#include <memory>
+
 #include "appsys/registry.h"
 #include "fdbs/database.h"
 #include "federation/classify.h"
@@ -39,6 +41,13 @@ class JavaUdtfCoupling {
   /// opt-in via `options` and shape the captured plan once, at registration.
   Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
                                    const plan::PlanOptions& options = {});
+
+  /// Registers from an already-built plan without recompiling. The body
+  /// shares ownership of `fed_plan` — under the server's plan cache, the
+  /// interpreter and fedplan EXPLAIN read the same instance.
+  Status RegisterFederatedFunction(
+      const FederatedFunctionSpec& spec,
+      std::shared_ptr<const plan::FedPlan> fed_plan);
 
  private:
   fdbs::Database* db_;

@@ -3,6 +3,8 @@
 #include <memory>
 #include <sstream>
 
+#include "cache/cache_key.h"
+#include "cache/result_cache.h"
 #include "common/strings.h"
 #include "fdbs/sql_function.h"
 #include "federation/binding.h"
@@ -23,10 +25,11 @@ namespace {
 /// finish the UDTF.
 class AccessUdtf : public fdbs::TableFunction {
  public:
-  AccessUdtf(std::string system, const appsys::LocalFunction& fn,
-             Controller* controller, const sim::LatencyModel* model,
-             sim::FaultInjector* faults)
+  AccessUdtf(std::string system, const appsys::AppSystem* app,
+             const appsys::LocalFunction& fn, Controller* controller,
+             const sim::LatencyModel* model, sim::FaultInjector* faults)
       : system_(std::move(system)),
+        app_(app),
         name_(fn.name),
         params_(fn.params),
         schema_(fn.result_schema),
@@ -43,6 +46,27 @@ class AccessUdtf : public fdbs::TableFunction {
     SimClock* clock = ctx.clock;
     obs::SpanScope span(ctx.trace, "audtf:" + name_, obs::Layer::kCoupling);
     span.SetAttribute("system", system_);
+    // Opt-in memoization of the local call: a resident entry at the system's
+    // current data version skips the whole fenced-UDTF + RMI + dispatch path.
+    const bool memoize = ctx.use_result_cache && ctx.result_cache != nullptr &&
+                         app_ != nullptr;
+    cache::ResultCache::Key key;
+    if (memoize) {
+      key.scope = system_;
+      key.function = name_;
+      key.args = cache::FingerprintArgs(args);
+      key.version = std::to_string(app_->data_version());
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kCacheProbe, model_->cache_probe_us);
+      }
+      Table resident(schema_);
+      if (ctx.result_cache->Lookup(key, &resident)) {
+        span.SetAttribute("cache", "hit");
+        return resident;
+      }
+      span.SetAttribute("cache", "miss");
+    }
+    const VDuration uncached_start = clock != nullptr ? clock->now() : 0;
     if (clock != nullptr) {
       clock->Charge(sim::steps::kUdtfPrepareA,
                     model_->udtf_prepare_a_us + model_->controller_attach_us);
@@ -87,6 +111,20 @@ class AccessUdtf : public fdbs::TableFunction {
                     model_->udtf_finish_a_us + model_->controller_return_us);
       clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
     }
+    if (memoize) {
+      cache::ResultCache::Entry entry;
+      entry.table = *out;
+      entry.saved_cost_us =
+          clock != nullptr ? clock->now() - uncached_start : 0;
+      if (ctx.flow != nullptr) {
+        entry.slot = ctx.flow->slot;
+        entry.tenant = ctx.flow->tenant;
+      }
+      // The store may have moved under this call (key.version is stale then);
+      // Insert keyed by the version read before the call keeps such an entry
+      // unreachable for future lookups, which re-stamp the current version.
+      ctx.result_cache->Insert(key, std::move(entry));
+    }
     return out;
   }
 
@@ -98,6 +136,14 @@ class AccessUdtf : public fdbs::TableFunction {
   Result<fedflow::RowSourcePtr> InvokeStream(const std::vector<Value>& args,
                                              fdbs::ExecContext& ctx,
                                              size_t batch_size) override {
+    if (ctx.use_result_cache && ctx.result_cache != nullptr &&
+        app_ != nullptr) {
+      // Memoization wants the materialized table anyway, and a fully drained
+      // stream charges exactly what Invoke charges — so the cached path runs
+      // eagerly and streams the result out of the (possibly resident) table.
+      FEDFLOW_ASSIGN_OR_RETURN(Table out, Invoke(args, ctx));
+      return fedflow::MakeTableSource(std::move(out), batch_size);
+    }
     SimClock* clock = ctx.clock;
     obs::SpanScope span(ctx.trace, "audtf:" + name_, obs::Layer::kCoupling);
     span.SetAttribute("system", system_);
@@ -167,6 +213,7 @@ class AccessUdtf : public fdbs::TableFunction {
   }
 
   std::string system_;
+  const appsys::AppSystem* app_;
   std::string name_;
   std::vector<Column> params_;
   Schema schema_;
@@ -310,7 +357,7 @@ Status UdtfCoupling::RegisterAccessUdtfs() {
       FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
                                sys->GetFunction(fn_name));
       FEDFLOW_RETURN_NOT_OK(db_->catalog().RegisterTableFunction(
-          std::make_shared<AccessUdtf>(sys_name, *fn, controller_, model_,
+          std::make_shared<AccessUdtf>(sys_name, sys, *fn, controller_, model_,
                                        faults_)));
     }
   }
@@ -322,6 +369,11 @@ Result<std::string> UdtfCoupling::CompileIUdtfSql(
     const plan::PlanOptions& options) const {
   FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
                            plan::BuildPlan(spec, *systems_, *model_, options));
+  return CompileIUdtfSql(spec, fed_plan);
+}
+
+Result<std::string> UdtfCoupling::CompileIUdtfSql(
+    const FederatedFunctionSpec& spec, const plan::FedPlan& fed_plan) const {
   if (!UdtfSupports(fed_plan.mapping_case)) {
     return Status::Unsupported(
         std::string("the enhanced SQL UDTF architecture cannot express the ") +
@@ -362,6 +414,11 @@ Result<std::string> UdtfCoupling::CompilePsmSql(
   // is needed.
   FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
                            plan::BuildPlan(spec, *systems_, *model_, options));
+  return CompilePsmSql(spec, fed_plan);
+}
+
+Result<std::string> UdtfCoupling::CompilePsmSql(
+    const FederatedFunctionSpec& spec, const plan::FedPlan& fed_plan) const {
   if (fed_plan.mapping_case == MappingCase::kGeneral) {
     return Status::Unsupported(
         "a stored procedure still implements ONE federated function; the "
@@ -407,7 +464,14 @@ Status UdtfCoupling::RegisterPsmProcedure(const FederatedFunctionSpec& spec) {
 
 Status UdtfCoupling::RegisterFederatedFunction(
     const FederatedFunctionSpec& spec, const plan::PlanOptions& options) {
-  FEDFLOW_ASSIGN_OR_RETURN(std::string sql, CompileIUdtfSql(spec, options));
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
+                           plan::BuildPlan(spec, *systems_, *model_, options));
+  return RegisterFederatedFunction(spec, fed_plan);
+}
+
+Status UdtfCoupling::RegisterFederatedFunction(
+    const FederatedFunctionSpec& spec, const plan::FedPlan& fed_plan) {
+  FEDFLOW_ASSIGN_OR_RETURN(std::string sql, CompileIUdtfSql(spec, fed_plan));
   // Dogfood: parse the generated SQL with our own parser.
   FEDFLOW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind != sql::StatementKind::kCreateFunction) {

@@ -54,10 +54,20 @@ class UdtfCoupling {
   Result<std::string> CompileIUdtfSql(const FederatedFunctionSpec& spec,
                                       const plan::PlanOptions& options = {}) const;
 
+  /// Renders the I-UDTF SQL from an already-built plan (the server's plan
+  /// cache compiles once at registration and hands the plan to every
+  /// consumer). `fed_plan` must be the compiled plan of `spec`.
+  Result<std::string> CompileIUdtfSql(const FederatedFunctionSpec& spec,
+                                      const plan::FedPlan& fed_plan) const;
+
   /// Compiles, parses and registers the I-UDTF (instrumented with I-UDTF
   /// start/finish and warm-up costs).
   Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
                                    const plan::PlanOptions& options = {});
+
+  /// Registers the I-UDTF from an already-built plan without recompiling.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::FedPlan& fed_plan);
 
   /// Generates CREATE PROCEDURE ... BEGIN ... END text for a spec — PSM
   /// stored procedures DO support control structures, so this works for the
@@ -66,6 +76,10 @@ class UdtfCoupling {
   /// functions or tables (the paper's §2/§3 point).
   Result<std::string> CompilePsmSql(const FederatedFunctionSpec& spec,
                                     const plan::PlanOptions& options = {}) const;
+
+  /// Renders the PSM procedure from an already-built plan.
+  Result<std::string> CompilePsmSql(const FederatedFunctionSpec& spec,
+                                    const plan::FedPlan& fed_plan) const;
 
   /// Compiles and registers the PSM procedure in the FDBS.
   Status RegisterPsmProcedure(const FederatedFunctionSpec& spec);

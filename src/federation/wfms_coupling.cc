@@ -386,6 +386,12 @@ Result<CompiledProcess> WfmsCoupling::CompileProcess(
   // ProcessDefinition the pre-IR compiler emitted.
   FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
                            plan::BuildPlan(spec, *systems_, *model_, options));
+  return CompileProcess(spec, fed_plan);
+}
+
+Result<CompiledProcess> WfmsCoupling::CompileProcess(
+    const FederatedFunctionSpec& spec, const plan::FedPlan& fed_plan) const {
+  (void)spec;  // identification only; the plan carries everything lowered
   FEDFLOW_ASSIGN_OR_RETURN(plan::LoweredProcess lowered,
                            plan::LowerToProcess(fed_plan));
   CompiledProcess compiled;
@@ -396,8 +402,15 @@ Result<CompiledProcess> WfmsCoupling::CompileProcess(
 
 Status WfmsCoupling::RegisterFederatedFunction(
     const FederatedFunctionSpec& spec, const plan::PlanOptions& options) {
+  FEDFLOW_ASSIGN_OR_RETURN(plan::FedPlan fed_plan,
+                           plan::BuildPlan(spec, *systems_, *model_, options));
+  return RegisterFederatedFunction(spec, fed_plan);
+}
+
+Status WfmsCoupling::RegisterFederatedFunction(
+    const FederatedFunctionSpec& spec, const plan::FedPlan& fed_plan) {
   FEDFLOW_ASSIGN_OR_RETURN(CompiledProcess compiled,
-                           CompileProcess(spec, options));
+                           CompileProcess(spec, fed_plan));
   for (auto& [name, fn] : compiled.helpers) {
     FEDFLOW_RETURN_NOT_OK(engine_->RegisterHelper(name, std::move(fn)));
   }

@@ -173,10 +173,19 @@ class WfmsCoupling {
       const FederatedFunctionSpec& spec,
       const plan::PlanOptions& options = {}) const;
 
+  /// Lowers an already-built plan (the server's plan cache compiles once at
+  /// registration and hands the plan to every consumer) to the process model.
+  Result<CompiledProcess> CompileProcess(const FederatedFunctionSpec& spec,
+                                         const plan::FedPlan& fed_plan) const;
+
   /// Compiles the spec, registers helpers and process with the engine, and
   /// registers the wrapper UDTF with the FDBS.
   Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
                                    const plan::PlanOptions& options = {});
+
+  /// Registers from an already-built plan without recompiling.
+  Status RegisterFederatedFunction(const FederatedFunctionSpec& spec,
+                                   const plan::FedPlan& fed_plan);
 
   /// The wrapper instance (shared with the FDBS catalog).
   const std::shared_ptr<WfmsWrapper>& wrapper() const { return wrapper_; }

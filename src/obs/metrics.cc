@@ -143,11 +143,27 @@ void MetricsRegistry::Reset() {
   histograms_.clear();
 }
 
+std::string EscapeMetricSegment(const std::string& segment) {
+  std::string out;
+  out.reserve(segment.size());
+  for (char c : segment) {
+    if (c == '%') {
+      out.append("%25");
+    } else if (c == '.') {
+      out.append("%2E");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string TenantMetricName(const std::string& tenant,
                              const std::string& name) {
   std::string out;
   out.reserve(7 + tenant.size() + 1 + name.size());
-  out.append("tenant.").append(tenant).append(".").append(name);
+  out.append("tenant.").append(EscapeMetricSegment(tenant)).append(".").append(
+      name);
   return out;
 }
 

@@ -121,9 +121,18 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// Escapes one dot-delimited metric-name segment so that embedded free-form
+/// identifiers (tenant names, function names) cannot collide with the
+/// delimiter: "%" -> "%25", "." -> "%2E". A segment without either character
+/// — every identifier the repo's own scenarios use — round-trips unchanged,
+/// so established metric names are unaffected.
+std::string EscapeMetricSegment(const std::string& segment);
+
 /// The registry name a tenant-scoped metric lands under:
-/// "tenant.<tenant>.<name>". Shared with fedtrace/fedload output so tenant
-/// breakdowns read uniformly.
+/// "tenant.<tenant>.<name>" with the tenant segment escaped (see
+/// EscapeMetricSegment; tenants "a.b" and "a" with a metric "b..." no longer
+/// collide). Shared with fedtrace/fedload output so tenant breakdowns read
+/// uniformly.
 std::string TenantMetricName(const std::string& tenant,
                              const std::string& name);
 

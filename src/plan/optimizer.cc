@@ -1,6 +1,7 @@
 #include "plan/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "plan/cost.h"
@@ -177,11 +178,18 @@ Status Optimize(FedPlan* plan, const sim::LatencyModel& model,
   return Status::OK();
 }
 
+namespace {
+std::atomic<int64_t> g_build_plan_invocations{0};
+}  // namespace
+
+int64_t BuildPlanInvocations() { return g_build_plan_invocations.load(); }
+
 Result<FedPlan> BuildPlan(const federation::FederatedFunctionSpec& spec,
                           const appsys::AppSystemRegistry& systems,
                           const sim::LatencyModel& model,
                           const PlanOptions& options,
                           obs::TraceSession* trace) {
+  g_build_plan_invocations.fetch_add(1);
   CompileOptions compile;
   compile.sequential_baseline = options.sequential_baseline;
   obs::SpanScope span(trace, "plan:" + spec.name, obs::Layer::kPlan);

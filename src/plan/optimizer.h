@@ -55,6 +55,11 @@ Result<FedPlan> BuildPlan(const federation::FederatedFunctionSpec& spec,
                           const PlanOptions& options = {},
                           obs::TraceSession* trace = nullptr);
 
+/// Process-wide count of BuildPlan invocations. The plan-cache regression
+/// tests diff this across registration + call sequences to pin "compile
+/// exactly once per registered spec".
+int64_t BuildPlanInvocations();
+
 }  // namespace fedflow::plan
 
 #endif  // FEDFLOW_PLAN_OPTIMIZER_H_

@@ -59,6 +59,10 @@ struct FlowState {
   /// surcharges and MarkRun land here, so warmth follows the controller a
   /// flow actually ran on — not a global singleton.
   SystemState* warmth = nullptr;
+
+  /// Warm-pool slot id of the leased controller (0 = unpooled). Result-cache
+  /// entries record it so that rebooting or evicting the slot flushes them.
+  uint64_t slot = 0;
 };
 
 }  // namespace fedflow::sim

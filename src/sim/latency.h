@@ -63,6 +63,15 @@ struct LatencyModel {
   /// approach) resp. process-template load (WfMS approach).
   VDuration first_run_function_us = 5000;
 
+  // --- result cache (opt-in; never charged on the default path) ------------
+  /// Serving a whole federated call from a hot slot's resident entry: one
+  /// cache probe plus copying the memoized table out — no RMI, no controller,
+  /// no application system.
+  VDuration cache_hit_us = 120;
+  /// Probing the cache around an A-UDTF local call (charged on the cached
+  /// path whether the probe hits or misses).
+  VDuration cache_probe_us = 40;
+
   /// Marshalling cost of `bytes` on the wire.
   VDuration MarshalCost(size_t bytes) const {
     return static_cast<VDuration>(bytes) * rmi_per_byte_ns / 1000;
@@ -111,6 +120,9 @@ inline constexpr char kJdbcCalls[] = "JDBC calls";
 inline constexpr char kSqlSubqueries[] = "SQL subqueries";
 // Warm-up.
 inline constexpr char kWarmup[] = "Warm-up";
+// Result cache (opt-in paths only).
+inline constexpr char kCacheHit[] = "Cache hit";
+inline constexpr char kCacheProbe[] = "Cache probe";
 }  // namespace steps
 
 }  // namespace fedflow::sim

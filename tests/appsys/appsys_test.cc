@@ -46,6 +46,27 @@ TEST_F(AppSysTest, DifferentSeedsChangeRatings) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST_F(AppSysTest, DataVersionBumpsOnlyOnMutatingCalls) {
+  EXPECT_EQ(stock_.data_version(), 0);
+  // Reads never move the version.
+  ASSERT_TRUE(stock_.Call("GetQuality", {Value::Int(1234)}).ok());
+  EXPECT_EQ(stock_.data_version(), 0);
+  // A successful mutating call bumps it by exactly one ...
+  auto written = stock_.Call("SetQuality", {Value::Int(1234), Value::Int(42)});
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(stock_.data_version(), 1);
+  // ... and the write is visible through the read path.
+  auto read = stock_.Call("GetQuality", {Value::Int(1234)});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->table.rows()[0][0].AsInt(), 42);
+  // A failed call (unknown supplier resolves, but wrong arity fails) leaves
+  // the version alone.
+  EXPECT_FALSE(stock_.Call("SetQuality", {Value::Int(1)}).ok());
+  EXPECT_EQ(stock_.data_version(), 1);
+  // Other systems' versions are independent.
+  EXPECT_EQ(purchasing_.data_version(), 0);
+}
+
 TEST_F(AppSysTest, DatasetGuaranteesPaperFixtures) {
   // Supplier 1234 "Stark" and component 17 "brakepad" exist; 1234 stocks 17.
   bool stark = false;

@@ -1,0 +1,120 @@
+// Unit tests for the plan cache: compile-exactly-once semantics (via the
+// plan::BuildPlanInvocations probe), pointer-stable sharing, options-drift
+// invalidation, and the metrics it reports.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "appsys/dataset.h"
+#include "appsys/pdm.h"
+#include "appsys/purchasing.h"
+#include "appsys/registry.h"
+#include "appsys/stockkeeping.h"
+#include "cache/plan_cache.h"
+#include "federation/sample_scenario.h"
+#include "obs/metrics.h"
+#include "plan/optimizer.h"
+
+namespace fedflow::cache {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest() {
+    appsys::Scenario scenario = appsys::GenerateScenario({});
+    EXPECT_TRUE(systems_
+                    .Add(std::make_shared<appsys::StockKeepingSystem>(scenario))
+                    .ok());
+    EXPECT_TRUE(
+        systems_.Add(std::make_shared<appsys::PurchasingSystem>(scenario))
+            .ok());
+    EXPECT_TRUE(
+        systems_.Add(std::make_shared<appsys::PdmSystem>(scenario)).ok());
+  }
+
+  static federation::FederatedFunctionSpec Spec(const char* name) {
+    for (const federation::FederatedFunctionSpec& spec :
+         federation::AllSampleSpecs()) {
+      if (spec.name == name) return spec;
+    }
+    ADD_FAILURE() << "unknown sample spec " << name;
+    return {};
+  }
+
+  appsys::AppSystemRegistry systems_;
+  sim::LatencyModel model_;
+  PlanCache cache_;
+};
+
+TEST_F(PlanCacheTest, CompilesExactlyOncePerSpecAndShares) {
+  const federation::FederatedFunctionSpec spec = Spec("GetSuppQual");
+  const int64_t before = plan::BuildPlanInvocations();
+  auto first = cache_.GetOrBuild(spec, systems_, model_);
+  ASSERT_TRUE(first.ok());
+  auto second = cache_.GetOrBuild(spec, systems_, model_);
+  ASSERT_TRUE(second.ok());
+  // One BuildPlan total; both callers share the same instance.
+  EXPECT_EQ(plan::BuildPlanInvocations() - before, 1);
+  EXPECT_EQ(first->get(), second->get());
+  PlanCache::Stats stats = cache_.stats();
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(cache_.size(), 1u);
+}
+
+TEST_F(PlanCacheTest, LookupIsCaseInsensitiveAndNeverCompiles) {
+  const federation::FederatedFunctionSpec spec = Spec("GetSuppQual");
+  EXPECT_EQ(cache_.Lookup("GetSuppQual"), nullptr);
+  ASSERT_TRUE(cache_.GetOrBuild(spec, systems_, model_).ok());
+  const int64_t before = plan::BuildPlanInvocations();
+  EXPECT_NE(cache_.Lookup("GETSUPPQUAL"), nullptr);
+  EXPECT_NE(cache_.Lookup("getsuppqual"), nullptr);
+  EXPECT_EQ(plan::BuildPlanInvocations(), before);
+  // Lookups are not counted as hits or misses.
+  EXPECT_EQ(cache_.stats().hits, 0);
+}
+
+TEST_F(PlanCacheTest, OptionsDriftRecompilesAndCountsInvalidation) {
+  const federation::FederatedFunctionSpec spec = Spec("GetSuppQualRelia");
+  auto passthrough = cache_.GetOrBuild(spec, systems_, model_);
+  ASSERT_TRUE(passthrough.ok());
+  plan::PlanOptions optimized;
+  optimized.sequential_baseline = true;
+  optimized.parallelize = true;
+  auto parallel = cache_.GetOrBuild(spec, systems_, model_, optimized);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_NE(passthrough->get(), parallel->get());
+  EXPECT_EQ(cache_.stats().invalidations, 1);
+  EXPECT_EQ(cache_.stats().compiles, 2);
+  // The replacement is resident: same options now hit.
+  auto again = cache_.GetOrBuild(spec, systems_, model_, optimized);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(parallel->get(), again->get());
+  EXPECT_EQ(cache_.stats().hits, 1);
+}
+
+TEST_F(PlanCacheTest, InvalidateAndClearDropEntries) {
+  ASSERT_TRUE(cache_.GetOrBuild(Spec("GibKompNr"), systems_, model_).ok());
+  ASSERT_TRUE(cache_.GetOrBuild(Spec("GetSuppQual"), systems_, model_).ok());
+  EXPECT_EQ(cache_.size(), 2u);
+  EXPECT_TRUE(cache_.Invalidate("gibkompnr"));
+  EXPECT_FALSE(cache_.Invalidate("gibkompnr"));
+  EXPECT_EQ(cache_.Lookup("GibKompNr"), nullptr);
+  cache_.Clear();
+  EXPECT_EQ(cache_.size(), 0u);
+}
+
+TEST_F(PlanCacheTest, ReportsMetricsWhenAttached) {
+  obs::MetricsRegistry metrics;
+  cache_.AttachMetrics(&metrics);
+  const federation::FederatedFunctionSpec spec = Spec("GetSuppQual");
+  ASSERT_TRUE(cache_.GetOrBuild(spec, systems_, model_).ok());
+  ASSERT_TRUE(cache_.GetOrBuild(spec, systems_, model_).ok());
+  EXPECT_EQ(metrics.counter("cache.plan.miss"), 1u);
+  EXPECT_EQ(metrics.counter("cache.plan.compile"), 1u);
+  EXPECT_EQ(metrics.counter("cache.plan.hit"), 1u);
+}
+
+}  // namespace
+}  // namespace fedflow::cache

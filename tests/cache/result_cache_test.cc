@@ -1,0 +1,192 @@
+// Unit tests for the result cache: hit/miss accounting, data-version
+// supersede, LRU byte budgets, per-tenant quotas, slot flushes, and
+// determinism of the eviction order. A ThreadPool smoke test exercises the
+// locking under real concurrency for the TSan job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "cache/result_cache.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace fedflow::cache {
+namespace {
+
+Table OneCellTable(int64_t v) {
+  Table t(Schema({Column{"V", DataType::kBigInt}}));
+  t.AppendRowUnchecked({Value::BigInt(v)});
+  return t;
+}
+
+ResultCache::Key MakeKey(const std::string& function,
+                         const std::string& args = "a1",
+                         const std::string& version = "STOCK:0") {
+  ResultCache::Key key;
+  key.scope = kFederatedScope;
+  key.function = function;
+  key.args = args;
+  key.version = version;
+  return key;
+}
+
+ResultCache::Entry MakeEntry(int64_t v, uint64_t slot = 1,
+                             const std::string& tenant = "default") {
+  ResultCache::Entry entry;
+  entry.table = OneCellTable(v);
+  entry.saved_cost_us = 1000;
+  entry.slot = slot;
+  entry.tenant = tenant;
+  return entry;
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHit) {
+  ResultCache cache;
+  Table out;
+  EXPECT_FALSE(cache.Lookup(MakeKey("F"), &out));
+  cache.Insert(MakeKey("F"), MakeEntry(7));
+  ASSERT_TRUE(cache.Lookup(MakeKey("F"), &out));
+  EXPECT_EQ(out.rows()[0][0].AsBigInt(), 7);
+  // Function identity is case-insensitive, args/version are exact.
+  EXPECT_TRUE(cache.Lookup(MakeKey("f"), &out));
+  EXPECT_FALSE(cache.Lookup(MakeKey("F", "a2"), &out));
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST(ResultCacheTest, NewerVersionSupersedesOnLookupAndInsert) {
+  ResultCache cache;
+  cache.Insert(MakeKey("F", "a1", "STOCK:0"), MakeEntry(1));
+  // A lookup at a different data version drops the stale entry and misses.
+  Table out;
+  EXPECT_FALSE(cache.Lookup(MakeKey("F", "a1", "STOCK:1"), &out));
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  // An insert at a newer version replaces a resident stale entry.
+  cache.Insert(MakeKey("F", "a1", "STOCK:1"), MakeEntry(2));
+  cache.Insert(MakeKey("F", "a1", "STOCK:2"), MakeEntry(3));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+  ASSERT_TRUE(cache.Lookup(MakeKey("F", "a1", "STOCK:2"), &out));
+  EXPECT_EQ(out.rows()[0][0].AsBigInt(), 3);
+}
+
+TEST(ResultCacheTest, LruEvictionRespectsByteBudgetAndRecency) {
+  const size_t one = EstimateTableBytes(OneCellTable(0));
+  ResultCacheOptions options;
+  options.max_bytes = 2 * one;
+  ResultCache cache(options);
+  cache.Insert(MakeKey("A"), MakeEntry(1));
+  cache.Insert(MakeKey("B"), MakeEntry(2));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch A so B becomes the LRU victim.
+  Table out;
+  ASSERT_TRUE(cache.Lookup(MakeKey("A"), &out));
+  cache.Insert(MakeKey("C"), MakeEntry(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup(MakeKey("A"), &out));
+  EXPECT_FALSE(cache.Lookup(MakeKey("B"), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey("C"), &out));
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotAdmitted) {
+  ResultCacheOptions options;
+  options.max_bytes = 8;  // smaller than any real table estimate
+  ResultCache cache(options);
+  cache.Insert(MakeKey("F"), MakeEntry(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, TenantQuotaEvictsThatTenantFirst) {
+  const size_t one = EstimateTableBytes(OneCellTable(0));
+  ResultCacheOptions options;
+  options.max_bytes = 100 * one;
+  options.per_tenant_max_bytes = 2 * one;
+  ResultCache cache(options);
+  cache.Insert(MakeKey("A"), MakeEntry(1, 1, "acme"));
+  cache.Insert(MakeKey("B"), MakeEntry(2, 1, "acme"));
+  cache.Insert(MakeKey("C"), MakeEntry(3, 1, "globex"));
+  // acme is at quota; its third entry evicts its own LRU (A), not globex's.
+  cache.Insert(MakeKey("D"), MakeEntry(4, 1, "acme"));
+  Table out;
+  EXPECT_FALSE(cache.Lookup(MakeKey("A"), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey("B"), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey("C"), &out));
+  EXPECT_TRUE(cache.Lookup(MakeKey("D"), &out));
+  EXPECT_LE(cache.tenant_bytes("acme"), options.per_tenant_max_bytes);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ResultCacheTest, SlotAndFunctionAndFullInvalidation) {
+  ResultCache cache;
+  cache.Insert(MakeKey("A"), MakeEntry(1, 1));
+  cache.Insert(MakeKey("B"), MakeEntry(2, 2));
+  cache.Insert(MakeKey("B", "a2"), MakeEntry(3, 3));
+  // Evicting slot 2 flushes only the entry produced on it.
+  EXPECT_EQ(cache.InvalidateSlots({2}), 1);
+  Table out;
+  EXPECT_TRUE(cache.Lookup(MakeKey("A"), &out));
+  EXPECT_FALSE(cache.Lookup(MakeKey("B"), &out));
+  // Function invalidation is case-insensitive and spans arg fingerprints.
+  EXPECT_EQ(cache.InvalidateFunction("b"), 1);
+  EXPECT_FALSE(cache.Lookup(MakeKey("B", "a2"), &out));
+  // Reboot drops everything.
+  cache.Insert(MakeKey("C"), MakeEntry(4));
+  EXPECT_EQ(cache.InvalidateAll(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, GaugesTrackResidency) {
+  obs::MetricsRegistry metrics;
+  ResultCache cache;
+  cache.AttachMetrics(&metrics);
+  cache.Insert(MakeKey("A"), MakeEntry(1, 1, "acme"));
+  EXPECT_EQ(metrics.gauge("cache.result.entries"), 1);
+  EXPECT_EQ(metrics.gauge("cache.result.bytes"),
+            static_cast<int64_t>(cache.bytes()));
+  EXPECT_GT(metrics.gauge(obs::TenantMetricName("acme", "cache.result.bytes")),
+            0);
+  EXPECT_EQ(cache.InvalidateAll(), 1);
+  EXPECT_EQ(metrics.gauge("cache.result.entries"), 0);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedOperationsAreSafe) {
+  ResultCacheOptions options;
+  options.max_bytes = 1 << 16;
+  ResultCache cache(options);
+  std::atomic<int64_t> hits{0};
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < 8; ++t) {
+      pool.Submit([&cache, &hits, t] {
+        for (int i = 0; i < 200; ++i) {
+          const std::string fn = "F" + std::to_string((t + i) % 5);
+          cache.Insert(MakeKey(fn, "a" + std::to_string(i % 3)),
+                       MakeEntry(i, static_cast<uint64_t>(t % 3 + 1)));
+          Table out;
+          if (cache.Lookup(MakeKey(fn, "a" + std::to_string(i % 3)), &out)) {
+            hits.fetch_add(1);
+          }
+          if (i % 50 == 0) cache.InvalidateSlots({2});
+          if (i % 70 == 0) cache.InvalidateFunction("F1");
+        }
+      });
+    }
+  }
+  // The pool destructor drained every task; the cache is still coherent.
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_GT(hits.load(), 0);
+  EXPECT_EQ(stats.insertions, 8 * 200);
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+}
+
+}  // namespace
+}  // namespace fedflow::cache

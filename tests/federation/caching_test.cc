@@ -1,0 +1,199 @@
+// Integration tests for the caching layer on the integration server: the
+// headline compile-exactly-once fix (plans are never rebuilt per call or per
+// registration consumer), the opt-in result cache's hot-hit fast path,
+// versioned invalidation on private-store writes, reboot/eviction flushes,
+// and the guarantee that the default (caching off) leaves every virtual-time
+// total untouched.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/plan_cache.h"
+#include "cache/result_cache.h"
+#include "federation/sample_scenario.h"
+#include "plan/optimizer.h"
+#include "sim/latency.h"
+
+namespace fedflow::federation {
+namespace {
+
+std::unique_ptr<IntegrationServer> MakeServer(
+    Architecture arch, ControllerPoolOptions pool_options = {}) {
+  auto server = MakeSampleServer(arch, {}, {}, pool_options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(*server);
+}
+
+IntegrationServer::TimedResult Call(IntegrationServer* server,
+                                    const std::string& name,
+                                    const std::vector<Value>& args) {
+  auto result = server->CallFederated(name, args);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+void WriteQuality(IntegrationServer* server, int supplier, int qual) {
+  auto stock = server->systems().Get("stock");
+  ASSERT_TRUE(stock.ok());
+  auto written =
+      (*stock)->Call("SetQuality", {Value::Int(supplier), Value::Int(qual)});
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+}
+
+class CachingTest : public ::testing::TestWithParam<Architecture> {};
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, CachingTest,
+                         ::testing::Values(Architecture::kWfms,
+                                           Architecture::kUdtf,
+                                           Architecture::kJavaUdtf));
+
+TEST_P(CachingTest, BuildPlanRunsExactlyOncePerRegisteredSpec) {
+  // Every BuildPlan during server construction went through the plan cache
+  // (one compile per registered spec; the lint gate, dataflow analyses and
+  // coupling lowerings all share that instance) ...
+  const int64_t before = plan::BuildPlanInvocations();
+  auto server = MakeServer(GetParam());
+  const int64_t registration = plan::BuildPlanInvocations() - before;
+  EXPECT_EQ(registration, server->plan_cache().stats().compiles);
+  EXPECT_GT(registration, 0);
+  // ... and calling — cold, then repeatedly hot — never compiles again. This
+  // is the headline regression test for the per-call recompilation bug.
+  const int64_t after_boot = plan::BuildPlanInvocations();
+  server->Reboot();
+  for (int i = 0; i < 3; ++i) {
+    (void)Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+    (void)Call(server.get(), "GetSuppQualRelia", {Value::Int(1234)});
+  }
+  EXPECT_EQ(plan::BuildPlanInvocations(), after_boot);
+}
+
+TEST_P(CachingTest, ParallelizeRegistrationAlsoCompilesOnce) {
+  auto server = MakeServer(GetParam());
+  // Register a fresh spec under the optimizing passes; the parallelize
+  // dataflow analyses and the lowering must reuse the one cached plan.
+  FederatedFunctionSpec spec;
+  for (const FederatedFunctionSpec& s : SampleSpecs()) {
+    if (s.name == "GetSuppQualRelia") spec = s;
+  }
+  spec.name = "GetSuppQualReliaPar";
+  plan::PlanOptions options;
+  options.sequential_baseline = true;
+  options.parallelize = true;
+  const int64_t before = plan::BuildPlanInvocations();
+  ASSERT_TRUE(server->RegisterFederatedFunction(spec, options).ok());
+  EXPECT_EQ(plan::BuildPlanInvocations() - before, 1);
+  const int64_t after = plan::BuildPlanInvocations();
+  (void)Call(server.get(), "GetSuppQualReliaPar", {Value::Int(1234)});
+  EXPECT_EQ(plan::BuildPlanInvocations(), after);
+}
+
+TEST_P(CachingTest, HotCallWithResidentEntryIsServedAtCacheHitCost) {
+  auto uncached = MakeServer(GetParam());
+  (void)Call(uncached.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto uncached_hot =
+      Call(uncached.get(), "GetSuppQual", {Value::Varchar("Stark")});
+
+  auto server = MakeServer(GetParam());
+  server->set_caching_enabled(true);
+  auto cold = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto hit = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  // The hit skips the modeled call entirely: exactly cache_hit_us, strictly
+  // below the uncached hot path, same table, single-step breakdown.
+  EXPECT_EQ(hit.elapsed_us, server->model().cache_hit_us);
+  EXPECT_LT(hit.elapsed_us, uncached_hot.elapsed_us);
+  EXPECT_EQ(hit.table, cold.table);
+  EXPECT_EQ(hit.breakdown.Of(sim::steps::kCacheHit),
+            server->model().cache_hit_us);
+  EXPECT_EQ(hit.breakdown.Total(), hit.elapsed_us);
+  EXPECT_GE(server->result_cache().stats().hits, 1);
+}
+
+TEST_P(CachingTest, PrivateStoreWriteInvalidatesAndFreshDataIsServed) {
+  auto server = MakeServer(GetParam());
+  server->set_caching_enabled(true);
+  (void)Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto hit = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  ASSERT_EQ(hit.elapsed_us, server->model().cache_hit_us);
+
+  // The write bumps stock's data version: the resident entry's key can never
+  // match again, so the next call runs the real chain and sees the new data.
+  WriteQuality(server.get(), 1234, 77);
+  auto fresh = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  EXPECT_NE(fresh.elapsed_us, server->model().cache_hit_us);
+  auto qual = fresh.table.ScalarAt00();
+  ASSERT_TRUE(qual.ok());
+  EXPECT_EQ(qual->AsInt(), 77);
+  // ... and re-memoizes at the new version: the call after hits and still
+  // serves the post-write value.
+  auto rehit = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  EXPECT_EQ(rehit.elapsed_us, server->model().cache_hit_us);
+  auto requal = rehit.table.ScalarAt00();
+  ASSERT_TRUE(requal.ok());
+  EXPECT_EQ(requal->AsInt(), 77);
+  EXPECT_GE(server->result_cache().stats().invalidations, 1);
+}
+
+TEST_P(CachingTest, RebootFlushesTheResultCache) {
+  auto server = MakeServer(GetParam());
+  server->set_caching_enabled(true);
+  (void)Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  auto hit = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  ASSERT_EQ(hit.elapsed_us, server->model().cache_hit_us);
+  ASSERT_GT(server->result_cache().size(), 0u);
+
+  // A rebooted controller is cold; serving its first call from the cache at
+  // hot cost would undo the experiment the reboot sets up.
+  server->Reboot();
+  EXPECT_EQ(server->result_cache().size(), 0u);
+  auto cold = Call(server.get(), "GetSuppQual", {Value::Varchar("Stark")});
+  EXPECT_NE(cold.elapsed_us, server->model().cache_hit_us);
+  EXPECT_GT(cold.elapsed_us, hit.elapsed_us);
+}
+
+TEST_P(CachingTest, CachingOffLeavesVirtualTimeUntouched) {
+  // Default-off: two fresh servers running the same sequence agree exactly,
+  // the result cache is never consulted, and no cache step ever appears in a
+  // breakdown — the bit-identity contract all pre-cache goldens pin.
+  auto a = MakeServer(GetParam());
+  auto b = MakeServer(GetParam());
+  for (int i = 0; i < 2; ++i) {
+    auto ra = Call(a.get(), "GetSuppQual", {Value::Varchar("Stark")});
+    auto rb = Call(b.get(), "GetSuppQual", {Value::Varchar("Stark")});
+    EXPECT_EQ(ra.elapsed_us, rb.elapsed_us);
+    EXPECT_EQ(ra.breakdown.Of(sim::steps::kCacheProbe), 0);
+    EXPECT_EQ(ra.breakdown.Of(sim::steps::kCacheHit), 0);
+  }
+  EXPECT_EQ(a->result_cache().stats().hits, 0);
+  EXPECT_EQ(a->result_cache().stats().misses, 0);
+  EXPECT_EQ(a->result_cache().size(), 0u);
+}
+
+TEST(CachingPoolTest, EvictedSlotEntriesNeverServeHits) {
+  // Pool of two with a warm target of one: returning the second slot evicts
+  // it, which must flush the whole-call entries produced on it.
+  ControllerPoolOptions pool;
+  pool.max_size = 2;
+  pool.warm_target = 1;
+  auto server = MakeServer(Architecture::kUdtf, pool);
+  server->set_caching_enabled(true);
+
+  // Two concurrent leases: the flow on the second (evictable) slot memoizes
+  // its result there.
+  auto lease1 = server->controller_pool().Checkout("default", "GetSuppQual");
+  ASSERT_TRUE(lease1.ok());
+  auto lease2 = server->controller_pool().Checkout("default", "GetSuppQual");
+  ASSERT_TRUE(lease2.ok());
+  auto first = server->CallFederatedOnLease(*lease2, "default", "GetSuppQual",
+                                            {Value::Varchar("Stark")});
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(server->result_cache().size(), 0u);
+  // Releasing beyond the warm target evicts slot 2 and flushes its entries.
+  lease2->Release();
+  lease1->Release();
+  EXPECT_EQ(server->result_cache().size(), 0u);
+  EXPECT_GE(server->result_cache().stats().invalidations, 1);
+}
+
+}  // namespace
+}  // namespace fedflow::federation

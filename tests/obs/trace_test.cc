@@ -252,6 +252,33 @@ TEST(MetricsTest, CountersAndHistograms) {
   EXPECT_EQ(metrics.histogram("lat").count(), 0u);
 }
 
+TEST(MetricsTest, EscapeMetricSegmentRoundTripsPlainIdentifiers) {
+  // Every identifier the scenarios use passes through unchanged, so the
+  // established metric names are unaffected by the escaping.
+  EXPECT_EQ(EscapeMetricSegment("GetSuppQual"), "GetSuppQual");
+  EXPECT_EQ(EscapeMetricSegment("tenant-a_1"), "tenant-a_1");
+  // Dots (the metric-name separator) and the escape character itself are
+  // rewritten; the mapping is injective ("a.b" can never collide with a
+  // literal "a%2Eb").
+  EXPECT_EQ(EscapeMetricSegment("a.b"), "a%2Eb");
+  EXPECT_EQ(EscapeMetricSegment("a%2Eb"), "a%252Eb");
+}
+
+TEST(MetricsTest, TenantMetricNamesNoLongerCollideAcrossSegments) {
+  // Before the escaping, tenant "a.b" with metric "calls" and tenant "a"
+  // with metric "b.calls" both landed under "tenant.a.b.calls".
+  MetricsRegistry metrics;
+  TenantMetrics dotted(&metrics, "a.b");
+  TenantMetrics plain(&metrics, "a");
+  dotted.Inc("calls");
+  plain.Inc("b.calls", 5);
+  EXPECT_EQ(metrics.counter(TenantMetricName("a.b", "calls")), 1u);
+  EXPECT_EQ(metrics.counter(TenantMetricName("a", "b.calls")), 5u);
+  EXPECT_NE(TenantMetricName("a.b", "calls"), TenantMetricName("a", "b.calls"));
+  // Plain tenants keep their historical names.
+  EXPECT_EQ(TenantMetricName("acme", "call.count"), "tenant.acme.call.count");
+}
+
 TEST(ExportTest, ChromeTraceJsonAndSpanTree) {
   Tracer tracer;
   tracer.Enable();

@@ -22,6 +22,7 @@
 #include "appsys/purchasing.h"
 #include "appsys/registry.h"
 #include "appsys/stockkeeping.h"
+#include "cache/plan_cache.h"
 #include "common/strings.h"
 #include "federation/sample_scenario.h"
 #include "plan/explain.h"
@@ -50,18 +51,22 @@ struct Variant {
 };
 
 /// Prints one plan variant of `spec`. Returns false when compilation failed.
+/// Plans come through the same PlanCache the integration server uses, so
+/// EXPLAIN shows exactly the cached instance a registration would produce
+/// (a variant switch recompiles — options drift invalidates the entry).
 bool ExplainOne(const federation::FederatedFunctionSpec& spec,
                 const appsys::AppSystemRegistry& systems,
-                const sim::LatencyModel& model, const Variant& variant) {
-  Result<plan::FedPlan> fed_plan =
-      plan::BuildPlan(spec, systems, model, variant.options);
+                const sim::LatencyModel& model, const Variant& variant,
+                cache::PlanCache& plans) {
+  Result<std::shared_ptr<const plan::FedPlan>> fed_plan =
+      plans.GetOrBuild(spec, systems, model, variant.options);
   if (!fed_plan.ok()) {
     std::fprintf(stderr, "fedplan: %s (%s): %s\n", spec.name.c_str(),
                  variant.label, fed_plan.status().ToString().c_str());
     return false;
   }
   std::printf("-- %s: %s --\n%s\n", spec.name.c_str(), variant.label,
-              plan::ExplainPlan(*fed_plan, model).c_str());
+              plan::ExplainPlan(**fed_plan, model).c_str());
   return true;
 }
 
@@ -131,6 +136,7 @@ int main(int argc, char** argv) {
   }
   sim::LatencyModel model;
 
+  cache::PlanCache plans;
   bool matched = false;
   bool ok = true;
   for (const federation::FederatedFunctionSpec& spec :
@@ -138,7 +144,7 @@ int main(int argc, char** argv) {
     if (!function.empty() && !EqualsIgnoreCase(spec.name, function)) continue;
     matched = true;
     for (const Variant& variant : variants) {
-      ok = ExplainOne(spec, *systems, model, variant) && ok;
+      ok = ExplainOne(spec, *systems, model, variant, plans) && ok;
     }
   }
   if (!matched) {
