@@ -106,6 +106,13 @@ std::vector<CodeInfo> BuildRegistry() {
       // Dataflow: tenant-flow taint (FF430..FF449).
       {"FF430", kWarn, "df-shared-lease-flow", "results flow across unquotaed shared-pool leases"},
       {"FF431", kErr, "df-stage-over-tenant-quota", "parallel stage is wider than the per-tenant quota"},
+      // Saga coordination (FF450..FF459).
+      {"FF450", kErr, "saga-missing-compensation", "mutating call declares no compensation"},
+      {"FF451", kErr, "saga-compensation-mismatch", "compensation is unknown, read-only, or signature-incompatible"},
+      {"FF452", kErr, "saga-write-in-loop", "mutating call inside a do-until loop defeats idempotency keys"},
+      {"FF453", kErr, "saga-retry-without-ledger", "retrying deployment lacks saga idempotency coordination"},
+      {"FF454", kErr, "saga-ambiguous-step", "two saga steps resolve to the same (system, function)"},
+      {"FF455", kErr, "saga-capture-unordered", "compensation argument reads a node not ordered before its write"},
   };
 }
 
@@ -124,6 +131,7 @@ const std::vector<CodeBand>& DiagnosticCodeBands() {
       {200, 299, "sql"},
       {300, 349, "plan"},
       {400, 449, "dataflow"},
+      {450, 459, "saga"},
   };
   return *kBands;
 }

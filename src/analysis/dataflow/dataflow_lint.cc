@@ -6,6 +6,7 @@
 #include "analysis/dataflow/budget_analysis.h"
 #include "analysis/dataflow/cardinality_analysis.h"
 #include "analysis/dataflow/framework.h"
+#include "analysis/dataflow/saga_analysis.h"
 #include "analysis/dataflow/schema_analysis.h"
 #include "analysis/dataflow/taint_analysis.h"
 #include "plan/fed_plan.h"
@@ -51,6 +52,14 @@ Result<DataflowResult> RunDataflow(
   result.hot_wfms_us = budget.hot_wfms_us;
   result.hot_udtf_us = budget.hot_udtf_us;
   for (Diagnostic& d : budget.diagnostics) {
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  // Saga coordination checks (FF45x) — a no-op for read-only specs, which is
+  // every spec compiled before the txn subsystem existed.
+  dataflow::SagaAnalysisResult saga = dataflow::AnalyzeSaga(
+      passthrough, spec, systems, options.retry, options.saga_coordination);
+  for (Diagnostic& d : saga.diagnostics) {
     result.diagnostics.push_back(std::move(d));
   }
 

@@ -69,6 +69,11 @@ struct DataflowOptions {
   /// loop's count parameter will be bound to (the fuzzer's oracle mode).
   /// Absent = the static [1, inf) iteration interval.
   std::optional<std::int64_t> concrete_loop_count;
+  /// Whether the deployment routes mutating calls through the saga
+  /// coordinator's idempotency ledger. The integration server sets it; with
+  /// retries enabled but no coordination, FF453 rejects write-path specs
+  /// (a retried mutating call would apply twice).
+  bool saga_coordination = false;
 };
 
 /// Interval facts about one plan call node.

@@ -1,0 +1,209 @@
+#include "analysis/dataflow/saga_analysis.h"
+
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+
+namespace fedflow::analysis::dataflow {
+
+namespace {
+
+using federation::SpecArg;
+
+std::string StepKey(const std::string& system, const std::string& function) {
+  return ToUpper(system) + "." + ToUpper(function);
+}
+
+/// The statically inferred type of one undo argument (kNull when unknown).
+DataType UndoArgType(const SpecArg& arg, const plan::FedPlan& plan) {
+  switch (arg.kind) {
+    case SpecArg::Kind::kConstant:
+      return arg.constant.type();
+    case SpecArg::Kind::kParam:
+      for (const Column& p : plan.params) {
+        if (EqualsIgnoreCase(p.name, arg.param)) return p.type;
+      }
+      return DataType::kNull;
+    case SpecArg::Kind::kNodeColumn: {
+      Result<size_t> node = plan.CallIndex(arg.node);
+      if (!node.ok()) return DataType::kNull;
+      const Schema& schema = plan.calls[*node].result_schema;
+      Result<size_t> col = schema.FindColumn(arg.column);
+      if (!col.ok()) return DataType::kNull;
+      return schema.columns()[*col].type;
+    }
+  }
+  return DataType::kNull;
+}
+
+}  // namespace
+
+SagaAnalysisResult AnalyzeSaga(const plan::FedPlan& plan,
+                               const federation::FederatedFunctionSpec& spec,
+                               const appsys::AppSystemRegistry& systems,
+                               const sim::RetryPolicy& retry,
+                               bool saga_coordination) {
+  SagaAnalysisResult result;
+  const size_t n = plan.calls.size();
+  for (const plan::PlanCall& call : plan.calls) {
+    if (call.mutates) ++result.write_nodes;
+  }
+  if (result.write_nodes == 0) return result;  // read-only: nothing to prove
+
+  std::vector<size_t> position(n, 0);
+  for (size_t k = 0; k < plan.order.size(); ++k) position[plan.order[k]] = k;
+
+  // FF452: a write inside a do-until loop applies once per iteration, but
+  // the idempotency key identifies the saga step, not the iteration — a
+  // resumed retry could not tell a duplicate from the next iteration.
+  if (plan.loop.enabled) {
+    for (const plan::PlanCall& call : plan.calls) {
+      if (!call.mutates) continue;
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaWriteInLoop,
+          "spec:" + spec.name + "/node:" + call.id,
+          "mutating call " + call.system + "." + call.function +
+              " sits inside a do-until loop; its idempotency key cannot "
+              "distinguish a retried apply from the next iteration",
+          "hoist the write out of the loop or make the loop bound part of "
+          "the write's arguments"});
+    }
+  }
+
+  // FF453: coupling-level retries re-issue the whole attempt; without the
+  // saga runtime's idempotency ledger a retried mutating call applies twice.
+  if (retry.enabled() && !saga_coordination) {
+    result.diagnostics.push_back(Diagnostic{
+        Severity::kError, kSagaRetryWithoutLedger,
+        "spec:" + spec.name,
+        "deployment retries federated calls (max_attempts=" +
+            std::to_string(retry.max_attempts) +
+            ") but does not route mutating calls through the saga "
+            "coordinator's idempotency ledger",
+        "register through the integration server (saga coordination on) or "
+        "disable the retry policy for write-path functions"});
+  }
+
+  // FF450/FF451 per mutating node; FF454 ambiguity over all step keys.
+  std::map<std::string, std::string> write_keys;    // key -> node id
+  std::map<std::string, std::string> capture_keys;  // key -> node id
+  for (const plan::PlanCall& call : plan.calls) {
+    if (!call.mutates) continue;
+    const std::string loc = "spec:" + spec.name + "/node:" + call.id;
+    const std::string key = StepKey(call.system, call.function);
+    auto [it, inserted] = write_keys.emplace(key, call.id);
+    if (!inserted) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaAmbiguousStep, loc,
+          "mutating nodes " + it->second + " and " + call.id +
+              " both call " + call.system + "." + call.function +
+              "; the saga runtime resolves steps by (system, function) and "
+              "cannot tell their idempotency scopes apart",
+          "split the writes across distinct local functions"});
+    }
+    if (call.compensation.empty()) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaMissingCompensation, loc,
+          "mutating call " + call.system + "." + call.function +
+              " declares no compensation; an abort after this step could "
+              "not undo it",
+          "pair the node with a compensation function via "
+          "FederatedFunctionSpec::compensations"});
+      continue;
+    }
+    // FF451: the compensation must exist on the same system, must itself be
+    // mutating (an undo changes the store), and its signature must accept
+    // the declared undo arguments.
+    Result<appsys::AppSystem*> sys = systems.Get(call.system);
+    if (!sys.ok()) continue;  // unreachable after binding; nothing to check
+    Result<const appsys::LocalFunction*> comp =
+        (*sys)->GetFunction(call.compensation);
+    if (!comp.ok()) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaCompensationMismatch, loc,
+          "compensation " + call.compensation + " does not exist on system " +
+              call.system,
+          "register the undo function with the application system"});
+      continue;
+    }
+    if (!(*comp)->mutates) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaCompensationMismatch, loc,
+          "compensation " + call.system + "." + call.compensation +
+              " is not a mutating function; it cannot undo the write of " +
+              call.function,
+          "compensations must write the store (and bump its data version)"});
+    }
+    if ((*comp)->params.size() != call.compensation_args.size()) {
+      result.diagnostics.push_back(Diagnostic{
+          Severity::kError, kSagaCompensationMismatch, loc,
+          "compensation " + call.system + "." + call.compensation +
+              " takes " + std::to_string((*comp)->params.size()) +
+              " parameter(s) but " +
+              std::to_string(call.compensation_args.size()) +
+              " undo argument(s) are declared",
+          "match the compensation's signature"});
+    } else {
+      for (size_t a = 0; a < call.compensation_args.size(); ++a) {
+        DataType inferred = UndoArgType(call.compensation_args[a], plan);
+        DataType expected = (*comp)->params[a].type;
+        if (inferred == DataType::kNull || inferred == expected) continue;
+        result.diagnostics.push_back(Diagnostic{
+            Severity::kError, kSagaCompensationMismatch,
+            loc + "/arg:" + std::to_string(a + 1),
+            "undo argument " + std::to_string(a + 1) + " of compensation " +
+                call.compensation + " is " +
+                std::string(DataTypeName(inferred)) + " but parameter " +
+                (*comp)->params[a].name + " expects " +
+                std::string(DataTypeName(expected)),
+            "undo arguments are snapshotted at apply time; their types must "
+            "match the compensation's signature"});
+      }
+    }
+  }
+
+  // FF455: every node a compensation argument reads must have run before the
+  // write applies — compensation arguments are snapshotted at apply time.
+  // Also collect capture keys for the FF454 resolution-ambiguity check.
+  for (size_t i = 0; i < n; ++i) {
+    const plan::PlanCall& call = plan.calls[i];
+    if (!call.mutates) continue;
+    for (size_t a = 0; a < call.compensation_args.size(); ++a) {
+      const SpecArg& arg = call.compensation_args[a];
+      if (arg.kind != SpecArg::Kind::kNodeColumn) continue;
+      if (EqualsIgnoreCase(arg.node, call.id)) continue;  // own output: fine
+      Result<size_t> src = plan.CallIndex(arg.node);
+      if (!src.ok()) continue;  // structural validation already rejected it
+      const std::string loc =
+          "spec:" + spec.name + "/node:" + call.id + "/arg:" +
+          std::to_string(a + 1);
+      if (position[*src] >= position[i]) {
+        result.diagnostics.push_back(Diagnostic{
+            Severity::kError, kSagaCaptureUnordered, loc,
+            "undo argument reads node " + plan.calls[*src].id +
+                ", which is not ordered before the write " + call.id +
+                "; its output would not be captured when the write applies",
+            "add a data dependency that orders the capture source before "
+            "the write"});
+        continue;
+      }
+      const plan::PlanCall& src_call = plan.calls[*src];
+      const std::string key = StepKey(src_call.system, src_call.function);
+      if (write_keys.count(key) > 0) continue;  // writes record their output
+      auto [it, inserted] = capture_keys.emplace(key, src_call.id);
+      if (!inserted && !EqualsIgnoreCase(it->second, src_call.id)) {
+        result.diagnostics.push_back(Diagnostic{
+            Severity::kError, kSagaAmbiguousStep, loc,
+            "capture sources " + it->second + " and " + src_call.id +
+                " both call " + src_call.system + "." + src_call.function +
+                "; the saga runtime cannot attribute the captured output",
+            "read the undo argument from a node with a unique local "
+            "function"});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fedflow::analysis::dataflow

@@ -1,0 +1,53 @@
+// Saga coordination checks (FF450..FF459): registration-time proof that a
+// write-path federated function can actually run under the saga coordinator.
+// Every mutating call node needs a well-formed compensation (existing,
+// mutating, arity/type-compatible undo function on the same system), writes
+// must not hide inside unbounded loops (per-iteration idempotency keys would
+// collide), coupling-level retries of mutating plans are only sound when the
+// deployment routes them through the saga coordinator's idempotency ledger,
+// step resolution by (system, function) must be unambiguous, and every node
+// feeding a compensation argument must be ordered before the write it undoes.
+#ifndef FEDFLOW_ANALYSIS_DATAFLOW_SAGA_ANALYSIS_H_
+#define FEDFLOW_ANALYSIS_DATAFLOW_SAGA_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "appsys/registry.h"
+#include "federation/spec.h"
+#include "plan/fed_plan.h"
+#include "sim/fault.h"
+
+namespace fedflow::analysis {
+
+// Saga coordination codes (FF450..FF459).
+inline constexpr char kSagaMissingCompensation[] = "FF450";   // error
+inline constexpr char kSagaCompensationMismatch[] = "FF451";  // error
+inline constexpr char kSagaWriteInLoop[] = "FF452";           // error
+inline constexpr char kSagaRetryWithoutLedger[] = "FF453";    // error
+inline constexpr char kSagaAmbiguousStep[] = "FF454";         // error
+inline constexpr char kSagaCaptureUnordered[] = "FF455";      // error
+
+namespace dataflow {
+
+struct SagaAnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Mutating call nodes of the plan (0 = read-only, no check applies).
+  std::size_t write_nodes = 0;
+};
+
+/// Runs the saga checks over the passthrough `plan` of `spec`. `retry` is
+/// the deployment's coupling-level retry policy; `saga_coordination` is true
+/// when the deployment routes mutating calls through the saga runtime's
+/// idempotency ledger (the integration server does; bare couplings do not).
+SagaAnalysisResult AnalyzeSaga(const plan::FedPlan& plan,
+                               const federation::FederatedFunctionSpec& spec,
+                               const appsys::AppSystemRegistry& systems,
+                               const sim::RetryPolicy& retry,
+                               bool saga_coordination);
+
+}  // namespace dataflow
+}  // namespace fedflow::analysis
+
+#endif  // FEDFLOW_ANALYSIS_DATAFLOW_SAGA_ANALYSIS_H_

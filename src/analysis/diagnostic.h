@@ -32,6 +32,7 @@ const char* SeverityName(Severity severity);
 ///   FF400..FF449  dataflow abstract interpretation (schema FF400..FF409,
 ///                 cardinality FF410..FF419, budget FF420..FF429,
 ///                 tenant-flow taint FF430..FF449)
+///   FF450..FF459  saga coordination (write-path federated functions)
 ///
 /// The authoritative per-code table (rule name, severity, summary) lives in
 /// analysis/code_registry.h and is mirrored in DESIGN.md §13.1.

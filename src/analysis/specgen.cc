@@ -563,4 +563,129 @@ GeneratedSpec SpecGenerator::GenerateCase(MappingCase c,
   return out;
 }
 
+GeneratedSpec SpecGenerator::GenerateWriteSpec(std::uint64_t seed) const {
+  // Write functions stay out of Catalog() on purpose: adding entries there
+  // would shift every read-only case's domain draws and re-shuffle the
+  // differential seeds fedfuzz has already explored.
+  const FnInfo gsn{"purchasing",
+                   "GetSupplierNo",
+                   {Column{"SupplierName", DataType::kVarchar}},
+                   {Column{"SupplierNo", DataType::kInt}},
+                   true};
+  const FnInfo gq{"stock",
+                  "GetQuality",
+                  {Column{"SupplierNo", DataType::kInt}},
+                  {Column{"Qual", DataType::kInt}},
+                  true};
+  const FnInfo set_quality{"stock",
+                           "SetQuality",
+                           {Column{"SupplierNo", DataType::kInt},
+                            Column{"Qual", DataType::kInt}},
+                           {Column{"Qual", DataType::kInt}},
+                           true};
+  const FnInfo reserve{"stock",
+                       "ReserveStock",
+                       {Column{"SupplierNo", DataType::kInt},
+                        Column{"CompNo", DataType::kInt},
+                        Column{"Amount", DataType::kInt}},
+                       {Column{"Reserved", DataType::kInt}},
+                       true};
+  const FnInfo place{"purchasing",
+                     "PlaceOrder",
+                     {Column{"SupplierNo", DataType::kInt},
+                      Column{"CompNo", DataType::kInt},
+                      Column{"Amount", DataType::kInt}},
+                     {Column{"OrderNo", DataType::kInt}},
+                     true};
+
+  // Own salt so write draws are independent of the read-only case streams.
+  Rng rng(seed * 8 + 0x5a6a5eedULL);
+  GeneratedSpec out;
+  Builder b("FZW_" + std::to_string(seed), &rng);
+
+  auto supplier_no = [&] {
+    return Value::Int(supplier_nos_[rng.Uniform(
+        0, static_cast<int64_t>(supplier_nos_.size()) - 1)]);
+  };
+  auto supplier_name = [&] {
+    return Value::Varchar(supplier_names_[rng.Uniform(
+        0, static_cast<int64_t>(supplier_names_.size()) - 1)]);
+  };
+  auto comp_no = [&] {
+    return Value::Int(comp_nos_[rng.Uniform(
+        0, static_cast<int64_t>(comp_nos_.size()) - 1)]);
+  };
+  auto amount = [&] {
+    return Value::Int(static_cast<int32_t>(rng.Uniform(1, 9)));
+  };
+
+  switch (seed % 3) {
+    case 0: {
+      // Two-write procurement saga: the supplier lookup feeds both writes,
+      // and its output is a compensation capture (ReleaseStock needs it).
+      std::string sn = b.AddParam(DataType::kVarchar, supplier_name());
+      std::string cn = b.AddParam(DataType::kInt, comp_no());
+      std::string am = b.AddParam(DataType::kInt, amount());
+      std::string n1 = b.AddCall(gsn, {SpecArg::Param(sn)});
+      std::string n2 = b.AddCall(reserve, {SpecArg::NodeColumn(n1, "SupplierNo"),
+                                           SpecArg::Param(cn),
+                                           SpecArg::Param(am)});
+      std::string n3 = b.AddCall(place, {SpecArg::NodeColumn(n1, "SupplierNo"),
+                                         SpecArg::Param(cn),
+                                         SpecArg::Param(am)});
+      b.spec().compensations.push_back(federation::SpecCompensation{
+          n2,
+          "ReleaseStock",
+          {SpecArg::NodeColumn(n1, "SupplierNo"), SpecArg::Param(cn),
+           SpecArg::Param(am)}});
+      b.spec().compensations.push_back(federation::SpecCompensation{
+          n3, "CancelOrder", {SpecArg::NodeColumn(n3, "OrderNo")}});
+      b.AddOutput(n3, "OrderNo");
+      b.AddOutput(n2, "Reserved");
+      out.mapping_case = MappingCase::kDependentN1;
+      break;
+    }
+    case 1: {
+      // Re-rating saga: read the current quality FIRST so the compensation
+      // can restore it — the undo args capture the read's output, which the
+      // write barriers must order before the SetQuality.
+      std::string sp = b.AddParam(DataType::kInt, supplier_no());
+      std::string nq = b.AddParam(
+          DataType::kInt, Value::Int(static_cast<int32_t>(rng.Uniform(1, 10))));
+      std::string n1 = b.AddCall(gq, {SpecArg::Param(sp)});
+      std::string n2 =
+          b.AddCall(set_quality, {SpecArg::Param(sp), SpecArg::Param(nq)});
+      b.spec().compensations.push_back(federation::SpecCompensation{
+          n2,
+          "RestoreQuality",
+          {SpecArg::Param(sp), SpecArg::NodeColumn(n1, "Qual")}});
+      b.AddOutput(n1, "Qual");  // captured pre-image
+      b.AddOutput(n2, "Qual");  // new rating (deduplicates to N2_Qual)
+      out.mapping_case = MappingCase::kIndependent;
+      break;
+    }
+    default: {
+      // Single-write saga, no reads at all: the shortest possible write
+      // path, where the compensation reuses the federated parameters.
+      std::string sp = b.AddParam(DataType::kInt, supplier_no());
+      std::string cn = b.AddParam(DataType::kInt, comp_no());
+      std::string am = b.AddParam(DataType::kInt, amount());
+      std::string n1 = b.AddCall(reserve, {SpecArg::Param(sp),
+                                           SpecArg::Param(cn),
+                                           SpecArg::Param(am)});
+      b.spec().compensations.push_back(federation::SpecCompensation{
+          n1,
+          "ReleaseStock",
+          {SpecArg::Param(sp), SpecArg::Param(cn), SpecArg::Param(am)}});
+      b.AddOutput(n1, "Reserved");
+      out.mapping_case = MappingCase::kSimple;
+      break;
+    }
+  }
+
+  out.spec = std::move(b.spec());
+  out.args = std::move(b.args());
+  return out;
+}
+
 }  // namespace fedflow::analysis

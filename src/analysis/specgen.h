@@ -47,6 +47,13 @@ class SpecGenerator {
   GeneratedSpec GenerateCase(federation::MappingCase c,
                              std::uint64_t seed) const;
 
+  /// Generates a write-path (saga) spec for `seed`: mutating steps paired
+  /// with compensations over the scenario's stores, plus guaranteed-hit
+  /// arguments. Kept out of the 8-case Generate rotation so the read-only
+  /// differential seeds stay stable; fedfuzz drives these through its
+  /// abort-restores-state oracle.
+  GeneratedSpec GenerateWriteSpec(std::uint64_t seed) const;
+
  private:
   // Domain pools extracted from the scenario (guaranteed-hit argument
   // values).

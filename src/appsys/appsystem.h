@@ -98,6 +98,12 @@ class AppSystem {
   /// handling tests). An OK status clears the fault.
   void InjectFault(const std::string& function, Status status);
 
+  /// Deterministic fingerprint of the system's observable store state.
+  /// Read-only systems (whose stores are immutable after construction) keep
+  /// the empty default; systems with mutating functions override it so the
+  /// saga oracles can compare pre- and post-abort snapshots.
+  virtual std::string StateFingerprint() const { return ""; }
+
  protected:
   /// Registration for subclasses during construction.
   Status Register(LocalFunction fn);

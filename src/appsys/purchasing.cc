@@ -123,6 +123,83 @@ PurchasingSystem::PurchasingSystem(const Scenario& scenario)
     return out;
   };
   (void)Register(std::move(decide));
+
+  LocalFunction place_order;
+  place_order.name = "PlaceOrder";
+  place_order.params = {Column{"SupplierNo", DataType::kInt},
+                        Column{"CompNo", DataType::kInt},
+                        Column{"Amount", DataType::kInt}};
+  place_order.result_schema.AddColumn("OrderNo", DataType::kInt);
+  place_order.base_cost_us = 700;
+  place_order.mutates = true;
+  place_order.body = [this, schema = place_order.result_schema](
+                         const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(orders_mutex_);
+    int32_t order_no = next_order_no_++;
+    orders_[order_no] =
+        OrderRecord{args[0].AsInt(), args[1].AsInt(), args[2].AsInt()};
+    out.AppendRowUnchecked({Value::Int(order_no)});
+    return out;
+  };
+  (void)Register(std::move(place_order));
+
+  LocalFunction cancel_order;
+  cancel_order.name = "CancelOrder";
+  cancel_order.params = {Column{"OrderNo", DataType::kInt}};
+  cancel_order.result_schema.AddColumn("Cancelled", DataType::kInt);
+  cancel_order.base_cost_us = 500;
+  cancel_order.mutates = true;
+  cancel_order.body = [this, schema = cancel_order.result_schema](
+                          const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(orders_mutex_);
+    int32_t cancelled =
+        static_cast<int32_t>(orders_.erase(args[0].AsInt()));
+    out.AppendRowUnchecked({Value::Int(cancelled)});
+    return out;
+  };
+  (void)Register(std::move(cancel_order));
+
+  LocalFunction open_orders;
+  open_orders.name = "GetOpenOrders";
+  open_orders.params = {Column{"SupplierNo", DataType::kInt}};
+  open_orders.result_schema.AddColumn("OrderNo", DataType::kInt);
+  open_orders.result_schema.AddColumn("CompNo", DataType::kInt);
+  open_orders.result_schema.AddColumn("Amount", DataType::kInt);
+  open_orders.base_cost_us = 400;
+  open_orders.per_row_cost_us = 10;
+  open_orders.min_rows = 0;  // set-returning: one row per open order
+  open_orders.max_rows = kUnboundedRows;
+  open_orders.body = [this, schema = open_orders.result_schema](
+                         const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(orders_mutex_);
+    for (const auto& [order_no, rec] : orders_) {
+      if (rec.supplier_no != args[0].AsInt()) continue;
+      out.AppendRowUnchecked({Value::Int(order_no), Value::Int(rec.comp_no),
+                              Value::Int(rec.amount)});
+    }
+    return out;
+  };
+  (void)Register(std::move(open_orders));
+}
+
+int64_t PurchasingSystem::open_order_count() const {
+  std::lock_guard<std::mutex> lock(orders_mutex_);
+  return static_cast<int64_t>(orders_.size());
+}
+
+std::string PurchasingSystem::StateFingerprint() const {
+  std::lock_guard<std::mutex> lock(orders_mutex_);
+  std::string out = "orders{";
+  for (const auto& [order_no, rec] : orders_) {
+    out += std::to_string(order_no) + "=" + std::to_string(rec.supplier_no) +
+           "," + std::to_string(rec.comp_no) + "," +
+           std::to_string(rec.amount) + ";";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace fedflow::appsys

@@ -4,7 +4,9 @@
 #ifndef FEDFLOW_APPSYS_PURCHASING_H_
 #define FEDFLOW_APPSYS_PURCHASING_H_
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,12 @@ namespace fedflow::appsys {
 ///   GetCompSupp4Discount(Discount INT)   -> (CompNo INT, SupplierNo INT)*
 ///   GetGrade(Qual INT, Relia INT)        -> (Grade INT)
 ///   DecidePurchase(Grade INT, CompNo INT)-> (Answer VARCHAR)
+///   PlaceOrder(SupplierNo INT, CompNo INT, Amount INT) -> (OrderNo INT)
+///       (mutating; books an order, returns its deterministic number)
+///   CancelOrder(OrderNo INT)             -> (Cancelled INT)
+///       (mutating; compensation of PlaceOrder)
+///   GetOpenOrders(SupplierNo INT)        -> (OrderNo INT, CompNo INT,
+///       Amount INT)*  (table-valued view of the order book)
 class PurchasingSystem : public AppSystem {
  public:
   explicit PurchasingSystem(const Scenario& scenario);
@@ -28,11 +36,29 @@ class PurchasingSystem : public AppSystem {
   /// BUY when grade >= 5, REJECT otherwise.
   static std::string Decide(int32_t grade, int32_t comp_no);
 
+  /// Open (placed, not cancelled) orders (test hook).
+  int64_t open_order_count() const;
+
+  /// The order book rendered as a canonical string.
+  std::string StateFingerprint() const override;
+
  private:
+  struct OrderRecord {
+    int32_t supplier_no = 0;
+    int32_t comp_no = 0;
+    int32_t amount = 0;
+  };
+
   std::map<std::string, int32_t> supplier_by_name_;
   std::map<int32_t, std::string> supplier_name_;
   std::map<int32_t, int32_t> reliability_;
   std::vector<DiscountRecord> discounts_;
+  // PlaceOrder / CancelOrder write the order book; all access to orders_ and
+  // next_order_no_ goes through orders_mutex_. Order numbers are a
+  // deterministic counter so repeated runs book identical numbers.
+  mutable std::mutex orders_mutex_;
+  std::map<int32_t, OrderRecord> orders_;
+  int32_t next_order_no_ = 9000;
 };
 
 }  // namespace fedflow::appsys

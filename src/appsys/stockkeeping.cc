@@ -90,6 +90,111 @@ StockKeepingSystem::StockKeepingSystem(const Scenario& scenario)
     return out;
   };
   (void)Register(std::move(get_supp_comps));
+
+  // RestoreQuality is SetQuality under its saga-facing name: the write that
+  // undoes a SetQuality given the previously captured rating.
+  LocalFunction restore_quality;
+  restore_quality.name = "RestoreQuality";
+  restore_quality.params = {Column{"SupplierNo", DataType::kInt},
+                            Column{"Qual", DataType::kInt}};
+  restore_quality.result_schema.AddColumn("Qual", DataType::kInt);
+  restore_quality.base_cost_us = 450;
+  restore_quality.mutates = true;
+  restore_quality.body = [this, schema = restore_quality.result_schema](
+                             const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    quality_[args[0].AsInt()] = args[1].AsInt();
+    out.AppendRowUnchecked({Value::Int(args[1].AsInt())});
+    return out;
+  };
+  (void)Register(std::move(restore_quality));
+
+  LocalFunction reserve;
+  reserve.name = "ReserveStock";
+  reserve.params = {Column{"SupplierNo", DataType::kInt},
+                    Column{"CompNo", DataType::kInt},
+                    Column{"Amount", DataType::kInt}};
+  reserve.result_schema.AddColumn("Reserved", DataType::kInt);
+  reserve.base_cost_us = 550;
+  reserve.mutates = true;
+  reserve.body = [this, schema = reserve.result_schema](
+                     const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    int32_t& total = reservations_[{args[0].AsInt(), args[1].AsInt()}];
+    total += args[2].AsInt();
+    out.AppendRowUnchecked({Value::Int(total)});
+    return out;
+  };
+  (void)Register(std::move(reserve));
+
+  LocalFunction release;
+  release.name = "ReleaseStock";
+  release.params = {Column{"SupplierNo", DataType::kInt},
+                    Column{"CompNo", DataType::kInt},
+                    Column{"Amount", DataType::kInt}};
+  release.result_schema.AddColumn("Reserved", DataType::kInt);
+  release.base_cost_us = 550;
+  release.mutates = true;
+  release.body = [this, schema = release.result_schema](
+                     const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    std::pair<int32_t, int32_t> key{args[0].AsInt(), args[1].AsInt()};
+    int32_t& total = reservations_[key];
+    total -= args[2].AsInt();
+    int32_t remaining = total;
+    if (total == 0) reservations_.erase(key);
+    out.AppendRowUnchecked({Value::Int(remaining)});
+    return out;
+  };
+  (void)Register(std::move(release));
+
+  LocalFunction get_reserved;
+  get_reserved.name = "GetReserved";
+  get_reserved.params = {Column{"SupplierNo", DataType::kInt},
+                         Column{"CompNo", DataType::kInt}};
+  get_reserved.result_schema.AddColumn("Reserved", DataType::kInt);
+  get_reserved.base_cost_us = 350;
+  get_reserved.body = [this, schema = get_reserved.result_schema](
+                          const std::vector<Value>& args) -> Result<Table> {
+    Table out(schema);
+    std::lock_guard<std::mutex> lock(quality_mutex_);
+    auto it = reservations_.find({args[0].AsInt(), args[1].AsInt()});
+    out.AppendRowUnchecked(
+        {Value::Int(it == reservations_.end() ? 0 : it->second)});
+    return out;
+  };
+  (void)Register(std::move(get_reserved));
+}
+
+int32_t StockKeepingSystem::reserved(int32_t supplier_no,
+                                     int32_t comp_no) const {
+  std::lock_guard<std::mutex> lock(quality_mutex_);
+  auto it = reservations_.find({supplier_no, comp_no});
+  return it == reservations_.end() ? 0 : it->second;
+}
+
+int32_t StockKeepingSystem::quality(int32_t supplier_no) const {
+  std::lock_guard<std::mutex> lock(quality_mutex_);
+  auto it = quality_.find(supplier_no);
+  return it == quality_.end() ? -1 : it->second;
+}
+
+std::string StockKeepingSystem::StateFingerprint() const {
+  std::lock_guard<std::mutex> lock(quality_mutex_);
+  std::string out = "qual{";
+  for (const auto& [supp, qual] : quality_) {
+    out += std::to_string(supp) + "=" + std::to_string(qual) + ";";
+  }
+  out += "}rsv{";
+  for (const auto& [key, amount] : reservations_) {
+    out += std::to_string(key.first) + "," + std::to_string(key.second) + "=" +
+           std::to_string(amount) + ";";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace fedflow::appsys

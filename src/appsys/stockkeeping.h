@@ -18,15 +18,32 @@ namespace fedflow::appsys {
 ///   GetNumber(SupplierNo INT, CompNo INT) -> (Number INT)
 ///   GetSuppComps(SupplierNo INT)          -> (CompNo INT)*  (table-valued)
 ///   SetQuality(SupplierNo INT, Qual INT)  -> (Qual INT)    (mutating)
+///   RestoreQuality(SupplierNo INT, Qual INT) -> (Qual INT) (mutating;
+///       compensation of SetQuality — same write, saga-facing name)
+///   ReserveStock(SupplierNo INT, CompNo INT, Amount INT) -> (Reserved INT)
+///       (mutating; adds a reservation, returns the new reserved total)
+///   ReleaseStock(SupplierNo INT, CompNo INT, Amount INT) -> (Reserved INT)
+///       (mutating; compensation of ReserveStock)
+///   GetReserved(SupplierNo INT, CompNo INT) -> (Reserved INT)
 class StockKeepingSystem : public AppSystem {
  public:
   explicit StockKeepingSystem(const Scenario& scenario);
 
+  /// Reserved amount of (supplier, component); 0 when none (test hook).
+  int32_t reserved(int32_t supplier_no, int32_t comp_no) const;
+  /// Stored quality rating of `supplier_no`; -1 when unknown (test hook).
+  int32_t quality(int32_t supplier_no) const;
+
+  /// quality_ and reservations_ rendered as a canonical string.
+  std::string StateFingerprint() const override;
+
  private:
-  // Private embedded store — invisible to the FDBS by design. SetQuality
-  // writes quality_, so reads and writes of it go through quality_mutex_.
+  // Private embedded store — invisible to the FDBS by design. SetQuality /
+  // RestoreQuality write quality_ and ReserveStock / ReleaseStock write
+  // reservations_, so all access to either goes through quality_mutex_.
   mutable std::mutex quality_mutex_;
   std::map<int32_t, int32_t> quality_;                     // supplier -> qual
+  std::map<std::pair<int32_t, int32_t>, int32_t> reservations_;
   std::map<std::pair<int32_t, int32_t>, int32_t> stock_;   // (supp,comp) -> no
   std::map<int32_t, std::vector<int32_t>> supp_comps_;     // supp -> comps
 };

@@ -59,6 +59,15 @@ bool ResultCache::Lookup(const Key& key, Table* out) {
 
 void ResultCache::Insert(const Key& key, Entry entry) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Adaptive admission: an entry that saves less virtual time than the probe
+  // which would find it costs more to cache than to recompute. Rejected
+  // before any resident state is touched.
+  if (options_.min_saved_cost_us > 0 &&
+      entry.saved_cost_us < options_.min_saved_cost_us) {
+    ++stats_.admission_rejected;
+    if (metrics_ != nullptr) metrics_->Inc("cache.admission.rejected");
+    return;
+  }
   const std::string series = SeriesKey(key);
   const std::string full = FullKey(key);
   auto sit = by_series_.find(series);

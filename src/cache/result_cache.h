@@ -55,6 +55,12 @@ struct ResultCacheOptions {
   /// quota evicts its own least recently used entries first — the result
   /// cache analog of the controller pool's per-tenant checkout quota.
   size_t per_tenant_max_bytes = 0;
+
+  /// Adaptive admission: an entry whose modeled saved cost is below this
+  /// threshold is not admitted — a hit on it could never pay back the probe
+  /// that finds it. 0 (the default) admits everything; the integration
+  /// server wires this to the latency model's cache_probe_us.
+  VDuration min_saved_cost_us = 0;
 };
 
 /// Thread-safe memoization store for call results.
@@ -87,6 +93,7 @@ class ResultCache {
     int64_t insertions = 0;
     int64_t evictions = 0;
     int64_t invalidations = 0;
+    int64_t admission_rejected = 0;  ///< entries below min_saved_cost_us
   };
 
   explicit ResultCache(ResultCacheOptions options = {});

@@ -45,6 +45,12 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
   server->result_cache_.AttachMetrics(&server->metrics_);
   // Slot evictions and reboots must flush the results priced on them.
   server->controller_pool_.AttachResultCache(&server->result_cache_);
+  server->saga_runtime_.Configure(&server->systems_, model, &server->metrics_);
+  // Adaptive admission: never cache a result whose modeled saving is below
+  // the probe that would serve it.
+  cache::ResultCacheOptions rc_options = server->result_cache_.options();
+  rc_options.min_saved_cost_us = server->model_.cache_probe_us;
+  server->result_cache_.set_options(rc_options);
   Controller* primary = server->controller_pool_.primary();
   sim::SystemState* primary_state = server->controller_pool_.primary_state();
   if (arch == Architecture::kWfms) {
@@ -67,7 +73,8 @@ Result<std::unique_ptr<IntegrationServer>> IntegrationServer::Create(
     FEDFLOW_RETURN_NOT_OK(server->udtf_->RegisterAccessUdtfs());
     if (arch == Architecture::kJavaUdtf) {
       server->java_ = std::make_unique<JavaUdtfCoupling>(
-          &server->db_, &server->systems_, &server->model_, primary_state);
+          &server->db_, &server->systems_, &server->model_, primary_state,
+          &server->retry_policy_);
     }
   }
 
@@ -115,6 +122,9 @@ Status IntegrationServer::RegisterFederatedFunction(
     dopts.pool_max_size = controller_pool_.options().max_size;
     dopts.per_tenant_quota = controller_pool_.options().per_tenant_quota;
     dopts.parallelize = options.parallelize;
+    // The server runs write-path functions as sagas (idempotency ledger +
+    // compensation), so FF453 must not fire on retrying deployments.
+    dopts.saga_coordination = true;
     Result<analysis::DataflowResult> dataflow =
         analysis::RunDataflow(spec, systems_, model_, dopts, fed_plan.get());
     if (dataflow.ok()) {
@@ -149,17 +159,24 @@ Status IntegrationServer::RegisterFederatedFunction(
     }
     return Status::Internal("bad architecture");
   }
-  switch (arch_) {
-    case Architecture::kWfms:
-      return wfms_->RegisterFederatedFunction(spec, *fed_plan);
-    case Architecture::kUdtf:
-      return udtf_->RegisterFederatedFunction(spec, *fed_plan);
-    case Architecture::kJavaUdtf:
-      // The procedural body shares ownership: interpreter and EXPLAIN read
-      // the same cached instance.
-      return java_->RegisterFederatedFunction(spec, fed_plan);
-  }
-  return Status::Internal("bad architecture");
+  Status registered = [&] {
+    switch (arch_) {
+      case Architecture::kWfms:
+        return wfms_->RegisterFederatedFunction(spec, *fed_plan);
+      case Architecture::kUdtf:
+        return udtf_->RegisterFederatedFunction(spec, *fed_plan);
+      case Architecture::kJavaUdtf:
+        // The procedural body shares ownership: interpreter and EXPLAIN read
+        // the same cached instance.
+        return java_->RegisterFederatedFunction(spec, fed_plan);
+    }
+    return Status::Internal("bad architecture");
+  }();
+  FEDFLOW_RETURN_NOT_OK(registered);
+  // Write-path functions additionally register their saga view (a no-op for
+  // read-only specs): the plan's execution order chains the writes the way
+  // the lowering runs them.
+  return saga_runtime_.Register(spec, fed_plan->order);
 }
 
 Result<Table> IntegrationServer::Query(const std::string& sql) {
@@ -190,7 +207,8 @@ Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimedFor(
 
 Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
     Controller* controller, sim::SystemState* ledger, uint64_t slot,
-    const std::string& tenant, const std::string& sql) {
+    const std::string& tenant, const std::string& sql, txn::SagaExec* saga,
+    VDuration* failed_elapsed_us) {
   sim::FlowState flow;
   flow.flow_id = next_flow_id_.fetch_add(1);
   flow.tenant = tenant;
@@ -198,6 +216,7 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
   flow.controller = controller;
   flow.warmth = ledger;
   flow.slot = slot;
+  flow.saga = saga;
   obs::TraceSession session(&tracer_, &flow.clock);
   flow.trace = &session;
   fdbs::ExecContext ctx;
@@ -221,7 +240,12 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
     return t;
   }();
   flow.clock.set_observer(nullptr);
-  FEDFLOW_RETURN_NOT_OK(table.status());
+  if (!table.ok()) {
+    // The flow (and its clock) dies with the failure; surface the elapsed
+    // virtual time so the saga abort can account the wasted forward work.
+    if (failed_elapsed_us != nullptr) *failed_elapsed_us = flow.clock.now();
+    return table.status();
+  }
   TimedResult result;
   result.table = std::move(table).ValueUnsafe();
   result.elapsed_us = flow.clock.now();
@@ -337,6 +361,36 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederated(
   return CallFederatedFor("default", name, args);
 }
 
+Result<IntegrationServer::TimedResult> IntegrationServer::RunSagaCall(
+    const txn::SagaSpecInfo& info, Controller* controller,
+    sim::SystemState* ledger, uint64_t slot, const std::string& tenant,
+    const std::string& name, const std::vector<Value>& args) {
+  // Begin OUTSIDE every coupling retry loop: the idempotency keys must stay
+  // stable across a WfMS checkpoint resume and across an I-UDTF whole
+  // statement restart, or the dedup ledger could never recognize a retried
+  // write. A write-path call is never served from (or inserted into) the
+  // whole-call result cache — its effect is the point of the call.
+  std::unique_ptr<txn::SagaExec> exec = saga_runtime_.Begin(info, args);
+  VDuration failed_elapsed_us = 0;
+  Result<TimedResult> result =
+      RunFlow(controller, ledger, slot, tenant, BuildCallSql(name, args),
+              exec.get(), &failed_elapsed_us);
+  if (!result.ok()) {
+    // Backward recovery: compensate the applied steps in reverse order. The
+    // outcome (including the modeled abort cost) is queryable through
+    // saga_runtime().LastOutcome(name); the caller sees the original error.
+    (void)saga_runtime_.Abort(*exec, failed_elapsed_us, result.status());
+    // Backward recovery supersedes forward recovery: the WfMS checkpoint
+    // memoizes activities whose effects were just compensated, so a later
+    // resume from it would skip re-applying the undone writes.
+    if (wfms_ != nullptr) wfms_->wrapper()->ClearCheckpoint(name);
+    return result.status();
+  }
+  saga_runtime_.Commit(*exec);
+  RecordCallMetrics(tenant, name, *result);
+  return result;
+}
+
 Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedFor(
     const std::string& tenant, const std::string& name,
     const std::vector<Value>& args) {
@@ -345,6 +399,14 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedFor(
   FEDFLOW_ASSIGN_OR_RETURN(ControllerPool::Lease lease,
                            controller_pool_.Checkout(tenant, name));
   const sim::SystemState::Warmth warmth = lease.warmth();
+  if (const txn::SagaSpecInfo* info = saga_runtime_.Find(name)) {
+    FEDFLOW_ASSIGN_OR_RETURN(
+        TimedResult saga_result,
+        RunSagaCall(*info, lease.controller(), lease.ledger(), lease.slot(),
+                    tenant, name, args));
+    saga_result.warmth = warmth;
+    return saga_result;
+  }
   TimedResult result;
   if (TryServeCached(warmth, name, args, &result)) {
     lease.ledger()->MarkRun(name);
@@ -370,6 +432,14 @@ Result<IntegrationServer::TimedResult> IntegrationServer::CallFederatedOnLease(
   // Pre-call verdict: what this function experiences on the leased
   // controller. Must be read before execution marks the function run.
   const sim::SystemState::Warmth warmth = lease.ledger()->QueryWarmth(name);
+  if (const txn::SagaSpecInfo* info = saga_runtime_.Find(name)) {
+    FEDFLOW_ASSIGN_OR_RETURN(
+        TimedResult saga_result,
+        RunSagaCall(*info, lease.controller(), lease.ledger(), lease.slot(),
+                    tenant, name, args));
+    saga_result.warmth = warmth;
+    return saga_result;
+  }
   TimedResult result;
   if (TryServeCached(warmth, name, args, &result)) {
     lease.ledger()->MarkRun(name);

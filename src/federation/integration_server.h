@@ -30,6 +30,7 @@
 #include "sim/latency.h"
 #include "sim/resource_pools.h"
 #include "sim/system_state.h"
+#include "txn/saga.h"
 #include "wfms/engine.h"
 
 namespace fedflow::federation {
@@ -167,6 +168,14 @@ class IntegrationServer {
   cache::ResultCache& result_cache() { return result_cache_; }
   const cache::ResultCache& result_cache() const { return result_cache_; }
 
+  /// The saga coordinator: write-path federated functions (specs with
+  /// mutating calls + compensations) register their saga view here at
+  /// RegisterFederatedFunction time, and CallFederated* runs them as sagas —
+  /// idempotency-keyed exactly-once forward execution, compensation-based
+  /// backward recovery on abort. Read-only functions never touch it.
+  txn::SagaRuntime& saga_runtime() { return saga_runtime_; }
+  const txn::SagaRuntime& saga_runtime() const { return saga_runtime_; }
+
   /// Per-statement opt-in for result caching, mirroring the opt-in optimizer
   /// passes: default OFF, so the uncached virtual-time totals every golden
   /// pins stay bit-identical. When ON, A-UDTF local calls are memoized and a
@@ -197,11 +206,28 @@ class IntegrationServer {
   /// per-call checkout path (QueryTimedFor) and the external-lease path
   /// (CallFederatedOnLease). `slot` is the lease's warm-pool slot (0 when
   /// unpooled); result-cache entries produced by the flow record it. The
-  /// result's warmth is left at its default.
+  /// result's warmth is left at its default. `saga` (optional) rides the
+  /// flow state so the couplings route mutating calls through it; on failure
+  /// `failed_elapsed_us` (optional) receives the virtual time the failed
+  /// flow burned — the clock is lost with the flow otherwise, and the saga
+  /// abort path accounts it into the outcome.
   Result<TimedResult> RunFlow(Controller* controller,
                               sim::SystemState* ledger, uint64_t slot,
                               const std::string& tenant,
-                              const std::string& sql);
+                              const std::string& sql,
+                              txn::SagaExec* saga = nullptr,
+                              VDuration* failed_elapsed_us = nullptr);
+
+  /// CallFederatedFor/OnLease body for a saga-registered (write-path)
+  /// function: Begin outside every coupling retry loop (idempotency keys
+  /// must survive WfMS resume and I-UDTF restart alike), never whole-call
+  /// cached, Commit on success, Abort + backward recovery on failure.
+  Result<TimedResult> RunSagaCall(const txn::SagaSpecInfo& info,
+                                  Controller* controller,
+                                  sim::SystemState* ledger, uint64_t slot,
+                                  const std::string& tenant,
+                                  const std::string& name,
+                                  const std::vector<Value>& args);
 
   /// The whole-federated-call cache key of name(args): the data-version
   /// stamp covers the systems the cached plan calls into (every registered
@@ -244,6 +270,7 @@ class IntegrationServer {
   appsys::AppSystemRegistry systems_;
   cache::PlanCache plan_cache_;
   cache::ResultCache result_cache_;
+  txn::SagaRuntime saga_runtime_;
   bool caching_enabled_ = false;
   ControllerPool controller_pool_;
   std::atomic<int64_t> next_flow_id_{1};

@@ -107,12 +107,15 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
       spec.name, spec.params, returns, std::move(body),
       model_->jdbc_statement_us);
 
-  // Decorate with start/finish + warm-up costs, mirroring the SQL I-UDTF.
+  // Decorate with start/finish + warm-up costs and the statement-level
+  // retry, mirroring the SQL I-UDTF.
   class Decorated : public fdbs::TableFunction {
    public:
     Decorated(std::shared_ptr<fdbs::TableFunction> inner,
-              const sim::LatencyModel* model, sim::SystemState* state)
-        : inner_(std::move(inner)), model_(model), state_(state) {}
+              const sim::LatencyModel* model, sim::SystemState* state,
+              const sim::RetryPolicy* retry)
+        : inner_(std::move(inner)), model_(model), state_(state),
+          retry_(retry) {}
     const std::string& name() const override { return inner_->name(); }
     const std::vector<Column>& params() const override {
       return inner_->params();
@@ -144,26 +147,42 @@ Status JavaUdtfCoupling::RegisterFederatedFunction(
             break;
         }
       }
-      if (clock != nullptr) {
-        clock->Charge(sim::steps::kJavaStartI, model_->java_iudtf_start_us);
+      // Statement-level retry: the procedural body holds no state between
+      // attempts, so a retriable failure re-interprets the WHOLE plan —
+      // every statement it issues runs (and charges) again. Saga write
+      // steps survive the restart through the dedup ledger.
+      sim::RetryLoop retry(retry_, clock, ctx.metrics, name());
+      while (true) {
+        if (clock != nullptr) {
+          clock->Charge(sim::steps::kJavaStartI, model_->java_iudtf_start_us);
+        }
+        Result<Table> out = inner_->Invoke(args, ctx);
+        if (out.ok()) {
+          if (clock != nullptr) {
+            clock->Charge(sim::steps::kJavaFinishI,
+                          model_->java_iudtf_finish_us);
+          }
+          if (state != nullptr) state->MarkRun(name());
+          return out;
+        }
+        if (!retry.ShouldRetry(out.status())) {
+          span.SetStatus(out.status());
+          return out.status();
+        }
+        span.AddEvent("retrying statement", out.status().message());
+        FEDFLOW_RETURN_NOT_OK(retry.Backoff());
       }
-      FEDFLOW_ASSIGN_OR_RETURN(Table out, inner_->Invoke(args, ctx));
-      if (clock != nullptr) {
-        clock->Charge(sim::steps::kJavaFinishI,
-                      model_->java_iudtf_finish_us);
-      }
-      if (state != nullptr) state->MarkRun(name());
-      return out;
     }
 
    private:
     std::shared_ptr<fdbs::TableFunction> inner_;
     const sim::LatencyModel* model_;
     sim::SystemState* state_;
+    const sim::RetryPolicy* retry_;
   };
 
   return db_->catalog().RegisterTableFunction(
-      std::make_shared<Decorated>(std::move(fn), model_, state_));
+      std::make_shared<Decorated>(std::move(fn), model_, state_, retry_));
 }
 
 }  // namespace fedflow::federation

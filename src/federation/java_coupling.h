@@ -14,6 +14,7 @@
 #include "federation/classify.h"
 #include "federation/spec.h"
 #include "plan/optimizer.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/system_state.h"
 
@@ -28,10 +29,15 @@ bool JavaUdtfSupports(MappingCase c);
 /// shared with UdtfCoupling (both variants sit on the same access layer).
 class JavaUdtfCoupling {
  public:
+  /// `retry` (optional) is the deployment's statement-level retry policy:
+  /// like the SQL I-UDTF, the procedural body holds no state between
+  /// attempts, so a retriable failure restarts the whole interpretation.
   JavaUdtfCoupling(fdbs::Database* db,
                    const appsys::AppSystemRegistry* systems,
-                   const sim::LatencyModel* model, sim::SystemState* state)
-      : db_(db), systems_(systems), model_(model), state_(state) {}
+                   const sim::LatencyModel* model, sim::SystemState* state,
+                   const sim::RetryPolicy* retry = nullptr)
+      : db_(db), systems_(systems), model_(model), state_(state),
+        retry_(retry) {}
 
   /// Compiles the spec into the federated plan (plan/fed_plan.h) and
   /// registers a procedural I-UDTF interpreting it. The body interprets the
@@ -54,6 +60,7 @@ class JavaUdtfCoupling {
   const appsys::AppSystemRegistry* systems_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;
+  const sim::RetryPolicy* retry_;
 };
 
 }  // namespace fedflow::federation

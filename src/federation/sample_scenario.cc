@@ -136,6 +136,36 @@ FederatedFunctionSpec BuySuppCompSpec() {
   return spec;
 }
 
+FederatedFunctionSpec ProcureComponentSpec() {
+  FederatedFunctionSpec spec;
+  spec.name = "ProcureComponent";
+  spec.params = {Column{"SupplierName", DataType::kVarchar},
+                 Column{"CompNo", DataType::kInt},
+                 Column{"Amount", DataType::kInt}};
+  spec.calls = {
+      {"GSN", "purchasing", "GetSupplierNo", {SpecArg::Param("SupplierName")}},
+      {"RS", "stock", "ReserveStock",
+       {SpecArg::NodeColumn("GSN", "SupplierNo"), SpecArg::Param("CompNo"),
+        SpecArg::Param("Amount")}},
+      {"PO", "purchasing", "PlaceOrder",
+       {SpecArg::NodeColumn("GSN", "SupplierNo"), SpecArg::Param("CompNo"),
+        SpecArg::Param("Amount")}},
+  };
+  // Undo arguments resolve against the captured GSN output, the federated
+  // parameters, and (for CancelOrder) the write's own acknowledgement.
+  spec.compensations = {
+      {"RS", "ReleaseStock",
+       {SpecArg::NodeColumn("GSN", "SupplierNo"), SpecArg::Param("CompNo"),
+        SpecArg::Param("Amount")}},
+      {"PO", "CancelOrder", {SpecArg::NodeColumn("PO", "OrderNo")}},
+  };
+  spec.outputs = {
+      {"OrderNo", "PO", "OrderNo", DataType::kNull},
+      {"Reserved", "RS", "Reserved", DataType::kNull},
+  };
+  return spec;
+}
+
 std::vector<FederatedFunctionSpec> SampleSpecs() {
   return {
       GibKompNrSpec(),         GetNumberSupp1234Spec(), GetSuppQualSpec(),

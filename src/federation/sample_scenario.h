@@ -44,6 +44,12 @@ FederatedFunctionSpec AllCompNamesSpec();
 /// application systems.
 FederatedFunctionSpec BuySuppCompSpec();
 
+/// Write path (saga semantics): GetSupplierNo -> ReserveStock -> PlaceOrder
+/// with ReleaseStock / CancelOrder compensations. NOT part of SampleSpecs()
+/// — the saga tests and bench_saga register it explicitly, keeping every
+/// read-only workload (and its goldens) untouched.
+FederatedFunctionSpec ProcureComponentSpec();
+
 /// All specs both architectures can express, in Fig. 5 order of increasing
 /// mapping complexity.
 std::vector<FederatedFunctionSpec> SampleSpecs();

@@ -16,6 +16,14 @@ Result<const SpecCall*> FederatedFunctionSpec::FindCall(
   return Status::NotFound("call node not found: " + id + " in spec " + name);
 }
 
+const SpecCompensation* FederatedFunctionSpec::FindCompensation(
+    const std::string& id) const {
+  for (const SpecCompensation& c : compensations) {
+    if (EqualsIgnoreCase(c.node, id)) return &c;
+  }
+  return nullptr;
+}
+
 namespace {
 
 bool IsDeclaredParam(const FederatedFunctionSpec& spec,
@@ -91,6 +99,37 @@ Status ValidateSpec(const FederatedFunctionSpec& spec) {
                                      spec.name);
     }
     FEDFLOW_RETURN_NOT_OK(spec.FindCall(o.node).status());
+  }
+  for (const SpecCompensation& comp : spec.compensations) {
+    FEDFLOW_RETURN_NOT_OK(spec.FindCall(comp.node).status());
+    if (comp.function.empty()) {
+      return Status::InvalidArgument("compensation of node " + comp.node +
+                                     " names no function (spec " + spec.name +
+                                     ")");
+    }
+    for (const SpecCompensation& other : spec.compensations) {
+      if (&other != &comp && EqualsIgnoreCase(other.node, comp.node)) {
+        return Status::InvalidArgument("duplicate compensation for node " +
+                                       comp.node + " (spec " + spec.name + ")");
+      }
+    }
+    for (const SpecArg& a : comp.args) {
+      switch (a.kind) {
+        case SpecArg::Kind::kConstant:
+          break;
+        case SpecArg::Kind::kParam:
+          if (!IsDeclaredParam(spec, a.param)) {
+            return Status::InvalidArgument(
+                "compensation of node " + comp.node +
+                " references unknown parameter " + a.param);
+          }
+          break;
+        case SpecArg::Kind::kNodeColumn:
+          // The write node's own output is a legal undo source.
+          FEDFLOW_RETURN_NOT_OK(spec.FindCall(a.node).status());
+          break;
+      }
+    }
   }
   if (spec.loop.enabled) {
     if (spec.loop.count_param.empty() ||

@@ -78,6 +78,19 @@ struct SpecOutput {
   DataType cast_to = DataType::kNull;     ///< optional cast (simple case)
 };
 
+/// Compensation pairing of one *mutating* call node (saga semantics): when
+/// the federated function aborts after `node` applied its write, the saga
+/// coordinator undoes it by calling `function` on the same application
+/// system. Arguments resolve like call arguments — constants, federated
+/// parameters, or output columns of nodes that ran before the abort
+/// (including the write node's own output, e.g. PlaceOrder's OrderNo feeding
+/// CancelOrder) — and are snapshotted when the write applies.
+struct SpecCompensation {
+  std::string node;           ///< id of the mutating call node being paired
+  std::string function;       ///< compensation function on the node's system
+  std::vector<SpecArg> args;  ///< undo arguments, resolved at apply time
+};
+
 /// Optional do-until loop around the whole call graph (the cyclic case, e.g.
 /// AllCompNames). The implicit ITERATION counter (1-based) is available as an
 /// argument via SpecArg::Param("ITERATION").
@@ -96,7 +109,11 @@ struct FederatedFunctionSpec {
   std::vector<SpecCall> calls;
   std::vector<SpecJoin> joins;
   std::vector<SpecOutput> outputs;
+  std::vector<SpecCompensation> compensations;
   SpecLoop loop;
+
+  /// The compensation paired with call node `id`; nullptr when none.
+  const SpecCompensation* FindCompensation(const std::string& id) const;
 
   /// The declared result schema, derived from outputs (casts applied).
   /// Column types resolve through the call nodes' function signatures, so

@@ -14,6 +14,7 @@
 #include "sim/flow_state.h"
 #include "sim/rmi.h"
 #include "sql/parser.h"
+#include "txn/saga.h"
 
 namespace fedflow::federation {
 
@@ -35,6 +36,7 @@ class AccessUdtf : public fdbs::TableFunction {
         schema_(fn.result_schema),
         controller_(controller),
         model_(model),
+        faults_(faults),
         rmi_(model, faults) {}
 
   const std::string& name() const override { return name_; }
@@ -46,6 +48,12 @@ class AccessUdtf : public fdbs::TableFunction {
     SimClock* clock = ctx.clock;
     obs::SpanScope span(ctx.trace, "audtf:" + name_, obs::Layer::kCoupling);
     span.SetAttribute("system", system_);
+    txn::SagaExec* saga = ctx.flow != nullptr ? ctx.flow->saga : nullptr;
+    if (saga != nullptr) {
+      if (const txn::SagaStep* step = saga->WriteStepFor(system_, name_)) {
+        return InvokeSagaWrite(*step, saga, args, ctx, span);
+      }
+    }
     // Opt-in memoization of the local call: a resident entry at the system's
     // current data version skips the whole fenced-UDTF + RMI + dispatch path.
     const bool memoize = ctx.use_result_cache && ctx.result_cache != nullptr &&
@@ -62,6 +70,7 @@ class AccessUdtf : public fdbs::TableFunction {
       Table resident(schema_);
       if (ctx.result_cache->Lookup(key, &resident)) {
         span.SetAttribute("cache", "hit");
+        if (saga != nullptr) RecordCapture(saga, resident);
         return resident;
       }
       span.SetAttribute("cache", "miss");
@@ -125,6 +134,7 @@ class AccessUdtf : public fdbs::TableFunction {
       // unreachable for future lookups, which re-stamp the current version.
       ctx.result_cache->Insert(key, std::move(entry));
     }
+    if (saga != nullptr) RecordCapture(saga, *out);
     return out;
   }
 
@@ -136,11 +146,17 @@ class AccessUdtf : public fdbs::TableFunction {
   Result<fedflow::RowSourcePtr> InvokeStream(const std::vector<Value>& args,
                                              fdbs::ExecContext& ctx,
                                              size_t batch_size) override {
-    if (ctx.use_result_cache && ctx.result_cache != nullptr &&
-        app_ != nullptr) {
+    txn::SagaExec* saga = ctx.flow != nullptr ? ctx.flow->saga : nullptr;
+    const bool saga_step =
+        saga != nullptr && (saga->WriteStepFor(system_, name_) != nullptr ||
+                            !saga->CaptureNodeFor(system_, name_).empty());
+    if (saga_step || (ctx.use_result_cache && ctx.result_cache != nullptr &&
+                      app_ != nullptr)) {
       // Memoization wants the materialized table anyway, and a fully drained
       // stream charges exactly what Invoke charges — so the cached path runs
       // eagerly and streams the result out of the (possibly resident) table.
+      // Saga write and capture steps take the same route: the dedup ledger
+      // and undo-arg capture need the materialized acknowledgement.
       FEDFLOW_ASSIGN_OR_RETURN(Table out, Invoke(args, ctx));
       return fedflow::MakeTableSource(std::move(out), batch_size);
     }
@@ -202,6 +218,137 @@ class AccessUdtf : public fdbs::TableFunction {
   }
 
  private:
+  /// Records the output of a capture-source node (one whose result feeds a
+  /// compensation argument of a later write) for undo-arg resolution.
+  void RecordCapture(txn::SagaExec* saga, const Table& out) const {
+    std::string node = saga->CaptureNodeFor(system_, name_);
+    if (!node.empty()) saga->RecordOutput(node, out);
+  }
+
+  /// The saga write path of this A-UDTF. It differs from the read path in
+  /// four ways: the call is never memoized (a write must reach the store);
+  /// the idempotency key is marshalled with the RMI request as an extra
+  /// VARCHAR argument, so its bytes are charged at real wire cost; a
+  /// duplicate key is answered from the dedup ledger without re-dispatching
+  /// into the application system; and the fault consultation happens AFTER
+  /// the local call applied — an injected fault models the acknowledgement
+  /// getting lost on the return leg, which is exactly the case the ledger
+  /// exists for. The member rmi_ consults faults BEFORE its handler runs, so
+  /// this path uses a fault-free channel and consults the injector by hand.
+  Result<Table> InvokeSagaWrite(const txn::SagaStep& step, txn::SagaExec* saga,
+                                const std::vector<Value>& args,
+                                fdbs::ExecContext& ctx, obs::SpanScope& span) {
+    SimClock* clock = ctx.clock;
+    span.SetAttribute("saga.step", step.node);
+    const std::string key = saga->IdempotencyKey(step);
+    std::vector<Value> wire_args = args;
+    wire_args.push_back(Value::Varchar(key));
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfPrepareA,
+                    model_->udtf_prepare_a_us + model_->controller_attach_us);
+    }
+    sim::RmiChannel channel(model_, nullptr);
+    sim::RmiChannel::CallCosts costs;
+    obs::TraceSession* trace = ctx.trace;
+
+    // Duplicate key: a previous attempt applied this write but its response
+    // was lost. Replay the recorded acknowledgement; the store does not run
+    // the local function again.
+    std::optional<Table> recorded = saga->DedupLookup(step);
+    if (recorded.has_value()) {
+      span.SetAttribute("saga.dedup", "hit");
+      auto replay = [this, clock, &recorded](
+                        const std::string&,
+                        const std::vector<Value>&) -> Result<Table> {
+        if (clock != nullptr) {
+          clock->Charge(sim::steps::kSagaDedup, model_->txn_dedup_us);
+        }
+        return *recorded;
+      };
+      Result<Table> out =
+          channel.Invoke(name_, wire_args, replay, &costs, trace);
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
+        clock->Charge(sim::steps::kUdtfFinishA,
+                      model_->udtf_finish_a_us + model_->controller_return_us);
+        clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
+      }
+      return out;
+    }
+
+    Controller::DispatchResult dispatched;
+    Controller* controller = FlowController(ctx);
+    sim::FaultInjector* faults =
+        ctx.flow != nullptr ? ctx.flow->faults : faults_;
+    VDuration spike_us = 0;
+    auto handler = [this, controller, saga, &step, &key, &dispatched,
+                    &spike_us, trace, faults](
+                       const std::string& fn,
+                       const std::vector<Value>& remote_args) -> Result<Table> {
+      obs::SpanScope local(trace, "local:" + fn, obs::Layer::kAppsys);
+      local.SetAttribute("system", system_);
+      local.SetAttribute("saga.step", step.node);
+      // The idempotency key rides last in the request; strip it before the
+      // dispatch into the application system.
+      std::vector<Value> call_args(remote_args.begin(),
+                                   remote_args.end() - 1);
+      Result<Controller::DispatchResult> d =
+          controller->Dispatch(system_, fn, call_args);
+      if (!d.ok()) {
+        local.SetStatus(d.status());
+        return d.status();
+      }
+      dispatched = std::move(*d);
+      // The write is applied from here on: ledger + saga log first, THEN the
+      // fault consultation — a fault loses the acknowledgement after the
+      // store committed, never before.
+      Status ledger = saga->RecordApplied(step, dispatched.table);
+      if (!ledger.ok()) {
+        local.SetStatus(ledger);
+        return ledger;
+      }
+      sim::FaultInjector::Decision decision;
+      if (faults != nullptr) decision = faults->Consult(fn);
+      spike_us = decision.extra_latency_us;
+      if (decision.fault != sim::FaultInjector::Fault::kNone) {
+        Status lost =
+            Status::Unavailable("saga: acknowledgement of applied write " +
+                                fn + " lost on the return leg");
+        local.AddEvent("write applied", "ack recorded under " + key);
+        local.SetStatus(lost);
+        return lost;
+      }
+      return dispatched.table;
+    };
+    Result<Table> out = channel.Invoke(name_, wire_args, handler, &costs,
+                                       trace);
+    if (!out.ok()) {
+      span.SetStatus(out.status());
+      // The request leg, the dispatch, and the applied local work were all
+      // spent before the failure; only the finish step is saved.
+      if (clock != nullptr) {
+        clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
+        clock->Charge(sim::steps::kUdtfControllerRuns,
+                      dispatched.dispatch_cost_us);
+        clock->Charge(sim::steps::kUdtfProcessActivities,
+                      dispatched.app_cost_us + spike_us);
+        clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
+      }
+      return out.status();
+    }
+    if (clock != nullptr) {
+      clock->Charge(sim::steps::kUdtfRmiCalls, costs.call_us);
+      clock->Charge(sim::steps::kUdtfControllerRuns,
+                    dispatched.dispatch_cost_us);
+      clock->Charge(sim::steps::kUdtfProcessActivities,
+                    dispatched.app_cost_us + spike_us);
+      clock->Charge(sim::steps::kUdtfFinishA,
+                    model_->udtf_finish_a_us + model_->controller_return_us);
+      clock->Charge(sim::steps::kUdtfRmiReturns, costs.return_us);
+    }
+    return out;
+  }
+
   /// The controller this invocation dispatches through: the flow's leased
   /// controller under pooled execution, else the coupling's construction-time
   /// controller (single-flow mode — bit-identical legacy behavior).
@@ -219,6 +366,7 @@ class AccessUdtf : public fdbs::TableFunction {
   Schema schema_;
   Controller* controller_;
   const sim::LatencyModel* model_;
+  sim::FaultInjector* faults_;
   sim::RmiChannel rmi_;
 };
 

@@ -7,6 +7,7 @@
 #include "plan/lower_wfms.h"
 #include "sim/flow_state.h"
 #include "sim/rmi.h"
+#include "txn/saga_invoker.h"
 
 namespace fedflow::federation {
 
@@ -64,6 +65,11 @@ const wfms::InstanceCheckpoint* WfmsWrapper::checkpoint(
   auto it = recovery_.find(ToUpper(function));
   if (it == recovery_.end() || !it->second.ckpt.valid) return nullptr;
   return &it->second.ckpt;
+}
+
+void WfmsWrapper::ClearCheckpoint(const std::string& function) {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_.erase(ToUpper(function));
 }
 
 WfmsWrapper::PendingRecovery WfmsWrapper::TakeRecovery(
@@ -149,9 +155,23 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
   wfms::ProcessResult process_result;
   bool engine_ran = false;
   obs::TraceSession* trace = ctx.trace;
-  auto handler = [this, &process_result, &rec, &engine_ran, trace, clock](
-                     const std::string& fn,
-                     const std::vector<Value>& remote_args) -> Result<Table> {
+  // Write-path federated function: route the engine's program activities
+  // through the saga invoker, which dedups applied writes by idempotency key
+  // and moves the fault consultation after the apply (a lost-response fault
+  // must leave the write committed — that is what the ledger compensates).
+  txn::SagaExec* saga = ctx.flow != nullptr ? ctx.flow->saga : nullptr;
+  txn::SagaInvoker saga_invoker(
+      &invoker_, systems_, model_,
+      ctx.flow != nullptr && ctx.flow->faults != nullptr ? ctx.flow->faults
+                                                         : faults_,
+      saga);
+  wfms::ProgramInvoker* invoker =
+      saga != nullptr ? static_cast<wfms::ProgramInvoker*>(&saga_invoker)
+                      : &invoker_;
+  auto handler = [this, invoker, &process_result, &rec, &engine_ran, trace,
+                  clock](const std::string& fn,
+                         const std::vector<Value>& remote_args)
+      -> Result<Table> {
     engine_ran = true;
     // The serve-side RMI span is current here; the process span hangs under
     // it, with the engine's instance-relative token times mapped onto the
@@ -162,7 +182,7 @@ Result<Table> WfmsWrapper::Execute(const std::string& function,
                                       clock != nullptr ? clock->now() : 0};
     }
     Result<wfms::ProcessResult> run = engine_->RunRecoverable(
-        fn, remote_args, &invoker_, &rec.ckpt, engine_trace);
+        fn, remote_args, invoker, &rec.ckpt, engine_trace);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;
@@ -272,9 +292,20 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
   wfms::ProcessResult process_result;
   bool engine_ran = false;
   obs::TraceSession* trace = ctx.trace;
-  auto handler = [this, &process_result, &rec, &engine_ran, trace, clock](
-                     const std::string& fn,
-                     const std::vector<Value>& remote_args) -> Result<Table> {
+  // Same saga routing as Execute (see there).
+  txn::SagaExec* saga = ctx.flow != nullptr ? ctx.flow->saga : nullptr;
+  txn::SagaInvoker saga_invoker(
+      &invoker_, systems_, model_,
+      ctx.flow != nullptr && ctx.flow->faults != nullptr ? ctx.flow->faults
+                                                         : faults_,
+      saga);
+  wfms::ProgramInvoker* invoker =
+      saga != nullptr ? static_cast<wfms::ProgramInvoker*>(&saga_invoker)
+                      : &invoker_;
+  auto handler = [this, invoker, &process_result, &rec, &engine_ran, trace,
+                  clock](const std::string& fn,
+                         const std::vector<Value>& remote_args)
+      -> Result<Table> {
     engine_ran = true;
     obs::TraceHandle engine_trace;
     if (trace != nullptr && trace->active()) {
@@ -282,7 +313,7 @@ Result<RowSourcePtr> WfmsWrapper::ExecuteStream(const std::string& function,
                                       clock != nullptr ? clock->now() : 0};
     }
     Result<wfms::ProcessResult> run = engine_->RunRecoverable(
-        fn, remote_args, &invoker_, &rec.ckpt, engine_trace);
+        fn, remote_args, invoker, &rec.ckpt, engine_trace);
     if (!run.ok()) return run.status();
     process_result = std::move(*run);
     return process_result.output;

@@ -78,6 +78,7 @@ class WfmsWrapper : public ForeignFunctionWrapper {
               sim::SystemState* state, sim::FaultInjector* faults = nullptr,
               const sim::RetryPolicy* retry = nullptr)
       : engine_(engine),
+        systems_(systems),
         controller_(controller),
         model_(model),
         state_(state),
@@ -116,6 +117,12 @@ class WfmsWrapper : public ForeignFunctionWrapper {
   /// succeeded or it never ran). For tests and audit inspection.
   const wfms::InstanceCheckpoint* checkpoint(const std::string& function) const;
 
+  /// Drops the pending recovery checkpoint of `function` (no-op when none).
+  /// The saga coordinator calls this after backward recovery: the checkpoint
+  /// memoizes completed activities whose effects the abort just compensated,
+  /// so a later resume from it would skip re-applying undone writes.
+  void ClearCheckpoint(const std::string& function);
+
  private:
   /// Cross-attempt recovery state of one federated function.
   struct PendingRecovery {
@@ -143,6 +150,7 @@ class WfmsWrapper : public ForeignFunctionWrapper {
   sim::SystemState* FlowLedger(const fdbs::ExecContext& ctx) const;
 
   wfms::Engine* engine_;
+  const appsys::AppSystemRegistry* systems_;
   Controller* controller_;
   const sim::LatencyModel* model_;
   sim::SystemState* state_;

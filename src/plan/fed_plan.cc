@@ -20,6 +20,13 @@ Result<size_t> FedPlan::CallIndex(const std::string& id) const {
   return Status::NotFound("call node not found: " + id + " in plan " + name);
 }
 
+bool FedPlan::HasMutatingCalls() const {
+  for (const PlanCall& call : calls) {
+    if (call.mutates) return true;
+  }
+  return false;
+}
+
 namespace {
 
 /// The constraint graph the schedule derives from: parameter-flow edges plus
@@ -146,6 +153,12 @@ Result<FedPlan> CompilePlan(const FederatedFunctionSpec& spec,
     FEDFLOW_ASSIGN_OR_RETURN(const appsys::LocalFunction* fn,
                              sys->GetFunction(call.function));
     node.modeled_call_us = fn->base_cost_us;
+    node.mutates = fn->mutates;
+    if (const federation::SpecCompensation* comp =
+            spec.FindCompensation(call.id)) {
+      node.compensation = comp->function;
+      node.compensation_args = comp->args;
+    }
     for (const SpecArg& a : call.args) {
       if (a.kind != SpecArg::Kind::kNodeColumn) continue;
       for (size_t j = 0; j < n; ++j) {
@@ -179,6 +192,43 @@ Result<FedPlan> CompilePlan(const FederatedFunctionSpec& spec,
       const std::vector<size_t>& dd = plan.calls[to].data_deps;
       if (std::find(dd.begin(), dd.end(), from) == dd.end()) {
         plan.sequencing_edges.emplace_back(from, to);
+      }
+    }
+  }
+
+  // Saga write barriers. Mutating calls must keep their relative order (the
+  // apply order is what backward recovery reverses), and every capture
+  // source feeding a compensation argument must run before its write
+  // applies. Both obligations become sequencing edges that the optimizer is
+  // forbidden to drop. Write-free plans take neither branch, so their
+  // lowerings stay byte-identical to the pre-saga compiler.
+  if (plan.HasMutatingCalls()) {
+    std::vector<size_t> position(n, 0);
+    for (size_t k = 0; k < plan.order.size(); ++k) position[plan.order[k]] = k;
+    auto add_edge = [&](size_t from, size_t to) {
+      if (from == to) return;
+      // An edge against the topological order would be a cycle; the FF455
+      // dataflow check rejects such specs at the registration gate.
+      if (position[from] >= position[to]) return;
+      const std::vector<size_t>& dd = plan.calls[to].data_deps;
+      if (std::find(dd.begin(), dd.end(), from) != dd.end()) return;
+      for (const auto& [f, t] : plan.sequencing_edges) {
+        if (f == from && t == to) return;
+      }
+      plan.sequencing_edges.emplace_back(from, to);
+    };
+    size_t prev_write = n;  // n = none yet
+    for (size_t k : plan.order) {
+      if (!plan.calls[k].mutates) continue;
+      if (prev_write != n) add_edge(prev_write, k);
+      prev_write = k;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (const SpecArg& a : plan.calls[i].compensation_args) {
+        if (a.kind != SpecArg::Kind::kNodeColumn) continue;
+        for (size_t j = 0; j < n; ++j) {
+          if (EqualsIgnoreCase(plan.calls[j].id, a.node)) add_edge(j, i);
+        }
       }
     }
   }

@@ -45,6 +45,16 @@ struct PlanCall {
   /// the lateral order) has produced its columns. Annotation only — the FDBS
   /// executor's dynamic pushdown applies conjuncts at exactly this point.
   std::vector<std::string> predicates;
+
+  /// Whether the local function writes its system's store (a saga write
+  /// node). Write nodes carry ordering obligations: the optimizer must not
+  /// reorder across them or parallelize conflicting writes.
+  bool mutates = false;
+  /// Compensation pairing from the spec (empty when none): the undo function
+  /// on the node's system plus its argument template. Carried in the IR so
+  /// the saga runtime and the lowerings share one source of truth.
+  std::string compensation;
+  std::vector<federation::SpecArg> compensation_args;
 };
 
 /// The compiled plan of one federated function.
@@ -81,6 +91,9 @@ struct FedPlan {
 
   /// Index of the call with `id` (case-insensitive).
   Result<size_t> CallIndex(const std::string& id) const;
+
+  /// True when any call node mutates its application system's store.
+  bool HasMutatingCalls() const;
 };
 
 /// Compile-time shape directives (distinct from optimizer passes).

@@ -33,31 +33,53 @@ Status Parallelize(FedPlan* plan, const sim::LatencyModel& model,
            "schedule already data-driven; no sequencing edges to drop");
     return Status::OK();
   }
+  // Edges touching a mutating call are saga write barriers (apply order and
+  // capture-before-write): never droppable, whatever the cost model says.
+  std::vector<std::pair<size_t, size_t>> barriers;
+  std::vector<std::pair<size_t, size_t>> droppable;
+  for (const auto& edge : plan->sequencing_edges) {
+    if (plan->calls[edge.first].mutates || plan->calls[edge.second].mutates) {
+      barriers.push_back(edge);
+    } else {
+      droppable.push_back(edge);
+    }
+  }
+  if (droppable.empty()) {
+    Decide(plan, span, "parallelize",
+           "rejected: all " + std::to_string(barriers.size()) +
+               " sequencing edge(s) are write-ordering barriers of mutating "
+               "calls; conflicting writes must not run in parallel");
+    return Status::OK();
+  }
   PlanCostEstimate sequential = EstimatePlan(*plan, model);
-  size_t dropped = plan->sequencing_edges.size();
-  std::vector<std::pair<size_t, size_t>> kept_edges =
+  size_t dropped = droppable.size();
+  std::vector<std::pair<size_t, size_t>> all_edges =
       std::move(plan->sequencing_edges);
-  plan->sequencing_edges.clear();
+  plan->sequencing_edges = barriers;
   FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(plan));
   PlanCostEstimate parallel = EstimatePlan(*plan, model);
   if (parallel.wfms_elapsed_us > sequential.wfms_elapsed_us) {
     // Cannot happen (removing constraints never lengthens the critical
     // path), but the pass is cost-based, not structural: keep the cheaper
     // schedule.
-    plan->sequencing_edges = std::move(kept_edges);
+    plan->sequencing_edges = std::move(all_edges);
     FEDFLOW_RETURN_NOT_OK(RecomputeSchedule(plan));
     Decide(plan, span, "parallelize",
            "rejected: dropping sequencing edges did not shorten the modeled "
            "critical path");
     return Status::OK();
   }
-  Decide(plan, span, "parallelize",
-         "chose data-driven schedule over sequential baseline: dropped " +
-             std::to_string(dropped) +
-             " sequencing edge(s); modeled wfms elapsed " +
-             std::to_string(sequential.wfms_elapsed_us) + "us -> " +
-             std::to_string(parallel.wfms_elapsed_us) +
-             "us (udtf unchanged: lateral SQL evaluates sequentially)");
+  std::string detail =
+      "chose data-driven schedule over sequential baseline: dropped " +
+      std::to_string(dropped) + " sequencing edge(s); modeled wfms elapsed " +
+      std::to_string(sequential.wfms_elapsed_us) + "us -> " +
+      std::to_string(parallel.wfms_elapsed_us) +
+      "us (udtf unchanged: lateral SQL evaluates sequentially)";
+  if (!barriers.empty()) {
+    detail += "; retained " + std::to_string(barriers.size()) +
+              " write-ordering barrier(s)";
+  }
+  Decide(plan, span, "parallelize", detail);
   return Status::OK();
 }
 
@@ -71,6 +93,16 @@ Status Reorder(FedPlan* plan, const sim::LatencyModel& model,
     Decide(plan, span, "reorder",
            "rejected: joined sources nest-loop in the lateral chain, so "
            "reordering would change inner invocation counts; kept order " +
+               OrderNames(*plan, plan->order));
+    return Status::OK();
+  }
+  if (plan->HasMutatingCalls()) {
+    // The apply order of writes is what backward recovery reverses, and a
+    // fronted read could observe a write that an abort later compensates —
+    // reordering is not an equivalence-preserving transformation here.
+    Decide(plan, span, "reorder",
+           "rejected: plan contains mutating calls; reordering across write "
+           "barriers would change the apply/compensation order; kept order " +
                OrderNames(*plan, plan->order));
     return Status::OK();
   }

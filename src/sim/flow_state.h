@@ -25,6 +25,10 @@ namespace fedflow::obs {
 class TraceSession;
 }  // namespace fedflow::obs
 
+namespace fedflow::txn {
+class SagaExec;
+}  // namespace fedflow::txn
+
 namespace fedflow::sim {
 
 class FaultInjector;
@@ -63,6 +67,13 @@ struct FlowState {
   /// Warm-pool slot id of the leased controller (0 = unpooled). Result-cache
   /// entries record it so that rebooting or evicting the slot flushes them.
   uint64_t slot = 0;
+
+  /// Saga execution of a write-path federated function (not owned; opaque
+  /// below the txn layer like `controller`). Null for read-only calls — the
+  /// overwhelmingly common case, which stays bit-identical. When set, the
+  /// couplings route mutating local calls through the saga's idempotency
+  /// ledger and record captured outputs for compensation.
+  txn::SagaExec* saga = nullptr;
 };
 
 }  // namespace fedflow::sim

@@ -72,6 +72,16 @@ struct LatencyModel {
   /// path whether the probe hits or misses).
   VDuration cache_probe_us = 40;
 
+  // --- saga coordination (write-path federated functions only) --------------
+  /// Serving a duplicate write from the idempotency ledger: the store
+  /// recognizes the marshalled idempotency key and replays the recorded
+  /// acknowledgement instead of re-applying the effect.
+  VDuration txn_dedup_us = 60;
+  /// Per-compensation coordinator overhead during backward recovery (saga-log
+  /// read + compensation dispatch), on top of the compensation function's own
+  /// modeled cost and RMI legs.
+  VDuration txn_compensation_us = 200;
+
   /// Marshalling cost of `bytes` on the wire.
   VDuration MarshalCost(size_t bytes) const {
     return static_cast<VDuration>(bytes) * rmi_per_byte_ns / 1000;
@@ -123,6 +133,9 @@ inline constexpr char kWarmup[] = "Warm-up";
 // Result cache (opt-in paths only).
 inline constexpr char kCacheHit[] = "Cache hit";
 inline constexpr char kCacheProbe[] = "Cache probe";
+// Saga coordination (write-path federated functions only).
+inline constexpr char kSagaDedup[] = "Saga dedup";
+inline constexpr char kSagaCompensation[] = "Saga compensation";
 }  // namespace steps
 
 }  // namespace fedflow::sim

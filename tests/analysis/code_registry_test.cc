@@ -11,6 +11,7 @@
 
 #include "analysis/code_registry.h"
 #include "analysis/dataflow/dataflow_lint.h"
+#include "analysis/dataflow/saga_analysis.h"
 #include "analysis/plan_lint.h"
 #include "analysis/spec_lint.h"
 
@@ -77,7 +78,9 @@ TEST(CodeRegistryTest, RegistryCoversTheEmittableConstants) {
         kDfCastNeverSucceeds, kDfUnboundedInvocations, kDfInvocationExplosion,
         kDfScalarOfMultiRow, kDfUnboundedLoopUnion, kDfDeadlineInfeasible,
         kDfRetryScheduleInfeasible, kDfColdStartOverDeadline,
-        kDfSharedLeaseFlow, kDfStageOverTenantQuota}) {
+        kDfSharedLeaseFlow, kDfStageOverTenantQuota, kSagaMissingCompensation,
+        kSagaCompensationMismatch, kSagaWriteInLoop, kSagaRetryWithoutLedger,
+        kSagaAmbiguousStep, kSagaCaptureUnordered}) {
     EXPECT_NE(FindDiagnosticCode(code), nullptr) << code << " unregistered";
   }
 }

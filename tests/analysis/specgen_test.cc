@@ -118,6 +118,42 @@ TEST(SpecGeneratorTest, SingleSpecClassificationMatchesTheIntent) {
   }
 }
 
+TEST(SpecGeneratorTest, WriteSpecsAreDeterministicGatedSagas) {
+  appsys::Scenario scenario = appsys::GenerateScenario({});
+  appsys::AppSystemRegistry systems = MakeRegistry(scenario);
+  sim::LatencyModel model;
+  SpecGenerator generator(scenario);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    GeneratedSpec g = generator.GenerateWriteSpec(seed);
+    GeneratedSpec again = generator.GenerateWriteSpec(seed);
+    EXPECT_EQ(g.spec.name, again.spec.name);
+    ASSERT_EQ(g.args.size(), again.args.size());
+    for (size_t i = 0; i < g.args.size(); ++i) {
+      EXPECT_EQ(g.args[i], again.args[i]) << "seed " << seed << " arg " << i;
+    }
+    ASSERT_EQ(g.args.size(), g.spec.params.size()) << "seed " << seed;
+
+    // Every mutating call carries a compensation — the FF450 gate invariant
+    // the fedfuzz saga oracle rests on.
+    ASSERT_FALSE(g.spec.compensations.empty()) << "seed " << seed;
+    for (const federation::SpecCall& call : g.spec.calls) {
+      if (call.function == "SetQuality" || call.function == "ReserveStock" ||
+          call.function == "PlaceOrder") {
+        EXPECT_NE(g.spec.FindCompensation(call.id), nullptr)
+            << "seed " << seed << " write " << call.function;
+      }
+    }
+
+    std::vector<Diagnostic> shape = LintSpec(g.spec, systems);
+    ASSERT_FALSE(HasErrors(shape))
+        << "seed " << seed << ":\n" << FormatDiagnostics(shape);
+    Result<DataflowResult> df = RunDataflow(g.spec, systems, model);
+    ASSERT_TRUE(df.ok()) << "seed " << seed << ": " << df.status();
+    ASSERT_FALSE(HasErrors(df->diagnostics))
+        << "seed " << seed << ":\n" << FormatDiagnostics(df->diagnostics);
+  }
+}
+
 TEST(SpecGeneratorTest, GeneralCaseEmitsASiblingSharingALocalFunction) {
   appsys::Scenario scenario = appsys::GenerateScenario({});
   SpecGenerator generator(scenario);

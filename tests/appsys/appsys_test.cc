@@ -199,7 +199,7 @@ TEST_F(AppSysTest, FaultInjectionAndRecovery) {
 
 TEST_F(AppSysTest, FunctionNamesEnumerated) {
   auto names = purchasing_.FunctionNames();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 9u);  // 6 read functions + PlaceOrder/CancelOrder/GetOpenOrders
 }
 
 TEST_F(AppSysTest, RegistryLookupAndDuplicates) {

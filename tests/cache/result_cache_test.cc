@@ -188,5 +188,40 @@ TEST(ResultCacheTest, ConcurrentMixedOperationsAreSafe) {
   EXPECT_LE(cache.bytes(), options.max_bytes);
 }
 
+TEST(ResultCacheTest, AdmissionRejectsEntriesBelowSavedCostThreshold) {
+  ResultCacheOptions options;
+  options.min_saved_cost_us = 40;  // the modeled cache_probe_us
+  ResultCache cache(options);
+  obs::MetricsRegistry metrics;
+  cache.AttachMetrics(&metrics);
+
+  // Saves less than the probe would cost: rejected, nothing resident.
+  ResultCache::Entry cheap = MakeEntry(1);
+  cheap.saved_cost_us = 39;
+  cache.Insert(MakeKey("F"), std::move(cheap));
+  Table out;
+  EXPECT_FALSE(cache.Lookup(MakeKey("F"), &out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().admission_rejected, 1);
+  EXPECT_EQ(cache.stats().insertions, 0);
+  EXPECT_EQ(metrics.Counters()["cache.admission.rejected"], 1u);
+
+  // At the threshold: admitted (the probe exactly pays for itself).
+  ResultCache::Entry worthwhile = MakeEntry(2);
+  worthwhile.saved_cost_us = 40;
+  cache.Insert(MakeKey("F"), std::move(worthwhile));
+  EXPECT_TRUE(cache.Lookup(MakeKey("F"), &out));
+  EXPECT_EQ(cache.stats().insertions, 1);
+  EXPECT_EQ(cache.stats().admission_rejected, 1);
+
+  // Threshold 0 (the default) admits everything.
+  ResultCache open_cache;
+  ResultCache::Entry free_entry = MakeEntry(3);
+  free_entry.saved_cost_us = 0;
+  open_cache.Insert(MakeKey("G"), std::move(free_entry));
+  EXPECT_TRUE(open_cache.Lookup(MakeKey("G"), &out));
+  EXPECT_EQ(open_cache.stats().admission_rejected, 0);
+}
+
 }  // namespace
 }  // namespace fedflow::cache

@@ -14,6 +14,12 @@
 //                (schema + row multiset), and the observed row counts and
 //                per-function local-call counts must fall inside the
 //                intervals the cardinality analysis predicted.
+//   4. Saga:     every seed also generates a write-path spec (mutating steps
+//                with compensations). It must register under every coupling,
+//                commit exactly once when healthy, and — when one write's
+//                acknowledgement is lost with retries disabled — abort with
+//                compensations that restore every store's state fingerprint
+//                while data versions only move forward.
 //
 //   fedfuzz [--seeds N] [--start S] [--report]
 //
@@ -25,6 +31,7 @@
 #include <cstring>
 #include <memory>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "federation/classify.h"
 #include "federation/integration_server.h"
 #include "federation/java_coupling.h"
+#include "txn/saga.h"
 
 namespace {
 
@@ -73,6 +81,26 @@ std::map<std::string, int64_t> Delta(const std::map<std::string, int64_t>& befor
     if (n != b) delta[key] = n - b;
   }
   return delta;
+}
+
+/// Per-system state fingerprints — the saga oracle's before/after witness.
+std::map<std::string, std::string> Fingerprints(const IntegrationServer& server) {
+  std::map<std::string, std::string> fps;
+  for (const std::string& name : server.systems().Names()) {
+    Result<appsys::AppSystem*> system = server.systems().Get(name);
+    if (system.ok()) fps[name] = (*system)->StateFingerprint();
+  }
+  return fps;
+}
+
+/// Per-system data versions (mutation counters; must never move backwards).
+std::map<std::string, int64_t> Versions(const IntegrationServer& server) {
+  std::map<std::string, int64_t> versions;
+  for (const std::string& name : server.systems().Names()) {
+    Result<appsys::AppSystem*> system = server.systems().Get(name);
+    if (system.ok()) versions[name] = (*system)->data_version();
+  }
+  return versions;
 }
 
 /// Sorted textual row multiset — row order is not part of the contract.
@@ -123,6 +151,90 @@ class Harness {
     return ok;
   }
 
+  /// Oracle 4: the abort-restores-state check over a generated write spec.
+  bool RunWriteSeed(std::uint64_t seed) {
+    analysis::GeneratedSpec gen = generator_.GenerateWriteSpec(seed);
+    const std::string& name = gen.spec.name;
+    for (int a = 0; a < 3; ++a) {
+      IntegrationServer& server = *servers_[a];
+      const std::string arch =
+          federation::ArchitectureName(server.architecture());
+      Status status = server.RegisterFederatedFunction(gen.spec);
+      if (!status.ok()) {
+        return Fail(seed, name,
+                    arch + " rejected a gated write spec: " + status.ToString());
+      }
+      const txn::SagaSpecInfo* info = server.saga_runtime().Find(name);
+      if (info == nullptr || info->writes.empty()) {
+        return Fail(seed, name, arch + " registration built no saga view");
+      }
+
+      // Healthy pass: the saga must commit, applying every write once.
+      Result<IntegrationServer::TimedResult> committed =
+          server.CallFederated(name, gen.args);
+      if (!committed.ok()) {
+        return Fail(seed, name,
+                    arch + " commit pass failed: " +
+                        committed.status().ToString());
+      }
+      std::optional<txn::SagaOutcome> outcome =
+          server.saga_runtime().LastOutcome(name);
+      if (!outcome.has_value() || outcome->aborted ||
+          outcome->steps_applied !=
+              static_cast<int64_t>(info->writes.size())) {
+        return Fail(seed, name, arch + " commit outcome is not exactly-once");
+      }
+      ++write_commits_;
+
+      // Abort pass: lose the acknowledgement of one (seed- and
+      // architecture-chosen) write. Retries are disabled on these servers,
+      // so the coordinator must run backward recovery: the compensations
+      // restore every fingerprint while data versions only move forward.
+      const txn::SagaStep& faulted =
+          info->writes[(seed + static_cast<std::uint64_t>(a)) %
+                       info->writes.size()];
+      std::map<std::string, std::string> fp_before = Fingerprints(server);
+      std::map<std::string, int64_t> ver_before = Versions(server);
+      server.fault_injector().InjectTransientFailures(faulted.function, 1);
+      Result<IntegrationServer::TimedResult> failed =
+          server.CallFederated(name, gen.args);
+      server.fault_injector().ClearProfiles();
+      if (failed.ok()) {
+        return Fail(seed, name,
+                    arch + ": lost write acknowledgement did not fail the call");
+      }
+      outcome = server.saga_runtime().LastOutcome(name);
+      if (!outcome.has_value() || !outcome->aborted) {
+        return Fail(seed, name, arch + " did not record a saga abort");
+      }
+      if (outcome->compensations_run != outcome->steps_applied ||
+          outcome->compensation_failures != 0) {
+        return Fail(seed, name,
+                    arch + " backward recovery incomplete (" +
+                        std::to_string(outcome->compensations_run) + " of " +
+                        std::to_string(outcome->steps_applied) +
+                        " applied step(s) compensated)");
+      }
+      if (Fingerprints(server) != fp_before) {
+        return Fail(
+            seed, name,
+            arch + " abort did not restore the store state fingerprints");
+      }
+      std::map<std::string, int64_t> ver_after = Versions(server);
+      for (const auto& [system, before] : ver_before) {
+        if (ver_after[system] < before) {
+          return Fail(seed, name,
+                      "data version of " + system + " moved backwards");
+        }
+      }
+      if (server.saga_runtime().ledger_size() != 0) {
+        return Fail(seed, name, arch + " left dedup ledger entries behind");
+      }
+      ++write_aborts_;
+    }
+    return true;
+  }
+
   void PrintReport(std::uint64_t seeds) const {
     std::printf("fedfuzz coverage over %llu seed(s):\n",
                 static_cast<unsigned long long>(seeds));
@@ -140,6 +252,9 @@ class Harness {
     std::printf("  executions checked: %llu, bound checks: %llu\n",
                 static_cast<unsigned long long>(executions_),
                 static_cast<unsigned long long>(bound_checks_));
+    std::printf("  saga oracle: %llu commit(s), %llu abort(s) verified\n",
+                static_cast<unsigned long long>(write_commits_),
+                static_cast<unsigned long long>(write_aborts_));
   }
 
  private:
@@ -327,6 +442,8 @@ class Harness {
   std::uint64_t case_count_[8] = {};
   std::uint64_t executions_ = 0;
   std::uint64_t bound_checks_ = 0;
+  std::uint64_t write_commits_ = 0;
+  std::uint64_t write_aborts_ = 0;
 };
 
 }  // namespace
@@ -353,6 +470,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = options.start; seed < options.start + options.seeds;
        ++seed) {
     if (!harness.RunSeed(seed)) ++failures;
+    if (!harness.RunWriteSeed(seed)) ++failures;
   }
   if (options.report) harness.PrintReport(options.seeds);
   if (failures > 0) {
