@@ -100,26 +100,21 @@ class BenchJson {
     rows_.push_back(Row{scenario, metric, value});
   }
 
+  /// Records a WALL-clock measurement (nanoseconds off the host's steady
+  /// clock). Wall metrics are machine-dependent, so they go to a separate
+  /// BENCH_<name>_wall.json that CI reports but never diffs against a
+  /// golden. Metric names end in "_wall_ns" by convention so a wall value
+  /// can never be mistaken for a virtual-clock one.
+  void AddWall(const std::string& scenario, const std::string& metric,
+               int64_t value_ns) {
+    wall_rows_.push_back(Row{scenario, metric, value_ns});
+  }
+
   void Write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
+    WriteFile("BENCH_" + name_ + ".json", rows_);
+    if (!wall_rows_.empty()) {
+      WriteFile("BENCH_" + name_ + "_wall.json", wall_rows_);
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
-                 name_.c_str());
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f,
-                   "%s\n    {\"scenario\": \"%s\", \"metric\": \"%s\", "
-                   "\"value\": %lld}",
-                   i == 0 ? "" : ",", rows_[i].scenario.c_str(),
-                   rows_[i].metric.c_str(),
-                   static_cast<long long>(rows_[i].value));
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
-    std::fprintf(stderr, "bench metrics written to %s\n", path.c_str());
   }
 
  private:
@@ -129,8 +124,30 @@ class BenchJson {
     int64_t value;
   };
 
+  void WriteFile(const std::string& path, const std::vector<Row>& rows) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
+                 name_.c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"scenario\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %lld}",
+                   i == 0 ? "" : ",", rows[i].scenario.c_str(),
+                   rows[i].metric.c_str(),
+                   static_cast<long long>(rows[i].value));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench metrics written to %s\n", path.c_str());
+  }
+
   std::string name_;
   std::vector<Row> rows_;
+  std::vector<Row> wall_rows_;
 };
 
 }  // namespace fedflow::bench

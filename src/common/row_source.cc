@@ -24,6 +24,22 @@ class TableSource : public RowSource {
     return batch;
   }
 
+  Result<ColumnBatch> NextColumns() override {
+    std::vector<Row>& rows = table_.mutable_rows();
+    const size_t n = std::min(batch_size_, rows.size() - pos_);
+    std::vector<Row> moved;
+    moved.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      moved.push_back(std::move(rows[pos_ + i]));
+    }
+    pos_ += n;
+    return ColumnBatch::FromRows(table_.schema(), std::move(moved));
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return table_.rows().size() - pos_;
+  }
+
  private:
   Table table_;
   size_t pos_ = 0;
@@ -48,6 +64,10 @@ class BorrowedTableSource : public RowSource {
     }
     pos_ += n;
     return batch;
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return table_->rows().size() - pos_;
   }
 
  private:
@@ -76,7 +96,128 @@ class GeneratorSource : public RowSource {
   bool done_ = false;
 };
 
+/// Streams an owned ColumnBatch column-wise in fixed-size slices.
+class ColumnSource : public RowSource {
+ public:
+  ColumnSource(ColumnBatch batch, size_t batch_size)
+      : batch_(std::move(batch)), batch_size_(std::max<size_t>(1, batch_size)) {}
+
+  const Schema& schema() const override { return batch_.schema(); }
+
+  Result<RowBatch> Next() override {
+    FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch cols, NextColumns());
+    RowBatch batch;
+    batch.rows = cols.TakeRows();
+    return batch;
+  }
+
+  Result<ColumnBatch> NextColumns() override {
+    const size_t n = std::min(batch_size_, batch_.num_rows() - pos_);
+    ColumnBatch out(batch_.schema());
+    out.Reserve(n);
+    out.AppendBatchRange(batch_, pos_, pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return batch_.num_rows() - pos_;
+  }
+
+ private:
+  ColumnBatch batch_;
+  size_t pos_ = 0;
+  size_t batch_size_;
+};
+
+/// Columnar filter: gathers the surviving rows of each input batch. Keeps
+/// pulling over fully-filtered batches so a non-empty return always carries
+/// rows, matching the row filter's batch cadence and stats protocol.
+class ColumnarFilterSource : public RowSource {
+ public:
+  ColumnarFilterSource(RowSourcePtr input, SelectionFn select,
+                       PipelineStats* stats)
+      : input_(std::move(input)),
+        select_(std::move(select)),
+        stats_(stats) {}
+
+  const Schema& schema() const override { return input_->schema(); }
+
+  Result<RowBatch> Next() override {
+    FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch cols, NextColumns());
+    RowBatch batch;
+    batch.rows = cols.TakeRows();
+    return batch;
+  }
+
+  Result<ColumnBatch> NextColumns() override {
+    while (true) {
+      FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch in, input_->NextColumns());
+      if (in.empty()) return in;
+      sel_.clear();
+      FEDFLOW_RETURN_NOT_OK(select_(in, &sel_));
+      if (stats_ != nullptr) stats_->Release(in.num_rows());
+      if (sel_.empty()) continue;
+      ColumnBatch out = sel_.size() == in.num_rows()
+                            ? std::move(in)
+                            : in.Gather(sel_);
+      if (stats_ != nullptr) {
+        stats_->Acquire(out.num_rows());
+        stats_->EmittedColumnar(out.num_rows());
+      }
+      return out;
+    }
+  }
+
+ private:
+  RowSourcePtr input_;
+  SelectionFn select_;
+  PipelineStats* stats_;
+  std::vector<uint32_t> sel_;
+};
+
+/// Columnar projection: passes through the selected columns of each batch.
+class ProjectionSource : public RowSource {
+ public:
+  ProjectionSource(RowSourcePtr input, std::vector<size_t> columns)
+      : input_(std::move(input)), columns_(std::move(columns)) {
+    for (size_t c : columns_) {
+      const Column& col = input_->schema().column(c);
+      schema_.AddColumn(col.name, col.type);
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<RowBatch> Next() override {
+    FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch cols, NextColumns());
+    RowBatch batch;
+    batch.rows = cols.TakeRows();
+    return batch;
+  }
+
+  Result<ColumnBatch> NextColumns() override {
+    FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch in, input_->NextColumns());
+    if (in.empty()) return ColumnBatch(schema_);
+    return ColumnBatch::Project(schema_, std::move(in), columns_);
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return input_->SizeHint();
+  }
+
+ private:
+  RowSourcePtr input_;
+  std::vector<size_t> columns_;
+  Schema schema_;
+};
+
 }  // namespace
+
+Result<ColumnBatch> RowSource::NextColumns() {
+  FEDFLOW_ASSIGN_OR_RETURN(RowBatch batch, Next());
+  return ColumnBatch::FromRows(schema(), std::move(batch.rows));
+}
 
 RowSourcePtr MakeTableSource(Table table, size_t batch_size) {
   return std::make_unique<TableSource>(std::move(table), batch_size);
@@ -92,8 +233,27 @@ RowSourcePtr MakeGeneratorSource(Schema schema,
                                            std::move(generate));
 }
 
+RowSourcePtr MakeColumnSource(ColumnBatch batch, size_t batch_size) {
+  return std::make_unique<ColumnSource>(std::move(batch), batch_size);
+}
+
+RowSourcePtr MakeColumnarFilterSource(RowSourcePtr input, SelectionFn select,
+                                      PipelineStats* stats) {
+  return std::make_unique<ColumnarFilterSource>(std::move(input),
+                                                std::move(select), stats);
+}
+
+RowSourcePtr MakeProjectionSource(RowSourcePtr input,
+                                  std::vector<size_t> columns) {
+  return std::make_unique<ProjectionSource>(std::move(input),
+                                            std::move(columns));
+}
+
 Result<Table> DrainToTable(RowSource& source) {
   Table out(source.schema());
+  if (std::optional<size_t> hint = source.SizeHint(); hint.has_value()) {
+    out.mutable_rows().reserve(*hint);
+  }
   while (true) {
     FEDFLOW_ASSIGN_OR_RETURN(RowBatch batch, source.Next());
     if (batch.empty()) return out;

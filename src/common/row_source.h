@@ -11,11 +11,15 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/column_batch.h"
 #include "common/result.h"
 #include "common/table.h"
 
@@ -45,6 +49,16 @@ struct PipelineStats {
   size_t peak_resident_rows = 0;  ///< high-water mark of resident_rows
   size_t batches_emitted = 0;     ///< total batches handed between operators
   size_t rows_emitted = 0;        ///< total rows handed between operators
+  size_t columnar_batches = 0;    ///< batches that moved column-wise
+
+  /// Observed selectivity of one vectorized filter: rows seen vs rows kept.
+  /// The feed for adaptive re-optimization (ROADMAP item 4).
+  struct FilterStat {
+    std::string label;    ///< filter expression (SQL text)
+    size_t rows_in = 0;   ///< rows the filter evaluated
+    size_t rows_kept = 0; ///< rows that passed
+  };
+  std::vector<FilterStat> filter_stats;  ///< one entry per distinct filter
 
   void Acquire(size_t n) {
     resident_rows += n;
@@ -54,6 +68,26 @@ struct PipelineStats {
   void Emitted(const RowBatch& batch) {
     ++batches_emitted;
     rows_emitted += batch.size();
+  }
+  /// Columnar counterpart of Emitted(): same batch/row accounting so
+  /// golden metrics do not depend on which representation a batch used,
+  /// plus the columnar_batches count.
+  void EmittedColumnar(size_t rows) {
+    ++batches_emitted;
+    ++columnar_batches;
+    rows_emitted += rows;
+  }
+  /// Accumulates selectivity for the filter identified by `label`.
+  void RecordFilter(const std::string& label, size_t rows_in,
+                    size_t rows_kept) {
+    for (FilterStat& f : filter_stats) {
+      if (f.label == label) {
+        f.rows_in += rows_in;
+        f.rows_kept += rows_kept;
+        return;
+      }
+    }
+    filter_stats.push_back(FilterStat{label, rows_in, rows_kept});
   }
 };
 
@@ -68,6 +102,17 @@ class RowSource {
   /// Pulls the next batch. An empty batch means the source is exhausted;
   /// subsequent calls keep returning empty batches.
   virtual Result<RowBatch> Next() = 0;
+
+  /// Columnar fast path: pulls the next batch in column-wise form. The
+  /// default implementation adapts Next(), so every source supports it;
+  /// sources that produce columns natively override it to skip the row
+  /// intermediate. A consumer must stick to one of Next()/NextColumns()
+  /// for the lifetime of a source (they share the underlying cursor).
+  virtual Result<ColumnBatch> NextColumns();
+
+  /// Rows this source still expects to produce, when cheaply known.
+  /// Purely a capacity-reservation hint — never used for control flow.
+  virtual std::optional<size_t> SizeHint() const { return std::nullopt; }
 };
 
 using RowSourcePtr = std::unique_ptr<RowSource>;
@@ -85,6 +130,27 @@ RowSourcePtr MakeBorrowedTableSource(const Table* table,
 /// (empty = exhausted). The schema is copied into the source.
 RowSourcePtr MakeGeneratorSource(Schema schema,
                                  std::function<Result<RowBatch>()> generate);
+
+/// Streams an owned columnar batch in batches of `batch_size`. NextColumns()
+/// slices column-wise; Next() falls back to row reconstruction.
+RowSourcePtr MakeColumnSource(ColumnBatch batch,
+                              size_t batch_size = kDefaultRowBatchSize);
+
+/// Computes the surviving row indices of a columnar batch, in row order.
+/// `sel` arrives empty; on success it holds the kept indices.
+using SelectionFn =
+    std::function<Status(const ColumnBatch&, std::vector<uint32_t>*)>;
+
+/// Columnar filter operator: pulls column batches from `input`, applies
+/// `select`, and emits the gathered survivors. Mirrors the row filter's
+/// PipelineStats protocol (consume whole batch, emit only non-empty
+/// outputs) so residency metrics are representation-independent.
+RowSourcePtr MakeColumnarFilterSource(RowSourcePtr input, SelectionFn select,
+                                      PipelineStats* stats = nullptr);
+
+/// Columnar projection operator: emits `columns` of the input, in order.
+RowSourcePtr MakeProjectionSource(RowSourcePtr input,
+                                  std::vector<size_t> columns);
 
 /// Drains `source` to a materialized table — a statement boundary. Rows are
 /// moved, not copied.

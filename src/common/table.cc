@@ -32,6 +32,7 @@ Status Table::AppendTableRows(Table&& other) {
     other.rows_.clear();
     return Status::OK();
   }
+  rows_.reserve(rows_.size() + other.rows_.size());
   for (Row& r : other.rows_) {
     FEDFLOW_RETURN_NOT_OK(AppendRow(std::move(r)));
   }

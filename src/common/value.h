@@ -52,6 +52,9 @@ class Value {
   int64_t AsBigInt() const { return std::get<int64_t>(data_); }
   double AsDouble() const { return std::get<double>(data_); }
   const std::string& AsVarchar() const { return std::get<std::string>(data_); }
+  /// Moves the string payload out of a VARCHAR value (which becomes
+  /// unspecified-but-valid afterwards). Must only be called on kVarchar.
+  std::string TakeVarchar() && { return std::move(std::get<std::string>(data_)); }
 
   /// Widens any numeric value to int64; TypeError for non-numerics and NULL.
   Result<int64_t> ToInt64() const;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/column_batch.h"
 #include "common/result.h"
 #include "common/schema.h"
 #include "common/table.h"
@@ -67,6 +68,20 @@ class RowScope {
   Result<DataType> ResolveColumnType(const std::string& qualifier,
                                      const std::string& name) const;
 
+  /// A reference resolved once, ahead of per-row evaluation: either a fixed
+  /// combined-row position or (for parameter references) a constant value.
+  struct ResolvedRef {
+    int pos = -1;  ///< combined-row position; -1 = parameter
+    Value param;   ///< the parameter's value when pos < 0
+  };
+
+  /// Resolves qualifier.name to a position/constant under the current
+  /// visibility mask, using the same rules as ResolveColumn. This is what
+  /// lets the vectorized evaluator pay name resolution once per statement
+  /// instead of once per row.
+  Result<ResolvedRef> Resolve(const std::string& qualifier,
+                              const std::string& name) const;
+
  private:
   /// Finds (binding index, column index) for a reference; second when
   /// resolved to a parameter instead.
@@ -119,6 +134,78 @@ class Evaluator {
 
 /// Promotes two numeric types for arithmetic (INT < BIGINT < DOUBLE).
 DataType PromoteNumeric(DataType a, DataType b);
+
+/// Applies a non-AND/OR binary operator to two already-evaluated operands.
+/// This is the single scalar core shared by the row evaluator and the
+/// vectorized evaluator's generic fallback, so both paths agree exactly on
+/// SQL semantics (NULL propagation, numeric promotion, INT narrowing,
+/// error messages).
+Result<Value> ApplyBinaryOp(sql::BinaryOp op, const Value& lv,
+                            const Value& rv);
+
+/// Applies a unary operator to an already-evaluated operand (same sharing
+/// rationale as ApplyBinaryOp).
+Result<Value> ApplyUnaryOp(sql::UnaryOp op, const Value& v);
+
+/// A WHERE conjunct compiled for vectorized evaluation over column batches.
+///
+/// Compile() resolves every column reference once (folding parameter
+/// references to constants) and flattens the expression into a node tree;
+/// FilterSelection() then evaluates the tree batch-at-a-time with tight
+/// typed loops, narrowing a selection vector instead of walking a
+/// std::variant tree per row. Expressions the vectorized engine does not
+/// cover (CASE, scalar function calls, unresolvable references) return
+/// nullopt and the caller falls back to the row-at-a-time filter.
+///
+/// Semantics match the row path bit for bit on results: three-valued
+/// AND/OR with the same lazy right-side evaluation set, the root keeps only
+/// non-NULL BOOLEAN TRUE values, and all per-row kernels mirror
+/// Value/Evaluator semantics (per-row INT narrowing included). On failing
+/// statements both paths fail, though they may surface the error of a
+/// different row (the row path scans row-major, this one conjunct-major).
+class VectorPredicate {
+ public:
+  /// Compiles `expr` against `scope` (current visibility mask applies).
+  /// nullopt when the expression needs the row-at-a-time fallback.
+  static std::optional<VectorPredicate> Compile(const sql::Expr& expr,
+                                                const RowScope& scope);
+
+  /// Narrows `sel` (row indices into `batch`, ascending) to the rows the
+  /// predicate keeps. Errors mirror the row path's evaluation errors.
+  Status FilterSelection(const ColumnBatch& batch,
+                         std::vector<uint32_t>* sel) const;
+
+  /// The conjunct's SQL text, used to label selectivity statistics.
+  const std::string& label() const { return label_; }
+
+  /// One flattened expression node. Public only for the evaluation kernels
+  /// in eval.cc; not part of the stable API.
+  enum class NodeKind {
+    kConst,      // literal or folded parameter
+    kCol,        // combined-row column at position `col`
+    kAnd, kOr,   // three-valued logic with lazy right side
+    kNot, kNeg, kIsNull, kIsNotNull,
+    kCmp,        // =, <>, <, <=, >, >=
+    kArith,      // +, -, *, /, %
+    kGenericBin, // ||, LIKE
+  };
+  struct Node {
+    NodeKind kind = NodeKind::kConst;
+    sql::BinaryOp bop = sql::BinaryOp::kEq;   // kCmp/kArith/kGenericBin
+    sql::UnaryOp uop = sql::UnaryOp::kNot;    // unary kinds
+    Value cval;                               // kConst
+    size_t col = 0;                           // kCol
+    int left = -1;                            // first child
+    int right = -1;                           // second child
+  };
+
+ private:
+  VectorPredicate() = default;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::string label_;
+};
 
 }  // namespace fedflow::fdbs
 

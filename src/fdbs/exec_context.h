@@ -85,6 +85,14 @@ struct ExecContext {
   /// Per-statement opt-in for result-cache lookups/inserts.
   bool use_result_cache = false;
 
+  /// Run the execution pipeline over column batches where the operators
+  /// support it (vectorized WHERE conjuncts, the columnar lateral splice,
+  /// columnar drain). Purely a wall-clock optimization: results, row order,
+  /// batch boundaries, pipeline statistics, and virtual-time charges are
+  /// identical to the row-at-a-time path. Off = always row-at-a-time (the
+  /// differential harnesses compare the two).
+  bool columnar = true;
+
   /// The effective batch size (batch_size == 0 means "unbounded").
   size_t EffectiveBatchSize() const {
     return batch_size == 0 ? static_cast<size_t>(-1) : batch_size;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <set>
 
 #include "common/dag.h"
@@ -158,6 +159,14 @@ struct ChainState {
       stats->Emitted(batch);
     }
   }
+  /// Columnar counterpart of Emit: same residency accounting and batch
+  /// cadence, plus the columnar-batch counter.
+  void EmitColumnar(const ColumnBatch& batch) const {
+    if (stats != nullptr && !batch.empty()) {
+      stats->Acquire(batch.num_rows());
+      stats->EmittedColumnar(batch.num_rows());
+    }
+  }
   void Consumed(size_t n) const {
     if (stats != nullptr) stats->Release(n);
   }
@@ -238,6 +247,41 @@ class CrossScanSource : public RowSource {
     return out;
   }
 
+  /// Columnar twin of Next(): identical input cadence, resume state, and
+  /// stats protocol; the inner loop splices column-wise instead of copying
+  /// a Row per output row. An instance serves one of the two methods,
+  /// depending on what its (unique) consumer pulls.
+  Result<ColumnBatch> NextColumns() override {
+    ColumnBatch out(*chain_->combined_schema);
+    const std::vector<Row>& base_rows = base_->rows();
+    const size_t base_width = base_->schema().num_columns();
+    while (out.num_rows() < chain_->batch_size) {
+      if (in_pos_ == in_batch_.size()) {
+        chain_->Consumed(in_batch_.size());
+        if (input_done_) break;
+        FEDFLOW_ASSIGN_OR_RETURN(in_batch_, input_->Next());
+        in_pos_ = 0;
+        base_pos_ = 0;
+        if (in_batch_.empty()) {
+          input_done_ = true;
+          break;
+        }
+      }
+      const Row& partial = in_batch_.rows[in_pos_];
+      const size_t take = std::min(base_rows.size() - base_pos_,
+                                   chain_->batch_size - out.num_rows());
+      out.AppendSplicedRows(partial, base_rows, base_pos_, base_pos_ + take,
+                            offset_, base_width);
+      base_pos_ += take;
+      if (base_pos_ == base_rows.size()) {
+        base_pos_ = 0;
+        ++in_pos_;
+      }
+    }
+    chain_->EmitColumnar(out);
+    return out;
+  }
+
  private:
   const ChainState* chain_;
   RowSourcePtr input_;
@@ -283,6 +327,27 @@ class StreamScanSource : public RowSource {
       out.rows.push_back(std::move(combined));
     }
     chain_->Emit(out);
+    return out;
+  }
+
+  /// Columnar twin of Next(): the splice of the streamed columns into the
+  /// seed row runs column-wise. The data source's default NextColumns
+  /// adapter keeps cost accounting of non-columnar providers intact.
+  Result<ColumnBatch> NextColumns() override {
+    if (!seeded_) {
+      FEDFLOW_ASSIGN_OR_RETURN(RowBatch seed, input_->Next());
+      if (seed.empty()) return ColumnBatch(*chain_->combined_schema);
+      seed_ = std::move(seed.rows.front());
+      chain_->Consumed(seed.size());
+      seeded_ = true;
+    }
+    FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch data, data_->NextColumns());
+    ColumnBatch out(*chain_->combined_schema);
+    if (!data.empty()) {
+      out.Reserve(data.num_rows());
+      out.AppendSpliced(seed_, std::move(data), offset_);
+    }
+    chain_->EmitColumnar(out);
     return out;
   }
 
@@ -345,6 +410,41 @@ class LateralApplySource : public RowSource {
       }
     }
     chain_->Emit(out);
+    return out;
+  }
+
+  /// Columnar twin of Next(): the inner loop — repeat the partial row,
+  /// adopt the function's result columns — becomes one column-wise splice
+  /// per pulled function batch. Argument evaluation, the invocation span,
+  /// and the virtual-time charges all run through the same OpenStream.
+  Result<ColumnBatch> NextColumns() override {
+    ColumnBatch out(*chain_->combined_schema);
+    while (out.num_rows() < chain_->batch_size) {
+      if (fn_stream_ == nullptr) {
+        if (in_pos_ == in_batch_.size()) {
+          chain_->Consumed(in_batch_.size());
+          if (input_done_) break;
+          FEDFLOW_ASSIGN_OR_RETURN(in_batch_, input_->Next());
+          in_pos_ = 0;
+          if (in_batch_.empty()) {
+            input_done_ = true;
+            break;
+          }
+        }
+        partial_ = std::move(in_batch_.rows[in_pos_++]);
+        FEDFLOW_RETURN_NOT_OK(OpenStream());
+      }
+      Result<ColumnBatch> fn_batch = fn_stream_->NextColumns();
+      if (!fn_batch.ok()) {
+        return fn_batch.status().WithContext("in table function " + ref_->name);
+      }
+      if (fn_batch->empty()) {
+        fn_stream_.reset();
+        continue;
+      }
+      out.AppendSpliced(partial_, std::move(*fn_batch), offset_);
+    }
+    chain_->EmitColumnar(out);
     return out;
   }
 
@@ -540,7 +640,8 @@ bool SelectExecutor::ConjunctApplicable(
 
 Result<Table> SelectExecutor::ExecuteFromChain(
     const SelectStmt& stmt, RowScope* scope, Schema* combined_schema,
-    std::vector<sql::ExprPtr>* remaining_predicates) {
+    std::vector<sql::ExprPtr>* remaining_predicates,
+    ColumnBatch* columnar_result, bool* result_is_columnar) {
   Catalog& catalog = db_->catalog();
   const size_t n = stmt.from.size();
 
@@ -642,6 +743,10 @@ Result<Table> SelectExecutor::ExecuteFromChain(
   chain.stats = ctx_->pipeline_stats;
 
   RowSourcePtr pipe = std::make_unique<SeedSource>(&chain, width);
+  // True while the operator at the top of the pipe emits columnar batches
+  // natively (chain operators and vectorized filters do; the seed and
+  // row-at-a-time filters do not). Decides the drain mode below.
+  bool pipe_columnar = false;
   for (size_t oi = 0; oi < order.size(); ++oi) {
     const size_t idx = order[oi];
     Item& item = items[idx];
@@ -689,6 +794,7 @@ Result<Table> SelectExecutor::ExecuteFromChain(
                                                   item.fn, &ref, item.offset,
                                                   visible);
     }
+    pipe_columnar = true;
     visible[idx] = true;
     std::vector<sql::ExprPtr> ready;
     for (auto it = pending_conjuncts.begin(); it != pending_conjuncts.end();) {
@@ -700,11 +806,73 @@ Result<Table> SelectExecutor::ExecuteFromChain(
       }
     }
     if (!ready.empty()) {
-      pipe = std::make_unique<FilterSource>(&chain, std::move(pipe),
-                                            std::move(ready), visible);
+      // Vectorize this filter point when EVERY ready conjunct compiles
+      // (all-or-nothing: splitting one point into a vectorized and a row
+      // filter would change the pipeline's batch cadence). Compilation
+      // resolves names under the current visibility mask, so the compiled
+      // predicates are position-based from here on.
+      bool vectorized = false;
+      if (ctx_->columnar) {
+        auto preds = std::make_shared<std::vector<VectorPredicate>>();
+        preds->reserve(ready.size());
+        bool all_compiled = true;
+        for (const sql::ExprPtr& conjunct : ready) {
+          std::optional<VectorPredicate> p =
+              VectorPredicate::Compile(*conjunct, *scope);
+          if (!p.has_value()) {
+            all_compiled = false;
+            break;
+          }
+          preds->push_back(std::move(*p));
+        }
+        if (all_compiled) {
+          PipelineStats* stats = ctx_->pipeline_stats;
+          SelectionFn select = [preds, stats](
+                                   const ColumnBatch& in,
+                                   std::vector<uint32_t>* sel) -> Status {
+            sel->resize(in.num_rows());
+            std::iota(sel->begin(), sel->end(), 0);
+            for (const VectorPredicate& p : *preds) {
+              const size_t rows_in = sel->size();
+              FEDFLOW_RETURN_NOT_OK(p.FilterSelection(in, sel));
+              if (stats != nullptr) {
+                stats->RecordFilter(p.label(), rows_in, sel->size());
+              }
+              if (sel->empty()) break;
+            }
+            return Status::OK();
+          };
+          pipe = MakeColumnarFilterSource(std::move(pipe), std::move(select),
+                                          ctx_->pipeline_stats);
+          vectorized = true;
+        }
+      }
+      if (!vectorized) {
+        pipe = std::make_unique<FilterSource>(&chain, std::move(pipe),
+                                              std::move(ready), visible);
+      }
+      pipe_columnar = vectorized;
     }
   }
   scope->set_visibility_mask(nullptr);
+
+  if (ctx_->columnar && pipe_columnar && columnar_result != nullptr) {
+    // Columnar drain: the result stays column-wise all the way to the
+    // projection in Execute(). Same pull cadence and stats as the row
+    // drain below.
+    ColumnBatch acc(*combined_schema);
+    while (true) {
+      FEDFLOW_ASSIGN_OR_RETURN(ColumnBatch batch, pipe->NextColumns());
+      if (batch.empty()) break;
+      const size_t pulled = batch.num_rows();
+      acc.AppendBatch(std::move(batch));
+      chain.Consumed(pulled);
+    }
+    *remaining_predicates = std::move(pending_conjuncts);
+    *columnar_result = std::move(acc);
+    *result_is_columnar = true;
+    return Table(*combined_schema);
+  }
 
   Table result(*combined_schema);
   while (true) {
@@ -726,10 +894,12 @@ Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {
   scope.set_params(params_);
   Schema combined_schema;
   std::vector<sql::ExprPtr> remaining_predicates;
+  ColumnBatch columnar_input;
+  bool input_is_columnar = false;
   FEDFLOW_ASSIGN_OR_RETURN(
       Table input,
-      ExecuteFromChain(stmt, &scope, &combined_schema,
-                       &remaining_predicates));
+      ExecuteFromChain(stmt, &scope, &combined_schema, &remaining_predicates,
+                       &columnar_input, &input_is_columnar));
   const size_t width = combined_schema.num_columns();
 
   // WHERE conjuncts not already applied during the chain (e.g. when
@@ -737,6 +907,10 @@ Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {
   // the latter surface their resolution errors here).
   std::vector<Row> rows;
   if (!remaining_predicates.empty()) {
+    if (input_is_columnar) {
+      input.mutable_rows() = columnar_input.TakeRows();
+      input_is_columnar = false;
+    }
     for (Row& r : input.mutable_rows()) {
       scope.set_row(&r);
       bool keep_row = true;
@@ -750,9 +924,11 @@ Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {
       }
       if (keep_row) rows.push_back(std::move(r));
     }
-  } else {
+  } else if (!input_is_columnar) {
     rows = std::move(input.mutable_rows());
   }
+  // (When input_is_columnar the rows stay column-wise until the fast-path
+  // decision after the select list is expanded.)
   scope.set_row(nullptr);
 
   // Decide between plain projection and aggregation.
@@ -810,6 +986,69 @@ Result<Table> SelectExecutor::Execute(const SelectStmt& stmt) {
 
   Schema out_schema;
   for (const OutCol& c : out_cols) out_schema.AddColumn(c.name, c.type);
+
+  if (input_is_columnar) {
+    // Columnar fast path: a plain projection of chain columns — no WHERE
+    // residue (checked above), no aggregation, DISTINCT, ORDER BY, or
+    // computed select items — never needs row form: project, truncate to
+    // the limit, coerce column-wise, materialize. Identical results to the
+    // row path below (AppendRow's per-cell coercion, run per column).
+    bool direct = !aggregate_mode && !stmt.distinct && stmt.order_by.empty();
+    if (direct) {
+      for (const OutCol& c : out_cols) {
+        if (c.expr != nullptr) {
+          direct = false;
+          break;
+        }
+      }
+    }
+    if (direct) {
+      std::vector<size_t> positions;
+      positions.reserve(out_cols.size());
+      for (const OutCol& c : out_cols) positions.push_back(c.direct_index);
+      ColumnBatch proj = ColumnBatch::Project(
+          out_schema, std::move(columnar_input), positions);
+      size_t limit = proj.num_rows();
+      if (stmt.limit.has_value()) {
+        limit = std::min<size_t>(
+            limit, static_cast<size_t>(std::max<int64_t>(0, *stmt.limit)));
+      }
+      proj.Truncate(limit);
+      // Patch unknown output types from the data (same rule as the row
+      // path: first non-null value within the limit, VARCHAR fallback).
+      Schema final_schema;
+      for (size_t c = 0; c < proj.num_columns(); ++c) {
+        DataType t = out_schema.column(c).type;
+        if (t == DataType::kNull) {
+          const ColumnData& col = proj.column(c);
+          DataType patched = DataType::kNull;
+          for (size_t r = 0; r < proj.num_rows(); ++r) {
+            if (!col.IsNull(r)) {
+              patched = col.GetValue(r).type();
+              break;
+            }
+          }
+          t = patched == DataType::kNull ? DataType::kVarchar : patched;
+        }
+        final_schema.AddColumn(out_schema.column(c).name, t);
+      }
+      for (size_t c = 0; c < proj.num_columns(); ++c) {
+        const ColumnData& col = proj.column(c);
+        const DataType target = final_schema.column(c).type;
+        if (col.is_generic() || col.type() != target) {
+          FEDFLOW_ASSIGN_OR_RETURN(ColumnData casted, col.CastTo(target));
+          proj.mutable_column(c) = std::move(casted);
+        }
+      }
+      Table out(final_schema);
+      out.mutable_rows() = proj.TakeRows();
+      return out;
+    }
+    // General path: fall back to row form for expression evaluation,
+    // aggregation, DISTINCT, or sorting.
+    rows = columnar_input.TakeRows();
+    input_is_columnar = false;
+  }
 
   // Rows paired with their ORDER BY keys.
   struct Keyed {

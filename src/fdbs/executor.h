@@ -39,9 +39,15 @@ class SelectExecutor {
   /// Executes the FROM items in lateral order. WHERE conjuncts applicable
   /// during the chain are applied eagerly (predicate pushdown); the ones
   /// that were not are returned through `remaining_predicates`.
+  ///
+  /// When columnar execution is on and the whole chain supports it, the
+  /// result is delivered column-wise through `columnar_result` (with
+  /// `*result_is_columnar` set) and the returned Table is empty; otherwise
+  /// the Table carries the rows as before.
   Result<Table> ExecuteFromChain(
       const sql::SelectStmt& stmt, RowScope* scope, Schema* combined_schema,
-      std::vector<sql::ExprPtr>* remaining_predicates);
+      std::vector<sql::ExprPtr>* remaining_predicates,
+      ColumnBatch* columnar_result, bool* result_is_columnar);
 
   /// True when `expr` can be evaluated at the current point in the lateral
   /// chain: pushdown is on, every column reference resolves unambiguously

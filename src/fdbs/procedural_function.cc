@@ -27,12 +27,7 @@ Result<Table> ProceduralTableFunction::Invoke(const std::vector<Value>& args,
                                    std::to_string(params_.size()) +
                                    " argument(s)");
   }
-  std::vector<Value> coerced;
-  coerced.reserve(args.size());
-  for (size_t i = 0; i < args.size(); ++i) {
-    FEDFLOW_ASSIGN_OR_RETURN(Value v, args[i].CastTo(params_[i].type));
-    coerced.push_back(std::move(v));
-  }
+  FEDFLOW_ASSIGN_OR_RETURN(std::vector<Value> coerced, CoerceArgs(args));
   SqlClient client(ctx.db, &ctx, overhead_us_);
   FEDFLOW_ASSIGN_OR_RETURN(Table raw, body_(coerced, &client));
   Table out(schema_);

@@ -9,4 +9,16 @@ Result<RowSourcePtr> TableFunction::InvokeStream(const std::vector<Value>& args,
   return MakeTableSource(std::move(result), batch_size);
 }
 
+Result<std::vector<Value>> TableFunction::CoerceArgs(
+    std::vector<Value> args) const {
+  const std::vector<Column>& decls = params();
+  for (size_t i = 0; i < args.size() && i < decls.size(); ++i) {
+    if (args[i].is_null()) continue;
+    if (args[i].type() != decls[i].type) {
+      FEDFLOW_ASSIGN_OR_RETURN(args[i], args[i].CastTo(decls[i].type));
+    }
+  }
+  return args;
+}
+
 }  // namespace fedflow::fdbs

@@ -44,6 +44,10 @@ class TableFunction {
   virtual Result<RowSourcePtr> InvokeStream(const std::vector<Value>& args,
                                             ExecContext& ctx,
                                             size_t batch_size);
+
+  /// Coerces already-evaluated argument values to the declared parameter
+  /// types (Value::CastTo; NULLs pass through). Arity must already match.
+  Result<std::vector<Value>> CoerceArgs(std::vector<Value> args) const;
 };
 
 }  // namespace fedflow::fdbs

@@ -180,7 +180,10 @@ Status IntegrationServer::RegisterFederatedFunction(
 }
 
 Result<Table> IntegrationServer::Query(const std::string& sql) {
-  return db_.Execute(sql);
+  fdbs::ExecContext ctx;
+  ctx.db = &db_;
+  ctx.columnar = columnar_execution_;
+  return db_.Execute(sql, ctx);
 }
 
 Result<IntegrationServer::TimedResult> IntegrationServer::QueryTimed(
@@ -219,6 +222,10 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
   flow.saga = saga;
   obs::TraceSession session(&tracer_, &flow.clock);
   flow.trace = &session;
+  // Per-flow pipeline statistics (residency, batch counts, vectorized-filter
+  // selectivities), exported as gauges after the flow. Stack-local so
+  // concurrent flows never share a counter.
+  PipelineStats pipeline_stats;
   fdbs::ExecContext ctx;
   ctx.clock = &flow.clock;
   ctx.db = &db_;
@@ -228,6 +235,8 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
   ctx.plan_cache = &plan_cache_;
   ctx.result_cache = &result_cache_;
   ctx.use_result_cache = caching_enabled_;
+  ctx.columnar = columnar_execution_;
+  ctx.pipeline_stats = &pipeline_stats;
   Result<Table> table = [&] {
     // While the session observes the clock, every Charge/ChargeWork lands in
     // the current span — the completeness invariant that makes the span tree
@@ -240,6 +249,7 @@ Result<IntegrationServer::TimedResult> IntegrationServer::RunFlow(
     return t;
   }();
   flow.clock.set_observer(nullptr);
+  obs::ExportPipelineStats(pipeline_stats, &metrics_);
   if (!table.ok()) {
     // The flow (and its clock) dies with the failure; surface the elapsed
     // virtual time so the saga abort can account the wasted forward work.

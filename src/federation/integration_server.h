@@ -184,6 +184,13 @@ class IntegrationServer {
   void set_caching_enabled(bool enabled) { caching_enabled_ = enabled; }
   bool caching_enabled() const { return caching_enabled_; }
 
+  /// Columnar batch execution for this server's statements (default ON).
+  /// Purely a wall-clock lever: results, virtual-time totals, and pipeline
+  /// counters are identical either way — the differential harnesses run a
+  /// row-only mirror server with this set to false.
+  void set_columnar_execution(bool enabled) { columnar_execution_ = enabled; }
+  bool columnar_execution() const { return columnar_execution_; }
+
   /// Forward-recovery checkpoint of a failed WfMS federated function; null
   /// under the UDTF architectures or when no instance is pending.
   const wfms::InstanceCheckpoint* recovery_checkpoint(
@@ -272,6 +279,7 @@ class IntegrationServer {
   cache::ResultCache result_cache_;
   txn::SagaRuntime saga_runtime_;
   bool caching_enabled_ = false;
+  bool columnar_execution_ = true;
   ControllerPool controller_pool_;
   std::atomic<int64_t> next_flow_id_{1};
   sim::FaultInjector fault_injector_;

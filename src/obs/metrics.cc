@@ -167,4 +167,19 @@ std::string TenantMetricName(const std::string& tenant,
   return out;
 }
 
+void ExportPipelineStats(const PipelineStats& stats,
+                         MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->Inc("pipeline.rows_emitted", stats.rows_emitted);
+  registry->Inc("pipeline.batches_emitted", stats.batches_emitted);
+  registry->Inc("pipeline.columnar_batches", stats.columnar_batches);
+  registry->SetGaugeMax("pipeline.peak_resident_rows",
+                        static_cast<int64_t>(stats.peak_resident_rows));
+  for (const PipelineStats::FilterStat& f : stats.filter_stats) {
+    const std::string base = "pipeline.filter." + EscapeMetricSegment(f.label);
+    registry->Inc(base + ".rows_in", f.rows_in);
+    registry->Inc(base + ".rows_kept", f.rows_kept);
+  }
+}
+
 }  // namespace fedflow::obs

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/row_source.h"
 #include "common/vclock.h"
 
 namespace fedflow::obs {
@@ -161,6 +162,15 @@ class TenantMetrics {
   MetricsRegistry* registry_;
   std::string tenant_;
 };
+
+/// Publishes one pipeline's execution statistics into `registry` (no-op on
+/// null): cumulative counters "pipeline.rows_emitted",
+/// "pipeline.batches_emitted", "pipeline.columnar_batches" and per-filter
+/// selectivities "pipeline.filter.<label>.rows_in" / ".rows_kept" (label
+/// escaped via EscapeMetricSegment) accumulate across calls; the gauge
+/// "pipeline.peak_resident_rows" is a high-water mark across calls.
+void ExportPipelineStats(const PipelineStats& stats,
+                         MetricsRegistry* registry);
 
 }  // namespace fedflow::obs
 

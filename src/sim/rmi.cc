@@ -45,22 +45,46 @@ class ResponseStreamSource : public RowSource {
       FEDFLOW_ASSIGN_OR_RETURN(Row row, reader_.GetRow());
       batch.rows.push_back(std::move(row));
     }
-    const size_t end_row = next_row_ + take;
-    next_row_ = end_row;
-    if (on_chunk_) {
-      const size_t cum = end_row == 0 ? header_bytes_ : prefix_[end_row - 1];
-      VDuration cost = model_->MarshalCost(cum) - model_->MarshalCost(charged_bytes_);
-      if (!charged_base_) {
-        cost += model_->rmi_return_base_us;
-        charged_base_ = true;
-      }
-      charged_bytes_ = cum;
-      if (cost > 0) on_chunk_(cost);
-    }
+    ChargeChunk(next_row_ + take);
     return batch;
   }
 
+  /// Columnar variant: decodes the same chunk (the wire format is row-major)
+  /// straight into a column batch. Virtual-time charges are identical to
+  /// Next() — the chunk boundary, not the batch layout, determines the cost.
+  Result<ColumnBatch> NextColumns() override {
+    const size_t take = std::min(batch_size_, num_rows_ - next_row_);
+    std::vector<Row> rows;
+    rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      FEDFLOW_ASSIGN_OR_RETURN(Row row, reader_.GetRow());
+      rows.push_back(std::move(row));
+    }
+    ChargeChunk(next_row_ + take);
+    return ColumnBatch::FromRows(schema_, std::move(rows));
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return num_rows_ - next_row_;
+  }
+
  private:
+  /// Advances the cursor to `end_row` and charges the marshalling cost of
+  /// the newly decoded bytes (plus the one-time return base).
+  void ChargeChunk(size_t end_row) {
+    next_row_ = end_row;
+    if (!on_chunk_) return;
+    const size_t cum = end_row == 0 ? header_bytes_ : prefix_[end_row - 1];
+    VDuration cost =
+        model_->MarshalCost(cum) - model_->MarshalCost(charged_bytes_);
+    if (!charged_base_) {
+      cost += model_->rmi_return_base_us;
+      charged_base_ = true;
+    }
+    charged_bytes_ = cum;
+    if (cost > 0) on_chunk_(cost);
+  }
+
   std::vector<uint8_t> buffer_;
   Schema schema_;
   size_t num_rows_;

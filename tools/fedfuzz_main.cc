@@ -20,6 +20,13 @@
 //                acknowledgement is lost with retries disabled — abort with
 //                compensations that restore every store's state fingerprint
 //                while data versions only move forward.
+//   5. Columnar: every read execution is mirrored on a second server fleet
+//                running with columnar execution disabled. Row and columnar
+//                transports must agree on the result schema, the row
+//                multiset, and the virtual-time total — the transport is a
+//                wall-clock optimization and nothing else. (Failing
+//                statements are exempt from comparison: the two scan orders
+//                may surface a different row's error.)
 //
 //   fedfuzz [--seeds N] [--start S] [--report]
 //
@@ -133,6 +140,14 @@ class Harness {
       Result<std::unique_ptr<IntegrationServer>> server =
           IntegrationServer::Create(kArchs[a], scenario_);
       if (server.ok()) servers_[a] = std::move(*server);
+      // The row-transport mirror fleet for oracle 5: identical scenario and
+      // call sequence, columnar execution off.
+      Result<std::unique_ptr<IntegrationServer>> mirror =
+          IntegrationServer::Create(kArchs[a], scenario_);
+      if (mirror.ok()) {
+        (*mirror)->set_columnar_execution(false);
+        row_servers_[a] = std::move(*mirror);
+      }
     }
   }
 
@@ -152,11 +167,19 @@ class Harness {
   }
 
   /// Oracle 4: the abort-restores-state check over a generated write spec.
+  /// Runs on both fleets — committed writes mutate store state, so the
+  /// row-transport mirror must apply the same writes in the same order or
+  /// oracle 5's read comparisons would diverge on data, not transport.
   bool RunWriteSeed(std::uint64_t seed) {
+    return RunWriteSeedOn(seed, servers_) && RunWriteSeedOn(seed, row_servers_);
+  }
+
+  bool RunWriteSeedOn(std::uint64_t seed,
+                      std::unique_ptr<IntegrationServer>* fleet) {
     analysis::GeneratedSpec gen = generator_.GenerateWriteSpec(seed);
     const std::string& name = gen.spec.name;
     for (int a = 0; a < 3; ++a) {
-      IntegrationServer& server = *servers_[a];
+      IntegrationServer& server = *fleet[a];
       const std::string arch =
           federation::ArchitectureName(server.architecture());
       Status status = server.RegisterFederatedFunction(gen.spec);
@@ -255,6 +278,8 @@ class Harness {
     std::printf("  saga oracle: %llu commit(s), %llu abort(s) verified\n",
                 static_cast<unsigned long long>(write_commits_),
                 static_cast<unsigned long long>(write_aborts_));
+    std::printf("  columnar oracle: %llu row-vs-columnar comparison(s)\n",
+                static_cast<unsigned long long>(columnar_diffs_));
   }
 
  private:
@@ -321,6 +346,15 @@ class Harness {
                         : " accepted an unsupported (cyclic/general) spec"));
       }
       registered[a] = status.ok();
+      // The mirror fleet must make the same registration decision; keep it
+      // in lockstep so later executions see identical server state.
+      Status mirror_status = row_servers_[a]->RegisterFederatedFunction(spec);
+      if (mirror_status.ok() != status.ok()) {
+        return Fail(seed, spec.name,
+                    std::string(federation::ArchitectureName(
+                        servers_[a]->architecture())) +
+                        " row-transport mirror disagreed on registration");
+      }
     }
 
     // Tight cardinality bounds: re-run the analysis with the loop count the
@@ -377,6 +411,45 @@ class Harness {
       if (!CheckBounds(seed, spec, *bounds, a == 0, result->table.num_rows(),
                        delta)) {
         return false;
+      }
+
+      // Oracle 5: the row-transport mirror must produce the same table and
+      // the same virtual-time total. Both calls succeeded (the primary was
+      // checked above), so the error-divergence exemption does not apply.
+      Result<IntegrationServer::TimedResult> mirror =
+          row_servers_[a]->CallFederated(spec.name, args);
+      if (!mirror.ok()) {
+        return Fail(seed, spec.name,
+                    std::string(federation::ArchitectureName(
+                        servers_[a]->architecture())) +
+                        " row-transport mirror failed where columnar "
+                        "succeeded: " +
+                        mirror.status().ToString());
+      }
+      ++columnar_diffs_;
+      if (!(mirror->table.schema() == result->table.schema())) {
+        return Fail(seed, spec.name,
+                    "row and columnar transports disagree on the schema");
+      }
+      if (RowSet(mirror->table) != RowSet(result->table)) {
+        // Show the first differing row of each multiset for diagnosis.
+        std::vector<std::string> lhs = RowSet(mirror->table);
+        std::vector<std::string> rhs = RowSet(result->table);
+        auto [li, ri] = std::mismatch(lhs.begin(), lhs.end(), rhs.begin(),
+                                      rhs.end());
+        std::string detail;
+        if (li != lhs.end()) detail += " row=[" + *li + "]";
+        if (ri != rhs.end()) detail += " col=[" + *ri + "]";
+        return Fail(seed, spec.name,
+                    "row and columnar transports disagree on the rows (" +
+                        std::to_string(lhs.size()) + " vs " +
+                        std::to_string(rhs.size()) + ")" + detail);
+      }
+      if (mirror->elapsed_us != result->elapsed_us) {
+        return Fail(seed, spec.name,
+                    "row and columnar transports disagree on virtual time (" +
+                        std::to_string(mirror->elapsed_us) + "us vs " +
+                        std::to_string(result->elapsed_us) + "us)");
       }
     }
     return true;
@@ -439,11 +512,13 @@ class Harness {
   appsys::Scenario scenario_;
   analysis::SpecGenerator generator_;
   std::unique_ptr<IntegrationServer> servers_[3];
+  std::unique_ptr<IntegrationServer> row_servers_[3];
   std::uint64_t case_count_[8] = {};
   std::uint64_t executions_ = 0;
   std::uint64_t bound_checks_ = 0;
   std::uint64_t write_commits_ = 0;
   std::uint64_t write_aborts_ = 0;
+  std::uint64_t columnar_diffs_ = 0;
 };
 
 }  // namespace
